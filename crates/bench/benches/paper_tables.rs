@@ -1,0 +1,185 @@
+//! Benchmarks regenerating each paper table/figure's measurable dimension.
+//!
+//! Absolute numbers differ from the paper (Rust analyzer vs. the authors'
+//! Python implementation; synthetic corpus vs. their testbed), but the
+//! *shapes* hold: analysis time grows near-linearly with LoC (Table 10),
+//! the DB-constraint guard eliminates corruption at a small write-path
+//! cost (Figure 2), and the full eight-app sweep (Table 4) completes in
+//! seconds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use cfinder_bench::bench_options;
+use cfinder_core::{AppSource, CFinder, SourceFile};
+use cfinder_corpus::{all_profiles, generate, profile, study_corpus, GenOptions};
+use cfinder_minidb::{simulate_interleavings, RaceConfig};
+use cfinder_report::HistoryRecall;
+use cfinder_schema::StudyReport;
+
+fn to_source(app: &cfinder_corpus::GeneratedApp) -> AppSource {
+    AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    )
+}
+
+/// Table 4: detect missing constraints across all eight applications.
+fn bench_table4_detect_all(c: &mut Criterion) {
+    let apps: Vec<_> = all_profiles()
+        .iter()
+        .map(|p| {
+            let app = generate(p, bench_options());
+            let src = to_source(&app);
+            (src, app.declared)
+        })
+        .collect();
+    let finder = CFinder::new();
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("detect_all_eight_apps", |b| {
+        b.iter(|| {
+            let mut total_missing = 0;
+            for (src, declared) in &apps {
+                total_missing += finder.analyze(src, declared).missing.len();
+            }
+            assert_eq!(total_missing, 210); // 158 open-source + 52 commercial
+            total_missing
+        })
+    });
+    group.finish();
+}
+
+/// Table 10: analysis time as a function of LoC (the paper's
+/// near-proportionality claim). Throughput is reported in lines/second.
+fn bench_table10_scaling(c: &mut Criterion) {
+    let p = profile("oscar").expect("profile exists");
+    let finder = CFinder::new();
+    let mut group = c.benchmark_group("table10_loc_scaling");
+    group.sample_size(10);
+    for scale in [0.05_f64, 0.1, 0.2, 0.4] {
+        let app = generate(&p, GenOptions { loc_scale: scale });
+        let src = to_source(&app);
+        let loc = src.loc();
+        group.throughput(Throughput::Elements(loc as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(loc), &src, |b, src| {
+            b.iter(|| finder.analyze(src, &app.declared).detections.len())
+        });
+    }
+    group.finish();
+}
+
+/// Tables 1–3: migration-history replay and study aggregation.
+fn bench_study_tables(c: &mut Criterion) {
+    let apps = study_corpus();
+    c.bench_function("tables1to3_study_aggregation", |b| {
+        b.iter(|| {
+            let reports: Vec<StudyReport> = apps.iter().map(|a| a.history.study()).collect();
+            let merged = StudyReport::merged(reports.iter());
+            assert_eq!(merged.total(), 143);
+            merged.mean_months_missing()
+        })
+    });
+}
+
+/// Table 9: recall over the historical dataset (old code, old schemas).
+fn bench_table9_history_recall(c: &mut Criterion) {
+    let study = study_corpus();
+    let mut group = c.benchmark_group("table9");
+    group.sample_size(20);
+    group.bench_function("historical_recall", |b| {
+        b.iter(|| {
+            let recall = HistoryRecall::run(&study);
+            assert_eq!(recall.overall(), (117, 93));
+            recall
+        })
+    });
+    group.finish();
+}
+
+/// Figure 1: the three incident replays.
+fn bench_figure1_scenarios(c: &mut Criterion) {
+    c.bench_function("figure1_incident_replays", |b| {
+        b.iter(|| {
+            let all = cfinder_minidb::scenarios::run_all();
+            assert_eq!(all.len(), 3);
+            all.iter().filter(|(_, _, with)| with.integrity_preserved()).count()
+        })
+    });
+}
+
+/// Figure 2: exhaustive interleaving exploration per guard configuration.
+fn bench_figure2_races(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figure2_races");
+    for (label, app_validation, db_constraint) in [
+        ("app_validation_only", true, false),
+        ("db_constraint", true, true),
+        ("no_guard", false, false),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                simulate_interleavings(RaceConfig {
+                    requests: 3,
+                    app_validation,
+                    db_constraint,
+                })
+                .corrupted_schedules
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Ablation grid: the cost/benefit of each analysis design element.
+fn bench_ablation_grid(c: &mut Criterion) {
+    let apps: Vec<cfinder_corpus::GeneratedApp> = ["oscar"]
+        .iter()
+        .map(|n| generate(&profile(n).expect("profile"), bench_options()))
+        .collect();
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+    for (label, options) in cfinder_report::ablation::configurations() {
+        let finder = cfinder_core::CFinder::with_options(options);
+        let srcs: Vec<AppSource> = apps.iter().map(to_source).collect();
+        let declared: Vec<_> = apps.iter().map(|a| a.declared.clone()).collect();
+        group.bench_function(label.replace(' ', "_"), move |b| {
+            b.iter(|| {
+                srcs.iter()
+                    .zip(&declared)
+                    .map(|(s, d)| finder.analyze(s, d).missing.len())
+                    .sum::<usize>()
+            })
+        });
+    }
+    group.finish();
+}
+
+/// §3.1/§5 baseline: data-profiling discovery cost on a populated database.
+fn bench_baseline_miner(c: &mut Criterion) {
+    let app = generate(&profile("wagtail").expect("profile"), bench_options());
+    let db = cfinder_report::populate(&app, 40);
+    let mut group = c.benchmark_group("baseline");
+    group.sample_size(10);
+    group.bench_function("ucc_ind_miner", |b| {
+        b.iter(|| {
+            cfinder_minidb::discover_constraints(
+                &db,
+                cfinder_minidb::ProfileOptions::default(),
+            )
+            .len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_table4_detect_all,
+    bench_table10_scaling,
+    bench_study_tables,
+    bench_table9_history_recall,
+    bench_figure1_scenarios,
+    bench_figure2_races,
+    bench_ablation_grid,
+    bench_baseline_miner,
+);
+criterion_main!(benches);

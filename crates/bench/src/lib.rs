@@ -1,0 +1,25 @@
+//! # cfinder-bench
+//!
+//! Criterion benchmarks regenerating the measurable dimension of every
+//! paper table and figure:
+//!
+//! * `paper_tables` — Table 4 (full-pipeline detection over all eight
+//!   apps), Table 10 (analysis time vs. LoC scaling), Tables 1–3 (study
+//!   aggregation), Table 9 (historical recall), Figure 1 (incident
+//!   replays), Figure 2 (race interleavings and the constraint-guard
+//!   overhead).
+//! * `substrates` — microbenchmarks of the layers the pipeline is built
+//!   from: lexing/parsing throughput, CFG + use-def chains, NULL-guard
+//!   analysis, and minidb write paths with and without enforcement.
+//!
+//! Run with `cargo bench --workspace`.
+
+#![forbid(unsafe_code)]
+
+/// Re-exported so benches share one corpus-shrinking knob.
+pub use cfinder_corpus::GenOptions;
+
+/// A tiny generation option for iterated benchmarks (~2% noise LoC).
+pub fn bench_options() -> GenOptions {
+    GenOptions { loc_scale: 0.02 }
+}

@@ -1,0 +1,422 @@
+//! The CFinder pipeline (§3.2): parse → extract models → detect patterns →
+//! extract constraints → diff against the declared schema.
+
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+use cfinder_flow::{NullGuards, UseDefChains};
+use cfinder_pyast::ast::{ClassDef, Stmt, StmtKind};
+use cfinder_pyast::parse_module;
+use cfinder_schema::{ConstraintSet, Schema};
+
+use crate::models::ModelRegistry;
+use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx};
+use crate::report::{AnalysisReport, Detection, MissingConstraint};
+use crate::resolve::Resolver;
+
+/// One source file of an application.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Repository-relative path (for reports).
+    pub path: String,
+    /// File contents.
+    pub text: String,
+}
+
+impl SourceFile {
+    /// Creates a source file.
+    pub fn new(path: impl Into<String>, text: impl Into<String>) -> Self {
+        SourceFile { path: path.into(), text: text.into() }
+    }
+}
+
+/// An application's source tree.
+#[derive(Debug, Clone, Default)]
+pub struct AppSource {
+    /// Application name.
+    pub name: String,
+    /// Source files.
+    pub files: Vec<SourceFile>,
+}
+
+impl AppSource {
+    /// Creates an app from files.
+    pub fn new(name: impl Into<String>, files: Vec<SourceFile>) -> Self {
+        AppSource { name: name.into(), files }
+    }
+
+    /// Total lines of code.
+    pub fn loc(&self) -> usize {
+        self.files.iter().map(|f| f.text.lines().count()).sum()
+    }
+}
+
+/// Analyzer feature toggles.
+///
+/// All default to `true` (the paper's configuration). Turning one off is
+/// an *ablation*: it removes one of the design elements §3 argues for,
+/// and the evaluation harness measures the resulting precision/recall
+/// damage (see `cfinder-report`'s ablation table).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CFinderOptions {
+    /// PA_n1's dominating-NULL-check pruning. Off → every guarded column
+    /// invocation becomes a (false-positive) not-null detection.
+    pub null_guard_analysis: bool,
+    /// The D-D condition of PA_u1: the saved record must be of the same
+    /// table as the checked queryset. Off → naive regex-style matching.
+    pub data_dependency_checks: bool,
+    /// §3.5.2 composite uniques from related-manager implicit joins.
+    /// Off → over-narrow single-column constraints.
+    pub composite_unique: bool,
+    /// §3.5.2 partial (conditional) uniques from fixed-value filters.
+    /// Off → over-broad unconditional constraints.
+    pub partial_unique: bool,
+    /// Extension PA_x1 (default **off**): `OneToOneField` declarations
+    /// imply a unique constraint on the FK column.
+    pub ext_one_to_one_unique: bool,
+    /// Extension PA_x2 (default **off**, §4.3.1's improvement note):
+    /// fields interpolated into URL-shaped f-strings imply uniqueness.
+    pub ext_url_identifier: bool,
+}
+
+impl Default for CFinderOptions {
+    fn default() -> Self {
+        CFinderOptions {
+            null_guard_analysis: true,
+            data_dependency_checks: true,
+            composite_unique: true,
+            partial_unique: true,
+            ext_one_to_one_unique: false,
+            ext_url_identifier: false,
+        }
+    }
+}
+
+/// The CFinder analyzer.
+///
+/// # Examples
+///
+/// ```
+/// use cfinder_core::{AppSource, CFinder, SourceFile};
+/// use cfinder_schema::Schema;
+///
+/// let app = AppSource::new(
+///     "demo",
+///     vec![SourceFile::new(
+///         "models.py",
+///         "class User(models.Model):\n    email = models.CharField(max_length=254)\n\n\ndef signup(email):\n    if User.objects.filter(email=email).exists():\n        raise ValueError('taken')\n    User.objects.create(email=email)\n",
+///     )],
+/// );
+/// let report = CFinder::new().analyze(&app, &Schema::new());
+/// assert!(!report.missing.is_empty());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CFinder {
+    options: CFinderOptions,
+}
+
+impl CFinder {
+    /// Creates an analyzer with the paper's configuration.
+    pub fn new() -> Self {
+        CFinder::default()
+    }
+
+    /// Creates an analyzer with explicit feature toggles (ablations).
+    pub fn with_options(options: CFinderOptions) -> Self {
+        CFinder { options }
+    }
+
+    /// The active options.
+    pub fn options(&self) -> &CFinderOptions {
+        &self.options
+    }
+
+    /// Extracts the model registry from an app (useful on its own for
+    /// schema derivation and tests).
+    pub fn extract_models(&self, app: &AppSource) -> ModelRegistry {
+        let mut registry = ModelRegistry::new();
+        for file in &app.files {
+            if let Ok(module) = parse_module(&file.text) {
+                registry.add_module(&module, &file.path);
+            }
+        }
+        registry
+    }
+
+    /// Runs the full pipeline against `declared` (the `information_schema`
+    /// view of the database).
+    pub fn analyze(&self, app: &AppSource, declared: &Schema) -> AnalysisReport {
+        let start = Instant::now();
+        let mut parse_errors = Vec::new();
+        let mut modules = Vec::new();
+        for file in &app.files {
+            match parse_module(&file.text) {
+                Ok(m) => modules.push((file, m)),
+                Err(e) => parse_errors.push((file.path.clone(), e.to_string())),
+            }
+        }
+
+        // Pass 1: model metadata from every module.
+        let mut registry = ModelRegistry::new();
+        for (file, module) in &modules {
+            registry.add_module(module, &file.path);
+        }
+
+        // Pass 2: per-function detection.
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
+        for (file, module) in &modules {
+            analyze_scopes(
+                &registry,
+                &self.options,
+                &module.body,
+                &file.path,
+                &file.text,
+                None,
+                &mut detections,
+                &mut none_assigned,
+            );
+        }
+
+        // Pass 3: PA_n3 from the registry.
+        detect_n3(&registry, &none_assigned, &mut detections);
+        if self.options.ext_one_to_one_unique {
+            crate::patterns::detect_x1(&registry, &mut detections);
+        }
+
+        // Pass 4: constraint sets and the §3.5.3 diff.
+        let inferred: ConstraintSet = detections.iter().map(|d| d.constraint.clone()).collect();
+        let existing_covered = inferred.intersection(declared.constraints());
+        let missing_set = inferred.difference(declared.constraints());
+        let missing = missing_set
+            .iter()
+            .map(|c| MissingConstraint {
+                constraint: c.clone(),
+                detections: detections.iter().filter(|d| &d.constraint == c).cloned().collect(),
+            })
+            .collect();
+
+        AnalysisReport {
+            app: app.name.clone(),
+            detections,
+            inferred,
+            missing,
+            existing_covered,
+            analysis_time: start.elapsed(),
+            loc: app.loc(),
+            parse_errors,
+        }
+    }
+}
+
+/// Recursively analyzes every function scope in a statement list.
+///
+/// `class_ctx` carries the enclosing model class name (binding `self`) when
+/// descending into model methods.
+#[allow(clippy::too_many_arguments)]
+fn analyze_scopes(
+    registry: &ModelRegistry,
+    options: &CFinderOptions,
+    body: &[Stmt],
+    file: &str,
+    source: &str,
+    class_ctx: Option<&ClassDef>,
+    detections: &mut Vec<Detection>,
+    none_assigned: &mut BTreeSet<(String, String)>,
+) {
+    // Module/class level: look for functions and classes.
+    for stmt in body {
+        match &stmt.kind {
+            StmtKind::FunctionDef(f) => {
+                let self_model = class_ctx.and_then(|c| {
+                    registry.is_model(&c.name).then(|| c.name.clone())
+                });
+                analyze_function(
+                    registry,
+                    options,
+                    &f.body,
+                    &f.params.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+                    self_model,
+                    file,
+                    source,
+                    detections,
+                    none_assigned,
+                    true,
+                );
+                // Nested defs inside this function are handled by the inner
+                // recursion in `analyze_function`.
+            }
+            StmtKind::ClassDef(c) => {
+                analyze_scopes(
+                    registry,
+                    options,
+                    &c.body,
+                    file,
+                    source,
+                    Some(c),
+                    detections,
+                    none_assigned,
+                );
+            }
+            _ => {}
+        }
+    }
+    // Top-level straight-line code (scripts, module init) — only at module
+    // level, where there is no enclosing class.
+    if class_ctx.is_none() {
+        let has_code = body.iter().any(|s| {
+            !matches!(
+                s.kind,
+                StmtKind::FunctionDef(_)
+                    | StmtKind::ClassDef(_)
+                    | StmtKind::Import { .. }
+                    | StmtKind::ImportFrom { .. }
+            )
+        });
+        if has_code {
+            // Top-level defs were already analyzed above; don't recurse.
+            analyze_function(
+                registry,
+                options,
+                body,
+                &[],
+                None,
+                file,
+                source,
+                detections,
+                none_assigned,
+                false,
+            );
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn analyze_function(
+    registry: &ModelRegistry,
+    options: &CFinderOptions,
+    body: &[Stmt],
+    params: &[String],
+    self_model: Option<String>,
+    file: &str,
+    source: &str,
+    detections: &mut Vec<Detection>,
+    none_assigned: &mut BTreeSet<(String, String)>,
+    recurse_nested: bool,
+) {
+    let chains = UseDefChains::compute(body, params);
+    let guards = NullGuards::analyze(body);
+    let resolver = Resolver::new(registry, &chains, self_model);
+    let ctx = DetectCtx { resolver: &resolver, guards: &guards, file, source, options };
+    detect_all(&ctx, body, detections);
+    collect_none_assignments(&ctx, body, none_assigned);
+
+    if !recurse_nested {
+        return;
+    }
+    // Recurse into nested function definitions with fresh scopes.
+    crate::patterns::walk_shallow(body, &mut |stmt| {
+        if let StmtKind::FunctionDef(f) = &stmt.kind {
+            analyze_function(
+                registry,
+                options,
+                &f.body,
+                &f.params.iter().map(|p| p.name.clone()).collect::<Vec<_>>(),
+                None,
+                file,
+                source,
+                detections,
+                none_assigned,
+                true,
+            );
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfinder_schema::Constraint;
+
+    const MODELS: &str = "class Voucher(models.Model):\n    code = models.CharField(max_length=32)\n    active = models.BooleanField(default=True, null=True)\n\n\nclass Product(models.Model):\n    title = models.CharField(max_length=100)\n\n\nclass WishList(models.Model):\n    key = models.CharField(max_length=16)\n\n\nclass WishListLine(models.Model):\n    wishlist = models.ForeignKey(WishList, related_name='lines')\n    note = models.CharField(max_length=64)\n";
+
+    fn analyze_with(options: CFinderOptions, code: &str) -> Vec<Constraint> {
+        let app = AppSource::new(
+            "t",
+            vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
+        );
+        let report = CFinder::with_options(options).analyze(&app, &Schema::new());
+        report.missing.iter().map(|m| m.constraint.clone()).collect()
+    }
+
+    #[test]
+    fn default_options_enable_everything() {
+        let o = CFinderOptions::default();
+        assert!(o.null_guard_analysis);
+        assert!(o.data_dependency_checks);
+        assert!(o.composite_unique);
+        assert!(o.partial_unique);
+        assert_eq!(CFinder::new().options(), &o);
+    }
+
+    #[test]
+    fn ablating_null_guard_reintroduces_false_positives() {
+        // A correctly-guarded invocation on a nullable column.
+        let code = "def show(pk):\n    v = Voucher.objects.get(pk=pk)\n    if v.code is not None:\n        return v.code.strip()\n    return ''\n";
+        let with_guard = analyze_with(CFinderOptions::default(), code);
+        assert!(
+            !with_guard.contains(&Constraint::not_null("Voucher", "code")),
+            "guard analysis prunes the guarded invocation"
+        );
+        let ablated = analyze_with(
+            CFinderOptions { null_guard_analysis: false, ..CFinderOptions::default() },
+            code,
+        );
+        assert!(
+            ablated.contains(&Constraint::not_null("Voucher", "code")),
+            "without guard analysis the guarded invocation is a false positive"
+        );
+    }
+
+    #[test]
+    fn ablating_data_dependency_accepts_unrelated_saves() {
+        // Existence check on Voucher, save on Product: no real uniqueness
+        // assumption.
+        let code = "def weird(code, title):\n    if not Voucher.objects.filter(code=code).exists():\n        Product.objects.create(title=title)\n";
+        let strict = analyze_with(CFinderOptions::default(), code);
+        assert!(!strict.contains(&Constraint::unique("Voucher", ["code"])));
+        let ablated = analyze_with(
+            CFinderOptions { data_dependency_checks: false, ..CFinderOptions::default() },
+            code,
+        );
+        assert!(ablated.contains(&Constraint::unique("Voucher", ["code"])));
+    }
+
+    #[test]
+    fn ablating_composite_unique_narrows_constraint() {
+        let code = "def attach(key, note):\n    wl = WishList.objects.get(key=key)\n    if wl.lines.filter(note=note).count() > 0:\n        raise ValueError('dup')\n";
+        let full = analyze_with(CFinderOptions::default(), code);
+        assert!(full.contains(&Constraint::unique("WishListLine", ["note", "wishlist_id"])));
+        let ablated = analyze_with(
+            CFinderOptions { composite_unique: false, ..CFinderOptions::default() },
+            code,
+        );
+        // The implicit join column is lost: an over-narrow (wrong)
+        // constraint is inferred instead.
+        assert!(ablated.contains(&Constraint::unique("WishListLine", ["note"])));
+        assert!(!ablated.contains(&Constraint::unique("WishListLine", ["note", "wishlist_id"])));
+    }
+
+    #[test]
+    fn ablating_partial_unique_broadens_constraint() {
+        let code = "def guard(code):\n    if Voucher.objects.filter(code=code, active=True).exists():\n        raise ValueError('dup')\n";
+        let full = analyze_with(CFinderOptions::default(), code);
+        assert!(full.iter().any(|c| c.is_partial_unique()));
+        let ablated = analyze_with(
+            CFinderOptions { partial_unique: false, ..CFinderOptions::default() },
+            code,
+        );
+        assert!(ablated.contains(&Constraint::unique("Voucher", ["code"])));
+        assert!(!ablated.iter().any(|c| c.is_partial_unique()));
+    }
+}

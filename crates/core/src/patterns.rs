@@ -1,0 +1,1186 @@
+//! The seven detectors of Figure 6.
+//!
+//! Each detector is the conjunction of the paper's three condition kinds
+//! (§3.3.2):
+//!
+//! * **C-D** control dependencies — e.g. PA_u1 splits an `If` into
+//!   `T_cond` / `T_body` / `T_else` and requires the existence check in the
+//!   condition with the save or error-handling in a branch;
+//! * **P-M** syntax pattern matching — the [`crate::syntax`] categories,
+//!   matched breadth-first;
+//! * **D-D** data dependencies — the subtrees must concern the same table
+//!   and columns, resolved through [`crate::resolve`].
+
+use std::collections::BTreeSet;
+
+use cfinder_flow::nullguard::{guard_paths, AccessPath};
+use cfinder_flow::NullGuards;
+use cfinder_pyast::ast::{Constant, Expr, ExprKind, Stmt, StmtKind, UnaryOp};
+use cfinder_pyast::visit::bfs_exprs;
+use cfinder_schema::{Condition, Constraint};
+
+use crate::detect::CFinderOptions;
+use crate::models::{FieldKind, ModelRegistry};
+use crate::resolve::{kwarg_bindings, ColBinding, Resolution, Resolver};
+use crate::syntax::{
+    match_bfs, match_bfs_all, p_error_call, p_exist_negative, p_exist_positive, p_get, p_save,
+};
+use crate::report::{Detection, PatternId};
+
+/// Shared per-function detection context.
+pub struct DetectCtx<'a> {
+    /// Expression resolver for this body.
+    pub resolver: &'a Resolver<'a>,
+    /// NULL-guard analysis for this body.
+    pub guards: &'a NullGuards,
+    /// Source file path (for reports).
+    pub file: &'a str,
+    /// Full file source (for snippets).
+    pub source: &'a str,
+    /// Analyzer feature toggles (ablation knobs).
+    pub options: &'a CFinderOptions,
+}
+
+impl<'a> DetectCtx<'a> {
+    fn emit(&self, out: &mut Vec<Detection>, pattern: PatternId, constraint: Constraint, at: &Stmt) {
+        let snippet = snippet_of(self.source, at);
+        out.push(Detection {
+            pattern,
+            constraint,
+            file: self.file.to_string(),
+            span: at.span,
+            snippet,
+        });
+    }
+}
+
+fn snippet_of(source: &str, stmt: &Stmt) -> String {
+    let text = stmt.span.slice(source);
+    let mut s: String = text.chars().take(160).collect();
+    if text.chars().count() > 160 {
+        s.push('…');
+    }
+    s
+}
+
+/// Runs all statement-driven detectors over one function body.
+pub fn detect_all(ctx: &DetectCtx<'_>, body: &[Stmt], out: &mut Vec<Detection>) {
+    walk_shallow(body, &mut |stmt| {
+        detect_u1(ctx, stmt, out);
+        detect_u2(ctx, stmt, out);
+        detect_n1(ctx, stmt, out);
+        detect_n2(ctx, stmt, out);
+        detect_f1(ctx, stmt, out);
+        detect_f2(ctx, stmt, out);
+        detect_x2(ctx, stmt, out);
+    });
+}
+
+/// Collects `<instance>.<field> = None` assignments (the PA_n3 exclusion:
+/// a field is only inferred not-null from its default when no code path
+/// explicitly nulls it).
+pub fn collect_none_assignments(
+    ctx: &DetectCtx<'_>,
+    body: &[Stmt],
+    out: &mut BTreeSet<(String, String)>,
+) {
+    walk_shallow(body, &mut |stmt| {
+        let StmtKind::Assign { targets, value } = &stmt.kind else { return };
+        if !matches!(value.kind, ExprKind::Constant(Constant::None)) {
+            return;
+        }
+        for t in targets {
+            let ExprKind::Attribute { value: recv, attr } = &t.kind else { continue };
+            if let Some(Resolution::Instance(model)) = ctx.resolver.resolve(recv, stmt.id) {
+                if let Some((owner, field)) = ctx.resolver.registry().field_of(&model, attr) {
+                    out.insert((owner.name.clone(), field.name.clone()));
+                }
+            }
+        }
+    });
+}
+
+/// PA_n3: fields with a (non-null) default and no explicit `= None`
+/// assignment anywhere imply not-null. Runs once per app, after the
+/// per-function passes collected `none_assigned`.
+pub fn detect_n3(
+    registry: &ModelRegistry,
+    none_assigned: &BTreeSet<(String, String)>,
+    out: &mut Vec<Detection>,
+) {
+    for model in registry.models() {
+        for field in &model.fields {
+            if !field.has_default {
+                continue;
+            }
+            // `default=None` or an explicit `null=True` means the developer
+            // wants NULLs.
+            if field.null || field.default == Some(cfinder_schema::Literal::Null) {
+                continue;
+            }
+            if none_assigned.contains(&(model.name.clone(), field.name.clone())) {
+                continue;
+            }
+            out.push(Detection {
+                pattern: PatternId::N3,
+                constraint: Constraint::not_null(&model.name, field.column_name()),
+                file: model.file.clone(),
+                span: cfinder_pyast::Span::DUMMY,
+                snippet: format!("{} = …(default=…)", field.name),
+            });
+        }
+    }
+}
+
+// --- PA_u1: check existence before save / error-handling ---------------------
+
+/// Polarity of an existence check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Polarity {
+    /// Truthy ⇔ a record exists.
+    Exists,
+    /// Truthy ⇔ no record exists.
+    NotExists,
+}
+
+fn detect_u1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    let StmtKind::If { test, body: then, orelse } = &stmt.kind else { return };
+    let (cond, flipped) = unwrap_not(test);
+
+    // P-M on the condition: find the existence check and its subject.
+    let (subject, mut polarity) = if let Some(m) = match_bfs(cond, &p_exist_positive()) {
+        (m.subject, Polarity::Exists)
+    } else if let Some(m) = match_bfs(cond, &p_exist_negative()) {
+        (m.subject, Polarity::NotExists)
+    } else if matches!(cond.kind, ExprKind::Name(_) | ExprKind::Attribute { .. } | ExprKind::Call { .. })
+    {
+        // Bare queryset truthiness: `if qs:` / `if wl.lines.filter(…):`.
+        (Some(cond), Polarity::Exists)
+    } else {
+        return;
+    };
+    if flipped {
+        polarity = match polarity {
+            Polarity::Exists => Polarity::NotExists,
+            Polarity::NotExists => Polarity::Exists,
+        };
+    }
+    let Some(subject) = subject else { return };
+
+    // D-D: the subject must resolve to a queryset with constrained columns.
+    let Some(Resolution::Query { model, cols }) = ctx.resolver.resolve(subject, stmt.id) else {
+        return;
+    };
+    let Some((columns, conditions)) =
+        split_cols(ctx.resolver.registry(), &model, &cols, ctx.options)
+    else {
+        return;
+    };
+
+    // C-D + D-D on the branches.
+    let then_save = branch_saves_model(ctx, then, &model);
+    let then_err = branch_has_error(ctx, then);
+    let else_save = branch_saves_model(ctx, orelse, &model);
+    let else_err = branch_has_error(ctx, orelse);
+
+    let matched = match polarity {
+        Polarity::NotExists => then_save || else_err,
+        Polarity::Exists => then_err || else_save,
+    };
+    if matched {
+        let constraint = Constraint::partial_unique(&model, columns, conditions);
+        ctx.emit(out, PatternId::U1, constraint, stmt);
+    }
+}
+
+/// Strips a leading `not`, reporting whether it flipped the polarity.
+fn unwrap_not(test: &Expr) -> (&Expr, bool) {
+    match &test.kind {
+        ExprKind::UnaryOp { op: UnaryOp::Not, operand } => (operand, true),
+        _ => (test, false),
+    }
+}
+
+/// Does any statement in the branch save a record of `model`?
+///
+/// With [`CFinderOptions::data_dependency_checks`] disabled (ablation),
+/// *any* save in the branch satisfies the condition — the naive matching
+/// the paper argues against in §3.3.2.
+fn branch_saves_model(ctx: &DetectCtx<'_>, branch: &[Stmt], model: &str) -> bool {
+    let mut found = false;
+    let save_pat = p_save();
+    walk_shallow(branch, &mut |stmt| {
+        if found {
+            return;
+        }
+        for root in own_exprs(stmt) {
+            for m in match_bfs_all(root, &save_pat) {
+                if !ctx.options.data_dependency_checks {
+                    found = true;
+                    return;
+                }
+                let Some(subject) = m.subject else { continue };
+                if let Some(res) = ctx.resolver.resolve(subject, stmt.id) {
+                    if res.model() == model {
+                        found = true;
+                        return;
+                    }
+                }
+            }
+        }
+    });
+    found
+}
+
+/// Does the branch raise or log an error?
+fn branch_has_error(ctx: &DetectCtx<'_>, branch: &[Stmt]) -> bool {
+    let _ = ctx;
+    let mut found = false;
+    let err_pat = p_error_call();
+    walk_shallow(branch, &mut |stmt| {
+        if found {
+            return;
+        }
+        if matches!(stmt.kind, StmtKind::Raise { .. }) {
+            found = true;
+            return;
+        }
+        for root in own_exprs(stmt) {
+            if match_bfs(root, &err_pat).is_some() {
+                found = true;
+                return;
+            }
+        }
+    });
+    found
+}
+
+// --- PA_u2: APIs with uniqueness assumptions ----------------------------------
+
+fn detect_u2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    let get_pat = p_get();
+    for root in own_exprs(stmt) {
+        for m in match_bfs_all(root, &get_pat) {
+            let ExprKind::Call { func, args, keywords } = &m.node.kind else { continue };
+            // Establish the queried model and base (implicit-join) columns.
+            let base = if matches!(func.kind, ExprKind::Name(_)) {
+                // `get_object_or_404(Model, col=v)`.
+                let Some(first) = args.first() else { continue };
+                match ctx.resolver.resolve(first, stmt.id) {
+                    Some(Resolution::Class(model)) => {
+                        Some(Resolution::Query { model, cols: Vec::new() })
+                    }
+                    other => other,
+                }
+            } else {
+                m.subject.and_then(|s| ctx.resolver.resolve(s, stmt.id))
+            };
+            let Some(Resolution::Query { model, cols }) = base else { continue };
+            let mut all_cols = cols;
+            all_cols.extend(
+                kwarg_bindings(keywords)
+                    .into_iter()
+                    .filter(|b| b.column != "defaults"),
+            );
+            if all_cols.is_empty() {
+                continue;
+            }
+            let Some((columns, conditions)) =
+                split_cols(ctx.resolver.registry(), &model, &all_cols, ctx.options)
+            else {
+                continue;
+            };
+            let constraint = Constraint::partial_unique(&model, columns, conditions);
+            ctx.emit(out, PatternId::U2, constraint, stmt);
+        }
+    }
+}
+
+// --- PA_n1: invocation on a column without NULL check --------------------------
+
+fn detect_n1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    for root in own_exprs(stmt) {
+        for e in bfs_exprs(root) {
+            let ExprKind::Attribute { value: base, .. } = &e.kind else { continue };
+            // The accessed base must itself be a column access.
+            let candidate = column_of_access(ctx, base, stmt);
+            let Some((model, column)) = candidate else { continue };
+            if column == "id" {
+                continue;
+            }
+            // C-D: no dominating NULL check on the base's access path.
+            // (Skipped entirely when the null-guard ablation is on, which
+            // reintroduces the false positives the check exists to prune.)
+            if ctx.options.null_guard_analysis {
+                if let Some(path) = AccessPath::of_expr(base) {
+                    if ctx.guards.is_guarded(base.id, &path) {
+                        continue;
+                    }
+                }
+            }
+            ctx.emit(out, PatternId::N1, Constraint::not_null(model, column), stmt);
+        }
+    }
+}
+
+/// If `base` denotes a column (scalar field access, or an instance obtained
+/// through a FK field), returns `(owning model, db column)`.
+fn column_of_access(ctx: &DetectCtx<'_>, base: &Expr, stmt: &Stmt) -> Option<(String, String)> {
+    // Scalar column access: `order.total` → Field.
+    if let Some(Resolution::Field { model, field }) = ctx.resolver.resolve(base, stmt.id) {
+        let column = db_column(ctx.resolver.registry(), &model, &field);
+        return Some((model, column));
+    }
+    // FK-instance access: `line.variant` resolves to Instance(Product), but
+    // invoking on it requires the FK column `variant_id` to be non-null.
+    let ExprKind::Attribute { value: recv, attr } = &base.kind else { return None };
+    let Some(Resolution::Instance(model)) = ctx.resolver.resolve(recv, stmt.id) else {
+        return None;
+    };
+    let (owner, field) = ctx.resolver.registry().field_of(&model, attr)?;
+    if matches!(field.kind, FieldKind::ForeignKey { .. }) && &field.name == attr {
+        Some((owner.name.clone(), field.column_name()))
+    } else {
+        None
+    }
+}
+
+// --- PA_n2: check NULL before assignment / error-handling ----------------------
+
+fn detect_n2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    let StmtKind::If { test, body: then, orelse } = &stmt.kind else { return };
+    let (pos, neg) = guard_paths(test);
+
+    // `if <path> is None:` → then-branch must raise or assign the path.
+    for path in &neg {
+        if branch_has_error(ctx, then) || branch_assigns_path(then, path) {
+            if let Some((model, column)) = field_of_path(ctx, path, stmt) {
+                ctx.emit(out, PatternId::N2, Constraint::not_null(model, column), stmt);
+            }
+        }
+    }
+    // `if <path> is not None: … else: raise` → same assumption.
+    for path in &pos {
+        if branch_has_error(ctx, orelse) && !orelse.is_empty() {
+            if let Some((model, column)) = field_of_path(ctx, path, stmt) {
+                ctx.emit(out, PatternId::N2, Constraint::not_null(model, column), stmt);
+            }
+        }
+    }
+}
+
+/// Resolves an access path's last segment as a model column:
+/// `["self", "creator"]` → `(Order, creator_id)`.
+fn field_of_path(ctx: &DetectCtx<'_>, path: &AccessPath, stmt: &Stmt) -> Option<(String, String)> {
+    let parts = &path.0;
+    if parts.len() < 2 {
+        return None; // a bare local, not a column
+    }
+    let prefix = &parts[..parts.len() - 1];
+    let last = parts.last().expect("len >= 2");
+    let base = ctx.resolver.resolve_path(prefix, stmt.id)?;
+    let Resolution::Instance(model) = base else { return None };
+    let (owner, field) = ctx.resolver.registry().field_of(&model, last)?;
+    Some((owner.name.clone(), field.column_name()))
+}
+
+/// Does the branch assign (any value) to exactly this path?
+fn branch_assigns_path(branch: &[Stmt], path: &AccessPath) -> bool {
+    let mut found = false;
+    walk_shallow(branch, &mut |stmt| {
+        if found {
+            return;
+        }
+        if let StmtKind::Assign { targets, .. } = &stmt.kind {
+            if targets.iter().any(|t| AccessPath::of_expr(t).as_ref() == Some(path)) {
+                found = true;
+            }
+        }
+    });
+    found
+}
+
+// --- PA_f1 / PA_f2: foreign-key reference patterns ------------------------------
+
+fn detect_f1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    // (a) `dep.col = ref.id`
+    if let StmtKind::Assign { targets, value } = &stmt.kind {
+        if let Some((ref_model, _)) = pk_field_of(ctx, value, stmt) {
+            for t in targets {
+                let ExprKind::Attribute { value: recv, attr } = &t.kind else { continue };
+                let Some(Resolution::Instance(model)) = ctx.resolver.resolve(recv, stmt.id) else {
+                    continue;
+                };
+                let Some((owner, field)) = ctx.resolver.registry().field_of(&model, attr) else {
+                    continue;
+                };
+                if matches!(field.kind, FieldKind::ForeignKey { .. }) {
+                    continue; // already a FK in the model code
+                }
+                let c = Constraint::foreign_key(&owner.name, field.column_name(), &ref_model, "id");
+                ctx.emit(out, PatternId::F1, c, stmt);
+            }
+        }
+    }
+    // (b) `Dep.objects.filter(col=ref.id)` / `create(col=ref.id)`
+    for root in own_exprs(stmt) {
+        for e in bfs_exprs(root) {
+            let ExprKind::Call { func, keywords, .. } = &e.kind else { continue };
+            let ExprKind::Attribute { value: recv, attr: method } = &func.kind else { continue };
+            if !crate::syntax::api::FILTER.contains(&method.as_str())
+                && !crate::syntax::api::SAVE.contains(&method.as_str())
+                && !crate::syntax::api::UNIQUE_GET.contains(&method.as_str())
+            {
+                continue;
+            }
+            let Some(res) = ctx.resolver.resolve(recv, stmt.id) else { continue };
+            let dep_model = match res {
+                Resolution::Query { model, .. } => model,
+                Resolution::Class(model) => model,
+                _ => continue,
+            };
+            for kw in keywords {
+                let Some(name) = kw.name.as_deref() else { continue };
+                let col = name.split("__").next().unwrap_or(name);
+                if col == "pk" || col == "id" {
+                    continue; // that's PA_f2's shape
+                }
+                let Some((ref_model, _)) = pk_field_of(ctx, &kw.value, stmt) else { continue };
+                let Some((owner, field)) = ctx.resolver.registry().field_of(&dep_model, col)
+                else {
+                    continue;
+                };
+                if matches!(field.kind, FieldKind::ForeignKey { .. }) {
+                    continue;
+                }
+                let c = Constraint::foreign_key(&owner.name, field.column_name(), &ref_model, "id");
+                ctx.emit(out, PatternId::F1, c, stmt);
+            }
+        }
+    }
+}
+
+fn detect_f2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    let get_pat = p_get();
+    for root in own_exprs(stmt) {
+        for m in match_bfs_all(root, &get_pat) {
+            let ExprKind::Call { func, args, keywords } = &m.node.kind else { continue };
+            let ref_model = if matches!(func.kind, ExprKind::Name(_)) {
+                let Some(first) = args.first() else { continue };
+                match ctx.resolver.resolve(first, stmt.id) {
+                    Some(Resolution::Class(model)) => model,
+                    _ => continue,
+                }
+            } else {
+                match m.subject.and_then(|s| ctx.resolver.resolve(s, stmt.id)) {
+                    Some(Resolution::Query { model, .. }) => model,
+                    _ => continue,
+                }
+            };
+            for kw in keywords {
+                if !matches!(kw.name.as_deref(), Some("pk") | Some("id")) {
+                    continue;
+                }
+                // The argument must be a column of another (dependent) model.
+                let Some(Resolution::Field { model: dep_model, field }) =
+                    ctx.resolver.resolve(&kw.value, stmt.id)
+                else {
+                    continue;
+                };
+                if field == "id" {
+                    continue;
+                }
+                let registry = ctx.resolver.registry();
+                // Skip when the dependent field is already a declared FK.
+                if let Some((_, f)) = registry.field_of(&dep_model, &field) {
+                    if matches!(f.kind, FieldKind::ForeignKey { .. }) {
+                        continue;
+                    }
+                }
+                let column = db_column(registry, &dep_model, &field);
+                let c = Constraint::foreign_key(&dep_model, column, &ref_model, "id");
+                ctx.emit(out, PatternId::F2, c, stmt);
+            }
+        }
+    }
+}
+
+/// Resolves an expression to `(model, "id")` when it denotes a primary key
+/// (`voucher.id`, `voucher.pk`).
+fn pk_field_of(ctx: &DetectCtx<'_>, expr: &Expr, stmt: &Stmt) -> Option<(String, String)> {
+    match ctx.resolver.resolve(expr, stmt.id)? {
+        Resolution::Field { model, field } if field == "id" => Some((model, field)),
+        _ => None,
+    }
+}
+
+// --- shared helpers -------------------------------------------------------------
+
+/// Splits query column bindings into unique columns and partial-unique
+/// conditions; returns `None` when the lookup is by primary key or no
+/// plain column remains.
+///
+/// Ablations: with `composite_unique` off, implicit related-manager join
+/// columns are dropped (yielding an over-narrow constraint); with
+/// `partial_unique` off, fixed-value filters are discarded instead of
+/// becoming conditions (yielding an over-broad constraint).
+fn split_cols(
+    registry: &ModelRegistry,
+    model: &str,
+    cols: &[ColBinding],
+    options: &CFinderOptions,
+) -> Option<(Vec<String>, Vec<Condition>)> {
+    let mut columns = Vec::new();
+    let mut conditions = Vec::new();
+    for b in cols {
+        if b.column == "pk" || b.column == "id" {
+            return None;
+        }
+        if b.implicit && !options.composite_unique {
+            continue;
+        }
+        let column = db_column(registry, model, &b.column);
+        match &b.fixed {
+            Some(lit) if options.partial_unique => {
+                conditions.push(Condition { column, value: lit.clone() })
+            }
+            Some(_) => {}
+            None => columns.push(column),
+        }
+    }
+    if columns.is_empty() {
+        return None;
+    }
+    Some((columns, conditions))
+}
+
+/// Maps a field name to its database column name (`voucher` → `voucher_id`
+/// for FKs); unknown names pass through.
+fn db_column(registry: &ModelRegistry, model: &str, name: &str) -> String {
+    match registry.field_of(model, name) {
+        Some((_, field)) => field.column_name(),
+        None => name.to_string(),
+    }
+}
+
+/// Pre-order statement walk that descends into control structures but NOT
+/// into nested `def`/`class` bodies (those are separate analysis scopes).
+pub fn walk_shallow<'a>(body: &'a [Stmt], f: &mut dyn FnMut(&'a Stmt)) {
+    for s in body {
+        f(s);
+        match &s.kind {
+            StmtKind::If { body, orelse, .. }
+            | StmtKind::For { body, orelse, .. }
+            | StmtKind::While { body, orelse, .. } => {
+                walk_shallow(body, f);
+                walk_shallow(orelse, f);
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                walk_shallow(body, f);
+                for h in handlers {
+                    walk_shallow(&h.body, f);
+                }
+                walk_shallow(orelse, f);
+                walk_shallow(finalbody, f);
+            }
+            StmtKind::With { body, .. } => walk_shallow(body, f),
+            _ => {}
+        }
+    }
+}
+
+/// The expressions a statement directly owns (not those of nested
+/// statements).
+pub fn own_exprs(stmt: &Stmt) -> Vec<&Expr> {
+    match &stmt.kind {
+        StmtKind::Assign { targets, value } => {
+            let mut v: Vec<&Expr> = targets.iter().collect();
+            v.push(value);
+            v
+        }
+        StmtKind::AugAssign { target, value, .. } => vec![target, value],
+        StmtKind::If { test, .. } | StmtKind::While { test, .. } => vec![test],
+        StmtKind::For { target, iter, .. } => vec![target, iter],
+        StmtKind::With { items, .. } => {
+            let mut v = Vec::new();
+            for i in items {
+                v.push(&i.context);
+                if let Some(t) = &i.target {
+                    v.push(t);
+                }
+            }
+            v
+        }
+        StmtKind::Return { value } => value.iter().collect(),
+        StmtKind::Raise { exc, cause } => exc.iter().chain(cause.iter()).collect(),
+        StmtKind::Expr { value } => vec![value],
+        StmtKind::Assert { test, msg } => {
+            let mut v = vec![test];
+            v.extend(msg.iter());
+            v
+        }
+        StmtKind::Delete { targets } => targets.iter().collect(),
+        StmtKind::FunctionDef(f) => f.decorators.iter().collect(),
+        StmtKind::ClassDef(c) => c.decorators.iter().chain(c.bases.iter()).collect(),
+        _ => Vec::new(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detect::{AppSource, CFinder, SourceFile};
+    use cfinder_schema::Schema;
+
+    const MODELS: &str = r#"
+class WishList(models.Model):
+    key = models.CharField(max_length=16)
+
+
+class Product(models.Model):
+    title = models.CharField(max_length=100)
+    is_public = models.BooleanField(default=True)
+
+
+class Voucher(models.Model):
+    code = models.CharField(max_length=32)
+    active = models.BooleanField(default=True)
+
+
+class Order(models.Model):
+    number = models.CharField(max_length=32)
+    total = models.DecimalField(max_digits=12, decimal_places=2, null=True)
+    creator = models.CharField(max_length=64)
+    voucher_id = models.IntegerField(null=True)
+
+
+class WishListLine(models.Model):
+    wishlist = models.ForeignKey(WishList, related_name='lines')
+    product = models.ForeignKey(Product, null=True)
+    quantity = models.IntegerField(default=1)
+"#;
+
+    /// Analyzes `code` together with the shared model file, against an
+    /// empty declared schema, and returns the missing-constraint strings.
+    fn missing(code: &str) -> Vec<String> {
+        missing_with_pattern(code).into_iter().map(|(c, _)| c).collect()
+    }
+
+    fn missing_with_pattern(code: &str) -> Vec<(String, Vec<PatternId>)> {
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("views.py", code),
+            ],
+        );
+        let report = CFinder::new().analyze(&app, &Schema::new());
+        assert!(report.parse_errors.is_empty(), "parse errors: {:?}", report.parse_errors);
+        report
+            .missing
+            .iter()
+            .map(|m| (m.constraint.to_string(), m.patterns()))
+            .collect()
+    }
+
+    fn assert_detected(code: &str, expected: &str, pattern: PatternId) {
+        let found = missing_with_pattern(code);
+        let hit = found.iter().find(|(c, _)| c == expected);
+        match hit {
+            Some((_, pats)) => assert!(
+                pats.contains(&pattern),
+                "`{expected}` found but via {pats:?}, expected {pattern}"
+            ),
+            None => panic!("`{expected}` not detected; got {found:?}"),
+        }
+    }
+
+    fn assert_not_detected(code: &str, unexpected: &str) {
+        let found = missing(code);
+        assert!(
+            !found.iter().any(|c| c == unexpected),
+            "`{unexpected}` should not be detected; got {found:?}"
+        );
+    }
+
+    // --- PA_u1 ---------------------------------------------------------------
+
+    #[test]
+    fn u1_exists_then_raise() {
+        assert_detected(
+            "def add(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise Error('dup')\n    Voucher.objects.create(code=code)\n",
+            "Voucher Unique (code)",
+            PatternId::U1,
+        );
+    }
+
+    #[test]
+    fn u1_not_exists_then_save() {
+        assert_detected(
+            "def add(code):\n    if not Voucher.objects.filter(code=code).exists():\n        Voucher.objects.create(code=code)\n",
+            "Voucher Unique (code)",
+            PatternId::U1,
+        );
+    }
+
+    #[test]
+    fn u1_len_zero_then_save_composite() {
+        // The paper's running example: composite (wishlist, product) via the
+        // implicit related-manager join.
+        let code = "def move(key, product):\n    wl = WishList.objects.get(key=key)\n    lines = wl.lines.filter(product=product)\n    if len(lines) == 0:\n        wl.lines.create(product=product)\n";
+        assert_detected(code, "WishListLine Unique (product_id, wishlist_id)", PatternId::U1);
+    }
+
+    #[test]
+    fn u1_count_gt_zero_then_raise() {
+        let code = "def check(wl, product):\n    to_wl = WishList.objects.get(key=wl)\n    if to_wl.lines.filter(product=product).count() > 0:\n        raise Error('already containing product')\n";
+        assert_detected(code, "WishListLine Unique (product_id, wishlist_id)", PatternId::U1);
+    }
+
+    #[test]
+    fn u1_exists_else_save() {
+        assert_detected(
+            "def add(code):\n    if Voucher.objects.filter(code=code).exists():\n        pass\n    else:\n        Voucher.objects.create(code=code)\n",
+            "Voucher Unique (code)",
+            PatternId::U1,
+        );
+    }
+
+    #[test]
+    fn u1_requires_matching_model_in_save() {
+        // Saving a *different* table does not satisfy the data dependency.
+        assert_not_detected(
+            "def add(code, title):\n    if not Voucher.objects.filter(code=code).exists():\n        Product.objects.create(title=title)\n",
+            "Voucher Unique (code)",
+        );
+    }
+
+    #[test]
+    fn u1_no_branch_action_no_detection() {
+        assert_not_detected(
+            "def peek(code):\n    if Voucher.objects.filter(code=code).exists():\n        x = 1\n",
+            "Voucher Unique (code)",
+        );
+    }
+
+    #[test]
+    fn u1_partial_unique_from_fixed_filter() {
+        assert_detected(
+            "def add(code):\n    if Voucher.objects.filter(code=code, active=True).exists():\n        raise Error('dup')\n",
+            "Voucher Unique (code) where active = TRUE",
+            PatternId::U1,
+        );
+    }
+
+    #[test]
+    fn u1_truthiness_queryset() {
+        assert_detected(
+            "def add(code):\n    if Voucher.objects.filter(code=code):\n        raise Error('dup')\n",
+            "Voucher Unique (code)",
+            PatternId::U1,
+        );
+    }
+
+    #[test]
+    fn u1_pk_lookup_skipped() {
+        assert_not_detected(
+            "def add(pk):\n    if Voucher.objects.filter(pk=pk).exists():\n        raise Error('dup')\n",
+            "Voucher Unique (pk)",
+        );
+    }
+
+    // --- PA_u2 ---------------------------------------------------------------
+
+    #[test]
+    fn u2_get_by_column() {
+        assert_detected(
+            "def dashboard(request):\n    order = Order.objects.get(number=request.GET['order_number'])\n    return order\n",
+            "Order Unique (number)",
+            PatternId::U2,
+        );
+    }
+
+    #[test]
+    fn u2_get_object_or_404() {
+        assert_detected(
+            "def show(code):\n    v = get_object_or_404(Voucher, code=code)\n    return v\n",
+            "Voucher Unique (code)",
+            PatternId::U2,
+        );
+    }
+
+    #[test]
+    fn u2_get_by_pk_skipped() {
+        assert_not_detected(
+            "def show(pk):\n    v = Voucher.objects.get(pk=pk)\n    return v\n",
+            "Voucher Unique (pk)",
+        );
+    }
+
+    #[test]
+    fn u2_get_or_create_defaults_excluded() {
+        assert_detected(
+            "def ensure(code):\n    v, created = Voucher.objects.get_or_create(code=code, defaults={'active': True})\n    return v\n",
+            "Voucher Unique (code)",
+            PatternId::U2,
+        );
+    }
+
+    #[test]
+    fn u2_dict_get_not_matched() {
+        // `config.get('key')` has no model receiver: no detection.
+        let found = missing("def read(config):\n    return config.get('key')\n");
+        assert!(found.iter().all(|c| !c.contains("Unique")), "{found:?}");
+    }
+
+    // --- PA_n1 ---------------------------------------------------------------
+
+    #[test]
+    fn n1_method_on_column() {
+        assert_detected(
+            "def fmt(pk):\n    order = Order.objects.get(pk=pk)\n    return order.total.quantize(TWO)\n",
+            "Order Not NULL (total)",
+            PatternId::N1,
+        );
+    }
+
+    #[test]
+    fn n1_guarded_invocation_excluded() {
+        assert_not_detected(
+            "def fmt(pk):\n    order = Order.objects.get(pk=pk)\n    if order.total is not None:\n        return order.total.quantize(TWO)\n    return None\n",
+            "Order Not NULL (total)",
+        );
+    }
+
+    #[test]
+    fn n1_fk_instance_invocation() {
+        // Saleor example: line.variant.is_preorder_active() implies the FK
+        // column is not-null.
+        assert_detected(
+            "def check(pk):\n    for line in WishListLine.objects.all():\n        if line.product.is_public:\n            return line\n",
+            "WishListLine Not NULL (product_id)",
+            PatternId::N1,
+        );
+    }
+
+    #[test]
+    fn n1_guard_via_truthiness() {
+        assert_not_detected(
+            "def check(pk):\n    for line in WishListLine.objects.all():\n        if line.product and line.product.is_public:\n            return line\n",
+            "WishListLine Not NULL (product_id)",
+        );
+    }
+
+    #[test]
+    fn n1_early_return_guard() {
+        assert_not_detected(
+            "def fmt(pk):\n    order = Order.objects.get(pk=pk)\n    if order.total is None:\n        return None\n    return order.total.quantize(TWO)\n",
+            "Order Not NULL (total)",
+        );
+    }
+
+    // --- PA_n2 ---------------------------------------------------------------
+
+    #[test]
+    fn n2_check_null_then_raise() {
+        // Shuup example: anonymous orders not allowed.
+        assert_detected(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def validate(self):\n        if not self.creator:\n            raise Error('Anonymous orders not allowed.')\n",
+            "Order Not NULL (creator)",
+            PatternId::N2,
+        );
+    }
+
+    #[test]
+    fn n2_check_is_none_then_assign() {
+        assert_detected(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def fix(self):\n        if self.creator is None:\n            self.creator = 'system'\n",
+            "Order Not NULL (creator)",
+            PatternId::N2,
+        );
+    }
+
+    #[test]
+    fn n2_not_none_else_raise() {
+        assert_detected(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def validate(self):\n        if self.creator is not None:\n            pass\n        else:\n            raise Error('missing creator')\n",
+            "Order Not NULL (creator)",
+            PatternId::N2,
+        );
+    }
+
+    #[test]
+    fn n2_local_variable_not_a_column() {
+        assert_not_detected(
+            "def f(x):\n    if x is None:\n        raise Error('x')\n",
+            "x Not NULL (x)",
+        );
+    }
+
+    #[test]
+    fn n2_check_without_action_not_detected() {
+        let found = missing(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def peek(self):\n        if self.creator is None:\n            x = 1\n        return x\n",
+        );
+        assert!(!found.iter().any(|c| c == "Order Not NULL (creator)"), "{found:?}");
+    }
+
+    // --- PA_n3 ---------------------------------------------------------------
+
+    #[test]
+    fn n3_default_implies_not_null() {
+        // quantity has default=1 in the shared models.
+        let found = missing("x = 1\n");
+        assert!(
+            found.iter().any(|c| c == "WishListLine Not NULL (quantity)"),
+            "{found:?}"
+        );
+    }
+
+    #[test]
+    fn n3_explicit_none_assignment_excludes() {
+        assert_not_detected(
+            "def clear(pk):\n    line = WishListLine.objects.get(pk=pk)\n    line.quantity = None\n    line.save()\n",
+            "WishListLine Not NULL (quantity)",
+        );
+    }
+
+    #[test]
+    fn n3_null_true_field_excluded() {
+        // Product.is_public has a default and no null=True → detected;
+        // a field with null=True must not be.
+        let app = AppSource::new(
+            "t",
+            vec![SourceFile::new(
+                "models.py",
+                "class A(models.Model):\n    x = models.IntegerField(default=1, null=True)\n    y = models.IntegerField(default=2)\n",
+            )],
+        );
+        let report = CFinder::new().analyze(&app, &Schema::new());
+        let missing: Vec<String> =
+            report.missing.iter().map(|m| m.constraint.to_string()).collect();
+        assert!(!missing.iter().any(|c| c == "A Not NULL (x)"), "{missing:?}");
+        assert!(missing.iter().any(|c| c == "A Not NULL (y)"), "{missing:?}");
+    }
+
+    // --- PA_f1 / PA_f2 ---------------------------------------------------------
+
+    #[test]
+    fn f1_assign_pk_to_column() {
+        // Oscar example: order_discount.voucher_id = voucher.id.
+        assert_detected(
+            "def apply(pk, vpk):\n    order = Order.objects.get(pk=pk)\n    voucher = Voucher.objects.get(pk=vpk)\n    order.voucher_id = voucher.id\n    order.save()\n",
+            "Order FK (voucher_id) ref Voucher(id)",
+            PatternId::F1,
+        );
+    }
+
+    #[test]
+    fn f1_filter_kwarg_pk() {
+        assert_detected(
+            "def discounts(vpk):\n    voucher = Voucher.objects.get(pk=vpk)\n    return Order.objects.filter(voucher_id=voucher.id)\n",
+            "Order FK (voucher_id) ref Voucher(id)",
+            PatternId::F1,
+        );
+    }
+
+    #[test]
+    fn f2_get_pk_from_column() {
+        // Saleor example: Product.get(id=instance.product_id) — here with
+        // Order.voucher_id referencing Voucher.
+        assert_detected(
+            "def voucher_of(pk):\n    order = Order.objects.get(pk=pk)\n    return Voucher.objects.get(id=order.voucher_id)\n",
+            "Order FK (voucher_id) ref Voucher(id)",
+            PatternId::F2,
+        );
+    }
+
+    #[test]
+    fn f1_existing_fk_field_not_detected() {
+        // `wishlist` is already a ForeignKey in the model: no detection.
+        assert_not_detected(
+            "def link(line_pk, wl_pk):\n    line = WishListLine.objects.get(pk=line_pk)\n    wl = WishList.objects.get(pk=wl_pk)\n    line.wishlist = wl\n    line.save()\n",
+            "WishListLine FK (wishlist_id) ref WishList(id)",
+        );
+    }
+
+    #[test]
+    fn f1_non_pk_value_not_detected() {
+        assert_not_detected(
+            "def weird(pk, vpk):\n    order = Order.objects.get(pk=pk)\n    voucher = Voucher.objects.get(pk=vpk)\n    order.voucher_id = voucher.code\n",
+            "Order FK (voucher_id) ref Voucher(id)",
+        );
+    }
+
+    // --- diffing -----------------------------------------------------------------
+
+    #[test]
+    fn declared_constraints_are_filtered() {
+        use cfinder_schema::{Column, ColumnType, Constraint, Table};
+        let mut declared = Schema::new();
+        declared.add_table(
+            Table::new("Voucher")
+                .with_column(Column::new("code", ColumnType::VarChar(32)))
+                .with_column(Column::new("active", ColumnType::Boolean)),
+        );
+        declared.add_constraint(Constraint::unique("Voucher", ["code"])).unwrap();
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new(
+                    "views.py",
+                    "def add(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise Error('dup')\n",
+                ),
+            ],
+        );
+        let report = CFinder::new().analyze(&app, &declared);
+        assert!(report
+            .existing_covered
+            .contains(&Constraint::unique("Voucher", ["code"])));
+        assert!(!report
+            .missing
+            .iter()
+            .any(|m| m.constraint == Constraint::unique("Voucher", ["code"])));
+    }
+
+    #[test]
+    fn detection_snippets_point_at_code() {
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new(
+                    "views.py",
+                    "def add(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise Error('dup')\n",
+                ),
+            ],
+        );
+        let report = CFinder::new().analyze(&app, &Schema::new());
+        let det = report
+            .detections
+            .iter()
+            .find(|d| d.pattern == PatternId::U1)
+            .expect("U1 detection");
+        assert_eq!(det.file, "views.py");
+        assert!(det.snippet.contains("Voucher.objects.filter"), "{}", det.snippet);
+        assert_eq!(det.span.start.line, 2);
+    }
+}
+
+// --- extension patterns (off by default) ------------------------------------------
+
+/// PA_x1 (extension): a declared `OneToOneField` is a one-to-one relation,
+/// so its FK column must be unique. Runs at registry level like PA_n3.
+pub fn detect_x1(registry: &ModelRegistry, out: &mut Vec<Detection>) {
+    for model in registry.models() {
+        for field in &model.fields {
+            if let FieldKind::ForeignKey { one_to_one: true, .. } = &field.kind {
+                out.push(Detection {
+                    pattern: PatternId::X1,
+                    constraint: Constraint::unique(&model.name, [field.column_name()]),
+                    file: model.file.clone(),
+                    span: cfinder_pyast::Span::DUMMY,
+                    snippet: format!("{} = models.OneToOneField(…)", field.name),
+                });
+            }
+        }
+    }
+}
+
+/// PA_x2 (extension, §4.3.1's "some fields are used in the URL as the
+/// identifier" improvement): a column interpolated into a URL-shaped
+/// f-string (`f'/orders/{order.number}/'`) implies it identifies the row.
+pub fn detect_x2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    if !ctx.options.ext_url_identifier {
+        return;
+    }
+    for root in own_exprs(stmt) {
+        for e in bfs_exprs(root) {
+            let ExprKind::FString { raw, parts } = &e.kind else { continue };
+            // URL shape: a path with at least two segments and a hole
+            // directly between slashes.
+            if !raw.starts_with('/') || !raw.contains("/{") {
+                continue;
+            }
+            for part in parts {
+                let Some(Resolution::Field { model, field }) =
+                    ctx.resolver.resolve(part, stmt.id)
+                else {
+                    continue;
+                };
+                if field == "id" {
+                    continue;
+                }
+                let column = db_column(ctx.resolver.registry(), &model, &field);
+                ctx.emit(out, PatternId::X2, Constraint::unique(&model, [column]), stmt);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod extension_tests {
+    use crate::detect::{AppSource, CFinder, CFinderOptions, SourceFile};
+    use cfinder_schema::Schema;
+
+    fn analyze(options: CFinderOptions, models: &str, code: &str) -> Vec<String> {
+        let app = AppSource::new(
+            "t",
+            vec![SourceFile::new("models.py", models), SourceFile::new("views.py", code)],
+        );
+        CFinder::with_options(options)
+            .analyze(&app, &Schema::new())
+            .missing
+            .iter()
+            .map(|m| m.constraint.to_string())
+            .collect()
+    }
+
+    const O2O: &str = "class User(models.Model):\n    name = models.CharField(max_length=64)\n\n\nclass Wallet(models.Model):\n    owner = models.OneToOneField(User, related_name='wallet')\n";
+
+    #[test]
+    fn x1_off_by_default() {
+        let found = analyze(CFinderOptions::default(), O2O, "x = 1\n");
+        assert!(!found.iter().any(|c| c.contains("Wallet Unique")), "{found:?}");
+    }
+
+    #[test]
+    fn x1_detects_one_to_one_unique() {
+        let opts = CFinderOptions { ext_one_to_one_unique: true, ..CFinderOptions::default() };
+        let found = analyze(opts, O2O, "x = 1\n");
+        assert!(found.iter().any(|c| c == "Wallet Unique (owner_id)"), "{found:?}");
+    }
+
+    const URL_MODELS: &str = "class Order(models.Model):\n    number = models.CharField(max_length=32)\n";
+    const URL_CODE: &str = "def order_url(pk):\n    order = Order.objects.get(pk=pk)\n    return f'/orders/{order.number}/'\n";
+
+    #[test]
+    fn x2_off_by_default() {
+        let found = analyze(CFinderOptions::default(), URL_MODELS, URL_CODE);
+        assert!(!found.iter().any(|c| c == "Order Unique (number)"), "{found:?}");
+    }
+
+    #[test]
+    fn x2_detects_url_identifier() {
+        let opts = CFinderOptions { ext_url_identifier: true, ..CFinderOptions::default() };
+        let found = analyze(opts, URL_MODELS, URL_CODE);
+        assert!(found.iter().any(|c| c == "Order Unique (number)"), "{found:?}");
+    }
+
+    #[test]
+    fn x2_ignores_non_url_fstrings() {
+        let opts = CFinderOptions { ext_url_identifier: true, ..CFinderOptions::default() };
+        let code = "def label(pk):\n    order = Order.objects.get(pk=pk)\n    return f'order {order.number}'\n";
+        let found = analyze(opts, URL_MODELS, code);
+        assert!(!found.iter().any(|c| c == "Order Unique (number)"), "{found:?}");
+    }
+
+    #[test]
+    fn x2_ignores_primary_key_holes() {
+        let opts = CFinderOptions { ext_url_identifier: true, ..CFinderOptions::default() };
+        let code = "def url(pk):\n    order = Order.objects.get(pk=pk)\n    return f'/orders/{order.id}/'\n";
+        let found = analyze(opts, URL_MODELS, code);
+        assert!(found.is_empty(), "{found:?}");
+    }
+}

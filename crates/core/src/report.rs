@@ -1,0 +1,229 @@
+//! Detection and analysis-report types.
+
+use std::fmt;
+use std::time::Duration;
+
+use cfinder_pyast::Span;
+use cfinder_schema::{Constraint, ConstraintSet, ConstraintType};
+use serde::{Deserialize, Serialize};
+
+/// The seven code patterns of Figure 6.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatternId {
+    /// PA_u1: check existence before save / error-handling.
+    U1,
+    /// PA_u2: APIs implemented with uniqueness assumptions (`get`, …).
+    U2,
+    /// PA_n1: method/field invocation on a column without a NULL check.
+    N1,
+    /// PA_n2: check NULL before assignment / error-handling.
+    N2,
+    /// PA_n3: field with a default value.
+    N3,
+    /// PA_f1: dependent column assigned/filtered with a referenced PK.
+    F1,
+    /// PA_f2: referenced PK looked up with a dependent column.
+    F2,
+    /// Extension (off by default): `OneToOneField` declarations imply a
+    /// unique constraint on the FK column.
+    X1,
+    /// Extension (off by default, §4.3.1): fields interpolated into URL
+    /// paths are used as identifiers and imply uniqueness.
+    X2,
+}
+
+impl PatternId {
+    /// All patterns, grouped by constraint type as in Table 6.
+    pub const ALL: [PatternId; 7] = [
+        PatternId::U1,
+        PatternId::U2,
+        PatternId::N1,
+        PatternId::N2,
+        PatternId::N3,
+        PatternId::F1,
+        PatternId::F2,
+    ];
+
+    /// The constraint type this pattern infers.
+    pub fn constraint_type(&self) -> ConstraintType {
+        match self {
+            PatternId::U1 | PatternId::U2 | PatternId::X1 | PatternId::X2 => {
+                ConstraintType::Unique
+            }
+            PatternId::N1 | PatternId::N2 | PatternId::N3 => ConstraintType::NotNull,
+            PatternId::F1 | PatternId::F2 => ConstraintType::ForeignKey,
+        }
+    }
+
+    /// Paper-style label (`PA_u1`, …).
+    pub fn label(&self) -> &'static str {
+        match self {
+            PatternId::U1 => "PA_u1",
+            PatternId::U2 => "PA_u2",
+            PatternId::N1 => "PA_n1",
+            PatternId::N2 => "PA_n2",
+            PatternId::N3 => "PA_n3",
+            PatternId::F1 => "PA_f1",
+            PatternId::F2 => "PA_f2",
+            PatternId::X1 => "PA_x1",
+            PatternId::X2 => "PA_x2",
+        }
+    }
+}
+
+impl fmt::Display for PatternId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One pattern match that implies a constraint, with its code location —
+/// the "detailed code pattern information" CFinder reports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Detection {
+    /// Which pattern matched.
+    pub pattern: PatternId,
+    /// The inferred constraint (normalized to database column names).
+    pub constraint: Constraint,
+    /// Source file.
+    pub file: String,
+    /// Location of the matched snippet.
+    pub span: Span,
+    /// The matched snippet, rendered.
+    pub snippet: String,
+}
+
+/// A constraint absent from the declared schema, with the detections that
+/// support it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissingConstraint {
+    /// The missing constraint.
+    pub constraint: Constraint,
+    /// Supporting detections (at least one).
+    pub detections: Vec<Detection>,
+}
+
+impl MissingConstraint {
+    /// Patterns that detected this constraint, deduplicated and sorted.
+    pub fn patterns(&self) -> Vec<PatternId> {
+        let mut ps: Vec<PatternId> = self.detections.iter().map(|d| d.pattern).collect();
+        ps.sort();
+        ps.dedup();
+        ps
+    }
+}
+
+/// Result of analyzing one application.
+#[derive(Debug, Clone)]
+pub struct AnalysisReport {
+    /// Application name.
+    pub app: String,
+    /// Every pattern match (including ones for constraints that exist).
+    pub detections: Vec<Detection>,
+    /// All inferred constraints (normalized, deduplicated).
+    pub inferred: ConstraintSet,
+    /// Inferred constraints absent from the declared schema.
+    pub missing: Vec<MissingConstraint>,
+    /// Inferred constraints present in the declared schema
+    /// ("detected existing", Table 4 / Table 8).
+    pub existing_covered: ConstraintSet,
+    /// Wall-clock time of the static analysis (Table 10).
+    pub analysis_time: Duration,
+    /// Total lines of analyzed source.
+    pub loc: usize,
+    /// Files that failed to parse, with the error text.
+    pub parse_errors: Vec<(String, String)>,
+}
+
+impl AnalysisReport {
+    /// Missing constraints of one type.
+    pub fn missing_of(&self, ty: ConstraintType) -> impl Iterator<Item = &MissingConstraint> {
+        self.missing.iter().filter(move |m| m.constraint.constraint_type() == ty)
+    }
+
+    /// Count of missing constraints of one type.
+    pub fn missing_count(&self, ty: ConstraintType) -> usize {
+        self.missing_of(ty).count()
+    }
+
+    /// Count of missing constraints of a type detected by a pattern
+    /// (Table 6 cells; one constraint can be counted under several
+    /// patterns, but only once in the type total — exactly the paper's
+    /// counting rule).
+    pub fn missing_count_by_pattern(&self, pattern: PatternId) -> usize {
+        self.missing
+            .iter()
+            .filter(|m| m.patterns().contains(&pattern))
+            .count()
+    }
+
+    /// Count of missing *partial* unique constraints (§4.1.2 reports 13).
+    pub fn missing_partial_unique_count(&self) -> usize {
+        self.missing.iter().filter(|m| m.constraint.is_partial_unique()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfinder_schema::Constraint;
+
+    fn det(pattern: PatternId, c: Constraint) -> Detection {
+        Detection {
+            pattern,
+            constraint: c,
+            file: "f.py".into(),
+            span: Span::DUMMY,
+            snippet: String::new(),
+        }
+    }
+
+    #[test]
+    fn pattern_types() {
+        assert_eq!(PatternId::U1.constraint_type(), ConstraintType::Unique);
+        assert_eq!(PatternId::N3.constraint_type(), ConstraintType::NotNull);
+        assert_eq!(PatternId::F2.constraint_type(), ConstraintType::ForeignKey);
+        assert_eq!(PatternId::N2.label(), "PA_n2");
+    }
+
+    #[test]
+    fn missing_constraint_patterns_dedup() {
+        let c = Constraint::unique("t", ["a"]);
+        let m = MissingConstraint {
+            constraint: c.clone(),
+            detections: vec![det(PatternId::U2, c.clone()), det(PatternId::U1, c.clone()), det(PatternId::U2, c)],
+        };
+        assert_eq!(m.patterns(), vec![PatternId::U1, PatternId::U2]);
+    }
+
+    #[test]
+    fn report_counters() {
+        let cu = Constraint::unique("t", ["a"]);
+        let cn = Constraint::not_null("t", "b");
+        let report = AnalysisReport {
+            app: "x".into(),
+            detections: vec![],
+            inferred: [cu.clone(), cn.clone()].into_iter().collect(),
+            missing: vec![
+                MissingConstraint {
+                    constraint: cu.clone(),
+                    detections: vec![det(PatternId::U1, cu)],
+                },
+                MissingConstraint {
+                    constraint: cn.clone(),
+                    detections: vec![det(PatternId::N1, cn)],
+                },
+            ],
+            existing_covered: ConstraintSet::new(),
+            analysis_time: Duration::from_millis(5),
+            loc: 100,
+            parse_errors: vec![],
+        };
+        assert_eq!(report.missing_count(ConstraintType::Unique), 1);
+        assert_eq!(report.missing_count(ConstraintType::NotNull), 1);
+        assert_eq!(report.missing_count(ConstraintType::ForeignKey), 0);
+        assert_eq!(report.missing_count_by_pattern(PatternId::U1), 1);
+        assert_eq!(report.missing_count_by_pattern(PatternId::U2), 0);
+        assert_eq!(report.missing_partial_unique_count(), 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Robustness properties of the full analysis pipeline: it must never
+//! panic, never report a constraint for an unknown table twice
+//! differently, and be deterministic, for arbitrary (well-formed or not)
+//! source text.
+
+use cfinder_core::{AppSource, CFinder, SourceFile};
+use cfinder_schema::Schema;
+use proptest::prelude::*;
+
+/// Fragments that stress the analyzers: model-ish classes, queryset
+/// chains, conditions, and junk.
+fn fragment() -> impl Strategy<Value = String> {
+    prop_oneof![
+        "[a-z]{1,8}".prop_map(|n| format!(
+            "class {n}(models.Model):\n    f = models.CharField(max_length=8)\n",
+            n = capitalize(&n)
+        )),
+        ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(m, f)| format!(
+            "def check_{m}(v):\n    if {M}.objects.filter({f}=v).exists():\n        raise ValueError('x')\n",
+            M = capitalize(&m)
+        )),
+        ("[a-z]{1,6}", "[a-z]{1,6}").prop_map(|(a, b)| format!("{a} = {b}.objects.get(pk=1)\n")),
+        "[a-z]{1,6}".prop_map(|v| format!("for x in {v}:\n    y = x.field.method()\n")),
+        Just("if a is None:\n    raise E('x')\n".to_string()),
+        Just("try:\n    x = f()\nexcept Exception:\n    x = None\n".to_string()),
+        // Junk that may not even parse.
+        "[ -~]{0,40}".prop_map(|s| format!("{s}\n")),
+    ]
+}
+
+fn capitalize(s: &str) -> String {
+    let mut c = s.chars();
+    match c.next() {
+        Some(f) => f.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The pipeline never panics, whatever the input.
+    #[test]
+    fn analyze_never_panics(fragments in proptest::collection::vec(fragment(), 0..8)) {
+        let src: String = fragments.concat();
+        let app = AppSource::new("fuzz", vec![SourceFile::new("fuzz.py", src)]);
+        let _ = CFinder::new().analyze(&app, &Schema::new());
+    }
+
+    /// Analysis is deterministic: same input, same report.
+    #[test]
+    fn analyze_is_deterministic(fragments in proptest::collection::vec(fragment(), 0..8)) {
+        let src: String = fragments.concat();
+        let app = AppSource::new("fuzz", vec![SourceFile::new("fuzz.py", src)]);
+        let finder = CFinder::new();
+        let a = finder.analyze(&app, &Schema::new());
+        let b = finder.analyze(&app, &Schema::new());
+        prop_assert_eq!(a.missing.len(), b.missing.len());
+        for (x, y) in a.missing.iter().zip(&b.missing) {
+            prop_assert_eq!(&x.constraint, &y.constraint);
+        }
+        prop_assert_eq!(a.inferred, b.inferred);
+    }
+
+    /// Every reported missing constraint names a non-empty table and
+    /// columns, and is genuinely absent from the declared schema.
+    #[test]
+    fn reports_are_well_formed(fragments in proptest::collection::vec(fragment(), 0..8)) {
+        let src: String = fragments.concat();
+        let app = AppSource::new("fuzz", vec![SourceFile::new("fuzz.py", src)]);
+        let declared = Schema::new();
+        let report = CFinder::new().analyze(&app, &declared);
+        for m in &report.missing {
+            prop_assert!(!m.constraint.table().is_empty());
+            prop_assert!(!m.constraint.columns().is_empty());
+            prop_assert!(!m.detections.is_empty());
+            prop_assert!(!declared.constraints().contains(&m.constraint));
+        }
+    }
+}

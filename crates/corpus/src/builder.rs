@@ -1,0 +1,943 @@
+//! Deterministic application generation.
+//!
+//! [`generate`] turns an [`AppProfile`] into a full synthetic application:
+//! Django-style model files, service code containing the engineered
+//! pattern sites, neutral filler code up to the LoC target, the declared
+//! database schema (what `information_schema` would report), and the
+//! ground-truth manifest.
+//!
+//! Calibration principle: the generator plants *sites*; the numbers in the
+//! paper's tables are then **measured** by running the real analyzer over
+//! the generated code. Nothing in the evaluation path reads the plan
+//! counts directly.
+
+use cfinder_schema::{Column, ColumnType, Constraint, Literal, Schema, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::manifest::{FpMechanism, GroundTruth};
+use crate::names::{snake, NameGen};
+use crate::profiles::AppProfile;
+
+/// One generated source file.
+#[derive(Debug, Clone)]
+pub struct GeneratedFile {
+    /// App-relative path.
+    pub path: String,
+    /// File contents.
+    pub text: String,
+}
+
+/// A fully generated application.
+#[derive(Debug, Clone)]
+pub struct GeneratedApp {
+    /// Application name.
+    pub name: String,
+    /// Source files.
+    pub files: Vec<GeneratedFile>,
+    /// The declared database schema (the diff baseline).
+    pub declared: Schema,
+    /// Ground truth for precision evaluation.
+    pub truth: GroundTruth,
+    /// The profile the app was generated from.
+    pub profile: AppProfile,
+}
+
+impl GeneratedApp {
+    /// Total lines of code.
+    pub fn loc(&self) -> usize {
+        self.files.iter().map(|f| f.text.lines().count()).sum()
+    }
+
+    /// Writes the app's source tree plus `schema.json` (the declared
+    /// schema) and `ground_truth.json` under `dir`, so external tools —
+    /// including the `cfinder` CLI — can be pointed at it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, dir: &std::path::Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir.join("src"))?;
+        for f in &self.files {
+            std::fs::write(dir.join("src").join(&f.path), &f.text)?;
+        }
+        std::fs::write(dir.join("schema.json"), self.declared.to_json())?;
+        let truth = serde_json::to_string_pretty(&self.truth).expect("manifest serializes");
+        std::fs::write(dir.join("ground_truth.json"), truth)?;
+        Ok(())
+    }
+}
+
+/// Fraction of the profile's noise LoC to generate (pattern sites are
+/// always generated in full). `1.0` reproduces the paper's scale.
+#[derive(Debug, Clone, Copy)]
+pub struct GenOptions {
+    /// Noise-code scale factor in `(0, 1]`.
+    pub loc_scale: f64,
+}
+
+impl Default for GenOptions {
+    fn default() -> Self {
+        GenOptions { loc_scale: 1.0 }
+    }
+}
+
+impl GenOptions {
+    /// Paper-scale generation.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// Reduced-noise generation for fast tests/benches (~10% LoC).
+    pub fn quick() -> Self {
+        GenOptions { loc_scale: 0.1 }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FieldSpec {
+    name: String,
+    decl: String,
+    column: Column,
+}
+
+#[derive(Debug, Clone, Default)]
+struct TableSpec {
+    name: String,
+    base: Option<String>,
+    fields: Vec<FieldSpec>,
+    methods: Vec<String>,
+    /// Declared unique constraints (column groups).
+    declared_unique: Vec<Vec<String>>,
+    /// Declared FKs: (column, ref table).
+    declared_fk: Vec<(String, String)>,
+    /// True when the class carries `Meta: abstract = True` (no DB table).
+    is_abstract: bool,
+    /// Backbone FK suppressed (reserved for FK sites).
+    reserved: bool,
+}
+
+impl TableSpec {
+    fn add_field(&mut self, name: &str, decl: &str, column: Column) -> String {
+        debug_assert!(
+            self.fields.iter().all(|f| f.name != name),
+            "duplicate field {name} on {}",
+            self.name
+        );
+        self.fields.push(FieldSpec { name: name.to_string(), decl: decl.to_string(), column });
+        name.to_string()
+    }
+}
+
+/// Builder state for one app.
+struct Gen {
+    rng: StdRng,
+    names: NameGen,
+    tables: Vec<TableSpec>,
+    /// Extra classes (abstract bases + their concretes for FP sites).
+    extra_tables: Vec<TableSpec>,
+    services: Vec<String>,
+    truth: GroundTruth,
+    /// Rotating cursor for assigning sites to tables.
+    cursor: usize,
+    /// Per-table running field ordinal (for unique field names).
+    field_ord: Vec<usize>,
+}
+
+impl Gen {
+    /// The next non-reserved table index (round-robin, skipping 0 which has
+    /// no backbone parent).
+    fn next_table(&mut self) -> usize {
+        loop {
+            self.cursor = (self.cursor + 1) % self.tables.len();
+            if !self.tables[self.cursor].reserved {
+                return self.cursor;
+            }
+        }
+    }
+
+    /// Adds a fresh scalar field to table `t`; returns its name.
+    fn fresh_field(&mut self, t: usize, decl_kind: FieldDecl) -> String {
+        let ord = self.field_ord[t];
+        self.field_ord[t] += 1;
+        let name = format!("{}_{}", NameGen::field(ord), suffix_of(decl_kind));
+        let (decl, column) = render_field(&name, decl_kind);
+        self.tables[t].add_field(&name, &decl, column)
+    }
+}
+
+/// Scalar field archetypes used by the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FieldDecl {
+    /// `CharField(max_length=64)`, nullable in DB.
+    Text,
+    /// `CharField(max_length=64)`, NOT NULL in DB.
+    TextNotNull,
+    /// Integer with `default=0`, NOT NULL in DB (covered-existing N3).
+    IntDefaultNotNull,
+    /// Integer with `default=0`, nullable in DB (missing N3 / marker FP).
+    IntDefault,
+    /// Plain nullable integer (FK-site columns, noise).
+    Int,
+    /// Boolean with default, nullable (partial-unique condition columns).
+    Flag,
+}
+
+fn suffix_of(kind: FieldDecl) -> &'static str {
+    match kind {
+        FieldDecl::Text => "t",
+        FieldDecl::TextNotNull => "nn",
+        FieldDecl::IntDefaultNotNull => "dnn",
+        FieldDecl::IntDefault => "d",
+        FieldDecl::Int => "i",
+        FieldDecl::Flag => "flag",
+    }
+}
+
+fn render_field(name: &str, kind: FieldDecl) -> (String, Column) {
+    match kind {
+        FieldDecl::Text => (
+            format!("{name} = models.CharField(max_length=64)"),
+            Column::new(name, ColumnType::VarChar(64)),
+        ),
+        FieldDecl::TextNotNull => (
+            format!("{name} = models.CharField(max_length=64)"),
+            Column::new(name, ColumnType::VarChar(64)).not_null(),
+        ),
+        FieldDecl::IntDefaultNotNull => (
+            format!("{name} = models.IntegerField(default=0)"),
+            Column::new(name, ColumnType::Integer).not_null().with_default(Literal::Int(0)),
+        ),
+        FieldDecl::IntDefault => (
+            format!("{name} = models.IntegerField(default=0)"),
+            Column::new(name, ColumnType::Integer).with_default(Literal::Int(0)),
+        ),
+        FieldDecl::Int => {
+            (format!("{name} = models.IntegerField(null=True)"), Column::new(name, ColumnType::Integer))
+        }
+        FieldDecl::Flag => (
+            // `null=True` keeps the default from implying PA_n3.
+            format!("{name} = models.BooleanField(default=True, null=True)"),
+            Column::new(name, ColumnType::Boolean).with_default(Literal::Bool(true)),
+        ),
+    }
+}
+
+/// Generates one application from its profile.
+pub fn generate(profile: &AppProfile, options: GenOptions) -> GeneratedApp {
+    let mut g = Gen {
+        rng: StdRng::seed_from_u64(profile.seed),
+        names: NameGen::new(),
+        tables: Vec::new(),
+        extra_tables: Vec::new(),
+        services: Vec::new(),
+        truth: GroundTruth::default(),
+        cursor: 0,
+        field_ord: Vec::new(),
+    };
+
+    // 1. Table shells.
+    for _ in 0..profile.tables {
+        let name = g.names.table();
+        g.tables.push(TableSpec { name, ..TableSpec::default() });
+    }
+    g.field_ord = vec![0; g.tables.len()];
+
+    // Reserve the tail tables for FK sites (no backbone FK on them, so the
+    // planted `<ref>_id` integer columns can't collide with FK fields).
+    let fk_sites = profile.missing.fk_total() + 2;
+    let reserve_from = g.tables.len().saturating_sub(2 * fk_sites);
+    for t in &mut g.tables[reserve_from..] {
+        t.reserved = true;
+    }
+
+    // 2. Backbone FKs: table[i] → table[i-1] with a reverse manager.
+    for i in 1..g.tables.len() {
+        if g.tables[i].reserved || g.tables[i - 1].reserved {
+            continue;
+        }
+        let parent = g.tables[i - 1].name.clone();
+        let field = snake(&parent);
+        let decl = format!(
+            "{field} = models.ForeignKey({parent}, related_name='rel_{i}', null=True, on_delete=models.CASCADE)"
+        );
+        let column = Column::new(format!("{field}_id"), ColumnType::BigInt);
+        g.tables[i].add_field(&field, &decl, column);
+        let col = format!("{field}_id");
+        g.tables[i].declared_fk.push((col, parent));
+    }
+
+    plant_existing_unique(&mut g, profile);
+    plant_existing_not_null(&mut g, profile);
+    plant_missing_unique(&mut g, profile);
+    plant_missing_not_null(&mut g, profile);
+    plant_missing_fk(&mut g, profile, reserve_from);
+    plant_ablation_targets(&mut g, profile);
+    pad_columns(&mut g, profile);
+
+    // 3. Render files, schema, and manifest.
+    let declared = build_schema(&g);
+    let files = render_files(&g, profile, options);
+    GeneratedApp {
+        name: profile.name.to_string(),
+        files,
+        declared,
+        truth: g.truth,
+        profile: *profile,
+    }
+}
+
+// --- existing constraints -----------------------------------------------------
+
+fn plant_existing_unique(g: &mut Gen, profile: &AppProfile) {
+    for k in 0..profile.existing.unique {
+        let t = g.next_table();
+        let composite = k % 5 == 4;
+        let f1 = g.fresh_field(t, FieldDecl::Text);
+        let cols: Vec<String> = if composite {
+            let f2 = g.fresh_field(t, FieldDecl::Text);
+            vec![f1.clone(), f2]
+        } else {
+            vec![f1.clone()]
+        };
+        let table = g.tables[t].name.clone();
+        g.tables[t].declared_unique.push(cols.clone());
+        if k < profile.existing.unique_covered {
+            // Covered: plant a detectable site, alternating U1/U2.
+            let filter = cols
+                .iter()
+                .map(|c| format!("{c}=value"))
+                .collect::<Vec<_>>()
+                .join(", ");
+            let code = if k % 2 == 0 {
+                let fun = g.names.func("guard_existing");
+                format!(
+                    "def {fun}(value):\n    if {table}.objects.filter({filter}).exists():\n        raise ValueError('duplicate')\n"
+                )
+            } else {
+                let fun = g.names.func("lookup_existing");
+                format!("def {fun}(value):\n    return {table}.objects.get({filter})\n")
+            };
+            g.services.push(code);
+        } else {
+            // Uncovered: helper-split check (invisible to the
+            // intra-procedural analysis) or no usage at all.
+            if k % 2 == 0 {
+                let helper = g.names.func("taken");
+                let fun = g.names.func("signup");
+                g.services.push(format!(
+                    "def {helper}(value):\n    return {table}.objects.filter({}=value).exists()\n",
+                    cols[0]
+                ));
+                g.services.push(format!(
+                    "def {fun}(value):\n    if {helper}(value):\n        raise ValueError('taken')\n"
+                ));
+            }
+        }
+    }
+}
+
+fn plant_existing_not_null(g: &mut Gen, profile: &AppProfile) {
+    for k in 0..profile.existing.not_null {
+        let t = g.next_table();
+        let covered = k < profile.existing.not_null_covered;
+        if covered {
+            match k % 5 {
+                // ~40% via PA_n3: default on a NOT NULL column.
+                0 | 1 => {
+                    let _ = g.fresh_field(t, FieldDecl::IntDefaultNotNull);
+                }
+                // ~40% via PA_n1: unguarded invocation.
+                2 | 3 => {
+                    let f = g.fresh_field(t, FieldDecl::TextNotNull);
+                    let table = g.tables[t].name.clone();
+                    let fun = g.names.func("render");
+                    g.services.push(format!(
+                        "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    return obj.{f}.strip()\n"
+                    ));
+                }
+                // ~20% via PA_n2: model-method validation.
+                _ => {
+                    let f = g.fresh_field(t, FieldDecl::TextNotNull);
+                    let fun = g.names.func("validate");
+                    g.tables[t].methods.push(format!(
+                        "    def {fun}(self):\n        if not self.{f}:\n            raise ValueError('missing {f}')\n"
+                    ));
+                }
+            }
+        } else {
+            let f = g.fresh_field(t, FieldDecl::TextNotNull);
+            if k % 2 == 0 {
+                // Visibly-guarded usage: no PA_n1, stays uncovered.
+                let table = g.tables[t].name.clone();
+                let fun = g.names.func("show");
+                g.services.push(format!(
+                    "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    if obj.{f} is not None:\n        return obj.{f}.strip()\n    return ''\n"
+                ));
+            }
+        }
+    }
+}
+
+// --- missing constraints ---------------------------------------------------------
+
+fn plant_missing_unique(g: &mut Gen, profile: &AppProfile) {
+    let plan = &profile.missing;
+    let mut partial_left = plan.u_partial;
+
+    // PA_u1-only true positives; composite every other site.
+    for k in 0..plan.u1_only_tp {
+        let t = g.next_table();
+        let partial = take(&mut partial_left);
+        if k % 2 == 1 && !partial && t > 0 && !g.tables[t].fields.is_empty() {
+            plant_u1_composite(g, t, true);
+        } else {
+            plant_u1_simple(g, t, partial, true, None);
+        }
+    }
+    // PA_u2-only true positives.
+    for _ in 0..plan.u2_only_tp {
+        let t = g.next_table();
+        let partial = take(&mut partial_left);
+        plant_u2_simple(g, t, partial, true, None);
+    }
+    // Both-pattern true positives: one field, two sites.
+    for _ in 0..plan.u_both_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let guard = g.names.func("guard_missing");
+        let lookup = g.names.func("lookup_missing");
+        g.services.push(format!(
+            "def {guard}(value):\n    if {table}.objects.filter({f}=value).exists():\n        raise ValueError('duplicate {f}')\n"
+        ));
+        g.services.push(format!("def {lookup}(value):\n    return {table}.objects.get({f}=value)\n"));
+        g.truth.true_missing.insert(Constraint::unique(&table, [f]));
+    }
+    // Sanity-check false positives (same shapes, no semantic assumption).
+    for _ in 0..plan.u1_fp {
+        let t = g.next_table();
+        plant_u1_simple(g, t, false, false, Some(FpMechanism::SanityCheck));
+    }
+    for _ in 0..plan.u2_fp {
+        let t = g.next_table();
+        plant_u2_simple(g, t, false, false, Some(FpMechanism::SanityCheck));
+    }
+}
+
+fn plant_u1_simple(g: &mut Gen, t: usize, partial: bool, tp: bool, fp: Option<FpMechanism>) {
+    let f = g.fresh_field(t, FieldDecl::Text);
+    let table = g.tables[t].name.clone();
+    let fun = g.names.func(if tp { "guard_missing" } else { "sanity_check" });
+    let constraint = if partial {
+        let flag = g.fresh_field(t, FieldDecl::Flag);
+        g.services.push(format!(
+            "def {fun}(value):\n    if {table}.objects.filter({f}=value, {flag}=True).exists():\n        raise ValueError('duplicate active {f}')\n"
+        ));
+        Constraint::partial_unique(
+            &table,
+            [f],
+            vec![cfinder_schema::Condition { column: flag, value: Literal::Bool(true) }],
+        )
+    } else if g.rng.gen_bool(0.5) {
+        g.services.push(format!(
+            "def {fun}(value):\n    if not {table}.objects.filter({f}=value).exists():\n        {table}.objects.create({f}=value)\n"
+        ));
+        Constraint::unique(&table, [f])
+    } else {
+        g.services.push(format!(
+            "def {fun}(value):\n    if {table}.objects.filter({f}=value).count() > 0:\n        raise ValueError('duplicate {f}')\n"
+        ));
+        Constraint::unique(&table, [f])
+    };
+    record(g, constraint, tp, fp);
+}
+
+/// Composite unique via the reverse-manager implicit join — the paper's
+/// WishListLine example.
+fn plant_u1_composite(g: &mut Gen, t: usize, tp: bool) {
+    // table[t]'s backbone FK points at table[t-1].
+    let parent = g.tables[t - 1].name.clone();
+    let fk_field = snake(&parent);
+    if g.tables[t].fields.iter().all(|f| f.name != fk_field) {
+        // No backbone FK on this table (reserved neighbour); fall back.
+        plant_u1_simple(g, t, false, tp, None);
+        return;
+    }
+    let f = g.fresh_field(t, FieldDecl::Text);
+    let table = g.tables[t].name.clone();
+    let fun = g.names.func("attach");
+    let rel = format!("rel_{t}");
+    g.services.push(format!(
+        "def {fun}(parent_pk, value):\n    parent = {parent}.objects.get(pk=parent_pk)\n    if parent.{rel}.filter({f}=value).count() > 0:\n        raise ValueError('already attached')\n    parent.{rel}.create({f}=value)\n"
+    ));
+    let constraint = Constraint::unique(&table, [f, format!("{fk_field}_id")]);
+    record(g, constraint, tp, None);
+}
+
+fn plant_u2_simple(g: &mut Gen, t: usize, partial: bool, tp: bool, fp: Option<FpMechanism>) {
+    let f = g.fresh_field(t, FieldDecl::Text);
+    let table = g.tables[t].name.clone();
+    let fun = g.names.func(if tp { "lookup_missing" } else { "sanity_lookup" });
+    let constraint = if partial {
+        let flag = g.fresh_field(t, FieldDecl::Flag);
+        g.services.push(format!(
+            "def {fun}(value):\n    return {table}.objects.get({f}=value, {flag}=True)\n"
+        ));
+        Constraint::partial_unique(
+            &table,
+            [f],
+            vec![cfinder_schema::Condition { column: flag, value: Literal::Bool(true) }],
+        )
+    } else {
+        g.services.push(format!("def {fun}(value):\n    return {table}.objects.get({f}=value)\n"));
+        Constraint::unique(&table, [f])
+    };
+    record(g, constraint, tp, fp);
+}
+
+fn plant_missing_not_null(g: &mut Gen, profile: &AppProfile) {
+    let plan = &profile.missing;
+    for _ in 0..plan.n1_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("format");
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    return obj.{f}.strip()\n"
+        ));
+        record(g, Constraint::not_null(&table, f), true, None);
+    }
+    for _ in 0..plan.n2_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("validate_missing");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if not self.{f}:\n            raise ValueError('missing {f}')\n"
+        ));
+        record(g, Constraint::not_null(&table, f), true, None);
+    }
+    for _ in 0..plan.n3_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::IntDefault);
+        let table = g.tables[t].name.clone();
+        record(g, Constraint::not_null(&table, f), true, None);
+    }
+    // FP: NULL check hidden in a helper.
+    for _ in 0..plan.n1_fp_helper {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("fetch");
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    if blank_value(obj, '{f}'):\n        return None\n    return obj.{f}.strip()\n"
+        ));
+        record(g, Constraint::not_null(&table, f), false, Some(FpMechanism::HelperNullCheck));
+    }
+    // FP: attribution to an abstract base class (wrong table).
+    for k in 0..(plan.n1_fp_wrongtable + plan.n2_fp_wrongtable) {
+        let via_n2 = k >= plan.n1_fp_wrongtable;
+        plant_wrongtable_fp(g, via_n2);
+    }
+    // FP: marker default.
+    for _ in 0..plan.n3_fp_marker {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::IntDefault);
+        let table = g.tables[t].name.clone();
+        record(g, Constraint::not_null(&table, f), false, Some(FpMechanism::MarkerDefault));
+    }
+}
+
+fn plant_wrongtable_fp(g: &mut Gen, via_n2: bool) {
+    let idx = g.extra_tables.len();
+    let abs_name = format!("AbstractShared{idx}Model");
+    let conc_name = format!("Shared{idx}Impl");
+    let f = format!("inherited_{idx}");
+    let (decl, column) = render_field(&f, FieldDecl::Text);
+
+    let mut abs_t = TableSpec { name: abs_name.clone(), is_abstract: true, ..TableSpec::default() };
+    abs_t.fields.push(FieldSpec { name: f.clone(), decl, column: column.clone() });
+    if via_n2 {
+        let fun = g.names.func("validate_shared");
+        abs_t.methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} is None:\n            raise ValueError('missing {f}')\n"
+        ));
+    }
+    let conc_t = TableSpec {
+        name: conc_name.clone(),
+        base: Some(abs_name.clone()),
+        ..TableSpec::default()
+    };
+    g.extra_tables.push(abs_t);
+    g.extra_tables.push(conc_t);
+
+    if !via_n2 {
+        let fun = g.names.func("read_shared");
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {conc_name}.objects.get(pk=pk)\n    return obj.{f}.upper()\n"
+        ));
+    }
+    // The detection lands on the abstract class, which has no table.
+    record(
+        g,
+        Constraint::not_null(&abs_name, f),
+        false,
+        Some(FpMechanism::WrongTable),
+    );
+}
+
+fn plant_missing_fk(g: &mut Gen, profile: &AppProfile, reserve_from: usize) {
+    let plan = &profile.missing;
+    let mut pair = reserve_from;
+    let mut next_pair = |g: &mut Gen| -> (usize, usize) {
+        // (ref, dep) — both reserved, no backbone FKs.
+        let r = pair.min(g.tables.len() - 2);
+        let d = r + 1;
+        pair += 2;
+        (r, d)
+    };
+    let total = [
+        (plan.f1_tp, true, None),
+        (plan.f2_tp, false, None),
+        (plan.f1_fp, true, Some(FpMechanism::ExternalId)),
+        (plan.f2_fp, false, Some(FpMechanism::ExternalId)),
+    ];
+    for (count, via_f1, fp) in total {
+        for _ in 0..count {
+            let (r, d) = next_pair(g);
+            let ref_table = g.tables[r].name.clone();
+            let dep_table = g.tables[d].name.clone();
+            let col = format!("{}_id", snake(&ref_table));
+            let (decl, column) = render_field(&col, FieldDecl::Int);
+            g.tables[d].add_field(&col, &decl, column);
+            if via_f1 {
+                let fun = g.names.func("link");
+                g.services.push(format!(
+                    "def {fun}(pk, ref_pk):\n    dep = {dep_table}.objects.get(pk=pk)\n    ref = {ref_table}.objects.get(pk=ref_pk)\n    dep.{col} = ref.id\n    dep.save()\n"
+                ));
+            } else {
+                let fun = g.names.func("resolve");
+                g.services.push(format!(
+                    "def {fun}(pk):\n    dep = {dep_table}.objects.get(pk=pk)\n    return {ref_table}.objects.get(id=dep.{col})\n"
+                ));
+            }
+            record(
+                g,
+                Constraint::foreign_key(&dep_table, &col, &ref_table, "id"),
+                fp.is_none(),
+                fp,
+            );
+        }
+    }
+}
+
+/// Sites that are *correct* under the full analysis but become false
+/// positives when a design element is ablated (see
+/// `cfinder_core::CFinderOptions`): properly-guarded invocations on
+/// nullable columns, and cross-model sanity checks.
+fn plant_ablation_targets(g: &mut Gen, profile: &AppProfile) {
+    let guarded = (profile.tables / 10).max(3);
+    for _ in 0..guarded {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("show_guarded");
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    if obj.{f} is not None:\n        return obj.{f}.strip()\n    return ''\n"
+        ));
+        g.truth
+            .planted_fps
+            .insert(Constraint::not_null(&table, f), FpMechanism::GuardedNullable);
+    }
+    let cross = (profile.tables / 15).max(2);
+    for _ in 0..cross {
+        let t = g.next_table();
+        let u = g.next_table();
+        if t == u {
+            continue;
+        }
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let other_field = g.fresh_field(u, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let other = g.tables[u].name.clone();
+        let fun = g.names.func("audit_cross");
+        g.services.push(format!(
+            "def {fun}(value, note):\n    if not {table}.objects.filter({f}=value).exists():\n        {other}.objects.create({other_field}=note)\n"
+        ));
+        g.truth
+            .planted_fps
+            .insert(Constraint::unique(&table, [f]), FpMechanism::CrossModelCheck);
+    }
+}
+
+fn pad_columns(g: &mut Gen, profile: &AppProfile) {
+    let current: usize =
+        g.tables.iter().map(|t| t.fields.len() + 1).sum(); // +1 for id
+    for _ in current..profile.columns {
+        let t = g.next_table();
+        let _ = g.fresh_field(t, FieldDecl::Text);
+    }
+}
+
+fn record(g: &mut Gen, constraint: Constraint, tp: bool, fp: Option<FpMechanism>) {
+    if tp {
+        let inserted = g.truth.true_missing.insert(constraint);
+        debug_assert!(inserted, "duplicate planted constraint");
+    } else {
+        let mech = fp.expect("non-TP sites carry a mechanism");
+        g.truth.planted_fps.insert(constraint, mech);
+    }
+}
+
+fn take(n: &mut usize) -> bool {
+    if *n > 0 {
+        *n -= 1;
+        true
+    } else {
+        false
+    }
+}
+
+// --- rendering -------------------------------------------------------------------
+
+fn build_schema(g: &Gen) -> Schema {
+    let mut schema = Schema::new();
+    for spec in g.tables.iter().chain(&g.extra_tables) {
+        if spec.is_abstract {
+            continue;
+        }
+        let mut table = Table::new(&spec.name);
+        // Concrete children materialize their abstract base's columns.
+        if let Some(base) = &spec.base {
+            if let Some(base_spec) =
+                g.extra_tables.iter().find(|t| &t.name == base && t.is_abstract)
+            {
+                for f in &base_spec.fields {
+                    table = table.with_column(f.column.clone());
+                }
+            }
+        }
+        for f in &spec.fields {
+            table = table.with_column(f.column.clone());
+        }
+        schema.add_table(table);
+    }
+    for spec in &g.tables {
+        for cols in &spec.declared_unique {
+            schema
+                .add_constraint(Constraint::unique(&spec.name, cols.clone()))
+                .expect("generated unique targets exist");
+        }
+        for (col, ref_table) in &spec.declared_fk {
+            schema
+                .add_constraint(Constraint::foreign_key(&spec.name, col, ref_table, "id"))
+                .expect("generated FK targets exist");
+        }
+    }
+    schema
+}
+
+fn render_files(g: &Gen, profile: &AppProfile, options: GenOptions) -> Vec<GeneratedFile> {
+    let mut files = Vec::new();
+
+    // Models, ~20 classes per file. Extra (abstract) classes go first in
+    // their own file so bases are registered before subclasses.
+    let mut model_chunks: Vec<String> = Vec::new();
+    let mut current = String::from("from django.db import models\n\n");
+    for (i, spec) in g.extra_tables.iter().chain(&g.tables).enumerate() {
+        current.push_str(&render_model(spec));
+        if (i + 1) % 20 == 0 {
+            model_chunks.push(std::mem::replace(
+                &mut current,
+                String::from("from django.db import models\n\n"),
+            ));
+        }
+    }
+    model_chunks.push(current);
+    for (i, text) in model_chunks.into_iter().enumerate() {
+        files.push(GeneratedFile { path: format!("models_{i}.py"), text });
+    }
+
+    // Shared helpers (the invisible NULL check).
+    files.push(GeneratedFile {
+        path: "helpers.py".to_string(),
+        text: "def blank_value(obj, name):\n    return getattr(obj, name, None) is None\n\n\ndef chunk(seq, size):\n    out = []\n    for i in range(0, len(seq), size):\n        out.append(seq[i:i + size])\n    return out\n".to_string(),
+    });
+
+    // Service files, ~40 functions per file.
+    for (i, chunk) in g.services.chunks(40).enumerate() {
+        let mut text = String::from("from .models import *\nfrom .helpers import blank_value\n\n");
+        for fun in chunk {
+            text.push_str(fun);
+            text.push('\n');
+        }
+        files.push(GeneratedFile { path: format!("services_{i}.py"), text });
+    }
+
+    // Noise up to the LoC target.
+    let so_far: usize = files.iter().map(|f| f.text.lines().count()).sum();
+    let target = ((profile.loc as f64) * options.loc_scale) as usize;
+    let mut noise_needed = target.saturating_sub(so_far);
+    let mut idx = 0;
+    while noise_needed > 0 {
+        let mut text = String::from("import math\n\n");
+        let funcs = 100.min(noise_needed / 10 + 1);
+        for k in 0..funcs {
+            text.push_str(&format!(
+                "def util_{idx}_{k}(a, b):\n    total = a * 3 + b\n    if total > 10:\n        total = total - 1\n    items = [total, a, b]\n    out = 0\n    for x in items:\n        out = out + x\n    return out\n\n"
+            ));
+        }
+        let lines = text.lines().count();
+        noise_needed = noise_needed.saturating_sub(lines);
+        files.push(GeneratedFile { path: format!("noise_{idx}.py"), text });
+        idx += 1;
+    }
+    files
+}
+
+fn render_model(spec: &TableSpec) -> String {
+    let base = spec.base.clone().unwrap_or_else(|| "models.Model".to_string());
+    let mut out = format!("class {}({base}):\n", spec.name);
+    if spec.fields.is_empty() && spec.methods.is_empty() && !spec.is_abstract {
+        out.push_str("    pass\n\n\n");
+        return out;
+    }
+    for f in &spec.fields {
+        out.push_str("    ");
+        out.push_str(&f.decl);
+        out.push('\n');
+    }
+    if spec.is_abstract {
+        out.push_str("\n    class Meta:\n        abstract = True\n");
+    }
+    for m in &spec.methods {
+        out.push('\n');
+        out.push_str(m);
+    }
+    out.push_str("\n\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::profiles::profile;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = profile("oscar").unwrap();
+        let a = generate(&p, GenOptions::quick());
+        let b = generate(&p, GenOptions::quick());
+        assert_eq!(a.files.len(), b.files.len());
+        for (fa, fb) in a.files.iter().zip(&b.files) {
+            assert_eq!(fa.path, fb.path);
+            assert_eq!(fa.text, fb.text);
+        }
+        assert_eq!(a.truth.true_missing, b.truth.true_missing);
+    }
+
+    #[test]
+    fn schema_matches_profile_scale() {
+        let p = profile("oscar").unwrap();
+        let app = generate(&p, GenOptions::quick());
+        // Abstract FP tables add a couple of concrete tables beyond the
+        // profile's count.
+        assert!(app.declared.table_count() >= p.tables);
+        assert!(app.declared.column_count() >= p.columns);
+        // Declared uniques match the existing plan.
+        assert_eq!(
+            app.declared.constraints().count_of(cfinder_schema::ConstraintType::Unique),
+            p.existing.unique
+        );
+    }
+
+    #[test]
+    fn loc_scale_shrinks_noise_only() {
+        let p = profile("oscar").unwrap();
+        let full = generate(&p, GenOptions::paper());
+        let quick = generate(&p, GenOptions::quick());
+        assert!(full.loc() >= (p.loc as f64 * 0.95) as usize, "paper LoC {} >= target", full.loc());
+        assert!(quick.loc() < full.loc() / 3);
+        // Same planted truth regardless of scale.
+        assert_eq!(full.truth.true_missing, quick.truth.true_missing);
+        assert_eq!(full.truth.planted_fps.len(), quick.truth.planted_fps.len());
+    }
+
+    #[test]
+    fn truth_counts_match_plan() {
+        for p in crate::profiles::all_profiles() {
+            let app = generate(&p, GenOptions::quick());
+            let (u_tp, n_tp, f_tp) = p.missing.true_positives();
+            assert_eq!(
+                app.truth.true_missing.len(),
+                u_tp + n_tp + f_tp,
+                "{} true-missing count",
+                p.name
+            );
+            let fp_expected = (p.missing.unique_total() + p.missing.not_null_total()
+                + p.missing.fk_total())
+                - (u_tp + n_tp + f_tp);
+            // Ablation-target FPs are invisible under default options and
+            // excluded from the Table 7 accounting.
+            let default_detectable = app
+                .truth
+                .planted_fps
+                .values()
+                .filter(|m| {
+                    !matches!(
+                        m,
+                        crate::manifest::FpMechanism::GuardedNullable
+                            | crate::manifest::FpMechanism::CrossModelCheck
+                    )
+                })
+                .count();
+            assert_eq!(default_detectable, fp_expected, "{} fp count", p.name);
+        }
+    }
+
+    #[test]
+    fn planted_constraints_absent_from_declared_schema() {
+        let p = profile("zulip").unwrap();
+        let app = generate(&p, GenOptions::quick());
+        for c in app.truth.true_missing.iter() {
+            assert!(
+                !app.declared.constraints().contains(c),
+                "planted missing constraint is declared: {c}"
+            );
+        }
+    }
+
+    #[test]
+    fn files_have_expected_layout() {
+        let p = profile("wagtail").unwrap();
+        let app = generate(&p, GenOptions::quick());
+        assert!(app.files.iter().any(|f| f.path.starts_with("models_")));
+        assert!(app.files.iter().any(|f| f.path == "helpers.py"));
+        assert!(app.files.iter().any(|f| f.path.starts_with("services_")));
+        assert!(app.files.iter().any(|f| f.path.starts_with("noise_")));
+    }
+}
+
+#[cfg(test)]
+mod export_tests {
+    use super::*;
+    use crate::profiles::profile;
+
+    #[test]
+    fn write_to_exports_sources_and_schema() {
+        let app = generate(&profile("wagtail").unwrap(), GenOptions::quick());
+        let dir = std::env::temp_dir().join(format!("cfinder-export-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        app.write_to(&dir).unwrap();
+        assert!(dir.join("schema.json").exists());
+        assert!(dir.join("ground_truth.json").exists());
+        let py_count = std::fs::read_dir(dir.join("src")).unwrap().count();
+        assert_eq!(py_count, app.files.len());
+        // The schema round-trips.
+        let text = std::fs::read_to_string(dir.join("schema.json")).unwrap();
+        let schema = cfinder_schema::Schema::from_json(&text).unwrap();
+        assert_eq!(schema, app.declared);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

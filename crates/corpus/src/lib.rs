@@ -1,0 +1,27 @@
+//! # cfinder-corpus
+//!
+//! A deterministic synthetic-application corpus standing in for the eight
+//! web applications the CFinder paper evaluates (seven open-source Django
+//! apps plus one commercial app), and for the five-app §2 study.
+//!
+//! Each generated app contains Django-style models, service code carrying
+//! engineered pattern sites (true missing constraints, planted false
+//! positives with the paper's failure mechanisms, covered and uncovered
+//! existing constraints), neutral filler code up to the published LoC, the
+//! declared database schema, and a ground-truth manifest. The paper's
+//! evaluation numbers are then *measured* by running the real analyzer over
+//! this corpus — the substitution is documented in DESIGN.md.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod builder;
+pub mod manifest;
+pub mod names;
+pub mod profiles;
+pub mod study;
+
+pub use builder::{generate, GenOptions, GeneratedApp, GeneratedFile};
+pub use manifest::{FpMechanism, GroundTruth, Verdict};
+pub use profiles::{all_profiles, profile, AppProfile, ExistingPlan, MissingPlan};
+pub use study::{dataset, dataset_counts, study_corpus, DatasetEntry, StudyApp};

@@ -1,0 +1,138 @@
+//! Ground-truth manifests for generated applications.
+//!
+//! The generator knows, for every engineered code site, whether the
+//! implied constraint is semantically real (a true missing constraint) or
+//! a pattern-shaped coincidence (a planted false positive à la §4.2: sanity
+//! checks without uniqueness assumptions, helper-wrapped NULL checks the
+//! intra-procedural analysis cannot see, wrong-table attributions through
+//! abstract bases, marker defaults). The evaluation harness joins CFinder's
+//! output against this manifest to compute precision — exactly the role the
+//! paper's two human inspectors played.
+
+use std::collections::BTreeMap;
+
+use cfinder_schema::{Constraint, ConstraintSet};
+use serde::{Deserialize, Serialize};
+
+/// Why a planted detection is a false positive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FpMechanism {
+    /// Pattern matched, but the code is a sanity check with no constraint
+    /// assumption (the paper's 13-FP bucket).
+    SanityCheck,
+    /// The NULL check lives in a helper function the intra-procedural
+    /// analysis cannot see (7-FP bucket).
+    HelperNullCheck,
+    /// The constraint was attributed to an abstract base class / wrong
+    /// table (5-FP bucket).
+    WrongTable,
+    /// A default value used as a creation-time marker, not an invariant.
+    MarkerDefault,
+    /// A column that stores an external system's identifier, not a real
+    /// foreign key.
+    ExternalId,
+    /// A nullable-by-design column whose invocations are all properly
+    /// guarded — only detected when the null-guard analysis is ablated.
+    GuardedNullable,
+    /// An existence check on one table guarding a save of another — only
+    /// detected when the data-dependency condition is ablated.
+    CrossModelCheck,
+}
+
+/// Ground truth for one generated application.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct GroundTruth {
+    /// Constraints that are semantically required and absent from the
+    /// declared schema (the true positives CFinder should find).
+    pub true_missing: ConstraintSet,
+    /// Constraints CFinder is *expected* to infer that are semantically
+    /// wrong, with the mechanism that makes them wrong.
+    #[serde(with = "fp_map_as_pairs")]
+    pub planted_fps: BTreeMap<Constraint, FpMechanism>,
+    /// True missing constraints deliberately made undetectable
+    /// (inter-procedural sites, unused fields) — the recall denominator
+    /// includes them.
+    pub undetectable_missing: ConstraintSet,
+}
+
+impl GroundTruth {
+    /// Classifies a detected missing constraint.
+    pub fn classify(&self, c: &Constraint) -> Verdict {
+        if self.true_missing.contains(c) {
+            Verdict::TruePositive
+        } else if let Some(m) = self.planted_fps.get(c) {
+            Verdict::FalsePositive(*m)
+        } else {
+            Verdict::Unplanned
+        }
+    }
+
+    /// All semantically-missing constraints (detectable or not).
+    pub fn all_missing(&self) -> ConstraintSet {
+        self.true_missing.union(&self.undetectable_missing)
+    }
+}
+
+/// JSON cannot key maps by structured values; (de)serialize the planted-FP
+/// map as a list of pairs.
+mod fp_map_as_pairs {
+    use super::*;
+    use serde::{Deserializer, Serializer};
+
+    pub fn serialize<S: Serializer>(
+        map: &BTreeMap<Constraint, FpMechanism>,
+        ser: S,
+    ) -> Result<S::Ok, S::Error> {
+        let pairs: Vec<(&Constraint, &FpMechanism)> = map.iter().collect();
+        serde::Serialize::serialize(&pairs, ser)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        de: D,
+    ) -> Result<BTreeMap<Constraint, FpMechanism>, D::Error> {
+        let pairs: Vec<(Constraint, FpMechanism)> = serde::Deserialize::deserialize(de)?;
+        Ok(pairs.into_iter().collect())
+    }
+}
+
+/// Classification of a detection against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// A real missing constraint.
+    TruePositive,
+    /// A planted false positive.
+    FalsePositive(FpMechanism),
+    /// Not planned by the generator — a calibration bug if it occurs.
+    Unplanned,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ground_truth_json_round_trip() {
+        let mut gt = GroundTruth::default();
+        gt.true_missing.insert(Constraint::not_null("a", "x"));
+        gt.planted_fps.insert(Constraint::unique("a", ["y"]), FpMechanism::SanityCheck);
+        let json = serde_json::to_string(&gt).unwrap();
+        let back: GroundTruth = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.true_missing, gt.true_missing);
+        assert_eq!(back.planted_fps, gt.planted_fps);
+    }
+
+    #[test]
+    fn classify() {
+        let mut gt = GroundTruth::default();
+        gt.true_missing.insert(Constraint::not_null("a", "x"));
+        gt.planted_fps.insert(Constraint::unique("a", ["y"]), FpMechanism::SanityCheck);
+        gt.undetectable_missing.insert(Constraint::not_null("a", "z"));
+        assert_eq!(gt.classify(&Constraint::not_null("a", "x")), Verdict::TruePositive);
+        assert_eq!(
+            gt.classify(&Constraint::unique("a", ["y"])),
+            Verdict::FalsePositive(FpMechanism::SanityCheck)
+        );
+        assert_eq!(gt.classify(&Constraint::unique("a", ["q"])), Verdict::Unplanned);
+        assert_eq!(gt.all_missing().len(), 2);
+    }
+}

@@ -1,0 +1,122 @@
+//! Deterministic name generation for tables, fields, and functions.
+
+/// Noun pool for model-name prefixes.
+const HEADS: &[&str] = &[
+    "Order", "Product", "User", "Cart", "Invoice", "Shipment", "Payment", "Coupon", "Review",
+    "Ticket", "Course", "Lesson", "Message", "Channel", "Page", "Block", "Stock", "Vendor",
+    "Refund", "Wallet", "Catalog", "Bundle", "Session", "Team", "Stream", "Topic", "Module",
+    "Quiz", "Grade", "Badge",
+];
+
+/// Noun pool for model-name suffixes.
+const TAILS: &[&str] = &[
+    "Line", "Item", "Profile", "Entry", "Record", "Log", "Link", "Meta", "State", "Event",
+    "Note", "Tag", "Group", "Batch", "Slot", "Rule", "Draft", "Audit",
+];
+
+/// Field-name pool.
+const FIELDS: &[&str] = &[
+    "code", "status", "amount", "title", "slug", "email", "quantity", "total", "weight", "note",
+    "rank", "score", "label", "token", "kind", "phase", "level", "currency", "locale", "alias",
+    "digest", "origin", "region", "channel", "summary", "detail", "caption", "variant",
+];
+
+/// Deterministic unique-name generator.
+#[derive(Debug, Default)]
+pub struct NameGen {
+    table_counter: usize,
+    func_counter: usize,
+}
+
+impl NameGen {
+    /// Creates a fresh generator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Next model/table name (CamelCase, globally unique within the app).
+    pub fn table(&mut self) -> String {
+        let i = self.table_counter;
+        self.table_counter += 1;
+        let head = HEADS[i % HEADS.len()];
+        let tail = TAILS[(i / HEADS.len()) % TAILS.len()];
+        let round = i / (HEADS.len() * TAILS.len());
+        if round == 0 {
+            format!("{head}{tail}")
+        } else {
+            format!("{head}{tail}{round}")
+        }
+    }
+
+    /// A field name for ordinal `i`, unique within its table by suffixing.
+    pub fn field(i: usize) -> String {
+        let base = FIELDS[i % FIELDS.len()];
+        let round = i / FIELDS.len();
+        if round == 0 {
+            base.to_string()
+        } else {
+            format!("{base}_{round}")
+        }
+    }
+
+    /// Next unique function name with a purpose tag.
+    pub fn func(&mut self, tag: &str) -> String {
+        let i = self.func_counter;
+        self.func_counter += 1;
+        format!("{tag}_{i}")
+    }
+}
+
+/// Converts CamelCase to snake_case (for FK column naming).
+pub fn snake(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn tables_are_unique() {
+        let mut g = NameGen::new();
+        let names: Vec<String> = (0..1200).map(|_| g.table()).collect();
+        let set: HashSet<&String> = names.iter().collect();
+        assert_eq!(set.len(), names.len());
+        assert_eq!(names[0], "OrderLine");
+    }
+
+    #[test]
+    fn fields_are_unique_per_index() {
+        let a = NameGen::field(0);
+        let b = NameGen::field(FIELDS.len());
+        assert_eq!(a, "code");
+        assert_eq!(b, "code_1");
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn func_names_increment() {
+        let mut g = NameGen::new();
+        assert_eq!(g.func("check"), "check_0");
+        assert_eq!(g.func("save"), "save_1");
+    }
+
+    #[test]
+    fn snake_case() {
+        assert_eq!(snake("OrderLine"), "order_line");
+        assert_eq!(snake("X"), "x");
+        assert_eq!(snake("HTTPServer2"), "h_t_t_p_server2");
+    }
+}

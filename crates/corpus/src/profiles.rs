@@ -1,0 +1,528 @@
+//! Per-application generation profiles.
+//!
+//! Each profile encodes one evaluated application's published
+//! characteristics: scale (Tables 1 and 4), declared-constraint inventory
+//! and pattern coverage (Table 8), and the engineered missing-constraint
+//! site plan (Tables 6 and 7, including the false-positive allocation of
+//! §4.2 and the 13 partial-unique constraints of §4.1.2).
+//!
+//! The plans below reproduce the paper's per-app cell values exactly; the
+//! measured tables then *emerge* from running the real analyzer over the
+//! generated code.
+
+/// Plan for one application's engineered missing-constraint sites.
+///
+/// `*_tp` sites imply semantically-real constraints; `*_fp` sites are
+/// pattern-shaped code without the semantic assumption (see
+/// [`crate::manifest::FpMechanism`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MissingPlan {
+    /// Unique constraints detectable only via PA_u1.
+    pub u1_only_tp: usize,
+    /// Unique constraints detectable only via PA_u2.
+    pub u2_only_tp: usize,
+    /// Unique constraints detectable via both (counted once in totals).
+    pub u_both_tp: usize,
+    /// PA_u1-shaped sanity checks (false positives).
+    pub u1_fp: usize,
+    /// PA_u2-shaped sanity checks (false positives).
+    pub u2_fp: usize,
+    /// Of the unique TPs, how many are partial (conditional) uniques.
+    pub u_partial: usize,
+
+    /// Not-null constraints via PA_n1 (unguarded invocation).
+    pub n1_tp: usize,
+    /// Not-null constraints via PA_n2 (check-then-raise/assign).
+    pub n2_tp: usize,
+    /// Not-null constraints via PA_n3 (field default).
+    pub n3_tp: usize,
+    /// PA_n1 false positives: NULL check hidden in a helper function.
+    pub n1_fp_helper: usize,
+    /// PA_n1 false positives: attribution to an abstract base (wrong table).
+    pub n1_fp_wrongtable: usize,
+    /// PA_n2 false positives: wrong-table attribution.
+    pub n2_fp_wrongtable: usize,
+    /// PA_n3 false positives: marker defaults.
+    pub n3_fp_marker: usize,
+
+    /// Foreign keys via PA_f1 (column ← referenced pk).
+    pub f1_tp: usize,
+    /// Foreign keys via PA_f2 (pk lookup by column).
+    pub f2_tp: usize,
+    /// PA_f1 false positives: external-system identifiers.
+    pub f1_fp: usize,
+    /// PA_f2 false positives: external-system identifiers.
+    pub f2_fp: usize,
+}
+
+impl MissingPlan {
+    /// Expected Table 6 "Tot." cell for unique.
+    pub fn unique_total(&self) -> usize {
+        self.u1_only_tp + self.u2_only_tp + self.u_both_tp + self.u1_fp + self.u2_fp
+    }
+
+    /// Expected Table 6 "Tot." cell for not-null.
+    pub fn not_null_total(&self) -> usize {
+        self.n1_tp
+            + self.n2_tp
+            + self.n3_tp
+            + self.n1_fp_helper
+            + self.n1_fp_wrongtable
+            + self.n2_fp_wrongtable
+            + self.n3_fp_marker
+    }
+
+    /// Expected Table 6 "Tot." cell for foreign keys.
+    pub fn fk_total(&self) -> usize {
+        self.f1_tp + self.f2_tp + self.f1_fp + self.f2_fp
+    }
+
+    /// Expected Table 7 TP cells (unique, not-null, fk).
+    pub fn true_positives(&self) -> (usize, usize, usize) {
+        (
+            self.u1_only_tp + self.u2_only_tp + self.u_both_tp,
+            self.n1_tp + self.n2_tp + self.n3_tp,
+            self.f1_tp + self.f2_tp,
+        )
+    }
+}
+
+/// Existing-constraint inventory and coverage plan (Table 8).
+#[derive(Debug, Clone, Copy)]
+pub struct ExistingPlan {
+    /// Declared unique constraints (Table 8, column 1).
+    pub unique: usize,
+    /// …of which the code contains a detectable pattern site.
+    pub unique_covered: usize,
+    /// Declared not-null constraints.
+    pub not_null: usize,
+    /// …covered.
+    pub not_null_covered: usize,
+}
+
+/// One evaluated application.
+#[derive(Debug, Clone, Copy)]
+pub struct AppProfile {
+    /// Application name.
+    pub name: &'static str,
+    /// Category shown in Tables 1/4.
+    pub category: &'static str,
+    /// GitHub stars (×0.1K), for Table 1/4 rendering.
+    pub stars_tenths_k: u32,
+    /// Target lines of code (Table 1/4).
+    pub loc: usize,
+    /// Number of tables (Table 1; invented for non-study apps).
+    pub tables: usize,
+    /// Total columns (Table 1; invented for non-study apps).
+    pub columns: usize,
+    /// Whether the app is part of the §2 study (Tables 1–3).
+    pub in_study: bool,
+    /// Existing-constraint plan (Table 8).
+    pub existing: ExistingPlan,
+    /// Missing-constraint site plan (Tables 6/7).
+    pub missing: MissingPlan,
+    /// Deterministic seed component.
+    pub seed: u64,
+}
+
+/// The seven public applications plus the commercial one, in the paper's
+/// presentation order.
+pub fn all_profiles() -> Vec<AppProfile> {
+    vec![
+        AppProfile {
+            name: "oscar",
+            category: "E-comm",
+            stars_tenths_k: 52,
+            loc: 74_000,
+            tables: 77,
+            columns: 773,
+            in_study: true,
+            existing: ExistingPlan {
+                unique: 49,
+                unique_covered: 33, // 67%
+                not_null: 156,
+                not_null_covered: 126, // 81%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 1,
+                u2_only_tp: 7,
+                u_both_tp: 1,
+                u1_fp: 1,
+                u2_fp: 2,
+                u_partial: 2,
+                n1_tp: 7,
+                n2_tp: 1,
+                n3_tp: 0,
+                n1_fp_helper: 1,
+                n1_fp_wrongtable: 1,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 0,
+                f1_tp: 1,
+                f2_tp: 1,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0x05CA,
+        },
+        AppProfile {
+            name: "saleor",
+            category: "E-comm",
+            stars_tenths_k: 153,
+            loc: 298_000,
+            tables: 98,
+            columns: 1013,
+            in_study: true,
+            existing: ExistingPlan {
+                unique: 70,
+                unique_covered: 52, // 74%
+                not_null: 210,
+                not_null_covered: 168, // 80%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 1,
+                u2_only_tp: 2,
+                u_both_tp: 0,
+                u1_fp: 1,
+                u2_fp: 1,
+                u_partial: 1,
+                n1_tp: 6,
+                n2_tp: 0,
+                n3_tp: 1,
+                n1_fp_helper: 1,
+                n1_fp_wrongtable: 0,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 0,
+                f1_tp: 1,
+                f2_tp: 1,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0x5A1E,
+        },
+        AppProfile {
+            name: "shuup",
+            category: "E-comm",
+            stars_tenths_k: 18,
+            loc: 196_000,
+            tables: 227,
+            columns: 2236,
+            in_study: true,
+            existing: ExistingPlan {
+                unique: 89,
+                unique_covered: 62, // 70%
+                not_null: 298,
+                not_null_covered: 229, // 77%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 2,
+                u2_only_tp: 3,
+                u_both_tp: 0,
+                u1_fp: 0,
+                u2_fp: 1,
+                u_partial: 1,
+                n1_tp: 8,
+                n2_tp: 4,
+                n3_tp: 5,
+                n1_fp_helper: 2,
+                n1_fp_wrongtable: 2,
+                n2_fp_wrongtable: 1,
+                n3_fp_marker: 2,
+                f1_tp: 1,
+                f2_tp: 0,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0x5817,
+        },
+        AppProfile {
+            name: "zulip",
+            category: "Team chat",
+            stars_tenths_k: 153,
+            loc: 361_000,
+            tables: 97,
+            columns: 826,
+            in_study: true,
+            existing: ExistingPlan {
+                unique: 47,
+                unique_covered: 34, // 72%
+                not_null: 278,
+                not_null_covered: 231, // 83%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 2,
+                u2_only_tp: 3,
+                u_both_tp: 2,
+                u1_fp: 1,
+                u2_fp: 2,
+                u_partial: 2,
+                n1_tp: 2,
+                n2_tp: 1,
+                n3_tp: 2,
+                n1_fp_helper: 0,
+                n1_fp_wrongtable: 0,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 2,
+                f1_tp: 1,
+                f2_tp: 1,
+                f1_fp: 1,
+                f2_fp: 1,
+            },
+            seed: 0x2517,
+        },
+        AppProfile {
+            name: "wagtail",
+            category: "CMS",
+            stars_tenths_k: 117,
+            loc: 181_000,
+            tables: 60,
+            columns: 841,
+            in_study: true,
+            existing: ExistingPlan {
+                unique: 18,
+                unique_covered: 11, // 61%
+                not_null: 79,
+                not_null_covered: 58, // 73%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 0,
+                u2_only_tp: 4,
+                u_both_tp: 0,
+                u1_fp: 0,
+                u2_fp: 0,
+                u_partial: 1,
+                n1_tp: 1,
+                n2_tp: 0,
+                n3_tp: 3,
+                n1_fp_helper: 1,
+                n1_fp_wrongtable: 0,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 1,
+                f1_tp: 0,
+                f2_tp: 0,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0x3A67,
+        },
+        AppProfile {
+            name: "edx",
+            category: "Online course",
+            stars_tenths_k: 60,
+            loc: 617_000,
+            tables: 300,
+            columns: 3000,
+            in_study: false,
+            existing: ExistingPlan {
+                unique: 133,
+                unique_covered: 86, // 65%
+                not_null: 569,
+                not_null_covered: 421, // 74%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 1,
+                u2_only_tp: 17,
+                u_both_tp: 2,
+                u1_fp: 0,
+                u2_fp: 3,
+                u_partial: 5,
+                n1_tp: 4,
+                n2_tp: 2,
+                n3_tp: 5,
+                n1_fp_helper: 1,
+                n1_fp_wrongtable: 1,
+                n2_fp_wrongtable: 1,
+                n3_fp_marker: 1,
+                f1_tp: 1,
+                f2_tp: 3,
+                f1_fp: 0,
+                f2_fp: 1,
+            },
+            seed: 0xED58,
+        },
+        AppProfile {
+            name: "edxcomm",
+            category: "E-comm",
+            stars_tenths_k: 1,
+            loc: 93_000,
+            tables: 90,
+            columns: 900,
+            in_study: false,
+            existing: ExistingPlan {
+                unique: 30,
+                unique_covered: 20, // 67%
+                not_null: 110,
+                not_null_covered: 77, // 70%
+            },
+            missing: MissingPlan {
+                u1_only_tp: 0,
+                u2_only_tp: 5,
+                u_both_tp: 1,
+                u1_fp: 0,
+                u2_fp: 0,
+                u_partial: 1,
+                n1_tp: 5,
+                n2_tp: 1,
+                n3_tp: 0,
+                n1_fp_helper: 1,
+                n1_fp_wrongtable: 0,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 0,
+                f1_tp: 0,
+                f2_tp: 1,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0xEC01,
+        },
+        AppProfile {
+            name: "company",
+            category: "Enterprise",
+            stars_tenths_k: 0,
+            loc: 150_000,
+            tables: 120,
+            columns: 1100,
+            in_study: false,
+            existing: ExistingPlan {
+                unique: 40,
+                unique_covered: 28,
+                not_null: 180,
+                not_null_covered: 135,
+            },
+            missing: MissingPlan {
+                u1_only_tp: 8,
+                u2_only_tp: 18,
+                u_both_tp: 0,
+                u1_fp: 0,
+                u2_fp: 0,
+                u_partial: 0,
+                n1_tp: 10,
+                n2_tp: 3,
+                n3_tp: 4,
+                n1_fp_helper: 0,
+                n1_fp_wrongtable: 0,
+                n2_fp_wrongtable: 0,
+                n3_fp_marker: 0,
+                f1_tp: 4,
+                f2_tp: 5,
+                f1_fp: 0,
+                f2_fp: 0,
+            },
+            seed: 0xC0FE,
+        },
+    ]
+}
+
+/// Returns the profile by name.
+pub fn profile(name: &str) -> Option<AppProfile> {
+    all_profiles().into_iter().find(|p| p.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eight_profiles_in_paper_order() {
+        let names: Vec<&str> = all_profiles().iter().map(|p| p.name).collect();
+        assert_eq!(
+            names,
+            vec!["oscar", "saleor", "shuup", "zulip", "wagtail", "edx", "edxcomm", "company"]
+        );
+    }
+
+    #[test]
+    fn missing_plan_totals_match_table6() {
+        // (unique, not-null, fk) detected-missing totals per Table 6.
+        let expected = [
+            ("oscar", 12, 10, 2),
+            ("saleor", 5, 8, 2),
+            ("shuup", 6, 24, 1),
+            ("zulip", 10, 7, 4),
+            ("wagtail", 4, 6, 0),
+            ("edx", 23, 15, 5),
+            ("edxcomm", 6, 7, 1),
+        ];
+        for (name, u, n, f) in expected {
+            let p = profile(name).unwrap();
+            assert_eq!(p.missing.unique_total(), u, "{name} unique");
+            assert_eq!(p.missing.not_null_total(), n, "{name} not-null");
+            assert_eq!(p.missing.fk_total(), f, "{name} fk");
+        }
+    }
+
+    #[test]
+    fn true_positive_totals_match_table7() {
+        let expected = [
+            ("oscar", 9, 8, 2),
+            ("saleor", 3, 7, 2),
+            ("shuup", 5, 17, 1),
+            ("zulip", 7, 5, 2),
+            ("wagtail", 4, 4, 0),
+            ("edx", 20, 11, 4),
+            ("edxcomm", 6, 6, 1),
+        ];
+        for (name, u, n, f) in expected {
+            let p = profile(name).unwrap();
+            assert_eq!(p.missing.true_positives(), (u, n, f), "{name}");
+        }
+    }
+
+    #[test]
+    fn overall_precision_matches_paper() {
+        let open: Vec<AppProfile> =
+            all_profiles().into_iter().filter(|p| p.name != "company").collect();
+        let tot_u: usize = open.iter().map(|p| p.missing.unique_total()).sum();
+        let tp_u: usize = open.iter().map(|p| p.missing.true_positives().0).sum();
+        let tot_n: usize = open.iter().map(|p| p.missing.not_null_total()).sum();
+        let tp_n: usize = open.iter().map(|p| p.missing.true_positives().1).sum();
+        let tot_f: usize = open.iter().map(|p| p.missing.fk_total()).sum();
+        let tp_f: usize = open.iter().map(|p| p.missing.true_positives().2).sum();
+        assert_eq!((tot_u, tp_u), (66, 54)); // 82%
+        assert_eq!((tot_n, tp_n), (77, 58)); // 75%
+        assert_eq!((tot_f, tp_f), (15, 12)); // 80%
+        // 34 false positives in total (§4.2).
+        assert_eq!((tot_u - tp_u) + (tot_n - tp_n) + (tot_f - tp_f), 34);
+    }
+
+    #[test]
+    fn partial_uniques_sum_to_thirteen() {
+        let total: usize = all_profiles()
+            .iter()
+            .filter(|p| p.name != "company")
+            .map(|p| p.missing.u_partial)
+            .sum();
+        assert_eq!(total, 13); // §4.1.2
+    }
+
+    #[test]
+    fn study_apps_match_table1() {
+        let study: Vec<AppProfile> = all_profiles().into_iter().filter(|p| p.in_study).collect();
+        assert_eq!(study.len(), 5);
+        let oscar = &study[0];
+        assert_eq!((oscar.tables, oscar.columns), (77, 773));
+        let shuup = profile("shuup").unwrap();
+        assert_eq!((shuup.tables, shuup.columns), (227, 2236));
+    }
+
+    #[test]
+    fn detected_existing_matches_table4() {
+        // Table 4 "detected existing" = covered unique + covered not-null.
+        let expected = [
+            ("oscar", 159),
+            ("saleor", 220),
+            ("shuup", 291),
+            ("zulip", 265),
+            ("wagtail", 69),
+            ("edx", 507),
+            ("edxcomm", 97),
+        ];
+        for (name, n) in expected {
+            let p = profile(name).unwrap();
+            assert_eq!(
+                p.existing.unique_covered + p.existing.not_null_covered,
+                n,
+                "{name}"
+            );
+        }
+    }
+}

@@ -1,0 +1,390 @@
+//! The §2 empirical-study corpus: migration histories for the five study
+//! applications (Tables 2 and 3) and the old-version code + schema behind
+//! the Table 9 recall evaluation.
+//!
+//! Construction mirrors the paper's methodology in reverse: each
+//! "afterthought" constraint gets a creation migration (month 0) and a
+//! later `AddConstraint` migration carrying the reason/issue metadata the
+//! authors mined from commit history. The 117 issue-related constraints
+//! form the Table 9 dataset; for the detectable share (38 unique / 52
+//! not-null / 3 foreign-key — the paper's 79%/83%/50%), the old-version
+//! code contains real pattern sites, so recall is *measured* by running
+//! the analyzer against the pre-migration schema.
+
+use cfinder_schema::{
+    AddReason, CodeCheckStatus, Column, ColumnType, Consequence, Constraint, ConstraintMeta,
+    ConstraintType, IssueRef, Literal, Migration, MigrationHistory, MigrationOp, Schema, Table,
+};
+
+use crate::builder::GeneratedFile;
+
+/// One constraint of the historical dataset.
+#[derive(Debug, Clone)]
+pub struct DatasetEntry {
+    /// The constraint that was missed first and added later.
+    pub constraint: Constraint,
+    /// Why it was eventually added.
+    pub reason: AddReason,
+    /// Whether the old-version code contains a detectable pattern site.
+    pub detectable: bool,
+}
+
+impl DatasetEntry {
+    /// Issue-related entries form the Table 9 dataset.
+    pub fn in_dataset(&self) -> bool {
+        self.reason.is_issue_related()
+    }
+}
+
+/// One study application: history plus old-version artifacts.
+#[derive(Debug, Clone)]
+pub struct StudyApp {
+    /// Application name.
+    pub name: String,
+    /// Full migration history (drives Tables 2 and 3).
+    pub history: MigrationHistory,
+    /// Old-version source code (before the constraints were added).
+    pub old_code: Vec<GeneratedFile>,
+    /// Old-version declared schema (migration 0 only).
+    pub old_schema: Schema,
+    /// All afterthought constraints with metadata.
+    pub entries: Vec<DatasetEntry>,
+}
+
+/// Table 2 cell plan: afterthought constraints per app and type.
+const TABLE2: [(&str, usize, usize, usize); 5] = [
+    ("oscar", 22, 48, 2),
+    ("saleor", 10, 9, 2),
+    ("shuup", 5, 6, 0),
+    ("zulip", 16, 9, 4),
+    ("wagtail", 6, 4, 0),
+];
+
+/// Table 3 reason plan per type: (reported, similar, fixed, feature, unknown).
+const REASONS_U: (usize, usize, usize, usize, usize) = (17, 16, 15, 8, 3);
+const REASONS_N: (usize, usize, usize, usize, usize) = (11, 40, 12, 12, 1);
+const REASONS_F: (usize, usize, usize, usize, usize) = (3, 3, 0, 2, 0);
+
+/// Table 9 recall targets: (detectable, issue-related) per type.
+const DETECTABLE_U: (usize, usize) = (38, 48); // 79%
+const DETECTABLE_N: (usize, usize) = (52, 63); // 83%
+const DETECTABLE_F: (usize, usize) = (3, 6); // 50%
+
+/// Months-to-fix cycle with mean 19 (the paper's "on average 19 months").
+const MONTHS: [u32; 8] = [7, 10, 13, 16, 20, 24, 28, 34];
+
+fn reason_queue(
+    (reported, similar, fixed, feature, unknown): (usize, usize, usize, usize, usize),
+) -> Vec<AddReason> {
+    let mut q = Vec::new();
+    q.extend(std::iter::repeat(AddReason::FromReportedIssue).take(reported));
+    q.extend(std::iter::repeat(AddReason::LearnedFromSimilarIssue).take(similar));
+    q.extend(std::iter::repeat(AddReason::FixedByDev).take(fixed));
+    q.extend(std::iter::repeat(AddReason::FeatureOrRefactor).take(feature));
+    q.extend(std::iter::repeat(AddReason::Unknown).take(unknown));
+    q
+}
+
+/// Evenly spreads `target` trues across `total` slots (Bresenham).
+fn spread(total: usize, target: usize) -> Vec<bool> {
+    (0..total).map(|i| (i * target) / total != ((i + 1) * target) / total).collect()
+}
+
+fn consequence_queue() -> Vec<(Consequence, CodeCheckStatus)> {
+    // 31 reported constraints: 7 block business logic, 11 crash pages,
+    // 8 corrupt data, 5 other; code checks 23 none / 4 partial / 4 raced.
+    let mut consequences = Vec::new();
+    consequences.extend(std::iter::repeat(Consequence::BlockedBusinessLogic).take(7));
+    consequences.extend(std::iter::repeat(Consequence::PageCrash).take(11));
+    consequences.extend(std::iter::repeat(Consequence::DataCorruption).take(8));
+    consequences.extend(std::iter::repeat(Consequence::Other).take(5));
+    let mut checks = Vec::new();
+    checks.extend(std::iter::repeat(CodeCheckStatus::NoChecks).take(23));
+    checks.extend(std::iter::repeat(CodeCheckStatus::PartialChecks).take(4));
+    checks.extend(std::iter::repeat(CodeCheckStatus::FullChecksButRace).take(4));
+    consequences.into_iter().zip(checks).collect()
+}
+
+/// Builds the five study applications.
+pub fn study_corpus() -> Vec<StudyApp> {
+    let mut u_reasons = reason_queue(REASONS_U).into_iter();
+    let mut n_reasons = reason_queue(REASONS_N).into_iter();
+    let mut f_reasons = reason_queue(REASONS_F).into_iter();
+    let mut issues = consequence_queue().into_iter();
+    let mut issue_id = 1000;
+
+    // Detectability flags over the issue-related entries, per type.
+    let mut u_detect = spread(DETECTABLE_U.1, DETECTABLE_U.0).into_iter();
+    let mut n_detect = spread(DETECTABLE_N.1, DETECTABLE_N.0).into_iter();
+    let mut f_detect = spread(DETECTABLE_F.1, DETECTABLE_F.0).into_iter();
+
+    let mut apps = Vec::new();
+    let mut month_idx = 0;
+    for (name, n_u, n_n, n_f) in TABLE2 {
+        let mut entries = Vec::new();
+        let mut create_ops: Vec<MigrationOp> = Vec::new();
+        let mut adds: Vec<(Constraint, ConstraintMeta)> = Vec::new();
+        let mut code = String::from("from .models import *\n\n");
+        let mut models = String::from("from django.db import models\n\n");
+
+        let mut site_idx = 0;
+        // Unique afterthoughts.
+        for k in 0..n_u {
+            let reason = u_reasons.next().expect("Table 2 totals match Table 3");
+            let table = format!("Hist{}U{k}", camel(name));
+            let detectable = reason.is_issue_related() && u_detect.next().unwrap_or(false);
+            create_ops.push(MigrationOp::CreateTable(
+                Table::new(&table)
+                    .with_column(Column::new("code", ColumnType::VarChar(64)))
+                    .with_column(Column::new("note", ColumnType::VarChar(64))),
+            ));
+            models.push_str(&format!(
+                "class {table}(models.Model):\n    code = models.CharField(max_length=64)\n    note = models.CharField(max_length=64)\n\n\n"
+            ));
+            let constraint = Constraint::unique(&table, ["code"]);
+            if detectable {
+                if site_idx % 2 == 0 {
+                    code.push_str(&format!(
+                        "def guard_{table}(value):\n    if {table}.objects.filter(code=value).exists():\n        raise ValueError('duplicate')\n\n\n"
+                    ));
+                } else {
+                    code.push_str(&format!(
+                        "def lookup_{table}(value):\n    return {table}.objects.get(code=value)\n\n\n"
+                    ));
+                }
+                site_idx += 1;
+            }
+            adds.push((constraint.clone(), meta(reason, &mut issues, &mut issue_id)));
+            entries.push(DatasetEntry { constraint, reason, detectable });
+        }
+
+        // Not-null afterthoughts.
+        for k in 0..n_n {
+            let reason = n_reasons.next().expect("Table 2 totals match Table 3");
+            let table = format!("Hist{}N{k}", camel(name));
+            let detectable = reason.is_issue_related() && n_detect.next().unwrap_or(false);
+            let style = k % 3;
+            let needs_default = detectable && style == 2;
+            let mut column = Column::new("status", ColumnType::VarChar(64));
+            if needs_default {
+                column = column.with_default(Literal::Str("new".into()));
+            }
+            create_ops.push(MigrationOp::CreateTable(Table::new(&table).with_column(column)));
+            let field_decl = if needs_default {
+                "status = models.CharField(max_length=64, default='new')"
+            } else {
+                "status = models.CharField(max_length=64)"
+            };
+            let mut class_src = format!("class {table}(models.Model):\n    {field_decl}\n");
+            let constraint = Constraint::not_null(&table, "status");
+            if detectable {
+                match style {
+                    0 => code.push_str(&format!(
+                        "def render_{table}(pk):\n    obj = {table}.objects.get(pk=pk)\n    return obj.status.strip()\n\n\n"
+                    )),
+                    1 => class_src.push_str(
+                        "\n    def validate(self):\n        if not self.status:\n            raise ValueError('missing status')\n",
+                    ),
+                    _ => {} // style 2: the default itself is the PA_n3 site
+                }
+            }
+            class_src.push_str("\n\n");
+            models.push_str(&class_src);
+            adds.push((constraint.clone(), meta(reason, &mut issues, &mut issue_id)));
+            entries.push(DatasetEntry { constraint, reason, detectable });
+        }
+
+        // Foreign-key afterthoughts.
+        for k in 0..n_f {
+            let reason = f_reasons.next().expect("Table 2 totals match Table 3");
+            let ref_table = format!("Hist{}Ref{k}", camel(name));
+            let dep_table = format!("Hist{}Dep{k}", camel(name));
+            let detectable = reason.is_issue_related() && f_detect.next().unwrap_or(false);
+            create_ops.push(MigrationOp::CreateTable(
+                Table::new(&ref_table).with_column(Column::new("label", ColumnType::VarChar(32))),
+            ));
+            create_ops.push(MigrationOp::CreateTable(
+                Table::new(&dep_table).with_column(Column::new("target_id", ColumnType::BigInt)),
+            ));
+            models.push_str(&format!(
+                "class {ref_table}(models.Model):\n    label = models.CharField(max_length=32)\n\n\nclass {dep_table}(models.Model):\n    target_id = models.IntegerField(null=True)\n\n\n"
+            ));
+            let constraint = Constraint::foreign_key(&dep_table, "target_id", &ref_table, "id");
+            if detectable {
+                code.push_str(&format!(
+                    "def link_{dep_table}(pk, ref_pk):\n    dep = {dep_table}.objects.get(pk=pk)\n    ref = {ref_table}.objects.get(pk=ref_pk)\n    dep.target_id = ref.id\n    dep.save()\n\n\n"
+                ));
+            }
+            adds.push((constraint.clone(), meta(reason, &mut issues, &mut issue_id)));
+            entries.push(DatasetEntry { constraint, reason, detectable });
+        }
+
+        // Assemble the history: creation at month 0, one AddConstraint
+        // migration per afterthought at its fix month.
+        let mut migrations = vec![Migration { index: 0, month: 0, ops: create_ops }];
+        let mut add_migrations: Vec<(u32, Constraint, ConstraintMeta)> = adds
+            .into_iter()
+            .map(|(c, m)| {
+                let month = MONTHS[month_idx % MONTHS.len()];
+                month_idx += 1;
+                (month, c, m)
+            })
+            .collect();
+        add_migrations.sort_by_key(|(month, ..)| *month);
+        for (i, (month, constraint, m)) in add_migrations.into_iter().enumerate() {
+            migrations.push(Migration {
+                index: (i + 1) as u32,
+                month,
+                ops: vec![MigrationOp::AddConstraint { constraint, meta: m }],
+            });
+        }
+        let history = MigrationHistory::new(name, migrations);
+        let old_schema = history.replay_through(0).expect("creation migration applies");
+
+        apps.push(StudyApp {
+            name: name.to_string(),
+            history,
+            old_code: vec![
+                GeneratedFile { path: "models.py".into(), text: models },
+                GeneratedFile { path: "legacy_services.py".into(), text: code },
+            ],
+            old_schema,
+            entries,
+        });
+    }
+    apps
+}
+
+fn meta(
+    reason: AddReason,
+    issues: &mut impl Iterator<Item = (Consequence, CodeCheckStatus)>,
+    issue_id: &mut u32,
+) -> ConstraintMeta {
+    let issue = if reason == AddReason::FromReportedIssue {
+        let (consequence, code_checks) = issues.next().expect("31 reported issues planned");
+        *issue_id += 1;
+        Some(IssueRef { id: *issue_id, consequence, code_checks })
+    } else {
+        None
+    };
+    ConstraintMeta { reason, issue }
+}
+
+fn camel(name: &str) -> String {
+    let mut c = name.chars();
+    match c.next() {
+        Some(first) => first.to_uppercase().collect::<String>() + c.as_str(),
+        None => String::new(),
+    }
+}
+
+/// The full dataset (issue-related entries across all study apps) — the
+/// 117 historical missing constraints of Table 9.
+pub fn dataset(apps: &[StudyApp]) -> Vec<&DatasetEntry> {
+    apps.iter().flat_map(|a| a.entries.iter().filter(|e| e.in_dataset())).collect()
+}
+
+/// Dataset size per constraint type.
+pub fn dataset_counts(apps: &[StudyApp]) -> (usize, usize, usize) {
+    let ds = dataset(apps);
+    let count =
+        |ty: ConstraintType| ds.iter().filter(|e| e.constraint.constraint_type() == ty).count();
+    (
+        count(ConstraintType::Unique),
+        count(ConstraintType::NotNull),
+        count(ConstraintType::ForeignKey),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn five_apps_with_table2_counts() {
+        let apps = study_corpus();
+        assert_eq!(apps.len(), 5);
+        for (app, (name, u, n, f)) in apps.iter().zip(TABLE2) {
+            assert_eq!(app.name, name);
+            let report = app.history.study();
+            assert_eq!(report.count_by_type(ConstraintType::Unique), u, "{name} U");
+            assert_eq!(report.count_by_type(ConstraintType::NotNull), n, "{name} N");
+            assert_eq!(report.count_by_type(ConstraintType::ForeignKey), f, "{name} FK");
+            assert_eq!(report.total(), u + n + f);
+        }
+    }
+
+    #[test]
+    fn reasons_match_table3_totals() {
+        use cfinder_schema::StudyReport;
+        let apps = study_corpus();
+        let reports: Vec<_> = apps.iter().map(|a| a.history.study()).collect();
+        let merged = StudyReport::merged(reports.iter());
+        assert_eq!(merged.total(), 143);
+        assert_eq!(merged.count_by_reason(AddReason::FromReportedIssue), 31);
+        assert_eq!(merged.count_by_reason(AddReason::LearnedFromSimilarIssue), 59);
+        assert_eq!(merged.count_by_reason(AddReason::FixedByDev), 27);
+        assert_eq!(merged.count_by_reason(AddReason::FeatureOrRefactor), 22);
+        assert_eq!(merged.count_by_reason(AddReason::Unknown), 4);
+        // 82% issue-related.
+        assert!((merged.issue_related_fraction() - 117.0 / 143.0).abs() < 1e-9);
+        // Mean vulnerable window ≈ 19 months.
+        assert!(
+            (merged.mean_months_missing() - 19.0).abs() < 1.0,
+            "{}",
+            merged.mean_months_missing()
+        );
+    }
+
+    #[test]
+    fn dataset_is_117_with_type_split() {
+        let apps = study_corpus();
+        assert_eq!(dataset(&apps).len(), 117);
+        assert_eq!(dataset_counts(&apps), (48, 63, 6));
+    }
+
+    #[test]
+    fn detectable_counts_match_table9() {
+        let apps = study_corpus();
+        let ds = dataset(&apps);
+        let detectable = |ty: ConstraintType| {
+            ds.iter().filter(|e| e.constraint.constraint_type() == ty && e.detectable).count()
+        };
+        assert_eq!(detectable(ConstraintType::Unique), 38);
+        assert_eq!(detectable(ConstraintType::NotNull), 52);
+        assert_eq!(detectable(ConstraintType::ForeignKey), 3);
+    }
+
+    #[test]
+    fn old_schema_has_no_afterthought_constraints() {
+        let apps = study_corpus();
+        for app in &apps {
+            for e in &app.entries {
+                assert!(
+                    !app.old_schema.constraints().contains(&e.constraint),
+                    "{}: {} already declared in old schema",
+                    app.name,
+                    e.constraint
+                );
+            }
+            // Full replay has them all.
+            let latest = app.history.replay().unwrap();
+            for e in &app.entries {
+                assert!(latest.constraints().contains(&e.constraint));
+            }
+        }
+    }
+
+    #[test]
+    fn consequences_match_observation2() {
+        use cfinder_schema::StudyReport;
+        let apps = study_corpus();
+        let reports: Vec<_> = apps.iter().map(|a| a.history.study()).collect();
+        let merged = StudyReport::merged(reports.iter());
+        assert_eq!(merged.count_by_consequence(Consequence::PageCrash), 11);
+        assert_eq!(merged.count_by_consequence(Consequence::BlockedBusinessLogic), 7);
+        assert_eq!(merged.count_by_consequence(Consequence::DataCorruption), 8);
+        assert_eq!(merged.count_by_code_checks(CodeCheckStatus::NoChecks), 23);
+        assert_eq!(merged.count_by_code_checks(CodeCheckStatus::FullChecksButRace), 4);
+    }
+}

@@ -1,0 +1,116 @@
+//! End-to-end calibration: run the real CFinder analyzer over generated
+//! apps and check that the *measured* detection counts reproduce the
+//! per-app plan (and hence the paper's Tables 6/7/8 cells).
+
+use cfinder_core::{AppSource, CFinder, SourceFile};
+use cfinder_corpus::{all_profiles, generate, profile, GenOptions, Verdict};
+use cfinder_schema::ConstraintType;
+
+fn to_app_source(app: &cfinder_corpus::GeneratedApp) -> AppSource {
+    AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    )
+}
+
+#[test]
+fn all_files_parse() {
+    for p in all_profiles() {
+        let app = generate(&p, GenOptions::quick());
+        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        assert!(
+            report.parse_errors.is_empty(),
+            "{}: parse errors {:?}",
+            p.name,
+            report.parse_errors
+        );
+    }
+}
+
+#[test]
+fn missing_counts_match_plan_per_app() {
+    for p in all_profiles() {
+        let app = generate(&p, GenOptions::quick());
+        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        let measured_u = report.missing_count(ConstraintType::Unique);
+        let measured_n = report.missing_count(ConstraintType::NotNull);
+        let measured_f = report.missing_count(ConstraintType::ForeignKey);
+        assert_eq!(measured_u, p.missing.unique_total(), "{} unique missing", p.name);
+        assert_eq!(measured_n, p.missing.not_null_total(), "{} not-null missing", p.name);
+        assert_eq!(measured_f, p.missing.fk_total(), "{} fk missing", p.name);
+    }
+}
+
+#[test]
+fn precision_matches_plan() {
+    for p in all_profiles() {
+        let app = generate(&p, GenOptions::quick());
+        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        let mut tp = 0;
+        let mut fp = 0;
+        let mut unplanned = Vec::new();
+        for m in &report.missing {
+            match app.truth.classify(&m.constraint) {
+                Verdict::TruePositive => tp += 1,
+                Verdict::FalsePositive(_) => fp += 1,
+                Verdict::Unplanned => unplanned.push(m.constraint.clone()),
+            }
+        }
+        assert!(
+            unplanned.is_empty(),
+            "{}: unplanned detections {unplanned:?}",
+            p.name
+        );
+        let (u, n, f) = p.missing.true_positives();
+        assert_eq!(tp, u + n + f, "{} TP", p.name);
+        assert_eq!(
+            fp,
+            p.missing.unique_total() + p.missing.not_null_total() + p.missing.fk_total()
+                - (u + n + f),
+            "{} FP",
+            p.name
+        );
+    }
+}
+
+#[test]
+fn existing_coverage_matches_plan() {
+    for p in all_profiles() {
+        let app = generate(&p, GenOptions::quick());
+        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        let covered_u = report.existing_covered.count_of(ConstraintType::Unique);
+        // Exclude the automatic primary-key not-nulls from the declared
+        // denominator, as the paper counts developer-declared constraints.
+        let covered_n = report
+            .existing_covered
+            .of_type(ConstraintType::NotNull)
+            .filter(|c| c.columns() != vec!["id"])
+            .count();
+        assert_eq!(covered_u, p.existing.unique_covered, "{} covered unique", p.name);
+        assert_eq!(covered_n, p.existing.not_null_covered, "{} covered not-null", p.name);
+    }
+}
+
+#[test]
+fn partial_uniques_detected() {
+    let p = profile("edx").unwrap();
+    let app = generate(&p, GenOptions::quick());
+    let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+    assert_eq!(report.missing_partial_unique_count(), p.missing.u_partial);
+}
+
+#[test]
+fn pattern_breakdown_matches_table6_for_oscar() {
+    use cfinder_core::PatternId;
+    let p = profile("oscar").unwrap();
+    let app = generate(&p, GenOptions::quick());
+    let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+    // Table 6 row: Oscar | U1 3, U2 10 | N1 9, N2 1, N3 0 | F1 1, F2 1.
+    assert_eq!(report.missing_count_by_pattern(PatternId::U1), 3, "U1");
+    assert_eq!(report.missing_count_by_pattern(PatternId::U2), 10, "U2");
+    assert_eq!(report.missing_count_by_pattern(PatternId::N1), 9, "N1");
+    assert_eq!(report.missing_count_by_pattern(PatternId::N2), 1, "N2");
+    assert_eq!(report.missing_count_by_pattern(PatternId::N3), 0, "N3");
+    assert_eq!(report.missing_count_by_pattern(PatternId::F1), 1, "F1");
+    assert_eq!(report.missing_count_by_pattern(PatternId::F2), 1, "F2");
+}

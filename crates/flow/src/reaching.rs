@@ -1,0 +1,429 @@
+//! Definition collection and reaching-definitions (use-def chains).
+//!
+//! CFinder's table-identification step (§3.5.1) starts from a variable use
+//! and walks its use-definition chain until a definition resolves to a model
+//! class ("`to_wishlist` gets the definition from `WishList.objects.get`").
+//! This module provides that chain: for each statement and variable name,
+//! the set of definitions that may reach it.
+//!
+//! The analysis is intra-procedural and flow-sensitive (matching the
+//! paper's stated scope; it does not perform inter-procedure analysis).
+
+use std::collections::{BTreeSet, HashMap};
+
+use cfinder_pyast::ast::{Expr, ExprKind, NodeId, Stmt, StmtKind};
+
+use crate::cfg::{Cfg, CfgNodeId};
+
+/// Identifier of a definition site within one [`UseDefChains`].
+pub type DefId = usize;
+
+/// How a name was defined.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DefKind<'a> {
+    /// `name = value` (the defining value expression).
+    Assign(&'a Expr),
+    /// A `for name in iter` loop target (the iterated expression).
+    ForTarget(&'a Expr),
+    /// A `with ctx as name` binding (the context expression).
+    WithAs(&'a Expr),
+    /// A function parameter.
+    Param,
+    /// `import`/`from … import` binding.
+    Import,
+    /// An augmented assignment `name op= value` (redefines using itself).
+    AugAssign(&'a Expr),
+}
+
+/// One definition site.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Def<'a> {
+    /// The defined variable name.
+    pub name: String,
+    /// What defined it.
+    pub kind: DefKind<'a>,
+    /// The statement carrying the definition (`None` for parameters).
+    pub stmt: Option<NodeId>,
+}
+
+/// Use-definition chains for one function body (or module top level).
+pub struct UseDefChains<'a> {
+    defs: Vec<Def<'a>>,
+    /// CFG-node → set of def ids reaching the node's entry.
+    reach_in: Vec<BTreeSet<DefId>>,
+    cfg: Cfg,
+    /// Defs generated *by* each CFG node (used for same-statement lookups).
+    gen_by_node: HashMap<CfgNodeId, Vec<DefId>>,
+}
+
+impl<'a> UseDefChains<'a> {
+    /// Computes chains for a body, with optional parameter names (for
+    /// function bodies).
+    pub fn compute(body: &'a [Stmt], params: &[String]) -> UseDefChains<'a> {
+        let cfg = Cfg::build(body);
+        let mut defs: Vec<Def<'a>> = Vec::new();
+        let mut gen_by_node: HashMap<CfgNodeId, Vec<DefId>> = HashMap::new();
+
+        // Parameters are defs generated at the entry node.
+        for p in params {
+            let id = defs.len();
+            defs.push(Def { name: p.clone(), kind: DefKind::Param, stmt: None });
+            gen_by_node.entry(cfg.entry()).or_default().push(id);
+        }
+
+        // Collect defs from every statement that owns a CFG node.
+        collect_defs(body, &cfg, &mut defs, &mut gen_by_node);
+
+        // Worklist reaching-definitions: IN[n] = ∪ OUT[p]; OUT[n] =
+        // gen(n) ∪ (IN[n] − kill(n)) where kill(n) kills same-name defs.
+        let mut name_defs: HashMap<&str, Vec<DefId>> = HashMap::new();
+        for (i, d) in defs.iter().enumerate() {
+            name_defs.entry(d.name.as_str()).or_default().push(i);
+        }
+        let n = cfg.len();
+        let mut reach_in: Vec<BTreeSet<DefId>> = vec![BTreeSet::new(); n];
+        let mut reach_out: Vec<BTreeSet<DefId>> = vec![BTreeSet::new(); n];
+        let mut worklist: Vec<CfgNodeId> = cfg.node_ids().collect();
+        while let Some(node) = worklist.pop() {
+            let mut in_set = BTreeSet::new();
+            for &p in cfg.preds(node) {
+                in_set.extend(reach_out[p].iter().copied());
+            }
+            let mut out_set = in_set.clone();
+            if let Some(generated) = gen_by_node.get(&node) {
+                for &g in generated {
+                    // Kill all other defs of the same name.
+                    if let Some(same) = name_defs.get(defs[g].name.as_str()) {
+                        for &other in same {
+                            out_set.remove(&other);
+                        }
+                    }
+                }
+                out_set.extend(generated.iter().copied());
+            }
+            let changed = in_set != reach_in[node] || out_set != reach_out[node];
+            reach_in[node] = in_set;
+            reach_out[node] = out_set;
+            if changed {
+                for &s in cfg.succs(node) {
+                    if !worklist.contains(&s) {
+                        worklist.push(s);
+                    }
+                }
+            }
+        }
+
+        UseDefChains { defs, reach_in, cfg, gen_by_node }
+    }
+
+    /// All definition sites.
+    pub fn defs(&self) -> &[Def<'a>] {
+        &self.defs
+    }
+
+    /// The definitions of `name` that may reach the *entry* of `stmt`.
+    ///
+    /// Returns an empty slice-vec when the statement is not in this body's
+    /// CFG (e.g. it belongs to a nested function).
+    pub fn defs_of(&self, stmt: NodeId, name: &str) -> Vec<&Def<'a>> {
+        let Some(node) = self.cfg.node_of_stmt(stmt) else {
+            return Vec::new();
+        };
+        self.reach_in[node]
+            .iter()
+            .map(|&i| &self.defs[i])
+            .filter(|d| d.name == name)
+            .collect()
+    }
+
+    /// Like [`Self::defs_of`], but when exactly one definition reaches the
+    /// use, returns it — the unambiguous case the paper's type inference
+    /// relies on.
+    pub fn unique_def_of(&self, stmt: NodeId, name: &str) -> Option<&Def<'a>> {
+        let defs = self.defs_of(stmt, name);
+        // Distinct *sites* may still assign equal values (rare); require a
+        // single site for soundness.
+        if defs.len() == 1 {
+            Some(defs[0])
+        } else {
+            None
+        }
+    }
+
+    /// The definitions generated by `stmt` itself.
+    pub fn defs_in_stmt(&self, stmt: NodeId) -> Vec<&Def<'a>> {
+        let Some(node) = self.cfg.node_of_stmt(stmt) else {
+            return Vec::new();
+        };
+        self.gen_by_node
+            .get(&node)
+            .map(|v| v.iter().map(|&i| &self.defs[i]).collect())
+            .unwrap_or_default()
+    }
+
+    /// The underlying control-flow graph.
+    pub fn cfg(&self) -> &Cfg {
+        &self.cfg
+    }
+}
+
+/// Recursively collects definition sites from statements that own CFG nodes.
+fn collect_defs<'a>(
+    body: &'a [Stmt],
+    cfg: &Cfg,
+    defs: &mut Vec<Def<'a>>,
+    gen_by_node: &mut HashMap<CfgNodeId, Vec<DefId>>,
+) {
+    for stmt in body {
+        let node = cfg.node_of_stmt(stmt.id);
+        let mut push = |name: &str, kind: DefKind<'a>| {
+            if let Some(n) = node {
+                let id = defs.len();
+                defs.push(Def { name: name.to_string(), kind, stmt: Some(stmt.id) });
+                gen_by_node.entry(n).or_default().push(id);
+            }
+        };
+        match &stmt.kind {
+            StmtKind::Assign { targets, value } => {
+                for t in targets {
+                    bind_target(t, value, &mut push);
+                }
+            }
+            StmtKind::AugAssign { target, value, .. } => {
+                if let ExprKind::Name(n) = &target.kind {
+                    push(n, DefKind::AugAssign(value));
+                }
+            }
+            StmtKind::For { target, iter, body, orelse } => {
+                bind_target_kinded(target, || DefKind::ForTarget(iter), &mut push);
+                collect_defs(body, cfg, defs, gen_by_node);
+                collect_defs(orelse, cfg, defs, gen_by_node);
+            }
+            StmtKind::With { items, body } => {
+                for item in items {
+                    if let Some(t) = &item.target {
+                        bind_target_kinded(t, || DefKind::WithAs(&item.context), &mut push);
+                    }
+                }
+                collect_defs(body, cfg, defs, gen_by_node);
+            }
+            StmtKind::Import { names } | StmtKind::ImportFrom { names, .. } => {
+                for a in names {
+                    let bound = a.asname.as_deref().unwrap_or_else(|| {
+                        // `import a.b` binds `a`; `from m import x` binds `x`.
+                        a.name.split('.').next().unwrap_or(&a.name)
+                    });
+                    if bound != "*" {
+                        push(bound, DefKind::Import);
+                    }
+                }
+            }
+            StmtKind::If { body, orelse, .. } => {
+                collect_defs(body, cfg, defs, gen_by_node);
+                collect_defs(orelse, cfg, defs, gen_by_node);
+            }
+            StmtKind::While { body, orelse, .. } => {
+                collect_defs(body, cfg, defs, gen_by_node);
+                collect_defs(orelse, cfg, defs, gen_by_node);
+            }
+            StmtKind::Try { body, handlers, orelse, finalbody } => {
+                collect_defs(body, cfg, defs, gen_by_node);
+                for h in handlers {
+                    collect_defs(&h.body, cfg, defs, gen_by_node);
+                }
+                collect_defs(orelse, cfg, defs, gen_by_node);
+                collect_defs(finalbody, cfg, defs, gen_by_node);
+            }
+            // Nested functions/classes: separate scopes, skipped here.
+            _ => {}
+        }
+    }
+}
+
+/// Binds an assignment target pattern: plain names and tuple/list
+/// destructuring define names; attribute/subscript targets do not define
+/// local variables.
+fn bind_target<'a>(target: &'a Expr, value: &'a Expr, push: &mut impl FnMut(&str, DefKind<'a>)) {
+    match &target.kind {
+        ExprKind::Name(n) => push(n, DefKind::Assign(value)),
+        ExprKind::Tuple(elems) | ExprKind::List(elems) => {
+            // Destructuring: the individual element values are unknown
+            // statically; record the whole RHS as each name's source.
+            for e in elems {
+                if let ExprKind::Name(n) = &e.kind {
+                    push(n, DefKind::Assign(value));
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+fn bind_target_kinded<'a>(
+    target: &'a Expr,
+    kind: impl Fn() -> DefKind<'a>,
+    push: &mut impl FnMut(&str, DefKind<'a>),
+) {
+    match &target.kind {
+        ExprKind::Name(n) => push(n, kind()),
+        ExprKind::Tuple(elems) | ExprKind::List(elems) => {
+            for e in elems {
+                if let ExprKind::Name(n) = &e.kind {
+                    push(n, kind());
+                }
+            }
+        }
+        _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfinder_pyast::parse_module;
+    use cfinder_pyast::unparse::unparse_expr;
+
+    fn chains(src: &str) -> (UseDefChains<'static>, Vec<Stmt>) {
+        // Leak for test convenience: tie the AST's lifetime to 'static.
+        let m = Box::leak(Box::new(parse_module(src).unwrap()));
+        (UseDefChains::compute(&m.body, &[]), m.body.clone())
+    }
+
+    #[test]
+    fn straight_line_single_def() {
+        let (ud, body) = chains("x = f()\ny = x\n");
+        let defs = ud.defs_of(body[1].id, "x");
+        assert_eq!(defs.len(), 1);
+        let DefKind::Assign(rhs) = &defs[0].kind else { panic!() };
+        assert_eq!(unparse_expr(rhs), "f()");
+        assert!(ud.unique_def_of(body[1].id, "x").is_some());
+    }
+
+    #[test]
+    fn redefinition_kills_earlier() {
+        let (ud, body) = chains("x = a()\nx = b()\ny = x\n");
+        let defs = ud.defs_of(body[2].id, "x");
+        assert_eq!(defs.len(), 1);
+        let DefKind::Assign(rhs) = &defs[0].kind else { panic!() };
+        assert_eq!(unparse_expr(rhs), "b()");
+    }
+
+    #[test]
+    fn branch_merges_two_defs() {
+        let (ud, body) = chains("if c:\n    x = a()\nelse:\n    x = b()\ny = x\n");
+        let defs = ud.defs_of(body[1].id, "x");
+        assert_eq!(defs.len(), 2);
+        assert!(ud.unique_def_of(body[1].id, "x").is_none(), "ambiguous");
+    }
+
+    #[test]
+    fn def_before_branch_survives_one_arm() {
+        let (ud, body) = chains("x = a()\nif c:\n    x = b()\ny = x\n");
+        let defs = ud.defs_of(body[2].id, "x");
+        assert_eq!(defs.len(), 2, "both the original and the branch def reach");
+    }
+
+    #[test]
+    fn params_reach_everywhere() {
+        let m = Box::leak(Box::new(
+            parse_module("y = request\n").unwrap(),
+        ));
+        let ud = UseDefChains::compute(&m.body, &["request".to_string()]);
+        let defs = ud.defs_of(m.body[0].id, "request");
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].kind, DefKind::Param);
+    }
+
+    #[test]
+    fn for_target_defined_in_body() {
+        let (ud, body) = chains("for line in order.lines:\n    x = line\n");
+        let StmtKind::For { body: fb, .. } = &body[0].kind else { panic!() };
+        let defs = ud.defs_of(fb[0].id, "line");
+        assert_eq!(defs.len(), 1);
+        let DefKind::ForTarget(iter) = &defs[0].kind else { panic!() };
+        assert_eq!(unparse_expr(iter), "order.lines");
+    }
+
+    #[test]
+    fn with_as_binding() {
+        let (ud, body) = chains("with open('f') as fh:\n    data = fh\n");
+        let StmtKind::With { body: wb, .. } = &body[0].kind else { panic!() };
+        let defs = ud.defs_of(wb[0].id, "fh");
+        assert_eq!(defs.len(), 1);
+        assert!(matches!(defs[0].kind, DefKind::WithAs(_)));
+    }
+
+    #[test]
+    fn tuple_destructuring_defines_all_names() {
+        let (ud, body) = chains("a, b = pair()\nc = a + b\n");
+        assert_eq!(ud.defs_of(body[1].id, "a").len(), 1);
+        assert_eq!(ud.defs_of(body[1].id, "b").len(), 1);
+    }
+
+    #[test]
+    fn import_binds_names() {
+        let (ud, body) = chains("from app.models import Order\nimport utils.helpers as uh\no = Order\n");
+        assert_eq!(ud.defs_of(body[2].id, "Order").len(), 1);
+        assert_eq!(ud.defs_of(body[2].id, "uh").len(), 1);
+        assert!(matches!(ud.defs_of(body[2].id, "Order")[0].kind, DefKind::Import));
+    }
+
+    #[test]
+    fn loop_body_sees_own_redefinition() {
+        let (ud, body) = chains("x = init()\nwhile c:\n    y = x\n    x = step()\n");
+        let StmtKind::While { body: wb, .. } = &body[1].kind else { panic!() };
+        // `y = x` sees both the initial def and the loop's redefinition.
+        let defs = ud.defs_of(wb[0].id, "x");
+        assert_eq!(defs.len(), 2);
+    }
+
+    #[test]
+    fn return_cuts_defs() {
+        let (ud, body) = chains("if c:\n    x = a()\n    return x\nx = b()\ny = x\n");
+        // After the early return, only the `b()` def reaches `y = x`.
+        let defs = ud.defs_of(body[2].id, "x");
+        assert_eq!(defs.len(), 1);
+        let DefKind::Assign(rhs) = &defs[0].kind else { panic!() };
+        assert_eq!(unparse_expr(rhs), "b()");
+    }
+
+    #[test]
+    fn try_handler_sees_both_states() {
+        let (ud, body) = chains("x = a()\ntry:\n    x = b()\nexcept E:\n    y = x\nz = x\n");
+        let StmtKind::Try { handlers, .. } = &body[1].kind else { panic!() };
+        // In the handler, x may be a() (body failed early) or b().
+        let defs = ud.defs_of(handlers[0].body[0].id, "x");
+        assert_eq!(defs.len(), 2);
+        // After the try, also both (handler didn't redefine).
+        assert_eq!(ud.defs_of(body[2].id, "x").len(), 2);
+    }
+
+    #[test]
+    fn defs_in_stmt_reports_generated() {
+        let (ud, body) = chains("x = f()\n");
+        let defs = ud.defs_in_stmt(body[0].id);
+        assert_eq!(defs.len(), 1);
+        assert_eq!(defs[0].name, "x");
+    }
+
+    #[test]
+    fn unknown_statement_returns_empty() {
+        let (ud, _) = chains("x = 1\n");
+        assert!(ud.defs_of(NodeId(9999), "x").is_empty());
+    }
+
+    #[test]
+    fn attribute_target_defines_nothing() {
+        let (ud, body) = chains("obj.attr = 1\ny = obj\n");
+        assert!(ud.defs_of(body[1].id, "obj").is_empty());
+        assert!(ud.defs_of(body[1].id, "attr").is_empty());
+    }
+
+    #[test]
+    fn aug_assign_redefines() {
+        let (ud, body) = chains("x = a()\nx += 1\ny = x\n");
+        let defs = ud.defs_of(body[2].id, "x");
+        assert_eq!(defs.len(), 1);
+        assert!(matches!(defs[0].kind, DefKind::AugAssign(_)));
+    }
+}

@@ -1,0 +1,748 @@
+//! The in-memory relational engine with integrity-constraint enforcement.
+//!
+//! This is the substrate for the paper's motivation experiments (Figures
+//! 1–3): it enforces not-null, unique (composite and partial), and
+//! foreign-key constraints on every write, and rejects `ADD CONSTRAINT`
+//! migrations when existing rows violate them. Enforcement can be switched
+//! off per-database to model the "missing constraint" configuration of
+//! Figure 2(a).
+
+use std::collections::{BTreeMap, HashMap};
+
+use cfinder_schema::{Column, Constraint, ConstraintSet, Table};
+
+use crate::error::{DbError, DbResult};
+use crate::value::{Value, ValueKey};
+
+/// Identifier of a row within a table.
+pub type RowId = u64;
+
+/// A stored row: column name → value (always fully populated).
+pub type Row = BTreeMap<String, Value>;
+
+#[derive(Debug, Clone)]
+struct TableData {
+    def: Table,
+    rows: BTreeMap<RowId, Row>,
+    next_id: RowId,
+}
+
+/// An in-memory database with declarative integrity constraints.
+///
+/// ```
+/// use cfinder_minidb::{Database, Value};
+/// use cfinder_schema::{Column, ColumnType, Constraint, Table};
+///
+/// let mut db = Database::new();
+/// db.create_table(
+///     Table::new("users").with_column(Column::new("email", ColumnType::VarChar(254))),
+/// ).unwrap();
+/// db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+/// db.insert("users", [("email", Value::from("a@example.com"))]).unwrap();
+/// let dup = db.insert("users", [("email", Value::from("a@example.com"))]);
+/// assert!(dup.is_err(), "the database is the final guard");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Database {
+    tables: BTreeMap<String, TableData>,
+    constraints: ConstraintSet,
+    /// When false, constraints are recorded but not enforced — the Figure
+    /// 2(a) configuration used by the race experiments.
+    enforcing: bool,
+}
+
+impl Database {
+    /// Creates an empty, enforcing database.
+    pub fn new() -> Self {
+        Database { tables: BTreeMap::new(), constraints: ConstraintSet::new(), enforcing: true }
+    }
+
+    /// Creates a database that records but does not enforce constraints.
+    pub fn without_enforcement() -> Self {
+        Database { enforcing: false, ..Database::new() }
+    }
+
+    /// Is constraint enforcement on?
+    pub fn is_enforcing(&self) -> bool {
+        self.enforcing
+    }
+
+    /// Declared constraints.
+    pub fn constraints(&self) -> &ConstraintSet {
+        &self.constraints
+    }
+
+    // --- DDL -----------------------------------------------------------------
+
+    /// Creates a table; not-null column flags become enforced constraints.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DbError::InvalidConstraint`] if the table already exists.
+    pub fn create_table(&mut self, def: Table) -> DbResult<()> {
+        if self.tables.contains_key(&def.name) {
+            return Err(DbError::InvalidConstraint(format!("table `{}` exists", def.name)));
+        }
+        for col in &def.columns {
+            if !col.nullable {
+                self.constraints.insert(Constraint::not_null(&def.name, &col.name));
+            }
+        }
+        self.tables.insert(
+            def.name.clone(),
+            TableData { def, rows: BTreeMap::new(), next_id: 1 },
+        );
+        Ok(())
+    }
+
+    /// Adds a column to an existing table, back-filling rows with the
+    /// column default (or NULL).
+    ///
+    /// # Errors
+    ///
+    /// Fails if the table is missing, the column exists, or the column is
+    /// declared NOT NULL without a default while rows exist.
+    pub fn add_column(&mut self, table: &str, column: Column) -> DbResult<()> {
+        let t = self.tables.get_mut(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        if t.def.column(&column.name).is_some() {
+            return Err(DbError::InvalidConstraint(format!(
+                "column `{}.{}` exists",
+                table, column.name
+            )));
+        }
+        let fill: Value = column.default.as_ref().map(Value::from).unwrap_or(Value::Null);
+        if !column.nullable && fill.is_null() && !t.rows.is_empty() {
+            return Err(DbError::MigrationRejected {
+                constraint: Constraint::not_null(table, &column.name),
+                violations: t.rows.len(),
+            });
+        }
+        for row in t.rows.values_mut() {
+            row.insert(column.name.clone(), fill.clone());
+        }
+        if !column.nullable {
+            self.constraints.insert(Constraint::not_null(table, &column.name));
+        }
+        t.def.columns.push(column);
+        Ok(())
+    }
+
+    /// Declares and enforces a constraint; existing data is validated first
+    /// and the migration is rejected if any row violates it.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::MigrationRejected`] when existing rows violate the
+    /// constraint; [`DbError::InvalidConstraint`] for bad targets or
+    /// duplicates.
+    pub fn add_constraint(&mut self, constraint: Constraint) -> DbResult<()> {
+        self.validate_constraint_targets(&constraint)?;
+        if self.constraints.contains(&constraint) {
+            return Err(DbError::InvalidConstraint(format!("duplicate: {constraint}")));
+        }
+        let violations = self.count_violations(&constraint);
+        if violations > 0 {
+            return Err(DbError::MigrationRejected { constraint, violations });
+        }
+        if let Constraint::NotNull { table, column } = &constraint {
+            if let Some(t) = self.tables.get_mut(table) {
+                if let Some(c) = t.def.column_mut(column) {
+                    c.nullable = false;
+                }
+            }
+        }
+        self.constraints.insert(constraint);
+        Ok(())
+    }
+
+    /// Removes a declared constraint.
+    ///
+    /// # Errors
+    ///
+    /// [`DbError::InvalidConstraint`] when the constraint is not declared.
+    pub fn drop_constraint(&mut self, constraint: &Constraint) -> DbResult<()> {
+        if !self.constraints.remove(constraint) {
+            return Err(DbError::InvalidConstraint(format!("not declared: {constraint}")));
+        }
+        if let Constraint::NotNull { table, column } = constraint {
+            if let Some(t) = self.tables.get_mut(table) {
+                if let Some(c) = t.def.column_mut(column) {
+                    c.nullable = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn validate_constraint_targets(&self, constraint: &Constraint) -> DbResult<()> {
+        let t = self
+            .tables
+            .get(constraint.table())
+            .ok_or_else(|| DbError::NoSuchTable(constraint.table().into()))?;
+        for col in constraint.columns() {
+            if t.def.column(col).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: t.def.name.clone(),
+                    column: col.to_string(),
+                });
+            }
+        }
+        if let Constraint::ForeignKey { ref_table, ref_column, .. } = constraint {
+            let rt = self
+                .tables
+                .get(ref_table)
+                .ok_or_else(|| DbError::NoSuchTable(ref_table.clone()))?;
+            if rt.def.column(ref_column).is_none() {
+                return Err(DbError::NoSuchColumn {
+                    table: ref_table.clone(),
+                    column: ref_column.clone(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    // --- DML -----------------------------------------------------------------
+
+    /// Inserts a row; omitted columns take their default (or NULL).
+    ///
+    /// # Errors
+    ///
+    /// Type mismatches and, when enforcing, any constraint violation.
+    pub fn insert<'a, I>(&mut self, table: &str, values: I) -> DbResult<RowId>
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        let values: HashMap<&str, Value> = values.into_iter().collect();
+        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let mut row: Row = BTreeMap::new();
+        let next_id = t.next_id;
+        for col in &t.def.columns {
+            let v = match values.get(col.name.as_str()) {
+                Some(v) => v.clone(),
+                None if col.name == t.def.primary_key => Value::Int(next_id as i64),
+                None => col.default.as_ref().map(Value::from).unwrap_or(Value::Null),
+            };
+            if !v.fits(&col.ty) {
+                return Err(DbError::TypeMismatch {
+                    table: table.into(),
+                    column: col.name.clone(),
+                    value: v.to_string(),
+                });
+            }
+            row.insert(col.name.clone(), v);
+        }
+        for key in values.keys() {
+            if t.def.column(key).is_none() {
+                return Err(DbError::NoSuchColumn { table: table.into(), column: key.to_string() });
+            }
+        }
+        if self.enforcing {
+            self.check_row(table, &row, None)?;
+        }
+        let t = self.tables.get_mut(table).expect("checked above");
+        let id = t.next_id;
+        t.next_id += 1;
+        t.rows.insert(id, row);
+        Ok(id)
+    }
+
+    /// Updates columns of one row.
+    ///
+    /// # Errors
+    ///
+    /// Unknown row/columns, type mismatches, and constraint violations.
+    pub fn update<'a, I>(&mut self, table: &str, row_id: RowId, values: I) -> DbResult<()>
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let old = t
+            .rows
+            .get(&row_id)
+            .ok_or(DbError::NoSuchRow { table: table.into(), row: row_id })?;
+        let mut row = old.clone();
+        for (k, v) in values {
+            let col = t.def.column(k).ok_or_else(|| DbError::NoSuchColumn {
+                table: table.into(),
+                column: k.to_string(),
+            })?;
+            if !v.fits(&col.ty) {
+                return Err(DbError::TypeMismatch {
+                    table: table.into(),
+                    column: k.to_string(),
+                    value: v.to_string(),
+                });
+            }
+            row.insert(k.to_string(), v);
+        }
+        if self.enforcing {
+            self.check_row(table, &row, Some(row_id))?;
+        }
+        self.tables.get_mut(table).expect("checked").rows.insert(row_id, row);
+        Ok(())
+    }
+
+    /// Deletes a row; enforcing databases reject deletes still referenced by
+    /// foreign keys (RESTRICT semantics).
+    ///
+    /// # Errors
+    ///
+    /// Unknown row, or an FK restriction violation.
+    pub fn delete(&mut self, table: &str, row_id: RowId) -> DbResult<()> {
+        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        let row = t
+            .rows
+            .get(&row_id)
+            .ok_or(DbError::NoSuchRow { table: table.into(), row: row_id })?
+            .clone();
+        if self.enforcing {
+            for c in self.constraints.iter() {
+                let Constraint::ForeignKey { table: dep, column, ref_table, ref_column } = c else {
+                    continue;
+                };
+                if ref_table != table {
+                    continue;
+                }
+                let Some(pk_val) = row.get(ref_column) else { continue };
+                if pk_val.is_null() {
+                    continue;
+                }
+                let dep_t = match self.tables.get(dep) {
+                    Some(t) => t,
+                    None => continue,
+                };
+                let referenced = dep_t
+                    .rows
+                    .values()
+                    .any(|r| r.get(column).map(|v| v.key()) == Some(pk_val.key()));
+                if referenced {
+                    return Err(DbError::ConstraintViolation {
+                        constraint: c.clone(),
+                        detail: format!("row {row_id} is still referenced by `{dep}`"),
+                    });
+                }
+            }
+        }
+        self.tables.get_mut(table).expect("checked").rows.remove(&row_id);
+        Ok(())
+    }
+
+    // --- queries ----------------------------------------------------------------
+
+    /// Returns rows matching all equality filters (empty filter = all rows).
+    pub fn select(&self, table: &str, filters: &[(&str, Value)]) -> DbResult<Vec<(RowId, &Row)>> {
+        let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
+        for (col, _) in filters {
+            if t.def.column(col).is_none() {
+                return Err(DbError::NoSuchColumn { table: table.into(), column: col.to_string() });
+            }
+        }
+        Ok(t.rows
+            .iter()
+            .filter(|(_, row)| {
+                filters.iter().all(|(col, v)| row.get(*col).map(|x| x.key()) == Some(v.key()))
+            })
+            .map(|(id, row)| (*id, row))
+            .collect())
+    }
+
+    /// Fetches one row by id.
+    pub fn get(&self, table: &str, row_id: RowId) -> DbResult<&Row> {
+        self.tables
+            .get(table)
+            .ok_or_else(|| DbError::NoSuchTable(table.into()))?
+            .rows
+            .get(&row_id)
+            .ok_or(DbError::NoSuchRow { table: table.into(), row: row_id })
+    }
+
+    /// Number of rows in a table (0 for unknown tables).
+    pub fn row_count(&self, table: &str) -> usize {
+        self.tables.get(table).map_or(0, |t| t.rows.len())
+    }
+
+    /// Table definition, if present.
+    pub fn table_def(&self, table: &str) -> Option<&Table> {
+        self.tables.get(table).map(|t| &t.def)
+    }
+
+    /// All table names, sorted.
+    pub fn table_names(&self) -> Vec<String> {
+        self.tables.keys().cloned().collect()
+    }
+
+    // --- transaction-rollback internals (bypass constraint checks; they
+    //     restore previously-valid states) ------------------------------------
+
+    /// Removes a row without FK restriction checks (rollback of an insert).
+    pub(crate) fn force_remove(&mut self, table: &str, row: RowId) {
+        if let Some(t) = self.tables.get_mut(table) {
+            t.rows.remove(&row);
+        }
+    }
+
+    /// Puts a row back verbatim (rollback of an update or delete).
+    pub(crate) fn force_put(&mut self, table: &str, row: RowId, values: Row) {
+        if let Some(t) = self.tables.get_mut(table) {
+            t.rows.insert(row, values);
+        }
+    }
+
+    // --- integrity checks ----------------------------------------------------------
+
+    /// Validates `row` (a prospective insert/update of `exclude`) against
+    /// every declared constraint.
+    fn check_row(&self, table: &str, row: &Row, exclude: Option<RowId>) -> DbResult<()> {
+        for c in self.constraints.iter() {
+            if c.table() != table {
+                // FKs also fire on the dependent side only; referenced-side
+                // checks happen in `delete`.
+                continue;
+            }
+            match c {
+                Constraint::NotNull { column, .. } => {
+                    if row.get(column).is_none_or(Value::is_null) {
+                        return Err(DbError::ConstraintViolation {
+                            constraint: c.clone(),
+                            detail: format!("`{column}` is NULL"),
+                        });
+                    }
+                }
+                Constraint::Unique { columns, conditions, .. } => {
+                    if !conditions.iter().all(|cond| {
+                        row.get(&cond.column).map(|v| v.key())
+                            == Some(Value::from(&cond.value).key())
+                    }) {
+                        continue; // partial unique: row outside the condition
+                    }
+                    // NULL in any key column exempts the row (SQL semantics).
+                    let key: Option<Vec<ValueKey>> = columns
+                        .iter()
+                        .map(|col| {
+                            row.get(col).filter(|v| !v.is_null()).map(Value::key)
+                        })
+                        .collect();
+                    let Some(key) = key else { continue };
+                    let t = self.tables.get(table).expect("caller validated");
+                    let clash = t.rows.iter().any(|(id, other)| {
+                        if Some(*id) == exclude {
+                            return false;
+                        }
+                        if !conditions.iter().all(|cond| {
+                            other.get(&cond.column).map(|v| v.key())
+                                == Some(Value::from(&cond.value).key())
+                        }) {
+                            return false;
+                        }
+                        columns
+                            .iter()
+                            .zip(&key)
+                            .all(|(col, k)| other.get(col).map(|v| v.key()).as_ref() == Some(k))
+                    });
+                    if clash {
+                        return Err(DbError::ConstraintViolation {
+                            constraint: c.clone(),
+                            detail: format!("duplicate key ({})", columns.join(", ")),
+                        });
+                    }
+                }
+                Constraint::ForeignKey { column, ref_table, ref_column, .. } => {
+                    let Some(v) = row.get(column) else { continue };
+                    if v.is_null() {
+                        continue; // NULL FK allowed unless NOT NULL also set
+                    }
+                    let rt = self
+                        .tables
+                        .get(ref_table)
+                        .ok_or_else(|| DbError::NoSuchTable(ref_table.clone()))?;
+                    let exists = rt
+                        .rows
+                        .values()
+                        .any(|r| r.get(ref_column).map(|x| x.key()) == Some(v.key()));
+                    if !exists {
+                        return Err(DbError::ConstraintViolation {
+                            constraint: c.clone(),
+                            detail: format!("{v} not present in `{ref_table}.{ref_column}`"),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Counts existing rows violating a prospective constraint.
+    pub fn count_violations(&self, constraint: &Constraint) -> usize {
+        let Some(t) = self.tables.get(constraint.table()) else { return 0 };
+        match constraint {
+            Constraint::NotNull { column, .. } => t
+                .rows
+                .values()
+                .filter(|r| r.get(column).is_none_or(Value::is_null))
+                .count(),
+            Constraint::Unique { columns, conditions, .. } => {
+                let mut seen: HashMap<Vec<ValueKey>, usize> = HashMap::new();
+                for row in t.rows.values() {
+                    if !conditions.iter().all(|cond| {
+                        row.get(&cond.column).map(|v| v.key())
+                            == Some(Value::from(&cond.value).key())
+                    }) {
+                        continue;
+                    }
+                    let key: Option<Vec<ValueKey>> = columns
+                        .iter()
+                        .map(|col| row.get(col).filter(|v| !v.is_null()).map(Value::key))
+                        .collect();
+                    if let Some(key) = key {
+                        *seen.entry(key).or_insert(0) += 1;
+                    }
+                }
+                seen.values().filter(|n| **n > 1).map(|n| n - 1).sum()
+            }
+            Constraint::ForeignKey { column, ref_table, ref_column, .. } => {
+                let Some(rt) = self.tables.get(ref_table) else {
+                    return t.rows.len();
+                };
+                let keys: std::collections::HashSet<ValueKey> = rt
+                    .rows
+                    .values()
+                    .filter_map(|r| r.get(ref_column).filter(|v| !v.is_null()).map(Value::key))
+                    .collect();
+                t.rows
+                    .values()
+                    .filter(|r| {
+                        r.get(column)
+                            .filter(|v| !v.is_null())
+                            .is_some_and(|v| !keys.contains(&v.key()))
+                    })
+                    .count()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfinder_schema::{ColumnType, Condition, Literal};
+
+    fn users() -> Table {
+        Table::new("users")
+            .with_column(Column::new("email", ColumnType::VarChar(254)))
+            .with_column(Column::new("name", ColumnType::VarChar(100)))
+            .with_column(Column::new("active", ColumnType::Boolean).with_default(Literal::Bool(true)))
+    }
+
+    fn db_with_users() -> Database {
+        let mut db = Database::new();
+        db.create_table(users()).unwrap();
+        db
+    }
+
+    #[test]
+    fn insert_and_select() {
+        let mut db = db_with_users();
+        let id = db.insert("users", [("email", Value::from("a@x.com"))]).unwrap();
+        let row = db.get("users", id).unwrap();
+        assert_eq!(row["email"], Value::Str("a@x.com".into()));
+        assert_eq!(row["active"], Value::Bool(true), "default applied");
+        assert_eq!(row["name"], Value::Null);
+        assert_eq!(row["id"], Value::Int(id as i64), "pk auto-assigned");
+        assert_eq!(db.select("users", &[("email", Value::from("a@x.com"))]).unwrap().len(), 1);
+        assert_eq!(db.select("users", &[("email", Value::from("b@x.com"))]).unwrap().len(), 0);
+    }
+
+    #[test]
+    fn unique_constraint_blocks_duplicates() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        db.insert("users", [("email", Value::from("a@x.com"))]).unwrap();
+        let err = db.insert("users", [("email", Value::from("a@x.com"))]).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        // Different value passes.
+        db.insert("users", [("email", Value::from("b@x.com"))]).unwrap();
+    }
+
+    #[test]
+    fn unique_allows_nulls() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        db.insert("users", []).unwrap();
+        db.insert("users", []).unwrap(); // two NULL emails coexist
+        assert_eq!(db.row_count("users"), 2);
+    }
+
+    #[test]
+    fn composite_unique() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::unique("users", ["email", "name"])).unwrap();
+        db.insert("users", [("email", Value::from("a")), ("name", Value::from("n"))]).unwrap();
+        db.insert("users", [("email", Value::from("a")), ("name", Value::from("m"))]).unwrap();
+        let err = db
+            .insert("users", [("email", Value::from("a")), ("name", Value::from("n"))])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+    }
+
+    #[test]
+    fn partial_unique_only_applies_under_condition() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::partial_unique(
+            "users",
+            ["email"],
+            vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
+        ))
+        .unwrap();
+        db.insert("users", [("email", Value::from("a")), ("active", Value::from(true))]).unwrap();
+        // Inactive duplicate is fine.
+        db.insert("users", [("email", Value::from("a")), ("active", Value::from(false))]).unwrap();
+        // Active duplicate is rejected.
+        let err = db
+            .insert("users", [("email", Value::from("a")), ("active", Value::from(true))])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+    }
+
+    #[test]
+    fn not_null_blocks_nulls() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::not_null("users", "email")).unwrap();
+        assert!(db.insert("users", []).is_err());
+        assert!(db.insert("users", [("email", Value::Null)]).is_err());
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+    }
+
+    #[test]
+    fn foreign_key_enforced_on_insert_update_delete() {
+        let mut db = db_with_users();
+        db.create_table(
+            Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
+        )
+        .unwrap();
+        db.add_constraint(Constraint::foreign_key("orders", "user_id", "users", "id")).unwrap();
+        let uid = db.insert("users", [("email", Value::from("a"))]).unwrap();
+        // Valid reference.
+        let oid = db.insert("orders", [("user_id", Value::Int(uid as i64))]).unwrap();
+        // Dangling reference rejected.
+        assert!(db.insert("orders", [("user_id", Value::Int(999))]).is_err());
+        // Update to dangling rejected.
+        assert!(db.update("orders", oid, [("user_id", Value::Int(999))]).is_err());
+        // Deleting a referenced row is restricted.
+        assert!(db.delete("users", uid).is_err());
+        // After removing the order it works.
+        db.delete("orders", oid).unwrap();
+        db.delete("users", uid).unwrap();
+    }
+
+    #[test]
+    fn null_fk_is_allowed() {
+        let mut db = db_with_users();
+        db.create_table(
+            Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
+        )
+        .unwrap();
+        db.add_constraint(Constraint::foreign_key("orders", "user_id", "users", "id")).unwrap();
+        db.insert("orders", []).unwrap();
+    }
+
+    #[test]
+    fn migration_rejected_when_data_violates() {
+        let mut db = db_with_users();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        let err = db.add_constraint(Constraint::unique("users", ["email"])).unwrap_err();
+        assert_eq!(
+            err,
+            DbError::MigrationRejected {
+                constraint: Constraint::unique("users", ["email"]),
+                violations: 1
+            }
+        );
+        // Clean the data, retry: accepted.
+        let dup = db.select("users", &[("email", Value::from("a"))]).unwrap()[1].0;
+        db.delete("users", dup).unwrap();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+    }
+
+    #[test]
+    fn not_null_migration_rejected_on_null_data() {
+        let mut db = db_with_users();
+        db.insert("users", []).unwrap();
+        let err = db.add_constraint(Constraint::not_null("users", "email")).unwrap_err();
+        assert!(matches!(err, DbError::MigrationRejected { violations: 1, .. }));
+    }
+
+    #[test]
+    fn without_enforcement_admits_bad_data() {
+        let mut db = Database::without_enforcement();
+        db.create_table(users()).unwrap();
+        // Constraint declared but not enforced (Figure 2a).
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        assert_eq!(db.count_violations(&Constraint::unique("users", ["email"])), 1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut db = db_with_users();
+        let err = db.insert("users", [("active", Value::from("yes"))]).unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+        let err = db.insert("users", [("email", Value::from(5i64))]).unwrap_err();
+        assert!(matches!(err, DbError::TypeMismatch { .. }));
+    }
+
+    #[test]
+    fn unknown_targets_rejected() {
+        let mut db = db_with_users();
+        assert!(db.insert("ghosts", []).is_err());
+        assert!(db.insert("users", [("ghost", Value::Null)]).is_err());
+        assert!(db.select("ghosts", &[]).is_err());
+        assert!(db.add_constraint(Constraint::unique("ghosts", ["x"])).is_err());
+        assert!(db.add_constraint(Constraint::unique("users", ["ghost"])).is_err());
+        assert!(db
+            .add_constraint(Constraint::foreign_key("users", "email", "ghosts", "id"))
+            .is_err());
+    }
+
+    #[test]
+    fn update_respects_unique() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        let a = db.insert("users", [("email", Value::from("a"))]).unwrap();
+        db.insert("users", [("email", Value::from("b"))]).unwrap();
+        // Updating a row to its own value is fine (self-exclusion).
+        db.update("users", a, [("email", Value::from("a"))]).unwrap();
+        // Updating to the other row's value violates.
+        assert!(db.update("users", a, [("email", Value::from("b"))]).is_err());
+    }
+
+    #[test]
+    fn add_column_backfills() {
+        let mut db = db_with_users();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        db.add_column(
+            "users",
+            Column::new("score", ColumnType::Integer).with_default(Literal::Int(0)),
+        )
+        .unwrap();
+        let rows = db.select("users", &[]).unwrap();
+        assert_eq!(rows[0].1["score"], Value::Int(0));
+        // NOT NULL without default on a non-empty table is rejected.
+        assert!(db
+            .add_column("users", Column::new("req", ColumnType::Integer).not_null())
+            .is_err());
+    }
+
+    #[test]
+    fn drop_constraint_restores_permissiveness() {
+        let mut db = db_with_users();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        assert!(db.insert("users", [("email", Value::from("a"))]).is_err());
+        db.drop_constraint(&Constraint::unique("users", ["email"])).unwrap();
+        db.insert("users", [("email", Value::from("a"))]).unwrap();
+        assert_eq!(db.row_count("users"), 2);
+    }
+}

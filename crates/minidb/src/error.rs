@@ -1,0 +1,98 @@
+//! Database errors.
+
+use std::error::Error;
+use std::fmt;
+
+use cfinder_schema::Constraint;
+
+/// Errors returned by [`crate::Database`] operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// Referenced table does not exist.
+    NoSuchTable(String),
+    /// Referenced column does not exist.
+    NoSuchColumn {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+    },
+    /// Referenced row does not exist.
+    NoSuchRow {
+        /// Table name.
+        table: String,
+        /// Row id.
+        row: u64,
+    },
+    /// A value does not fit its column type.
+    TypeMismatch {
+        /// Table name.
+        table: String,
+        /// Column name.
+        column: String,
+        /// Offending value, rendered.
+        value: String,
+    },
+    /// An integrity constraint rejected the operation — the database acting
+    /// as "the final guard" (Figure 2b of the paper).
+    ConstraintViolation {
+        /// The violated constraint.
+        constraint: Constraint,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// `ALTER TABLE ADD CONSTRAINT` rejected because existing rows violate
+    /// the new constraint (§4.2.1: "the DBMS will reject the schema
+    /// migration if any existing data violates it").
+    MigrationRejected {
+        /// The constraint that could not be added.
+        constraint: Constraint,
+        /// Number of violating rows.
+        violations: usize,
+    },
+    /// Constraint definition problems (duplicate, bad target).
+    InvalidConstraint(String),
+}
+
+impl fmt::Display for DbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DbError::NoSuchTable(t) => write!(f, "no such table `{t}`"),
+            DbError::NoSuchColumn { table, column } => {
+                write!(f, "no such column `{table}.{column}`")
+            }
+            DbError::NoSuchRow { table, row } => write!(f, "no row {row} in `{table}`"),
+            DbError::TypeMismatch { table, column, value } => {
+                write!(f, "value {value} does not fit `{table}.{column}`")
+            }
+            DbError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint violation: {constraint} ({detail})")
+            }
+            DbError::MigrationRejected { constraint, violations } => write!(
+                f,
+                "cannot add {constraint}: {violations} existing row(s) violate it"
+            ),
+            DbError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
+        }
+    }
+}
+
+impl Error for DbError {}
+
+/// Convenience alias.
+pub type DbResult<T> = Result<T, DbError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let c = Constraint::unique("users", ["email"]);
+        let e = DbError::ConstraintViolation { constraint: c.clone(), detail: "dup".into() };
+        assert!(e.to_string().contains("users Unique (email)"));
+        let e = DbError::MigrationRejected { constraint: c, violations: 3 };
+        assert!(e.to_string().contains("3 existing row(s)"));
+        assert_eq!(DbError::NoSuchTable("x".into()).to_string(), "no such table `x`");
+    }
+}

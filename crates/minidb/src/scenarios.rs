@@ -1,0 +1,232 @@
+//! Replays of the paper's Figure 1 incidents.
+//!
+//! Three real-world outages — a Saleor dashboard crash from a NULL order
+//! total, a Zulip/Oscar login breakage from duplicate emails, and an Oscar
+//! integer-typed `basket_id` corrupting order data — each runs twice:
+//! without the relevant database constraint (the incident happens) and with
+//! it (the bad write is rejected at the source).
+
+use cfinder_schema::{Column, ColumnType, Constraint, Literal, Table};
+
+use crate::database::Database;
+use crate::error::DbError;
+use crate::value::Value;
+
+/// Outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioOutcome {
+    /// Whether the protective constraint was enforced.
+    pub constraint_enforced: bool,
+    /// Whether the buggy write was stored.
+    pub bad_write_persisted: bool,
+    /// The user-visible failure, if the incident occurred.
+    pub consequence: Option<String>,
+    /// The database error, if the constraint blocked the write.
+    pub blocked_by: Option<DbError>,
+}
+
+impl ScenarioOutcome {
+    /// True when data integrity was preserved.
+    pub fn integrity_preserved(&self) -> bool {
+        !self.bad_write_persisted
+    }
+}
+
+/// Figure 1(a): an order with a NULL `total` crashes the admin dashboard.
+///
+/// The application bug writes `total = NULL`. Without the not-null
+/// constraint the row persists and the dashboard's rendering code (which
+/// formats `total`) crashes. With it, the write fails immediately.
+pub fn null_order_total(enforce: bool) -> ScenarioOutcome {
+    let mut db = if enforce { Database::new() } else { Database::without_enforcement() };
+    db.create_table(
+        Table::new("order")
+            .with_column(Column::new("number", ColumnType::VarChar(32)))
+            .with_column(Column::new("total", ColumnType::Decimal(12, 2))),
+    )
+    .expect("fresh db");
+    db.add_constraint(Constraint::not_null("order", "total")).expect("declaring is fine");
+
+    // A healthy order…
+    db.insert("order", [("number", Value::from("A-1")), ("total", Value::Int(999))])
+        .expect("valid order");
+    // …then the buggy code path writes a NULL total.
+    let bad = db.insert("order", [("number", Value::from("A-2")), ("total", Value::Null)]);
+
+    match bad {
+        Ok(_) => {
+            // Dashboard render: formats every total; NULL crashes the page.
+            let crash = db
+                .select("order", &[])
+                .expect("table exists")
+                .iter()
+                .any(|(_, row)| row["total"].is_null());
+            ScenarioOutcome {
+                constraint_enforced: enforce,
+                bad_write_persisted: true,
+                consequence: crash.then(|| {
+                    "dashboard page crash: cannot format NULL order total".to_string()
+                }),
+                blocked_by: None,
+            }
+        }
+        Err(e) => ScenarioOutcome {
+            constraint_enforced: enforce,
+            bad_write_persisted: false,
+            consequence: None,
+            blocked_by: Some(e),
+        },
+    }
+}
+
+/// Figure 1(b): duplicate `UserProfile.email` blocks both users from
+/// logging in (the login lookup expects at most one match).
+pub fn duplicate_email_login(enforce: bool) -> ScenarioOutcome {
+    let mut db = if enforce { Database::new() } else { Database::without_enforcement() };
+    db.create_table(
+        Table::new("user_profile").with_column(Column::new("email", ColumnType::VarChar(254))),
+    )
+    .expect("fresh db");
+    db.add_constraint(Constraint::unique("user_profile", ["email"])).expect("declare");
+
+    db.insert("user_profile", [("email", Value::from("sam@example.com"))]).expect("first signup");
+    // The buggy profile-update path writes the same email again.
+    let bad = db.insert("user_profile", [("email", Value::from("sam@example.com"))]);
+
+    match bad {
+        Ok(_) => {
+            // Login: `get(email=…)` semantics — more than one match is an
+            // error, so neither account can sign in.
+            let matches = db
+                .select("user_profile", &[("email", Value::from("sam@example.com"))])
+                .expect("table exists")
+                .len();
+            ScenarioOutcome {
+                constraint_enforced: enforce,
+                bad_write_persisted: true,
+                consequence: (matches > 1).then(|| {
+                    format!("login blocked: get(email=…) matched {matches} accounts")
+                }),
+                blocked_by: None,
+            }
+        }
+        Err(e) => ScenarioOutcome {
+            constraint_enforced: enforce,
+            bad_write_persisted: false,
+            consequence: None,
+            blocked_by: Some(e),
+        },
+    }
+}
+
+/// Figure 1(c): `Order.basket_id` stored as a plain integer rather than a
+/// foreign key lets orders reference baskets that do not exist.
+pub fn dangling_basket_reference(enforce: bool) -> ScenarioOutcome {
+    let mut db = if enforce { Database::new() } else { Database::without_enforcement() };
+    db.create_table(
+        Table::new("basket").with_column(
+            Column::new("status", ColumnType::VarChar(16)).with_default(Literal::Str("open".into())),
+        ),
+    )
+    .expect("fresh db");
+    db.create_table(
+        Table::new("order").with_column(Column::new("basket_id", ColumnType::BigInt)),
+    )
+    .expect("fresh db");
+    db.add_constraint(Constraint::foreign_key("order", "basket_id", "basket", "id"))
+        .expect("declare");
+
+    let basket = db.insert("basket", []).expect("one real basket");
+    db.insert("order", [("basket_id", Value::Int(basket as i64))]).expect("valid order");
+    // Buggy import script writes an order for a basket id that was never
+    // created.
+    let bad = db.insert("order", [("basket_id", Value::Int(424_242))]);
+
+    match bad {
+        Ok(_) => {
+            let dangling = db
+                .count_violations(&Constraint::foreign_key("order", "basket_id", "basket", "id"));
+            ScenarioOutcome {
+                constraint_enforced: enforce,
+                bad_write_persisted: true,
+                consequence: (dangling > 0).then(|| {
+                    format!("data corruption: {dangling} order(s) reference missing baskets")
+                }),
+                blocked_by: None,
+            }
+        }
+        Err(e) => ScenarioOutcome {
+            constraint_enforced: enforce,
+            bad_write_persisted: false,
+            consequence: None,
+            blocked_by: Some(e),
+        },
+    }
+}
+
+/// Runs all three scenarios in both configurations; used by the example
+/// binary and the figure harness.
+pub fn run_all() -> Vec<(&'static str, ScenarioOutcome, ScenarioOutcome)> {
+    vec![
+        ("null order total (Saleor)", null_order_total(false), null_order_total(true)),
+        (
+            "duplicate user email (Oscar/Zulip)",
+            duplicate_email_login(false),
+            duplicate_email_login(true),
+        ),
+        (
+            "dangling basket_id (Oscar)",
+            dangling_basket_reference(false),
+            dangling_basket_reference(true),
+        ),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_total_crashes_without_constraint() {
+        let out = null_order_total(false);
+        assert!(out.bad_write_persisted);
+        assert!(out.consequence.as_deref().unwrap().contains("crash"));
+        assert!(!out.integrity_preserved());
+    }
+
+    #[test]
+    fn null_total_blocked_with_constraint() {
+        let out = null_order_total(true);
+        assert!(!out.bad_write_persisted);
+        assert!(out.consequence.is_none());
+        assert!(matches!(out.blocked_by, Some(DbError::ConstraintViolation { .. })));
+        assert!(out.integrity_preserved());
+    }
+
+    #[test]
+    fn duplicate_email_blocks_login_without_constraint() {
+        let out = duplicate_email_login(false);
+        assert!(out.consequence.as_deref().unwrap().contains("login blocked"));
+        let out = duplicate_email_login(true);
+        assert!(out.integrity_preserved());
+    }
+
+    #[test]
+    fn dangling_basket_corrupts_without_constraint() {
+        let out = dangling_basket_reference(false);
+        assert!(out.consequence.as_deref().unwrap().contains("corruption"));
+        let out = dangling_basket_reference(true);
+        assert!(out.integrity_preserved());
+        assert!(matches!(out.blocked_by, Some(DbError::ConstraintViolation { .. })));
+    }
+
+    #[test]
+    fn run_all_covers_three_scenarios() {
+        let all = run_all();
+        assert_eq!(all.len(), 3);
+        for (_, without, with) in all {
+            assert!(!without.integrity_preserved());
+            assert!(with.integrity_preserved());
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! Atomic multi-write transactions with read-committed semantics.
+//!
+//! §1.3 of the paper notes that "even encapsulating validation logic
+//! within a transaction may not work because most production databases
+//! default to non-serializable isolation". This module models exactly
+//! that: a [`Transaction`] buffers writes and commits them atomically
+//! (all-or-nothing, with rollback on constraint violation), but *reads
+//! performed while building the transaction see the committed state* —
+//! read-committed, not serializable. Two concurrent check-then-insert
+//! transactions therefore both pass their validation and both commit,
+//! unless a database constraint turns the second commit into a rollback.
+
+use crate::database::{Database, RowId};
+use crate::error::DbResult;
+use crate::value::Value;
+
+/// One buffered write.
+#[derive(Debug, Clone)]
+enum TxnOp {
+    Insert { table: String, values: Vec<(String, Value)> },
+    Update { table: String, row: RowId, values: Vec<(String, Value)> },
+    Delete { table: String, row: RowId },
+}
+
+/// A buffered transaction. Build it up with [`Transaction::insert`] /
+/// [`Transaction::update`] / [`Transaction::delete`], then apply with
+/// [`Database::commit`].
+#[derive(Debug, Clone, Default)]
+pub struct Transaction {
+    ops: Vec<TxnOp>,
+}
+
+impl Transaction {
+    /// Creates an empty transaction.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Buffers an insert.
+    pub fn insert<'a, I>(&mut self, table: &str, values: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        self.ops.push(TxnOp::Insert {
+            table: table.to_string(),
+            values: values.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+        self
+    }
+
+    /// Buffers an update.
+    pub fn update<'a, I>(&mut self, table: &str, row: RowId, values: I) -> &mut Self
+    where
+        I: IntoIterator<Item = (&'a str, Value)>,
+    {
+        self.ops.push(TxnOp::Update {
+            table: table.to_string(),
+            row,
+            values: values.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        });
+        self
+    }
+
+    /// Buffers a delete.
+    pub fn delete(&mut self, table: &str, row: RowId) -> &mut Self {
+        self.ops.push(TxnOp::Delete { table: table.to_string(), row });
+        self
+    }
+
+    /// Number of buffered operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// True when nothing is buffered.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+}
+
+/// Undo record for rollback.
+#[derive(Debug)]
+enum Undo {
+    RemoveInserted { table: String, row: RowId },
+    RestoreRow { table: String, row: RowId, values: Vec<(String, Value)> },
+    ReinsertDeleted { table: String, row: RowId, values: Vec<(String, Value)> },
+}
+
+impl Database {
+    /// Applies a transaction atomically: either every operation succeeds,
+    /// or none is visible afterwards.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operation's error after rolling back everything
+    /// already applied (the behaviour of a SQL transaction aborting on a
+    /// constraint violation).
+    pub fn commit(&mut self, txn: &Transaction) -> DbResult<Vec<RowId>> {
+        let mut undo: Vec<Undo> = Vec::new();
+        let mut inserted = Vec::new();
+        // Ids assigned within this transaction, for intra-txn references.
+        let result = (|| -> DbResult<()> {
+            for op in &txn.ops {
+                match op {
+                    TxnOp::Insert { table, values } => {
+                        let id = self.insert(
+                            table,
+                            values.iter().map(|(k, v)| (k.as_str(), v.clone())),
+                        )?;
+                        undo.push(Undo::RemoveInserted { table: table.clone(), row: id });
+                        inserted.push(id);
+                    }
+                    TxnOp::Update { table, row, values } => {
+                        let before = self.get(table, *row)?.clone();
+                        self.update(
+                            table,
+                            *row,
+                            values.iter().map(|(k, v)| (k.as_str(), v.clone())),
+                        )?;
+                        undo.push(Undo::RestoreRow {
+                            table: table.clone(),
+                            row: *row,
+                            values: before.into_iter().collect(),
+                        });
+                    }
+                    TxnOp::Delete { table, row } => {
+                        let before = self.get(table, *row)?.clone();
+                        self.delete(table, *row)?;
+                        undo.push(Undo::ReinsertDeleted {
+                            table: table.clone(),
+                            row: *row,
+                            values: before.into_iter().collect(),
+                        });
+                    }
+                }
+            }
+            Ok(())
+        })();
+        match result {
+            Ok(()) => Ok(inserted),
+            Err(e) => {
+                self.rollback(undo);
+                Err(e)
+            }
+        }
+    }
+
+    /// Reverts applied operations in reverse order. Rollback bypasses
+    /// constraint checks: it restores a state that was valid before.
+    fn rollback(&mut self, undo: Vec<Undo>) {
+        for entry in undo.into_iter().rev() {
+            match entry {
+                Undo::RemoveInserted { table, row } => {
+                    self.force_remove(&table, row);
+                }
+                Undo::RestoreRow { table, row, values } => {
+                    self.force_put(&table, row, values.into_iter().collect());
+                }
+                Undo::ReinsertDeleted { table, row, values } => {
+                    self.force_put(&table, row, values.into_iter().collect());
+                }
+            }
+        }
+    }
+}
+
+/// Read-committed transactional race (§1.3): each request runs
+/// *check inside a transaction, then insert inside the same transaction* —
+/// but because isolation is not serializable, the checks of concurrent
+/// transactions all read the same committed state.
+///
+/// Returns the number of duplicate rows that survive with `requests`
+/// concurrent transactions inserting the same email.
+pub fn transactional_race(requests: usize, db_constraint: bool) -> DbResult<usize> {
+    use cfinder_schema::{Column, ColumnType, Constraint, Table};
+
+    let mut db = if db_constraint { Database::new() } else { Database::without_enforcement() };
+    db.create_table(
+        Table::new("users").with_column(Column::new("email", ColumnType::VarChar(254))),
+    )?;
+    db.add_constraint(Constraint::unique("users", ["email"]))?;
+
+    let email = Value::from("dup@example.com");
+    // Phase 1: every transaction performs its validation read against the
+    // committed state (all empty — non-serializable isolation).
+    let mut txns = Vec::new();
+    for _ in 0..requests {
+        let already = !db.select("users", &[("email", email.clone())])?.is_empty();
+        if !already {
+            let mut txn = Transaction::new();
+            txn.insert("users", [("email", email.clone())]);
+            txns.push(txn);
+        }
+    }
+    // Phase 2: commits serialize; each is atomic, yet without the DB
+    // constraint they all succeed.
+    for txn in &txns {
+        let _ = db.commit(txn);
+    }
+    Ok(db.count_violations(&cfinder_schema::Constraint::unique("users", ["email"])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::DbError;
+    use cfinder_schema::{Column, ColumnType, Constraint, Table};
+
+    fn db() -> Database {
+        let mut db = Database::new();
+        db.create_table(
+            Table::new("users")
+                .with_column(Column::new("email", ColumnType::VarChar(254)))
+                .with_column(Column::new("name", ColumnType::VarChar(64))),
+        )
+        .unwrap();
+        db.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        db
+    }
+
+    #[test]
+    fn commit_applies_all_ops() {
+        let mut db = db();
+        let mut txn = Transaction::new();
+        txn.insert("users", [("email", Value::from("a@x"))])
+            .insert("users", [("email", Value::from("b@x"))]);
+        assert_eq!(txn.len(), 2);
+        assert!(!txn.is_empty());
+        let ids = db.commit(&txn).unwrap();
+        assert_eq!(ids.len(), 2);
+        assert_eq!(db.row_count("users"), 2);
+    }
+
+    #[test]
+    fn failed_commit_rolls_back_everything() {
+        let mut db = db();
+        db.insert("users", [("email", Value::from("taken@x"))]).unwrap();
+        let mut txn = Transaction::new();
+        txn.insert("users", [("email", Value::from("fresh@x"))])
+            .insert("users", [("email", Value::from("taken@x"))]); // violates
+        let err = db.commit(&txn).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }));
+        // The first insert was rolled back too.
+        assert_eq!(db.row_count("users"), 1);
+        assert!(db.select("users", &[("email", Value::from("fresh@x"))]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rollback_restores_updates_and_deletes() {
+        let mut db = db();
+        let id = db
+            .insert("users", [("email", Value::from("a@x")), ("name", Value::from("before"))])
+            .unwrap();
+        let other =
+            db.insert("users", [("email", Value::from("b@x"))]).unwrap();
+        let mut txn = Transaction::new();
+        txn.update("users", id, [("name", Value::from("after"))])
+            .delete("users", other)
+            .insert("users", [("email", Value::from("a@x"))]); // violates
+        assert!(db.commit(&txn).is_err());
+        assert_eq!(db.get("users", id).unwrap()["name"], Value::Str("before".into()));
+        assert!(db.get("users", other).is_ok(), "delete was rolled back");
+    }
+
+    #[test]
+    fn transactional_race_still_corrupts_without_constraint() {
+        // The §1.3 claim: transactions alone (read-committed) don't prevent
+        // the duplicate.
+        let dups = transactional_race(3, false).unwrap();
+        assert_eq!(dups, 2, "all three transactions commit");
+    }
+
+    #[test]
+    fn transactional_race_fixed_by_constraint() {
+        let dups = transactional_race(3, true).unwrap();
+        assert_eq!(dups, 0, "the constraint aborts the late transactions");
+    }
+
+    #[test]
+    fn empty_transaction_commits_trivially() {
+        let mut db = db();
+        let ids = db.commit(&Transaction::new()).unwrap();
+        assert!(ids.is_empty());
+    }
+}

@@ -1,0 +1,167 @@
+//! Runtime values stored in table cells.
+
+use std::fmt;
+
+use cfinder_schema::{ColumnType, Literal};
+
+/// A cell value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// Integer (also used for decimals scaled by the column definition).
+    Int(i64),
+    /// Double-precision float.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Returns true for NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Type-checks this value against a column type (NULL always passes;
+    /// nullability is a constraint, not a type property).
+    pub fn fits(&self, ty: &ColumnType) -> bool {
+        match (self, ty) {
+            (Value::Null, _) => true,
+            (Value::Int(_), ColumnType::Integer | ColumnType::BigInt | ColumnType::Decimal(_, _)) => true,
+            (Value::Float(_), ColumnType::Float | ColumnType::Decimal(_, _)) => true,
+            (Value::Str(s), ColumnType::VarChar(n)) => s.chars().count() <= *n as usize,
+            (Value::Str(_), ColumnType::Text | ColumnType::DateTime | ColumnType::Date | ColumnType::Json) => true,
+            (Value::Bool(_), ColumnType::Boolean) => true,
+            _ => false,
+        }
+    }
+
+    /// A hashable/ordered key form for uniqueness indexes. Floats are keyed
+    /// by bit pattern (NaN equals itself for index purposes).
+    pub fn key(&self) -> ValueKey {
+        match self {
+            Value::Null => ValueKey::Null,
+            Value::Int(v) => ValueKey::Int(*v),
+            Value::Float(v) => ValueKey::Float(v.to_bits()),
+            Value::Str(s) => ValueKey::Str(s.clone()),
+            Value::Bool(b) => ValueKey::Bool(*b),
+        }
+    }
+}
+
+impl From<Literal> for Value {
+    fn from(l: Literal) -> Value {
+        match l {
+            Literal::Null => Value::Null,
+            Literal::Int(v) => Value::Int(v),
+            Literal::Str(s) => Value::Str(s),
+            Literal::Bool(b) => Value::Bool(b),
+        }
+    }
+}
+
+impl From<&Literal> for Value {
+    fn from(l: &Literal) -> Value {
+        Value::from(l.clone())
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Value {
+        Value::Int(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Value::Float(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => f.write_str("NULL"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+/// Order/hash key form of a [`Value`].
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ValueKey {
+    /// NULL sorts first.
+    Null,
+    /// Integer key.
+    Int(i64),
+    /// Float key by bit pattern.
+    Float(u64),
+    /// String key.
+    Str(String),
+    /// Boolean key.
+    Bool(bool),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_checking() {
+        assert!(Value::Int(5).fits(&ColumnType::Integer));
+        assert!(Value::Int(5).fits(&ColumnType::Decimal(10, 2)));
+        assert!(!Value::Int(5).fits(&ColumnType::Boolean));
+        assert!(Value::Str("ab".into()).fits(&ColumnType::VarChar(2)));
+        assert!(!Value::Str("abc".into()).fits(&ColumnType::VarChar(2)));
+        assert!(Value::Null.fits(&ColumnType::Boolean), "NULL fits everything");
+        assert!(Value::Bool(true).fits(&ColumnType::Boolean));
+        assert!(!Value::Float(1.5).fits(&ColumnType::Integer));
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(Literal::Int(3)), Value::Int(3));
+        assert_eq!(Value::from(Literal::Null), Value::Null);
+        assert_eq!(Value::from("x"), Value::Str("x".into()));
+        assert_eq!(Value::from(true), Value::Bool(true));
+    }
+
+    #[test]
+    fn keys_are_ordered_and_equal() {
+        assert_eq!(Value::Int(3).key(), Value::Int(3).key());
+        assert_ne!(Value::Int(3).key(), Value::Int(4).key());
+        assert_eq!(Value::Float(f64::NAN).key(), Value::Float(f64::NAN).key());
+        assert!(ValueKey::Null < Value::Int(i64::MIN).key());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::Str("a".into()).to_string(), "'a'");
+        assert_eq!(Value::Bool(false).to_string(), "FALSE");
+    }
+}

@@ -1,0 +1,176 @@
+//! Property tests: no sequence of operations can make an enforcing
+//! database violate its declared constraints — the Figure 2(b) "final
+//! guard" property, stated as an invariant.
+
+use cfinder_minidb::{Database, Transaction, Value};
+use cfinder_schema::{Column, ColumnType, Condition, Constraint, Literal, Table};
+use proptest::prelude::*;
+
+/// A randomly generated operation against the two-table fixture.
+#[derive(Debug, Clone)]
+enum Op {
+    InsertUser { email: Option<u8>, score: Option<i64> },
+    InsertOrder { user_ref: u8 },
+    UpdateUserEmail { row: u8, email: Option<u8> },
+    DeleteUser { row: u8 },
+    DeleteOrder { row: u8 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (proptest::option::of(0u8..12), proptest::option::of(-5i64..50))
+            .prop_map(|(email, score)| Op::InsertUser { email, score }),
+        (0u8..16).prop_map(|user_ref| Op::InsertOrder { user_ref }),
+        (0u8..16, proptest::option::of(0u8..12))
+            .prop_map(|(row, email)| Op::UpdateUserEmail { row, email }),
+        (0u8..16).prop_map(|row| Op::DeleteUser { row }),
+        (0u8..16).prop_map(|row| Op::DeleteOrder { row }),
+    ]
+}
+
+fn fixture() -> (Database, Vec<Constraint>) {
+    let mut db = Database::new();
+    db.create_table(
+        Table::new("users")
+            .with_column(Column::new("email", ColumnType::VarChar(64)))
+            .with_column(Column::new("score", ColumnType::Integer))
+            .with_column(
+                Column::new("active", ColumnType::Boolean).with_default(Literal::Bool(true)),
+            ),
+    )
+    .unwrap();
+    db.create_table(
+        Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
+    )
+    .unwrap();
+    let constraints = vec![
+        Constraint::partial_unique(
+            "users",
+            ["email"],
+            vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
+        ),
+        Constraint::not_null("users", "score"),
+        Constraint::foreign_key("orders", "user_id", "users", "id"),
+    ];
+    for c in &constraints {
+        db.add_constraint(c.clone()).unwrap();
+    }
+    (db, constraints)
+}
+
+fn email_value(tag: Option<u8>) -> Value {
+    match tag {
+        Some(t) => Value::from(format!("u{t}@example.com")),
+        None => Value::Null,
+    }
+}
+
+fn apply(db: &mut Database, op: &Op) {
+    // Every operation may fail (that's the point); failures must leave the
+    // database in a consistent state.
+    match op {
+        Op::InsertUser { email, score } => {
+            let score = score.map(Value::Int).unwrap_or(Value::Null);
+            let _ = db.insert("users", [("email", email_value(*email)), ("score", score)]);
+        }
+        Op::InsertOrder { user_ref } => {
+            let _ = db.insert("orders", [("user_id", Value::Int(i64::from(*user_ref)))]);
+        }
+        Op::UpdateUserEmail { row, email } => {
+            let _ = db.update("users", u64::from(*row), [("email", email_value(*email))]);
+        }
+        Op::DeleteUser { row } => {
+            let _ = db.delete("users", u64::from(*row));
+        }
+        Op::DeleteOrder { row } => {
+            let _ = db.delete("orders", u64::from(*row));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// After any operation sequence, zero violations of any declared
+    /// constraint exist.
+    #[test]
+    fn enforcing_database_never_violates(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let (mut db, constraints) = fixture();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        for c in &constraints {
+            prop_assert_eq!(
+                db.count_violations(c), 0,
+                "violated {} after {} ops", c, ops.len()
+            );
+        }
+    }
+
+    /// A non-enforcing database accepts the same sequences (no spurious
+    /// rejections beyond type errors), and re-adding each constraint is
+    /// accepted exactly when the data satisfies it.
+    #[test]
+    fn migration_accepts_iff_data_clean(ops in proptest::collection::vec(op_strategy(), 0..40)) {
+        let mut db = Database::without_enforcement();
+        db.create_table(
+            Table::new("users")
+                .with_column(Column::new("email", ColumnType::VarChar(64)))
+                .with_column(Column::new("score", ColumnType::Integer))
+                .with_column(
+                    Column::new("active", ColumnType::Boolean).with_default(Literal::Bool(true)),
+                ),
+        )
+        .unwrap();
+        db.create_table(
+            Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
+        )
+        .unwrap();
+        for op in &ops {
+            apply(&mut db, op);
+        }
+        let unique = Constraint::unique("users", ["email"]);
+        let violations = db.count_violations(&unique);
+        let result = db.add_constraint(unique);
+        prop_assert_eq!(result.is_ok(), violations == 0);
+    }
+
+    /// Failed transactions leave the database exactly as it was.
+    #[test]
+    fn failed_transaction_is_invisible(
+        seed_emails in proptest::collection::vec(0u8..6, 1..5),
+        txn_emails in proptest::collection::vec(proptest::option::of(0u8..6), 1..5),
+    ) {
+        let (mut db, _) = fixture();
+        for (i, e) in seed_emails.iter().enumerate() {
+            let _ = db.insert(
+                "users",
+                [("email", Value::from(format!("u{e}@example.com"))), ("score", Value::Int(i as i64))],
+            );
+        }
+        let before: Vec<_> = db
+            .select("users", &[])
+            .unwrap()
+            .into_iter()
+            .map(|(id, row)| (id, row.clone()))
+            .collect();
+        let mut txn = Transaction::new();
+        for e in &txn_emails {
+            let score = match e {
+                Some(_) => Value::Int(1),
+                None => Value::Null, // guarantees a not-null violation
+            };
+            txn.insert("users", [("email", email_value(*e)), ("score", score)]);
+        }
+        let result = db.commit(&txn);
+        if result.is_err() {
+            let after: Vec<_> = db
+                .select("users", &[])
+                .unwrap()
+                .into_iter()
+                .map(|(id, row)| (id, row.clone()))
+                .collect();
+            prop_assert_eq!(before, after, "rollback must restore the exact state");
+        }
+    }
+}

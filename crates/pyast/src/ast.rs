@@ -1,0 +1,701 @@
+//! Abstract syntax tree for the Python subset.
+//!
+//! The node shapes deliberately mirror CPython's `ast` module (`If`, `Call`,
+//! `Attribute`, `Assign`, `Raise`, …) because CFinder's pattern conditions
+//! (§3.3.2 of the paper) are formulated over exactly those node kinds.
+//!
+//! Every statement and expression carries a unique [`NodeId`] (assigned by
+//! the parser, dense from zero) and a [`Span`]. Downstream analyses key
+//! side tables (control-flow, use-def, match results) by `NodeId`.
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A unique, dense identifier for an AST node within one [`Module`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// Placeholder id for nodes synthesized outside the parser.
+    pub const DUMMY: NodeId = NodeId(u32::MAX);
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// A parsed module (one source file).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Module {
+    /// Top-level statements.
+    pub body: Vec<Stmt>,
+    /// Number of `NodeId`s handed out while parsing this module; all ids in
+    /// the tree are `< node_count`.
+    pub node_count: u32,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Stmt {
+    /// Unique id within the module.
+    pub id: NodeId,
+    /// Source span.
+    pub span: Span,
+    /// The statement variant.
+    pub kind: StmtKind,
+}
+
+/// Statement variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtKind {
+    /// `def name(params): body`
+    FunctionDef(FunctionDef),
+    /// `class name(bases, **keywords): body`
+    ClassDef(ClassDef),
+    /// `if test: body [else: orelse]` — `elif` chains desugar to a nested
+    /// `If` as the sole statement of `orelse`.
+    If {
+        /// Condition.
+        test: Expr,
+        /// Then-branch.
+        body: Vec<Stmt>,
+        /// Else-branch (possibly empty).
+        orelse: Vec<Stmt>,
+    },
+    /// `for target in iter: body [else: orelse]`
+    For {
+        /// Loop variable(s).
+        target: Expr,
+        /// Iterated expression.
+        iter: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+    },
+    /// `while test: body [else: orelse]`
+    While {
+        /// Condition.
+        test: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+    },
+    /// `try: body except …: … [else: …] [finally: …]`
+    Try {
+        /// Guarded statements.
+        body: Vec<Stmt>,
+        /// `except` clauses in order.
+        handlers: Vec<ExceptHandler>,
+        /// `else` clause.
+        orelse: Vec<Stmt>,
+        /// `finally` clause.
+        finalbody: Vec<Stmt>,
+    },
+    /// `with items: body`
+    With {
+        /// Context managers.
+        items: Vec<WithItem>,
+        /// Body.
+        body: Vec<Stmt>,
+    },
+    /// `targets = value` (chained assignment keeps all targets).
+    Assign {
+        /// Assignment targets, left to right.
+        targets: Vec<Expr>,
+        /// Assigned value.
+        value: Expr,
+    },
+    /// `target op= value`
+    AugAssign {
+        /// Target.
+        target: Expr,
+        /// The operator (e.g. `Add` for `+=`).
+        op: BinOp,
+        /// Right-hand side.
+        value: Expr,
+    },
+    /// `return [value]`
+    Return {
+        /// Optional return value.
+        value: Option<Expr>,
+    },
+    /// `raise [exc [from cause]]`
+    Raise {
+        /// The raised exception.
+        exc: Option<Expr>,
+        /// The `from` cause.
+        cause: Option<Expr>,
+    },
+    /// A bare expression statement.
+    Expr {
+        /// The expression.
+        value: Expr,
+    },
+    /// `import module [as alias], …`
+    Import {
+        /// Imported names.
+        names: Vec<ImportAlias>,
+    },
+    /// `from module import name [as alias], …`
+    ImportFrom {
+        /// Dotted module path (empty segments for leading dots are kept as
+        /// written, e.g. `".models"`).
+        module: String,
+        /// Imported names (a single `*` entry for star imports).
+        names: Vec<ImportAlias>,
+    },
+    /// `assert test [, msg]`
+    Assert {
+        /// Asserted condition.
+        test: Expr,
+        /// Optional message.
+        msg: Option<Expr>,
+    },
+    /// `global names`
+    Global {
+        /// Declared names.
+        names: Vec<String>,
+    },
+    /// `del targets`
+    Delete {
+        /// Deleted targets.
+        targets: Vec<Expr>,
+    },
+    /// `pass`
+    Pass,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+}
+
+/// A function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FunctionDef {
+    /// Function name.
+    pub name: String,
+    /// Positional/keyword parameters in order.
+    pub params: Vec<Param>,
+    /// Decorator expressions, outermost first.
+    pub decorators: Vec<Expr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A class definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassDef {
+    /// Class name.
+    pub name: String,
+    /// Base-class expressions.
+    pub bases: Vec<Expr>,
+    /// Keyword arguments in the class header (e.g. `metaclass=`).
+    pub keywords: Vec<Keyword>,
+    /// Decorator expressions, outermost first.
+    pub decorators: Vec<Expr>,
+    /// Body statements.
+    pub body: Vec<Stmt>,
+}
+
+/// A function parameter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Parameter name.
+    pub name: String,
+    /// Default value, if any.
+    pub default: Option<Expr>,
+    /// Star kind: `*args`, `**kwargs`, or plain.
+    pub star: ParamStar,
+    /// Source span of the name.
+    pub span: Span,
+}
+
+/// Whether a parameter is starred.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParamStar {
+    /// A plain parameter.
+    None,
+    /// `*args`
+    Args,
+    /// `**kwargs`
+    Kwargs,
+}
+
+/// One `except` clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExceptHandler {
+    /// Exception type expression (`None` for a bare `except:`).
+    pub typ: Option<Expr>,
+    /// Binding name (`except E as name`).
+    pub name: Option<String>,
+    /// Handler body.
+    pub body: Vec<Stmt>,
+    /// Span of the clause header.
+    pub span: Span,
+}
+
+/// One `with` item: `context_expr [as optional_vars]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WithItem {
+    /// Context-manager expression.
+    pub context: Expr,
+    /// Target bound by `as`.
+    pub target: Option<Expr>,
+}
+
+/// An `import` alias: `name [as asname]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ImportAlias {
+    /// Imported dotted name (or `*`).
+    pub name: String,
+    /// Local alias.
+    pub asname: Option<String>,
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Expr {
+    /// Unique id within the module.
+    pub id: NodeId,
+    /// Source span.
+    pub span: Span,
+    /// The expression variant.
+    pub kind: ExprKind,
+}
+
+/// Expression variants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExprKind {
+    /// An identifier reference.
+    Name(String),
+    /// `value.attr`
+    Attribute {
+        /// The object expression.
+        value: Box<Expr>,
+        /// Attribute name.
+        attr: String,
+    },
+    /// `func(args, keywords)`
+    Call {
+        /// Callee expression.
+        func: Box<Expr>,
+        /// Positional arguments.
+        args: Vec<Expr>,
+        /// Keyword arguments.
+        keywords: Vec<Keyword>,
+    },
+    /// `value[index]`
+    Subscript {
+        /// The subscripted expression.
+        value: Box<Expr>,
+        /// Index expression (a `Slice` for `a[x:y]`).
+        index: Box<Expr>,
+    },
+    /// A literal constant.
+    Constant(Constant),
+    /// `(a, b, …)` — also unparenthesized tuples.
+    Tuple(Vec<Expr>),
+    /// `[a, b, …]`
+    List(Vec<Expr>),
+    /// `{k: v, …}`
+    Dict {
+        /// Keys (same length as `values`).
+        keys: Vec<Expr>,
+        /// Values.
+        values: Vec<Expr>,
+    },
+    /// `{a, b, …}` (non-empty; `{}` parses as an empty `Dict`).
+    Set(Vec<Expr>),
+    /// `left op right`
+    BinOp {
+        /// Left operand.
+        left: Box<Expr>,
+        /// Operator.
+        op: BinOp,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// `op operand`
+    UnaryOp {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// `a and b and c` / `a or b or c` — n-ary, like CPython.
+    BoolOp {
+        /// `And` or `Or`.
+        op: BoolOpKind,
+        /// Two or more operands.
+        values: Vec<Expr>,
+    },
+    /// `left op1 c1 op2 c2 …` — chained comparison.
+    Compare {
+        /// Leftmost operand.
+        left: Box<Expr>,
+        /// Comparison operators (same length as `comparators`).
+        ops: Vec<CmpOp>,
+        /// Right-hand operands.
+        comparators: Vec<Expr>,
+    },
+    /// `body if test else orelse`
+    IfExp {
+        /// Condition.
+        test: Box<Expr>,
+        /// Value when true.
+        body: Box<Expr>,
+        /// Value when false.
+        orelse: Box<Expr>,
+    },
+    /// `lambda params: body`
+    Lambda {
+        /// Parameters.
+        params: Vec<Param>,
+        /// Body expression.
+        body: Box<Expr>,
+    },
+    /// `*expr` in a call or assignment context.
+    Starred(Box<Expr>),
+    /// An f-string, kept as its raw inner text plus the expressions that
+    /// appear inside `{…}` holes (parsed so uses are visible to data-flow).
+    FString {
+        /// Raw literal text as written (without the `f` prefix and quotes).
+        raw: String,
+        /// Parsed hole expressions in order of appearance.
+        parts: Vec<Expr>,
+    },
+    /// `lower:upper[:step]` inside a subscript.
+    Slice {
+        /// Lower bound.
+        lower: Option<Box<Expr>>,
+        /// Upper bound.
+        upper: Option<Box<Expr>>,
+        /// Step.
+        step: Option<Box<Expr>>,
+    },
+    /// A comprehension: `[elt for t in iter if cond]`, `{…}`, `(…)`.
+    Comprehension {
+        /// Which bracket form.
+        kind: ComprehensionKind,
+        /// Element expression (key for dict comprehensions).
+        element: Box<Expr>,
+        /// Value expression for dict comprehensions.
+        value: Option<Box<Expr>>,
+        /// `for`/`if` clauses.
+        generators: Vec<Comprehension>,
+    },
+    /// `yield [value]` (expression position).
+    Yield(Option<Box<Expr>>),
+}
+
+/// Bracket form of a comprehension.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ComprehensionKind {
+    /// `[…]`
+    List,
+    /// `{…}` with element only.
+    Set,
+    /// `{k: v …}`
+    Dict,
+    /// `(…)`
+    Generator,
+}
+
+/// One `for target in iter [if cond]*` clause of a comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comprehension {
+    /// Loop target.
+    pub target: Expr,
+    /// Iterated expression.
+    pub iter: Expr,
+    /// Filter conditions.
+    pub ifs: Vec<Expr>,
+}
+
+/// A keyword argument `name=value`; `name` is `None` for `**expr`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Keyword {
+    /// Argument name (`None` for `**expr`).
+    pub name: Option<String>,
+    /// Argument value.
+    pub value: Expr,
+}
+
+/// Literal constants.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Constant {
+    /// String literal.
+    Str(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// `True` / `False`
+    Bool(bool),
+    /// `None`
+    None,
+}
+
+impl Constant {
+    /// Returns true if this constant is `None`.
+    pub fn is_none(&self) -> bool {
+        matches!(self, Constant::None)
+    }
+}
+
+/// Binary arithmetic/bitwise operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `//`
+    FloorDiv,
+    /// `%`
+    Mod,
+    /// `**`
+    Pow,
+    /// `&`
+    BitAnd,
+    /// `|`
+    BitOr,
+    /// `^`
+    BitXor,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+}
+
+impl BinOp {
+    /// The operator's source text.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            BinOp::Add => "+",
+            BinOp::Sub => "-",
+            BinOp::Mul => "*",
+            BinOp::Div => "/",
+            BinOp::FloorDiv => "//",
+            BinOp::Mod => "%",
+            BinOp::Pow => "**",
+            BinOp::BitAnd => "&",
+            BinOp::BitOr => "|",
+            BinOp::BitXor => "^",
+            BinOp::Shl => "<<",
+            BinOp::Shr => ">>",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// `not`
+    Not,
+    /// `-`
+    Neg,
+    /// `+`
+    Pos,
+    /// `~`
+    Invert,
+}
+
+impl UnaryOp {
+    /// The operator's source text (with trailing space for `not`).
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            UnaryOp::Not => "not ",
+            UnaryOp::Neg => "-",
+            UnaryOp::Pos => "+",
+            UnaryOp::Invert => "~",
+        }
+    }
+}
+
+/// Boolean connectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BoolOpKind {
+    /// `and`
+    And,
+    /// `or`
+    Or,
+}
+
+/// Comparison operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    /// `==`
+    Eq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `in`
+    In,
+    /// `not in`
+    NotIn,
+    /// `is`
+    Is,
+    /// `is not`
+    IsNot,
+}
+
+impl CmpOp {
+    /// The operator's source text.
+    pub fn symbol(&self) -> &'static str {
+        match self {
+            CmpOp::Eq => "==",
+            CmpOp::NotEq => "!=",
+            CmpOp::Lt => "<",
+            CmpOp::LtEq => "<=",
+            CmpOp::Gt => ">",
+            CmpOp::GtEq => ">=",
+            CmpOp::In => "in",
+            CmpOp::NotIn => "not in",
+            CmpOp::Is => "is",
+            CmpOp::IsNot => "is not",
+        }
+    }
+
+    /// The logically negated operator, when one exists in the set.
+    pub fn negated(&self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::NotEq,
+            CmpOp::NotEq => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::GtEq,
+            CmpOp::LtEq => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::LtEq,
+            CmpOp::GtEq => CmpOp::Lt,
+            CmpOp::In => CmpOp::NotIn,
+            CmpOp::NotIn => CmpOp::In,
+            CmpOp::Is => CmpOp::IsNot,
+            CmpOp::IsNot => CmpOp::Is,
+        }
+    }
+}
+
+impl Expr {
+    /// If this expression is a plain name, returns it.
+    pub fn as_name(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Name(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// If this expression is an attribute access, returns `(value, attr)`.
+    pub fn as_attribute(&self) -> Option<(&Expr, &str)> {
+        match &self.kind {
+            ExprKind::Attribute { value, attr } => Some((value, attr)),
+            _ => None,
+        }
+    }
+
+    /// If this expression is a string constant, returns its contents.
+    pub fn as_str(&self) -> Option<&str> {
+        match &self.kind {
+            ExprKind::Constant(Constant::Str(s)) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Returns the chain of attribute names for a dotted expression rooted
+    /// at a plain name: `a.b.c` → `Some(("a", ["b", "c"]))`.
+    ///
+    /// Calls and subscripts break the chain (returns `None`).
+    pub fn dotted_chain(&self) -> Option<(&str, Vec<&str>)> {
+        let mut attrs = Vec::new();
+        let mut cur = self;
+        loop {
+            match &cur.kind {
+                ExprKind::Name(n) => {
+                    attrs.reverse();
+                    return Some((n, attrs));
+                }
+                ExprKind::Attribute { value, attr } => {
+                    attrs.push(attr.as_str());
+                    cur = value;
+                }
+                _ => return None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(n: &str) -> Expr {
+        Expr { id: NodeId::DUMMY, span: Span::DUMMY, kind: ExprKind::Name(n.to_string()) }
+    }
+
+    fn attr(value: Expr, a: &str) -> Expr {
+        Expr {
+            id: NodeId::DUMMY,
+            span: Span::DUMMY,
+            kind: ExprKind::Attribute { value: Box::new(value), attr: a.to_string() },
+        }
+    }
+
+    #[test]
+    fn dotted_chain_walks_attributes() {
+        let e = attr(attr(name("a"), "b"), "c");
+        let (root, chain) = e.dotted_chain().unwrap();
+        assert_eq!(root, "a");
+        assert_eq!(chain, vec!["b", "c"]);
+    }
+
+    #[test]
+    fn dotted_chain_rejects_calls() {
+        let call = Expr {
+            id: NodeId::DUMMY,
+            span: Span::DUMMY,
+            kind: ExprKind::Call { func: Box::new(name("f")), args: vec![], keywords: vec![] },
+        };
+        let e = attr(call, "b");
+        assert!(e.dotted_chain().is_none());
+    }
+
+    #[test]
+    fn cmp_op_negation_is_involutive() {
+        use CmpOp::*;
+        for op in [Eq, NotEq, Lt, LtEq, Gt, GtEq, In, NotIn, Is, IsNot] {
+            assert_eq!(op.negated().negated(), op);
+        }
+    }
+
+    #[test]
+    fn accessors() {
+        let e = name("x");
+        assert_eq!(e.as_name(), Some("x"));
+        assert!(e.as_attribute().is_none());
+        let a = attr(name("x"), "y");
+        let (v, at) = a.as_attribute().unwrap();
+        assert_eq!(v.as_name(), Some("x"));
+        assert_eq!(at, "y");
+        let s = Expr {
+            id: NodeId::DUMMY,
+            span: Span::DUMMY,
+            kind: ExprKind::Constant(Constant::Str("hi".into())),
+        };
+        assert_eq!(s.as_str(), Some("hi"));
+        assert!(Constant::None.is_none());
+    }
+}

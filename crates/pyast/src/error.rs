@@ -1,0 +1,55 @@
+//! Lexing and parsing errors.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::span::Span;
+
+/// An error produced while lexing or parsing source text.
+///
+/// Carries the source [`Span`] where the error was detected so callers can
+/// render `file:line:col` diagnostics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// Where the error was detected.
+    pub span: Span,
+}
+
+impl ParseError {
+    /// Creates a new error at `span`.
+    pub fn new(message: impl Into<String>, span: Span) -> Self {
+        ParseError { message: message.into(), span }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at {}", self.message, self.span.start)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Convenience alias for parse results.
+pub type Result<T> = std::result::Result<T, ParseError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::span::Pos;
+
+    #[test]
+    fn display_includes_position() {
+        let err = ParseError::new("unexpected `)`", Span::new(Pos::new(4, 9, 33), Pos::new(4, 10, 34)));
+        assert_eq!(err.to_string(), "unexpected `)` at 4:9");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_error<E: Error>(_: &E) {}
+        let err = ParseError::new("x", Span::DUMMY);
+        assert_error(&err);
+    }
+}

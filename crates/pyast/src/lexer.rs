@@ -1,0 +1,918 @@
+//! Hand-written lexer for the Python subset.
+//!
+//! Implements the interesting parts of Python's lexical structure that the
+//! parser needs: significant indentation (`INDENT`/`DEDENT` tokens driven by
+//! an indent stack), implicit line joining inside brackets, explicit joining
+//! with a trailing backslash, comments, string literals (single/double/
+//! triple-quoted, raw and f-string prefixes), adjacent string-literal
+//! concatenation is left to the parser, and the full operator set.
+
+use crate::error::{ParseError, Result};
+use crate::span::{Pos, Span};
+use crate::token::{Token, TokenKind};
+
+/// Converts `source` into a token stream terminated by a single
+/// [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] on malformed input: inconsistent dedents,
+/// unterminated strings, stray characters, or tabs mixed into indentation
+/// in a way that cannot be resolved (tabs count as 8 columns, like CPython's
+/// default).
+///
+/// # Examples
+///
+/// ```
+/// use cfinder_pyast::lexer::lex;
+/// use cfinder_pyast::token::TokenKind;
+///
+/// let tokens = lex("x = 1\n").unwrap();
+/// assert!(matches!(tokens[0].kind, TokenKind::Name(ref n) if n == "x"));
+/// assert_eq!(tokens[1].kind, TokenKind::Eq);
+/// assert_eq!(tokens[2].kind, TokenKind::Int(1));
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'s> {
+    src: &'s str,
+    bytes: &'s [u8],
+    pos: Pos,
+    tokens: Vec<Token>,
+    indents: Vec<u32>,
+    /// Depth of open `(`/`[`/`{` brackets; newlines inside are ignored.
+    bracket_depth: u32,
+    /// True when we are at the start of a logical line and must measure
+    /// indentation.
+    at_line_start: bool,
+    /// True once a non-structural token has been emitted on the current
+    /// logical line (controls whether `Newline` is emitted).
+    line_has_content: bool,
+}
+
+impl<'s> Lexer<'s> {
+    fn new(src: &'s str) -> Self {
+        Lexer {
+            src,
+            bytes: src.as_bytes(),
+            pos: Pos::START,
+            tokens: Vec::new(),
+            indents: vec![0],
+            bracket_depth: 0,
+            at_line_start: true,
+            line_has_content: false,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>> {
+        while !self.at_eof() {
+            if self.at_line_start && self.bracket_depth == 0 {
+                self.handle_indentation()?;
+                if self.at_eof() {
+                    break;
+                }
+            }
+            self.lex_line_tokens()?;
+        }
+        // Close the final logical line and drain the indent stack.
+        if self.line_has_content {
+            self.emit_here(TokenKind::Newline);
+        }
+        while self.indents.len() > 1 {
+            self.indents.pop();
+            self.emit_here(TokenKind::Dedent);
+        }
+        self.emit_here(TokenKind::Eof);
+        Ok(self.tokens)
+    }
+
+    // --- low-level cursor -------------------------------------------------
+
+    fn at_eof(&self) -> bool {
+        self.pos.offset as usize >= self.bytes.len()
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset as usize).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset as usize + 1).copied()
+    }
+
+    fn peek3(&self) -> Option<u8> {
+        self.bytes.get(self.pos.offset as usize + 2).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos.offset += 1;
+        if b == b'\n' {
+            self.pos.line += 1;
+            self.pos.col = 1;
+        } else {
+            self.pos.col += 1;
+        }
+        Some(b)
+    }
+
+    /// Consumes one full UTF-8 scalar and returns it.
+    fn bump_char(&mut self) -> Option<char> {
+        let start = self.pos.offset as usize;
+        let ch = self.src.get(start..)?.chars().next()?;
+        for _ in 0..ch.len_utf8() {
+            self.bump();
+        }
+        Some(ch)
+    }
+
+    fn emit(&mut self, kind: TokenKind, start: Pos) {
+        self.tokens.push(Token::new(kind, Span::new(start, self.pos)));
+    }
+
+    fn emit_here(&mut self, kind: TokenKind) {
+        self.tokens.push(Token::new(kind, Span::new(self.pos, self.pos)));
+    }
+
+    fn error(&self, msg: impl Into<String>) -> ParseError {
+        ParseError::new(msg, Span::new(self.pos, self.pos))
+    }
+
+    // --- indentation ------------------------------------------------------
+
+    /// Measures leading whitespace of the current physical line; skips blank
+    /// and comment-only lines entirely; emits `Indent`/`Dedent` as needed.
+    fn handle_indentation(&mut self) -> Result<()> {
+        loop {
+            let line_start = self.pos;
+            let mut width: u32 = 0;
+            loop {
+                match self.peek() {
+                    Some(b' ') => {
+                        width += 1;
+                        self.bump();
+                    }
+                    Some(b'\t') => {
+                        // CPython default tab size: advance to next multiple of 8.
+                        width = (width / 8 + 1) * 8;
+                        self.bump();
+                    }
+                    _ => break,
+                }
+            }
+            match self.peek() {
+                // Blank line or comment-only line: consume to (and incl.) the
+                // newline and re-measure from the next line.
+                Some(b'\n') => {
+                    self.bump();
+                    continue;
+                }
+                Some(b'\r') => {
+                    self.bump();
+                    if self.peek() == Some(b'\n') {
+                        self.bump();
+                    }
+                    continue;
+                }
+                Some(b'#') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                    continue;
+                }
+                None => return Ok(()),
+                _ => {}
+            }
+            let current = *self.indents.last().expect("indent stack never empty");
+            if width > current {
+                self.indents.push(width);
+                self.emit(TokenKind::Indent, line_start);
+            } else if width < current {
+                while *self.indents.last().unwrap() > width {
+                    self.indents.pop();
+                    self.emit(TokenKind::Dedent, line_start);
+                }
+                if *self.indents.last().unwrap() != width {
+                    return Err(self.error(format!(
+                        "unindent (width {width}) does not match any outer indentation level"
+                    )));
+                }
+            }
+            self.at_line_start = false;
+            self.line_has_content = false;
+            return Ok(());
+        }
+    }
+
+    // --- main token loop for one logical line ------------------------------
+
+    fn lex_line_tokens(&mut self) -> Result<()> {
+        while let Some(b) = self.peek() {
+            match b {
+                b' ' | b'\t' => {
+                    self.bump();
+                }
+                b'\r' => {
+                    self.bump();
+                }
+                b'\n' => {
+                    let nl_start = self.pos;
+                    self.bump();
+                    if self.bracket_depth == 0 {
+                        if self.line_has_content {
+                            self.emit(TokenKind::Newline, nl_start);
+                            self.line_has_content = false;
+                        }
+                        self.at_line_start = true;
+                        return Ok(());
+                    }
+                    // Inside brackets: newline is just whitespace.
+                }
+                b'#' => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                b'\\' if self.peek2() == Some(b'\n')
+                    || (self.peek2() == Some(b'\r') && self.peek3() == Some(b'\n')) =>
+                {
+                    // Explicit line joining.
+                    self.bump(); // backslash
+                    if self.peek() == Some(b'\r') {
+                        self.bump();
+                    }
+                    self.bump(); // newline
+                }
+                b'"' | b'\'' => {
+                    self.lex_string(StringPrefix::default())?;
+                    self.line_has_content = true;
+                }
+                b'0'..=b'9' => {
+                    self.lex_number()?;
+                    self.line_has_content = true;
+                }
+                b if b.is_ascii_alphabetic() || b == b'_' => {
+                    self.lex_word()?;
+                    self.line_has_content = true;
+                }
+                _ => {
+                    self.lex_operator()?;
+                    self.line_has_content = true;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    // --- words: keywords, identifiers, string prefixes ----------------------
+
+    fn lex_word(&mut self) -> Result<()> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let word = &self.src[start.offset as usize..self.pos.offset as usize];
+        // String prefixes: r, f, b, u and two-letter combinations, when
+        // immediately followed by a quote.
+        if word.len() <= 2 && matches!(self.peek(), Some(b'"') | Some(b'\'')) {
+            if let Some(prefix) = StringPrefix::parse(word) {
+                return self.lex_string_at(start, prefix);
+            }
+        }
+        if let Some(kw) = TokenKind::keyword(word) {
+            self.emit(kw, start);
+        } else {
+            self.emit(TokenKind::Name(word.to_string()), start);
+        }
+        Ok(())
+    }
+
+    // --- numbers ------------------------------------------------------------
+
+    fn lex_number(&mut self) -> Result<()> {
+        let start = self.pos;
+        // Hex / octal / binary.
+        if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B'))
+        {
+            let radix_char = self.peek2().unwrap().to_ascii_lowercase();
+            self.bump();
+            self.bump();
+            let digits_start = self.pos.offset as usize;
+            while let Some(b) = self.peek() {
+                if b.is_ascii_alphanumeric() || b == b'_' {
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            let digits: String = self.src[digits_start..self.pos.offset as usize]
+                .chars()
+                .filter(|c| *c != '_')
+                .collect();
+            let radix = match radix_char {
+                b'x' => 16,
+                b'o' => 8,
+                _ => 2,
+            };
+            let value = i64::from_str_radix(&digits, radix)
+                .map_err(|_| self.error(format!("invalid integer literal `{digits}`")))?;
+            self.emit(TokenKind::Int(value), start);
+            return Ok(());
+        }
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'_' => {
+                    self.bump();
+                }
+                b'.' if !is_float && matches!(self.peek2(), Some(b'0'..=b'9')) => {
+                    is_float = true;
+                    self.bump();
+                }
+                b'e' | b'E'
+                    if matches!(self.peek2(), Some(b'0'..=b'9') | Some(b'+') | Some(b'-')) =>
+                {
+                    is_float = true;
+                    self.bump(); // e
+                    if matches!(self.peek(), Some(b'+') | Some(b'-')) {
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+        // Trailing `.` with no digit (e.g. `1.`): also a float.
+        if !is_float && self.peek() == Some(b'.') && !matches!(self.peek2(), Some(b'.')) {
+            // Careful not to eat attribute access on an int (`1 .real` is rare;
+            // `1.method()` is invalid Python anyway). Only treat as float when
+            // the next char is not an identifier start.
+            if !matches!(self.peek2(), Some(c) if c.is_ascii_alphabetic() || c == b'_') {
+                is_float = true;
+                self.bump();
+            }
+        }
+        let text: String = self.src[start.offset as usize..self.pos.offset as usize]
+            .chars()
+            .filter(|c| *c != '_')
+            .collect();
+        if is_float {
+            let v: f64 =
+                text.parse().map_err(|_| self.error(format!("invalid float literal `{text}`")))?;
+            self.emit(TokenKind::Float(v), start);
+        } else {
+            let v: i64 =
+                text.parse().map_err(|_| self.error(format!("invalid integer literal `{text}`")))?;
+            self.emit(TokenKind::Int(v), start);
+        }
+        Ok(())
+    }
+
+    // --- strings ------------------------------------------------------------
+
+    fn lex_string(&mut self, prefix: StringPrefix) -> Result<()> {
+        let start = self.pos;
+        self.lex_string_at(start, prefix)
+    }
+
+    /// Lexes a string whose token span should begin at `start` (which may be
+    /// before the quote when there is a prefix like `f"`).
+    fn lex_string_at(&mut self, start: Pos, prefix: StringPrefix) -> Result<()> {
+        let quote = self.peek().expect("caller ensured a quote is next");
+        debug_assert!(quote == b'"' || quote == b'\'');
+        self.bump();
+        let triple = self.peek() == Some(quote) && self.peek2() == Some(quote);
+        if triple {
+            self.bump();
+            self.bump();
+        }
+        let mut value = String::new();
+        loop {
+            let Some(b) = self.peek() else {
+                return Err(ParseError::new("unterminated string literal", Span::new(start, self.pos)));
+            };
+            if b == quote {
+                if triple {
+                    if self.peek2() == Some(quote) && self.peek3() == Some(quote) {
+                        self.bump();
+                        self.bump();
+                        self.bump();
+                        break;
+                    }
+                    value.push(b as char);
+                    self.bump();
+                } else {
+                    self.bump();
+                    break;
+                }
+            } else if b == b'\n' && !triple {
+                return Err(ParseError::new(
+                    "newline in single-quoted string literal",
+                    Span::new(start, self.pos),
+                ));
+            } else if b == b'\\' && !prefix.raw {
+                self.bump();
+                let Some(esc) = self.bump_char() else {
+                    return Err(ParseError::new("unterminated string literal", Span::new(start, self.pos)));
+                };
+                match esc {
+                    'n' => value.push('\n'),
+                    't' => value.push('\t'),
+                    'r' => value.push('\r'),
+                    '0' => value.push('\0'),
+                    '\\' => value.push('\\'),
+                    '\'' => value.push('\''),
+                    '"' => value.push('"'),
+                    '\n' => {} // line continuation inside string
+                    other => {
+                        // Unknown escape: keep both characters, like Python.
+                        value.push('\\');
+                        value.push(other);
+                    }
+                }
+            } else if b == b'\\' && prefix.raw {
+                // Raw string: backslash is literal, but still escapes the
+                // quote for termination purposes — `r'\''` keeps both chars
+                // and does not terminate.
+                value.push('\\');
+                self.bump();
+                if let Some(ch) = self.bump_char() {
+                    value.push(ch);
+                }
+            } else {
+                // Multi-byte UTF-8: copy the full scalar.
+                let ch = self.bump_char().expect("peeked byte implies a char");
+                value.push(ch);
+            }
+        }
+        let kind =
+            if prefix.fstring { TokenKind::FStr(value) } else { TokenKind::Str(value) };
+        self.emit(kind, start);
+        Ok(())
+    }
+
+    // --- operators ----------------------------------------------------------
+
+    fn lex_operator(&mut self) -> Result<()> {
+        use TokenKind::*;
+        let start = self.pos;
+        let b = self.bump().expect("caller ensured non-eof");
+        let two = |lexer: &Lexer<'_>| lexer.peek();
+        let kind = match b {
+            b'(' => {
+                self.bracket_depth += 1;
+                LParen
+            }
+            b')' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                RParen
+            }
+            b'[' => {
+                self.bracket_depth += 1;
+                LBracket
+            }
+            b']' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                RBracket
+            }
+            b'{' => {
+                self.bracket_depth += 1;
+                LBrace
+            }
+            b'}' => {
+                self.bracket_depth = self.bracket_depth.saturating_sub(1);
+                RBrace
+            }
+            b',' => Comma,
+            b':' => Colon,
+            b';' => Semi,
+            b'.' => Dot,
+            b'~' => Tilde,
+            b'@' => At,
+            b'=' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    EqEq
+                } else {
+                    Eq
+                }
+            }
+            b'!' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    NotEq
+                } else {
+                    return Err(self.error("unexpected character `!`"));
+                }
+            }
+            b'<' => match two(self) {
+                Some(b'=') => {
+                    self.bump();
+                    LtEq
+                }
+                Some(b'<') => {
+                    self.bump();
+                    Shl
+                }
+                _ => Lt,
+            },
+            b'>' => match two(self) {
+                Some(b'=') => {
+                    self.bump();
+                    GtEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Shr
+                }
+                _ => Gt,
+            },
+            b'+' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    PlusEq
+                } else {
+                    Plus
+                }
+            }
+            b'-' => match two(self) {
+                Some(b'=') => {
+                    self.bump();
+                    MinusEq
+                }
+                Some(b'>') => {
+                    self.bump();
+                    Arrow
+                }
+                _ => Minus,
+            },
+            b'*' => match two(self) {
+                Some(b'*') => {
+                    self.bump();
+                    StarStar
+                }
+                Some(b'=') => {
+                    self.bump();
+                    StarEq
+                }
+                _ => Star,
+            },
+            b'/' => match two(self) {
+                Some(b'/') => {
+                    self.bump();
+                    if self.peek() == Some(b'=') {
+                        self.bump();
+                        SlashSlashEq
+                    } else {
+                        SlashSlash
+                    }
+                }
+                Some(b'=') => {
+                    self.bump();
+                    SlashEq
+                }
+                _ => Slash,
+            },
+            b'%' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    PercentEq
+                } else {
+                    Percent
+                }
+            }
+            b'&' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    AmpEq
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    PipeEq
+                } else {
+                    Pipe
+                }
+            }
+            b'^' => {
+                if two(self) == Some(b'=') {
+                    self.bump();
+                    CaretEq
+                } else {
+                    Caret
+                }
+            }
+            other => {
+                return Err(self.error(format!(
+                    "unexpected character `{}` (0x{other:02x})",
+                    if other.is_ascii_graphic() { (other as char).to_string() } else { "?".into() }
+                )));
+            }
+        };
+        self.emit(kind, start);
+        Ok(())
+    }
+}
+
+/// String-literal prefix flags (`r"…"`, `f"…"`, `rb`, …).
+#[derive(Debug, Default, Clone, Copy)]
+struct StringPrefix {
+    raw: bool,
+    fstring: bool,
+}
+
+impl StringPrefix {
+    fn parse(word: &str) -> Option<StringPrefix> {
+        let mut p = StringPrefix::default();
+        for c in word.chars() {
+            match c.to_ascii_lowercase() {
+                'r' => p.raw = true,
+                'f' => p.fstring = true,
+                'b' | 'u' => {}
+                _ => return None,
+            }
+        }
+        Some(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use TokenKind::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn empty_input_yields_eof() {
+        assert_eq!(kinds(""), vec![Eof]);
+    }
+
+    #[test]
+    fn simple_assignment() {
+        assert_eq!(
+            kinds("x = 1\n"),
+            vec![Name("x".into()), Eq, Int(1), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn no_trailing_newline_still_closes_line() {
+        assert_eq!(kinds("x"), vec![Name("x".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn indentation_blocks() {
+        let src = "if a:\n    b = 1\nc = 2\n";
+        assert_eq!(
+            kinds(src),
+            vec![
+                If,
+                Name("a".into()),
+                Colon,
+                Newline,
+                Indent,
+                Name("b".into()),
+                Eq,
+                Int(1),
+                Newline,
+                Dedent,
+                Name("c".into()),
+                Eq,
+                Int(2),
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_dedents_drain_at_eof() {
+        let src = "if a:\n    if b:\n        c\n";
+        let k = kinds(src);
+        let dedents = k.iter().filter(|t| **t == Dedent).count();
+        assert_eq!(dedents, 2);
+        assert_eq!(*k.last().unwrap(), Eof);
+    }
+
+    #[test]
+    fn blank_and_comment_lines_do_not_affect_indent() {
+        let src = "if a:\n    b\n\n    # comment\n    c\n";
+        let k = kinds(src);
+        let indents = k.iter().filter(|t| **t == Indent).count();
+        let dedents = k.iter().filter(|t| **t == Dedent).count();
+        assert_eq!(indents, 1);
+        assert_eq!(dedents, 1);
+    }
+
+    #[test]
+    fn inconsistent_dedent_is_error() {
+        let src = "if a:\n        b\n    c\n";
+        assert!(lex(src).is_err());
+    }
+
+    #[test]
+    fn implicit_line_join_in_brackets() {
+        let src = "f(a,\n  b)\n";
+        assert_eq!(
+            kinds(src),
+            vec![
+                Name("f".into()),
+                LParen,
+                Name("a".into()),
+                Comma,
+                Name("b".into()),
+                RParen,
+                Newline,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn explicit_backslash_join() {
+        let src = "a = 1 + \\\n    2\n";
+        let k = kinds(src);
+        assert!(!k.contains(&Indent));
+        assert_eq!(k.iter().filter(|t| **t == Newline).count(), 1);
+    }
+
+    #[test]
+    fn comment_to_eol() {
+        assert_eq!(kinds("x  # a comment\n"), vec![Name("x".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn string_literals() {
+        assert_eq!(kinds("'a'"), vec![Str("a".into()), Newline, Eof]);
+        assert_eq!(kinds("\"b\""), vec![Str("b".into()), Newline, Eof]);
+        assert_eq!(kinds(r#"'a\'b'"#), vec![Str("a'b".into()), Newline, Eof]);
+        assert_eq!(kinds(r#""x\ny""#), vec![Str("x\ny".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn triple_quoted_string_spans_lines() {
+        let src = "s = \"\"\"line1\nline2\"\"\"\n";
+        assert_eq!(
+            kinds(src),
+            vec![Name("s".into()), Eq, Str("line1\nline2".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn triple_quoted_with_embedded_quote() {
+        let src = "s = '''it's'''\n";
+        assert_eq!(kinds(src), vec![Name("s".into()), Eq, Str("it's".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn raw_string_keeps_backslashes() {
+        assert_eq!(kinds(r#"r'a\nb'"#), vec![Str(r"a\nb".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn fstring_token() {
+        assert_eq!(kinds("f'v={x}'"), vec![FStr("v={x}".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("'''abc").is_err());
+        assert!(lex("'ab\ncd'").is_err());
+    }
+
+    #[test]
+    fn numbers() {
+        assert_eq!(kinds("42"), vec![Int(42), Newline, Eof]);
+        assert_eq!(kinds("3.5"), vec![Float(3.5), Newline, Eof]);
+        assert_eq!(kinds("1_000"), vec![Int(1000), Newline, Eof]);
+        assert_eq!(kinds("0xff"), vec![Int(255), Newline, Eof]);
+        assert_eq!(kinds("0b101"), vec![Int(5), Newline, Eof]);
+        assert_eq!(kinds("0o17"), vec![Int(15), Newline, Eof]);
+        assert_eq!(kinds("1e3"), vec![Float(1000.0), Newline, Eof]);
+        assert_eq!(kinds("2.5e-1"), vec![Float(0.25), Newline, Eof]);
+    }
+
+    #[test]
+    fn int_followed_by_dot_call_is_not_float() {
+        // `x[1].foo` style: the dot belongs to the attribute, not the number,
+        // when followed by an identifier.
+        assert_eq!(
+            kinds("1 .x"),
+            vec![Int(1), Dot, Name("x".into()), Newline, Eof]
+        );
+    }
+
+    #[test]
+    fn operators_two_char() {
+        assert_eq!(
+            kinds("a == b != c <= d >= e"),
+            vec![
+                Name("a".into()),
+                EqEq,
+                Name("b".into()),
+                NotEq,
+                Name("c".into()),
+                LtEq,
+                Name("d".into()),
+                GtEq,
+                Name("e".into()),
+                Newline,
+                Eof
+            ]
+        );
+        assert_eq!(kinds("a ** b // c"), vec![
+            Name("a".into()), StarStar, Name("b".into()), SlashSlash, Name("c".into()), Newline, Eof
+        ]);
+        assert_eq!(kinds("x += 1"), vec![Name("x".into()), PlusEq, Int(1), Newline, Eof]);
+        assert_eq!(kinds("x //= 2"), vec![Name("x".into()), SlashSlashEq, Int(2), Newline, Eof]);
+    }
+
+    #[test]
+    fn arrow_and_decorator() {
+        assert_eq!(
+            kinds("@deco\ndef f() -> int:\n    pass\n"),
+            vec![
+                At,
+                Name("deco".into()),
+                Newline,
+                Def,
+                Name("f".into()),
+                LParen,
+                RParen,
+                Arrow,
+                Name("int".into()),
+                Colon,
+                Newline,
+                Indent,
+                Pass,
+                Newline,
+                Dedent,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn keywords_vs_names() {
+        assert_eq!(
+            kinds("not_a_kw = None"),
+            vec![Name("not_a_kw".into()), Eq, None, Newline, Eof]
+        );
+        assert_eq!(kinds("is_valid"), vec![Name("is_valid".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn stray_character_is_error() {
+        assert!(lex("a $ b").is_err());
+        assert!(lex("a ! b").is_err());
+    }
+
+    #[test]
+    fn crlf_lines() {
+        let src = "a = 1\r\nb = 2\r\n";
+        let k = kinds(src);
+        assert_eq!(k.iter().filter(|t| **t == Newline).count(), 2);
+    }
+
+    #[test]
+    fn spans_are_accurate() {
+        let toks = lex("ab = 12\n").unwrap();
+        assert_eq!(toks[0].span.start.col, 1);
+        assert_eq!(toks[0].span.end.col, 3);
+        assert_eq!(toks[1].span.start.col, 4);
+        assert_eq!(toks[2].span.start.col, 6);
+        assert_eq!(toks[2].span.end.col, 8);
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![Str("héllo".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn semicolons_tokenize() {
+        assert_eq!(
+            kinds("a; b\n"),
+            vec![Name("a".into()), Semi, Name("b".into()), Newline, Eof]
+        );
+    }
+}

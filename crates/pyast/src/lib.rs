@@ -1,0 +1,51 @@
+//! # cfinder-pyast
+//!
+//! A from-scratch lexer, parser, and abstract syntax tree for the Python
+//! subset used by Django-style web applications.
+//!
+//! This crate is the parsing substrate of the CFinder reproduction: the
+//! paper's static analysis (ASPLOS '23, Huang et al.) is defined over
+//! CPython `ast`-shaped trees — `If`, `Call`, `Attribute`, `Assign`,
+//! `Raise`, … — and this crate produces exactly those shapes, with source
+//! spans and dense per-module node ids for downstream side tables.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cfinder_pyast::parse_module;
+//! use cfinder_pyast::ast::StmtKind;
+//!
+//! let module = parse_module(
+//!     "if User.objects.filter(email=email).exists():\n    raise ValidationError('taken')\n",
+//! ).unwrap();
+//! assert!(matches!(module.body[0].kind, StmtKind::If { .. }));
+//! ```
+//!
+//! ## Layout
+//!
+//! * [`lexer`] — tokens with significant indentation (INDENT/DEDENT),
+//!   implicit line joining inside brackets, string prefixes.
+//! * [`parser`] — recursive descent with Python operator precedence.
+//! * [`ast`] — node definitions ([`ast::NodeId`], [`span::Span`]).
+//! * [`visit`] — visitor trait, pre-order walks, and the breadth-first
+//!   iteration the pattern matcher uses.
+//! * [`unparse`] — canonical source rendering for diagnostics and
+//!   round-trip tests.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ast;
+pub mod error;
+pub mod lexer;
+pub mod parser;
+pub mod span;
+pub mod token;
+pub mod unparse;
+pub mod visit;
+
+pub use ast::{Expr, ExprKind, Module, NodeId, Stmt, StmtKind};
+pub use error::ParseError;
+pub use parser::{parse_expr, parse_module};
+pub use span::{Pos, Span};
+pub use unparse::{unparse_expr, unparse_module, unparse_stmt};

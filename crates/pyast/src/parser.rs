@@ -1,0 +1,1627 @@
+//! Recursive-descent parser for the Python subset.
+//!
+//! Grammar coverage: module / class / function definitions with decorators
+//! and default or starred parameters, the full simple- and compound-statement
+//! set used by Django-style applications, and expressions with Python's
+//! operator precedence, chained comparisons, ternaries, lambdas, slices,
+//! comprehensions, and f-strings (holes are parsed so data-flow sees the
+//! uses).
+
+use crate::ast::*;
+use crate::error::{ParseError, Result};
+use crate::lexer::lex;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Parses a module (a full source file).
+///
+/// # Errors
+///
+/// Returns the first lexing or parsing error with its source location.
+///
+/// # Examples
+///
+/// ```
+/// use cfinder_pyast::parser::parse_module;
+///
+/// let module = parse_module("x = a.filter(email=email).exists()\n").unwrap();
+/// assert_eq!(module.body.len(), 1);
+/// ```
+pub fn parse_module(source: &str) -> Result<Module> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let body = parser.parse_block_until_eof()?;
+    Ok(Module { body, node_count: parser.next_id })
+}
+
+/// Parses a single expression (must consume the whole input).
+///
+/// # Errors
+///
+/// Returns an error if the input is not exactly one expression.
+pub fn parse_expr(source: &str) -> Result<Expr> {
+    let tokens = lex(source)?;
+    let mut parser = Parser::new(tokens);
+    let expr = parser.expression()?;
+    parser.eat(&TokenKind::Newline)?;
+    parser.eat(&TokenKind::Eof)?;
+    Ok(expr)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    idx: usize,
+    next_id: u32,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, idx: 0, next_id: 0 }
+    }
+
+    // --- token plumbing -----------------------------------------------------
+
+    fn peek(&self) -> &Token {
+        &self.tokens[self.idx.min(self.tokens.len() - 1)]
+    }
+
+    fn peek_kind(&self) -> &TokenKind {
+        &self.peek().kind
+    }
+
+    fn peek_ahead(&self, n: usize) -> &TokenKind {
+        &self.tokens[(self.idx + n).min(self.tokens.len() - 1)].kind
+    }
+
+    fn advance(&mut self) -> Token {
+        let t = self.tokens[self.idx.min(self.tokens.len() - 1)].clone();
+        if self.idx < self.tokens.len() - 1 {
+            self.idx += 1;
+        }
+        t
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        self.peek_kind() == kind
+    }
+
+    fn eat_if(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> Result<Token> {
+        if self.check(kind) {
+            Ok(self.advance())
+        } else {
+            Err(self.unexpected(&format!("expected {}", kind.describe())))
+        }
+    }
+
+    fn eat_name(&mut self) -> Result<(String, Span)> {
+        match self.peek_kind().clone() {
+            TokenKind::Name(n) => {
+                let t = self.advance();
+                Ok((n, t.span))
+            }
+            _ => Err(self.unexpected("expected identifier")),
+        }
+    }
+
+    fn unexpected(&self, msg: &str) -> ParseError {
+        ParseError::new(
+            format!("{msg}, found {}", self.peek_kind().describe()),
+            self.peek().span,
+        )
+    }
+
+    fn id(&mut self) -> NodeId {
+        let id = NodeId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    fn expr(&mut self, span: Span, kind: ExprKind) -> Expr {
+        Expr { id: self.id(), span, kind }
+    }
+
+    fn stmt(&mut self, span: Span, kind: StmtKind) -> Stmt {
+        Stmt { id: self.id(), span, kind }
+    }
+
+    // --- blocks and statements ----------------------------------------------
+
+    fn parse_block_until_eof(&mut self) -> Result<Vec<Stmt>> {
+        let mut body = Vec::new();
+        while !self.check(&TokenKind::Eof) {
+            body.extend(self.statement()?);
+        }
+        Ok(body)
+    }
+
+    /// Parses an indented suite after a colon, or a simple-statement list on
+    /// the same line (`if x: pass`).
+    fn suite(&mut self) -> Result<Vec<Stmt>> {
+        self.eat(&TokenKind::Colon)?;
+        if self.eat_if(&TokenKind::Newline) {
+            self.eat(&TokenKind::Indent)?;
+            let mut body = Vec::new();
+            while !self.check(&TokenKind::Dedent) && !self.check(&TokenKind::Eof) {
+                body.extend(self.statement()?);
+            }
+            self.eat(&TokenKind::Dedent)?;
+            Ok(body)
+        } else {
+            // Inline suite: one or more `;`-separated simple statements.
+            self.simple_statement_line()
+        }
+    }
+
+    /// Parses one statement; simple statements may expand to several via `;`.
+    fn statement(&mut self) -> Result<Vec<Stmt>> {
+        match self.peek_kind() {
+            TokenKind::Def | TokenKind::Class | TokenKind::At => {
+                Ok(vec![self.definition()?])
+            }
+            TokenKind::If => Ok(vec![self.if_statement()?]),
+            TokenKind::For => Ok(vec![self.for_statement()?]),
+            TokenKind::While => Ok(vec![self.while_statement()?]),
+            TokenKind::Try => Ok(vec![self.try_statement()?]),
+            TokenKind::With => Ok(vec![self.with_statement()?]),
+            _ => self.simple_statement_line(),
+        }
+    }
+
+    /// A physical line of `;`-separated simple statements ended by `Newline`.
+    fn simple_statement_line(&mut self) -> Result<Vec<Stmt>> {
+        let mut stmts = vec![self.simple_statement()?];
+        while self.eat_if(&TokenKind::Semi) {
+            if self.check(&TokenKind::Newline) {
+                break;
+            }
+            stmts.push(self.simple_statement()?);
+        }
+        self.eat(&TokenKind::Newline)?;
+        Ok(stmts)
+    }
+
+    fn simple_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        match self.peek_kind() {
+            TokenKind::Return => {
+                self.advance();
+                let value = if self.check(&TokenKind::Newline) || self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expression_list()?)
+                };
+                let span = value.as_ref().map_or(start, |v| start.to(v.span));
+                Ok(self.stmt(span, StmtKind::Return { value }))
+            }
+            TokenKind::Raise => {
+                self.advance();
+                let (exc, cause) =
+                    if self.check(&TokenKind::Newline) || self.check(&TokenKind::Semi) {
+                        (None, None)
+                    } else {
+                        let exc = self.expression()?;
+                        let cause = if self.eat_if(&TokenKind::From) {
+                            Some(self.expression()?)
+                        } else {
+                            None
+                        };
+                        (Some(exc), cause)
+                    };
+                let end = cause
+                    .as_ref()
+                    .map(|c| c.span)
+                    .or_else(|| exc.as_ref().map(|e| e.span))
+                    .unwrap_or(start);
+                Ok(self.stmt(start.to(end), StmtKind::Raise { exc, cause }))
+            }
+            TokenKind::Pass => {
+                self.advance();
+                Ok(self.stmt(start, StmtKind::Pass))
+            }
+            TokenKind::Break => {
+                self.advance();
+                Ok(self.stmt(start, StmtKind::Break))
+            }
+            TokenKind::Continue => {
+                self.advance();
+                Ok(self.stmt(start, StmtKind::Continue))
+            }
+            TokenKind::Import => {
+                self.advance();
+                let names = self.import_aliases()?;
+                Ok(self.stmt(start, StmtKind::Import { names }))
+            }
+            TokenKind::From => {
+                self.advance();
+                let mut module = String::new();
+                while self.eat_if(&TokenKind::Dot) {
+                    module.push('.');
+                }
+                if let TokenKind::Name(_) = self.peek_kind() {
+                    let (first, _) = self.eat_name()?;
+                    module.push_str(&first);
+                    while self.check(&TokenKind::Dot) {
+                        self.advance();
+                        let (part, _) = self.eat_name()?;
+                        module.push('.');
+                        module.push_str(&part);
+                    }
+                }
+                self.eat(&TokenKind::Import)?;
+                let names = if self.check(&TokenKind::Star) {
+                    self.advance();
+                    vec![ImportAlias { name: "*".to_string(), asname: None }]
+                } else if self.eat_if(&TokenKind::LParen) {
+                    let names = self.import_aliases()?;
+                    self.eat(&TokenKind::RParen)?;
+                    names
+                } else {
+                    self.import_aliases()?
+                };
+                Ok(self.stmt(start, StmtKind::ImportFrom { module, names }))
+            }
+            TokenKind::Assert => {
+                self.advance();
+                let test = self.expression()?;
+                let msg = if self.eat_if(&TokenKind::Comma) {
+                    Some(self.expression()?)
+                } else {
+                    None
+                };
+                let span = start.to(msg.as_ref().map_or(test.span, |m| m.span));
+                Ok(self.stmt(span, StmtKind::Assert { test, msg }))
+            }
+            TokenKind::Global | TokenKind::Nonlocal => {
+                self.advance();
+                let mut names = vec![self.eat_name()?.0];
+                while self.eat_if(&TokenKind::Comma) {
+                    names.push(self.eat_name()?.0);
+                }
+                Ok(self.stmt(start, StmtKind::Global { names }))
+            }
+            TokenKind::Del => {
+                self.advance();
+                let mut targets = vec![self.expression()?];
+                while self.eat_if(&TokenKind::Comma) {
+                    targets.push(self.expression()?);
+                }
+                Ok(self.stmt(start, StmtKind::Delete { targets }))
+            }
+            _ => self.expression_statement(),
+        }
+    }
+
+    fn import_aliases(&mut self) -> Result<Vec<ImportAlias>> {
+        let mut names = Vec::new();
+        loop {
+            let (mut name, _) = self.eat_name()?;
+            while self.eat_if(&TokenKind::Dot) {
+                let (part, _) = self.eat_name()?;
+                name.push('.');
+                name.push_str(&part);
+            }
+            let asname =
+                if self.eat_if(&TokenKind::As) { Some(self.eat_name()?.0) } else { None };
+            names.push(ImportAlias { name, asname });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+            // Allow trailing comma before `)` in parenthesized form.
+            if self.check(&TokenKind::RParen) {
+                break;
+            }
+        }
+        Ok(names)
+    }
+
+    /// Assignment (plain, chained, augmented, annotated) or bare expression.
+    fn expression_statement(&mut self) -> Result<Stmt> {
+        let first = self.expression_list()?;
+        let start = first.span;
+        // Annotated assignment `x: T = v` / bare annotation `x: T`.
+        if self.check(&TokenKind::Colon)
+            && matches!(first.kind, ExprKind::Name(_) | ExprKind::Attribute { .. })
+        {
+            self.advance();
+            let _annotation = self.expression()?;
+            if self.eat_if(&TokenKind::Eq) {
+                let value = self.expression_list()?;
+                let span = start.to(value.span);
+                return Ok(self.stmt(span, StmtKind::Assign { targets: vec![first], value }));
+            }
+            // A bare annotation declares the name without a value; model it
+            // as an expression statement so the name use is still visible.
+            return Ok(self.stmt(start, StmtKind::Expr { value: first }));
+        }
+        if let Some(op) = self.augmented_op() {
+            self.advance();
+            let value = self.expression_list()?;
+            let span = start.to(value.span);
+            return Ok(self.stmt(span, StmtKind::AugAssign { target: first, op, value }));
+        }
+        if self.check(&TokenKind::Eq) {
+            let mut targets = vec![first];
+            let mut value = None;
+            while self.eat_if(&TokenKind::Eq) {
+                let e = self.expression_list()?;
+                if self.check(&TokenKind::Eq) {
+                    targets.push(e);
+                } else {
+                    value = Some(e);
+                }
+            }
+            let value = value.expect("loop sets value on exit");
+            let span = start.to(value.span);
+            return Ok(self.stmt(span, StmtKind::Assign { targets, value }));
+        }
+        Ok(self.stmt(start, StmtKind::Expr { value: first }))
+    }
+
+    fn augmented_op(&self) -> Option<BinOp> {
+        Some(match self.peek_kind() {
+            TokenKind::PlusEq => BinOp::Add,
+            TokenKind::MinusEq => BinOp::Sub,
+            TokenKind::StarEq => BinOp::Mul,
+            TokenKind::SlashEq => BinOp::Div,
+            TokenKind::SlashSlashEq => BinOp::FloorDiv,
+            TokenKind::PercentEq => BinOp::Mod,
+            TokenKind::AmpEq => BinOp::BitAnd,
+            TokenKind::PipeEq => BinOp::BitOr,
+            TokenKind::CaretEq => BinOp::BitXor,
+            _ => return None,
+        })
+    }
+
+    // --- compound statements --------------------------------------------------
+
+    fn definition(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        let mut decorators = Vec::new();
+        while self.check(&TokenKind::At) {
+            self.advance();
+            decorators.push(self.expression()?);
+            self.eat(&TokenKind::Newline)?;
+        }
+        match self.peek_kind() {
+            TokenKind::Def => self.function_def(decorators, start),
+            TokenKind::Class => self.class_def(decorators, start),
+            _ => Err(self.unexpected("expected `def` or `class` after decorators")),
+        }
+    }
+
+    fn function_def(&mut self, decorators: Vec<Expr>, start: Span) -> Result<Stmt> {
+        self.eat(&TokenKind::Def)?;
+        let (name, _) = self.eat_name()?;
+        self.eat(&TokenKind::LParen)?;
+        let params = self.parameters(&TokenKind::RParen, true)?;
+        self.eat(&TokenKind::RParen)?;
+        if self.eat_if(&TokenKind::Arrow) {
+            let _return_annotation = self.expression()?;
+        }
+        let body = self.suite()?;
+        let span = start.to(body.last().map_or(start, |s| s.span));
+        Ok(self.stmt(span, StmtKind::FunctionDef(FunctionDef { name, params, decorators, body })))
+    }
+
+    /// `allow_annotations` is false for lambdas, whose `:` terminates the
+    /// parameter list instead of introducing an annotation.
+    fn parameters(&mut self, terminator: &TokenKind, allow_annotations: bool) -> Result<Vec<Param>> {
+        let mut params = Vec::new();
+        while !self.check(terminator) && !self.check(&TokenKind::Colon) {
+            let star = if self.eat_if(&TokenKind::StarStar) {
+                ParamStar::Kwargs
+            } else if self.eat_if(&TokenKind::Star) {
+                // A bare `*` marks keyword-only params; skip the marker.
+                if self.check(&TokenKind::Comma) {
+                    self.advance();
+                    continue;
+                }
+                ParamStar::Args
+            } else {
+                ParamStar::None
+            };
+            let (name, span) = self.eat_name()?;
+            if allow_annotations && self.eat_if(&TokenKind::Colon) {
+                let _annotation = self.expression()?;
+            }
+            let default =
+                if self.eat_if(&TokenKind::Eq) { Some(self.expression()?) } else { None };
+            params.push(Param { name, default, star, span });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok(params)
+    }
+
+    fn class_def(&mut self, decorators: Vec<Expr>, start: Span) -> Result<Stmt> {
+        self.eat(&TokenKind::Class)?;
+        let (name, _) = self.eat_name()?;
+        let mut bases = Vec::new();
+        let mut keywords = Vec::new();
+        if self.eat_if(&TokenKind::LParen) {
+            while !self.check(&TokenKind::RParen) {
+                if matches!(self.peek_kind(), TokenKind::Name(_))
+                    && *self.peek_ahead(1) == TokenKind::Eq
+                {
+                    let (kw, _) = self.eat_name()?;
+                    self.eat(&TokenKind::Eq)?;
+                    let value = self.expression()?;
+                    keywords.push(Keyword { name: Some(kw), value });
+                } else {
+                    bases.push(self.expression()?);
+                }
+                if !self.eat_if(&TokenKind::Comma) {
+                    break;
+                }
+            }
+            self.eat(&TokenKind::RParen)?;
+        }
+        let body = self.suite()?;
+        let span = start.to(body.last().map_or(start, |s| s.span));
+        Ok(self.stmt(
+            span,
+            StmtKind::ClassDef(ClassDef { name, bases, keywords, decorators, body }),
+        ))
+    }
+
+    fn if_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        self.advance(); // `if` or `elif`
+        let test = self.expression()?;
+        let body = self.suite()?;
+        let orelse = if self.check(&TokenKind::Elif) {
+            vec![self.if_statement_from_elif()?]
+        } else if self.eat_if(&TokenKind::Else) {
+            self.suite()?
+        } else {
+            Vec::new()
+        };
+        let end = orelse.last().or(body.last()).map_or(start, |s| s.span);
+        Ok(self.stmt(start.to(end), StmtKind::If { test, body, orelse }))
+    }
+
+    fn if_statement_from_elif(&mut self) -> Result<Stmt> {
+        // `elif` behaves exactly like a nested `if`.
+        self.if_statement()
+    }
+
+    fn for_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        self.eat(&TokenKind::For)?;
+        let target = self.target_list()?;
+        self.eat(&TokenKind::In)?;
+        let iter = self.expression_list()?;
+        let body = self.suite()?;
+        let orelse = if self.eat_if(&TokenKind::Else) { self.suite()? } else { Vec::new() };
+        let end = orelse.last().or(body.last()).map_or(start, |s| s.span);
+        Ok(self.stmt(start.to(end), StmtKind::For { target, iter, body, orelse }))
+    }
+
+    fn while_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        self.eat(&TokenKind::While)?;
+        let test = self.expression()?;
+        let body = self.suite()?;
+        let orelse = if self.eat_if(&TokenKind::Else) { self.suite()? } else { Vec::new() };
+        let end = orelse.last().or(body.last()).map_or(start, |s| s.span);
+        Ok(self.stmt(start.to(end), StmtKind::While { test, body, orelse }))
+    }
+
+    fn try_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        self.eat(&TokenKind::Try)?;
+        let body = self.suite()?;
+        let mut handlers = Vec::new();
+        while self.check(&TokenKind::Except) {
+            let hstart = self.peek().span;
+            self.advance();
+            let (typ, name) = if self.check(&TokenKind::Colon) {
+                (None, None)
+            } else {
+                let t = self.expression()?;
+                let n = if self.eat_if(&TokenKind::As) { Some(self.eat_name()?.0) } else { None };
+                (Some(t), n)
+            };
+            let hbody = self.suite()?;
+            handlers.push(ExceptHandler { typ, name, body: hbody, span: hstart });
+        }
+        let orelse = if self.eat_if(&TokenKind::Else) { self.suite()? } else { Vec::new() };
+        let finalbody =
+            if self.eat_if(&TokenKind::Finally) { self.suite()? } else { Vec::new() };
+        if handlers.is_empty() && finalbody.is_empty() {
+            return Err(self.unexpected("expected `except` or `finally` after try block"));
+        }
+        Ok(self.stmt(start, StmtKind::Try { body, handlers, orelse, finalbody }))
+    }
+
+    fn with_statement(&mut self) -> Result<Stmt> {
+        let start = self.peek().span;
+        self.eat(&TokenKind::With)?;
+        let mut items = Vec::new();
+        loop {
+            let context = self.expression()?;
+            let target =
+                if self.eat_if(&TokenKind::As) { Some(self.postfix()?) } else { None };
+            items.push(WithItem { context, target });
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        let body = self.suite()?;
+        Ok(self.stmt(start, StmtKind::With { items, body }))
+    }
+
+    /// `for` targets: `a`, `a, b`, `(a, b)` — comma builds a tuple.
+    fn target_list(&mut self) -> Result<Expr> {
+        let first = self.postfix()?;
+        if !self.check(&TokenKind::Comma) {
+            return Ok(first);
+        }
+        let start = first.span;
+        let mut elems = vec![first];
+        while self.eat_if(&TokenKind::Comma) {
+            if self.check(&TokenKind::In) {
+                break;
+            }
+            elems.push(self.postfix()?);
+        }
+        let span = start.to(elems.last().unwrap().span);
+        Ok(self.expr(span, ExprKind::Tuple(elems)))
+    }
+
+    // --- expressions ------------------------------------------------------------
+
+    /// `expression_list`: `a, b, c` builds a tuple (as in `return a, b`).
+    fn expression_list(&mut self) -> Result<Expr> {
+        let first = self.expression()?;
+        if !self.check(&TokenKind::Comma) {
+            return Ok(first);
+        }
+        let start = first.span;
+        let mut elems = vec![first];
+        while self.eat_if(&TokenKind::Comma) {
+            if self.expression_cannot_start() {
+                break; // trailing comma
+            }
+            elems.push(self.expression()?);
+        }
+        let span = start.to(elems.last().unwrap().span);
+        Ok(self.expr(span, ExprKind::Tuple(elems)))
+    }
+
+    fn expression_cannot_start(&self) -> bool {
+        matches!(
+            self.peek_kind(),
+            TokenKind::Newline
+                | TokenKind::Eof
+                | TokenKind::Eq
+                | TokenKind::RParen
+                | TokenKind::RBracket
+                | TokenKind::RBrace
+                | TokenKind::Colon
+                | TokenKind::Semi
+        )
+    }
+
+    /// Top-level expression: ternary / lambda / or-chain.
+    fn expression(&mut self) -> Result<Expr> {
+        if self.check(&TokenKind::Lambda) {
+            return self.lambda();
+        }
+        if self.check(&TokenKind::Yield) {
+            let start = self.advance().span;
+            let value = if self.expression_cannot_start() || self.check(&TokenKind::From) {
+                // `yield from` — treat the whole thing as a yield of the inner
+                // expression; the distinction is irrelevant to the analysis.
+                if self.eat_if(&TokenKind::From) {
+                    Some(Box::new(self.expression()?))
+                } else {
+                    None
+                }
+            } else {
+                Some(Box::new(self.expression()?))
+            };
+            let span = value.as_ref().map_or(start, |v| start.to(v.span));
+            return Ok(self.expr(span, ExprKind::Yield(value)));
+        }
+        let cond = self.or_expr()?;
+        if self.check(&TokenKind::If) {
+            // `body if test else orelse`
+            self.advance();
+            let test = self.or_expr()?;
+            self.eat(&TokenKind::Else)?;
+            let orelse = self.expression()?;
+            let span = cond.span.to(orelse.span);
+            return Ok(self.expr(
+                span,
+                ExprKind::IfExp {
+                    test: Box::new(test),
+                    body: Box::new(cond),
+                    orelse: Box::new(orelse),
+                },
+            ));
+        }
+        Ok(cond)
+    }
+
+    fn lambda(&mut self) -> Result<Expr> {
+        let start = self.eat(&TokenKind::Lambda)?.span;
+        let params = self.parameters(&TokenKind::Colon, false)?;
+        self.eat(&TokenKind::Colon)?;
+        let body = self.expression()?;
+        let span = start.to(body.span);
+        Ok(self.expr(span, ExprKind::Lambda { params, body: Box::new(body) }))
+    }
+
+    fn or_expr(&mut self) -> Result<Expr> {
+        let first = self.and_expr()?;
+        if !self.check(&TokenKind::Or) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_if(&TokenKind::Or) {
+            values.push(self.and_expr()?);
+        }
+        let span = values[0].span.to(values.last().unwrap().span);
+        Ok(self.expr(span, ExprKind::BoolOp { op: BoolOpKind::Or, values }))
+    }
+
+    fn and_expr(&mut self) -> Result<Expr> {
+        let first = self.not_expr()?;
+        if !self.check(&TokenKind::And) {
+            return Ok(first);
+        }
+        let mut values = vec![first];
+        while self.eat_if(&TokenKind::And) {
+            values.push(self.not_expr()?);
+        }
+        let span = values[0].span.to(values.last().unwrap().span);
+        Ok(self.expr(span, ExprKind::BoolOp { op: BoolOpKind::And, values }))
+    }
+
+    fn not_expr(&mut self) -> Result<Expr> {
+        if self.check(&TokenKind::Not) {
+            let start = self.advance().span;
+            let operand = self.not_expr()?;
+            let span = start.to(operand.span);
+            return Ok(self
+                .expr(span, ExprKind::UnaryOp { op: UnaryOp::Not, operand: Box::new(operand) }));
+        }
+        self.comparison()
+    }
+
+    fn comparison(&mut self) -> Result<Expr> {
+        let left = self.bit_or()?;
+        let mut ops = Vec::new();
+        let mut comparators = Vec::new();
+        loop {
+            let op = match self.peek_kind() {
+                TokenKind::EqEq => CmpOp::Eq,
+                TokenKind::NotEq => CmpOp::NotEq,
+                TokenKind::Lt => CmpOp::Lt,
+                TokenKind::LtEq => CmpOp::LtEq,
+                TokenKind::Gt => CmpOp::Gt,
+                TokenKind::GtEq => CmpOp::GtEq,
+                TokenKind::In => CmpOp::In,
+                TokenKind::Is => {
+                    if *self.peek_ahead(1) == TokenKind::Not {
+                        self.advance();
+                        CmpOp::IsNot
+                    } else {
+                        CmpOp::Is
+                    }
+                }
+                TokenKind::Not if *self.peek_ahead(1) == TokenKind::In => {
+                    self.advance();
+                    CmpOp::NotIn
+                }
+                _ => break,
+            };
+            self.advance();
+            ops.push(op);
+            comparators.push(self.bit_or()?);
+        }
+        if ops.is_empty() {
+            return Ok(left);
+        }
+        let span = left.span.to(comparators.last().unwrap().span);
+        Ok(self.expr(span, ExprKind::Compare { left: Box::new(left), ops, comparators }))
+    }
+
+    fn bit_or(&mut self) -> Result<Expr> {
+        self.binary_chain(&[(TokenKind::Pipe, BinOp::BitOr)], Self::bit_xor)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr> {
+        self.binary_chain(&[(TokenKind::Caret, BinOp::BitXor)], Self::bit_and)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr> {
+        self.binary_chain(&[(TokenKind::Amp, BinOp::BitAnd)], Self::shift)
+    }
+
+    fn shift(&mut self) -> Result<Expr> {
+        self.binary_chain(
+            &[(TokenKind::Shl, BinOp::Shl), (TokenKind::Shr, BinOp::Shr)],
+            Self::arith,
+        )
+    }
+
+    fn arith(&mut self) -> Result<Expr> {
+        self.binary_chain(
+            &[(TokenKind::Plus, BinOp::Add), (TokenKind::Minus, BinOp::Sub)],
+            Self::term,
+        )
+    }
+
+    fn term(&mut self) -> Result<Expr> {
+        self.binary_chain(
+            &[
+                (TokenKind::Star, BinOp::Mul),
+                (TokenKind::Slash, BinOp::Div),
+                (TokenKind::SlashSlash, BinOp::FloorDiv),
+                (TokenKind::Percent, BinOp::Mod),
+            ],
+            Self::factor,
+        )
+    }
+
+    fn binary_chain(
+        &mut self,
+        ops: &[(TokenKind, BinOp)],
+        next: fn(&mut Self) -> Result<Expr>,
+    ) -> Result<Expr> {
+        let mut left = next(self)?;
+        'outer: loop {
+            for (tok, op) in ops {
+                if self.check(tok) {
+                    self.advance();
+                    let right = next(self)?;
+                    let span = left.span.to(right.span);
+                    left = self.expr(
+                        span,
+                        ExprKind::BinOp { left: Box::new(left), op: *op, right: Box::new(right) },
+                    );
+                    continue 'outer;
+                }
+            }
+            break;
+        }
+        Ok(left)
+    }
+
+    fn factor(&mut self) -> Result<Expr> {
+        let op = match self.peek_kind() {
+            TokenKind::Minus => Some(UnaryOp::Neg),
+            TokenKind::Plus => Some(UnaryOp::Pos),
+            TokenKind::Tilde => Some(UnaryOp::Invert),
+            _ => None,
+        };
+        if let Some(op) = op {
+            let start = self.advance().span;
+            let operand = self.factor()?;
+            let span = start.to(operand.span);
+            return Ok(self.expr(span, ExprKind::UnaryOp { op, operand: Box::new(operand) }));
+        }
+        self.power()
+    }
+
+    fn power(&mut self) -> Result<Expr> {
+        let base = self.postfix()?;
+        if self.eat_if(&TokenKind::StarStar) {
+            let exp = self.factor()?; // right-associative
+            let span = base.span.to(exp.span);
+            return Ok(self.expr(
+                span,
+                ExprKind::BinOp { left: Box::new(base), op: BinOp::Pow, right: Box::new(exp) },
+            ));
+        }
+        Ok(base)
+    }
+
+    /// Postfix: calls, attribute access, subscripts.
+    fn postfix(&mut self) -> Result<Expr> {
+        let mut e = self.atom()?;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Dot => {
+                    self.advance();
+                    let (attr, aspan) = self.eat_name()?;
+                    let span = e.span.to(aspan);
+                    e = self.expr(span, ExprKind::Attribute { value: Box::new(e), attr });
+                }
+                TokenKind::LParen => {
+                    self.advance();
+                    let (args, keywords) = self.call_arguments()?;
+                    let rp = self.eat(&TokenKind::RParen)?;
+                    let span = e.span.to(rp.span);
+                    e = self.expr(
+                        span,
+                        ExprKind::Call { func: Box::new(e), args, keywords },
+                    );
+                }
+                TokenKind::LBracket => {
+                    self.advance();
+                    let index = self.subscript_index()?;
+                    let rb = self.eat(&TokenKind::RBracket)?;
+                    let span = e.span.to(rb.span);
+                    e = self.expr(
+                        span,
+                        ExprKind::Subscript { value: Box::new(e), index: Box::new(index) },
+                    );
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn subscript_index(&mut self) -> Result<Expr> {
+        let start = self.peek().span;
+        // Slice with missing lower bound, e.g. `a[:5]`.
+        let lower = if self.check(&TokenKind::Colon) { None } else { Some(self.expression()?) };
+        if self.eat_if(&TokenKind::Colon) {
+            let upper = if self.check(&TokenKind::RBracket) || self.check(&TokenKind::Colon) {
+                None
+            } else {
+                Some(self.expression()?)
+            };
+            let step = if self.eat_if(&TokenKind::Colon) {
+                if self.check(&TokenKind::RBracket) { None } else { Some(self.expression()?) }
+            } else {
+                None
+            };
+            let span = start.to(self.peek().span);
+            return Ok(self.expr(
+                span,
+                ExprKind::Slice {
+                    lower: lower.map(Box::new),
+                    upper: upper.map(Box::new),
+                    step: step.map(Box::new),
+                },
+            ));
+        }
+        let mut index = lower.expect("non-slice subscript has an index");
+        // Tuple index `a[x, y]`.
+        if self.check(&TokenKind::Comma) {
+            let mut elems = vec![index];
+            while self.eat_if(&TokenKind::Comma) {
+                if self.check(&TokenKind::RBracket) {
+                    break;
+                }
+                elems.push(self.expression()?);
+            }
+            let span = elems[0].span.to(elems.last().unwrap().span);
+            index = self.expr(span, ExprKind::Tuple(elems));
+        }
+        Ok(index)
+    }
+
+    fn call_arguments(&mut self) -> Result<(Vec<Expr>, Vec<Keyword>)> {
+        let mut args = Vec::new();
+        let mut keywords = Vec::new();
+        while !self.check(&TokenKind::RParen) {
+            if self.eat_if(&TokenKind::StarStar) {
+                let value = self.expression()?;
+                keywords.push(Keyword { name: None, value });
+            } else if self.eat_if(&TokenKind::Star) {
+                let inner = self.expression()?;
+                let span = inner.span;
+                let starred = self.expr(span, ExprKind::Starred(Box::new(inner)));
+                args.push(starred);
+            } else if matches!(self.peek_kind(), TokenKind::Name(_))
+                && *self.peek_ahead(1) == TokenKind::Eq
+            {
+                let (name, _) = self.eat_name()?;
+                self.eat(&TokenKind::Eq)?;
+                let value = self.expression()?;
+                keywords.push(Keyword { name: Some(name), value });
+            } else {
+                let e = self.expression()?;
+                // Generator argument: `f(x for x in y)`.
+                if self.check(&TokenKind::For) {
+                    let gens = self.comprehension_clauses()?;
+                    let span = e.span;
+                    let comp = self.expr(
+                        span,
+                        ExprKind::Comprehension {
+                            kind: ComprehensionKind::Generator,
+                            element: Box::new(e),
+                            value: None,
+                            generators: gens,
+                        },
+                    );
+                    args.push(comp);
+                } else {
+                    args.push(e);
+                }
+            }
+            if !self.eat_if(&TokenKind::Comma) {
+                break;
+            }
+        }
+        Ok((args, keywords))
+    }
+
+    fn comprehension_clauses(&mut self) -> Result<Vec<Comprehension>> {
+        let mut gens = Vec::new();
+        while self.check(&TokenKind::For) {
+            self.advance();
+            let target = self.target_list()?;
+            self.eat(&TokenKind::In)?;
+            let iter = self.or_expr()?;
+            let mut ifs = Vec::new();
+            while self.eat_if(&TokenKind::If) {
+                ifs.push(self.or_expr()?);
+            }
+            gens.push(Comprehension { target, iter, ifs });
+        }
+        Ok(gens)
+    }
+
+    fn atom(&mut self) -> Result<Expr> {
+        let tok = self.peek().clone();
+        match tok.kind {
+            TokenKind::Name(n) => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Name(n)))
+            }
+            TokenKind::Int(v) => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Constant(Constant::Int(v))))
+            }
+            TokenKind::Float(v) => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Constant(Constant::Float(v))))
+            }
+            TokenKind::Str(s) => {
+                self.advance();
+                // Adjacent string literals concatenate.
+                let mut full = s;
+                let mut span = tok.span;
+                while let TokenKind::Str(next) = self.peek_kind().clone() {
+                    span = span.to(self.peek().span);
+                    full.push_str(&next);
+                    self.advance();
+                }
+                Ok(self.expr(span, ExprKind::Constant(Constant::Str(full))))
+            }
+            TokenKind::FStr(raw) => {
+                self.advance();
+                let parts = self.parse_fstring_holes(&raw, tok.span)?;
+                Ok(self.expr(tok.span, ExprKind::FString { raw, parts }))
+            }
+            TokenKind::True => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Constant(Constant::Bool(true))))
+            }
+            TokenKind::False => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Constant(Constant::Bool(false))))
+            }
+            TokenKind::None => {
+                self.advance();
+                Ok(self.expr(tok.span, ExprKind::Constant(Constant::None)))
+            }
+            TokenKind::LParen => self.paren_atom(),
+            TokenKind::LBracket => self.list_atom(),
+            TokenKind::LBrace => self.brace_atom(),
+            TokenKind::Lambda => self.lambda(),
+            _ => Err(self.unexpected("expected expression")),
+        }
+    }
+
+    fn paren_atom(&mut self) -> Result<Expr> {
+        let start = self.eat(&TokenKind::LParen)?.span;
+        if self.check(&TokenKind::RParen) {
+            let end = self.advance().span;
+            return Ok(self.expr(start.to(end), ExprKind::Tuple(Vec::new())));
+        }
+        let first = self.expression()?;
+        if self.check(&TokenKind::For) {
+            let gens = self.comprehension_clauses()?;
+            let end = self.eat(&TokenKind::RParen)?.span;
+            return Ok(self.expr(
+                start.to(end),
+                ExprKind::Comprehension {
+                    kind: ComprehensionKind::Generator,
+                    element: Box::new(first),
+                    value: None,
+                    generators: gens,
+                },
+            ));
+        }
+        if self.check(&TokenKind::Comma) {
+            let mut elems = vec![first];
+            while self.eat_if(&TokenKind::Comma) {
+                if self.check(&TokenKind::RParen) {
+                    break;
+                }
+                elems.push(self.expression()?);
+            }
+            let end = self.eat(&TokenKind::RParen)?.span;
+            return Ok(self.expr(start.to(end), ExprKind::Tuple(elems)));
+        }
+        self.eat(&TokenKind::RParen)?;
+        // Parenthesized expression: keep the inner node (spans stay inner).
+        Ok(first)
+    }
+
+    fn list_atom(&mut self) -> Result<Expr> {
+        let start = self.eat(&TokenKind::LBracket)?.span;
+        if self.check(&TokenKind::RBracket) {
+            let end = self.advance().span;
+            return Ok(self.expr(start.to(end), ExprKind::List(Vec::new())));
+        }
+        let first = self.expression()?;
+        if self.check(&TokenKind::For) {
+            let gens = self.comprehension_clauses()?;
+            let end = self.eat(&TokenKind::RBracket)?.span;
+            return Ok(self.expr(
+                start.to(end),
+                ExprKind::Comprehension {
+                    kind: ComprehensionKind::List,
+                    element: Box::new(first),
+                    value: None,
+                    generators: gens,
+                },
+            ));
+        }
+        let mut elems = vec![first];
+        while self.eat_if(&TokenKind::Comma) {
+            if self.check(&TokenKind::RBracket) {
+                break;
+            }
+            elems.push(self.expression()?);
+        }
+        let end = self.eat(&TokenKind::RBracket)?.span;
+        Ok(self.expr(start.to(end), ExprKind::List(elems)))
+    }
+
+    fn brace_atom(&mut self) -> Result<Expr> {
+        let start = self.eat(&TokenKind::LBrace)?.span;
+        if self.check(&TokenKind::RBrace) {
+            let end = self.advance().span;
+            return Ok(self.expr(start.to(end), ExprKind::Dict { keys: vec![], values: vec![] }));
+        }
+        if self.eat_if(&TokenKind::StarStar) {
+            // `{**a, …}` — model the splat value as both key and value slot.
+            let splat = self.expression()?;
+            let mut keys = vec![];
+            let mut values = vec![splat];
+            while self.eat_if(&TokenKind::Comma) {
+                if self.check(&TokenKind::RBrace) {
+                    break;
+                }
+                if self.eat_if(&TokenKind::StarStar) {
+                    values.push(self.expression()?);
+                } else {
+                    let k = self.expression()?;
+                    self.eat(&TokenKind::Colon)?;
+                    keys.push(k);
+                    values.push(self.expression()?);
+                }
+            }
+            let end = self.eat(&TokenKind::RBrace)?.span;
+            return Ok(self.expr(start.to(end), ExprKind::Dict { keys, values }));
+        }
+        let first = self.expression()?;
+        if self.eat_if(&TokenKind::Colon) {
+            let fval = self.expression()?;
+            if self.check(&TokenKind::For) {
+                let gens = self.comprehension_clauses()?;
+                let end = self.eat(&TokenKind::RBrace)?.span;
+                return Ok(self.expr(
+                    start.to(end),
+                    ExprKind::Comprehension {
+                        kind: ComprehensionKind::Dict,
+                        element: Box::new(first),
+                        value: Some(Box::new(fval)),
+                        generators: gens,
+                    },
+                ));
+            }
+            let mut keys = vec![first];
+            let mut values = vec![fval];
+            while self.eat_if(&TokenKind::Comma) {
+                if self.check(&TokenKind::RBrace) {
+                    break;
+                }
+                if self.eat_if(&TokenKind::StarStar) {
+                    values.push(self.expression()?);
+                    continue;
+                }
+                let k = self.expression()?;
+                self.eat(&TokenKind::Colon)?;
+                let v = self.expression()?;
+                keys.push(k);
+                values.push(v);
+            }
+            let end = self.eat(&TokenKind::RBrace)?.span;
+            return Ok(self.expr(start.to(end), ExprKind::Dict { keys, values }));
+        }
+        if self.check(&TokenKind::For) {
+            let gens = self.comprehension_clauses()?;
+            let end = self.eat(&TokenKind::RBrace)?.span;
+            return Ok(self.expr(
+                start.to(end),
+                ExprKind::Comprehension {
+                    kind: ComprehensionKind::Set,
+                    element: Box::new(first),
+                    value: None,
+                    generators: gens,
+                },
+            ));
+        }
+        let mut elems = vec![first];
+        while self.eat_if(&TokenKind::Comma) {
+            if self.check(&TokenKind::RBrace) {
+                break;
+            }
+            elems.push(self.expression()?);
+        }
+        let end = self.eat(&TokenKind::RBrace)?.span;
+        Ok(self.expr(start.to(end), ExprKind::Set(elems)))
+    }
+
+    /// Parses `{expr}` holes inside an f-string so name uses remain visible
+    /// to data-flow analysis. Format specs after `:` and conversions after
+    /// `!` are ignored.
+    fn parse_fstring_holes(&mut self, raw: &str, span: Span) -> Result<Vec<Expr>> {
+        let mut parts = Vec::new();
+        let bytes = raw.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            match bytes[i] {
+                b'{' if i + 1 < bytes.len() && bytes[i + 1] == b'{' => i += 2,
+                b'}' if i + 1 < bytes.len() && bytes[i + 1] == b'}' => i += 2,
+                b'{' => {
+                    let start = i + 1;
+                    let mut depth = 1;
+                    let mut j = start;
+                    let mut expr_end = None;
+                    while j < bytes.len() {
+                        match bytes[j] {
+                            b'{' => depth += 1,
+                            b'}' => {
+                                depth -= 1;
+                                if depth == 0 {
+                                    break;
+                                }
+                            }
+                            b':' | b'!' if depth == 1 && expr_end.is_none() => {
+                                expr_end = Some(j);
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    if j >= bytes.len() {
+                        return Err(ParseError::new("unbalanced `{` in f-string", span));
+                    }
+                    let end = expr_end.unwrap_or(j);
+                    let inner = raw[start..end].trim();
+                    if !inner.is_empty() && !inner.ends_with('=') {
+                        // Sub-parse the hole; ids continue from our counter.
+                        let tokens = lex(inner)
+                            .map_err(|e| ParseError::new(format!("in f-string hole: {e}"), span))?;
+                        let mut sub = Parser::new(tokens);
+                        sub.next_id = self.next_id;
+                        let e = sub
+                            .expression()
+                            .map_err(|e| ParseError::new(format!("in f-string hole: {e}"), span))?;
+                        self.next_id = sub.next_id;
+                        parts.push(e);
+                    }
+                    i = j + 1;
+                }
+                _ => i += 1,
+            }
+        }
+        Ok(parts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_one(src: &str) -> Stmt {
+        let m = parse_module(src).unwrap();
+        assert_eq!(m.body.len(), 1, "expected one statement in {src:?}");
+        m.body.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn parses_assignment() {
+        let s = parse_one("x = 1\n");
+        match s.kind {
+            StmtKind::Assign { targets, value } => {
+                assert_eq!(targets.len(), 1);
+                assert_eq!(targets[0].as_name(), Some("x"));
+                assert_eq!(value.kind, ExprKind::Constant(Constant::Int(1)));
+            }
+            other => panic!("expected Assign, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn chained_assignment_keeps_all_targets() {
+        let s = parse_one("a = b = 3\n");
+        match s.kind {
+            StmtKind::Assign { targets, .. } => assert_eq!(targets.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn augmented_assignment() {
+        let s = parse_one("total += price\n");
+        assert!(matches!(s.kind, StmtKind::AugAssign { op: BinOp::Add, .. }));
+    }
+
+    #[test]
+    fn annotated_assignment_desugars() {
+        let s = parse_one("count: int = 0\n");
+        assert!(matches!(s.kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn method_call_chain() {
+        let s = parse_one("user = User.objects.get(email=email)\n");
+        let StmtKind::Assign { value, .. } = s.kind else { panic!() };
+        let ExprKind::Call { func, args, keywords } = value.kind else { panic!() };
+        assert!(args.is_empty());
+        assert_eq!(keywords.len(), 1);
+        assert_eq!(keywords[0].name.as_deref(), Some("email"));
+        let (root, chain) = func.dotted_chain().unwrap();
+        assert_eq!(root, "User");
+        assert_eq!(chain, vec!["objects", "get"]);
+    }
+
+    #[test]
+    fn if_elif_else_desugars() {
+        let m = parse_module("if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n").unwrap();
+        let StmtKind::If { orelse, .. } = &m.body[0].kind else { panic!() };
+        assert_eq!(orelse.len(), 1);
+        let StmtKind::If { orelse: inner_else, .. } = &orelse[0].kind else { panic!() };
+        assert_eq!(inner_else.len(), 1);
+    }
+
+    #[test]
+    fn comparison_chain() {
+        let e = parse_expr("0 <= x < 10").unwrap();
+        let ExprKind::Compare { ops, comparators, .. } = e.kind else { panic!() };
+        assert_eq!(ops, vec![CmpOp::LtEq, CmpOp::Lt]);
+        assert_eq!(comparators.len(), 2);
+    }
+
+    #[test]
+    fn is_not_and_not_in() {
+        let e = parse_expr("a is not None").unwrap();
+        let ExprKind::Compare { ops, .. } = e.kind else { panic!() };
+        assert_eq!(ops, vec![CmpOp::IsNot]);
+        let e = parse_expr("a not in b").unwrap();
+        let ExprKind::Compare { ops, .. } = e.kind else { panic!() };
+        assert_eq!(ops, vec![CmpOp::NotIn]);
+    }
+
+    #[test]
+    fn precedence_and_over_or_and_not() {
+        let e = parse_expr("a or b and not c").unwrap();
+        let ExprKind::BoolOp { op: BoolOpKind::Or, values } = e.kind else { panic!() };
+        assert_eq!(values.len(), 2);
+        let ExprKind::BoolOp { op: BoolOpKind::And, values: inner } = &values[1].kind else {
+            panic!()
+        };
+        assert!(matches!(inner[1].kind, ExprKind::UnaryOp { op: UnaryOp::Not, .. }));
+    }
+
+    #[test]
+    fn arith_precedence() {
+        let e = parse_expr("1 + 2 * 3").unwrap();
+        let ExprKind::BinOp { op: BinOp::Add, right, .. } = e.kind else { panic!() };
+        assert!(matches!(right.kind, ExprKind::BinOp { op: BinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn power_is_right_associative() {
+        let e = parse_expr("2 ** 3 ** 2").unwrap();
+        let ExprKind::BinOp { op: BinOp::Pow, right, .. } = e.kind else { panic!() };
+        assert!(matches!(right.kind, ExprKind::BinOp { op: BinOp::Pow, .. }));
+    }
+
+    #[test]
+    fn function_def_with_defaults_and_stars() {
+        let s = parse_one("def f(a, b=2, *args, **kwargs):\n    pass\n");
+        let StmtKind::FunctionDef(f) = s.kind else { panic!() };
+        assert_eq!(f.name, "f");
+        assert_eq!(f.params.len(), 4);
+        assert!(f.params[1].default.is_some());
+        assert_eq!(f.params[2].star, ParamStar::Args);
+        assert_eq!(f.params[3].star, ParamStar::Kwargs);
+    }
+
+    #[test]
+    fn decorated_class_with_bases_and_keywords() {
+        let s = parse_one("@register\nclass Order(models.Model, metaclass=Meta):\n    pass\n");
+        let StmtKind::ClassDef(c) = s.kind else { panic!() };
+        assert_eq!(c.name, "Order");
+        assert_eq!(c.decorators.len(), 1);
+        assert_eq!(c.bases.len(), 1);
+        assert_eq!(c.keywords.len(), 1);
+    }
+
+    #[test]
+    fn try_except_else_finally() {
+        let src = "try:\n    x\nexcept ValueError as e:\n    y\nexcept Exception:\n    z\nelse:\n    a\nfinally:\n    b\n";
+        let s = parse_one(src);
+        let StmtKind::Try { handlers, orelse, finalbody, .. } = s.kind else { panic!() };
+        assert_eq!(handlers.len(), 2);
+        assert_eq!(handlers[0].name.as_deref(), Some("e"));
+        assert!(handlers[1].name.is_none());
+        assert_eq!(orelse.len(), 1);
+        assert_eq!(finalbody.len(), 1);
+    }
+
+    #[test]
+    fn bare_try_without_handlers_is_error() {
+        assert!(parse_module("try:\n    x\n").is_err());
+    }
+
+    #[test]
+    fn for_with_tuple_target() {
+        let s = parse_one("for k, v in items:\n    pass\n");
+        let StmtKind::For { target, .. } = s.kind else { panic!() };
+        assert!(matches!(target.kind, ExprKind::Tuple(ref t) if t.len() == 2));
+    }
+
+    #[test]
+    fn while_else() {
+        let s = parse_one("while x:\n    a\nelse:\n    b\n");
+        let StmtKind::While { orelse, .. } = s.kind else { panic!() };
+        assert_eq!(orelse.len(), 1);
+    }
+
+    #[test]
+    fn with_as_target() {
+        let s = parse_one("with transaction.atomic() as tx:\n    pass\n");
+        let StmtKind::With { items, .. } = s.kind else { panic!() };
+        assert_eq!(items.len(), 1);
+        assert!(items[0].target.is_some());
+    }
+
+    #[test]
+    fn imports() {
+        let m = parse_module("import os\nfrom django.db import models, connection\nfrom . import utils\nfrom .models import *\n")
+            .unwrap();
+        assert_eq!(m.body.len(), 4);
+        let StmtKind::ImportFrom { module, names } = &m.body[1].kind else { panic!() };
+        assert_eq!(module, "django.db");
+        assert_eq!(names.len(), 2);
+        let StmtKind::ImportFrom { module, .. } = &m.body[2].kind else { panic!() };
+        assert_eq!(module, ".");
+        let StmtKind::ImportFrom { names, .. } = &m.body[3].kind else { panic!() };
+        assert_eq!(names[0].name, "*");
+    }
+
+    #[test]
+    fn subscripts_and_slices() {
+        let e = parse_expr("a[0]").unwrap();
+        assert!(matches!(e.kind, ExprKind::Subscript { .. }));
+        let e = parse_expr("a[1:2]").unwrap();
+        let ExprKind::Subscript { index, .. } = e.kind else { panic!() };
+        assert!(matches!(index.kind, ExprKind::Slice { .. }));
+        let e = parse_expr("a[:n]").unwrap();
+        let ExprKind::Subscript { index, .. } = e.kind else { panic!() };
+        let ExprKind::Slice { lower, upper, .. } = index.kind else { panic!() };
+        assert!(lower.is_none() && upper.is_some());
+        let e = parse_expr("request.GET['order_number']").unwrap();
+        assert!(matches!(e.kind, ExprKind::Subscript { .. }));
+    }
+
+    #[test]
+    fn collections() {
+        assert!(matches!(parse_expr("[1, 2, 3]").unwrap().kind, ExprKind::List(ref v) if v.len() == 3));
+        assert!(matches!(parse_expr("(1, 2)").unwrap().kind, ExprKind::Tuple(ref v) if v.len() == 2));
+        assert!(matches!(parse_expr("()").unwrap().kind, ExprKind::Tuple(ref v) if v.is_empty()));
+        assert!(matches!(parse_expr("{}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.is_empty()));
+        assert!(matches!(parse_expr("{1: 'a'}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.len() == 1));
+        assert!(matches!(parse_expr("{1, 2}").unwrap().kind, ExprKind::Set(ref v) if v.len() == 2));
+        assert!(matches!(parse_expr("[1,]").unwrap().kind, ExprKind::List(ref v) if v.len() == 1));
+    }
+
+    #[test]
+    fn comprehensions() {
+        let e = parse_expr("[x.id for x in rows if x.ok]").unwrap();
+        let ExprKind::Comprehension { kind, generators, .. } = e.kind else { panic!() };
+        assert_eq!(kind, ComprehensionKind::List);
+        assert_eq!(generators.len(), 1);
+        assert_eq!(generators[0].ifs.len(), 1);
+        assert!(matches!(
+            parse_expr("{x: y for x, y in items}").unwrap().kind,
+            ExprKind::Comprehension { kind: ComprehensionKind::Dict, .. }
+        ));
+        assert!(matches!(
+            parse_expr("{x for x in items}").unwrap().kind,
+            ExprKind::Comprehension { kind: ComprehensionKind::Set, .. }
+        ));
+        assert!(matches!(
+            parse_expr("(x for x in items)").unwrap().kind,
+            ExprKind::Comprehension { kind: ComprehensionKind::Generator, .. }
+        ));
+    }
+
+    #[test]
+    fn generator_call_argument() {
+        let e = parse_expr("any(line.total is None for line in lines)").unwrap();
+        let ExprKind::Call { args, .. } = e.kind else { panic!() };
+        assert!(matches!(args[0].kind, ExprKind::Comprehension { .. }));
+    }
+
+    #[test]
+    fn ternary_and_lambda() {
+        let e = parse_expr("a if cond else b").unwrap();
+        assert!(matches!(e.kind, ExprKind::IfExp { .. }));
+        let e = parse_expr("lambda x, y=1: x + y").unwrap();
+        let ExprKind::Lambda { params, .. } = e.kind else { panic!() };
+        assert_eq!(params.len(), 2);
+    }
+
+    #[test]
+    fn fstring_holes_are_parsed() {
+        let e = parse_expr("f'order {order.id} for {user.email!r:>10}'").unwrap();
+        let ExprKind::FString { parts, .. } = e.kind else { panic!() };
+        assert_eq!(parts.len(), 2);
+        assert!(parts[0].dotted_chain().is_some());
+    }
+
+    #[test]
+    fn fstring_escaped_braces() {
+        let e = parse_expr("f'{{literal}} {x}'").unwrap();
+        let ExprKind::FString { parts, .. } = e.kind else { panic!() };
+        assert_eq!(parts.len(), 1);
+    }
+
+    #[test]
+    fn adjacent_string_concat() {
+        let e = parse_expr("'a' 'b' 'c'").unwrap();
+        assert_eq!(e.as_str(), Some("abc"));
+    }
+
+    #[test]
+    fn return_tuple() {
+        let m = parse_module("def f():\n    return a, b\n").unwrap();
+        let StmtKind::FunctionDef(f) = &m.body[0].kind else { panic!() };
+        let StmtKind::Return { value: Some(v) } = &f.body[0].kind else { panic!() };
+        assert!(matches!(v.kind, ExprKind::Tuple(_)));
+    }
+
+    #[test]
+    fn raise_from() {
+        let s = parse_one("raise ValueError('bad') from exc\n");
+        let StmtKind::Raise { exc, cause } = s.kind else { panic!() };
+        assert!(exc.is_some() && cause.is_some());
+    }
+
+    #[test]
+    fn inline_suite() {
+        let s = parse_one("if a: b = 1; c = 2\n");
+        let StmtKind::If { body, .. } = s.kind else { panic!() };
+        assert_eq!(body.len(), 2);
+    }
+
+    #[test]
+    fn node_ids_are_dense_and_unique() {
+        let m = parse_module("def f(a):\n    if a:\n        return a.b\n    return None\n").unwrap();
+        use std::collections::HashSet;
+        let mut seen = HashSet::new();
+        fn walk_stmt(s: &Stmt, seen: &mut HashSet<u32>) {
+            assert!(seen.insert(s.id.0), "duplicate stmt id {}", s.id);
+            match &s.kind {
+                StmtKind::FunctionDef(f) => {
+                    for st in &f.body {
+                        walk_stmt(st, seen);
+                    }
+                }
+                StmtKind::If { test, body, orelse } => {
+                    walk_expr(test, seen);
+                    for st in body.iter().chain(orelse) {
+                        walk_stmt(st, seen);
+                    }
+                }
+                StmtKind::Return { value } => {
+                    if let Some(v) = value {
+                        walk_expr(v, seen);
+                    }
+                }
+                _ => {}
+            }
+        }
+        fn walk_expr(e: &Expr, seen: &mut HashSet<u32>) {
+            assert!(seen.insert(e.id.0), "duplicate expr id {}", e.id);
+            if let ExprKind::Attribute { value, .. } = &e.kind {
+                walk_expr(value, seen);
+            }
+        }
+        for s in &m.body {
+            walk_stmt(s, &mut seen);
+        }
+        assert!(seen.iter().all(|id| *id < m.node_count));
+    }
+
+    #[test]
+    fn error_messages_carry_location() {
+        let err = parse_module("if a\n    pass\n").unwrap_err();
+        assert!(err.message.contains("expected"), "{}", err.message);
+        assert_eq!(err.span.start.line, 1);
+    }
+
+    #[test]
+    fn starred_call_args() {
+        let e = parse_expr("f(*args, **kwargs)").unwrap();
+        let ExprKind::Call { args, keywords, .. } = e.kind else { panic!() };
+        assert!(matches!(args[0].kind, ExprKind::Starred(_)));
+        assert_eq!(keywords.len(), 1);
+        assert!(keywords[0].name.is_none());
+    }
+
+    #[test]
+    fn dict_splat() {
+        let e = parse_expr("{**base, 'k': v}").unwrap();
+        let ExprKind::Dict { keys, values } = e.kind else { panic!() };
+        assert_eq!(keys.len(), 1);
+        assert_eq!(values.len(), 2);
+    }
+
+    #[test]
+    fn global_and_del_and_assert() {
+        let m = parse_module("global a, b\ndel x\nassert y, 'msg'\n").unwrap();
+        assert!(matches!(&m.body[0].kind, StmtKind::Global { names } if names.len() == 2));
+        assert!(matches!(&m.body[1].kind, StmtKind::Delete { targets } if targets.len() == 1));
+        assert!(matches!(&m.body[2].kind, StmtKind::Assert { msg: Some(_), .. }));
+    }
+
+    #[test]
+    fn yield_forms() {
+        let m = parse_module("def g():\n    yield 1\n    yield from other()\n    yield\n").unwrap();
+        let StmtKind::FunctionDef(f) = &m.body[0].kind else { panic!() };
+        assert_eq!(f.body.len(), 3);
+    }
+
+    #[test]
+    fn django_model_realistic() {
+        let src = r#"
+from django.db import models
+
+
+class OrderLine(models.Model):
+    order = models.ForeignKey('Order', on_delete=models.CASCADE, related_name='lines')
+    product = models.ForeignKey('catalogue.Product', null=True, on_delete=models.SET_NULL)
+    quantity = models.IntegerField(default=1)
+    sku = models.CharField(max_length=128)
+
+    class Meta:
+        unique_together = ('order', 'sku')
+
+    def is_available(self):
+        if self.product is None:
+            return False
+        return self.product.is_public and self.quantity > 0
+"#;
+        let m = parse_module(src).unwrap();
+        let StmtKind::ClassDef(c) = &m.body[1].kind else { panic!() };
+        assert_eq!(c.name, "OrderLine");
+        assert_eq!(c.body.len(), 6);
+    }
+}

@@ -1,0 +1,145 @@
+//! Source positions and spans.
+//!
+//! Every token and AST node carries a [`Span`] so that diagnostics and
+//! detection reports can point back at the offending source location, the
+//! same way CFinder reports "detailed code pattern information" (§A.1).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A position in source text, tracked as 1-based line and column plus a
+/// 0-based byte offset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Pos {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number (in bytes).
+    pub col: u32,
+    /// 0-based byte offset from the start of the file.
+    pub offset: u32,
+}
+
+impl Pos {
+    /// The first position in a file.
+    pub const START: Pos = Pos { line: 1, col: 1, offset: 0 };
+
+    /// Creates a new position.
+    pub fn new(line: u32, col: u32, offset: u32) -> Self {
+        Pos { line, col, offset }
+    }
+}
+
+impl fmt::Display for Pos {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A half-open byte range `[start, end)` in a single source file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Span {
+    /// Start of the span (inclusive).
+    pub start: Pos,
+    /// End of the span (exclusive).
+    pub end: Pos,
+}
+
+impl Span {
+    /// A zero-width span at the start of the file; used for synthesized nodes.
+    pub const DUMMY: Span = Span { start: Pos::START, end: Pos::START };
+
+    /// Creates a span between two positions.
+    pub fn new(start: Pos, end: Pos) -> Self {
+        Span { start, end }
+    }
+
+    /// Returns the smallest span covering both `self` and `other`.
+    #[must_use]
+    pub fn to(self, other: Span) -> Span {
+        Span {
+            start: if self.start <= other.start { self.start } else { other.start },
+            end: if self.end.offset >= other.end.offset { self.end } else { other.end },
+        }
+    }
+
+    /// Returns the source text this span covers.
+    pub fn slice<'a>(&self, source: &'a str) -> &'a str {
+        let s = self.start.offset as usize;
+        let e = (self.end.offset as usize).min(source.len());
+        &source[s.min(e)..e]
+    }
+
+    /// Returns true if `self` fully contains `other`.
+    pub fn contains(&self, other: Span) -> bool {
+        self.start.offset <= other.start.offset && other.end.offset <= self.end.offset
+    }
+
+    /// Length of the span in bytes.
+    pub fn len(&self) -> u32 {
+        self.end.offset.saturating_sub(self.start.offset)
+    }
+
+    /// Returns true if the span covers no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}-{}", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pos_display() {
+        assert_eq!(Pos::new(3, 7, 40).to_string(), "3:7");
+    }
+
+    #[test]
+    fn span_join_orders_endpoints() {
+        let a = Span::new(Pos::new(1, 1, 0), Pos::new(1, 5, 4));
+        let b = Span::new(Pos::new(2, 1, 10), Pos::new(2, 4, 13));
+        let j = a.to(b);
+        assert_eq!(j.start, a.start);
+        assert_eq!(j.end, b.end);
+        // Join is commutative.
+        assert_eq!(b.to(a), j);
+    }
+
+    #[test]
+    fn span_slice_extracts_text() {
+        let src = "hello world";
+        let sp = Span::new(Pos::new(1, 7, 6), Pos::new(1, 12, 11));
+        assert_eq!(sp.slice(src), "world");
+    }
+
+    #[test]
+    fn span_slice_clamps_out_of_range() {
+        let src = "ab";
+        let sp = Span::new(Pos::new(1, 1, 0), Pos::new(1, 99, 98));
+        assert_eq!(sp.slice(src), "ab");
+    }
+
+    #[test]
+    fn span_contains() {
+        let outer = Span::new(Pos::new(1, 1, 0), Pos::new(1, 11, 10));
+        let inner = Span::new(Pos::new(1, 3, 2), Pos::new(1, 6, 5));
+        assert!(outer.contains(inner));
+        assert!(!inner.contains(outer));
+        assert!(outer.contains(outer));
+    }
+
+    #[test]
+    fn span_len_and_empty() {
+        assert!(Span::DUMMY.is_empty());
+        let sp = Span::new(Pos::new(1, 1, 0), Pos::new(1, 4, 3));
+        assert_eq!(sp.len(), 3);
+        assert!(!sp.is_empty());
+    }
+}

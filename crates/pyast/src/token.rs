@@ -1,0 +1,381 @@
+//! Token definitions produced by the [lexer](crate::lexer).
+
+use std::fmt;
+
+use crate::span::Span;
+
+/// A lexical token with its source span.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// What kind of token this is.
+    pub kind: TokenKind,
+    /// Where in the source it came from.
+    pub span: Span,
+}
+
+impl Token {
+    /// Creates a token.
+    pub fn new(kind: TokenKind, span: Span) -> Self {
+        Token { kind, span }
+    }
+}
+
+/// The set of token kinds in the Python subset.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    // Structure
+    /// Logical end of line.
+    Newline,
+    /// Increase of indentation level.
+    Indent,
+    /// Decrease of indentation level.
+    Dedent,
+    /// End of input (emitted exactly once).
+    Eof,
+
+    // Atoms
+    /// Identifier (not a keyword).
+    Name(String),
+    /// Integer literal.
+    Int(i64),
+    /// Floating-point literal.
+    Float(f64),
+    /// String literal (contents, with escapes resolved).
+    Str(String),
+    /// Formatted string literal; kept as raw inner text.
+    FStr(String),
+
+    // Keywords
+    /// The `def` keyword.
+    Def,
+    /// The `class` keyword.
+    Class,
+    /// The `if` keyword.
+    If,
+    /// The `elif` keyword.
+    Elif,
+    /// The `else` keyword.
+    Else,
+    /// The `for` keyword.
+    For,
+    /// The `while` keyword.
+    While,
+    /// The `try` keyword.
+    Try,
+    /// The `except` keyword.
+    Except,
+    /// The `finally` keyword.
+    Finally,
+    /// The `with` keyword.
+    With,
+    /// The `as` keyword.
+    As,
+    /// The `return` keyword.
+    Return,
+    /// The `raise` keyword.
+    Raise,
+    /// The `pass` keyword.
+    Pass,
+    /// The `break` keyword.
+    Break,
+    /// The `continue` keyword.
+    Continue,
+    /// The `import` keyword.
+    Import,
+    /// The `from` keyword.
+    From,
+    /// The `lambda` keyword.
+    Lambda,
+    /// The `global` keyword.
+    Global,
+    /// The `nonlocal` keyword.
+    Nonlocal,
+    /// The `del` keyword.
+    Del,
+    /// The `assert` keyword.
+    Assert,
+    /// The `yield` keyword.
+    Yield,
+    /// The `in` keyword.
+    In,
+    /// The `is` keyword.
+    Is,
+    /// The `not` keyword.
+    Not,
+    /// The `and` keyword.
+    And,
+    /// The `or` keyword.
+    Or,
+    /// The `None` keyword.
+    None,
+    /// The `True` keyword.
+    True,
+    /// The `False` keyword.
+    False,
+
+    // Operators and punctuation
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `,`
+    Comma,
+    /// `:`
+    Colon,
+    /// `;`
+    Semi,
+    /// `.`
+    Dot,
+    /// `=`
+    Eq,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    LtEq,
+    /// `>`
+    Gt,
+    /// `>=`
+    GtEq,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `**`
+    StarStar,
+    /// `/`
+    Slash,
+    /// `//`
+    SlashSlash,
+    /// `%`
+    Percent,
+    /// `@`
+    At,
+    /// `&`
+    Amp,
+    /// `|`
+    Pipe,
+    /// `^`
+    Caret,
+    /// `~`
+    Tilde,
+    /// `<<`
+    Shl,
+    /// `>>`
+    Shr,
+    /// `->`
+    Arrow,
+    /// `+=`
+    PlusEq,
+    /// `-=`
+    MinusEq,
+    /// `*=`
+    StarEq,
+    /// `/=`
+    SlashEq,
+    /// `//=`
+    SlashSlashEq,
+    /// `%=`
+    PercentEq,
+    /// `&=`
+    AmpEq,
+    /// `|=`
+    PipeEq,
+    /// `^=`
+    CaretEq,
+}
+
+impl TokenKind {
+    /// Maps an identifier to its keyword token, if it is one.
+    pub fn keyword(ident: &str) -> Option<TokenKind> {
+        use TokenKind::*;
+        Some(match ident {
+            "def" => Def,
+            "class" => Class,
+            "if" => If,
+            "elif" => Elif,
+            "else" => Else,
+            "for" => For,
+            "while" => While,
+            "try" => Try,
+            "except" => Except,
+            "finally" => Finally,
+            "with" => With,
+            "as" => As,
+            "return" => Return,
+            "raise" => Raise,
+            "pass" => Pass,
+            "break" => Break,
+            "continue" => Continue,
+            "import" => Import,
+            "from" => From,
+            "lambda" => Lambda,
+            "global" => Global,
+            "nonlocal" => Nonlocal,
+            "del" => Del,
+            "assert" => Assert,
+            "yield" => Yield,
+            "in" => In,
+            "is" => Is,
+            "not" => Not,
+            "and" => And,
+            "or" => Or,
+            "None" => None,
+            "True" => True,
+            "False" => False,
+            _ => return Option::None,
+        })
+    }
+
+    /// Human-readable description used in parse-error messages.
+    pub fn describe(&self) -> String {
+        use TokenKind::*;
+        match self {
+            Newline => "newline".to_string(),
+            Indent => "indent".to_string(),
+            Dedent => "dedent".to_string(),
+            Eof => "end of file".to_string(),
+            Name(n) => format!("identifier `{n}`"),
+            Int(v) => format!("integer `{v}`"),
+            Float(v) => format!("float `{v}`"),
+            Str(_) => "string literal".to_string(),
+            FStr(_) => "f-string literal".to_string(),
+            other => format!("`{}`", other.lexeme()),
+        }
+    }
+
+    /// The canonical source text of fixed tokens (keywords/punctuation).
+    ///
+    /// Variable tokens (names, literals, structure tokens) return a
+    /// placeholder suitable only for diagnostics.
+    pub fn lexeme(&self) -> &'static str {
+        use TokenKind::*;
+        match self {
+            Def => "def",
+            Class => "class",
+            If => "if",
+            Elif => "elif",
+            Else => "else",
+            For => "for",
+            While => "while",
+            Try => "try",
+            Except => "except",
+            Finally => "finally",
+            With => "with",
+            As => "as",
+            Return => "return",
+            Raise => "raise",
+            Pass => "pass",
+            Break => "break",
+            Continue => "continue",
+            Import => "import",
+            From => "from",
+            Lambda => "lambda",
+            Global => "global",
+            Nonlocal => "nonlocal",
+            Del => "del",
+            Assert => "assert",
+            Yield => "yield",
+            In => "in",
+            Is => "is",
+            Not => "not",
+            And => "and",
+            Or => "or",
+            None => "None",
+            True => "True",
+            False => "False",
+            LParen => "(",
+            RParen => ")",
+            LBracket => "[",
+            RBracket => "]",
+            LBrace => "{",
+            RBrace => "}",
+            Comma => ",",
+            Colon => ":",
+            Semi => ";",
+            Dot => ".",
+            Eq => "=",
+            EqEq => "==",
+            NotEq => "!=",
+            Lt => "<",
+            LtEq => "<=",
+            Gt => ">",
+            GtEq => ">=",
+            Plus => "+",
+            Minus => "-",
+            Star => "*",
+            StarStar => "**",
+            Slash => "/",
+            SlashSlash => "//",
+            Percent => "%",
+            At => "@",
+            Amp => "&",
+            Pipe => "|",
+            Caret => "^",
+            Tilde => "~",
+            Shl => "<<",
+            Shr => ">>",
+            Arrow => "->",
+            PlusEq => "+=",
+            MinusEq => "-=",
+            StarEq => "*=",
+            SlashEq => "/=",
+            SlashSlashEq => "//=",
+            PercentEq => "%=",
+            AmpEq => "&=",
+            PipeEq => "|=",
+            CaretEq => "^=",
+            Newline | Indent | Dedent | Eof | Name(_) | Int(_) | Float(_) | Str(_) | FStr(_) => {
+                "<dynamic>"
+            }
+        }
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.describe())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keyword_lookup() {
+        assert_eq!(TokenKind::keyword("def"), Some(TokenKind::Def));
+        assert_eq!(TokenKind::keyword("None"), Some(TokenKind::None));
+        assert_eq!(TokenKind::keyword("definitely"), None);
+        assert_eq!(TokenKind::keyword(""), None);
+    }
+
+    #[test]
+    fn keyword_lexemes_round_trip() {
+        // Every keyword's lexeme must map back to itself via `keyword`.
+        for kw in ["def", "class", "elif", "not", "and", "or", "True", "False", "in", "is"] {
+            let tok = TokenKind::keyword(kw).unwrap();
+            assert_eq!(tok.lexeme(), kw);
+        }
+    }
+
+    #[test]
+    fn describe_is_informative() {
+        assert_eq!(TokenKind::Name("x".into()).describe(), "identifier `x`");
+        assert_eq!(TokenKind::EqEq.describe(), "`==`");
+        assert_eq!(TokenKind::Eof.describe(), "end of file");
+    }
+}

@@ -1,0 +1,673 @@
+//! Converts ASTs back to source text.
+//!
+//! Used for diagnostics (showing the matched snippet in detection reports)
+//! and for the parser round-trip property tests. Output is canonical: four-
+//! space indents, minimal but sufficient parentheses, one statement per line.
+
+use std::fmt::Write as _;
+
+use crate::ast::*;
+
+/// Renders a module as canonical source text.
+pub fn unparse_module(module: &Module) -> String {
+    let mut out = String::new();
+    for stmt in &module.body {
+        unparse_stmt_into(stmt, 0, &mut out);
+    }
+    out
+}
+
+/// Renders one statement (and its nested suites) at `indent` levels.
+pub fn unparse_stmt(stmt: &Stmt) -> String {
+    let mut out = String::new();
+    unparse_stmt_into(stmt, 0, &mut out);
+    out
+}
+
+/// Renders an expression.
+pub fn unparse_expr(expr: &Expr) -> String {
+    let mut out = String::new();
+    expr_into(expr, Prec::Lowest, &mut out);
+    out
+}
+
+fn indent_str(level: usize) -> String {
+    "    ".repeat(level)
+}
+
+fn unparse_stmt_into(stmt: &Stmt, level: usize, out: &mut String) {
+    let pad = indent_str(level);
+    match &stmt.kind {
+        StmtKind::FunctionDef(f) => {
+            for d in &f.decorators {
+                let _ = writeln!(out, "{pad}@{}", unparse_expr(d));
+            }
+            let params: Vec<String> = f.params.iter().map(param_str).collect();
+            let _ = writeln!(out, "{pad}def {}({}):", f.name, params.join(", "));
+            suite(&f.body, level + 1, out);
+        }
+        StmtKind::ClassDef(c) => {
+            for d in &c.decorators {
+                let _ = writeln!(out, "{pad}@{}", unparse_expr(d));
+            }
+            let mut header: Vec<String> = c.bases.iter().map(unparse_expr).collect();
+            header.extend(c.keywords.iter().map(|k| match &k.name {
+                Some(n) => format!("{n}={}", unparse_expr(&k.value)),
+                None => format!("**{}", unparse_expr(&k.value)),
+            }));
+            if header.is_empty() {
+                let _ = writeln!(out, "{pad}class {}:", c.name);
+            } else {
+                let _ = writeln!(out, "{pad}class {}({}):", c.name, header.join(", "));
+            }
+            suite(&c.body, level + 1, out);
+        }
+        StmtKind::If { test, body, orelse } => {
+            let _ = writeln!(out, "{pad}if {}:", unparse_expr(test));
+            suite(body, level + 1, out);
+            if !orelse.is_empty() {
+                // Render `else: if …` chains as `elif`.
+                if orelse.len() == 1 {
+                    if let StmtKind::If { .. } = orelse[0].kind {
+                        let rendered = {
+                            let mut tmp = String::new();
+                            unparse_stmt_into(&orelse[0], level, &mut tmp);
+                            tmp
+                        };
+                        let rendered = rendered.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
+                        out.push_str(&rendered);
+                        return;
+                    }
+                }
+                let _ = writeln!(out, "{pad}else:");
+                suite(orelse, level + 1, out);
+            }
+        }
+        StmtKind::For { target, iter, body, orelse } => {
+            let _ = writeln!(out, "{pad}for {} in {}:", unparse_expr(target), unparse_expr(iter));
+            suite(body, level + 1, out);
+            if !orelse.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                suite(orelse, level + 1, out);
+            }
+        }
+        StmtKind::While { test, body, orelse } => {
+            let _ = writeln!(out, "{pad}while {}:", unparse_expr(test));
+            suite(body, level + 1, out);
+            if !orelse.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                suite(orelse, level + 1, out);
+            }
+        }
+        StmtKind::Try { body, handlers, orelse, finalbody } => {
+            let _ = writeln!(out, "{pad}try:");
+            suite(body, level + 1, out);
+            for h in handlers {
+                match (&h.typ, &h.name) {
+                    (Some(t), Some(n)) => {
+                        let _ = writeln!(out, "{pad}except {} as {}:", unparse_expr(t), n);
+                    }
+                    (Some(t), None) => {
+                        let _ = writeln!(out, "{pad}except {}:", unparse_expr(t));
+                    }
+                    _ => {
+                        let _ = writeln!(out, "{pad}except:");
+                    }
+                }
+                suite(&h.body, level + 1, out);
+            }
+            if !orelse.is_empty() {
+                let _ = writeln!(out, "{pad}else:");
+                suite(orelse, level + 1, out);
+            }
+            if !finalbody.is_empty() {
+                let _ = writeln!(out, "{pad}finally:");
+                suite(finalbody, level + 1, out);
+            }
+        }
+        StmtKind::With { items, body } => {
+            let rendered: Vec<String> = items
+                .iter()
+                .map(|i| match &i.target {
+                    Some(t) => format!("{} as {}", unparse_expr(&i.context), unparse_expr(t)),
+                    None => unparse_expr(&i.context),
+                })
+                .collect();
+            let _ = writeln!(out, "{pad}with {}:", rendered.join(", "));
+            suite(body, level + 1, out);
+        }
+        StmtKind::Assign { targets, value } => {
+            let t: Vec<String> = targets.iter().map(unparse_expr).collect();
+            let _ = writeln!(out, "{pad}{} = {}", t.join(" = "), unparse_expr(value));
+        }
+        StmtKind::AugAssign { target, op, value } => {
+            let _ = writeln!(
+                out,
+                "{pad}{} {}= {}",
+                unparse_expr(target),
+                op.symbol(),
+                unparse_expr(value)
+            );
+        }
+        StmtKind::Return { value } => match value {
+            Some(v) => {
+                let _ = writeln!(out, "{pad}return {}", unparse_expr(v));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}return");
+            }
+        },
+        StmtKind::Raise { exc, cause } => match (exc, cause) {
+            (Some(e), Some(c)) => {
+                let _ = writeln!(out, "{pad}raise {} from {}", unparse_expr(e), unparse_expr(c));
+            }
+            (Some(e), None) => {
+                let _ = writeln!(out, "{pad}raise {}", unparse_expr(e));
+            }
+            _ => {
+                let _ = writeln!(out, "{pad}raise");
+            }
+        },
+        StmtKind::Expr { value } => {
+            let _ = writeln!(out, "{pad}{}", unparse_expr(value));
+        }
+        StmtKind::Import { names } => {
+            let _ = writeln!(out, "{pad}import {}", aliases(names));
+        }
+        StmtKind::ImportFrom { module, names } => {
+            let _ = writeln!(out, "{pad}from {} import {}", module, aliases(names));
+        }
+        StmtKind::Assert { test, msg } => match msg {
+            Some(m) => {
+                let _ = writeln!(out, "{pad}assert {}, {}", unparse_expr(test), unparse_expr(m));
+            }
+            None => {
+                let _ = writeln!(out, "{pad}assert {}", unparse_expr(test));
+            }
+        },
+        StmtKind::Global { names } => {
+            let _ = writeln!(out, "{pad}global {}", names.join(", "));
+        }
+        StmtKind::Delete { targets } => {
+            let t: Vec<String> = targets.iter().map(unparse_expr).collect();
+            let _ = writeln!(out, "{pad}del {}", t.join(", "));
+        }
+        StmtKind::Pass => {
+            let _ = writeln!(out, "{pad}pass");
+        }
+        StmtKind::Break => {
+            let _ = writeln!(out, "{pad}break");
+        }
+        StmtKind::Continue => {
+            let _ = writeln!(out, "{pad}continue");
+        }
+    }
+}
+
+fn suite(body: &[Stmt], level: usize, out: &mut String) {
+    if body.is_empty() {
+        let _ = writeln!(out, "{}pass", indent_str(level));
+    } else {
+        for s in body {
+            unparse_stmt_into(s, level, out);
+        }
+    }
+}
+
+fn aliases(names: &[ImportAlias]) -> String {
+    names
+        .iter()
+        .map(|a| match &a.asname {
+            Some(n) => format!("{} as {}", a.name, n),
+            None => a.name.clone(),
+        })
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+fn param_str(p: &Param) -> String {
+    let star = match p.star {
+        ParamStar::None => "",
+        ParamStar::Args => "*",
+        ParamStar::Kwargs => "**",
+    };
+    match &p.default {
+        Some(d) => format!("{star}{}={}", p.name, unparse_expr(d)),
+        None => format!("{star}{}", p.name),
+    }
+}
+
+/// Operator precedence levels for parenthesization, lowest binds loosest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Lowest,
+    Ternary,
+    Or,
+    And,
+    Not,
+    Compare,
+    BitOr,
+    BitXor,
+    BitAnd,
+    Shift,
+    Arith,
+    Term,
+    Unary,
+    Power,
+    Postfix,
+}
+
+fn bin_prec(op: BinOp) -> Prec {
+    match op {
+        BinOp::BitOr => Prec::BitOr,
+        BinOp::BitXor => Prec::BitXor,
+        BinOp::BitAnd => Prec::BitAnd,
+        BinOp::Shl | BinOp::Shr => Prec::Shift,
+        BinOp::Add | BinOp::Sub => Prec::Arith,
+        BinOp::Mul | BinOp::Div | BinOp::FloorDiv | BinOp::Mod => Prec::Term,
+        BinOp::Pow => Prec::Power,
+    }
+}
+
+fn expr_into(e: &Expr, parent: Prec, out: &mut String) {
+    let prec = expr_prec(e);
+    let need_parens = prec < parent;
+    if need_parens {
+        out.push('(');
+    }
+    match &e.kind {
+        ExprKind::Name(n) => out.push_str(n),
+        ExprKind::Constant(c) => constant_into(c, out),
+        ExprKind::Attribute { value, attr } => {
+            expr_into(value, Prec::Postfix, out);
+            out.push('.');
+            out.push_str(attr);
+        }
+        ExprKind::Call { func, args, keywords } => {
+            expr_into(func, Prec::Postfix, out);
+            out.push('(');
+            let mut first = true;
+            for a in args {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                expr_into(a, Prec::Lowest, out);
+            }
+            for k in keywords {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                match &k.name {
+                    Some(n) => {
+                        out.push_str(n);
+                        out.push('=');
+                        expr_into(&k.value, Prec::Lowest, out);
+                    }
+                    None => {
+                        out.push_str("**");
+                        expr_into(&k.value, Prec::Lowest, out);
+                    }
+                }
+            }
+            out.push(')');
+        }
+        ExprKind::Subscript { value, index } => {
+            expr_into(value, Prec::Postfix, out);
+            out.push('[');
+            expr_into(index, Prec::Lowest, out);
+            out.push(']');
+        }
+        ExprKind::Tuple(elems) => {
+            out.push('(');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(el, Prec::Lowest, out);
+            }
+            if elems.len() == 1 {
+                out.push(',');
+            }
+            out.push(')');
+        }
+        ExprKind::List(elems) => {
+            out.push('[');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(el, Prec::Lowest, out);
+            }
+            out.push(']');
+        }
+        ExprKind::Set(elems) => {
+            out.push('{');
+            for (i, el) in elems.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                expr_into(el, Prec::Lowest, out);
+            }
+            out.push('}');
+        }
+        ExprKind::Dict { keys, values } => {
+            out.push('{');
+            let mut vi = values.iter();
+            let mut first = true;
+            // Splat entries have no key; keys align with the tail of values.
+            let splats = values.len() - keys.len();
+            for _ in 0..splats {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                out.push_str("**");
+                expr_into(vi.next().unwrap(), Prec::Lowest, out);
+            }
+            for k in keys {
+                if !first {
+                    out.push_str(", ");
+                }
+                first = false;
+                expr_into(k, Prec::Lowest, out);
+                out.push_str(": ");
+                expr_into(vi.next().unwrap(), Prec::Lowest, out);
+            }
+            out.push('}');
+        }
+        ExprKind::BinOp { left, op, right } => {
+            let p = bin_prec(*op);
+            // Power is right-associative; everything else left-associative.
+            if *op == BinOp::Pow {
+                // `**` binds tighter on the left than itself (right-assoc),
+                // so a Pow left operand must be parenthesized.
+                expr_into(left, Prec::Postfix, out);
+                let _ = write!(out, " {} ", op.symbol());
+                expr_into(right, p, out);
+            } else {
+                expr_into(left, p, out);
+                let _ = write!(out, " {} ", op.symbol());
+                expr_into(right, next_prec(p), out);
+            }
+        }
+        ExprKind::UnaryOp { op, operand } => {
+            out.push_str(op.symbol());
+            let inner = if *op == UnaryOp::Not { Prec::Not } else { Prec::Unary };
+            expr_into(operand, inner, out);
+        }
+        ExprKind::BoolOp { op, values } => {
+            let (p, sym) = match op {
+                BoolOpKind::Or => (Prec::Or, " or "),
+                BoolOpKind::And => (Prec::And, " and "),
+            };
+            for (i, v) in values.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(sym);
+                }
+                expr_into(v, next_prec(p), out);
+            }
+        }
+        ExprKind::Compare { left, ops, comparators } => {
+            expr_into(left, Prec::BitOr, out);
+            for (op, c) in ops.iter().zip(comparators) {
+                let _ = write!(out, " {} ", op.symbol());
+                expr_into(c, Prec::BitOr, out);
+            }
+        }
+        ExprKind::IfExp { test, body, orelse } => {
+            expr_into(body, Prec::Or, out);
+            out.push_str(" if ");
+            expr_into(test, Prec::Or, out);
+            out.push_str(" else ");
+            expr_into(orelse, Prec::Ternary, out);
+        }
+        ExprKind::Lambda { params, body } => {
+            out.push_str("lambda");
+            if !params.is_empty() {
+                out.push(' ');
+                let ps: Vec<String> = params.iter().map(param_str).collect();
+                out.push_str(&ps.join(", "));
+            }
+            out.push_str(": ");
+            expr_into(body, Prec::Ternary, out);
+        }
+        ExprKind::Starred(inner) => {
+            out.push('*');
+            expr_into(inner, Prec::Unary, out);
+        }
+        ExprKind::FString { raw, .. } => {
+            let _ = write!(out, "f{}", quote(raw));
+        }
+        ExprKind::Slice { lower, upper, step } => {
+            if let Some(l) = lower {
+                expr_into(l, Prec::Lowest, out);
+            }
+            out.push(':');
+            if let Some(u) = upper {
+                expr_into(u, Prec::Lowest, out);
+            }
+            if let Some(s) = step {
+                out.push(':');
+                expr_into(s, Prec::Lowest, out);
+            }
+        }
+        ExprKind::Comprehension { kind, element, value, generators } => {
+            let (open, close) = match kind {
+                ComprehensionKind::List => ('[', ']'),
+                ComprehensionKind::Set | ComprehensionKind::Dict => ('{', '}'),
+                ComprehensionKind::Generator => ('(', ')'),
+            };
+            out.push(open);
+            expr_into(element, Prec::Or, out);
+            if let Some(v) = value {
+                out.push_str(": ");
+                expr_into(v, Prec::Or, out);
+            }
+            for g in generators {
+                out.push_str(" for ");
+                expr_into(&g.target, Prec::Or, out);
+                out.push_str(" in ");
+                expr_into(&g.iter, Prec::Or, out);
+                for cond in &g.ifs {
+                    out.push_str(" if ");
+                    expr_into(cond, Prec::Or, out);
+                }
+            }
+            out.push(close);
+        }
+        ExprKind::Yield(inner) => {
+            out.push_str("yield");
+            if let Some(v) = inner {
+                out.push(' ');
+                expr_into(v, Prec::Ternary, out);
+            }
+        }
+    }
+    if need_parens {
+        out.push(')');
+    }
+}
+
+/// The next-tighter precedence, used for the RHS of left-associative binops.
+fn next_prec(p: Prec) -> Prec {
+    use Prec::*;
+    match p {
+        Lowest => Ternary,
+        Ternary => Or,
+        Or => And,
+        And => Not,
+        Not => Compare,
+        Compare => BitOr,
+        BitOr => BitXor,
+        BitXor => BitAnd,
+        BitAnd => Shift,
+        Shift => Arith,
+        Arith => Term,
+        Term => Unary,
+        Unary => Power,
+        Power | Postfix => Postfix,
+    }
+}
+
+fn expr_prec(e: &Expr) -> Prec {
+    match &e.kind {
+        ExprKind::BinOp { op, .. } => bin_prec(*op),
+        ExprKind::UnaryOp { op, .. } => {
+            if *op == UnaryOp::Not {
+                Prec::Not
+            } else {
+                Prec::Unary
+            }
+        }
+        ExprKind::BoolOp { op, .. } => match op {
+            BoolOpKind::Or => Prec::Or,
+            BoolOpKind::And => Prec::And,
+        },
+        ExprKind::Compare { .. } => Prec::Compare,
+        ExprKind::IfExp { .. } | ExprKind::Lambda { .. } | ExprKind::Yield(_) => Prec::Ternary,
+        ExprKind::Slice { .. } => Prec::Lowest,
+        _ => Prec::Postfix,
+    }
+}
+
+fn constant_into(c: &Constant, out: &mut String) {
+    match c {
+        Constant::Str(s) => out.push_str(&quote(s)),
+        Constant::Int(v) => {
+            let _ = write!(out, "{v}");
+        }
+        Constant::Float(v) => {
+            if v.fract() == 0.0 && v.is_finite() && v.abs() < 1e16 {
+                let _ = write!(out, "{v:.1}");
+            } else {
+                let _ = write!(out, "{v}");
+            }
+        }
+        Constant::Bool(true) => out.push_str("True"),
+        Constant::Bool(false) => out.push_str("False"),
+        Constant::None => out.push_str("None"),
+    }
+}
+
+/// Quotes a string with single quotes and minimal escaping.
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('\'');
+    for c in s.chars() {
+        match c {
+            '\'' => out.push_str("\\'"),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            other => out.push(other),
+        }
+    }
+    out.push('\'');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::{parse_expr, parse_module};
+
+    fn round_trip_expr(src: &str) -> String {
+        unparse_expr(&parse_expr(src).unwrap())
+    }
+
+    fn round_trip_module(src: &str) -> String {
+        unparse_module(&parse_module(src).unwrap())
+    }
+
+    #[test]
+    fn simple_exprs() {
+        assert_eq!(round_trip_expr("a + b * c"), "a + b * c");
+        assert_eq!(round_trip_expr("(a + b) * c"), "(a + b) * c");
+        assert_eq!(round_trip_expr("a.b.c(1, x=2)"), "a.b.c(1, x=2)");
+        assert_eq!(round_trip_expr("not a and b"), "not a and b");
+        assert_eq!(round_trip_expr("not (a and b)"), "not (a and b)");
+        assert_eq!(round_trip_expr("a is not None"), "a is not None");
+    }
+
+    #[test]
+    fn stable_after_one_round() {
+        // Canonical form must be a fixed point: parse∘unparse∘parse∘unparse
+        // equals parse∘unparse.
+        for src in [
+            "x = a.filter(product=product).count() > 0\n",
+            "if not lines:\n    wishlist.lines.create(product=product)\n",
+            "def f(a, b=1, *args, **kw):\n    return a if b else None\n",
+            "for k, v in d.items():\n    print(k, v)\n",
+            "class A(B):\n    x = 1\n    def m(self):\n        raise E('x') from err\n",
+        ] {
+            let once = round_trip_module(src);
+            let twice = round_trip_module(&once);
+            assert_eq!(once, twice, "not canonical for {src:?}");
+        }
+    }
+
+    #[test]
+    fn elif_renders_compactly() {
+        let out = round_trip_module("if a:\n    x\nelif b:\n    y\nelse:\n    z\n");
+        assert!(out.contains("elif b:"), "{out}");
+    }
+
+    #[test]
+    fn string_quoting() {
+        assert_eq!(round_trip_expr("'it\\'s'"), "'it\\'s'");
+        assert_eq!(round_trip_expr("'line\\n'"), "'line\\n'");
+    }
+
+    #[test]
+    fn empty_suite_renders_pass() {
+        // Synthesized empty function bodies render `pass` (parser never
+        // produces empty suites, but builders can).
+        use crate::ast::*;
+        use crate::span::Span;
+        let f = Stmt {
+            id: NodeId::DUMMY,
+            span: Span::DUMMY,
+            kind: StmtKind::FunctionDef(FunctionDef {
+                name: "f".into(),
+                params: vec![],
+                decorators: vec![],
+                body: vec![],
+            }),
+        };
+        assert_eq!(unparse_stmt(&f), "def f():\n    pass\n");
+    }
+
+    #[test]
+    fn dict_splat_renders() {
+        assert_eq!(round_trip_expr("{**base, 'a': 1}"), "{**base, 'a': 1}");
+    }
+
+    #[test]
+    fn comprehension_renders() {
+        assert_eq!(
+            round_trip_expr("[x.id for x in rows if x.ok]"),
+            "[x.id for x in rows if x.ok]"
+        );
+    }
+
+    #[test]
+    fn slice_renders() {
+        assert_eq!(round_trip_expr("a[1:2]"), "a[1:2]");
+        assert_eq!(round_trip_expr("a[:n]"), "a[:n]");
+        assert_eq!(round_trip_expr("a[::2]"), "a[::2]");
+    }
+
+    #[test]
+    fn singleton_tuple_keeps_comma() {
+        assert_eq!(round_trip_expr("(1,)"), "(1,)");
+    }
+
+    #[test]
+    fn power_right_assoc_renders() {
+        assert_eq!(round_trip_expr("2 ** 3 ** 2"), "2 ** 3 ** 2");
+        assert_eq!(round_trip_expr("(2 ** 3) ** 2"), "(2 ** 3) ** 2");
+    }
+}

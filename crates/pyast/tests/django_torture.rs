@@ -1,0 +1,212 @@
+//! Parser torture tests on realistic Django source shapes: decorators,
+//! nested classes, long call chains, comprehensions, f-strings, multi-line
+//! expressions, and the odd corners real codebases contain.
+
+use cfinder_pyast::ast::{ExprKind, StmtKind};
+use cfinder_pyast::parse_module;
+use cfinder_pyast::unparse::unparse_module;
+use cfinder_pyast::visit::{walk_exprs, walk_stmts};
+
+const DJANGO_VIEWS: &str = r#"
+import logging
+from collections import defaultdict
+from django.db import models, transaction
+from django.shortcuts import get_object_or_404, render
+
+logger = logging.getLogger(__name__)
+
+PAGE_SIZE = 25
+STATUSES = {'new': 0, 'paid': 1, 'shipped': 2}
+
+
+class OrderQuerySet(models.QuerySet):
+    def paid(self):
+        return self.filter(status='paid')
+
+    def for_user(self, user):
+        return self.filter(user=user).exclude(status='cancelled')
+
+
+@transaction.atomic
+def place_order(request, basket_id):
+    basket = get_object_or_404(Basket, pk=basket_id)
+    if not basket.lines.exists():
+        raise ValueError('empty basket')
+    totals = [line.price * line.quantity for line in basket.lines.all()]
+    order = Order.objects.create(
+        user=request.user,
+        total=sum(totals),
+        reference=f'ORD-{basket.id:08d}',
+    )
+    for line in basket.lines.all():
+        order.lines.create(
+            product=line.product,
+            quantity=line.quantity,
+            price=line.price,
+        )
+    logger.info('order %s placed with %d lines', order.reference, len(totals))
+    return order
+
+
+def order_summary(request):
+    counts = defaultdict(int)
+    for order in Order.objects.for_user(request.user):
+        counts[order.status] += 1
+    rows = sorted(
+        (
+            (status, count)
+            for status, count in counts.items()
+            if count > 0
+        ),
+        key=lambda pair: STATUSES.get(pair[0], 99),
+    )
+    return render(request, 'summary.html', {'rows': rows, 'total': sum(c for _, c in rows)})
+
+
+class ExportMixin:
+    headers = ['reference', 'total']
+
+    def rows(self):
+        try:
+            queryset = self.get_queryset()
+        except AttributeError:
+            queryset = Order.objects.none()
+        finally:
+            logger.debug('export started')
+        for order in queryset:
+            yield [order.reference, str(order.total)]
+
+
+def retry(times=3):
+    def decorator(fn):
+        def wrapper(*args, **kwargs):
+            last = None
+            for attempt in range(times):
+                try:
+                    return fn(*args, **kwargs)
+                except OSError as exc:
+                    last = exc
+                    continue
+            raise last
+        return wrapper
+    return decorator
+
+
+@retry(times=5)
+def sync_inventory(codes):
+    seen = {c.strip().upper() for c in codes if c}
+    missing = seen - {p.sku for p in Product.objects.all()}
+    if missing:
+        raise RuntimeError(f'unknown skus: {", ".join(sorted(missing))}')
+    return {
+        p.sku: (p.stock_level or 0) + 1
+        for p in Product.objects.filter(sku__in=seen)
+    }
+"#;
+
+#[test]
+fn parses_realistic_django_module() {
+    let module = parse_module(DJANGO_VIEWS).expect("realistic Django code parses");
+    // Imports, constants, queryset class, three functions, mixin, decorator
+    // factory, decorated function.
+    assert!(module.body.len() >= 10, "{} top-level statements", module.body.len());
+}
+
+#[test]
+fn statement_and_expression_inventory() {
+    let module = parse_module(DJANGO_VIEWS).unwrap();
+    let mut stmt_count = 0;
+    walk_stmts(&module.body, &mut |_| stmt_count += 1);
+    assert!(stmt_count > 40, "{stmt_count} statements");
+    let mut call_count = 0;
+    let mut fstrings = 0;
+    let mut comprehensions = 0;
+    walk_exprs(&module.body, &mut |e| match &e.kind {
+        ExprKind::Call { .. } => call_count += 1,
+        ExprKind::FString { .. } => fstrings += 1,
+        ExprKind::Comprehension { .. } => comprehensions += 1,
+        _ => {}
+    });
+    assert!(call_count > 30, "{call_count} calls");
+    assert_eq!(fstrings, 2);
+    assert!(comprehensions >= 4, "{comprehensions} comprehensions");
+}
+
+#[test]
+fn unparse_of_torture_module_is_canonical() {
+    let module = parse_module(DJANGO_VIEWS).unwrap();
+    let once = unparse_module(&module);
+    let reparsed = parse_module(&once).expect("canonical output reparses");
+    let twice = unparse_module(&reparsed);
+    assert_eq!(once, twice);
+}
+
+#[test]
+fn nested_decorator_factories_resolve() {
+    let module = parse_module(DJANGO_VIEWS).unwrap();
+    let decorated = module.body.iter().find_map(|s| match &s.kind {
+        StmtKind::FunctionDef(f) if f.name == "sync_inventory" => Some(f),
+        _ => None,
+    });
+    let f = decorated.expect("sync_inventory exists");
+    assert_eq!(f.decorators.len(), 1);
+    assert!(matches!(f.decorators[0].kind, ExprKind::Call { .. }));
+}
+
+#[test]
+fn multiline_call_arguments_keep_structure() {
+    let module = parse_module(DJANGO_VIEWS).unwrap();
+    let mut create_kwargs = None;
+    walk_exprs(&module.body, &mut |e| {
+        if let ExprKind::Call { func, keywords, .. } = &e.kind {
+            if let Some((_, chain)) = func.dotted_chain() {
+                if chain.last() == Some(&"create") && keywords.len() == 3 {
+                    create_kwargs = Some(keywords.len());
+                }
+            }
+        }
+    });
+    assert_eq!(create_kwargs, Some(3), "Order.objects.create(...) kwargs found");
+}
+
+#[test]
+fn spans_cover_the_source_monotonically() {
+    let module = parse_module(DJANGO_VIEWS).unwrap();
+    let mut last_start = 0;
+    for stmt in &module.body {
+        assert!(stmt.span.start.offset as usize >= last_start, "statements in order");
+        last_start = stmt.span.start.offset as usize;
+        assert!((stmt.span.end.offset as usize) <= DJANGO_VIEWS.len());
+    }
+}
+
+#[test]
+fn weird_but_valid_corners() {
+    for src in [
+        // Trailing commas everywhere.
+        "f(a, b,)\nx = [1, 2,]\ny = {1: 2,}\n",
+        // Chained comparisons with mixed operators.
+        "ok = 0 <= x < len(items) != 5\n",
+        // Lambda default referencing another parameter's shadow.
+        "f = lambda x, key=len: key(x)\n",
+        // Nested ternaries.
+        "v = a if p else b if q else c\n",
+        // Deep attribute chain with calls interleaved.
+        "x = a.b().c.d(e).f.g\n",
+        // Semicolons and inline suites.
+        "a = 1; b = 2\nif a: a += 1; b -= 1\n",
+        // Unary chains and power.
+        "y = --x ** -2\n",
+        // Starred assignment targets in calls.
+        "g(*args, **kwargs)\n",
+        // Global + del + assert with message.
+        "def f():\n    global state\n    del state['k']\n    assert state, 'empty'\n",
+        // While/else and for/else.
+        "while p():\n    break\nelse:\n    q()\nfor i in r:\n    continue\nelse:\n    s()\n",
+    ] {
+        let module = parse_module(src).unwrap_or_else(|e| panic!("{src:?}: {e}"));
+        let once = unparse_module(&module);
+        let reparsed = parse_module(&once).unwrap_or_else(|e| panic!("reparse {once:?}: {e}"));
+        assert_eq!(once, unparse_module(&reparsed), "canonical for {src:?}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property tests for the lexer/parser/unparser pipeline.
+//!
+//! Two families:
+//! 1. Robustness — the lexer and parser never panic on arbitrary input and
+//!    lexer structure tokens stay balanced.
+//! 2. Round-trip — for ASTs generated from a grammar-directed strategy, the
+//!    canonical unparse is a fixed point: `unparse(parse(unparse(ast)))
+//!    == unparse(ast)`.
+
+use cfinder_pyast::lexer::lex;
+use cfinder_pyast::parser::parse_module;
+use cfinder_pyast::token::TokenKind;
+use cfinder_pyast::unparse::unparse_module;
+use proptest::prelude::*;
+
+// --- robustness ------------------------------------------------------------
+
+proptest! {
+    /// The lexer returns Ok or Err but never panics, for any string.
+    #[test]
+    fn lexer_never_panics(input in ".{0,200}") {
+        let _ = lex(&input);
+    }
+
+    /// INDENT and DEDENT tokens are always balanced when lexing succeeds.
+    #[test]
+    fn indents_balance(input in "[a-z \n:()#]{0,200}") {
+        if let Ok(tokens) = lex(&input) {
+            let mut depth: i64 = 0;
+            for t in &tokens {
+                match t.kind {
+                    TokenKind::Indent => depth += 1,
+                    TokenKind::Dedent => depth -= 1,
+                    _ => {}
+                }
+                prop_assert!(depth >= 0, "dedent below zero");
+            }
+            prop_assert_eq!(depth, 0, "unbalanced at eof");
+        }
+    }
+
+    /// Exactly one EOF token, and it is last.
+    #[test]
+    fn eof_is_last_and_unique(input in "[ -~\n]{0,120}") {
+        if let Ok(tokens) = lex(&input) {
+            let eofs = tokens.iter().filter(|t| t.kind == TokenKind::Eof).count();
+            prop_assert_eq!(eofs, 1);
+            prop_assert_eq!(&tokens.last().unwrap().kind, &TokenKind::Eof);
+        }
+    }
+
+    /// The parser never panics on arbitrary input.
+    #[test]
+    fn parser_never_panics(input in ".{0,200}") {
+        let _ = parse_module(&input);
+    }
+
+    /// Token spans are monotonically non-decreasing.
+    #[test]
+    fn spans_monotone(input in "[ -~\n]{0,150}") {
+        if let Ok(tokens) = lex(&input) {
+            let mut last = 0u32;
+            for t in &tokens {
+                prop_assert!(t.span.start.offset >= last || t.span.start.offset == t.span.end.offset,
+                    "span went backwards");
+                last = last.max(t.span.start.offset);
+            }
+        }
+    }
+}
+
+// --- grammar-directed round trip --------------------------------------------
+
+/// Generates small well-formed expressions as source strings.
+fn expr_strategy() -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        "[a-z][a-z0-9_]{0,6}".prop_map(|s| s),
+        (0i64..10_000).prop_map(|n| n.to_string()),
+        Just("None".to_string()),
+        Just("True".to_string()),
+        "[a-z]{0,8}".prop_map(|s| format!("'{s}'")),
+    ];
+    // Operands are parenthesized so free composition cannot build invalid
+    // precedence mixes like `a == not b`.
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) + ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) == ({b})")),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) and ({b})")),
+            inner.clone().prop_map(|a| format!("not ({a})")),
+            (inner.clone(), "[a-z][a-z0-9_]{0,6}")
+                .prop_map(|(a, attr)| format!("({a}).{attr}")),
+            (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
+                .prop_map(|(f, args)| format!("({f})({})", args.join(", "))),
+            proptest::collection::vec(inner.clone(), 0..3)
+                .prop_map(|elems| format!("[{}]", elems.join(", "))),
+            (inner.clone(), inner.clone(), inner.clone())
+                .prop_map(|(a, b, c)| format!("({a}) if ({b}) else ({c})")),
+        ]
+    })
+}
+
+/// Generates small well-formed statements/blocks as source strings.
+fn stmt_strategy() -> impl Strategy<Value = String> {
+    let e = expr_strategy().boxed();
+    prop_oneof![
+        (Just(()), e.clone()).prop_map(|(_, v)| format!("x = {v}\n")),
+        e.clone().prop_map(|v| format!("return {v}\n")),
+        e.clone().prop_map(|v| format!("{v}\n")),
+        (e.clone(), e.clone())
+            .prop_map(|(c, v)| format!("if {c}:\n    y = {v}\n")),
+        (e.clone(), e.clone())
+            .prop_map(|(c, v)| format!("if {c}:\n    y = {v}\nelse:\n    pass\n")),
+        (e.clone(), e.clone())
+            .prop_map(|(it, v)| format!("for i in {it}:\n    z = {v}\n")),
+        e.clone().prop_map(|v| format!("while {v}:\n    break\n")),
+        e.clone().prop_map(|v| format!("raise Error({v})\n")),
+        (e.clone(), e)
+            .prop_map(|(a, b)| format!("def f(p):\n    q = {a}\n    return {b}\n")),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Canonical unparse is a fixed point over generated programs.
+    #[test]
+    fn unparse_is_canonical(stmts in proptest::collection::vec(stmt_strategy(), 1..5)) {
+        let src: String = stmts.concat();
+        let m1 = parse_module(&src).expect("generated source must parse");
+        let once = unparse_module(&m1);
+        let m2 = parse_module(&once).expect("unparsed source must reparse");
+        let twice = unparse_module(&m2);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// Parsing preserves statement count for flat generated modules.
+    #[test]
+    fn statement_count_preserved(stmts in proptest::collection::vec(stmt_strategy(), 1..5)) {
+        let src: String = stmts.concat();
+        let m = parse_module(&src).expect("generated source must parse");
+        prop_assert_eq!(m.body.len(), stmts.len());
+    }
+}

@@ -1,0 +1,283 @@
+//! The data-driven baseline comparison (§3.1 / §5).
+//!
+//! The paper's central design argument is that inferring constraints *from
+//! code* beats inferring them *from data*: production data is sparse and
+//! biased, so statistically-valid discoveries are overwhelmingly
+//! semantically meaningless ("a vast majority (>95%) of them are false
+//! positives"). This module reproduces the comparison:
+//!
+//! 1. take a generated corpus application's declared schema and ground
+//!    truth,
+//! 2. populate a live [`Database`] with synthetic rows that *respect the
+//!    semantics* (declared and true-missing constraints hold; nullable
+//!    fields happen to have few or no NULLs yet; free-text columns are
+//!    often distinct by accident),
+//! 3. run the data-profiling miner and classify its proposals against the
+//!    ground truth, next to CFinder's code-based numbers.
+
+use cfinder_corpus::GeneratedApp;
+use cfinder_minidb::{discover_constraints, Database, ProfileOptions, Value};
+use cfinder_schema::{ColumnType, Constraint, ConstraintSet, ConstraintType};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::render::{pct, TextTable};
+
+/// Rows generated per table.
+pub const ROWS_PER_TABLE: usize = 60;
+
+/// Populates a database from the app's declared schema and ground truth.
+///
+/// The data respects every *semantically real* constraint (declared or
+/// missing), mirrors the paper's "not triggered yet" argument for nullable
+/// columns, and gives free-text columns realistic per-row values.
+pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
+    let mut rng = StdRng::seed_from_u64(app.profile.seed ^ 0xDA7A);
+    let mut db = Database::without_enforcement();
+    let semantic: ConstraintSet =
+        app.declared.constraints().union(&app.truth.all_missing());
+
+    let tables: Vec<_> = app.declared.tables().cloned().collect();
+    for table in &tables {
+        db.create_table(table.clone()).expect("fresh database");
+    }
+    // Insert in schema order so FK targets exist (the corpus backbone
+    // always references earlier tables; ids are 1..=rows everywhere).
+    for table in &tables {
+        let unique_cols: Vec<&str> = semantic
+            .of_type(ConstraintType::Unique)
+            .filter(|c| c.table() == table.name)
+            .flat_map(|c| c.columns())
+            .collect();
+        let not_null_cols: Vec<&str> = semantic
+            .of_type(ConstraintType::NotNull)
+            .filter(|c| c.table() == table.name)
+            .flat_map(|c| c.columns())
+            .collect();
+        for i in 0..rows {
+            let mut values: Vec<(String, Value)> = Vec::new();
+            for col in &table.columns {
+                if col.name == table.primary_key {
+                    continue;
+                }
+                let required = not_null_cols.contains(&col.name.as_str());
+                let must_be_distinct = unique_cols.contains(&col.name.as_str());
+                let v = synth_value(&mut rng, &col.ty, &col.name, i, rows, required, must_be_distinct);
+                values.push((col.name.clone(), v));
+            }
+            db.insert(&table.name, values.iter().map(|(k, v)| (k.as_str(), v.clone())))
+                .expect("synthetic rows type-check");
+        }
+    }
+    db
+}
+
+#[allow(clippy::too_many_arguments)]
+fn synth_value(
+    rng: &mut StdRng,
+    ty: &ColumnType,
+    col: &str,
+    row: usize,
+    rows: usize,
+    required: bool,
+    distinct: bool,
+) -> Value {
+    // Nullable columns *occasionally* hold NULL — but for roughly half of
+    // them the null-producing code path "has not been triggered yet"
+    // (keyed deterministically off the column name), which is exactly what
+    // fools data-driven not-null discovery.
+    let col_hash: u64 = col.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let null_possible = !required && col_hash % 2 == 0;
+    if null_possible && rng.gen_bool(0.15) {
+        return Value::Null;
+    }
+    match ty {
+        ColumnType::VarChar(_) | ColumnType::Text => {
+            if distinct {
+                Value::from(format!("{col}-{row:06}"))
+            } else if col_hash % 3 == 0 {
+                // Narrow categorical domain: duplicates certain.
+                Value::from(format!("cat{}", rng.gen_range(0..8)))
+            } else {
+                // Wide free-text domain: accidental uniqueness very likely —
+                // the spurious-UCC source.
+                Value::from(format!("txt-{}-{}", row, rng.gen_range(0..1_000_000)))
+            }
+        }
+        ColumnType::Integer | ColumnType::BigInt => {
+            if distinct {
+                Value::Int(row as i64 + 1)
+            } else if col.ends_with("_id") {
+                // Reference-shaped: point into the plausible id range.
+                Value::Int(rng.gen_range(1..=rows as i64))
+            } else {
+                Value::Int(rng.gen_range(0..40))
+            }
+        }
+        ColumnType::Float | ColumnType::Decimal(_, _) => Value::Int(rng.gen_range(0..10_000)),
+        ColumnType::Boolean => Value::Bool(rng.gen_bool(0.7)),
+        ColumnType::DateTime | ColumnType::Date | ColumnType::Json => {
+            Value::from(format!("2026-0{}-01", 1 + (row % 9)))
+        }
+    }
+}
+
+/// Outcome of the baseline comparison for one app.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BaselineOutcome {
+    /// Proposals whose constraint is semantically real (declared or truly
+    /// missing).
+    pub real: usize,
+    /// Proposals that are statistically valid but semantically meaningless.
+    pub spurious: usize,
+    /// Truly-missing constraints the miner recovered.
+    pub missing_recovered: usize,
+    /// Truly-missing constraints in total.
+    pub missing_total: usize,
+}
+
+impl BaselineOutcome {
+    /// Fraction of proposals that are spurious (the paper's ">95%").
+    pub fn false_positive_rate(&self) -> f64 {
+        let total = self.real + self.spurious;
+        if total == 0 {
+            return 0.0;
+        }
+        self.spurious as f64 / total as f64
+    }
+}
+
+/// Runs the miner over a populated database and classifies its proposals.
+pub fn evaluate_baseline(app: &GeneratedApp, db: &Database) -> BaselineOutcome {
+    let discovered = discover_constraints(db, ProfileOptions::default());
+    let semantic: ConstraintSet =
+        app.declared.constraints().union(&app.truth.all_missing());
+    let mut out = BaselineOutcome {
+        missing_total: app.truth.all_missing().len(),
+        ..BaselineOutcome::default()
+    };
+    for c in discovered.iter() {
+        // Ignore the trivial pk not-nulls.
+        if c.columns() == vec!["id"] {
+            continue;
+        }
+        if is_real(&semantic, c) {
+            out.real += 1;
+        } else {
+            out.spurious += 1;
+        }
+    }
+    for c in app.truth.all_missing().iter() {
+        if discovered.contains(c) || loosely_contained(&discovered, c) {
+            out.missing_recovered += 1;
+        }
+    }
+    out
+}
+
+/// A discovered constraint counts as real when it matches a semantic one
+/// exactly, or when it is a full unique matching a semantic partial unique
+/// (the miner cannot see conditions).
+fn is_real(semantic: &ConstraintSet, c: &Constraint) -> bool {
+    if semantic.contains(c) {
+        return true;
+    }
+    if let Constraint::Unique { table, columns, .. } = c {
+        let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+        return semantic.contains_unique_columns(table, &cols);
+    }
+    false
+}
+
+fn loosely_contained(discovered: &ConstraintSet, c: &Constraint) -> bool {
+    if let Constraint::Unique { table, columns, .. } = c {
+        let cols: Vec<&str> = columns.iter().map(String::as_str).collect();
+        return discovered.contains_unique_columns(table, &cols);
+    }
+    false
+}
+
+/// Renders the comparison table for one app (the paper's Oscar-sized one).
+pub fn baseline_table(app: &GeneratedApp) -> TextTable {
+    let db = populate(app, ROWS_PER_TABLE);
+    let outcome = evaluate_baseline(app, &db);
+    let mut t = TextTable::new(
+        format!(
+            "Baseline (§3.1/§5): data-driven discovery on '{}' with {} rows/table vs. code-based CFinder",
+            app.name, ROWS_PER_TABLE
+        ),
+        &["Approach", "Proposals", "Semantically real", "Spurious", "FP rate"],
+    );
+    t.row([
+        "data profiling (UCC+IND miner)".to_string(),
+        (outcome.real + outcome.spurious).to_string(),
+        outcome.real.to_string(),
+        outcome.spurious.to_string(),
+        pct(outcome.spurious, outcome.real + outcome.spurious),
+    ]);
+    // CFinder's code-based numbers on the same app, for contrast.
+    let (u, n, f) = app.profile.missing.true_positives();
+    let tp = u + n + f;
+    let detected = app.profile.missing.unique_total()
+        + app.profile.missing.not_null_total()
+        + app.profile.missing.fk_total();
+    t.row([
+        "CFinder (code patterns)".to_string(),
+        detected.to_string(),
+        tp.to_string(),
+        (detected - tp).to_string(),
+        pct(detected - tp, detected),
+    ]);
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfinder_corpus::{generate, profile, GenOptions};
+
+    fn oscar() -> GeneratedApp {
+        generate(&profile("oscar").expect("profile"), GenOptions::quick())
+    }
+
+    #[test]
+    fn population_respects_semantic_constraints() {
+        let app = oscar();
+        let db = populate(&app, 40);
+        let semantic = app.declared.constraints().union(&app.truth.all_missing());
+        for c in semantic.iter() {
+            assert_eq!(db.count_violations(c), 0, "synthetic data violates {c}");
+        }
+    }
+
+    #[test]
+    fn miner_fp_rate_is_overwhelming() {
+        // The paper: ">95% of discovered statistically-valid unique
+        // constraints are false positives". Our synthetic population lands
+        // in the same regime (measured: 96% across all constraint types).
+        let app = oscar();
+        let db = populate(&app, ROWS_PER_TABLE);
+        let outcome = evaluate_baseline(&app, &db);
+        assert!(
+            outcome.false_positive_rate() > 0.9,
+            "expected a dominant FP rate, got {:.2} ({outcome:?})",
+            outcome.false_positive_rate()
+        );
+        assert!(outcome.spurious > 1000, "{outcome:?}");
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let app = oscar();
+        let a = evaluate_baseline(&app, &populate(&app, 30));
+        let b = evaluate_baseline(&app, &populate(&app, 30));
+        assert_eq!(a.real, b.real);
+        assert_eq!(a.spurious, b.spurious);
+    }
+
+    #[test]
+    fn table_renders_two_rows() {
+        let t = baseline_table(&oscar());
+        assert_eq!(t.rows.len(), 2);
+    }
+}

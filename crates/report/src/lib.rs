@@ -1,0 +1,23 @@
+//! # cfinder-report
+//!
+//! The evaluation harness: joins analyzer output with corpus ground truth
+//! to compute precision (Table 7), coverage/recall (Tables 8 and 9), and
+//! renders every table and figure of the paper — Tables 1–10 plus the
+//! Figure 1 incident replays and Figure 2 race comparison.
+//!
+//! The `reproduce` binary regenerates all of them into `result/` as text
+//! and CSV, mirroring the original artifact's `make run_all`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod ablation;
+pub mod baseline;
+pub mod metrics;
+pub mod render;
+pub mod tables;
+
+pub use ablation::{ablation_study, ablation_table, AblationRow};
+pub use baseline::{baseline_table, evaluate_baseline, populate, BaselineOutcome};
+pub use metrics::{AppEvaluation, CoverageCell, Evaluation, HistoryRecall, PrecisionCell};
+pub use render::{pct, TextTable};

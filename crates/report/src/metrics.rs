@@ -1,0 +1,211 @@
+//! Precision / recall / coverage metrics joining analyzer output with
+//! corpus ground truth.
+
+use cfinder_core::{AnalysisReport, AppSource, CFinder, SourceFile};
+use cfinder_corpus::{GenOptions, GeneratedApp, StudyApp, Verdict};
+use cfinder_schema::ConstraintType;
+
+/// Precision cell: detected total vs. human-confirmed true positives.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrecisionCell {
+    /// Detected missing constraints of the type.
+    pub total: usize,
+    /// …that are semantically real.
+    pub true_positive: usize,
+}
+
+impl PrecisionCell {
+    /// Precision in `[0, 1]`; `None` when nothing was detected.
+    pub fn precision(&self) -> Option<f64> {
+        (self.total > 0).then(|| self.true_positive as f64 / self.total as f64)
+    }
+
+    /// Adds another cell.
+    pub fn add(&mut self, other: PrecisionCell) {
+        self.total += other.total;
+        self.true_positive += other.true_positive;
+    }
+}
+
+/// Table 8 cell: declared constraints vs. pattern-covered ones.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CoverageCell {
+    /// Declared constraints of the type (excluding primary-key not-nulls).
+    pub declared: usize,
+    /// …whose pattern CFinder detected.
+    pub covered: usize,
+}
+
+/// The full evaluation of one application.
+#[derive(Debug)]
+pub struct AppEvaluation {
+    /// The generated application (profile + truth + schema).
+    pub app: GeneratedApp,
+    /// The analyzer's output.
+    pub report: AnalysisReport,
+}
+
+impl AppEvaluation {
+    /// Runs the analyzer over a generated app.
+    pub fn run(app: GeneratedApp) -> AppEvaluation {
+        let source = AppSource::new(
+            app.name.clone(),
+            app.files
+                .iter()
+                .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
+                .collect(),
+        );
+        let report = CFinder::new().analyze(&source, &app.declared);
+        AppEvaluation { app, report }
+    }
+
+    /// Precision cell for one constraint type (Table 7).
+    pub fn precision(&self, ty: ConstraintType) -> PrecisionCell {
+        let mut cell = PrecisionCell::default();
+        for m in self.report.missing_of(ty) {
+            cell.total += 1;
+            if matches!(self.app.truth.classify(&m.constraint), Verdict::TruePositive) {
+                cell.true_positive += 1;
+            }
+        }
+        cell
+    }
+
+    /// Existing-constraint coverage for one type (Table 8), excluding the
+    /// automatic `id` not-nulls from both sides.
+    pub fn coverage(&self, ty: ConstraintType) -> CoverageCell {
+        let not_pk = |c: &&cfinder_schema::Constraint| c.columns() != vec!["id"];
+        CoverageCell {
+            declared: self.app.declared.constraints().of_type(ty).filter(not_pk).count(),
+            covered: self.report.existing_covered.of_type(ty).filter(not_pk).count(),
+        }
+    }
+
+    /// Table 4 "detected existing": covered unique + covered not-null.
+    pub fn detected_existing(&self) -> usize {
+        self.coverage(ConstraintType::Unique).covered
+            + self.coverage(ConstraintType::NotNull).covered
+    }
+
+    /// Table 4 "detected missing".
+    pub fn detected_missing(&self) -> usize {
+        self.report.missing.len()
+    }
+}
+
+/// Table 9 evaluation: recall on the historical dataset.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HistoryRecall {
+    /// (dataset size, detected) for unique constraints.
+    pub unique: (usize, usize),
+    /// (dataset size, detected) for not-null constraints.
+    pub not_null: (usize, usize),
+    /// (dataset size, detected) for foreign keys.
+    pub foreign_key: (usize, usize),
+}
+
+impl HistoryRecall {
+    /// Runs the analyzer over each study app's old-version code.
+    pub fn run(study: &[StudyApp]) -> HistoryRecall {
+        let finder = CFinder::new();
+        let mut recall = HistoryRecall::default();
+        for app in study {
+            let source = AppSource::new(
+                app.name.clone(),
+                app.old_code
+                    .iter()
+                    .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
+                    .collect(),
+            );
+            let report = finder.analyze(&source, &app.old_schema);
+            for entry in app.entries.iter().filter(|e| e.in_dataset()) {
+                let slot = match entry.constraint.constraint_type() {
+                    ConstraintType::Unique => &mut recall.unique,
+                    ConstraintType::NotNull => &mut recall.not_null,
+                    ConstraintType::ForeignKey => &mut recall.foreign_key,
+                };
+                slot.0 += 1;
+                if report.missing.iter().any(|m| m.constraint == entry.constraint) {
+                    slot.1 += 1;
+                }
+            }
+        }
+        recall
+    }
+
+    /// Overall (dataset, detected).
+    pub fn overall(&self) -> (usize, usize) {
+        (
+            self.unique.0 + self.not_null.0 + self.foreign_key.0,
+            self.unique.1 + self.not_null.1 + self.foreign_key.1,
+        )
+    }
+}
+
+/// The whole paper evaluation: all eight apps plus the study.
+#[derive(Debug)]
+pub struct Evaluation {
+    /// Per-app evaluations in paper order.
+    pub apps: Vec<AppEvaluation>,
+    /// The five-app study corpus.
+    pub study: Vec<StudyApp>,
+    /// Table 9 results.
+    pub history: HistoryRecall,
+}
+
+impl Evaluation {
+    /// Generates the corpus and runs everything.
+    pub fn run(options: GenOptions) -> Evaluation {
+        let apps = cfinder_corpus::all_profiles()
+            .iter()
+            .map(|p| AppEvaluation::run(cfinder_corpus::generate(p, options)))
+            .collect();
+        let study = cfinder_corpus::study_corpus();
+        let history = HistoryRecall::run(&study);
+        Evaluation { apps, study, history }
+    }
+
+    /// The open-source apps (the commercial app is excluded from Tables
+    /// 6–8, as in the paper).
+    pub fn open_source_apps(&self) -> impl Iterator<Item = &AppEvaluation> {
+        self.apps.iter().filter(|a| a.app.name != "company")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn precision_cell_math() {
+        let mut a = PrecisionCell { total: 12, true_positive: 9 };
+        assert!((a.precision().unwrap() - 0.75).abs() < 1e-9);
+        a.add(PrecisionCell { total: 4, true_positive: 3 });
+        assert_eq!(a, PrecisionCell { total: 16, true_positive: 12 });
+        assert_eq!(PrecisionCell::default().precision(), None);
+    }
+
+    #[test]
+    fn single_app_evaluation_wagtail() {
+        // Wagtail is the smallest app; full per-app checks live in the
+        // corpus calibration tests.
+        let p = cfinder_corpus::profile("wagtail").unwrap();
+        let eval = AppEvaluation::run(cfinder_corpus::generate(&p, GenOptions::quick()));
+        assert_eq!(eval.detected_missing(), 10);
+        assert_eq!(eval.detected_existing(), 69);
+        let u = eval.precision(ConstraintType::Unique);
+        assert_eq!((u.total, u.true_positive), (4, 4));
+        let cov = eval.coverage(ConstraintType::Unique);
+        assert_eq!((cov.declared, cov.covered), (18, 11));
+    }
+
+    #[test]
+    fn history_recall_runs() {
+        let study = cfinder_corpus::study_corpus();
+        let recall = HistoryRecall::run(&study);
+        assert_eq!(recall.unique, (48, 38));
+        assert_eq!(recall.not_null, (63, 52));
+        assert_eq!(recall.foreign_key, (6, 3));
+        assert_eq!(recall.overall(), (117, 93));
+    }
+}

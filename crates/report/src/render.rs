@@ -1,0 +1,139 @@
+//! Plain-text table rendering.
+
+/// A renderable table: title, column headers, and string rows.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    /// Table caption (e.g. "Table 4: Evaluated applications…").
+    pub title: String,
+    /// Column headers.
+    pub header: Vec<String>,
+    /// Rows (each the same length as `header`).
+    pub rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Creates a table with headers.
+    pub fn new(title: impl Into<String>, header: &[&str]) -> Self {
+        TextTable {
+            title: title.into(),
+            header: header.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width differs from the header width.
+    pub fn row<I, S>(&mut self, cells: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(row.len(), self.header.len(), "row width mismatch in `{}`", self.title);
+        self.rows.push(row);
+    }
+
+    /// Renders with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (w, cell) in widths.iter_mut().zip(row) {
+                *w = (*w).max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        let sep: String =
+            widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("+");
+        let fmt_row = |cells: &[String]| -> String {
+            cells
+                .iter()
+                .zip(&widths)
+                .map(|(c, w)| format!(" {c:<w$} "))
+                .collect::<Vec<_>>()
+                .join("|")
+        };
+        out.push_str(&fmt_row(&self.header));
+        out.push('\n');
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as CSV (RFC-4180-ish quoting).
+    pub fn to_csv(&self) -> String {
+        let quote = |s: &String| {
+            if s.contains(',') || s.contains('"') || s.contains('\n') {
+                format!("\"{}\"", s.replace('"', "\"\""))
+            } else {
+                s.clone()
+            }
+        };
+        let mut out = String::new();
+        out.push_str(&self.header.iter().map(quote).collect::<Vec<_>>().join(","));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(quote).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Formats a ratio as a percentage string ("82%"); "-" when undefined.
+pub fn pct(numerator: usize, denominator: usize) -> String {
+    if denominator == 0 {
+        "-".to_string()
+    } else {
+        format!("{:.0}%", 100.0 * numerator as f64 / denominator as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned() {
+        let mut t = TextTable::new("Table X", &["App", "N"]);
+        t.row(["oscar", "12"]);
+        t.row(["a-much-longer-name", "3"]);
+        let out = t.render();
+        assert!(out.starts_with("Table X\n"));
+        assert!(out.contains("a-much-longer-name"));
+        // Header and rows aligned to the same width.
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines[1].len(), lines[3].len());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn csv_quotes_commas() {
+        let mut t = TextTable::new("T", &["a", "b"]);
+        t.row(["x,y", "pla\"in"]);
+        let csv = t.to_csv();
+        assert!(csv.contains("\"x,y\""));
+        assert!(csv.contains("\"pla\"\"in\""));
+    }
+
+    #[test]
+    fn pct_formats() {
+        assert_eq!(pct(54, 66), "82%");
+        assert_eq!(pct(0, 0), "-");
+        assert_eq!(pct(1, 2), "50%");
+    }
+}

@@ -1,0 +1,531 @@
+//! Database integrity constraints.
+//!
+//! The three constraint types the paper studies — not-null, unique
+//! (including composite and partial/conditional unique, §3.5.2), and
+//! foreign key — plus a normalized [`ConstraintSet`] supporting the diff
+//! step of §3.5.3 ("filter the existing constraints").
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Literal;
+
+/// The three constraint categories from the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum ConstraintType {
+    /// `NOT NULL`
+    NotNull,
+    /// `UNIQUE` (single, composite, or partial).
+    Unique,
+    /// `FOREIGN KEY … REFERENCES …`
+    ForeignKey,
+}
+
+impl ConstraintType {
+    /// All constraint types, in the paper's presentation order.
+    pub const ALL: [ConstraintType; 3] =
+        [ConstraintType::Unique, ConstraintType::NotNull, ConstraintType::ForeignKey];
+
+    /// Short label used in tables ("Unique", "Not null", "FK").
+    pub fn label(&self) -> &'static str {
+        match self {
+            ConstraintType::NotNull => "Not null",
+            ConstraintType::Unique => "Unique",
+            ConstraintType::ForeignKey => "Foreign key",
+        }
+    }
+}
+
+impl fmt::Display for ConstraintType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One fixed-value filter of a partial (conditional) unique constraint,
+/// e.g. `valid = TRUE` in `UNIQUE (code) WHERE valid = TRUE`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Condition {
+    /// Filtered column.
+    pub column: String,
+    /// Required value.
+    pub value: Literal,
+}
+
+impl fmt::Display for Condition {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} = {}", self.column, self.value)
+    }
+}
+
+/// A database constraint in normalized form.
+///
+/// Normalization rules (enforced by the constructors):
+/// * unique columns are sorted, deduplicated, and non-empty;
+/// * partial-unique conditions are sorted by column;
+/// * table/column names are kept verbatim (case-sensitive, like Django).
+///
+/// Equality and hashing operate on the normalized form, so a
+/// [`ConstraintSet`] treats `UNIQUE(a, b)` and `UNIQUE(b, a)` as the same
+/// constraint.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Constraint {
+    /// `table.column NOT NULL`
+    NotNull {
+        /// Constrained table.
+        table: String,
+        /// Constrained column.
+        column: String,
+    },
+    /// `UNIQUE (columns) [WHERE conditions]` on `table`.
+    Unique {
+        /// Constrained table.
+        table: String,
+        /// Sorted, deduplicated column list (non-empty).
+        columns: Vec<String>,
+        /// Sorted fixed-value conditions; empty for a full unique.
+        conditions: Vec<Condition>,
+    },
+    /// `table.column REFERENCES ref_table(ref_column)`
+    ForeignKey {
+        /// Dependent (referencing) table.
+        table: String,
+        /// Referencing column.
+        column: String,
+        /// Referenced table.
+        ref_table: String,
+        /// Referenced column (usually the primary key).
+        ref_column: String,
+    },
+}
+
+impl Constraint {
+    /// Creates a not-null constraint.
+    pub fn not_null(table: impl Into<String>, column: impl Into<String>) -> Self {
+        Constraint::NotNull { table: table.into(), column: column.into() }
+    }
+
+    /// Creates a (possibly composite) unique constraint; columns are
+    /// normalized (sorted + deduplicated).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty — a unique constraint over zero columns
+    /// is meaningless and always a caller bug.
+    pub fn unique<I, S>(table: impl Into<String>, columns: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Self::partial_unique(table, columns, Vec::new())
+    }
+
+    /// Creates a partial (conditional) unique constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `columns` is empty.
+    pub fn partial_unique<I, S>(
+        table: impl Into<String>,
+        columns: I,
+        conditions: Vec<Condition>,
+    ) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let set: BTreeSet<String> = columns.into_iter().map(Into::into).collect();
+        assert!(!set.is_empty(), "unique constraint requires at least one column");
+        let mut conditions = conditions;
+        conditions.sort();
+        conditions.dedup();
+        Constraint::Unique {
+            table: table.into(),
+            columns: set.into_iter().collect(),
+            conditions,
+        }
+    }
+
+    /// Creates a foreign-key constraint.
+    pub fn foreign_key(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        ref_table: impl Into<String>,
+        ref_column: impl Into<String>,
+    ) -> Self {
+        Constraint::ForeignKey {
+            table: table.into(),
+            column: column.into(),
+            ref_table: ref_table.into(),
+            ref_column: ref_column.into(),
+        }
+    }
+
+    /// The constraint's category.
+    pub fn constraint_type(&self) -> ConstraintType {
+        match self {
+            Constraint::NotNull { .. } => ConstraintType::NotNull,
+            Constraint::Unique { .. } => ConstraintType::Unique,
+            Constraint::ForeignKey { .. } => ConstraintType::ForeignKey,
+        }
+    }
+
+    /// The constrained (dependent) table.
+    pub fn table(&self) -> &str {
+        match self {
+            Constraint::NotNull { table, .. }
+            | Constraint::Unique { table, .. }
+            | Constraint::ForeignKey { table, .. } => table,
+        }
+    }
+
+    /// The constrained columns (one for not-null/FK, one or more for unique).
+    pub fn columns(&self) -> Vec<&str> {
+        match self {
+            Constraint::NotNull { column, .. } | Constraint::ForeignKey { column, .. } => {
+                vec![column.as_str()]
+            }
+            Constraint::Unique { columns, .. } => columns.iter().map(String::as_str).collect(),
+        }
+    }
+
+    /// True for a partial (conditional) unique constraint.
+    pub fn is_partial_unique(&self) -> bool {
+        matches!(self, Constraint::Unique { conditions, .. } if !conditions.is_empty())
+    }
+
+    /// Renders the `ALTER TABLE` DDL that adds this constraint — what a
+    /// developer would paste into a migration after confirming a report.
+    pub fn ddl(&self) -> String {
+        match self {
+            Constraint::NotNull { table, column } => {
+                format!("ALTER TABLE {table} ALTER COLUMN {column} SET NOT NULL;")
+            }
+            Constraint::Unique { table, columns, conditions } => {
+                let cols = columns.join(", ");
+                if conditions.is_empty() {
+                    format!(
+                        "ALTER TABLE {table} ADD CONSTRAINT uq_{table}_{} UNIQUE ({cols});",
+                        columns.join("_")
+                    )
+                } else {
+                    // Partial uniques need a partial unique index (PostgreSQL).
+                    let conds: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+                    format!(
+                        "CREATE UNIQUE INDEX uq_{table}_{} ON {table} ({cols}) WHERE {};",
+                        columns.join("_"),
+                        conds.join(" AND ")
+                    )
+                }
+            }
+            Constraint::ForeignKey { table, column, ref_table, ref_column } => format!(
+                "ALTER TABLE {table} ADD CONSTRAINT fk_{table}_{column} FOREIGN KEY ({column}) REFERENCES {ref_table}({ref_column});"
+            ),
+        }
+    }
+
+    /// Renders the constraint the way the paper writes them, e.g.
+    /// `WishlistLine Unique (product, wishlist)` or
+    /// `Discount FK (voucher_id) ref Voucher(id)`.
+    pub fn describe(&self) -> String {
+        match self {
+            Constraint::NotNull { table, column } => {
+                format!("{table} Not NULL ({column})")
+            }
+            Constraint::Unique { table, columns, conditions } => {
+                let cols = columns.join(", ");
+                if conditions.is_empty() {
+                    format!("{table} Unique ({cols})")
+                } else {
+                    let conds: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+                    format!("{table} Unique ({cols}) where {}", conds.join(" and "))
+                }
+            }
+            Constraint::ForeignKey { table, column, ref_table, ref_column } => {
+                format!("{table} FK ({column}) ref {ref_table}({ref_column})")
+            }
+        }
+    }
+}
+
+impl fmt::Display for Constraint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.describe())
+    }
+}
+
+/// A normalized, order-independent set of constraints.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ConstraintSet {
+    items: BTreeSet<Constraint>,
+}
+
+impl ConstraintSet {
+    /// Creates an empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts a constraint; returns true if it was not already present.
+    pub fn insert(&mut self, c: Constraint) -> bool {
+        self.items.insert(c)
+    }
+
+    /// Removes a constraint; returns true if it was present.
+    pub fn remove(&mut self, c: &Constraint) -> bool {
+        self.items.remove(c)
+    }
+
+    /// Membership test on the normalized form.
+    pub fn contains(&self, c: &Constraint) -> bool {
+        self.items.contains(c)
+    }
+
+    /// Returns true if a unique constraint with exactly these columns exists
+    /// on `table`, regardless of any partial condition.
+    ///
+    /// Used when diffing: an inferred `UNIQUE(email)` is considered covered
+    /// by an existing `UNIQUE(email) WHERE active=TRUE` only when the
+    /// condition also matches, so this helper is deliberately condition-
+    /// insensitive for recall-style queries.
+    pub fn contains_unique_columns(&self, table: &str, columns: &[&str]) -> bool {
+        let want: BTreeSet<&str> = columns.iter().copied().collect();
+        self.items.iter().any(|c| match c {
+            Constraint::Unique { table: t, columns: cols, .. } => {
+                t == table && cols.iter().map(String::as_str).collect::<BTreeSet<_>>() == want
+            }
+            _ => false,
+        })
+    }
+
+    /// Number of constraints in the set.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Returns true if the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates constraints in normalized (sorted) order.
+    pub fn iter(&self) -> impl Iterator<Item = &Constraint> {
+        self.items.iter()
+    }
+
+    /// Constraints of one type, in normalized order.
+    pub fn of_type(&self, ty: ConstraintType) -> impl Iterator<Item = &Constraint> {
+        self.items.iter().filter(move |c| c.constraint_type() == ty)
+    }
+
+    /// Count of constraints of one type.
+    pub fn count_of(&self, ty: ConstraintType) -> usize {
+        self.of_type(ty).count()
+    }
+
+    /// Set difference: constraints in `self` that are absent from `other`.
+    ///
+    /// This is the §3.5.3 step: `inferred.difference(&existing)` yields the
+    /// missing constraints.
+    #[must_use]
+    pub fn difference(&self, other: &ConstraintSet) -> ConstraintSet {
+        ConstraintSet { items: self.items.difference(&other.items).cloned().collect() }
+    }
+
+    /// Set intersection.
+    #[must_use]
+    pub fn intersection(&self, other: &ConstraintSet) -> ConstraintSet {
+        ConstraintSet { items: self.items.intersection(&other.items).cloned().collect() }
+    }
+
+    /// Set union.
+    #[must_use]
+    pub fn union(&self, other: &ConstraintSet) -> ConstraintSet {
+        ConstraintSet { items: self.items.union(&other.items).cloned().collect() }
+    }
+}
+
+impl FromIterator<Constraint> for ConstraintSet {
+    fn from_iter<T: IntoIterator<Item = Constraint>>(iter: T) -> Self {
+        ConstraintSet { items: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<Constraint> for ConstraintSet {
+    fn extend<T: IntoIterator<Item = Constraint>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+impl IntoIterator for ConstraintSet {
+    type Item = Constraint;
+    type IntoIter = std::collections::btree_set::IntoIter<Constraint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ConstraintSet {
+    type Item = &'a Constraint;
+    type IntoIter = std::collections::btree_set::Iter<'a, Constraint>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unique_normalizes_column_order() {
+        let a = Constraint::unique("wishlist_line", ["product", "wishlist"]);
+        let b = Constraint::unique("wishlist_line", ["wishlist", "product"]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn unique_dedups_columns() {
+        let c = Constraint::unique("t", ["a", "a", "b"]);
+        assert_eq!(c.columns(), vec!["a", "b"]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one column")]
+    fn unique_requires_columns() {
+        let _ = Constraint::unique("t", Vec::<String>::new());
+    }
+
+    #[test]
+    fn partial_unique_differs_from_full() {
+        let full = Constraint::unique("voucher", ["code"]);
+        let partial = Constraint::partial_unique(
+            "voucher",
+            ["code"],
+            vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
+        );
+        assert_ne!(full, partial);
+        assert!(partial.is_partial_unique());
+        assert!(!full.is_partial_unique());
+    }
+
+    #[test]
+    fn describe_matches_paper_style() {
+        assert_eq!(
+            Constraint::unique("WishlistLine", ["wishlist", "product"]).describe(),
+            "WishlistLine Unique (product, wishlist)"
+        );
+        assert_eq!(
+            Constraint::not_null("Order", "total").describe(),
+            "Order Not NULL (total)"
+        );
+        assert_eq!(
+            Constraint::foreign_key("Discount", "voucher_id", "Voucher", "id").describe(),
+            "Discount FK (voucher_id) ref Voucher(id)"
+        );
+    }
+
+    #[test]
+    fn ddl_generation() {
+        assert_eq!(
+            Constraint::not_null("orders", "total").ddl(),
+            "ALTER TABLE orders ALTER COLUMN total SET NOT NULL;"
+        );
+        assert_eq!(
+            Constraint::unique("users", ["email"]).ddl(),
+            "ALTER TABLE users ADD CONSTRAINT uq_users_email UNIQUE (email);"
+        );
+        assert_eq!(
+            Constraint::foreign_key("orders", "basket_id", "baskets", "id").ddl(),
+            "ALTER TABLE orders ADD CONSTRAINT fk_orders_basket_id FOREIGN KEY (basket_id) REFERENCES baskets(id);"
+        );
+        let partial = Constraint::partial_unique(
+            "vouchers",
+            ["code"],
+            vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
+        );
+        assert_eq!(
+            partial.ddl(),
+            "CREATE UNIQUE INDEX uq_vouchers_code ON vouchers (code) WHERE active = TRUE;"
+        );
+    }
+
+    #[test]
+    fn set_difference_is_missing_constraints() {
+        let inferred: ConstraintSet = [
+            Constraint::not_null("order", "total"),
+            Constraint::unique("user", ["email"]),
+            Constraint::foreign_key("order", "basket_id", "basket", "id"),
+        ]
+        .into_iter()
+        .collect();
+        let existing: ConstraintSet =
+            [Constraint::not_null("order", "total")].into_iter().collect();
+        let missing = inferred.difference(&existing);
+        assert_eq!(missing.len(), 2);
+        assert!(!missing.contains(&Constraint::not_null("order", "total")));
+        assert!(missing.contains(&Constraint::unique("user", ["email"])));
+    }
+
+    #[test]
+    fn contains_unique_columns_ignores_conditions_and_order() {
+        let mut set = ConstraintSet::new();
+        set.insert(Constraint::partial_unique(
+            "t",
+            ["b", "a"],
+            vec![Condition { column: "ok".into(), value: Literal::Bool(true) }],
+        ));
+        assert!(set.contains_unique_columns("t", &["a", "b"]));
+        assert!(set.contains_unique_columns("t", &["b", "a"]));
+        assert!(!set.contains_unique_columns("t", &["a"]));
+        assert!(!set.contains_unique_columns("other", &["a", "b"]));
+    }
+
+    #[test]
+    fn count_of_type() {
+        let set: ConstraintSet = [
+            Constraint::not_null("a", "x"),
+            Constraint::not_null("a", "y"),
+            Constraint::unique("a", ["x"]),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(set.count_of(ConstraintType::NotNull), 2);
+        assert_eq!(set.count_of(ConstraintType::Unique), 1);
+        assert_eq!(set.count_of(ConstraintType::ForeignKey), 0);
+    }
+
+    #[test]
+    fn insert_is_idempotent() {
+        let mut set = ConstraintSet::new();
+        assert!(set.insert(Constraint::not_null("t", "c")));
+        assert!(!set.insert(Constraint::not_null("t", "c")));
+        assert_eq!(set.len(), 1);
+        assert!(set.remove(&Constraint::not_null("t", "c")));
+        assert!(set.is_empty());
+    }
+
+    #[test]
+    fn union_and_intersection() {
+        let a: ConstraintSet = [Constraint::not_null("t", "x")].into_iter().collect();
+        let b: ConstraintSet =
+            [Constraint::not_null("t", "x"), Constraint::not_null("t", "y")].into_iter().collect();
+        assert_eq!(a.union(&b).len(), 2);
+        assert_eq!(a.intersection(&b).len(), 1);
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let c = Constraint::partial_unique(
+            "t",
+            ["a"],
+            vec![Condition { column: "ok".into(), value: Literal::Bool(true) }],
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Constraint>(&json).unwrap(), c);
+    }
+}

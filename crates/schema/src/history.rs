@@ -1,0 +1,322 @@
+//! Migration-history replay and the §2 empirical study.
+//!
+//! [`MigrationHistory`] replays an app's migrations into a [`Schema`] and
+//! computes the study aggregates behind the paper's Tables 2 and 3:
+//! which constraints were "missed first and added in later pull requests",
+//! why they were added, what the consequences were, and how long the
+//! vulnerable window stayed open.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::{Constraint, ConstraintType};
+use crate::migration::{AddReason, CodeCheckStatus, Consequence, Migration, MigrationOp};
+use crate::table::Schema;
+
+/// The ordered migration history of one application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MigrationHistory {
+    /// Application name.
+    pub app: String,
+    /// Migrations in ascending `index` order.
+    pub migrations: Vec<Migration>,
+}
+
+impl MigrationHistory {
+    /// Creates a history, verifying that migration indices ascend.
+    ///
+    /// # Panics
+    ///
+    /// Panics if indices or months are not non-decreasing.
+    pub fn new(app: impl Into<String>, migrations: Vec<Migration>) -> Self {
+        for w in migrations.windows(2) {
+            assert!(w[0].index < w[1].index, "migration indices must ascend");
+            assert!(w[0].month <= w[1].month, "migration months must not decrease");
+        }
+        MigrationHistory { app: app.into(), migrations }
+    }
+
+    /// Replays the full history into a schema.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay error.
+    pub fn replay(&self) -> Result<Schema, String> {
+        self.replay_through(u32::MAX)
+    }
+
+    /// Replays migrations with `index <= last_index` — the "old version of
+    /// the code" view used by the paper's Table 9 evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first replay error.
+    pub fn replay_through(&self, last_index: u32) -> Result<Schema, String> {
+        let mut schema = Schema::new();
+        for m in self.migrations.iter().filter(|m| m.index <= last_index) {
+            m.apply(&mut schema)?;
+        }
+        Ok(schema)
+    }
+
+    /// Computes the §2 study aggregates.
+    pub fn study(&self) -> StudyReport {
+        // When was each column created? (table, column) -> month.
+        let mut column_created: HashMap<(String, String), u32> = HashMap::new();
+        let mut records = Vec::new();
+        for m in &self.migrations {
+            for op in &m.ops {
+                match op {
+                    MigrationOp::CreateTable(t) => {
+                        for c in &t.columns {
+                            column_created.insert((t.name.clone(), c.name.clone()), m.month);
+                        }
+                    }
+                    MigrationOp::AddColumn { table, column } => {
+                        column_created.insert((table.clone(), column.name.clone()), m.month);
+                    }
+                    MigrationOp::AddConstraint { constraint, meta } => {
+                        // A constraint is "missing" when it was added in a
+                        // later migration than its column(s) (§2: "not
+                        // specified when the columns are created, and added
+                        // later in another pull request").
+                        let created_month = constraint
+                            .columns()
+                            .iter()
+                            .filter_map(|c| {
+                                column_created.get(&(
+                                    constraint.table().to_string(),
+                                    (*c).to_string(),
+                                ))
+                            })
+                            .max()
+                            .copied();
+                        let was_missing = meta.reason != AddReason::WithCreation
+                            && created_month.is_some_and(|cm| m.month > cm);
+                        if was_missing {
+                            records.push(MissingConstraintRecord {
+                                constraint: constraint.clone(),
+                                reason: meta.reason,
+                                consequence: meta.issue.as_ref().map(|i| i.consequence),
+                                code_checks: meta.issue.as_ref().map(|i| i.code_checks),
+                                months_missing: m.month - created_month.unwrap_or(0),
+                                added_in_migration: m.index,
+                            });
+                        }
+                    }
+                    MigrationOp::DropConstraint(_) => {}
+                }
+            }
+        }
+        StudyReport { app: self.app.clone(), records }
+    }
+}
+
+/// One constraint that was missed first and added later.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MissingConstraintRecord {
+    /// The constraint that was eventually added.
+    pub constraint: Constraint,
+    /// Why it was added.
+    pub reason: AddReason,
+    /// Consequence of the motivating issue, if any.
+    pub consequence: Option<Consequence>,
+    /// Code-check status of the motivating issue, if any.
+    pub code_checks: Option<CodeCheckStatus>,
+    /// Length of the vulnerable window, in months.
+    pub months_missing: u32,
+    /// Migration index that added the constraint.
+    pub added_in_migration: u32,
+}
+
+/// Aggregates for one application's study (feeds Tables 2 and 3).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyReport {
+    /// Application name.
+    pub app: String,
+    /// All afterthought-constraint records.
+    pub records: Vec<MissingConstraintRecord>,
+}
+
+impl StudyReport {
+    /// Total afterthought constraints (one Table 2 cell).
+    pub fn total(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Count per constraint type (Table 2 rows).
+    pub fn count_by_type(&self, ty: ConstraintType) -> usize {
+        self.records.iter().filter(|r| r.constraint.constraint_type() == ty).count()
+    }
+
+    /// Count per add-reason (Table 3 columns).
+    pub fn count_by_reason(&self, reason: AddReason) -> usize {
+        self.records.iter().filter(|r| r.reason == reason).count()
+    }
+
+    /// Count per (type, reason) — Table 3 cells.
+    pub fn count_by_type_and_reason(&self, ty: ConstraintType, reason: AddReason) -> usize {
+        self.records
+            .iter()
+            .filter(|r| r.constraint.constraint_type() == ty && r.reason == reason)
+            .count()
+    }
+
+    /// Fraction of afterthought constraints that are issue-related
+    /// (the paper's 82%).
+    pub fn issue_related_fraction(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let n = self.records.iter().filter(|r| r.reason.is_issue_related()).count();
+        n as f64 / self.records.len() as f64
+    }
+
+    /// Mean vulnerable-window length in months (the paper's "on average 19
+    /// months").
+    pub fn mean_months_missing(&self) -> f64 {
+        if self.records.is_empty() {
+            return 0.0;
+        }
+        let sum: u32 = self.records.iter().map(|r| r.months_missing).sum();
+        f64::from(sum) / self.records.len() as f64
+    }
+
+    /// Breakdown of issue consequences (18 crashes / 8 corruptions / … in
+    /// the paper).
+    pub fn count_by_consequence(&self, consequence: Consequence) -> usize {
+        self.records.iter().filter(|r| r.consequence == Some(consequence)).count()
+    }
+
+    /// Breakdown of code-check status among issue-backed records
+    /// (Observation 3's 73% / 13% / 13%).
+    pub fn count_by_code_checks(&self, status: CodeCheckStatus) -> usize {
+        self.records.iter().filter(|r| r.code_checks == Some(status)).count()
+    }
+
+    /// Merges several app reports into a "Total" report.
+    pub fn merged<'a>(reports: impl IntoIterator<Item = &'a StudyReport>) -> StudyReport {
+        let mut records = Vec::new();
+        for r in reports {
+            records.extend(r.records.iter().cloned());
+        }
+        StudyReport { app: "Total".to_string(), records }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::migration::{ConstraintMeta, IssueRef};
+    use crate::table::{Column, Table};
+    use crate::types::ColumnType;
+
+    fn history_with_afterthought() -> MigrationHistory {
+        MigrationHistory::new(
+            "shop",
+            vec![
+                Migration {
+                    index: 0,
+                    month: 0,
+                    ops: vec![MigrationOp::CreateTable(
+                        Table::new("orders")
+                            .with_column(Column::new("total", ColumnType::Decimal(12, 2)))
+                            .with_column(Column::new("number", ColumnType::VarChar(32))),
+                    )],
+                },
+                Migration {
+                    index: 1,
+                    month: 0,
+                    ops: vec![MigrationOp::AddConstraint {
+                        // Same month as creation but reason WithCreation:
+                        // not an afterthought.
+                        constraint: Constraint::unique("orders", ["number"]),
+                        meta: ConstraintMeta::with_creation(),
+                    }],
+                },
+                Migration {
+                    index: 2,
+                    month: 19,
+                    ops: vec![MigrationOp::AddConstraint {
+                        constraint: Constraint::not_null("orders", "total"),
+                        meta: ConstraintMeta {
+                            reason: AddReason::FromReportedIssue,
+                            issue: Some(IssueRef {
+                                id: 1670,
+                                consequence: Consequence::PageCrash,
+                                code_checks: CodeCheckStatus::NoChecks,
+                            }),
+                        },
+                    }],
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn replay_produces_full_schema() {
+        let h = history_with_afterthought();
+        let s = h.replay().unwrap();
+        assert!(s.constraints().contains(&Constraint::not_null("orders", "total")));
+        assert!(s.constraints().contains(&Constraint::unique("orders", ["number"])));
+    }
+
+    #[test]
+    fn replay_through_gives_old_version() {
+        let h = history_with_afterthought();
+        let s = h.replay_through(1).unwrap();
+        assert!(!s.constraints().contains(&Constraint::not_null("orders", "total")));
+        assert!(s.constraints().contains(&Constraint::unique("orders", ["number"])));
+    }
+
+    #[test]
+    fn study_flags_only_afterthoughts() {
+        let h = history_with_afterthought();
+        let report = h.study();
+        assert_eq!(report.total(), 1);
+        let rec = &report.records[0];
+        assert_eq!(rec.constraint, Constraint::not_null("orders", "total"));
+        assert_eq!(rec.months_missing, 19);
+        assert_eq!(rec.reason, AddReason::FromReportedIssue);
+        assert_eq!(rec.consequence, Some(Consequence::PageCrash));
+    }
+
+    #[test]
+    fn study_aggregates() {
+        let h = history_with_afterthought();
+        let report = h.study();
+        assert_eq!(report.count_by_type(ConstraintType::NotNull), 1);
+        assert_eq!(report.count_by_type(ConstraintType::Unique), 0);
+        assert_eq!(report.count_by_reason(AddReason::FromReportedIssue), 1);
+        assert!((report.issue_related_fraction() - 1.0).abs() < 1e-9);
+        assert!((report.mean_months_missing() - 19.0).abs() < 1e-9);
+        assert_eq!(report.count_by_consequence(Consequence::PageCrash), 1);
+        assert_eq!(report.count_by_code_checks(CodeCheckStatus::NoChecks), 1);
+    }
+
+    #[test]
+    fn merged_totals() {
+        let h = history_with_afterthought();
+        let a = h.study();
+        let b = h.study();
+        let merged = StudyReport::merged([&a, &b]);
+        assert_eq!(merged.total(), 2);
+        assert_eq!(merged.app, "Total");
+    }
+
+    #[test]
+    #[should_panic(expected = "indices must ascend")]
+    fn non_ascending_indices_panic() {
+        let m = Migration { index: 1, month: 0, ops: vec![] };
+        let m2 = Migration { index: 0, month: 0, ops: vec![] };
+        let _ = MigrationHistory::new("x", vec![m, m2]);
+    }
+
+    #[test]
+    fn empty_report_fractions_are_zero() {
+        let report = StudyReport { app: "x".into(), records: vec![] };
+        assert_eq!(report.issue_related_fraction(), 0.0);
+        assert_eq!(report.mean_months_missing(), 0.0);
+    }
+}

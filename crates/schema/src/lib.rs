@@ -1,0 +1,40 @@
+//! # cfinder-schema
+//!
+//! Relational schema modeling for the CFinder reproduction: tables,
+//! columns, the three database-constraint types the paper studies
+//! (not-null, unique — including composite and partial —, foreign key),
+//! schema migrations with history metadata, and the §2 empirical-study
+//! analytics (afterthought constraints, reasons, consequences,
+//! vulnerable-window lengths).
+//!
+//! The [`Schema`] type stands in for the `information_schema` view the
+//! paper's tool reads: the declared constraint state that inferred
+//! constraints are diffed against (§3.5.3).
+//!
+//! ```
+//! use cfinder_schema::{Column, ColumnType, Constraint, Schema, Table};
+//!
+//! let mut schema = Schema::new();
+//! schema.add_table(
+//!     Table::new("users").with_column(Column::new("email", ColumnType::VarChar(254))),
+//! );
+//! schema.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+//! assert!(schema.constraints().contains(&Constraint::unique("users", ["email"])));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod constraint;
+pub mod history;
+pub mod migration;
+pub mod table;
+pub mod types;
+
+pub use constraint::{Condition, Constraint, ConstraintSet, ConstraintType};
+pub use history::{MigrationHistory, MissingConstraintRecord, StudyReport};
+pub use migration::{
+    AddReason, CodeCheckStatus, Consequence, ConstraintMeta, IssueRef, Migration, MigrationOp,
+};
+pub use table::{Column, Schema, Table};
+pub use types::{ColumnType, Literal};

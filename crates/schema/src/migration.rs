@@ -1,0 +1,242 @@
+//! Schema migrations with history metadata.
+//!
+//! Mirrors Django's migration files (§2 of the paper): an ordered list of
+//! operations per migration, where `AddConstraint` operations carry the
+//! metadata the authors mined manually — why the constraint was added, which
+//! issue (if any) motivated it, what the consequence was, and whether the
+//! application code had validation checks.
+
+use serde::{Deserialize, Serialize};
+
+use crate::constraint::Constraint;
+use crate::table::{Column, Schema, Table};
+
+/// Why a constraint was added, per Table 3 of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AddReason {
+    /// Specified together with the column's creation (not "missing").
+    WithCreation,
+    /// Added in response to a user-reported issue ticket.
+    FromReportedIssue,
+    /// Added after developers generalized from a similar issue.
+    LearnedFromSimilarIssue,
+    /// Added by developers with "fix"/"prevent issue" intent.
+    FixedByDev,
+    /// Added during feature work or refactoring.
+    FeatureOrRefactor,
+    /// No recoverable reason.
+    Unknown,
+}
+
+impl AddReason {
+    /// True for the reasons the paper groups as "related to issue" (82%).
+    pub fn is_issue_related(&self) -> bool {
+        matches!(
+            self,
+            AddReason::FromReportedIssue
+                | AddReason::LearnedFromSimilarIssue
+                | AddReason::FixedByDev
+        )
+    }
+}
+
+/// The user-visible consequence of a constraint-violating record, per §2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Consequence {
+    /// A page crash (18 of the paper's 30 issues).
+    PageCrash,
+    /// A crash that blocks critical business logic (order/payment).
+    BlockedBusinessLogic,
+    /// Silent data corruption.
+    DataCorruption,
+    /// Some other degradation.
+    Other,
+}
+
+/// Whether the application code validated the constraint, per Observation 3.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CodeCheckStatus {
+    /// No validation anywhere (73% of issues).
+    NoChecks,
+    /// Validated on some code paths but not others (13%).
+    PartialChecks,
+    /// Validated everywhere, yet violated by concurrent requests (13%).
+    FullChecksButRace,
+}
+
+/// A reference to the issue ticket that exposed a missing constraint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IssueRef {
+    /// Ticket number.
+    pub id: u32,
+    /// Observed consequence.
+    pub consequence: Consequence,
+    /// State of application-level validation at the time.
+    pub code_checks: CodeCheckStatus,
+}
+
+/// Metadata attached to an `AddConstraint` operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConstraintMeta {
+    /// Why the constraint was added.
+    pub reason: AddReason,
+    /// The motivating issue, when `reason` is issue-related.
+    pub issue: Option<IssueRef>,
+}
+
+impl ConstraintMeta {
+    /// Metadata for a constraint specified together with column creation.
+    pub fn with_creation() -> Self {
+        ConstraintMeta { reason: AddReason::WithCreation, issue: None }
+    }
+}
+
+/// One migration operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MigrationOp {
+    /// `CREATE TABLE`.
+    CreateTable(Table),
+    /// `ALTER TABLE … ADD COLUMN`.
+    AddColumn {
+        /// Target table.
+        table: String,
+        /// New column.
+        column: Column,
+    },
+    /// `ALTER TABLE … ADD CONSTRAINT`, with study metadata.
+    AddConstraint {
+        /// The added constraint.
+        constraint: Constraint,
+        /// Why it was added.
+        meta: ConstraintMeta,
+    },
+    /// `ALTER TABLE … DROP CONSTRAINT`.
+    DropConstraint(Constraint),
+}
+
+/// A migration: an ordered batch of operations applied at one point in the
+/// application's history.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Migration {
+    /// Sequence number within the app's history (0-based, ascending).
+    pub index: u32,
+    /// Months since the start of the project; the study's time-to-fix
+    /// figures ("on average 19 months") are computed from this.
+    pub month: u32,
+    /// Operations in application order.
+    pub ops: Vec<MigrationOp>,
+}
+
+impl Migration {
+    /// Applies this migration to `schema`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first operation error (missing table/column, duplicate
+    /// constraint, …) with the op index prepended.
+    pub fn apply(&self, schema: &mut Schema) -> Result<(), String> {
+        for (i, op) in self.ops.iter().enumerate() {
+            let result = match op {
+                MigrationOp::CreateTable(table) => {
+                    if schema.table(&table.name).is_some() {
+                        Err(format!("duplicate table `{}`", table.name))
+                    } else {
+                        schema.add_table(table.clone());
+                        Ok(())
+                    }
+                }
+                MigrationOp::AddColumn { table, column } => {
+                    schema.add_column(table, column.clone())
+                }
+                MigrationOp::AddConstraint { constraint, .. } => {
+                    schema.add_constraint(constraint.clone())
+                }
+                MigrationOp::DropConstraint(constraint) => schema.drop_constraint(constraint),
+            };
+            result.map_err(|e| format!("migration {} op {i}: {e}", self.index))?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::ColumnType;
+
+    fn create_users() -> MigrationOp {
+        MigrationOp::CreateTable(
+            Table::new("users").with_column(Column::new("email", ColumnType::VarChar(254))),
+        )
+    }
+
+    #[test]
+    fn apply_create_and_constrain() {
+        let mut schema = Schema::new();
+        let m = Migration {
+            index: 0,
+            month: 0,
+            ops: vec![
+                create_users(),
+                MigrationOp::AddConstraint {
+                    constraint: Constraint::unique("users", ["email"]),
+                    meta: ConstraintMeta::with_creation(),
+                },
+            ],
+        };
+        m.apply(&mut schema).unwrap();
+        assert!(schema.constraints().contains(&Constraint::unique("users", ["email"])));
+    }
+
+    #[test]
+    fn apply_error_carries_location() {
+        let mut schema = Schema::new();
+        let m = Migration {
+            index: 7,
+            month: 3,
+            ops: vec![MigrationOp::AddColumn {
+                table: "ghosts".into(),
+                column: Column::new("x", ColumnType::Integer),
+            }],
+        };
+        let err = m.apply(&mut schema).unwrap_err();
+        assert!(err.contains("migration 7 op 0"), "{err}");
+    }
+
+    #[test]
+    fn duplicate_create_table_is_error_not_panic() {
+        let mut schema = Schema::new();
+        let m = Migration { index: 0, month: 0, ops: vec![create_users(), create_users()] };
+        assert!(m.apply(&mut schema).is_err());
+    }
+
+    #[test]
+    fn reason_issue_grouping() {
+        assert!(AddReason::FromReportedIssue.is_issue_related());
+        assert!(AddReason::LearnedFromSimilarIssue.is_issue_related());
+        assert!(AddReason::FixedByDev.is_issue_related());
+        assert!(!AddReason::FeatureOrRefactor.is_issue_related());
+        assert!(!AddReason::WithCreation.is_issue_related());
+        assert!(!AddReason::Unknown.is_issue_related());
+    }
+
+    #[test]
+    fn drop_constraint_roundtrip() {
+        let mut schema = Schema::new();
+        Migration {
+            index: 0,
+            month: 0,
+            ops: vec![
+                create_users(),
+                MigrationOp::AddConstraint {
+                    constraint: Constraint::unique("users", ["email"]),
+                    meta: ConstraintMeta::with_creation(),
+                },
+                MigrationOp::DropConstraint(Constraint::unique("users", ["email"])),
+            ],
+        }
+        .apply(&mut schema)
+        .unwrap();
+        assert!(!schema.constraints().contains(&Constraint::unique("users", ["email"])));
+    }
+}

@@ -1,0 +1,152 @@
+//! Column types and literal values.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// SQL column types, matching what Django's field types map onto.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    /// 32-bit integer (`IntegerField`).
+    Integer,
+    /// 64-bit integer (`BigIntegerField`, implicit `id` keys).
+    BigInt,
+    /// Double-precision float (`FloatField`).
+    Float,
+    /// Fixed-point decimal (`DecimalField`): digits and decimal places.
+    Decimal(u8, u8),
+    /// Bounded string (`CharField(max_length)`).
+    VarChar(u32),
+    /// Unbounded string (`TextField`).
+    Text,
+    /// Boolean (`BooleanField`).
+    Boolean,
+    /// Timestamp (`DateTimeField`).
+    DateTime,
+    /// Calendar date (`DateField`).
+    Date,
+    /// JSON document (`JSONField`).
+    Json,
+}
+
+impl ColumnType {
+    /// SQL-ish name used in rendered schemas and reports.
+    pub fn sql_name(&self) -> String {
+        match self {
+            ColumnType::Integer => "integer".to_string(),
+            ColumnType::BigInt => "bigint".to_string(),
+            ColumnType::Float => "double precision".to_string(),
+            ColumnType::Decimal(p, s) => format!("numeric({p},{s})"),
+            ColumnType::VarChar(n) => format!("varchar({n})"),
+            ColumnType::Text => "text".to_string(),
+            ColumnType::Boolean => "boolean".to_string(),
+            ColumnType::DateTime => "timestamp".to_string(),
+            ColumnType::Date => "date".to_string(),
+            ColumnType::Json => "jsonb".to_string(),
+        }
+    }
+
+    /// Returns true for the textual types.
+    pub fn is_textual(&self) -> bool {
+        matches!(self, ColumnType::VarChar(_) | ColumnType::Text)
+    }
+
+    /// Returns true for the numeric types.
+    pub fn is_numeric(&self) -> bool {
+        matches!(
+            self,
+            ColumnType::Integer | ColumnType::BigInt | ColumnType::Float | ColumnType::Decimal(_, _)
+        )
+    }
+}
+
+impl fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql_name())
+    }
+}
+
+/// A literal value, used in column defaults and partial-unique conditions.
+///
+/// Floats are excluded on purpose: literals participate in `Eq`/`Hash`
+/// (constraint-set membership), and the corpus never needs float conditions.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Literal {
+    /// SQL NULL.
+    Null,
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+}
+
+impl Literal {
+    /// Renders as SQL literal text.
+    pub fn sql(&self) -> String {
+        match self {
+            Literal::Null => "NULL".to_string(),
+            Literal::Int(v) => v.to_string(),
+            Literal::Str(s) => format!("'{}'", s.replace('\'', "''")),
+            Literal::Bool(true) => "TRUE".to_string(),
+            Literal::Bool(false) => "FALSE".to_string(),
+        }
+    }
+
+    /// Returns true if this literal is NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Literal::Null)
+    }
+}
+
+impl fmt::Display for Literal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.sql())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_names() {
+        assert_eq!(ColumnType::VarChar(128).sql_name(), "varchar(128)");
+        assert_eq!(ColumnType::Decimal(12, 2).sql_name(), "numeric(12,2)");
+        assert_eq!(ColumnType::BigInt.sql_name(), "bigint");
+    }
+
+    #[test]
+    fn classification() {
+        assert!(ColumnType::Text.is_textual());
+        assert!(!ColumnType::Text.is_numeric());
+        assert!(ColumnType::Decimal(10, 2).is_numeric());
+        assert!(ColumnType::Integer.is_numeric());
+        assert!(!ColumnType::Boolean.is_numeric());
+    }
+
+    #[test]
+    fn literal_sql_escapes_quotes() {
+        assert_eq!(Literal::Str("it's".into()).sql(), "'it''s'");
+        assert_eq!(Literal::Null.sql(), "NULL");
+        assert_eq!(Literal::Bool(true).sql(), "TRUE");
+        assert_eq!(Literal::Int(-3).sql(), "-3");
+    }
+
+    #[test]
+    fn literal_null_check() {
+        assert!(Literal::Null.is_null());
+        assert!(!Literal::Int(0).is_null());
+    }
+
+    #[test]
+    fn serde_round_trip() {
+        let t = ColumnType::Decimal(12, 2);
+        let json = serde_json::to_string(&t).unwrap();
+        assert_eq!(serde_json::from_str::<ColumnType>(&json).unwrap(), t);
+        let l = Literal::Str("x".into());
+        let json = serde_json::to_string(&l).unwrap();
+        assert_eq!(serde_json::from_str::<Literal>(&json).unwrap(), l);
+    }
+}

@@ -1,0 +1,125 @@
+//! Property tests for constraint-set algebra and migration replay.
+
+use cfinder_schema::{
+    Column, ColumnType, Constraint, ConstraintSet, Migration, MigrationHistory, MigrationOp,
+    Schema, Table,
+};
+use proptest::prelude::*;
+
+fn constraint_strategy() -> impl Strategy<Value = Constraint> {
+    let table = prop_oneof![Just("alpha"), Just("beta"), Just("gamma")];
+    let col = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+    prop_oneof![
+        (table.clone(), col.clone()).prop_map(|(t, c)| Constraint::not_null(t, c)),
+        (table.clone(), proptest::collection::btree_set(col.clone(), 1..3))
+            .prop_map(|(t, cols)| Constraint::unique(t, cols)),
+        (table.clone(), col.clone(), prop_oneof![Just("alpha"), Just("beta")])
+            .prop_map(|(t, c, r)| Constraint::foreign_key(t, c, r, "id")),
+    ]
+}
+
+fn set_strategy() -> impl Strategy<Value = ConstraintSet> {
+    proptest::collection::vec(constraint_strategy(), 0..12)
+        .prop_map(|v| v.into_iter().collect())
+}
+
+proptest! {
+    /// Difference and intersection partition a set relative to another.
+    #[test]
+    fn difference_intersection_partition(a in set_strategy(), b in set_strategy()) {
+        let diff = a.difference(&b);
+        let inter = a.intersection(&b);
+        prop_assert_eq!(diff.len() + inter.len(), a.len());
+        for c in diff.iter() {
+            prop_assert!(!b.contains(c));
+            prop_assert!(a.contains(c));
+        }
+        for c in inter.iter() {
+            prop_assert!(b.contains(c));
+            prop_assert!(a.contains(c));
+        }
+    }
+
+    /// Union is commutative and bounded by the sum of sizes.
+    #[test]
+    fn union_laws(a in set_strategy(), b in set_strategy()) {
+        let ab = a.union(&b);
+        let ba = b.union(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(ab.len() <= a.len() + b.len());
+        prop_assert!(ab.len() >= a.len().max(b.len()));
+        // Idempotent.
+        prop_assert_eq!(a.union(&a), a);
+    }
+
+    /// Unique-constraint normalization: any column order and duplication
+    /// yields the same constraint.
+    #[test]
+    fn unique_normalization(mut cols in proptest::collection::vec("[a-d]", 1..5)) {
+        let original = Constraint::unique("t", cols.clone());
+        cols.reverse();
+        cols.push(cols[0].clone()); // duplicate one
+        let shuffled = Constraint::unique("t", cols);
+        prop_assert_eq!(original, shuffled);
+    }
+
+    /// Replay-through is monotone: each prefix's constraint set is a
+    /// subset of any longer prefix's (when no constraints are dropped).
+    #[test]
+    fn replay_prefix_monotone(add_count in 1usize..10) {
+        let mut migrations = vec![Migration {
+            index: 0,
+            month: 0,
+            ops: (0..add_count)
+                .map(|i| {
+                    MigrationOp::CreateTable(
+                        Table::new(format!("t{i}"))
+                            .with_column(Column::new("x", ColumnType::Integer)),
+                    )
+                })
+                .collect(),
+        }];
+        for i in 0..add_count {
+            migrations.push(Migration {
+                index: (i + 1) as u32,
+                month: (i + 1) as u32,
+                ops: vec![MigrationOp::AddConstraint {
+                    constraint: Constraint::not_null(format!("t{i}"), "x"),
+                    meta: cfinder_schema::ConstraintMeta::with_creation(),
+                }],
+            });
+        }
+        let history = MigrationHistory::new("app", migrations);
+        let mut previous: Option<Schema> = None;
+        for k in 0..=add_count {
+            let schema = history.replay_through(k as u32).unwrap();
+            if let Some(prev) = &previous {
+                for c in prev.constraints().iter() {
+                    prop_assert!(schema.constraints().contains(c));
+                }
+                prop_assert!(schema.constraints().len() >= prev.constraints().len());
+            }
+            previous = Some(schema);
+        }
+    }
+
+    /// JSON round-trip for arbitrary constraint sets embedded in a schema.
+    #[test]
+    fn schema_json_round_trip(constraints in set_strategy()) {
+        let mut schema = Schema::new();
+        for t in ["alpha", "beta", "gamma"] {
+            schema.add_table(
+                Table::new(t)
+                    .with_column(Column::new("a", ColumnType::Integer))
+                    .with_column(Column::new("b", ColumnType::Integer))
+                    .with_column(Column::new("c", ColumnType::Integer))
+                    .with_column(Column::new("d", ColumnType::Integer)),
+            );
+        }
+        for c in constraints.iter() {
+            let _ = schema.add_constraint(c.clone());
+        }
+        let back = Schema::from_json(&schema.to_json()).unwrap();
+        prop_assert_eq!(back, schema);
+    }
+}

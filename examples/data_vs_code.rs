@@ -1,0 +1,78 @@
+//! Code-based vs. data-driven constraint inference (§3.1 / §5).
+//!
+//! The paper's key design decision is to infer constraints from *code*,
+//! not *data*. This example makes the trade-off concrete: it populates a
+//! live database for the Oscar-like corpus app, runs a classical
+//! data-profiling miner (unique column combinations + inclusion
+//! dependencies), and compares its output against CFinder's on the same
+//! application.
+//!
+//! Run with: `cargo run --release --example data_vs_code`
+
+use cfinder::corpus::{generate, profile, GenOptions, Verdict};
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::minidb::{discover_constraints, ProfileOptions};
+use cfinder::report::{evaluate_baseline, populate};
+
+fn main() {
+    let app = generate(&profile("oscar").expect("profile exists"), GenOptions::quick());
+    println!(
+        "corpus app '{}': {} tables, {} semantically-real constraints ({} declared, {} missing)\n",
+        app.name,
+        app.declared.table_count(),
+        app.declared.constraints().len() + app.truth.all_missing().len(),
+        app.declared.constraints().len(),
+        app.truth.all_missing().len(),
+    );
+
+    // --- the data-driven way -------------------------------------------------
+    println!("populating a live database (60 rows/table) and mining it…");
+    let db = populate(&app, 60);
+    let mined = discover_constraints(&db, ProfileOptions::default());
+    let outcome = evaluate_baseline(&app, &db);
+    println!(
+        "  miner proposals:      {:>6} statistically valid on the data",
+        mined.len()
+    );
+    println!(
+        "  semantically real:    {:>6}",
+        outcome.real
+    );
+    println!(
+        "  spurious:             {:>6}  → {:.0}% false-positive rate (paper: \">95%\")",
+        outcome.spurious,
+        outcome.false_positive_rate() * 100.0
+    );
+    println!(
+        "  true missing found:   {:>6} of {} (data can't tell you which ones matter)\n",
+        outcome.missing_recovered, outcome.missing_total
+    );
+
+    // --- the code-based way ---------------------------------------------------
+    println!("running CFinder over the application source…");
+    let source = AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    );
+    let report = CFinder::new().analyze(&source, &app.declared);
+    let tp = report
+        .missing
+        .iter()
+        .filter(|m| matches!(app.truth.classify(&m.constraint), Verdict::TruePositive))
+        .count();
+    println!(
+        "  CFinder proposals:    {:>6} missing constraints",
+        report.missing.len()
+    );
+    println!("  semantically real:    {:>6}", tp);
+    println!(
+        "  spurious:             {:>6}  → {:.0}% false-positive rate",
+        report.missing.len() - tp,
+        100.0 * (report.missing.len() - tp) as f64 / report.missing.len() as f64
+    );
+    println!(
+        "\na reviewer can inspect {} code-backed reports; nobody can inspect {} data artifacts.",
+        report.missing.len(),
+        outcome.real + outcome.spurious
+    );
+}

@@ -1,0 +1,74 @@
+//! Audit a full-scale e-commerce application: generate the Oscar-like
+//! corpus app (77 tables, 773 columns, 74K LoC), run the complete CFinder
+//! pipeline against its declared schema, and print a triage report — the
+//! workflow a team would run in CI.
+//!
+//! Run with: `cargo run --release --example ecommerce_audit`
+
+use cfinder::corpus::{generate, profile, GenOptions, Verdict};
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::schema::ConstraintType;
+
+fn main() {
+    let profile = profile("oscar").expect("oscar profile exists");
+    println!(
+        "generating '{}' ({} tables, {} columns, ~{}K LoC)…",
+        profile.name,
+        profile.tables,
+        profile.columns,
+        profile.loc / 1000
+    );
+    let app = generate(&profile, GenOptions::paper());
+
+    let source = AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    );
+    println!("running CFinder over {} files…", source.files.len());
+    let report = CFinder::new().analyze(&source, &app.declared);
+    println!(
+        "analyzed {} LoC in {:.2}s — {} detections, {} distinct missing constraints\n",
+        report.loc,
+        report.analysis_time.as_secs_f64(),
+        report.detections.len(),
+        report.missing.len()
+    );
+
+    for ty in ConstraintType::ALL {
+        let of_type: Vec<_> = report.missing_of(ty).collect();
+        println!("{} — {} missing:", ty, of_type.len());
+        for m in of_type.iter().take(4) {
+            // In the paper, two human inspectors labeled each detection;
+            // the corpus manifest plays that role here.
+            let verdict = match app.truth.classify(&m.constraint) {
+                Verdict::TruePositive => "confirmed by inspection",
+                Verdict::FalsePositive(_) => "rejected by inspection (false positive)",
+                Verdict::Unplanned => "needs triage",
+            };
+            let via: Vec<&str> = m.patterns().iter().map(|p| p.label()).collect();
+            println!("  {:<60} via {:<12} [{verdict}]", m.constraint.describe(), via.join("+"));
+        }
+        if of_type.len() > 4 {
+            println!("  … and {} more", of_type.len() - 4);
+        }
+        println!();
+    }
+
+    // Precision summary, like Table 7's Oscar row.
+    let mut tp = 0;
+    for m in &report.missing {
+        if matches!(app.truth.classify(&m.constraint), Verdict::TruePositive) {
+            tp += 1;
+        }
+    }
+    println!(
+        "precision after inspection: {}/{} ({:.0}%)",
+        tp,
+        report.missing.len(),
+        100.0 * tp as f64 / report.missing.len() as f64
+    );
+    println!(
+        "existing constraints whose code patterns CFinder re-derived: {}",
+        report.existing_covered.len()
+    );
+}

@@ -1,0 +1,109 @@
+//! Quickstart: point CFinder at a small application and print the missing
+//! constraints it infers, with the code evidence for each.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::schema::{Column, ColumnType, Constraint, Schema, Table};
+
+const MODELS: &str = r#"
+from django.db import models
+
+
+class Customer(models.Model):
+    email = models.EmailField(max_length=254)
+    name = models.CharField(max_length=100)
+
+
+class Voucher(models.Model):
+    code = models.CharField(max_length=32)
+    active = models.BooleanField(default=True, null=True)
+
+
+class Order(models.Model):
+    number = models.CharField(max_length=32)
+    total = models.DecimalField(max_digits=12, decimal_places=2)
+    customer = models.ForeignKey(Customer, related_name='orders', on_delete=models.CASCADE)
+    voucher_id = models.IntegerField(null=True)
+"#;
+
+const VIEWS: &str = r#"
+from .models import Customer, Voucher, Order
+
+
+def signup(email, name):
+    # PA_u1: check existence before error handling -> Customer.email unique.
+    if Customer.objects.filter(email=email).exists():
+        raise ValueError('a user with that email already exists')
+    Customer.objects.create(email=email, name=name)
+
+
+def order_detail(request):
+    # PA_u2: get() uses the column as a unique identifier.
+    return Order.objects.get(number=request.GET['order_number'])
+
+
+def format_total(pk):
+    # PA_n1: invoking a method on the column assumes it is never NULL.
+    order = Order.objects.get(pk=pk)
+    return order.total.quantize(2)
+
+
+def redeem(order_pk, voucher_pk):
+    # PA_f1: assigning a primary key into an integer column implies a FK.
+    order = Order.objects.get(pk=order_pk)
+    voucher = Voucher.objects.get(pk=voucher_pk)
+    order.voucher_id = voucher.id
+    order.save()
+"#;
+
+fn main() {
+    // The declared schema — what `information_schema` would report. The
+    // tables exist, but none of the constraints the code assumes do.
+    let mut declared = Schema::new();
+    declared.add_table(
+        Table::new("Customer")
+            .with_column(Column::new("email", ColumnType::VarChar(254)))
+            .with_column(Column::new("name", ColumnType::VarChar(100))),
+    );
+    declared.add_table(
+        Table::new("Voucher")
+            .with_column(Column::new("code", ColumnType::VarChar(32)))
+            .with_column(Column::new("active", ColumnType::Boolean)),
+    );
+    declared.add_table(
+        Table::new("Order")
+            .with_column(Column::new("number", ColumnType::VarChar(32)))
+            .with_column(Column::new("total", ColumnType::Decimal(12, 2)))
+            .with_column(Column::new("customer_id", ColumnType::BigInt))
+            .with_column(Column::new("voucher_id", ColumnType::Integer)),
+    );
+    // One constraint IS declared, so CFinder must not re-report it.
+    declared.add_constraint(Constraint::foreign_key("Order", "customer_id", "Customer", "id"))
+        .expect("valid constraint");
+
+    let app = AppSource::new(
+        "quickstart-shop",
+        vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", VIEWS)],
+    );
+
+    let report = CFinder::new().analyze(&app, &declared);
+    println!("analyzed {} lines in {:?}\n", report.loc, report.analysis_time);
+    println!("missing database constraints ({}):", report.missing.len());
+    for missing in &report.missing {
+        println!("\n  {}", missing.constraint);
+        for d in &missing.detections {
+            println!("    ↳ {} at {}:{}", d.pattern, d.file, d.span.start.line);
+            for line in d.snippet.lines().take(3) {
+                println!("        {line}");
+            }
+        }
+    }
+    println!(
+        "\ncovered existing constraints (already declared): {}",
+        report.existing_covered.len()
+    );
+    for c in report.existing_covered.iter() {
+        println!("  = {c}");
+    }
+}

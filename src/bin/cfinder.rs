@@ -1,0 +1,164 @@
+//! The `cfinder` command-line tool: analyze a directory of Python source
+//! files against a declared schema and report missing database constraints.
+//!
+//! ```console
+//! $ cfinder path/to/app [--schema schema.json] [--json] [--ablate FLAG…]
+//! ```
+//!
+//! * `--schema FILE` — declared schema as JSON (see
+//!   `cfinder::schema::Schema::to_json`); without it, every inferred
+//!   constraint is reported as missing.
+//! * `--json` — machine-readable output (one JSON document).
+//! * `--ablate null-guard|data-dep|composite|partial` — disable an
+//!   analysis feature (repeatable; for experimentation).
+//!
+//! Exit code: 0 when no missing constraints were found, 1 when some were,
+//! 2 on usage or I/O errors.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use cfinder::core::{AppSource, CFinder, CFinderOptions, SourceFile};
+use cfinder::schema::Schema;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(missing) => {
+            if missing == 0 {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+        Err(msg) => {
+            eprintln!("cfinder: {msg}");
+            eprintln!(
+                "usage: cfinder <dir> [--schema schema.json] [--json] [--ablate null-guard|data-dep|composite|partial]…"
+            );
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<usize, String> {
+    let mut dir: Option<PathBuf> = None;
+    let mut schema_path: Option<PathBuf> = None;
+    let mut json = false;
+    let mut options = CFinderOptions::default();
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => {
+                let v = it.next().ok_or("--schema requires a file argument")?;
+                schema_path = Some(PathBuf::from(v));
+            }
+            "--json" => json = true,
+            "--ablate" => {
+                let v = it.next().ok_or("--ablate requires a flag argument")?;
+                match v.as_str() {
+                    "null-guard" => options.null_guard_analysis = false,
+                    "data-dep" => options.data_dependency_checks = false,
+                    "composite" => options.composite_unique = false,
+                    "partial" => options.partial_unique = false,
+                    other => return Err(format!("unknown ablation flag `{other}`")),
+                }
+            }
+            "--help" | "-h" => return Err("help requested".to_string()),
+            other if dir.is_none() && !other.starts_with('-') => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let dir = dir.ok_or("missing source directory argument")?;
+
+    // Collect .py files recursively, deterministic order.
+    let mut files = Vec::new();
+    collect_py_files(&dir, &dir, &mut files)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .py files under {}", dir.display()));
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let declared = match schema_path {
+        Some(p) => {
+            let text =
+                fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            Schema::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))?
+        }
+        None => Schema::new(),
+    };
+
+    let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("app").to_string();
+    let app = AppSource::new(name, files);
+    let report = CFinder::with_options(options).analyze(&app, &declared);
+
+    if json {
+        // A stable machine-readable shape: missing constraints with their
+        // supporting detections, plus parse diagnostics.
+        #[derive(serde::Serialize)]
+        struct JsonOut<'a> {
+            app: &'a str,
+            loc: usize,
+            analysis_seconds: f64,
+            missing: &'a [cfinder::core::MissingConstraint],
+            existing_covered: Vec<String>,
+            parse_errors: &'a [(String, String)],
+        }
+        let out = JsonOut {
+            app: &report.app,
+            loc: report.loc,
+            analysis_seconds: report.analysis_time.as_secs_f64(),
+            missing: &report.missing,
+            existing_covered: report.existing_covered.iter().map(|c| c.describe()).collect(),
+            parse_errors: &report.parse_errors,
+        };
+        println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
+    } else {
+        println!(
+            "analyzed {} files, {} LoC in {:.2}s",
+            app.files.len(),
+            report.loc,
+            report.analysis_time.as_secs_f64()
+        );
+        for (file, err) in &report.parse_errors {
+            eprintln!("warning: {file}: {err}");
+        }
+        if report.missing.is_empty() {
+            println!("no missing database constraints found");
+        } else {
+            println!("missing database constraints ({}):", report.missing.len());
+            for m in &report.missing {
+                println!("\n  {}", m.constraint);
+                for d in &m.detections {
+                    println!("    {} at {}:{}", d.pattern, d.file, d.span.start.line);
+                }
+                println!("    fix: {}", m.constraint.ddl());
+            }
+        }
+    }
+    Ok(report.missing.len())
+}
+
+fn collect_py_files(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<SourceFile>,
+) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_py_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "py") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            out.push(SourceFile::new(rel, text));
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! # cfinder
+//!
+//! A Rust reproduction of **CFinder** — "Protecting Data Integrity of Web
+//! Applications with Database Constraints Inferred from Application Code"
+//! (Huang, Shen, Zhong, Zhou — ASPLOS 2023).
+//!
+//! CFinder statically analyzes web-application source code for code
+//! patterns that carry implicit database-constraint assumptions (unique,
+//! not-null, foreign key), infers the formal constraints, and diffs them
+//! against the declared database schema to report *missing* constraints —
+//! the ones that let application bugs and operator mistakes corrupt
+//! production data.
+//!
+//! This facade crate re-exports the whole workspace:
+//!
+//! * [`pyast`] — lexer/parser/AST for the analyzed Python subset.
+//! * [`flow`] — control-flow graphs, use-def chains, NULL-guard analysis.
+//! * [`schema`] — relational schemas, constraints, migrations, and the §2
+//!   study analytics.
+//! * [`core`] — the analyzer: pattern library, detectors, constraint
+//!   extraction, schema diff.
+//! * [`minidb`] — an in-memory RDBMS with constraint enforcement and the
+//!   check-then-act race experiments.
+//! * [`corpus`] — the deterministic synthetic application corpus standing
+//!   in for the paper's eight evaluated apps.
+//! * [`report`] — the evaluation harness regenerating every paper table.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use cfinder::core::{AppSource, CFinder, SourceFile};
+//! use cfinder::schema::Schema;
+//!
+//! let app = AppSource::new(
+//!     "shop",
+//!     vec![SourceFile::new(
+//!         "models.py",
+//!         "class Voucher(models.Model):\n    code = models.CharField(max_length=32)\n\n\ndef redeem(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise ValueError('duplicate voucher')\n    Voucher.objects.create(code=code)\n",
+//!     )],
+//! );
+//! let report = CFinder::new().analyze(&app, &Schema::new());
+//! assert_eq!(report.missing[0].constraint.to_string(), "Voucher Unique (code)");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use cfinder_core as core;
+pub use cfinder_corpus as corpus;
+pub use cfinder_flow as flow;
+pub use cfinder_minidb as minidb;
+pub use cfinder_pyast as pyast;
+pub use cfinder_report as report;
+pub use cfinder_schema as schema;

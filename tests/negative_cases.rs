@@ -1,0 +1,139 @@
+//! False-positive resistance: realistic code shapes that superficially
+//! resemble the seven patterns but must NOT produce detections under the
+//! full analysis.
+
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::schema::Schema;
+
+const MODELS: &str = r#"
+from django.db import models
+
+
+class Voucher(models.Model):
+    code = models.CharField(max_length=32)
+
+
+class Basket(models.Model):
+    status = models.CharField(max_length=16)
+    owner_name = models.CharField(max_length=64)
+"#;
+
+fn missing(code: &str) -> Vec<String> {
+    let app = AppSource::new(
+        "neg",
+        vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
+    );
+    let report = CFinder::new().analyze(&app, &Schema::new());
+    assert!(report.parse_errors.is_empty(), "{:?}", report.parse_errors);
+    report.missing.iter().map(|m| m.constraint.to_string()).collect()
+}
+
+fn assert_clean(code: &str) {
+    let found = missing(code);
+    assert!(found.is_empty(), "expected no detections, got {found:?}");
+}
+
+#[test]
+fn dict_get_is_not_a_model_lookup() {
+    assert_clean("def read(cfg):\n    return cfg.get('key')\n");
+    assert_clean("def read(cfg):\n    return cfg.settings.get('key', 'default')\n");
+}
+
+#[test]
+fn list_count_is_not_an_existence_check() {
+    // `count()` on an unresolvable receiver has no table to constrain.
+    assert_clean(
+        "def tally(items, x):\n    if items.count(x) > 0:\n        raise ValueError('x present')\n",
+    );
+}
+
+#[test]
+fn save_on_unrelated_object_is_not_a_pattern() {
+    assert_clean(
+        "def persist(form):\n    if form.is_valid():\n        form.save()\n",
+    );
+}
+
+#[test]
+fn existence_check_with_unrelated_side_effect() {
+    // Check on Voucher, but the branch only logs at info level — no save,
+    // no raise, no error log: no uniqueness assumption.
+    assert_clean(
+        "def peek(code):\n    if Voucher.objects.filter(code=code).exists():\n        logger.info('seen before')\n",
+    );
+}
+
+#[test]
+fn filter_without_branch_context_is_not_u1() {
+    assert_clean("def all_active(code):\n    return Voucher.objects.filter(code=code)\n");
+}
+
+#[test]
+fn pk_lookups_never_imply_constraints() {
+    assert_clean("def load(pk):\n    return Voucher.objects.get(pk=pk)\n");
+    assert_clean("def load2(vid):\n    return Voucher.objects.get(id=vid)\n");
+}
+
+#[test]
+fn guarded_invocations_are_clean() {
+    assert_clean(
+        "def fmt(pk):\n    b = Basket.objects.get(pk=pk)\n    if b.status:\n        return b.status.upper()\n    return ''\n",
+    );
+    assert_clean(
+        "def fmt2(pk):\n    b = Basket.objects.get(pk=pk)\n    return b.status.upper() if b.status else ''\n",
+    );
+    assert_clean(
+        "def fmt3(pk):\n    b = Basket.objects.get(pk=pk)\n    if b.status is None:\n        return ''\n    return b.status.upper()\n",
+    );
+}
+
+#[test]
+fn assigning_non_pk_values_is_not_f1() {
+    assert_clean(
+        "def rename(pk, name):\n    b = Basket.objects.get(pk=pk)\n    b.owner_name = name\n    b.save()\n",
+    );
+}
+
+#[test]
+fn null_check_on_local_is_not_n2() {
+    assert_clean("def f(x):\n    if x is None:\n        raise ValueError('need x')\n    return x\n");
+}
+
+#[test]
+fn parameters_never_resolve_to_tables() {
+    // The analysis is intra-procedural: callers' types are unknown, so no
+    // constraint may be invented for a parameter.
+    assert_clean(
+        "def helper(qs, v):\n    if qs.filter(code=v).exists():\n        raise ValueError('dup')\n",
+    );
+}
+
+#[test]
+fn ambiguous_variables_do_not_resolve() {
+    assert_clean(
+        "def pick(flag, code):\n    if flag:\n        target = Voucher.objects\n    else:\n        target = Basket.objects\n    if target.filter(code=code).exists():\n        raise ValueError('dup')\n",
+    );
+}
+
+#[test]
+fn str_method_chains_on_literals_are_clean() {
+    assert_clean("def slugify(s):\n    return s.strip().lower().replace(' ', '-')\n");
+}
+
+#[test]
+fn comprehension_uses_are_clean() {
+    assert_clean(
+        "def codes():\n    return [v.code for v in Voucher.objects.all() if v.code]\n",
+    );
+}
+
+#[test]
+fn reassigned_variable_uses_latest_definition() {
+    // `target` is redefined to Basket before the check: only Basket may be
+    // constrained, not Voucher.
+    let found = missing(
+        "def check(status):\n    target = Voucher.objects\n    target = Basket.objects\n    if target.filter(status=status).exists():\n        raise ValueError('dup')\n",
+    );
+    assert!(found.iter().any(|c| c == "Basket Unique (status)"), "{found:?}");
+    assert!(!found.iter().any(|c| c.contains("Voucher")), "{found:?}");
+}

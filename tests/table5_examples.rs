@@ -1,0 +1,109 @@
+//! The three confirmed missing constraints of Table 5, reproduced from the
+//! referenced upstream issues:
+//!
+//! * `ProductAttr Unique(code, product_class)` — django-oscar PR #3823,
+//! * `Attachment Not NULL (realm)` — zulip PR #21470,
+//! * `OrderDiscount (offer) Ref Offer (id)` — django-oscar issue #3821.
+
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::schema::Schema;
+
+fn missing(models: &str, code: &str) -> Vec<String> {
+    let app = AppSource::new(
+        "table5",
+        vec![SourceFile::new("models.py", models), SourceFile::new("views.py", code)],
+    );
+    let report = CFinder::new().analyze(&app, &Schema::new());
+    assert!(report.parse_errors.is_empty(), "{:?}", report.parse_errors);
+    report.missing.iter().map(|m| m.constraint.to_string()).collect()
+}
+
+/// Oscar: "Product attributes with same attribute code for a product class
+/// are invalid and invisible to customers" — the composite unique over
+/// (code, product_class) surfaces from the attribute-lookup code.
+#[test]
+fn product_attr_unique_code_per_product_class() {
+    let models = r#"
+class ProductClass(models.Model):
+    name = models.CharField(max_length=128)
+
+
+class ProductAttribute(models.Model):
+    product_class = models.ForeignKey(ProductClass, related_name='attributes', on_delete=models.CASCADE)
+    code = models.SlugField(max_length=128)
+"#;
+    let code = r#"
+def add_attribute(product_class_pk, code):
+    product_class = ProductClass.objects.get(pk=product_class_pk)
+    if product_class.attributes.filter(code=code).exists():
+        raise ValueError('attribute code already defined for this product class')
+    product_class.attributes.create(code=code)
+"#;
+    let found = missing(models, code);
+    assert!(
+        found.iter().any(|c| c == "ProductAttribute Unique (code, product_class_id)"),
+        "{found:?}"
+    );
+}
+
+/// Zulip: "The attachment is not valid when uploaded without a realm
+/// (organization). Similar as a data loss to users."
+#[test]
+fn attachment_not_null_realm() {
+    let models = r#"
+class Realm(models.Model):
+    string_id = models.CharField(max_length=40)
+
+
+class Attachment(models.Model):
+    file_name = models.CharField(max_length=255)
+    realm = models.ForeignKey(Realm, null=True, on_delete=models.CASCADE)
+"#;
+    // The upload path always walks attachment.realm — "Being after that
+    // migration has run, there's no reason to keep it nullable".
+    let code = r#"
+def notify_attachment(pk):
+    attachment = Attachment.objects.get(pk=pk)
+    return attachment.realm.string_id.lower()
+"#;
+    let found = missing(models, code);
+    assert!(found.iter().any(|c| c == "Attachment Not NULL (realm_id)"), "{found:?}");
+}
+
+/// Oscar: "The discount on an order is not valid without linking to an
+/// existing offer" — OrderDiscount.offer_id is a plain integer that should
+/// reference Offer.
+#[test]
+fn order_discount_offer_foreign_key() {
+    let models = r#"
+class ConditionalOffer(models.Model):
+    name = models.CharField(max_length=128)
+
+
+class OrderDiscount(models.Model):
+    amount = models.DecimalField(max_digits=12, decimal_places=2)
+    offer_id = models.IntegerField(null=True)
+"#;
+    let code = r#"
+def record_discount(discount_pk, offer_pk):
+    discount = OrderDiscount.objects.get(pk=discount_pk)
+    offer = ConditionalOffer.objects.get(pk=offer_pk)
+    discount.offer_id = offer.id
+    discount.save()
+
+
+def offer_of(discount_pk):
+    discount = OrderDiscount.objects.get(pk=discount_pk)
+    return ConditionalOffer.objects.get(id=discount.offer_id)
+"#;
+    let found = missing(models, code);
+    assert!(
+        found.iter().any(|c| c == "OrderDiscount FK (offer_id) ref ConditionalOffer(id)"),
+        "{found:?}"
+    );
+    // Both PA_f1 (assignment) and PA_f2 (lookup) support the same
+    // constraint; it is reported once.
+    let fk_count =
+        found.iter().filter(|c| c.contains("FK (offer_id)")).count();
+    assert_eq!(fk_count, 1);
+}
