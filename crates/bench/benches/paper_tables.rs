@@ -68,6 +68,27 @@ fn bench_table10_scaling(c: &mut Criterion) {
     group.finish();
 }
 
+/// The parallel analysis engine: `analyze` at 1 / 2 / 4 worker threads
+/// over the same app. On a multi-core host the multi-thread rows should
+/// show near-linear speedup on the parse and detection stages; on a
+/// single core all rows converge (the engine adds no meaningful overhead).
+fn bench_parallel_engine(c: &mut Criterion) {
+    let p = profile("oscar").expect("profile exists");
+    let app = generate(&p, bench_options());
+    let src = to_source(&app);
+    let loc = src.loc();
+    let mut group = c.benchmark_group("table10_parallel_engine");
+    group.sample_size(10);
+    group.throughput(Throughput::Elements(loc as u64));
+    for threads in [1_usize, 2, 4] {
+        let finder = CFinder::new().with_threads(threads);
+        group.bench_with_input(BenchmarkId::new("threads", threads), &src, |b, src| {
+            b.iter(|| finder.analyze(src, &app.declared).detections.len())
+        });
+    }
+    group.finish();
+}
+
 /// Tables 1–3: migration-history replay and study aggregation.
 fn bench_study_tables(c: &mut Criterion) {
     let apps = study_corpus();
@@ -117,12 +138,8 @@ fn bench_figure2_races(c: &mut Criterion) {
     ] {
         group.bench_function(label, |b| {
             b.iter(|| {
-                simulate_interleavings(RaceConfig {
-                    requests: 3,
-                    app_validation,
-                    db_constraint,
-                })
-                .corrupted_schedules
+                simulate_interleavings(RaceConfig { requests: 3, app_validation, db_constraint })
+                    .corrupted_schedules
             })
         });
     }
@@ -161,11 +178,8 @@ fn bench_baseline_miner(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("ucc_ind_miner", |b| {
         b.iter(|| {
-            cfinder_minidb::discover_constraints(
-                &db,
-                cfinder_minidb::ProfileOptions::default(),
-            )
-            .len()
+            cfinder_minidb::discover_constraints(&db, cfinder_minidb::ProfileOptions::default())
+                .len()
         })
     });
     group.finish();
@@ -175,6 +189,7 @@ criterion_group!(
     benches,
     bench_table4_detect_all,
     bench_table10_scaling,
+    bench_parallel_engine,
     bench_study_tables,
     bench_table9_history_recall,
     bench_figure1_scenarios,

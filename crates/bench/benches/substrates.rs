@@ -79,10 +79,7 @@ fn bench_minidb_guard_overhead(c: &mut Criterion) {
                 |mut db| {
                     db.insert(
                         "users",
-                        [
-                            ("email", Value::from("fresh@example.com")),
-                            ("name", Value::from("x")),
-                        ],
+                        [("email", Value::from("fresh@example.com")), ("name", Value::from("x"))],
                     )
                     .expect("unique email")
                 },

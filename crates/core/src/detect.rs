@@ -9,9 +9,10 @@ use cfinder_pyast::ast::{ClassDef, Stmt, StmtKind};
 use cfinder_pyast::parse_module;
 use cfinder_schema::{ConstraintSet, Schema};
 
+use crate::engine;
 use crate::models::ModelRegistry;
 use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx};
-use crate::report::{AnalysisReport, Detection, MissingConstraint};
+use crate::report::{AnalysisReport, Detection, MissingConstraint, StageTimings};
 use crate::resolve::Resolver;
 
 /// One source file of an application.
@@ -113,22 +114,38 @@ impl Default for CFinderOptions {
 #[derive(Debug, Clone, Default)]
 pub struct CFinder {
     options: CFinderOptions,
+    threads: Option<usize>,
 }
 
 impl CFinder {
-    /// Creates an analyzer with the paper's configuration.
+    /// Creates an analyzer with the paper's configuration. The worker-thread
+    /// count defaults to the `CFINDER_THREADS` environment variable, else
+    /// the machine's available parallelism; results are identical for any
+    /// thread count.
     pub fn new() -> Self {
         CFinder::default()
     }
 
     /// Creates an analyzer with explicit feature toggles (ablations).
     pub fn with_options(options: CFinderOptions) -> Self {
-        CFinder { options }
+        CFinder { options, threads: None }
+    }
+
+    /// Pins the analyzer to an explicit worker-thread count, bypassing the
+    /// `CFINDER_THREADS` environment variable (`0` is treated as `1`).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = Some(threads.max(1));
+        self
     }
 
     /// The active options.
     pub fn options(&self) -> &CFinderOptions {
         &self.options
+    }
+
+    /// The worker-thread count `analyze` will run with.
+    pub fn threads(&self) -> usize {
+        engine::resolve_threads(self.threads)
     }
 
     /// Extracts the model registry from an app (useful on its own for
@@ -147,25 +164,39 @@ impl CFinder {
     /// view of the database).
     pub fn analyze(&self, app: &AppSource, declared: &Schema) -> AnalysisReport {
         let start = Instant::now();
+        let threads = self.threads();
+
+        // Pass 0: per-file parsing, fanned out across workers. Results come
+        // back in file order, so the module list matches a serial run.
+        let stage = Instant::now();
+        let parsed = engine::map_ordered(&app.files, threads, |file| parse_module(&file.text));
         let mut parse_errors = Vec::new();
         let mut modules = Vec::new();
-        for file in &app.files {
-            match parse_module(&file.text) {
+        for (file, result) in app.files.iter().zip(parsed) {
+            match result {
                 Ok(m) => modules.push((file, m)),
                 Err(e) => parse_errors.push((file.path.clone(), e.to_string())),
             }
         }
+        let parse = stage.elapsed();
 
-        // Pass 1: model metadata from every module.
+        // Pass 1: model metadata from every module. Registry construction
+        // is order-dependent and cheap, so it stays serial.
+        let stage = Instant::now();
         let mut registry = ModelRegistry::new();
         for (file, module) in &modules {
             registry.add_module(module, &file.path);
         }
+        let model_extraction = stage.elapsed();
 
-        // Pass 2: per-function detection.
-        let mut detections: Vec<Detection> = Vec::new();
-        let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
-        for (file, module) in &modules {
+        // Pass 2: per-module detection, fanned out. Each worker fills
+        // private buffers; merging them in module (= file) order makes the
+        // combined detection list byte-identical to a serial run, and the
+        // none-assigned set is an order-independent union.
+        let stage = Instant::now();
+        let per_module = engine::map_ordered(&modules, threads, |(file, module)| {
+            let mut detections: Vec<Detection> = Vec::new();
+            let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
             analyze_scopes(
                 &registry,
                 &self.options,
@@ -176,6 +207,13 @@ impl CFinder {
                 &mut detections,
                 &mut none_assigned,
             );
+            (detections, none_assigned)
+        });
+        let mut detections: Vec<Detection> = Vec::new();
+        let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
+        for (module_detections, module_none) in per_module {
+            detections.extend(module_detections);
+            none_assigned.extend(module_none);
         }
 
         // Pass 3: PA_n3 from the registry.
@@ -183,8 +221,10 @@ impl CFinder {
         if self.options.ext_one_to_one_unique {
             crate::patterns::detect_x1(&registry, &mut detections);
         }
+        let detection = stage.elapsed();
 
         // Pass 4: constraint sets and the §3.5.3 diff.
+        let stage = Instant::now();
         let inferred: ConstraintSet = detections.iter().map(|d| d.constraint.clone()).collect();
         let existing_covered = inferred.intersection(declared.constraints());
         let missing_set = inferred.difference(declared.constraints());
@@ -195,6 +235,7 @@ impl CFinder {
                 detections: detections.iter().filter(|d| &d.constraint == c).cloned().collect(),
             })
             .collect();
+        let diff = stage.elapsed();
 
         AnalysisReport {
             app: app.name.clone(),
@@ -205,6 +246,7 @@ impl CFinder {
             analysis_time: start.elapsed(),
             loc: app.loc(),
             parse_errors,
+            timings: StageTimings { parse, model_extraction, detection, diff, threads },
         }
     }
 }
@@ -228,9 +270,8 @@ fn analyze_scopes(
     for stmt in body {
         match &stmt.kind {
             StmtKind::FunctionDef(f) => {
-                let self_model = class_ctx.and_then(|c| {
-                    registry.is_model(&c.name).then(|| c.name.clone())
-                });
+                let self_model =
+                    class_ctx.and_then(|c| registry.is_model(&c.name).then(|| c.name.clone()));
                 analyze_function(
                     registry,
                     options,

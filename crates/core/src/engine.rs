@@ -1,0 +1,87 @@
+//! Parallel execution engine for the analysis pipeline.
+//!
+//! The engine is deliberately tiny: an ordered fan-out primitive
+//! ([`map_ordered`]) plus worker-count resolution ([`resolve_threads`]).
+//! Determinism is by construction — every fan-out returns outputs in input
+//! order, so a run with N threads produces byte-identical results to a
+//! serial run; the thread count only changes wall-clock time.
+
+use std::num::NonZeroUsize;
+
+/// Environment variable overriding the worker-thread count. Values that
+/// are zero or unparsable are ignored.
+pub const THREADS_ENV: &str = "CFINDER_THREADS";
+
+/// Resolves the worker-thread count: an explicit request wins, else the
+/// `CFINDER_THREADS` environment variable, else the machine's available
+/// parallelism.
+pub fn resolve_threads(explicit: Option<usize>) -> usize {
+    if let Some(n) = explicit {
+        return n.max(1);
+    }
+    if let Ok(value) = std::env::var(THREADS_ENV) {
+        if let Ok(n) = value.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+}
+
+/// Applies `f` to every item, fanning work out across up to `threads`
+/// scoped worker threads, and returns the outputs **in input order**.
+///
+/// Equivalent to `items.iter().map(f).collect()` for any thread count:
+/// items are split into contiguous chunks (one per worker) and the chunk
+/// results are concatenated in chunk order. With one thread (or one item)
+/// no threads are spawned at all.
+pub fn map_ordered<T, O, F>(items: &[T], threads: usize, f: F) -> Vec<O>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let f = &f;
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .map(|chunk| scope.spawn(move |_| chunk.iter().map(f).collect::<Vec<O>>()))
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("analysis worker panicked")).collect()
+    })
+    .expect("analysis scope panicked")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_for_any_thread_count() {
+        let items: Vec<u32> = (0..97).collect();
+        let expected: Vec<u64> = items.iter().map(|&n| u64::from(n) * 3).collect();
+        for threads in [1, 2, 3, 8, 97, 200] {
+            let got = map_ordered(&items, threads, |&n| u64::from(n) * 3);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let empty: Vec<u8> = Vec::new();
+        assert!(map_ordered(&empty, 4, |&b| b).is_empty());
+        assert_eq!(map_ordered(&[9u8], 4, |&b| b + 1), vec![10]);
+    }
+
+    #[test]
+    fn explicit_thread_request_wins() {
+        assert_eq!(resolve_threads(Some(3)), 3);
+        assert_eq!(resolve_threads(Some(0)), 1, "zero is clamped to one");
+    }
+}

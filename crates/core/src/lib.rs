@@ -35,6 +35,7 @@
 #![forbid(unsafe_code)]
 
 pub mod detect;
+pub mod engine;
 pub mod models;
 pub mod patterns;
 pub mod report;
@@ -43,5 +44,5 @@ pub mod syntax;
 
 pub use detect::{AppSource, CFinder, CFinderOptions, SourceFile};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
-pub use report::{AnalysisReport, Detection, MissingConstraint, PatternId};
+pub use report::{AnalysisReport, Detection, MissingConstraint, PatternId, StageTimings};
 pub use resolve::{ColBinding, Resolution, Resolver};

@@ -128,8 +128,7 @@ impl ModelRegistry {
     fn insert(&mut self, info: ModelInfo) {
         for f in &info.fields {
             if let FieldKind::ForeignKey { to, related_name: Some(rn), .. } = &f.kind {
-                self.reverse
-                    .insert((to.clone(), rn.clone()), (info.name.clone(), f.name.clone()));
+                self.reverse.insert((to.clone(), rn.clone()), (info.name.clone(), f.name.clone()));
             }
         }
         self.models.insert(info.name.clone(), info);
@@ -191,9 +190,8 @@ fn extract_model(class: &ClassDef, file: &str, registry: &ModelRegistry) -> Opti
     let bases: Vec<String> = class
         .bases
         .iter()
-        .filter_map(|b| match b.dotted_chain() {
-            Some((root, chain)) => Some(chain.last().copied().unwrap_or(root).to_string()),
-            None => None,
+        .filter_map(|b| {
+            b.dotted_chain().map(|(root, chain)| chain.last().copied().unwrap_or(root).to_string())
         })
         .collect();
     let is_model = bases.iter().any(|b| {
@@ -226,10 +224,8 @@ fn extract_model(class: &ClassDef, file: &str, registry: &ModelRegistry) -> Opti
                                 unique_together.extend(extract_unique_together(value));
                             }
                             Some("abstract") => {
-                                abstract_model = matches!(
-                                    value.kind,
-                                    ExprKind::Constant(Constant::Bool(true))
-                                );
+                                abstract_model =
+                                    matches!(value.kind, ExprKind::Constant(Constant::Bool(true)));
                             }
                             Some("constraints") => {
                                 unique_together.extend(extract_constraints_list(value));
@@ -309,9 +305,7 @@ fn extract_field(name: &str, value: &Expr) -> Option<FieldInfo> {
 fn target_model_name(expr: &Expr) -> Option<String> {
     match &expr.kind {
         ExprKind::Name(n) => Some(n.clone()),
-        ExprKind::Constant(Constant::Str(s)) => {
-            Some(s.rsplit('.').next().unwrap_or(s).to_string())
-        }
+        ExprKind::Constant(Constant::Str(s)) => Some(s.rsplit('.').next().unwrap_or(s).to_string()),
         ExprKind::Attribute { .. } => {
             expr.dotted_chain().map(|(_, chain)| chain.last().unwrap().to_string())
         }
@@ -334,11 +328,9 @@ fn kw_int(keywords: &[Keyword], name: &str) -> Option<i64> {
 }
 
 fn kw_str(keywords: &[Keyword], name: &str) -> Option<String> {
-    keywords.iter().find(|k| k.name.as_deref() == Some(name)).and_then(|k| {
-        match &k.value.kind {
-            ExprKind::Constant(Constant::Str(s)) => Some(s.clone()),
-            _ => None,
-        }
+    keywords.iter().find(|k| k.name.as_deref() == Some(name)).and_then(|k| match &k.value.kind {
+        ExprKind::Constant(Constant::Str(s)) => Some(s.clone()),
+        _ => None,
     })
 }
 
@@ -364,7 +356,8 @@ fn extract_unique_together(value: &Expr) -> Vec<Vec<String>> {
     };
     // Single flat group of strings?
     if elems.iter().all(|e| e.as_str().is_some()) {
-        let group: Vec<String> = elems.iter().filter_map(|e| e.as_str()).map(String::from).collect();
+        let group: Vec<String> =
+            elems.iter().filter_map(|e| e.as_str()).map(String::from).collect();
         return if group.is_empty() { Vec::new() } else { vec![group] };
     }
     // Nested groups.
@@ -515,7 +508,10 @@ class OrderLine(models.Model):
         let r = registry_of(
             "class A(models.Model):\n    code = models.CharField(max_length=8)\n    cls = models.CharField(max_length=8)\n    class Meta:\n        constraints = [models.UniqueConstraint(fields=['code', 'cls'], name='uniq_code')]\n",
         );
-        assert_eq!(r.model("A").unwrap().unique_together, vec![vec!["code".to_string(), "cls".to_string()]]);
+        assert_eq!(
+            r.model("A").unwrap().unique_together,
+            vec![vec!["code".to_string(), "cls".to_string()]]
+        );
     }
 
     #[test]
@@ -567,9 +563,8 @@ class OrderLine(models.Model):
 
     #[test]
     fn email_field_is_varchar() {
-        let r = registry_of(
-            "class U(models.Model):\n    email = models.EmailField(max_length=254)\n",
-        );
+        let r =
+            registry_of("class U(models.Model):\n    email = models.EmailField(max_length=254)\n");
         assert_eq!(
             r.model("U").unwrap().field("email").unwrap().kind,
             FieldKind::Scalar(ColumnType::VarChar(254))

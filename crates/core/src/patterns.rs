@@ -21,11 +21,11 @@ use cfinder_schema::{Condition, Constraint};
 
 use crate::detect::CFinderOptions;
 use crate::models::{FieldKind, ModelRegistry};
+use crate::report::{Detection, PatternId};
 use crate::resolve::{kwarg_bindings, ColBinding, Resolution, Resolver};
 use crate::syntax::{
     match_bfs, match_bfs_all, p_error_call, p_exist_negative, p_exist_positive, p_get, p_save,
 };
-use crate::report::{Detection, PatternId};
 
 /// Shared per-function detection context.
 pub struct DetectCtx<'a> {
@@ -42,7 +42,13 @@ pub struct DetectCtx<'a> {
 }
 
 impl<'a> DetectCtx<'a> {
-    fn emit(&self, out: &mut Vec<Detection>, pattern: PatternId, constraint: Constraint, at: &Stmt) {
+    fn emit(
+        &self,
+        out: &mut Vec<Detection>,
+        pattern: PatternId,
+        constraint: Constraint,
+        at: &Stmt,
+    ) {
         let snippet = snippet_of(self.source, at);
         out.push(Detection {
             pattern,
@@ -152,8 +158,10 @@ fn detect_u1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
         (m.subject, Polarity::Exists)
     } else if let Some(m) = match_bfs(cond, &p_exist_negative()) {
         (m.subject, Polarity::NotExists)
-    } else if matches!(cond.kind, ExprKind::Name(_) | ExprKind::Attribute { .. } | ExprKind::Call { .. })
-    {
+    } else if matches!(
+        cond.kind,
+        ExprKind::Name(_) | ExprKind::Attribute { .. } | ExprKind::Call { .. }
+    ) {
         // Bare queryset truthiness: `if qs:` / `if wl.lines.filter(…):`.
         (Some(cond), Polarity::Exists)
     } else {
@@ -277,11 +285,8 @@ fn detect_u2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
             };
             let Some(Resolution::Query { model, cols }) = base else { continue };
             let mut all_cols = cols;
-            all_cols.extend(
-                kwarg_bindings(keywords)
-                    .into_iter()
-                    .filter(|b| b.column != "defaults"),
-            );
+            all_cols
+                .extend(kwarg_bindings(keywords).into_iter().filter(|b| b.column != "defaults"));
             if all_cols.is_empty() {
                 continue;
             }
@@ -446,8 +451,7 @@ fn detect_f1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
                     continue; // that's PA_f2's shape
                 }
                 let Some((ref_model, _)) = pk_field_of(ctx, &kw.value, stmt) else { continue };
-                let Some((owner, field)) = ctx.resolver.registry().field_of(&dep_model, col)
-                else {
+                let Some((owner, field)) = ctx.resolver.registry().field_of(&dep_model, col) else {
                     continue;
                 };
                 if matches!(field.kind, FieldKind::ForeignKey { .. }) {
@@ -669,18 +673,11 @@ class WishListLine(models.Model):
     fn missing_with_pattern(code: &str) -> Vec<(String, Vec<PatternId>)> {
         let app = AppSource::new(
             "t",
-            vec![
-                SourceFile::new("models.py", MODELS),
-                SourceFile::new("views.py", code),
-            ],
+            vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
         );
         let report = CFinder::new().analyze(&app, &Schema::new());
         assert!(report.parse_errors.is_empty(), "parse errors: {:?}", report.parse_errors);
-        report
-            .missing
-            .iter()
-            .map(|m| (m.constraint.to_string(), m.patterns()))
-            .collect()
+        report.missing.iter().map(|m| (m.constraint.to_string(), m.patterns())).collect()
     }
 
     fn assert_detected(code: &str, expected: &str, pattern: PatternId) {
@@ -931,10 +928,7 @@ class WishListLine(models.Model):
     fn n3_default_implies_not_null() {
         // quantity has default=1 in the shared models.
         let found = missing("x = 1\n");
-        assert!(
-            found.iter().any(|c| c == "WishListLine Not NULL (quantity)"),
-            "{found:?}"
-        );
+        assert!(found.iter().any(|c| c == "WishListLine Not NULL (quantity)"), "{found:?}");
     }
 
     #[test]
@@ -1035,9 +1029,7 @@ class WishListLine(models.Model):
             ],
         );
         let report = CFinder::new().analyze(&app, &declared);
-        assert!(report
-            .existing_covered
-            .contains(&Constraint::unique("Voucher", ["code"])));
+        assert!(report.existing_covered.contains(&Constraint::unique("Voucher", ["code"])));
         assert!(!report
             .missing
             .iter()
@@ -1057,11 +1049,8 @@ class WishListLine(models.Model):
             ],
         );
         let report = CFinder::new().analyze(&app, &Schema::new());
-        let det = report
-            .detections
-            .iter()
-            .find(|d| d.pattern == PatternId::U1)
-            .expect("U1 detection");
+        let det =
+            report.detections.iter().find(|d| d.pattern == PatternId::U1).expect("U1 detection");
         assert_eq!(det.file, "views.py");
         assert!(det.snippet.contains("Voucher.objects.filter"), "{}", det.snippet);
         assert_eq!(det.span.start.line, 2);
@@ -1104,8 +1093,7 @@ pub fn detect_x2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
                 continue;
             }
             for part in parts {
-                let Some(Resolution::Field { model, field }) =
-                    ctx.resolver.resolve(part, stmt.id)
+                let Some(Resolution::Field { model, field }) = ctx.resolver.resolve(part, stmt.id)
                 else {
                     continue;
                 };
@@ -1152,7 +1140,8 @@ mod extension_tests {
         assert!(found.iter().any(|c| c == "Wallet Unique (owner_id)"), "{found:?}");
     }
 
-    const URL_MODELS: &str = "class Order(models.Model):\n    number = models.CharField(max_length=32)\n";
+    const URL_MODELS: &str =
+        "class Order(models.Model):\n    number = models.CharField(max_length=32)\n";
     const URL_CODE: &str = "def order_url(pk):\n    order = Order.objects.get(pk=pk)\n    return f'/orders/{order.number}/'\n";
 
     #[test]

@@ -47,9 +47,7 @@ impl PatternId {
     /// The constraint type this pattern infers.
     pub fn constraint_type(&self) -> ConstraintType {
         match self {
-            PatternId::U1 | PatternId::U2 | PatternId::X1 | PatternId::X2 => {
-                ConstraintType::Unique
-            }
+            PatternId::U1 | PatternId::U2 | PatternId::X1 | PatternId::X2 => ConstraintType::Unique,
             PatternId::N1 | PatternId::N2 | PatternId::N3 => ConstraintType::NotNull,
             PatternId::F1 | PatternId::F2 => ConstraintType::ForeignKey,
         }
@@ -113,6 +111,34 @@ impl MissingConstraint {
     }
 }
 
+/// Per-stage wall-clock timings for one `CFinder::analyze` run, plus the
+/// worker-thread count the engine used. Carried on [`AnalysisReport`] and
+/// surfaced through Table 10's extended renderer and the CLI `--timings`
+/// flag. Timings are observability data only: they are excluded from any
+/// report-equality comparison (see the parallel-determinism test).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTimings {
+    /// Pass 0: per-file parsing.
+    pub parse: Duration,
+    /// Pass 1: model-registry extraction.
+    pub model_extraction: Duration,
+    /// Passes 2–3: per-module pattern detection plus registry-level
+    /// patterns (PA_n3, PA_x1).
+    pub detection: Duration,
+    /// Pass 4: constraint-set construction and the §3.5.3 schema diff.
+    pub diff: Duration,
+    /// Worker threads the engine ran with (1 = serial).
+    pub threads: usize,
+}
+
+impl StageTimings {
+    /// Sum of the four stage durations (excludes orchestration overhead,
+    /// so it is ≤ `AnalysisReport::analysis_time`).
+    pub fn total(&self) -> Duration {
+        self.parse + self.model_extraction + self.detection + self.diff
+    }
+}
+
 /// Result of analyzing one application.
 #[derive(Debug, Clone)]
 pub struct AnalysisReport {
@@ -133,6 +159,8 @@ pub struct AnalysisReport {
     pub loc: usize,
     /// Files that failed to parse, with the error text.
     pub parse_errors: Vec<(String, String)>,
+    /// Per-stage timing breakdown of `analysis_time`.
+    pub timings: StageTimings,
 }
 
 impl AnalysisReport {
@@ -151,10 +179,7 @@ impl AnalysisReport {
     /// patterns, but only once in the type total — exactly the paper's
     /// counting rule).
     pub fn missing_count_by_pattern(&self, pattern: PatternId) -> usize {
-        self.missing
-            .iter()
-            .filter(|m| m.patterns().contains(&pattern))
-            .count()
+        self.missing.iter().filter(|m| m.patterns().contains(&pattern)).count()
     }
 
     /// Count of missing *partial* unique constraints (§4.1.2 reports 13).
@@ -191,7 +216,11 @@ mod tests {
         let c = Constraint::unique("t", ["a"]);
         let m = MissingConstraint {
             constraint: c.clone(),
-            detections: vec![det(PatternId::U2, c.clone()), det(PatternId::U1, c.clone()), det(PatternId::U2, c)],
+            detections: vec![
+                det(PatternId::U2, c.clone()),
+                det(PatternId::U1, c.clone()),
+                det(PatternId::U2, c),
+            ],
         };
         assert_eq!(m.patterns(), vec![PatternId::U1, PatternId::U2]);
     }
@@ -218,6 +247,7 @@ mod tests {
             analysis_time: Duration::from_millis(5),
             loc: 100,
             parse_errors: vec![],
+            timings: StageTimings::default(),
         };
         assert_eq!(report.missing_count(ConstraintType::Unique), 1);
         assert_eq!(report.missing_count(ConstraintType::NotNull), 1);

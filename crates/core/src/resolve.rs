@@ -17,8 +17,8 @@
 //!
 //! The resolver is intra-procedural and alias-unaware, like the paper's.
 
-use cfinder_pyast::ast::{Constant, Expr, ExprKind, Keyword, NodeId};
 use cfinder_flow::{DefKind, UseDefChains};
+use cfinder_pyast::ast::{Constant, Expr, ExprKind, Keyword, NodeId};
 use cfinder_schema::Literal;
 
 use crate::models::{FieldKind, ModelRegistry};
@@ -196,7 +196,10 @@ impl<'a> Resolver<'a> {
                             // Raw-id access (`x.voucher_id`) is the scalar
                             // column instead.
                             if attr.ends_with("_id") && field.name != attr {
-                                Some(Resolution::Field { model: owner_name, field: attr.to_string() })
+                                Some(Resolution::Field {
+                                    model: owner_name,
+                                    field: attr.to_string(),
+                                })
                             } else {
                                 Some(Resolution::Instance(to.clone()))
                             }
@@ -255,8 +258,11 @@ impl<'a> Resolver<'a> {
                 if api::FILTER.contains(&method) {
                     cols.extend(kwarg_bindings(keywords));
                     Some(Resolution::Query { model, cols })
-                } else if method == "all" || method == "order_by" || method == "distinct"
-                    || method == "select_related" || method == "prefetch_related"
+                } else if method == "all"
+                    || method == "order_by"
+                    || method == "distinct"
+                    || method == "select_related"
+                    || method == "prefetch_related"
                 {
                     Some(Resolution::Query { model, cols })
                 } else if api::UNIQUE_GET.contains(&method) || api::FIRST.contains(&method) {
@@ -379,12 +385,8 @@ class WishListLine(models.Model):
     #[test]
     fn related_manager_carries_implicit_join() {
         let r = registry();
-        let res = resolve_last(
-            &r,
-            "wl = WishList.objects.get(key=key)\nx = wl.lines\n",
-            None,
-        )
-        .unwrap();
+        let res =
+            resolve_last(&r, "wl = WishList.objects.get(key=key)\nx = wl.lines\n", None).unwrap();
         let Resolution::Query { model, cols } = res else { panic!() };
         assert_eq!(model, "WishListLine");
         assert_eq!(cols.len(), 1);
@@ -412,12 +414,9 @@ class WishListLine(models.Model):
     #[test]
     fn fixed_value_filter_binding() {
         let r = registry();
-        let res = resolve_last(
-            &r,
-            "x = WishListLine.objects.filter(quantity=1, product=p)\n",
-            None,
-        )
-        .unwrap();
+        let res =
+            resolve_last(&r, "x = WishListLine.objects.filter(quantity=1, product=p)\n", None)
+                .unwrap();
         let Resolution::Query { cols, .. } = res else { panic!() };
         assert_eq!(cols[0].fixed, Some(Literal::Int(1)));
         assert_eq!(cols[1].fixed, None);
@@ -426,12 +425,7 @@ class WishListLine(models.Model):
     #[test]
     fn lookup_suffix_stripped() {
         let r = registry();
-        let res = resolve_last(
-            &r,
-            "x = WishList.objects.filter(key__iexact=k)\n",
-            None,
-        )
-        .unwrap();
+        let res = resolve_last(&r, "x = WishList.objects.filter(key__iexact=k)\n", None).unwrap();
         let Resolution::Query { cols, .. } = res else { panic!() };
         assert_eq!(cols[0].column, "key");
     }
@@ -440,18 +434,18 @@ class WishListLine(models.Model):
     fn self_resolves_in_model_method() {
         let r = registry();
         let res = resolve_last(&r, "x = self.quantity\n", Some("WishListLine")).unwrap();
-        assert_eq!(res, Resolution::Field { model: "WishListLine".into(), field: "quantity".into() });
+        assert_eq!(
+            res,
+            Resolution::Field { model: "WishListLine".into(), field: "quantity".into() }
+        );
     }
 
     #[test]
     fn fk_instance_access_crosses_tables() {
         let r = registry();
-        let res = resolve_last(
-            &r,
-            "line = WishListLine.objects.get(pk=pk)\nx = line.product\n",
-            None,
-        )
-        .unwrap();
+        let res =
+            resolve_last(&r, "line = WishListLine.objects.get(pk=pk)\nx = line.product\n", None)
+                .unwrap();
         assert_eq!(res, Resolution::Instance("Product".into()));
         // …and further field access lands on the other table.
         let res = resolve_last(
@@ -466,12 +460,9 @@ class WishListLine(models.Model):
     #[test]
     fn fk_raw_id_is_field() {
         let r = registry();
-        let res = resolve_last(
-            &r,
-            "line = WishListLine.objects.get(pk=pk)\nx = line.product_id\n",
-            None,
-        )
-        .unwrap();
+        let res =
+            resolve_last(&r, "line = WishListLine.objects.get(pk=pk)\nx = line.product_id\n", None)
+                .unwrap();
         assert_eq!(
             res,
             Resolution::Field { model: "WishListLine".into(), field: "product_id".into() }
@@ -507,8 +498,7 @@ class WishListLine(models.Model):
     fn params_do_not_resolve() {
         let r = registry();
         let m = Box::leak(Box::new(parse_module("y = request\n").unwrap()));
-        let chains =
-            Box::leak(Box::new(UseDefChains::compute(&m.body, &["request".to_string()])));
+        let chains = Box::leak(Box::new(UseDefChains::compute(&m.body, &["request".to_string()])));
         let resolver = Resolver::new(&r, chains, None);
         let StmtKind::Assign { value, .. } = &m.body[0].kind else { panic!() };
         assert!(resolver.resolve(value, m.body[0].id).is_none());

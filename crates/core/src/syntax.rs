@@ -241,10 +241,7 @@ mod tests {
     #[test]
     fn get_forms() {
         let pat = p_get();
-        assert_eq!(
-            subject_of("Order.objects.get(number=n)", &pat).unwrap(),
-            "Order.objects"
-        );
+        assert_eq!(subject_of("Order.objects.get(number=n)", &pat).unwrap(), "Order.objects");
         // Free-function form: subject is the first argument (the model).
         assert_eq!(subject_of("get_object_or_404(Order, number=n)", &pat).unwrap(), "Order");
     }
@@ -280,9 +277,6 @@ mod tests {
 
     #[test]
     fn filter_pattern() {
-        assert_eq!(
-            subject_of("wl.lines.filter(product=p)", &p_filter()).unwrap(),
-            "wl.lines"
-        );
+        assert_eq!(subject_of("wl.lines.filter(product=p)", &p_filter()).unwrap(), "wl.lines");
     }
 }

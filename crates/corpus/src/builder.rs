@@ -212,9 +212,10 @@ fn render_field(name: &str, kind: FieldDecl) -> (String, Column) {
             format!("{name} = models.IntegerField(default=0)"),
             Column::new(name, ColumnType::Integer).with_default(Literal::Int(0)),
         ),
-        FieldDecl::Int => {
-            (format!("{name} = models.IntegerField(null=True)"), Column::new(name, ColumnType::Integer))
-        }
+        FieldDecl::Int => (
+            format!("{name} = models.IntegerField(null=True)"),
+            Column::new(name, ColumnType::Integer),
+        ),
         FieldDecl::Flag => (
             // `null=True` keeps the default from implying PA_n3.
             format!("{name} = models.BooleanField(default=True, null=True)"),
@@ -304,11 +305,7 @@ fn plant_existing_unique(g: &mut Gen, profile: &AppProfile) {
         g.tables[t].declared_unique.push(cols.clone());
         if k < profile.existing.unique_covered {
             // Covered: plant a detectable site, alternating U1/U2.
-            let filter = cols
-                .iter()
-                .map(|c| format!("{c}=value"))
-                .collect::<Vec<_>>()
-                .join(", ");
+            let filter = cols.iter().map(|c| format!("{c}=value")).collect::<Vec<_>>().join(", ");
             let code = if k % 2 == 0 {
                 let fun = g.names.func("guard_existing");
                 format!(
@@ -411,7 +408,8 @@ fn plant_missing_unique(g: &mut Gen, profile: &AppProfile) {
         g.services.push(format!(
             "def {guard}(value):\n    if {table}.objects.filter({f}=value).exists():\n        raise ValueError('duplicate {f}')\n"
         ));
-        g.services.push(format!("def {lookup}(value):\n    return {table}.objects.get({f}=value)\n"));
+        g.services
+            .push(format!("def {lookup}(value):\n    return {table}.objects.get({f}=value)\n"));
         g.truth.true_missing.insert(Constraint::unique(&table, [f]));
     }
     // Sanity-check false positives (same shapes, no semantic assumption).
@@ -564,11 +562,8 @@ fn plant_wrongtable_fp(g: &mut Gen, via_n2: bool) {
             "    def {fun}(self):\n        if self.{f} is None:\n            raise ValueError('missing {f}')\n"
         ));
     }
-    let conc_t = TableSpec {
-        name: conc_name.clone(),
-        base: Some(abs_name.clone()),
-        ..TableSpec::default()
-    };
+    let conc_t =
+        TableSpec { name: conc_name.clone(), base: Some(abs_name.clone()), ..TableSpec::default() };
     g.extra_tables.push(abs_t);
     g.extra_tables.push(conc_t);
 
@@ -579,12 +574,7 @@ fn plant_wrongtable_fp(g: &mut Gen, via_n2: bool) {
         ));
     }
     // The detection lands on the abstract class, which has no table.
-    record(
-        g,
-        Constraint::not_null(&abs_name, f),
-        false,
-        Some(FpMechanism::WrongTable),
-    );
+    record(g, Constraint::not_null(&abs_name, f), false, Some(FpMechanism::WrongTable));
 }
 
 fn plant_missing_fk(g: &mut Gen, profile: &AppProfile, reserve_from: usize) {
@@ -646,9 +636,7 @@ fn plant_ablation_targets(g: &mut Gen, profile: &AppProfile) {
         g.services.push(format!(
             "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    if obj.{f} is not None:\n        return obj.{f}.strip()\n    return ''\n"
         ));
-        g.truth
-            .planted_fps
-            .insert(Constraint::not_null(&table, f), FpMechanism::GuardedNullable);
+        g.truth.planted_fps.insert(Constraint::not_null(&table, f), FpMechanism::GuardedNullable);
     }
     let cross = (profile.tables / 15).max(2);
     for _ in 0..cross {
@@ -665,15 +653,12 @@ fn plant_ablation_targets(g: &mut Gen, profile: &AppProfile) {
         g.services.push(format!(
             "def {fun}(value, note):\n    if not {table}.objects.filter({f}=value).exists():\n        {other}.objects.create({other_field}=note)\n"
         ));
-        g.truth
-            .planted_fps
-            .insert(Constraint::unique(&table, [f]), FpMechanism::CrossModelCheck);
+        g.truth.planted_fps.insert(Constraint::unique(&table, [f]), FpMechanism::CrossModelCheck);
     }
 }
 
 fn pad_columns(g: &mut Gen, profile: &AppProfile) {
-    let current: usize =
-        g.tables.iter().map(|t| t.fields.len() + 1).sum(); // +1 for id
+    let current: usize = g.tables.iter().map(|t| t.fields.len() + 1).sum(); // +1 for id
     for _ in current..profile.columns {
         let t = g.next_table();
         let _ = g.fresh_field(t, FieldDecl::Text);
@@ -875,9 +860,9 @@ mod tests {
                 "{} true-missing count",
                 p.name
             );
-            let fp_expected = (p.missing.unique_total() + p.missing.not_null_total()
-                + p.missing.fk_total())
-                - (u_tp + n_tp + f_tp);
+            let fp_expected =
+                (p.missing.unique_total() + p.missing.not_null_total() + p.missing.fk_total())
+                    - (u_tp + n_tp + f_tp);
             // Ablation-target FPs are invisible under default options and
             // excluded from the Table 7 accounting.
             let default_detectable = app

@@ -10,8 +10,8 @@ const HEADS: &[&str] = &[
 
 /// Noun pool for model-name suffixes.
 const TAILS: &[&str] = &[
-    "Line", "Item", "Profile", "Entry", "Record", "Log", "Link", "Meta", "State", "Event",
-    "Note", "Tag", "Group", "Batch", "Slot", "Rule", "Draft", "Audit",
+    "Line", "Item", "Profile", "Entry", "Record", "Log", "Link", "Meta", "State", "Event", "Note",
+    "Tag", "Group", "Batch", "Slot", "Rule", "Draft", "Audit",
 ];
 
 /// Field-name pool.

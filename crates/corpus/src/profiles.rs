@@ -480,7 +480,7 @@ mod tests {
         assert_eq!((tot_u, tp_u), (66, 54)); // 82%
         assert_eq!((tot_n, tp_n), (77, 58)); // 75%
         assert_eq!((tot_f, tp_f), (15, 12)); // 80%
-        // 34 false positives in total (§4.2).
+                                             // 34 false positives in total (§4.2).
         assert_eq!((tot_u - tp_u) + (tot_n - tp_n) + (tot_f - tp_f), 34);
     }
 
@@ -518,11 +518,7 @@ mod tests {
         ];
         for (name, n) in expected {
             let p = profile(name).unwrap();
-            assert_eq!(
-                p.existing.unique_covered + p.existing.not_null_covered,
-                n,
-                "{name}"
-            );
+            assert_eq!(p.existing.unique_covered + p.existing.not_null_covered, n, "{name}");
         }
     }
 }

@@ -77,11 +77,11 @@ fn reason_queue(
     (reported, similar, fixed, feature, unknown): (usize, usize, usize, usize, usize),
 ) -> Vec<AddReason> {
     let mut q = Vec::new();
-    q.extend(std::iter::repeat(AddReason::FromReportedIssue).take(reported));
-    q.extend(std::iter::repeat(AddReason::LearnedFromSimilarIssue).take(similar));
-    q.extend(std::iter::repeat(AddReason::FixedByDev).take(fixed));
-    q.extend(std::iter::repeat(AddReason::FeatureOrRefactor).take(feature));
-    q.extend(std::iter::repeat(AddReason::Unknown).take(unknown));
+    q.extend(std::iter::repeat_n(AddReason::FromReportedIssue, reported));
+    q.extend(std::iter::repeat_n(AddReason::LearnedFromSimilarIssue, similar));
+    q.extend(std::iter::repeat_n(AddReason::FixedByDev, fixed));
+    q.extend(std::iter::repeat_n(AddReason::FeatureOrRefactor, feature));
+    q.extend(std::iter::repeat_n(AddReason::Unknown, unknown));
     q
 }
 
@@ -94,14 +94,14 @@ fn consequence_queue() -> Vec<(Consequence, CodeCheckStatus)> {
     // 31 reported constraints: 7 block business logic, 11 crash pages,
     // 8 corrupt data, 5 other; code checks 23 none / 4 partial / 4 raced.
     let mut consequences = Vec::new();
-    consequences.extend(std::iter::repeat(Consequence::BlockedBusinessLogic).take(7));
-    consequences.extend(std::iter::repeat(Consequence::PageCrash).take(11));
-    consequences.extend(std::iter::repeat(Consequence::DataCorruption).take(8));
-    consequences.extend(std::iter::repeat(Consequence::Other).take(5));
+    consequences.extend(std::iter::repeat_n(Consequence::BlockedBusinessLogic, 7));
+    consequences.extend(std::iter::repeat_n(Consequence::PageCrash, 11));
+    consequences.extend(std::iter::repeat_n(Consequence::DataCorruption, 8));
+    consequences.extend(std::iter::repeat_n(Consequence::Other, 5));
     let mut checks = Vec::new();
-    checks.extend(std::iter::repeat(CodeCheckStatus::NoChecks).take(23));
-    checks.extend(std::iter::repeat(CodeCheckStatus::PartialChecks).take(4));
-    checks.extend(std::iter::repeat(CodeCheckStatus::FullChecksButRace).take(4));
+    checks.extend(std::iter::repeat_n(CodeCheckStatus::NoChecks, 23));
+    checks.extend(std::iter::repeat_n(CodeCheckStatus::PartialChecks, 4));
+    checks.extend(std::iter::repeat_n(CodeCheckStatus::FullChecksButRace, 4));
     consequences.into_iter().zip(checks).collect()
 }
 

@@ -56,11 +56,7 @@ fn precision_matches_plan() {
                 Verdict::Unplanned => unplanned.push(m.constraint.clone()),
             }
         }
-        assert!(
-            unplanned.is_empty(),
-            "{}: unplanned detections {unplanned:?}",
-            p.name
-        );
+        assert!(unplanned.is_empty(), "{}: unplanned detections {unplanned:?}", p.name);
         let (u, n, f) = p.missing.true_positives();
         assert_eq!(tp, u + n + f, "{} TP", p.name);
         assert_eq!(

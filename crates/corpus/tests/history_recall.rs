@@ -16,10 +16,7 @@ fn historical_recall_matches_table9() {
     for app in &apps {
         let source = AppSource::new(
             app.name.clone(),
-            app.old_code
-                .iter()
-                .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
-                .collect(),
+            app.old_code.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
         let report = finder.analyze(&source, &app.old_schema);
         assert!(report.parse_errors.is_empty(), "{}: {:?}", app.name, report.parse_errors);

@@ -338,10 +338,12 @@ mod tests {
         let header = cfg.node_of_stmt(m.body[0].id).unwrap();
         let a_node = cfg
             .node_ids()
-            .find(|&n| matches!(cfg.kind(n), CfgNodeKind::Statement(id) if {
-                // find the assignment inside the loop
-                *id != m.body[1].id && cfg.preds(n).contains(&header)
-            }))
+            .find(|&n| {
+                matches!(cfg.kind(n), CfgNodeKind::Statement(id) if {
+                    // find the assignment inside the loop
+                    *id != m.body[1].id && cfg.preds(n).contains(&header)
+                })
+            })
             .unwrap();
         assert!(cfg.succs(a_node).contains(&header), "back edge to header");
     }
@@ -371,10 +373,8 @@ mod tests {
         let (cfg, m) = cfg_of("for x in xs:\n    continue\n");
         let header = cfg.node_of_stmt(m.body[0].id).unwrap();
         // Some node other than body-end has an edge to header.
-        let cont_edges = cfg
-            .node_ids()
-            .filter(|&n| n != header && cfg.succs(n).contains(&header))
-            .count();
+        let cont_edges =
+            cfg.node_ids().filter(|&n| n != header && cfg.succs(n).contains(&header)).count();
         assert!(cont_edges >= 2, "body fall-through and continue both reach header");
     }
 

@@ -120,10 +120,8 @@ impl NullGuards {
                     let escapes = block_always_escapes(body);
                     for p in &neg {
                         let assigned = block_assigns_non_null(body, p);
-                        if escapes || assigned {
-                            if active.insert(p.clone()) {
-                                added_by_escape.push(p.clone());
-                            }
+                        if (escapes || assigned) && active.insert(p.clone()) {
+                            added_by_escape.push(p.clone());
                         }
                     }
                 }
@@ -157,7 +155,10 @@ impl NullGuards {
                         let name = t
                             .dotted_chain()
                             .map(|(root, chain)| {
-                                chain.last().map(|s| s.to_string()).unwrap_or_else(|| root.to_string())
+                                chain
+                                    .last()
+                                    .map(|s| s.to_string())
+                                    .unwrap_or_else(|| root.to_string())
                             })
                             .unwrap_or_default();
                         matches!(name.as_str(), "AttributeError" | "TypeError" | "Exception")
@@ -216,11 +217,10 @@ impl NullGuards {
                 self.mark_expr(target, active, in_try);
                 self.mark_expr(value, active, in_try);
             }
-            StmtKind::Return { value } => {
-                if let Some(v) = value {
-                    self.mark_expr(v, active, in_try);
-                }
+            StmtKind::Return { value: Some(v) } => {
+                self.mark_expr(v, active, in_try);
             }
+            StmtKind::Return { value: None } => {}
             StmtKind::Raise { exc, cause } => {
                 if let Some(e) = exc {
                     self.mark_expr(e, active, in_try);
@@ -314,12 +314,10 @@ impl NullGuards {
 pub fn guard_paths(test: &Expr) -> (Vec<AccessPath>, Vec<AccessPath>) {
     match &test.kind {
         // `x` / `x.y` truthiness implies non-null when true.
-        ExprKind::Name(_) | ExprKind::Attribute { .. } => {
-            match AccessPath::of_expr(test) {
-                Some(p) => (vec![p], vec![]),
-                None => (vec![], vec![]),
-            }
-        }
+        ExprKind::Name(_) | ExprKind::Attribute { .. } => match AccessPath::of_expr(test) {
+            Some(p) => (vec![p], vec![]),
+            None => (vec![], vec![]),
+        },
         ExprKind::UnaryOp { op: UnaryOp::Not, operand } => {
             let (pos, neg) = guard_paths(operand);
             (neg, pos)
@@ -385,10 +383,9 @@ fn expr_definitely_not_none(e: &Expr) -> bool {
 fn block_always_escapes(body: &[Stmt]) -> bool {
     let Some(last) = body.last() else { return false };
     match &last.kind {
-        StmtKind::Return { .. }
-        | StmtKind::Raise { .. }
-        | StmtKind::Break
-        | StmtKind::Continue => true,
+        StmtKind::Return { .. } | StmtKind::Raise { .. } | StmtKind::Break | StmtKind::Continue => {
+            true
+        }
         StmtKind::If { body, orelse, .. } => {
             !orelse.is_empty() && block_always_escapes(body) && block_always_escapes(orelse)
         }
@@ -455,10 +452,7 @@ mod tests {
 
     #[test]
     fn is_not_none_guards_body_only() {
-        let m = parse_module(
-            "if x is not None:\n    x.method()\nx.other()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x is not None:\n    x.method()\nx.other()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
         assert!(!g.is_guarded(find_expr(&m.body, "x.other()"), &path(&["x"])));
@@ -466,20 +460,14 @@ mod tests {
 
     #[test]
     fn is_none_guards_else() {
-        let m = parse_module(
-            "if x is None:\n    y = 1\nelse:\n    x.method()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x is None:\n    y = 1\nelse:\n    x.method()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
 
     #[test]
     fn early_return_guards_rest_of_block() {
-        let m = parse_module(
-            "if x is None:\n    return None\nx.method()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x is None:\n    return None\nx.method()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
@@ -499,20 +487,14 @@ mod tests {
 
     #[test]
     fn assign_in_none_branch_guards_rest() {
-        let m = parse_module(
-            "if x is None:\n    x = 5\nx.method()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x is None:\n    x = 5\nx.method()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
 
     #[test]
     fn assign_none_kills_guard() {
-        let m = parse_module(
-            "if x is not None:\n    x = None\n    x.method()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x is not None:\n    x = None\n    x.method()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(!g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
@@ -540,10 +522,7 @@ mod tests {
 
     #[test]
     fn conjunction_condition_guards_both() {
-        let m = parse_module(
-            "if a is not None and b is not None:\n    a.f(b.g())\n",
-        )
-        .unwrap();
+        let m = parse_module("if a is not None and b is not None:\n    a.f(b.g())\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         let at = find_expr(&m.body, "a.f(b.g())");
         assert!(g.is_guarded(at, &path(&["a"])));
@@ -552,30 +531,21 @@ mod tests {
 
     #[test]
     fn try_except_attribute_error_guards_body() {
-        let m = parse_module(
-            "try:\n    x.method()\nexcept AttributeError:\n    pass\n",
-        )
-        .unwrap();
+        let m = parse_module("try:\n    x.method()\nexcept AttributeError:\n    pass\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
 
     #[test]
     fn try_except_unrelated_does_not_guard() {
-        let m = parse_module(
-            "try:\n    x.method()\nexcept KeyError:\n    pass\n",
-        )
-        .unwrap();
+        let m = parse_module("try:\n    x.method()\nexcept KeyError:\n    pass\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(!g.is_guarded(find_expr(&m.body, "x.method()"), &path(&["x"])));
     }
 
     #[test]
     fn guard_does_not_leak_to_siblings() {
-        let m = parse_module(
-            "if x:\n    x.a()\ny.b()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x:\n    x.a()\ny.b()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         assert!(!g.is_guarded(find_expr(&m.body, "y.b()"), &path(&["y"])));
         assert!(!g.is_guarded(find_expr(&m.body, "y.b()"), &path(&["x"])));
@@ -583,10 +553,7 @@ mod tests {
 
     #[test]
     fn nested_function_gets_fresh_scope() {
-        let m = parse_module(
-            "if x:\n    def inner():\n        x.method()\n",
-        )
-        .unwrap();
+        let m = parse_module("if x:\n    def inner():\n        x.method()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         // The outer guard does not apply inside the nested function (it may
         // run later, when x is None again).
@@ -595,15 +562,11 @@ mod tests {
 
     #[test]
     fn attribute_path_guard() {
-        let m = parse_module(
-            "if line.variant is not None:\n    line.variant.track()\n",
-        )
-        .unwrap();
+        let m = parse_module("if line.variant is not None:\n    line.variant.track()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
-        assert!(g.is_guarded(
-            find_expr(&m.body, "line.variant.track()"),
-            &path(&["line", "variant"])
-        ));
+        assert!(
+            g.is_guarded(find_expr(&m.body, "line.variant.track()"), &path(&["line", "variant"]))
+        );
     }
 
     #[test]
@@ -662,10 +625,8 @@ mod more_tests {
 
     #[test]
     fn guard_does_not_survive_loop_exit() {
-        let m = parse_module(
-            "while cursor is not None:\n    cursor.advance()\ncursor.close()\n",
-        )
-        .unwrap();
+        let m = parse_module("while cursor is not None:\n    cursor.advance()\ncursor.close()\n")
+            .unwrap();
         let g = NullGuards::analyze(&m.body);
         // After the loop, cursor is exactly None.
         assert!(!g.is_guarded(find_expr(&m.body, "cursor.close()"), &path(&["cursor"])));
@@ -673,10 +634,8 @@ mod more_tests {
 
     #[test]
     fn nested_if_guards_compose() {
-        let m = parse_module(
-            "if a is not None:\n    if a.b is not None:\n        a.b.c()\n",
-        )
-        .unwrap();
+        let m =
+            parse_module("if a is not None:\n    if a.b is not None:\n        a.b.c()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         let at = find_expr(&m.body, "a.b.c()");
         assert!(g.is_guarded(at, &path(&["a"])));
@@ -701,18 +660,14 @@ mod more_tests {
         )
         .unwrap();
         let g = NullGuards::analyze(&m.body);
-        assert!(g.is_guarded(
-            find_expr(&m.body, "line.variant.track()"),
-            &path(&["line", "variant"])
-        ));
+        assert!(
+            g.is_guarded(find_expr(&m.body, "line.variant.track()"), &path(&["line", "variant"]))
+        );
     }
 
     #[test]
     fn reassignment_of_prefix_kills_suffix_guards() {
-        let m = parse_module(
-            "if a.b is not None:\n    a = other()\n    a.b.c()\n",
-        )
-        .unwrap();
+        let m = parse_module("if a.b is not None:\n    a = other()\n    a.b.c()\n").unwrap();
         let g = NullGuards::analyze(&m.body);
         // `a` was rebound: the old guard on a.b may no longer hold. Our
         // analysis kills guards on exact paths being assigned; prefix

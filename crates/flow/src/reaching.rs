@@ -129,11 +129,7 @@ impl<'a> UseDefChains<'a> {
         let Some(node) = self.cfg.node_of_stmt(stmt) else {
             return Vec::new();
         };
-        self.reach_in[node]
-            .iter()
-            .map(|&i| &self.defs[i])
-            .filter(|d| d.name == name)
-            .collect()
+        self.reach_in[node].iter().map(|&i| &self.defs[i]).filter(|d| d.name == name).collect()
     }
 
     /// Like [`Self::defs_of`], but when exactly one definition reaches the
@@ -325,9 +321,7 @@ mod tests {
 
     #[test]
     fn params_reach_everywhere() {
-        let m = Box::leak(Box::new(
-            parse_module("y = request\n").unwrap(),
-        ));
+        let m = Box::leak(Box::new(parse_module("y = request\n").unwrap()));
         let ud = UseDefChains::compute(&m.body, &["request".to_string()]);
         let defs = ud.defs_of(m.body[0].id, "request");
         assert_eq!(defs.len(), 1);
@@ -362,7 +356,8 @@ mod tests {
 
     #[test]
     fn import_binds_names() {
-        let (ud, body) = chains("from app.models import Order\nimport utils.helpers as uh\no = Order\n");
+        let (ud, body) =
+            chains("from app.models import Order\nimport utils.helpers as uh\no = Order\n");
         assert_eq!(ud.defs_of(body[2].id, "Order").len(), 1);
         assert_eq!(ud.defs_of(body[2].id, "uh").len(), 1);
         assert!(matches!(ud.defs_of(body[2].id, "Order")[0].kind, DefKind::Import));

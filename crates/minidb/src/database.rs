@@ -88,10 +88,7 @@ impl Database {
                 self.constraints.insert(Constraint::not_null(&def.name, &col.name));
             }
         }
-        self.tables.insert(
-            def.name.clone(),
-            TableData { def, rows: BTreeMap::new(), next_id: 1 },
-        );
+        self.tables.insert(def.name.clone(), TableData { def, rows: BTreeMap::new(), next_id: 1 });
         Ok(())
     }
 
@@ -257,10 +254,8 @@ impl Database {
         I: IntoIterator<Item = (&'a str, Value)>,
     {
         let t = self.tables.get(table).ok_or_else(|| DbError::NoSuchTable(table.into()))?;
-        let old = t
-            .rows
-            .get(&row_id)
-            .ok_or(DbError::NoSuchRow { table: table.into(), row: row_id })?;
+        let old =
+            t.rows.get(&row_id).ok_or(DbError::NoSuchRow { table: table.into(), row: row_id })?;
         let mut row = old.clone();
         for (k, v) in values {
             let col = t.def.column(k).ok_or_else(|| DbError::NoSuchColumn {
@@ -419,9 +414,7 @@ impl Database {
                     // NULL in any key column exempts the row (SQL semantics).
                     let key: Option<Vec<ValueKey>> = columns
                         .iter()
-                        .map(|col| {
-                            row.get(col).filter(|v| !v.is_null()).map(Value::key)
-                        })
+                        .map(|col| row.get(col).filter(|v| !v.is_null()).map(Value::key))
                         .collect();
                     let Some(key) = key else { continue };
                     let t = self.tables.get(table).expect("caller validated");
@@ -476,11 +469,9 @@ impl Database {
     pub fn count_violations(&self, constraint: &Constraint) -> usize {
         let Some(t) = self.tables.get(constraint.table()) else { return 0 };
         match constraint {
-            Constraint::NotNull { column, .. } => t
-                .rows
-                .values()
-                .filter(|r| r.get(column).is_none_or(Value::is_null))
-                .count(),
+            Constraint::NotNull { column, .. } => {
+                t.rows.values().filter(|r| r.get(column).is_none_or(Value::is_null)).count()
+            }
             Constraint::Unique { columns, conditions, .. } => {
                 let mut seen: HashMap<Vec<ValueKey>, usize> = HashMap::new();
                 for row in t.rows.values() {
@@ -531,7 +522,9 @@ mod tests {
         Table::new("users")
             .with_column(Column::new("email", ColumnType::VarChar(254)))
             .with_column(Column::new("name", ColumnType::VarChar(100)))
-            .with_column(Column::new("active", ColumnType::Boolean).with_default(Literal::Bool(true)))
+            .with_column(
+                Column::new("active", ColumnType::Boolean).with_default(Literal::Bool(true)),
+            )
     }
 
     fn db_with_users() -> Database {

@@ -68,10 +68,9 @@ impl fmt::Display for DbError {
             DbError::ConstraintViolation { constraint, detail } => {
                 write!(f, "constraint violation: {constraint} ({detail})")
             }
-            DbError::MigrationRejected { constraint, violations } => write!(
-                f,
-                "cannot add {constraint}: {violations} existing row(s) violate it"
-            ),
+            DbError::MigrationRejected { constraint, violations } => {
+                write!(f, "cannot add {constraint}: {violations} existing row(s) violate it")
+            }
             DbError::InvalidConstraint(msg) => write!(f, "invalid constraint: {msg}"),
         }
     }

@@ -40,6 +40,8 @@ pub mod value;
 pub use database::{Database, Row, RowId};
 pub use error::{DbError, DbResult};
 pub use profiling::{discover_constraints, ProfileOptions};
-pub use race::{simulate_interleavings, run_threaded_race, InterleavingReport, RaceConfig, RaceOutcome};
+pub use race::{
+    run_threaded_race, simulate_interleavings, InterleavingReport, RaceConfig, RaceOutcome,
+};
 pub use txn::{transactional_race, Transaction};
 pub use value::{Value, ValueKey};

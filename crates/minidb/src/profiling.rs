@@ -62,12 +62,8 @@ pub fn discover_constraints(db: &Database, options: ProfileOptions) -> Constrain
         if rows.len() < options.min_rows {
             continue;
         }
-        let non_pk: Vec<&str> = def
-            .columns
-            .iter()
-            .map(|c| c.name.as_str())
-            .filter(|c| *c != def.primary_key)
-            .collect();
+        let non_pk: Vec<&str> =
+            def.columns.iter().map(|c| c.name.as_str()).filter(|c| *c != def.primary_key).collect();
 
         // Not-null: no NULL observed.
         for col in &non_pk {
@@ -110,8 +106,7 @@ pub fn discover_constraints(db: &Database, options: ProfileOptions) -> Constrain
                         continue;
                     }
                     let (Some(va), Some(vb)) = (col_values(a), col_values(b)) else { continue };
-                    let pairs: HashSet<(&ValueKey, &ValueKey)> =
-                        va.iter().zip(vb.iter()).collect();
+                    let pairs: HashSet<(&ValueKey, &ValueKey)> = va.iter().zip(vb.iter()).collect();
                     if pairs.len() == va.len() {
                         out.insert(Constraint::unique(t, [*a, *b]));
                     }
@@ -173,11 +168,9 @@ mod tests {
             Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
         )
         .unwrap();
-        for (email, city, age) in [
-            ("a@x", "berlin", 30),
-            ("b@x", "berlin", 31),
-            ("c@x", "paris", 30),
-        ] {
+        for (email, city, age) in
+            [("a@x", "berlin", 30), ("b@x", "berlin", 31), ("c@x", "paris", 30)]
+        {
             db.insert(
                 "users",
                 [
@@ -250,10 +243,8 @@ mod tests {
     #[test]
     fn tiny_tables_are_skipped() {
         let mut db = Database::new();
-        db.create_table(
-            Table::new("t").with_column(Column::new("x", ColumnType::Integer)),
-        )
-        .unwrap();
+        db.create_table(Table::new("t").with_column(Column::new("x", ColumnType::Integer)))
+            .unwrap();
         db.insert("t", [("x", Value::Int(1))]).unwrap();
         let found = discover_constraints(&db, ProfileOptions { min_rows: 2, ..Default::default() });
         assert!(found.is_empty(), "single-row tables prove nothing: {found:?}");

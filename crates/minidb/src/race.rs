@@ -52,8 +52,7 @@ pub struct RaceOutcome {
 }
 
 fn fresh_db(cfg: &RaceConfig) -> Database {
-    let mut db =
-        if cfg.db_constraint { Database::new() } else { Database::without_enforcement() };
+    let mut db = if cfg.db_constraint { Database::new() } else { Database::without_enforcement() };
     db.create_table(
         Table::new("users").with_column(Column::new("email", ColumnType::VarChar(254))),
     )
@@ -87,8 +86,7 @@ pub fn simulate_interleavings(cfg: RaceConfig) -> InterleavingReport {
         if outcome.violations > 0 {
             corrupted += 1;
         }
-        let is_worse =
-            worst.is_none_or(|w| outcome.violations > w.violations);
+        let is_worse = worst.is_none_or(|w| outcome.violations > w.violations);
         if is_worse {
             worst = Some(outcome);
         }
@@ -245,8 +243,7 @@ pub fn run_threaded_race(cfg: RaceConfig) -> RaceOutcome {
             (true, None) => unreachable!("ok implies insert attempted"),
         }
     }
-    outcome.violations =
-        db.into_inner().count_violations(&Constraint::unique("users", ["email"]));
+    outcome.violations = db.into_inner().count_violations(&Constraint::unique("users", ["email"]));
     outcome
 }
 
@@ -322,10 +319,7 @@ mod tests {
             });
             assert_eq!(outcome.violations, 0);
             assert_eq!(outcome.inserted, 1);
-            assert_eq!(
-                outcome.rejected_by_app + outcome.rejected_by_db,
-                outcome.attempted - 1
-            );
+            assert_eq!(outcome.rejected_by_app + outcome.rejected_by_db, outcome.attempted - 1);
         }
     }
 

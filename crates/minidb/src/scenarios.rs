@@ -64,9 +64,8 @@ pub fn null_order_total(enforce: bool) -> ScenarioOutcome {
             ScenarioOutcome {
                 constraint_enforced: enforce,
                 bad_write_persisted: true,
-                consequence: crash.then(|| {
-                    "dashboard page crash: cannot format NULL order total".to_string()
-                }),
+                consequence: crash
+                    .then(|| "dashboard page crash: cannot format NULL order total".to_string()),
                 blocked_by: None,
             }
         }
@@ -104,9 +103,8 @@ pub fn duplicate_email_login(enforce: bool) -> ScenarioOutcome {
             ScenarioOutcome {
                 constraint_enforced: enforce,
                 bad_write_persisted: true,
-                consequence: (matches > 1).then(|| {
-                    format!("login blocked: get(email=…) matched {matches} accounts")
-                }),
+                consequence: (matches > 1)
+                    .then(|| format!("login blocked: get(email=…) matched {matches} accounts")),
                 blocked_by: None,
             }
         }
@@ -123,16 +121,12 @@ pub fn duplicate_email_login(enforce: bool) -> ScenarioOutcome {
 /// foreign key lets orders reference baskets that do not exist.
 pub fn dangling_basket_reference(enforce: bool) -> ScenarioOutcome {
     let mut db = if enforce { Database::new() } else { Database::without_enforcement() };
-    db.create_table(
-        Table::new("basket").with_column(
-            Column::new("status", ColumnType::VarChar(16)).with_default(Literal::Str("open".into())),
-        ),
-    )
+    db.create_table(Table::new("basket").with_column(
+        Column::new("status", ColumnType::VarChar(16)).with_default(Literal::Str("open".into())),
+    ))
     .expect("fresh db");
-    db.create_table(
-        Table::new("order").with_column(Column::new("basket_id", ColumnType::BigInt)),
-    )
-    .expect("fresh db");
+    db.create_table(Table::new("order").with_column(Column::new("basket_id", ColumnType::BigInt)))
+        .expect("fresh db");
     db.add_constraint(Constraint::foreign_key("order", "basket_id", "basket", "id"))
         .expect("declare");
 
@@ -144,8 +138,8 @@ pub fn dangling_basket_reference(enforce: bool) -> ScenarioOutcome {
 
     match bad {
         Ok(_) => {
-            let dangling = db
-                .count_violations(&Constraint::foreign_key("order", "basket_id", "basket", "id"));
+            let dangling =
+                db.count_violations(&Constraint::foreign_key("order", "basket_id", "basket", "id"));
             ScenarioOutcome {
                 constraint_enforced: enforce,
                 bad_write_persisted: true,

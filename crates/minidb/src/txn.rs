@@ -103,10 +103,8 @@ impl Database {
             for op in &txn.ops {
                 match op {
                     TxnOp::Insert { table, values } => {
-                        let id = self.insert(
-                            table,
-                            values.iter().map(|(k, v)| (k.as_str(), v.clone())),
-                        )?;
+                        let id = self
+                            .insert(table, values.iter().map(|(k, v)| (k.as_str(), v.clone())))?;
                         undo.push(Undo::RemoveInserted { table: table.clone(), row: id });
                         inserted.push(id);
                     }
@@ -251,8 +249,7 @@ mod tests {
         let id = db
             .insert("users", [("email", Value::from("a@x")), ("name", Value::from("before"))])
             .unwrap();
-        let other =
-            db.insert("users", [("email", Value::from("b@x"))]).unwrap();
+        let other = db.insert("users", [("email", Value::from("b@x"))]).unwrap();
         let mut txn = Transaction::new();
         txn.update("users", id, [("name", Value::from("after"))])
             .delete("users", other)

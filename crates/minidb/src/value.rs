@@ -30,10 +30,16 @@ impl Value {
     pub fn fits(&self, ty: &ColumnType) -> bool {
         match (self, ty) {
             (Value::Null, _) => true,
-            (Value::Int(_), ColumnType::Integer | ColumnType::BigInt | ColumnType::Decimal(_, _)) => true,
+            (
+                Value::Int(_),
+                ColumnType::Integer | ColumnType::BigInt | ColumnType::Decimal(_, _),
+            ) => true,
             (Value::Float(_), ColumnType::Float | ColumnType::Decimal(_, _)) => true,
             (Value::Str(s), ColumnType::VarChar(n)) => s.chars().count() <= *n as usize,
-            (Value::Str(_), ColumnType::Text | ColumnType::DateTime | ColumnType::Date | ColumnType::Json) => true,
+            (
+                Value::Str(_),
+                ColumnType::Text | ColumnType::DateTime | ColumnType::Date | ColumnType::Json,
+            ) => true,
             (Value::Bool(_), ColumnType::Boolean) => true,
             _ => false,
         }

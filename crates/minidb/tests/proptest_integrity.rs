@@ -39,10 +39,8 @@ fn fixture() -> (Database, Vec<Constraint>) {
             ),
     )
     .unwrap();
-    db.create_table(
-        Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
-    )
-    .unwrap();
+    db.create_table(Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)))
+        .unwrap();
     let constraints = vec![
         Constraint::partial_unique(
             "users",

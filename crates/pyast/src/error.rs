@@ -42,7 +42,8 @@ mod tests {
 
     #[test]
     fn display_includes_position() {
-        let err = ParseError::new("unexpected `)`", Span::new(Pos::new(4, 9, 33), Pos::new(4, 10, 34)));
+        let err =
+            ParseError::new("unexpected `)`", Span::new(Pos::new(4, 9, 33), Pos::new(4, 10, 34)));
         assert_eq!(err.to_string(), "unexpected `)` at 4:9");
     }
 

@@ -241,8 +241,9 @@ impl<'s> Lexer<'s> {
                         self.bump();
                     }
                 }
-                b'\\' if self.peek2() == Some(b'\n')
-                    || (self.peek2() == Some(b'\r') && self.peek3() == Some(b'\n')) =>
+                b'\\'
+                    if self.peek2() == Some(b'\n')
+                        || (self.peek2() == Some(b'\r') && self.peek3() == Some(b'\n')) =>
                 {
                     // Explicit line joining.
                     self.bump(); // backslash
@@ -305,7 +306,10 @@ impl<'s> Lexer<'s> {
         let start = self.pos;
         // Hex / octal / binary.
         if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B'))
+            && matches!(
+                self.peek2(),
+                Some(b'x') | Some(b'X') | Some(b'o') | Some(b'O') | Some(b'b') | Some(b'B')
+            )
         {
             let radix_char = self.peek2().unwrap().to_ascii_lowercase();
             self.bump();
@@ -373,8 +377,9 @@ impl<'s> Lexer<'s> {
                 text.parse().map_err(|_| self.error(format!("invalid float literal `{text}`")))?;
             self.emit(TokenKind::Float(v), start);
         } else {
-            let v: i64 =
-                text.parse().map_err(|_| self.error(format!("invalid integer literal `{text}`")))?;
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.error(format!("invalid integer literal `{text}`")))?;
             self.emit(TokenKind::Int(v), start);
         }
         Ok(())
@@ -401,7 +406,10 @@ impl<'s> Lexer<'s> {
         let mut value = String::new();
         loop {
             let Some(b) = self.peek() else {
-                return Err(ParseError::new("unterminated string literal", Span::new(start, self.pos)));
+                return Err(ParseError::new(
+                    "unterminated string literal",
+                    Span::new(start, self.pos),
+                ));
             };
             if b == quote {
                 if triple {
@@ -425,7 +433,10 @@ impl<'s> Lexer<'s> {
             } else if b == b'\\' && !prefix.raw {
                 self.bump();
                 let Some(esc) = self.bump_char() else {
-                    return Err(ParseError::new("unterminated string literal", Span::new(start, self.pos)));
+                    return Err(ParseError::new(
+                        "unterminated string literal",
+                        Span::new(start, self.pos),
+                    ));
                 };
                 match esc {
                     'n' => value.push('\n'),
@@ -457,8 +468,7 @@ impl<'s> Lexer<'s> {
                 value.push(ch);
             }
         }
-        let kind =
-            if prefix.fstring { TokenKind::FStr(value) } else { TokenKind::Str(value) };
+        let kind = if prefix.fstring { TokenKind::FStr(value) } else { TokenKind::Str(value) };
         self.emit(kind, start);
         Ok(())
     }
@@ -667,10 +677,7 @@ mod tests {
 
     #[test]
     fn simple_assignment() {
-        assert_eq!(
-            kinds("x = 1\n"),
-            vec![Name("x".into()), Eq, Int(1), Newline, Eof]
-        );
+        assert_eq!(kinds("x = 1\n"), vec![Name("x".into()), Eq, Int(1), Newline, Eof]);
     }
 
     #[test]
@@ -815,10 +822,7 @@ mod tests {
     fn int_followed_by_dot_call_is_not_float() {
         // `x[1].foo` style: the dot belongs to the attribute, not the number,
         // when followed by an identifier.
-        assert_eq!(
-            kinds("1 .x"),
-            vec![Int(1), Dot, Name("x".into()), Newline, Eof]
-        );
+        assert_eq!(kinds("1 .x"), vec![Int(1), Dot, Name("x".into()), Newline, Eof]);
     }
 
     #[test]
@@ -839,9 +843,18 @@ mod tests {
                 Eof
             ]
         );
-        assert_eq!(kinds("a ** b // c"), vec![
-            Name("a".into()), StarStar, Name("b".into()), SlashSlash, Name("c".into()), Newline, Eof
-        ]);
+        assert_eq!(
+            kinds("a ** b // c"),
+            vec![
+                Name("a".into()),
+                StarStar,
+                Name("b".into()),
+                SlashSlash,
+                Name("c".into()),
+                Newline,
+                Eof
+            ]
+        );
         assert_eq!(kinds("x += 1"), vec![Name("x".into()), PlusEq, Int(1), Newline, Eof]);
         assert_eq!(kinds("x //= 2"), vec![Name("x".into()), SlashSlashEq, Int(2), Newline, Eof]);
     }
@@ -873,10 +886,7 @@ mod tests {
 
     #[test]
     fn keywords_vs_names() {
-        assert_eq!(
-            kinds("not_a_kw = None"),
-            vec![Name("not_a_kw".into()), Eq, None, Newline, Eof]
-        );
+        assert_eq!(kinds("not_a_kw = None"), vec![Name("not_a_kw".into()), Eq, None, Newline, Eof]);
         assert_eq!(kinds("is_valid"), vec![Name("is_valid".into()), Newline, Eof]);
     }
 
@@ -910,9 +920,6 @@ mod tests {
 
     #[test]
     fn semicolons_tokenize() {
-        assert_eq!(
-            kinds("a; b\n"),
-            vec![Name("a".into()), Semi, Name("b".into()), Newline, Eof]
-        );
+        assert_eq!(kinds("a; b\n"), vec![Name("a".into()), Semi, Name("b".into()), Newline, Eof]);
     }
 }

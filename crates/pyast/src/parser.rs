@@ -113,10 +113,7 @@ impl Parser {
     }
 
     fn unexpected(&self, msg: &str) -> ParseError {
-        ParseError::new(
-            format!("{msg}, found {}", self.peek_kind().describe()),
-            self.peek().span,
-        )
+        ParseError::new(format!("{msg}, found {}", self.peek_kind().describe()), self.peek().span)
     }
 
     fn id(&mut self) -> NodeId {
@@ -164,9 +161,7 @@ impl Parser {
     /// Parses one statement; simple statements may expand to several via `;`.
     fn statement(&mut self) -> Result<Vec<Stmt>> {
         match self.peek_kind() {
-            TokenKind::Def | TokenKind::Class | TokenKind::At => {
-                Ok(vec![self.definition()?])
-            }
+            TokenKind::Def | TokenKind::Class | TokenKind::At => Ok(vec![self.definition()?]),
             TokenKind::If => Ok(vec![self.if_statement()?]),
             TokenKind::For => Ok(vec![self.for_statement()?]),
             TokenKind::While => Ok(vec![self.while_statement()?]),
@@ -204,18 +199,16 @@ impl Parser {
             }
             TokenKind::Raise => {
                 self.advance();
-                let (exc, cause) =
-                    if self.check(&TokenKind::Newline) || self.check(&TokenKind::Semi) {
-                        (None, None)
-                    } else {
-                        let exc = self.expression()?;
-                        let cause = if self.eat_if(&TokenKind::From) {
-                            Some(self.expression()?)
-                        } else {
-                            None
-                        };
-                        (Some(exc), cause)
-                    };
+                let (exc, cause) = if self.check(&TokenKind::Newline)
+                    || self.check(&TokenKind::Semi)
+                {
+                    (None, None)
+                } else {
+                    let exc = self.expression()?;
+                    let cause =
+                        if self.eat_if(&TokenKind::From) { Some(self.expression()?) } else { None };
+                    (Some(exc), cause)
+                };
                 let end = cause
                     .as_ref()
                     .map(|c| c.span)
@@ -272,11 +265,8 @@ impl Parser {
             TokenKind::Assert => {
                 self.advance();
                 let test = self.expression()?;
-                let msg = if self.eat_if(&TokenKind::Comma) {
-                    Some(self.expression()?)
-                } else {
-                    None
-                };
+                let msg =
+                    if self.eat_if(&TokenKind::Comma) { Some(self.expression()?) } else { None };
                 let span = start.to(msg.as_ref().map_or(test.span, |m| m.span));
                 Ok(self.stmt(span, StmtKind::Assert { test, msg }))
             }
@@ -309,8 +299,7 @@ impl Parser {
                 name.push('.');
                 name.push_str(&part);
             }
-            let asname =
-                if self.eat_if(&TokenKind::As) { Some(self.eat_name()?.0) } else { None };
+            let asname = if self.eat_if(&TokenKind::As) { Some(self.eat_name()?.0) } else { None };
             names.push(ImportAlias { name, asname });
             if !self.eat_if(&TokenKind::Comma) {
                 break;
@@ -414,7 +403,11 @@ impl Parser {
 
     /// `allow_annotations` is false for lambdas, whose `:` terminates the
     /// parameter list instead of introducing an annotation.
-    fn parameters(&mut self, terminator: &TokenKind, allow_annotations: bool) -> Result<Vec<Param>> {
+    fn parameters(
+        &mut self,
+        terminator: &TokenKind,
+        allow_annotations: bool,
+    ) -> Result<Vec<Param>> {
         let mut params = Vec::new();
         while !self.check(terminator) && !self.check(&TokenKind::Colon) {
             let star = if self.eat_if(&TokenKind::StarStar) {
@@ -433,8 +426,7 @@ impl Parser {
             if allow_annotations && self.eat_if(&TokenKind::Colon) {
                 let _annotation = self.expression()?;
             }
-            let default =
-                if self.eat_if(&TokenKind::Eq) { Some(self.expression()?) } else { None };
+            let default = if self.eat_if(&TokenKind::Eq) { Some(self.expression()?) } else { None };
             params.push(Param { name, default, star, span });
             if !self.eat_if(&TokenKind::Comma) {
                 break;
@@ -468,10 +460,8 @@ impl Parser {
         }
         let body = self.suite()?;
         let span = start.to(body.last().map_or(start, |s| s.span));
-        Ok(self.stmt(
-            span,
-            StmtKind::ClassDef(ClassDef { name, bases, keywords, decorators, body }),
-        ))
+        Ok(self
+            .stmt(span, StmtKind::ClassDef(ClassDef { name, bases, keywords, decorators, body })))
     }
 
     fn if_statement(&mut self) -> Result<Stmt> {
@@ -536,8 +526,7 @@ impl Parser {
             handlers.push(ExceptHandler { typ, name, body: hbody, span: hstart });
         }
         let orelse = if self.eat_if(&TokenKind::Else) { self.suite()? } else { Vec::new() };
-        let finalbody =
-            if self.eat_if(&TokenKind::Finally) { self.suite()? } else { Vec::new() };
+        let finalbody = if self.eat_if(&TokenKind::Finally) { self.suite()? } else { Vec::new() };
         if handlers.is_empty() && finalbody.is_empty() {
             return Err(self.unexpected("expected `except` or `finally` after try block"));
         }
@@ -550,8 +539,7 @@ impl Parser {
         let mut items = Vec::new();
         loop {
             let context = self.expression()?;
-            let target =
-                if self.eat_if(&TokenKind::As) { Some(self.postfix()?) } else { None };
+            let target = if self.eat_if(&TokenKind::As) { Some(self.postfix()?) } else { None };
             items.push(WithItem { context, target });
             if !self.eat_if(&TokenKind::Comma) {
                 break;
@@ -694,8 +682,9 @@ impl Parser {
             let start = self.advance().span;
             let operand = self.not_expr()?;
             let span = start.to(operand.span);
-            return Ok(self
-                .expr(span, ExprKind::UnaryOp { op: UnaryOp::Not, operand: Box::new(operand) }));
+            return Ok(
+                self.expr(span, ExprKind::UnaryOp { op: UnaryOp::Not, operand: Box::new(operand) })
+            );
         }
         self.comparison()
     }
@@ -845,10 +834,7 @@ impl Parser {
                     let (args, keywords) = self.call_arguments()?;
                     let rp = self.eat(&TokenKind::RParen)?;
                     let span = e.span.to(rp.span);
-                    e = self.expr(
-                        span,
-                        ExprKind::Call { func: Box::new(e), args, keywords },
-                    );
+                    e = self.expr(span, ExprKind::Call { func: Box::new(e), args, keywords });
                 }
                 TokenKind::LBracket => {
                     self.advance();
@@ -877,7 +863,11 @@ impl Parser {
                 Some(self.expression()?)
             };
             let step = if self.eat_if(&TokenKind::Colon) {
-                if self.check(&TokenKind::RBracket) { None } else { Some(self.expression()?) }
+                if self.check(&TokenKind::RBracket) {
+                    None
+                } else {
+                    Some(self.expression()?)
+                }
             } else {
                 None
             };
@@ -1432,11 +1422,19 @@ mod tests {
 
     #[test]
     fn collections() {
-        assert!(matches!(parse_expr("[1, 2, 3]").unwrap().kind, ExprKind::List(ref v) if v.len() == 3));
-        assert!(matches!(parse_expr("(1, 2)").unwrap().kind, ExprKind::Tuple(ref v) if v.len() == 2));
+        assert!(
+            matches!(parse_expr("[1, 2, 3]").unwrap().kind, ExprKind::List(ref v) if v.len() == 3)
+        );
+        assert!(
+            matches!(parse_expr("(1, 2)").unwrap().kind, ExprKind::Tuple(ref v) if v.len() == 2)
+        );
         assert!(matches!(parse_expr("()").unwrap().kind, ExprKind::Tuple(ref v) if v.is_empty()));
-        assert!(matches!(parse_expr("{}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.is_empty()));
-        assert!(matches!(parse_expr("{1: 'a'}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.len() == 1));
+        assert!(
+            matches!(parse_expr("{}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.is_empty())
+        );
+        assert!(
+            matches!(parse_expr("{1: 'a'}").unwrap().kind, ExprKind::Dict { ref keys, .. } if keys.len() == 1)
+        );
         assert!(matches!(parse_expr("{1, 2}").unwrap().kind, ExprKind::Set(ref v) if v.len() == 2));
         assert!(matches!(parse_expr("[1,]").unwrap().kind, ExprKind::List(ref v) if v.len() == 1));
     }
@@ -1523,7 +1521,8 @@ mod tests {
 
     #[test]
     fn node_ids_are_dense_and_unique() {
-        let m = parse_module("def f(a):\n    if a:\n        return a.b\n    return None\n").unwrap();
+        let m =
+            parse_module("def f(a):\n    if a:\n        return a.b\n    return None\n").unwrap();
         use std::collections::HashSet;
         let mut seen = HashSet::new();
         fn walk_stmt(s: &Stmt, seen: &mut HashSet<u32>) {
@@ -1540,10 +1539,8 @@ mod tests {
                         walk_stmt(st, seen);
                     }
                 }
-                StmtKind::Return { value } => {
-                    if let Some(v) = value {
-                        walk_expr(v, seen);
-                    }
+                StmtKind::Return { value: Some(v) } => {
+                    walk_expr(v, seen);
                 }
                 _ => {}
             }

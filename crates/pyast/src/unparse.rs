@@ -74,7 +74,8 @@ fn unparse_stmt_into(stmt: &Stmt, level: usize, out: &mut String) {
                             unparse_stmt_into(&orelse[0], level, &mut tmp);
                             tmp
                         };
-                        let rendered = rendered.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
+                        let rendered =
+                            rendered.replacen(&format!("{pad}if "), &format!("{pad}elif "), 1);
                         out.push_str(&rendered);
                         return;
                     }
@@ -647,10 +648,7 @@ mod tests {
 
     #[test]
     fn comprehension_renders() {
-        assert_eq!(
-            round_trip_expr("[x.id for x in rows if x.ok]"),
-            "[x.id for x in rows if x.ok]"
-        );
+        assert_eq!(round_trip_expr("[x.id for x in rows if x.ok]"), "[x.id for x in rows if x.ok]");
     }
 
     #[test]

@@ -88,8 +88,7 @@ fn expr_strategy() -> impl Strategy<Value = String> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) == ({b})")),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| format!("({a}) and ({b})")),
             inner.clone().prop_map(|a| format!("not ({a})")),
-            (inner.clone(), "[a-z][a-z0-9_]{0,6}")
-                .prop_map(|(a, attr)| format!("({a}).{attr}")),
+            (inner.clone(), "[a-z][a-z0-9_]{0,6}").prop_map(|(a, attr)| format!("({a}).{attr}")),
             (inner.clone(), proptest::collection::vec(inner.clone(), 0..3))
                 .prop_map(|(f, args)| format!("({f})({})", args.join(", "))),
             proptest::collection::vec(inner.clone(), 0..3)
@@ -107,16 +106,13 @@ fn stmt_strategy() -> impl Strategy<Value = String> {
         (Just(()), e.clone()).prop_map(|(_, v)| format!("x = {v}\n")),
         e.clone().prop_map(|v| format!("return {v}\n")),
         e.clone().prop_map(|v| format!("{v}\n")),
-        (e.clone(), e.clone())
-            .prop_map(|(c, v)| format!("if {c}:\n    y = {v}\n")),
+        (e.clone(), e.clone()).prop_map(|(c, v)| format!("if {c}:\n    y = {v}\n")),
         (e.clone(), e.clone())
             .prop_map(|(c, v)| format!("if {c}:\n    y = {v}\nelse:\n    pass\n")),
-        (e.clone(), e.clone())
-            .prop_map(|(it, v)| format!("for i in {it}:\n    z = {v}\n")),
+        (e.clone(), e.clone()).prop_map(|(it, v)| format!("for i in {it}:\n    z = {v}\n")),
         e.clone().prop_map(|v| format!("while {v}:\n    break\n")),
         e.clone().prop_map(|v| format!("raise Error({v})\n")),
-        (e.clone(), e)
-            .prop_map(|(a, b)| format!("def f(p):\n    q = {a}\n    return {b}\n")),
+        (e.clone(), e).prop_map(|(a, b)| format!("def f(p):\n    q = {a}\n    return {b}\n")),
     ]
 }
 

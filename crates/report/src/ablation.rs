@@ -57,10 +57,7 @@ pub fn ablation_study(apps: &[GeneratedApp]) -> Vec<AblationRow> {
         .map(|app| {
             AppSource::new(
                 app.name.clone(),
-                app.files
-                    .iter()
-                    .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
-                    .collect(),
+                app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
             )
         })
         .collect();
@@ -160,11 +157,7 @@ mod tests {
         let no_guard = rows.iter().find(|r| r.config.contains("NULL-guard")).unwrap();
         // The guarded-nullable targets (and guarded uncovered-existing
         // usages) surface as extra detections.
-        assert!(
-            no_guard.false_positive > rows[0].false_positive,
-            "{no_guard:?} vs {:?}",
-            rows[0]
-        );
+        assert!(no_guard.false_positive > rows[0].false_positive, "{no_guard:?} vs {:?}", rows[0]);
     }
 
     #[test]

@@ -34,8 +34,7 @@ pub const ROWS_PER_TABLE: usize = 60;
 pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
     let mut rng = StdRng::seed_from_u64(app.profile.seed ^ 0xDA7A);
     let mut db = Database::without_enforcement();
-    let semantic: ConstraintSet =
-        app.declared.constraints().union(&app.truth.all_missing());
+    let semantic: ConstraintSet = app.declared.constraints().union(&app.truth.all_missing());
 
     let tables: Vec<_> = app.declared.tables().cloned().collect();
     for table in &tables {
@@ -62,7 +61,8 @@ pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
                 }
                 let required = not_null_cols.contains(&col.name.as_str());
                 let must_be_distinct = unique_cols.contains(&col.name.as_str());
-                let v = synth_value(&mut rng, &col.ty, &col.name, i, rows, required, must_be_distinct);
+                let v =
+                    synth_value(&mut rng, &col.ty, &col.name, i, rows, required, must_be_distinct);
                 values.push((col.name.clone(), v));
             }
             db.insert(&table.name, values.iter().map(|(k, v)| (k.as_str(), v.clone())))
@@ -86,8 +86,9 @@ fn synth_value(
     // them the null-producing code path "has not been triggered yet"
     // (keyed deterministically off the column name), which is exactly what
     // fools data-driven not-null discovery.
-    let col_hash: u64 = col.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
-    let null_possible = !required && col_hash % 2 == 0;
+    let col_hash: u64 =
+        col.bytes().fold(0u64, |acc, b| acc.wrapping_mul(31).wrapping_add(b as u64));
+    let null_possible = !required && col_hash.is_multiple_of(2);
     if null_possible && rng.gen_bool(0.15) {
         return Value::Null;
     }
@@ -95,7 +96,7 @@ fn synth_value(
         ColumnType::VarChar(_) | ColumnType::Text => {
             if distinct {
                 Value::from(format!("{col}-{row:06}"))
-            } else if col_hash % 3 == 0 {
+            } else if col_hash.is_multiple_of(3) {
                 // Narrow categorical domain: duplicates certain.
                 Value::from(format!("cat{}", rng.gen_range(0..8)))
             } else {
@@ -150,8 +151,7 @@ impl BaselineOutcome {
 /// Runs the miner over a populated database and classifies its proposals.
 pub fn evaluate_baseline(app: &GeneratedApp, db: &Database) -> BaselineOutcome {
     let discovered = discover_constraints(db, ProfileOptions::default());
-    let semantic: ConstraintSet =
-        app.declared.constraints().union(&app.truth.all_missing());
+    let semantic: ConstraintSet = app.declared.constraints().union(&app.truth.all_missing());
     let mut out = BaselineOutcome {
         missing_total: app.truth.all_missing().len(),
         ..BaselineOutcome::default()

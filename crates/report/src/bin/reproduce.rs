@@ -14,15 +14,33 @@ use cfinder_corpus::GenOptions;
 use cfinder_report::tables::all_tables;
 use cfinder_report::Evaluation;
 
+/// Reports a usage error and exits with status 2 (distinct from the
+/// panic/abort paths, matching the `cfinder` CLI's convention).
+fn usage_error(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    eprintln!("usage: reproduce [--quick] [--out DIR]");
+    std::process::exit(2);
+}
+
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let quick = args.iter().any(|a| a == "--quick");
-    let out_dir = args
-        .iter()
-        .position(|a| a == "--out")
-        .and_then(|i| args.get(i + 1))
-        .map(PathBuf::from)
-        .unwrap_or_else(|| PathBuf::from("result"));
+    let mut quick = false;
+    let mut out_dir = PathBuf::from("result");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match args.next() {
+                // A following flag means the value is missing, not a path:
+                // `reproduce --out --quick` must not write to `./--quick`.
+                Some(value) if !value.starts_with("--") => out_dir = PathBuf::from(value),
+                Some(flag) => {
+                    usage_error(&format!("--out expects a directory, found flag `{flag}`"))
+                }
+                None => usage_error("--out expects a directory"),
+            },
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
 
     let options = if quick { GenOptions::quick() } else { GenOptions::paper() };
     eprintln!(

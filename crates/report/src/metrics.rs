@@ -1,6 +1,7 @@
 //! Precision / recall / coverage metrics joining analyzer output with
 //! corpus ground truth.
 
+use cfinder_core::engine::{map_ordered, resolve_threads};
 use cfinder_core::{AnalysisReport, AppSource, CFinder, SourceFile};
 use cfinder_corpus::{GenOptions, GeneratedApp, StudyApp, Verdict};
 use cfinder_schema::ConstraintType;
@@ -50,10 +51,7 @@ impl AppEvaluation {
     pub fn run(app: GeneratedApp) -> AppEvaluation {
         let source = AppSource::new(
             app.name.clone(),
-            app.files
-                .iter()
-                .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
-                .collect(),
+            app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
         let report = CFinder::new().analyze(&source, &app.declared);
         AppEvaluation { app, report }
@@ -105,11 +103,12 @@ pub struct HistoryRecall {
 }
 
 impl HistoryRecall {
-    /// Runs the analyzer over each study app's old-version code.
+    /// Runs the analyzer over each study app's old-version code. Apps are
+    /// analyzed in parallel (one work unit per app); per-app tallies are
+    /// folded in study order, so the result matches a serial run exactly.
     pub fn run(study: &[StudyApp]) -> HistoryRecall {
         let finder = CFinder::new();
-        let mut recall = HistoryRecall::default();
-        for app in study {
+        let per_app = map_ordered(study, finder.threads(), |app| {
             let source = AppSource::new(
                 app.name.clone(),
                 app.old_code
@@ -118,17 +117,28 @@ impl HistoryRecall {
                     .collect(),
             );
             let report = finder.analyze(&source, &app.old_schema);
+            let mut partial = HistoryRecall::default();
             for entry in app.entries.iter().filter(|e| e.in_dataset()) {
                 let slot = match entry.constraint.constraint_type() {
-                    ConstraintType::Unique => &mut recall.unique,
-                    ConstraintType::NotNull => &mut recall.not_null,
-                    ConstraintType::ForeignKey => &mut recall.foreign_key,
+                    ConstraintType::Unique => &mut partial.unique,
+                    ConstraintType::NotNull => &mut partial.not_null,
+                    ConstraintType::ForeignKey => &mut partial.foreign_key,
                 };
                 slot.0 += 1;
                 if report.missing.iter().any(|m| m.constraint == entry.constraint) {
                     slot.1 += 1;
                 }
             }
+            partial
+        });
+        let mut recall = HistoryRecall::default();
+        for partial in per_app {
+            recall.unique.0 += partial.unique.0;
+            recall.unique.1 += partial.unique.1;
+            recall.not_null.0 += partial.not_null.0;
+            recall.not_null.1 += partial.not_null.1;
+            recall.foreign_key.0 += partial.foreign_key.0;
+            recall.foreign_key.1 += partial.foreign_key.1;
         }
         recall
     }
@@ -154,12 +164,14 @@ pub struct Evaluation {
 }
 
 impl Evaluation {
-    /// Generates the corpus and runs everything.
+    /// Generates the corpus and runs everything. Apps are generated and
+    /// analyzed in parallel (one work unit per app); the result vector
+    /// stays in paper order regardless of the thread count.
     pub fn run(options: GenOptions) -> Evaluation {
-        let apps = cfinder_corpus::all_profiles()
-            .iter()
-            .map(|p| AppEvaluation::run(cfinder_corpus::generate(p, options)))
-            .collect();
+        let profiles = cfinder_corpus::all_profiles();
+        let apps = map_ordered(&profiles, resolve_threads(None), |p| {
+            AppEvaluation::run(cfinder_corpus::generate(p, options))
+        });
         let study = cfinder_corpus::study_corpus();
         let history = HistoryRecall::run(&study);
         Evaluation { apps, study, history }

@@ -73,7 +73,14 @@ pub fn table2(eval: &Evaluation) -> TextTable {
 pub fn table3(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
         "Table 3: Reasons why developers add the missing constraints",
-        &["Type", "From reported issue", "Learn from similar", "Fixed by dev", "Feature/Refactor", "Unknown"],
+        &[
+            "Type",
+            "From reported issue",
+            "Learn from similar",
+            "Fixed by dev",
+            "Feature/Refactor",
+            "Unknown",
+        ],
     );
     let reports: Vec<StudyReport> = eval.study.iter().map(|a| a.history.study()).collect();
     let merged = StudyReport::merged(reports.iter());
@@ -194,7 +201,10 @@ pub fn table5(eval: &Evaluation) -> TextTable {
 pub fn table6(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
         "Table 6: Detected missing constraints per constraint type and code pattern",
-        &["App.", "PA_u1", "PA_u2", "U Tot.", "PA_n1", "PA_n2", "PA_n3", "N Tot.", "PA_f1", "PA_f2", "FK Tot."],
+        &[
+            "App.", "PA_u1", "PA_u2", "U Tot.", "PA_n1", "PA_n2", "PA_n3", "N Tot.", "PA_f1",
+            "PA_f2", "FK Tot.",
+        ],
     );
     let mut totals = [0usize; 10];
     for a in eval.open_source_apps() {
@@ -227,7 +237,10 @@ pub fn table6(eval: &Evaluation) -> TextTable {
 pub fn table7(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
         "Table 7: Precision of detected missing constraints",
-        &["App.", "U Tot.", "U TP", "U Prec.", "N Tot.", "N TP", "N Prec.", "FK Tot.", "FK TP", "FK Prec."],
+        &[
+            "App.", "U Tot.", "U TP", "U Prec.", "N Tot.", "N TP", "N Prec.", "FK Tot.", "FK TP",
+            "FK Prec.",
+        ],
     );
     let mut sum = [PrecisionCell::default(); 3];
     for a in eval.open_source_apps() {
@@ -309,17 +322,35 @@ pub fn table9(eval: &Evaluation) -> TextTable {
     t
 }
 
-/// Table 10: static-analysis wall-clock time per application.
+/// Table 10: static-analysis wall-clock time per application, with the
+/// per-stage breakdown (parse / models / detect / diff) recorded by the
+/// parallel engine and the worker-thread count it ran with.
 pub fn table10(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
         "Table 10: Time (seconds) to run the static analysis",
-        &["App.", "LoC", "Analysis time (s)"],
+        &[
+            "App.",
+            "LoC",
+            "Analysis time (s)",
+            "Parse (s)",
+            "Models (s)",
+            "Detect (s)",
+            "Diff (s)",
+            "Threads",
+        ],
     );
+    let secs = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64());
     for a in eval.apps.iter().filter(|a| a.app.name != "company") {
+        let ts = &a.report.timings;
         t.row([
             a.app.name.clone(),
             a.report.loc.to_string(),
             format!("{:.2}", a.report.analysis_time.as_secs_f64()),
+            secs(ts.parse),
+            secs(ts.model_extraction),
+            secs(ts.detection),
+            secs(ts.diff),
+            ts.threads.to_string(),
         ]);
     }
     t
@@ -348,7 +379,14 @@ pub fn figure1() -> TextTable {
 pub fn figure2_races() -> TextTable {
     let mut t = TextTable::new(
         "Figure 2: Check-then-act interleavings (2 concurrent signups, same email)",
-        &["App validation", "DB constraint", "Schedules", "Corrupted", "Corruption rate", "Worst duplicates"],
+        &[
+            "App validation",
+            "DB constraint",
+            "Schedules",
+            "Corrupted",
+            "Corruption rate",
+            "Worst duplicates",
+        ],
     );
     for (app, db) in [(true, false), (false, false), (true, true), (false, true)] {
         let r = simulate_interleavings(RaceConfig {
@@ -377,8 +415,8 @@ pub fn figure3_transactions() -> TextTable {
     );
     for requests in [2usize, 3, 4] {
         for constraint in [false, true] {
-            let dups = cfinder_minidb::transactional_race(requests, constraint)
-                .expect("fixture is valid");
+            let dups =
+                cfinder_minidb::transactional_race(requests, constraint).expect("fixture is valid");
             t.row([
                 requests.to_string(),
                 if constraint { "yes" } else { "no" }.to_string(),

@@ -141,11 +141,7 @@ impl Constraint {
         let mut conditions = conditions;
         conditions.sort();
         conditions.dedup();
-        Constraint::Unique {
-            table: table.into(),
-            columns: set.into_iter().collect(),
-            conditions,
-        }
+        Constraint::Unique { table: table.into(), columns: set.into_iter().collect(), conditions }
     }
 
     /// Creates a foreign-key constraint.
@@ -419,10 +415,7 @@ mod tests {
             Constraint::unique("WishlistLine", ["wishlist", "product"]).describe(),
             "WishlistLine Unique (product, wishlist)"
         );
-        assert_eq!(
-            Constraint::not_null("Order", "total").describe(),
-            "Order Not NULL (total)"
-        );
+        assert_eq!(Constraint::not_null("Order", "total").describe(), "Order Not NULL (total)");
         assert_eq!(
             Constraint::foreign_key("Discount", "voucher_id", "Voucher", "id").describe(),
             "Discount FK (voucher_id) ref Voucher(id)"

@@ -85,10 +85,8 @@ impl MigrationHistory {
                             .columns()
                             .iter()
                             .filter_map(|c| {
-                                column_created.get(&(
-                                    constraint.table().to_string(),
-                                    (*c).to_string(),
-                                ))
+                                column_created
+                                    .get(&(constraint.table().to_string(), (*c).to_string()))
                             })
                             .max()
                             .copied();

@@ -122,11 +122,7 @@ impl Schema {
     ///
     /// Panics if a table with the same name already exists.
     pub fn add_table(&mut self, table: Table) {
-        assert!(
-            !self.tables.contains_key(&table.name),
-            "duplicate table `{}`",
-            table.name
-        );
+        assert!(!self.tables.contains_key(&table.name), "duplicate table `{}`", table.name);
         for col in &table.columns {
             if !col.nullable {
                 self.constraints.insert(Constraint::not_null(&table.name, &col.name));
@@ -142,10 +138,7 @@ impl Schema {
     /// Returns an error message if the table is missing or the column
     /// already exists.
     pub fn add_column(&mut self, table: &str, column: Column) -> Result<(), String> {
-        let t = self
-            .tables
-            .get_mut(table)
-            .ok_or_else(|| format!("no such table `{table}`"))?;
+        let t = self.tables.get_mut(table).ok_or_else(|| format!("no such table `{table}`"))?;
         if t.column(&column.name).is_some() {
             return Err(format!("column `{}` already exists in `{table}`", column.name));
         }
@@ -278,11 +271,8 @@ impl fmt::Display for Schema {
             writeln!(f, "TABLE {} (", t.name)?;
             for c in &t.columns {
                 let null = if c.nullable { "" } else { " NOT NULL" };
-                let default = c
-                    .default
-                    .as_ref()
-                    .map(|d| format!(" DEFAULT {d}"))
-                    .unwrap_or_default();
+                let default =
+                    c.default.as_ref().map(|d| format!(" DEFAULT {d}")).unwrap_or_default();
                 let pk = if c.name == t.primary_key { " PRIMARY KEY" } else { "" };
                 writeln!(f, "    {} {}{null}{default}{pk},", c.name, c.ty)?;
             }
@@ -317,10 +307,7 @@ mod tests {
         assert_eq!(t.primary_key, "id");
         assert!(t.column("email").unwrap().nullable);
         assert!(!t.column("name").unwrap().nullable);
-        assert_eq!(
-            t.column("active").unwrap().default,
-            Some(Literal::Bool(true))
-        );
+        assert_eq!(t.column("active").unwrap().default, Some(Literal::Bool(true)));
         assert!(t.column("missing").is_none());
     }
 
@@ -392,8 +379,7 @@ mod tests {
     fn add_column_after_creation() {
         let mut s = Schema::new();
         s.add_table(users_table());
-        s.add_column("users", Column::new("phone", ColumnType::VarChar(20)))
-            .unwrap();
+        s.add_column("users", Column::new("phone", ColumnType::VarChar(20))).unwrap();
         assert!(s.table("users").unwrap().column("phone").is_some());
         assert!(s.add_column("users", Column::new("phone", ColumnType::VarChar(20))).is_err());
         assert!(s.add_column("ghosts", Column::new("x", ColumnType::Integer)).is_err());

@@ -55,7 +55,10 @@ impl ColumnType {
     pub fn is_numeric(&self) -> bool {
         matches!(
             self,
-            ColumnType::Integer | ColumnType::BigInt | ColumnType::Float | ColumnType::Decimal(_, _)
+            ColumnType::Integer
+                | ColumnType::BigInt
+                | ColumnType::Float
+                | ColumnType::Decimal(_, _)
         )
     }
 }

@@ -19,8 +19,7 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint> {
 }
 
 fn set_strategy() -> impl Strategy<Value = ConstraintSet> {
-    proptest::collection::vec(constraint_strategy(), 0..12)
-        .prop_map(|v| v.into_iter().collect())
+    proptest::collection::vec(constraint_strategy(), 0..12).prop_map(|v| v.into_iter().collect())
 }
 
 proptest! {

@@ -1,0 +1,214 @@
+//! Vendored `criterion` shim.
+//!
+//! A minimal wall-clock benchmark harness exposing the API subset the
+//! `cfinder-bench` targets use. Each benchmark warms up briefly, then runs
+//! until a small time budget or iteration cap is reached, and prints the
+//! mean iteration time (plus throughput when configured). There are no
+//! statistical analyses or HTML reports.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measurement budget per benchmark. Deliberately small: these benches run
+/// in CI-adjacent environments where statistical rigor matters less than
+/// finishing quickly while still exercising the measured code.
+const WARMUP_ITERS: u64 = 2;
+const TIME_BUDGET: Duration = Duration::from_millis(300);
+const MAX_ITERS: u64 = 1_000_000;
+
+/// Top-level harness handle.
+#[derive(Default)]
+pub struct Criterion {
+    benchmarks_run: usize,
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into().label, None, &mut f);
+        self.benchmarks_run += 1;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Prints a closing line; called by `criterion_main!`.
+    pub fn final_summary(&self) {
+        println!("benchmarks complete: {} run", self.benchmarks_run);
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; sampling is time-boxed here.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into().label);
+        run_one(&label, self.throughput, &mut f);
+        self.criterion.benchmarks_run += 1;
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Benchmark identifier; constructed from labels or parameters.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: parameter.to_string() }
+    }
+
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { label: format!("{}/{}", function.into(), parameter) }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Units for reported throughput.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// How much setup output to batch per measurement (ignored: every
+/// iteration gets a fresh setup value).
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    SmallInput,
+    LargeInput,
+    PerIteration,
+}
+
+/// Timing context passed to each benchmark closure.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        for _ in 0..WARMUP_ITERS {
+            black_box(f());
+        }
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TIME_BUDGET {
+            let start = Instant::now();
+            black_box(f());
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm = setup();
+        black_box(routine(warm));
+        let budget_start = Instant::now();
+        while self.iters < MAX_ITERS && budget_start.elapsed() < TIME_BUDGET {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            self.elapsed += start.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, throughput: Option<Throughput>, f: &mut F) {
+    let mut bencher = Bencher { iters: 0, elapsed: Duration::ZERO };
+    f(&mut bencher);
+    if bencher.iters == 0 {
+        println!("{label:<50} (no iterations recorded)");
+        return;
+    }
+    let mean = bencher.elapsed / bencher.iters as u32;
+    let mut line = format!("{label:<50} {mean:>12?}/iter  ({} iters)", bencher.iters);
+    if let Some(t) = throughput {
+        let per_sec = |units: u64| units as f64 / mean.as_secs_f64();
+        match t {
+            Throughput::Elements(n) => {
+                line.push_str(&format!("  {:.0} elem/s", per_sec(n)));
+            }
+            Throughput::Bytes(n) => {
+                line.push_str(&format!("  {:.0} B/s", per_sec(n)));
+            }
+        }
+    }
+    println!("{line}");
+}
+
+/// Bundles benchmark functions into a group runner, mirroring criterion's
+/// macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $( $group(&mut c); )+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,89 @@
+//! Vendored `crossbeam` shim.
+//!
+//! Implements `crossbeam::scope` / `crossbeam::thread::scope` on top of
+//! `std::thread::scope` (stable since Rust 1.63). The crossbeam API differs
+//! from std in two ways this shim preserves:
+//!
+//! * the spawn closure receives the scope again (`scope.spawn(|s| ...)`),
+//!   allowing nested spawns;
+//! * `scope()` returns `Err(panic payload)` instead of propagating a child
+//!   panic, so callers write `crossbeam::scope(...).expect("...")`.
+
+pub use thread::{scope, Scope, ScopedJoinHandle};
+
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Result of a scope or of joining one scoped thread.
+    pub type Result<T> = std::result::Result<T, Box<dyn Any + Send + 'static>>;
+
+    /// Handle to a scoped thread; joined implicitly at scope exit if not
+    /// joined explicitly.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    /// Crossbeam-style scope: a `Copy` wrapper over std's scope handle so a
+    /// spawned closure can carry it by value and hand `&Scope` back to its
+    /// own body.
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let this = *self;
+            ScopedJoinHandle { inner: this.inner.spawn(move || f(&this)) }
+        }
+    }
+
+    /// Runs `f` with a scope handle; all threads spawned in the scope are
+    /// joined before this returns. A child panic is returned as `Err`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| std::thread::scope(|s| f(&Scope { inner: s }))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawn_and_collect() {
+        let data = vec![1, 2, 3, 4];
+        let total: i32 = super::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&n| s.spawn(move |_| n * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn nested_spawn() {
+        let r = super::scope(|s| s.spawn(|s2| s2.spawn(|_| 7).join().unwrap()).join().unwrap())
+            .unwrap();
+        assert_eq!(r, 7);
+    }
+
+    #[test]
+    fn child_panic_is_err() {
+        let r = super::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+}

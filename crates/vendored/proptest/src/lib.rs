@@ -1,0 +1,223 @@
+//! Vendored `proptest` shim.
+//!
+//! Random-sampling property testing with the API subset this workspace
+//! uses: `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`,
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, `Just`, integer
+//! ranges, regex-subset `&str` strategies, `collection::{vec, btree_set}`,
+//! and `option::of`.
+//!
+//! Differences from upstream: cases are sampled with a per-test
+//! deterministic seed (derived from the test name) and failures report the
+//! generated inputs, but there is **no shrinking**.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! Collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with length drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        assert!(!size.is_empty(), "collection::vec: empty size range");
+        VecStrategy { element, size }
+    }
+
+    /// Strategy for `BTreeSet`s that aims for a cardinality drawn from
+    /// `size` (best effort when the element domain is small).
+    pub fn btree_set<S>(element: S, size: Range<usize>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        assert!(!size.is_empty(), "collection::btree_set: empty size range");
+        BTreeSetStrategy { element, size }
+    }
+
+    #[derive(Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.usize_in(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    #[derive(Clone)]
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.usize_in(self.size.clone());
+            let mut out = BTreeSet::new();
+            // Bounded retries in case the element domain is smaller than
+            // the requested cardinality.
+            let mut attempts = 0;
+            while out.len() < target && attempts < 10 * (target + 1) {
+                out.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod option {
+    //! `Option` strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy for `Option<T>`: `Some` three times out of four.
+    pub fn of<S: Strategy>(element: S) -> OptionStrategy<S> {
+        OptionStrategy { element }
+    }
+
+    #[derive(Clone)]
+    pub struct OptionStrategy<S> {
+        element: S,
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.element.generate(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy, Union};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_oneof, proptest};
+}
+
+// --- macros -----------------------------------------------------------------
+
+/// Defines property tests. Supports an optional leading
+/// `#![proptest_config(...)]` and any number of
+/// `fn name(arg in strategy, ...) { body }` items.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { cfg = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            cfg = ($crate::test_runner::ProptestConfig::default()); $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (cfg = ($cfg:expr);
+     $($(#[$meta:meta])*
+       fn $name:ident($($arg:pat_param in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config = $cfg;
+                $crate::test_runner::run_cases(
+                    ::std::stringify!($name),
+                    __config.cases,
+                    |__rng, __repr| {
+                        let __vals =
+                            ($( $crate::strategy::Strategy::generate(&($strat), __rng), )*);
+                        *__repr = ::std::format!("{:?}", __vals);
+                        let __run = move || -> ::std::result::Result<(), ::std::string::String> {
+                            let ($($arg,)*) = __vals;
+                            $body
+                            ::std::result::Result::Ok(())
+                        };
+                        __run()
+                    },
+                );
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies that share a value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(
+            vec![$($crate::strategy::Strategy::boxed($strat)),+]
+        )
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body; on failure the case's
+/// generated inputs are reported.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}",
+                ::std::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: {}: {}",
+                ::std::stringify!($cond),
+                ::std::format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// Asserts equality inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`",
+                __l, __r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(__l == __r) {
+            return ::std::result::Result::Err(::std::format!(
+                "assertion failed: `{:?}` == `{:?}`: {}",
+                __l, __r,
+                ::std::format!($($fmt)+)
+            ));
+        }
+    }};
+}

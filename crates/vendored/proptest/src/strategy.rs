@@ -1,0 +1,326 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+use std::fmt::Debug;
+use std::rc::Rc;
+
+/// A generator of random values. Unlike upstream proptest there is no
+/// value tree: strategies sample directly and nothing shrinks.
+pub trait Strategy {
+    type Value: Debug;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transforms generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        O: Debug,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { source: self, f }
+    }
+
+    /// Type-erases the strategy behind a cheaply clonable handle.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+
+    /// Builds recursive structures: at each of `depth` levels the result is
+    /// an even choice between stopping at the previous level and recursing
+    /// once more via `recurse`. (`_desired_size` and `_expected_branch` are
+    /// accepted for upstream signature compatibility and ignored.)
+    fn prop_recursive<F, S>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let mut current = self.boxed();
+        for _ in 0..depth {
+            let deeper = recurse(current.clone()).boxed();
+            current = Union::new(vec![current, deeper]).boxed();
+        }
+        current
+    }
+}
+
+/// Type-erased, clonable strategy handle.
+pub struct BoxedStrategy<T>(Rc<dyn Strategy<Value = T>>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Debug> Strategy for BoxedStrategy<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.0.generate(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// `prop_map` adapter.
+#[derive(Clone)]
+pub struct Map<S, F> {
+    source: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    O: Debug,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.source.generate(rng))
+    }
+}
+
+/// Uniform choice between strategies sharing a value type (`prop_oneof!`).
+pub struct Union<T> {
+    options: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    pub fn new(options: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<T> Clone for Union<T> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<T: Debug> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.usize_below(self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+// --- tuples -----------------------------------------------------------------
+
+macro_rules! tuple_strategy {
+    ($($S:ident : $idx:tt),+) => {
+        impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+            type Value = ($($S::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A: 0);
+tuple_strategy!(A: 0, B: 1);
+tuple_strategy!(A: 0, B: 1, C: 2);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4);
+tuple_strategy!(A: 0, B: 1, C: 2, D: 3, E: 4, F: 5);
+
+// --- integer ranges ---------------------------------------------------------
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for std::ops::Range<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+        impl Strategy for std::ops::RangeInclusive<$ty> {
+            type Value = $ty;
+            fn generate(&self, rng: &mut TestRng) -> $ty {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+// --- regex-subset string strategies ----------------------------------------
+
+/// `&'static str` patterns act as generators for matching strings, using a
+/// regex subset: literal chars, `.`, `[...]` classes with ranges, and
+/// `{n}` / `{m,n}` quantifiers.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let atoms = parse_pattern(self);
+        let mut out = String::new();
+        for atom in &atoms {
+            let count =
+                if atom.min == atom.max { atom.min } else { rng.usize_in(atom.min..atom.max + 1) };
+            for _ in 0..count {
+                let i = rng.usize_below(atom.chars.len());
+                out.push(atom.chars[i]);
+            }
+        }
+        out
+    }
+}
+
+struct Atom {
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse_pattern(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let set = match chars[i] {
+            '.' => {
+                i += 1;
+                (' '..='~').collect()
+            }
+            '[' => {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = unescape(&chars, &mut i, pattern);
+                    if i + 1 < chars.len() && chars[i] == '-' && chars[i + 1] != ']' {
+                        i += 1; // consume `-`
+                        let hi = unescape(&chars, &mut i, pattern);
+                        assert!(lo <= hi, "bad range in class: {pattern}");
+                        set.extend(lo..=hi);
+                    } else {
+                        set.push(lo);
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern: {pattern}");
+                i += 1; // consume `]`
+                set
+            }
+            _ => {
+                vec![unescape(&chars, &mut i, pattern)]
+            }
+        };
+        assert!(!set.is_empty(), "empty character set in pattern: {pattern}");
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern: {pattern}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern}")),
+                    n.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern}")),
+                ),
+                None => {
+                    let n = body.parse().unwrap_or_else(|_| panic!("bad quantifier in {pattern}"));
+                    (n, n)
+                }
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(min <= max, "inverted quantifier in pattern: {pattern}");
+        atoms.push(Atom { chars: set, min, max });
+    }
+    atoms
+}
+
+/// Reads one (possibly `\`-escaped) literal char, advancing the cursor.
+fn unescape(chars: &[char], i: &mut usize, pattern: &str) -> char {
+    let c = chars[*i];
+    *i += 1;
+    if c != '\\' {
+        return c;
+    }
+    let esc = *chars.get(*i).unwrap_or_else(|| panic!("dangling escape in pattern: {pattern}"));
+    *i += 1;
+    match esc {
+        'n' => '\n',
+        't' => '\t',
+        'r' => '\r',
+        other => other,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_subset_shapes() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = "[a-z][a-z0-9_]{0,6}".generate(&mut rng);
+            assert!((1..=7).contains(&s.chars().count()), "bad len: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+        }
+        for _ in 0..50 {
+            let s = "[ -~\n]{0,120}".generate(&mut rng);
+            assert!(s.chars().count() <= 120);
+            assert!(s.chars().all(|c| c == '\n' || (' '..='~').contains(&c)));
+        }
+        let exact = "[a-d]".generate(&mut rng);
+        assert_eq!(exact.len(), 1);
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let mut rng = TestRng::new(2);
+        let strat =
+            crate::prop_oneof![(0i64..10).prop_map(|n| n.to_string()), Just("x".to_string()),];
+        for _ in 0..50 {
+            let v = strat.generate(&mut rng);
+            assert!(v == "x" || v.parse::<i64>().map(|n| (0..10).contains(&n)) == Ok(true));
+        }
+    }
+
+    #[test]
+    fn recursive_terminates() {
+        let leaf = Just(1u32).boxed();
+        let tree =
+            leaf.prop_recursive(3, 24, 4, |inner| (inner.clone(), inner).prop_map(|(a, b)| a + b));
+        let mut rng = TestRng::new(3);
+        for _ in 0..100 {
+            let v = tree.generate(&mut rng);
+            assert!((1..=16).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,90 @@
+//! Deterministic test-case runner and RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Per-`proptest!` configuration (only the case count is configurable).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// RNG handed to strategies; deterministic per (test name, case index).
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn new(seed: u64) -> Self {
+        TestRng { inner: StdRng::seed_from_u64(seed) }
+    }
+
+    /// Direct access for strategies that sample typed ranges.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+
+    /// Uniform in `[0, n)`; `n` must be positive.
+    pub fn usize_below(&mut self, n: usize) -> usize {
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform in a half-open range.
+    pub fn usize_in(&mut self, range: Range<usize>) -> usize {
+        self.inner.gen_range(range)
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+/// Runs `cases` iterations of `f`. The callback writes a debug rendering of
+/// the generated inputs into its second argument *before* running the body,
+/// so both assertion failures and panics can report the offending inputs.
+pub fn run_cases<F>(name: &str, cases: u32, mut f: F)
+where
+    F: FnMut(&mut TestRng, &mut String) -> Result<(), String>,
+{
+    let base = fnv1a(name.as_bytes());
+    for case in 0..cases {
+        let seed = base ^ u64::from(case).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = TestRng::new(seed);
+        let mut repr = String::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut rng, &mut repr)));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => {
+                panic!("proptest `{name}` failed at case {case}/{cases}: {msg}\n    inputs: {repr}")
+            }
+            Err(payload) => {
+                eprintln!("proptest `{name}` panicked at case {case}/{cases}; inputs: {repr}");
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}

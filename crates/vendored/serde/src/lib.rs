@@ -1,0 +1,506 @@
+//! Vendored `serde` shim.
+//!
+//! A value-model take on serde's API: `Serialize` lowers a Rust value to a
+//! dynamic [`Value`], `Deserialize` lifts one back. The generic
+//! `Serializer`/`Deserializer` traits exist so code written against real
+//! serde (custom `#[serde(with = "...")]` modules, generic bounds)
+//! compiles unchanged; both are implemented by transporting a [`Value`].
+//!
+//! Only the API surface this workspace uses is provided.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The dynamic data model every (de)serialization round-trips through.
+///
+/// Re-exported by the vendored `serde_json` as its `Value` type.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer outside the `i64` range.
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion-ordered so output is deterministic.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// `serde_json`-compatible alias for [`Value::as_seq`].
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        self.as_seq()
+    }
+
+    /// Borrows the entries if this is an object.
+    pub fn as_map(&self) -> Option<&Vec<(String, Value)>> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string if this is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::UInt(u) => Some(*u),
+            _ => None,
+        }
+    }
+
+    /// The value as a signed integer, if representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(i) => Some(*i),
+            Value::UInt(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a float (integers coerce).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::UInt(u) => Some(*u as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// The value as a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Object field lookup (`None` for non-objects and absent keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_map().and_then(|m| m.iter().find(|(k, _)| k == key).map(|(_, v)| v))
+    }
+
+    /// True if this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+static NULL: Value = Value::Null;
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    fn index(&self, idx: usize) -> &Value {
+        self.as_seq().and_then(|s| s.get(idx)).unwrap_or(&NULL)
+    }
+}
+
+/// The single error type used on both the serialize and deserialize paths.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error from a message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Error { msg: msg.into() }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// serde's `ser::Error`/`de::Error` construction hook, shared by both
+/// directions here.
+pub trait CustomError: Sized {
+    /// Builds an error from a display-able message.
+    fn custom<M: fmt::Display>(msg: M) -> Self;
+}
+
+impl CustomError for Error {
+    fn custom<M: fmt::Display>(msg: M) -> Self {
+        Error::new(msg.to_string())
+    }
+}
+
+/// Alias kept for generated code readability.
+pub type DeError = Error;
+
+/// A data format that can consume a [`Value`].
+pub trait Serializer: Sized {
+    /// Successful output.
+    type Ok;
+    /// Error type.
+    type Error: CustomError;
+
+    /// Consumes a fully-lowered value.
+    fn serialize_value(self, v: Value) -> Result<Self::Ok, Self::Error>;
+}
+
+/// A data format that can produce a [`Value`].
+pub trait Deserializer<'de>: Sized {
+    /// Error type.
+    type Error: CustomError;
+
+    /// Produces the transported value.
+    fn take_value(self) -> Result<Value, Self::Error>;
+}
+
+/// A type that can lower itself to the [`Value`] data model.
+pub trait Serialize {
+    /// Lowers `self` to a [`Value`].
+    fn to_value(&self) -> Value;
+
+    /// serde-compatible entry point.
+    fn serialize<S: Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_value(self.to_value())
+    }
+}
+
+/// A type that can lift itself from the [`Value`] data model.
+pub trait Deserialize<'de>: Sized {
+    /// Lifts a value into `Self`.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+
+    /// serde-compatible entry point.
+    fn deserialize<D: Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let v = deserializer.take_value()?;
+        Self::from_value(&v).map_err(<D::Error as CustomError>::custom)
+    }
+}
+
+/// Transport serializer/deserializer used by generated code to call
+/// `#[serde(with = "...")]` modules.
+pub mod value {
+    use super::*;
+
+    /// A [`Serializer`] whose output is the lowered [`Value`] itself.
+    pub struct ValueSerializer;
+
+    impl Serializer for ValueSerializer {
+        type Ok = Value;
+        type Error = Error;
+
+        fn serialize_value(self, v: Value) -> Result<Value, Error> {
+            Ok(v)
+        }
+    }
+
+    /// A [`Deserializer`] over an owned [`Value`].
+    pub struct ValueDeserializer {
+        value: Value,
+    }
+
+    impl ValueDeserializer {
+        /// Wraps a value.
+        pub fn new(value: Value) -> Self {
+            ValueDeserializer { value }
+        }
+    }
+
+    impl<'de> Deserializer<'de> for ValueDeserializer {
+        type Error = Error;
+
+        fn take_value(self) -> Result<Value, Error> {
+            Ok(self.value)
+        }
+    }
+
+    /// Field lookup used by generated `Deserialize` impls; absent keys
+    /// read as `Null` so `Option` fields default cleanly.
+    pub fn get_field<'a>(m: &'a [(String, Value)], key: &str) -> &'a Value {
+        m.iter().find(|(k, _)| k == key).map(|(_, v)| v).unwrap_or(&NULL)
+    }
+}
+
+// --- Serialize impls for std types -----------------------------------------
+
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+ser_int!(i8, i16, i32, i64, isize, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        if *self <= i64::MAX as u64 {
+            Value::Int(*self as i64)
+        } else {
+            Value::UInt(*self)
+        }
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        (*self as u64).to_value()
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        self.as_slice().to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.clone(), v.to_value())).collect())
+    }
+}
+
+macro_rules! ser_tuple {
+    ($(($($n:tt $t:ident),+)),+) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )+};
+}
+
+ser_tuple!((0 A), (0 A, 1 B), (0 A, 1 B, 2 C), (0 A, 1 B, 2 C, 3 D));
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+// --- Deserialize impls for std types ---------------------------------------
+
+fn type_err<T>(expected: &str, got: &Value) -> Result<T, Error> {
+    Err(Error::new(format!("expected {expected}, got {got:?}")))
+}
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl<'de> Deserialize<'de> for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                match v.as_i64() {
+                    Some(i) => <$t>::try_from(i)
+                        .map_err(|_| Error::new(format!("integer {i} out of range for {}", stringify!($t)))),
+                    None => type_err("integer", v),
+                }
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize, u8, u16, u32, usize);
+
+impl<'de> Deserialize<'de> for u64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_u64().ok_or_else(|| Error::new(format!("expected unsigned integer, got {v:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64().ok_or_else(|| Error::new(format!("expected number, got {v:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        f64::from_value(v).map(|f| f as f32)
+    }
+}
+
+impl<'de> Deserialize<'de> for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool().ok_or_else(|| Error::new(format!("expected boolean, got {v:?}")))
+    }
+}
+
+impl<'de> Deserialize<'de> for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::new(format!("expected string, got {v:?}")))
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de>> Deserialize<'de> for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq() {
+            Some(s) => s.iter().map(T::from_value).collect(),
+            None => type_err("sequence", v),
+        }
+    }
+}
+
+impl<'de, T: Deserialize<'de> + Ord> Deserialize<'de> for BTreeSet<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_seq() {
+            Some(s) => s.iter().map(T::from_value).collect(),
+            None => type_err("sequence", v),
+        }
+    }
+}
+
+impl<'de, V: Deserialize<'de>> Deserialize<'de> for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_map() {
+            Some(m) => m.iter().map(|(k, val)| Ok((k.clone(), V::from_value(val)?))).collect(),
+            None => type_err("object", v),
+        }
+    }
+}
+
+macro_rules! de_tuple {
+    ($(($len:literal; $($n:tt $t:ident),+)),+) => {$(
+        impl<'de, $($t: Deserialize<'de>),+> Deserialize<'de> for ($($t,)+) {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let s = v.as_seq().ok_or_else(|| Error::new(format!("expected {}-tuple, got {v:?}", $len)))?;
+                if s.len() != $len {
+                    return Err(Error::new(format!("expected {}-tuple, got {} elements", $len, s.len())));
+                }
+                Ok(($($t::from_value(&s[$n])?,)+))
+            }
+        }
+    )+};
+}
+
+de_tuple!((1; 0 A), (2; 0 A, 1 B), (3; 0 A, 1 B, 2 C), (4; 0 A, 1 B, 2 C, 3 D));
+
+impl<'de> Deserialize<'de> for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
+impl<'de> Deserialize<'de> for () {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(()),
+            other => type_err("null", other),
+        }
+    }
+}

@@ -1,0 +1,496 @@
+//! Vendored `serde_derive` shim.
+//!
+//! Generates `Serialize`/`Deserialize` impls against the vendored value-model
+//! `serde` crate. The input item is parsed directly from the proc-macro token
+//! stream (no `syn`/`quote` — they are unavailable offline), which is
+//! practical because the generated code only needs field/variant *names*:
+//! field types are recovered by inference in the emitted code.
+//!
+//! Supported shapes (everything this workspace derives on):
+//! * structs with named fields, including `#[serde(with = "module")]` fields;
+//! * enums with unit, newtype, tuple, and struct variants
+//!   (externally tagged, like real serde's default);
+//! * lifetime-generic structs (`Serialize` only).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// A parsed field: name plus optional `#[serde(with = "...")]` module path.
+struct Field {
+    name: String,
+    with: Option<String>,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Kind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Input {
+    name: String,
+    /// Raw generics tokens including the angle brackets (e.g. `< 'a >`),
+    /// or empty.
+    generics: String,
+    kind: Kind,
+}
+
+/// Derives the value-model `Serialize` impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    let body = match &input.kind {
+        Kind::Struct(fields) => serialize_struct_body(fields),
+        Kind::Enum(variants) => serialize_enum_body(&input.name, variants),
+    };
+    let code = format!(
+        "impl{g} ::serde::Serialize for {n}{g} {{\n\
+         fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}",
+        g = input.generics,
+        n = input.name,
+    );
+    code.parse().expect("serde_derive: generated Serialize impl parses")
+}
+
+/// Derives the value-model `Deserialize` impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let input = parse_input(input);
+    assert!(
+        input.generics.is_empty(),
+        "serde_derive shim: Deserialize on generic types is not supported (deriving on `{}`)",
+        input.name
+    );
+    let body = match &input.kind {
+        Kind::Struct(fields) => deserialize_struct_body(&input.name, fields),
+        Kind::Enum(variants) => deserialize_enum_body(&input.name, variants),
+    };
+    let code = format!(
+        "impl<'de> ::serde::Deserialize<'de> for {n} {{\n\
+         fn from_value(__v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{ {body} }}\n\
+         }}",
+        n = input.name,
+    );
+    code.parse().expect("serde_derive: generated Deserialize impl parses")
+}
+
+// --- code generation --------------------------------------------------------
+
+fn serialize_struct_body(fields: &[Field]) -> String {
+    let mut out = String::from("let mut __m: Vec<(String, ::serde::Value)> = Vec::new();\n");
+    for f in fields {
+        match &f.with {
+            Some(path) => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), match {path}::serialize(&self.{n}, \
+                 ::serde::value::ValueSerializer) {{ Ok(__v) => __v, Err(__e) => \
+                 ::std::panic!(\"with-serializer failed: {{}}\", __e) }}));\n",
+                n = f.name,
+            )),
+            None => out.push_str(&format!(
+                "__m.push((\"{n}\".to_string(), ::serde::Serialize::to_value(&self.{n})));\n",
+                n = f.name,
+            )),
+        }
+    }
+    out.push_str("::serde::Value::Map(__m)");
+    out
+}
+
+fn deserialize_struct_body(name: &str, fields: &[Field]) -> String {
+    let mut out = format!(
+        "let __m = __v.as_map().ok_or_else(|| ::serde::Error::new(\
+         \"expected object for struct {name}\"))?;\n\
+         ::std::result::Result::Ok({name} {{\n"
+    );
+    for f in fields {
+        match &f.with {
+            Some(path) => out.push_str(&format!(
+                "{n}: {path}::deserialize(::serde::value::ValueDeserializer::new(\
+                 ::serde::value::get_field(__m, \"{n}\").clone()))?,\n",
+                n = f.name,
+            )),
+            None => out.push_str(&format!(
+                "{n}: ::serde::Deserialize::from_value(::serde::value::get_field(__m, \"{n}\"))?,\n",
+                n = f.name,
+            )),
+        }
+    }
+    out.push_str("})");
+    out
+}
+
+fn serialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut out = String::from("match self {\n");
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => out
+                .push_str(&format!("{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string()),\n")),
+            VariantKind::Tuple(1) => out.push_str(&format!(
+                "{name}::{vn}(__f0) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                 ::serde::Serialize::to_value(__f0))]),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> =
+                    binds.iter().map(|b| format!("::serde::Serialize::to_value({b})")).collect();
+                out.push_str(&format!(
+                    "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                     ::serde::Value::Seq(vec![{}]))]),\n",
+                    binds.join(", "),
+                    elems.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "(\"{n}\".to_string(), ::serde::Serialize::to_value({n}))",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                out.push_str(&format!(
+                    "{name}::{vn} {{ {} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), \
+                     ::serde::Value::Map(vec![{}]))]),\n",
+                    binds.join(", "),
+                    entries.join(", "),
+                ));
+            }
+        }
+    }
+    out.push_str("}");
+    out
+}
+
+fn deserialize_enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.kind {
+            VariantKind::Unit => unit_arms
+                .push_str(&format!("\"{vn}\" => ::std::result::Result::Ok({name}::{vn}),\n")),
+            VariantKind::Tuple(1) => data_arms.push_str(&format!(
+                "\"{vn}\" => ::std::result::Result::Ok({name}::{vn}(\
+                 ::serde::Deserialize::from_value(__inner)?)),\n"
+            )),
+            VariantKind::Tuple(n) => {
+                let elems: Vec<String> = (0..*n)
+                    .map(|i| format!("::serde::Deserialize::from_value(&__s[{i}])?"))
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __s = __inner.as_seq().ok_or_else(|| ::serde::Error::new(\
+                     \"expected sequence for variant {name}::{vn}\"))?;\n\
+                     if __s.len() != {n} {{ return ::std::result::Result::Err(\
+                     ::serde::Error::new(\"wrong arity for variant {name}::{vn}\")); }}\n\
+                     ::std::result::Result::Ok({name}::{vn}({}))\n}}\n",
+                    elems.join(", "),
+                ));
+            }
+            VariantKind::Struct(fields) => {
+                let inits: Vec<String> = fields
+                    .iter()
+                    .map(|f| {
+                        format!(
+                            "{n}: ::serde::Deserialize::from_value(\
+                             ::serde::value::get_field(__fm, \"{n}\"))?",
+                            n = f.name
+                        )
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "\"{vn}\" => {{\n\
+                     let __fm = __inner.as_map().ok_or_else(|| ::serde::Error::new(\
+                     \"expected object for variant {name}::{vn}\"))?;\n\
+                     ::std::result::Result::Ok({name}::{vn} {{ {} }})\n}}\n",
+                    inits.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "match __v {{\n\
+         ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+         {unit_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"unknown variant `{{}}` for enum {name}\", __other))),\n\
+         }},\n\
+         ::serde::Value::Map(__m) if __m.len() == 1 => {{\n\
+         let (__k, __inner) = &__m[0];\n\
+         match __k.as_str() {{\n\
+         {data_arms}\
+         __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"unknown variant `{{}}` for enum {name}\", __other))),\n\
+         }}\n\
+         }},\n\
+         __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\
+         \"cannot deserialize enum {name} from {{:?}}\", __other))),\n\
+         }}"
+    )
+}
+
+// --- token-stream parsing ---------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    // Skip outer attributes and visibility until `struct` / `enum`.
+    let mut is_enum = false;
+    loop {
+        assert!(i < tokens.len(), "serde_derive shim: no struct/enum keyword found");
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                i += 2; // `#` + bracket group
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"struct" => {
+                i += 1;
+                break;
+            }
+            TokenTree::Ident(id) if *id.to_string() == *"enum" => {
+                is_enum = true;
+                i += 1;
+                break;
+            }
+            _ => i += 1, // visibility etc.
+        }
+    }
+
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, got {other}"),
+    };
+    i += 1;
+
+    // Raw generics capture: from `<` to the matching `>`.
+    let mut generics = String::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            loop {
+                let t = tokens.get(i).unwrap_or_else(|| {
+                    panic!("serde_derive shim: unterminated generics on {name}")
+                });
+                let mut space_after = true;
+                if let TokenTree::Punct(p) = t {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => depth -= 1,
+                        _ => {}
+                    }
+                    // A joint punct (e.g. the `'` of a lifetime) must stay
+                    // glued to the next token or re-parsing breaks.
+                    if p.spacing() == proc_macro::Spacing::Joint {
+                        space_after = false;
+                    }
+                }
+                generics.push_str(&t.to_string());
+                if space_after {
+                    generics.push(' ');
+                }
+                i += 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+        }
+    }
+
+    // Skip a where-clause if present (not used in this workspace).
+    while i < tokens.len() {
+        if let TokenTree::Group(g) = &tokens[i] {
+            if g.delimiter() == Delimiter::Brace {
+                break;
+            }
+        }
+        i += 1;
+    }
+    let body = match &tokens[i] {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!("serde_derive shim: expected braced body for {name}, got {other}"),
+    };
+
+    let kind =
+        if is_enum { Kind::Enum(parse_variants(body)) } else { Kind::Struct(parse_fields(body)) };
+    Input { name, generics: generics.trim().to_string(), kind }
+}
+
+/// Parses `#[serde(with = "path")]` out of one attribute group, if present.
+fn serde_with_attr(group: &proc_macro::Group) -> Option<String> {
+    let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+    match inner.as_slice() {
+        [TokenTree::Ident(id), TokenTree::Group(args)] if *id.to_string() == *"serde" => {
+            let args: Vec<TokenTree> = args.stream().into_iter().collect();
+            match args.as_slice() {
+                [TokenTree::Ident(k), TokenTree::Punct(eq), TokenTree::Literal(lit)]
+                    if *k.to_string() == *"with" && eq.as_char() == '=' =>
+                {
+                    Some(lit.to_string().trim_matches('"').to_string())
+                }
+                _ => panic!(
+                    "serde_derive shim: only #[serde(with = \"...\")] is supported, got #[serde({})]",
+                    args.iter().map(ToString::to_string).collect::<Vec<_>>().join(" ")
+                ),
+            }
+        }
+        _ => None, // doc comments and other tool attributes
+    }
+}
+
+/// Parses named fields from a brace-group stream.
+fn parse_fields(stream: TokenStream) -> Vec<Field> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes.
+        let mut with = None;
+        loop {
+            match (&tokens.get(i), &tokens.get(i + 1)) {
+                (Some(TokenTree::Punct(p)), Some(TokenTree::Group(g)))
+                    if p.as_char() == '#' && g.delimiter() == Delimiter::Bracket =>
+                {
+                    if let Some(w) = serde_with_attr(g) {
+                        with = Some(w);
+                    }
+                    i += 2;
+                }
+                _ => break,
+            }
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        // Visibility.
+        if let TokenTree::Ident(id) = &tokens[i] {
+            if *id.to_string() == *"pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected field name, got {other}"),
+        };
+        i += 1;
+        // `:` then the type, up to a top-level comma (angle-depth aware:
+        // commas inside `<...>` belong to the type).
+        assert!(
+            matches!(&tokens[i], TokenTree::Punct(p) if p.as_char() == ':'),
+            "serde_derive shim: expected `:` after field `{name}`"
+        );
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < tokens.len() {
+            if let TokenTree::Punct(p) = &tokens[i] {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+        fields.push(Field { name, with });
+    }
+    fields
+}
+
+/// Parses enum variants from a brace-group stream.
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Leading attributes (doc comments).
+        while let (Some(TokenTree::Punct(p)), Some(TokenTree::Group(_))) =
+            (&tokens.get(i), &tokens.get(i + 1))
+        {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde_derive shim: expected variant name, got {other}"),
+        };
+        i += 1;
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_fields(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Trailing comma.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+/// Counts top-level (angle-depth zero) comma-separated types in a tuple
+/// variant's parenthesized field list.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    let mut saw_tokens_since_comma = false;
+    for t in &tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    saw_tokens_since_comma = false;
+                    count += 1;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        saw_tokens_since_comma = true;
+    }
+    // Trailing comma doesn't introduce a field.
+    if !saw_tokens_since_comma {
+        count -= 1;
+    }
+    count
+}

@@ -66,7 +66,10 @@ fn main() -> ExitCode {
     println!("-- suggested migration ------------------------------------------");
     for m in &report.missing {
         let evidence = &m.detections[0];
-        println!("-- {} (evidence: {} at {}:{})", m.constraint, evidence.pattern, evidence.file, evidence.span.start.line);
+        println!(
+            "-- {} (evidence: {} at {}:{})",
+            m.constraint, evidence.pattern, evidence.file, evidence.span.start.line
+        );
         println!("{}\n", m.constraint.ddl());
     }
 

@@ -9,8 +9,8 @@
 //!
 //! Run with: `cargo run --release --example data_vs_code`
 
-use cfinder::corpus::{generate, profile, GenOptions, Verdict};
 use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::corpus::{generate, profile, GenOptions, Verdict};
 use cfinder::minidb::{discover_constraints, ProfileOptions};
 use cfinder::report::{evaluate_baseline, populate};
 
@@ -30,14 +30,8 @@ fn main() {
     let db = populate(&app, 60);
     let mined = discover_constraints(&db, ProfileOptions::default());
     let outcome = evaluate_baseline(&app, &db);
-    println!(
-        "  miner proposals:      {:>6} statistically valid on the data",
-        mined.len()
-    );
-    println!(
-        "  semantically real:    {:>6}",
-        outcome.real
-    );
+    println!("  miner proposals:      {:>6} statistically valid on the data", mined.len());
+    println!("  semantically real:    {:>6}", outcome.real);
     println!(
         "  spurious:             {:>6}  → {:.0}% false-positive rate (paper: \">95%\")",
         outcome.spurious,
@@ -60,10 +54,7 @@ fn main() {
         .iter()
         .filter(|m| matches!(app.truth.classify(&m.constraint), Verdict::TruePositive))
         .count();
-    println!(
-        "  CFinder proposals:    {:>6} missing constraints",
-        report.missing.len()
-    );
+    println!("  CFinder proposals:    {:>6} missing constraints", report.missing.len());
     println!("  semantically real:    {:>6}", tp);
     println!(
         "  spurious:             {:>6}  → {:.0}% false-positive rate",

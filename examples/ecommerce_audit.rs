@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --release --example ecommerce_audit`
 
-use cfinder::corpus::{generate, profile, GenOptions, Verdict};
 use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::corpus::{generate, profile, GenOptions, Verdict};
 use cfinder::schema::ConstraintType;
 
 fn main() {

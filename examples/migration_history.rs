@@ -5,8 +5,8 @@
 //!
 //! Run with: `cargo run --example migration_history`
 
-use cfinder::corpus::{dataset, study_corpus};
 use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::corpus::{dataset, study_corpus};
 use cfinder::schema::{AddReason, ConstraintType, StudyReport};
 
 fn main() {
@@ -50,10 +50,7 @@ fn main() {
     for app in &apps {
         let source = AppSource::new(
             app.name.clone(),
-            app.old_code
-                .iter()
-                .map(|f| SourceFile::new(f.path.clone(), f.text.clone()))
-                .collect(),
+            app.old_code.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
         let report = finder.analyze(&source, &app.old_schema);
         for entry in app.entries.iter().filter(|e| e.in_dataset()) {

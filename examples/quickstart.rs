@@ -79,7 +79,8 @@ fn main() {
             .with_column(Column::new("voucher_id", ColumnType::Integer)),
     );
     // One constraint IS declared, so CFinder must not re-report it.
-    declared.add_constraint(Constraint::foreign_key("Order", "customer_id", "Customer", "id"))
+    declared
+        .add_constraint(Constraint::foreign_key("Order", "customer_id", "Customer", "id"))
         .expect("valid constraint");
 
     let app = AppSource::new(

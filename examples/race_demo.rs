@@ -30,11 +30,7 @@ fn main() {
         ("no guard at all", false, false),
         ("database unique constraint (Figure 2b)", true, true),
     ] {
-        let r = simulate_interleavings(RaceConfig {
-            requests: 2,
-            app_validation,
-            db_constraint,
-        });
+        let r = simulate_interleavings(RaceConfig { requests: 2, app_validation, db_constraint });
         println!(
             "{label}:\n  {}/{} interleavings persist duplicate rows (worst case: {} duplicates)\n",
             r.corrupted_schedules, r.schedules, r.worst.violations
@@ -42,20 +38,14 @@ fn main() {
     }
 
     println!("=== real threads: 8 concurrent signups, same email ===\n");
-    let feral = run_threaded_race(RaceConfig {
-        requests: 8,
-        app_validation: true,
-        db_constraint: false,
-    });
+    let feral =
+        run_threaded_race(RaceConfig { requests: 8, app_validation: true, db_constraint: false });
     println!(
         "feral validation only: {} inserted, {} rejected by checks → {} duplicate account(s)",
         feral.inserted, feral.rejected_by_app, feral.violations
     );
-    let guarded = run_threaded_race(RaceConfig {
-        requests: 8,
-        app_validation: true,
-        db_constraint: true,
-    });
+    let guarded =
+        run_threaded_race(RaceConfig { requests: 8, app_validation: true, db_constraint: true });
     println!(
         "with DB constraint:   {} inserted, {} rejected by checks, {} rejected by the database → {} duplicates",
         guarded.inserted, guarded.rejected_by_app, guarded.rejected_by_db, guarded.violations

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: formatting, lints, and the test suite.
+#
+# Usage: scripts/ci.sh [--workspace]
+#
+# The default run mirrors the tier-1 check (`cargo test -q` on the root
+# package); `--workspace` extends the test step to every crate, including
+# the vendored shims.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+test_scope=()
+if [[ "${1:-}" == "--workspace" ]]; then
+    test_scope=(--workspace)
+fi
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo test -q ${test_scope[*]:-}"
+cargo test -q "${test_scope[@]}"
+
+echo "CI green."

@@ -2,18 +2,26 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--json] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--ablate FLAG…]
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
 //!   `cfinder::schema::Schema::to_json`); without it, every inferred
 //!   constraint is reported as missing.
 //! * `--json` — machine-readable output (one JSON document).
+//! * `--timings` — per-stage timing breakdown (parse, model extraction,
+//!   detection, diff) and the worker-thread count. Printed to stderr in
+//!   the human-readable mode, embedded as a `timings` object in `--json`
+//!   mode. The thread count defaults to the available parallelism and can
+//!   be overridden with the `CFINDER_THREADS` environment variable.
 //! * `--ablate null-guard|data-dep|composite|partial` — disable an
 //!   analysis feature (repeatable; for experimentation).
 //!
 //! Exit code: 0 when no missing constraints were found, 1 when some were,
-//! 2 on usage or I/O errors.
+//! 2 on usage or I/O errors. Parse errors in individual files are reported
+//! as warnings on stderr (or in the `parse_errors` JSON field) and do
+//! **not** affect the exit code: the analysis proceeds over the files that
+//! did parse, as in the paper's tool.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -35,7 +43,7 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("cfinder: {msg}");
             eprintln!(
-                "usage: cfinder <dir> [--schema schema.json] [--json] [--ablate null-guard|data-dep|composite|partial]…"
+                "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--ablate null-guard|data-dep|composite|partial]…"
             );
             ExitCode::from(2)
         }
@@ -46,6 +54,7 @@ fn run(args: &[String]) -> Result<usize, String> {
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
     let mut json = false;
+    let mut timings = false;
     let mut options = CFinderOptions::default();
 
     let mut it = args.iter();
@@ -56,6 +65,7 @@ fn run(args: &[String]) -> Result<usize, String> {
                 schema_path = Some(PathBuf::from(v));
             }
             "--json" => json = true,
+            "--timings" => timings = true,
             "--ablate" => {
                 let v = it.next().ok_or("--ablate requires a flag argument")?;
                 match v.as_str() {
@@ -101,10 +111,19 @@ fn run(args: &[String]) -> Result<usize, String> {
         // A stable machine-readable shape: missing constraints with their
         // supporting detections, plus parse diagnostics.
         #[derive(serde::Serialize)]
+        struct JsonTimings {
+            parse_seconds: f64,
+            model_extraction_seconds: f64,
+            detection_seconds: f64,
+            diff_seconds: f64,
+            threads: usize,
+        }
+        #[derive(serde::Serialize)]
         struct JsonOut<'a> {
             app: &'a str,
             loc: usize,
             analysis_seconds: f64,
+            timings: Option<JsonTimings>,
             missing: &'a [cfinder::core::MissingConstraint],
             existing_covered: Vec<String>,
             parse_errors: &'a [(String, String)],
@@ -113,6 +132,13 @@ fn run(args: &[String]) -> Result<usize, String> {
             app: &report.app,
             loc: report.loc,
             analysis_seconds: report.analysis_time.as_secs_f64(),
+            timings: timings.then_some(JsonTimings {
+                parse_seconds: report.timings.parse.as_secs_f64(),
+                model_extraction_seconds: report.timings.model_extraction.as_secs_f64(),
+                detection_seconds: report.timings.detection.as_secs_f64(),
+                diff_seconds: report.timings.diff.as_secs_f64(),
+                threads: report.timings.threads,
+            }),
             missing: &report.missing,
             existing_covered: report.existing_covered.iter().map(|c| c.describe()).collect(),
             parse_errors: &report.parse_errors,
@@ -125,6 +151,18 @@ fn run(args: &[String]) -> Result<usize, String> {
             report.loc,
             report.analysis_time.as_secs_f64()
         );
+        if timings {
+            let t = &report.timings;
+            eprintln!(
+                "timings: parse {:.3}s, models {:.3}s, detect {:.3}s, diff {:.3}s ({} threads)",
+                t.parse.as_secs_f64(),
+                t.model_extraction.as_secs_f64(),
+                t.detection.as_secs_f64(),
+                t.diff.as_secs_f64(),
+                t.threads
+            );
+        }
+        // Parse errors are warnings only: they never change the exit code.
         for (file, err) in &report.parse_errors {
             eprintln!("warning: {file}: {err}");
         }
@@ -144,11 +182,7 @@ fn run(args: &[String]) -> Result<usize, String> {
     Ok(report.missing.len())
 }
 
-fn collect_py_files(
-    root: &Path,
-    dir: &Path,
-    out: &mut Vec<SourceFile>,
-) -> std::io::Result<()> {
+fn collect_py_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
     for entry in fs::read_dir(dir)? {
         let entry = entry?;
         let path = entry.path();

@@ -47,8 +47,7 @@ fn json_output_is_parseable() {
         .arg("--json")
         .output()
         .expect("binary runs");
-    let v: serde_json::Value =
-        serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("stdout is valid JSON");
     assert_eq!(v["missing"].as_array().unwrap().len(), 1);
     assert!(v["loc"].as_u64().unwrap() > 0);
 }
@@ -59,9 +58,8 @@ fn declared_schema_suppresses_report_and_exits_zero() {
     let dir = temp_dir("schema");
     write_demo(&dir);
     let mut schema = Schema::new();
-    schema.add_table(
-        Table::new("Voucher").with_column(Column::new("code", ColumnType::VarChar(32))),
-    );
+    schema
+        .add_table(Table::new("Voucher").with_column(Column::new("code", ColumnType::VarChar(32))));
     schema.add_constraint(Constraint::unique("Voucher", ["code"])).unwrap();
     fs::write(dir.join("schema.json"), schema.to_json()).unwrap();
 
@@ -78,9 +76,7 @@ fn declared_schema_suppresses_report_and_exits_zero() {
 
 #[test]
 fn usage_errors_exit_two() {
-    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
-        .output()
-        .expect("binary runs");
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder")).output().expect("binary runs");
     assert_eq!(out.status.code(), Some(2));
     let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
         .arg("/nonexistent-dir-xyz")

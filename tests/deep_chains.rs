@@ -78,10 +78,7 @@ def group_name(pk):
         missing.iter().any(|c| c == "ProductAttribute Not NULL (option_group_id)"),
         "{missing:?}"
     );
-    assert!(
-        missing.iter().any(|c| c == "AttributeOptionGroup Not NULL (name)"),
-        "{missing:?}"
-    );
+    assert!(missing.iter().any(|c| c == "AttributeOptionGroup Not NULL (name)"), "{missing:?}");
 }
 
 #[test]

@@ -118,8 +118,7 @@ fn corpus_app_constraints_apply_to_live_database() {
         }
     }
     for c in app.truth.true_missing.iter() {
-        db.add_constraint(c.clone())
-            .unwrap_or_else(|e| panic!("installing {c} failed: {e}"));
+        db.add_constraint(c.clone()).unwrap_or_else(|e| panic!("installing {c} failed: {e}"));
     }
 }
 

@@ -49,9 +49,7 @@ fn list_count_is_not_an_existence_check() {
 
 #[test]
 fn save_on_unrelated_object_is_not_a_pattern() {
-    assert_clean(
-        "def persist(form):\n    if form.is_valid():\n        form.save()\n",
-    );
+    assert_clean("def persist(form):\n    if form.is_valid():\n        form.save()\n");
 }
 
 #[test]
@@ -96,7 +94,9 @@ fn assigning_non_pk_values_is_not_f1() {
 
 #[test]
 fn null_check_on_local_is_not_n2() {
-    assert_clean("def f(x):\n    if x is None:\n        raise ValueError('need x')\n    return x\n");
+    assert_clean(
+        "def f(x):\n    if x is None:\n        raise ValueError('need x')\n    return x\n",
+    );
 }
 
 #[test]
@@ -122,9 +122,7 @@ fn str_method_chains_on_literals_are_clean() {
 
 #[test]
 fn comprehension_uses_are_clean() {
-    assert_clean(
-        "def codes():\n    return [v.code for v in Voucher.objects.all() if v.code]\n",
-    );
+    assert_clean("def codes():\n    return [v.code for v in Voucher.objects.all() if v.code]\n");
 }
 
 #[test]

@@ -1,0 +1,64 @@
+//! The parallel analysis engine must be a pure performance optimization:
+//! for every corpus app, an `analyze` run with N worker threads produces a
+//! report identical to a forced single-thread run — same detections in the
+//! same order, same inferred/missing/existing sets, same parse errors.
+//! Only the timing fields may differ.
+
+use cfinder::core::{AnalysisReport, AppSource, CFinder, SourceFile};
+use cfinder::corpus::GenOptions;
+
+fn analyze_with_threads(app: &cfinder::corpus::GeneratedApp, threads: usize) -> AnalysisReport {
+    let source = AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    );
+    CFinder::new().with_threads(threads).analyze(&source, &app.declared)
+}
+
+/// Asserts every non-timing field of the two reports is identical.
+fn assert_reports_identical(serial: &AnalysisReport, parallel: &AnalysisReport, ctx: &str) {
+    assert_eq!(serial.app, parallel.app, "{ctx}: app name");
+    assert_eq!(serial.loc, parallel.loc, "{ctx}: loc");
+    assert_eq!(serial.detections, parallel.detections, "{ctx}: detections (incl. order)");
+    assert_eq!(serial.inferred, parallel.inferred, "{ctx}: inferred set");
+    assert_eq!(serial.missing, parallel.missing, "{ctx}: missing (incl. order)");
+    assert_eq!(serial.existing_covered, parallel.existing_covered, "{ctx}: existing covered");
+    assert_eq!(serial.parse_errors, parallel.parse_errors, "{ctx}: parse errors");
+    // Belt and braces: the rendered forms are byte-identical too.
+    assert_eq!(
+        format!("{:?} {:?} {:?}", serial.detections, serial.missing, serial.parse_errors),
+        format!("{:?} {:?} {:?}", parallel.detections, parallel.missing, parallel.parse_errors),
+        "{ctx}: debug rendering"
+    );
+}
+
+#[test]
+fn parallel_analysis_matches_serial_on_all_corpus_apps() {
+    for profile in cfinder::corpus::all_profiles() {
+        let app = cfinder::corpus::generate(&profile, GenOptions::quick());
+        let serial = analyze_with_threads(&app, 1);
+        // 4 threads exercises even chunking, 3 uneven chunks with a short
+        // tail; both must merge back to the serial order exactly.
+        for threads in [3, 4] {
+            let parallel = analyze_with_threads(&app, threads);
+            assert_eq!(parallel.timings.threads, threads);
+            assert_reports_identical(
+                &serial,
+                &parallel,
+                &format!("{} @ {threads} threads", app.name),
+            );
+        }
+    }
+}
+
+#[test]
+fn thread_count_env_override_is_respected() {
+    // `with_threads` must win over the environment; the env var itself is
+    // covered by unit tests in cfinder-core to avoid test-order races on
+    // the process environment here.
+    let profile = cfinder::corpus::profile("wagtail").unwrap();
+    let app = cfinder::corpus::generate(&profile, GenOptions::quick());
+    let report = analyze_with_threads(&app, 2);
+    assert_eq!(report.timings.threads, 2);
+    assert!(report.timings.total() >= report.timings.parse);
+}

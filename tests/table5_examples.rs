@@ -103,7 +103,6 @@ def offer_of(discount_pk):
     );
     // Both PA_f1 (assignment) and PA_f2 (lookup) support the same
     // constraint; it is reported once.
-    let fk_count =
-        found.iter().filter(|c| c.contains("FK (offer_id)")).count();
+    let fk_count = found.iter().filter(|c| c.contains("FK (offer_id)")).count();
     assert_eq!(fk_count, 1);
 }
