@@ -1,15 +1,25 @@
 //! The CFinder pipeline (§3.2): parse → extract models → detect patterns →
 //! extract constraints → diff against the declared schema.
+//!
+//! The pipeline is fault-tolerant by construction: per-file parsing uses
+//! the error-recovering parser, resource guards ([`Limits`]) bound how
+//! much work a single file can consume, and every worker runs under a
+//! panic-isolation boundary ([`engine::map_ordered_catch`]). Anything
+//! that degrades a run is recorded as a typed [`Incident`] on the report
+//! instead of aborting the analysis or being silently dropped.
 
 use std::collections::BTreeSet;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use cfinder_flow::{NullGuards, UseDefChains};
-use cfinder_pyast::ast::{ClassDef, Stmt, StmtKind};
-use cfinder_pyast::parse_module;
+use cfinder_pyast::ast::{ClassDef, Module, Stmt, StmtKind};
+use cfinder_pyast::error::ParseErrorKind;
+use cfinder_pyast::lex_recovering;
+use cfinder_pyast::parser::parse_tokens_recovering;
 use cfinder_schema::{ConstraintSet, Schema};
 
 use crate::engine;
+use crate::incident::{Incident, IncidentKind};
 use crate::models::ModelRegistry;
 use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx};
 use crate::report::{AnalysisReport, Detection, MissingConstraint, StageTimings};
@@ -93,6 +103,78 @@ impl Default for CFinderOptions {
     }
 }
 
+/// Resource guards bounding the work a single file may consume.
+///
+/// Each limit degrades gracefully: exceeding a cap skips the offending
+/// file and records a typed [`Incident`] ([`IncidentKind::FileTooLarge`]
+/// or [`IncidentKind::Deadline`]) — the rest of the app is still
+/// analyzed. Caps set to `0` are disabled; the deadline is off unless
+/// configured (so default runs stay timing-independent and therefore
+/// deterministic).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Limits {
+    /// Maximum file size in bytes before the file is skipped unparsed
+    /// (`0` disables). Overridable via `CFINDER_MAX_FILE_BYTES`.
+    pub max_file_bytes: usize,
+    /// Maximum token count per file before the file is skipped unparsed
+    /// (`0` disables). A second line of defense behind the byte cap for
+    /// inputs that lex into pathologically many tokens.
+    pub max_tokens: usize,
+    /// Per-file parse deadline, measured cooperatively around the parse
+    /// of each file. `None` (the default) disables the check; enable via
+    /// `CFINDER_DEADLINE_MS`. A run with a deadline trades determinism
+    /// for liveness: a file near the threshold may be kept on one run
+    /// and dropped on another.
+    pub deadline: Option<Duration>,
+    /// Fault-injection hook (off by default): when set, a file whose
+    /// first line is `# cfinder-fault: panic` panics inside the worker,
+    /// exercising the panic-isolation boundary end to end.
+    pub inject_panic_marker: bool,
+}
+
+/// Environment variable overriding [`Limits::max_file_bytes`].
+pub const MAX_FILE_BYTES_ENV: &str = "CFINDER_MAX_FILE_BYTES";
+/// Environment variable enabling the per-file parse deadline, in
+/// milliseconds.
+pub const DEADLINE_ENV: &str = "CFINDER_DEADLINE_MS";
+
+/// First line that triggers an injected worker panic when
+/// [`Limits::inject_panic_marker`] is set.
+pub const PANIC_MARKER: &str = "# cfinder-fault: panic";
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_file_bytes: 8 * 1024 * 1024,
+            max_tokens: 2_000_000,
+            deadline: None,
+            inject_panic_marker: false,
+        }
+    }
+}
+
+impl Limits {
+    /// Defaults, with `CFINDER_MAX_FILE_BYTES` and `CFINDER_DEADLINE_MS`
+    /// applied when set to a positive integer (unparsable values are
+    /// ignored).
+    pub fn from_env() -> Self {
+        let mut limits = Limits::default();
+        if let Ok(value) = std::env::var(MAX_FILE_BYTES_ENV) {
+            if let Ok(n) = value.trim().parse::<usize>() {
+                limits.max_file_bytes = n;
+            }
+        }
+        if let Ok(value) = std::env::var(DEADLINE_ENV) {
+            if let Ok(ms) = value.trim().parse::<u64>() {
+                if ms > 0 {
+                    limits.deadline = Some(Duration::from_millis(ms));
+                }
+            }
+        }
+        limits
+    }
+}
+
 /// The CFinder analyzer.
 ///
 /// # Examples
@@ -111,24 +193,31 @@ impl Default for CFinderOptions {
 /// let report = CFinder::new().analyze(&app, &Schema::new());
 /// assert!(!report.missing.is_empty());
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct CFinder {
     options: CFinderOptions,
     threads: Option<usize>,
+    limits: Limits,
+}
+
+impl Default for CFinder {
+    fn default() -> Self {
+        CFinder { options: CFinderOptions::default(), threads: None, limits: Limits::from_env() }
+    }
 }
 
 impl CFinder {
     /// Creates an analyzer with the paper's configuration. The worker-thread
     /// count defaults to the `CFINDER_THREADS` environment variable, else
     /// the machine's available parallelism; results are identical for any
-    /// thread count.
+    /// thread count. Resource guards default to [`Limits::from_env`].
     pub fn new() -> Self {
         CFinder::default()
     }
 
     /// Creates an analyzer with explicit feature toggles (ablations).
     pub fn with_options(options: CFinderOptions) -> Self {
-        CFinder { options, threads: None }
+        CFinder { options, ..CFinder::default() }
     }
 
     /// Pins the analyzer to an explicit worker-thread count, bypassing the
@@ -138,9 +227,20 @@ impl CFinder {
         self
     }
 
+    /// Replaces the resource guards, bypassing the environment variables.
+    pub fn with_limits(mut self, limits: Limits) -> Self {
+        self.limits = limits;
+        self
+    }
+
     /// The active options.
     pub fn options(&self) -> &CFinderOptions {
         &self.options
+    }
+
+    /// The active resource guards.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// The worker-thread count `analyze` will run with.
@@ -149,15 +249,42 @@ impl CFinder {
     }
 
     /// Extracts the model registry from an app (useful on its own for
-    /// schema derivation and tests).
+    /// schema derivation and tests), discarding the incident list. Prefer
+    /// [`CFinder::extract_models_with_incidents`] when you need to know
+    /// whether files were skipped or degraded along the way.
     pub fn extract_models(&self, app: &AppSource) -> ModelRegistry {
+        self.extract_models_with_incidents(app).0
+    }
+
+    /// Extracts the model registry from an app along with every incident
+    /// the guarded parse produced, so parse failures surface instead of
+    /// silently shrinking the registry.
+    pub fn extract_models_with_incidents(&self, app: &AppSource) -> (ModelRegistry, Vec<Incident>) {
+        let threads = self.threads();
+        let parsed = engine::map_ordered_catch(&app.files, threads, |file| {
+            parse_file_guarded(file, &self.limits)
+        });
         let mut registry = ModelRegistry::new();
-        for file in &app.files {
-            if let Ok(module) = parse_module(&file.text) {
-                registry.add_module(&module, &file.path);
+        let mut incidents = Vec::new();
+        for (file, result) in app.files.iter().zip(parsed) {
+            match result {
+                Ok((module, file_incidents)) => {
+                    incidents.extend(file_incidents);
+                    if let Some(module) = module {
+                        registry.add_module(&module, &file.path);
+                    }
+                }
+                Err(payload) => {
+                    incidents.push(Incident::new(
+                        IncidentKind::WorkerPanic,
+                        &file.path,
+                        0,
+                        payload,
+                    ));
+                }
             }
         }
-        registry
+        (registry, incidents)
     }
 
     /// Runs the full pipeline against `declared` (the `information_schema`
@@ -166,16 +293,32 @@ impl CFinder {
         let start = Instant::now();
         let threads = self.threads();
 
-        // Pass 0: per-file parsing, fanned out across workers. Results come
-        // back in file order, so the module list matches a serial run.
+        // Pass 0: guarded per-file parsing, fanned out across workers under
+        // a per-item panic-isolation boundary. Results come back in file
+        // order, so the module list and the incident list match a serial
+        // run.
         let stage = Instant::now();
-        let parsed = engine::map_ordered(&app.files, threads, |file| parse_module(&file.text));
-        let mut parse_errors = Vec::new();
+        let parsed = engine::map_ordered_catch(&app.files, threads, |file| {
+            parse_file_guarded(file, &self.limits)
+        });
+        let mut incidents = Vec::new();
         let mut modules = Vec::new();
         for (file, result) in app.files.iter().zip(parsed) {
             match result {
-                Ok(m) => modules.push((file, m)),
-                Err(e) => parse_errors.push((file.path.clone(), e.to_string())),
+                Ok((module, file_incidents)) => {
+                    incidents.extend(file_incidents);
+                    if let Some(module) = module {
+                        modules.push((file, module));
+                    }
+                }
+                Err(payload) => {
+                    incidents.push(Incident::new(
+                        IncidentKind::WorkerPanic,
+                        &file.path,
+                        0,
+                        payload,
+                    ));
+                }
             }
         }
         let parse = stage.elapsed();
@@ -189,12 +332,14 @@ impl CFinder {
         }
         let model_extraction = stage.elapsed();
 
-        // Pass 2: per-module detection, fanned out. Each worker fills
-        // private buffers; merging them in module (= file) order makes the
-        // combined detection list byte-identical to a serial run, and the
-        // none-assigned set is an order-independent union.
+        // Pass 2: per-module detection, fanned out under the same per-item
+        // panic boundary. Each worker fills private buffers; merging them
+        // in module (= file) order makes the combined detection list
+        // byte-identical to a serial run, and the none-assigned set is an
+        // order-independent union. A panicking module loses only its own
+        // detections and is recorded as a worker-panic incident.
         let stage = Instant::now();
-        let per_module = engine::map_ordered(&modules, threads, |(file, module)| {
+        let per_module = engine::map_ordered_catch(&modules, threads, |(file, module)| {
             let mut detections: Vec<Detection> = Vec::new();
             let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
             analyze_scopes(
@@ -211,9 +356,21 @@ impl CFinder {
         });
         let mut detections: Vec<Detection> = Vec::new();
         let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
-        for (module_detections, module_none) in per_module {
-            detections.extend(module_detections);
-            none_assigned.extend(module_none);
+        for ((file, _), result) in modules.iter().zip(per_module) {
+            match result {
+                Ok((module_detections, module_none)) => {
+                    detections.extend(module_detections);
+                    none_assigned.extend(module_none);
+                }
+                Err(payload) => {
+                    incidents.push(Incident::new(
+                        IncidentKind::WorkerPanic,
+                        &file.path,
+                        0,
+                        format!("detection stage: {payload}"),
+                    ));
+                }
+            }
         }
 
         // Pass 3: PA_n3 from the registry.
@@ -245,10 +402,94 @@ impl CFinder {
             existing_covered,
             analysis_time: start.elapsed(),
             loc: app.loc(),
-            parse_errors,
+            incidents,
+            files_total: app.files.len(),
             timings: StageTimings { parse, model_extraction, detection, diff, threads },
         }
     }
+}
+
+/// Parses one file under the resource guards, returning the module (or
+/// `None` when the file was dropped) and the incidents it produced.
+///
+/// Callers run this under [`engine::map_ordered_catch`], so a panic here
+/// (including an injected one) is isolated into a worker-panic incident.
+fn parse_file_guarded(file: &SourceFile, limits: &Limits) -> (Option<Module>, Vec<Incident>) {
+    let mut incidents = Vec::new();
+
+    if limits.max_file_bytes > 0 && file.text.len() > limits.max_file_bytes {
+        incidents.push(Incident::new(
+            IncidentKind::FileTooLarge,
+            &file.path,
+            0,
+            format!("{} bytes exceeds the {}-byte cap", file.text.len(), limits.max_file_bytes),
+        ));
+        return (None, incidents);
+    }
+
+    if limits.inject_panic_marker
+        && file.text.lines().next().is_some_and(|line| line.trim() == PANIC_MARKER)
+    {
+        panic!("injected fault in {}", file.path);
+    }
+
+    let parse_start = Instant::now();
+    let lexed = lex_recovering(&file.text);
+    if limits.max_tokens > 0 && lexed.tokens.len() > limits.max_tokens {
+        incidents.push(Incident::new(
+            IncidentKind::FileTooLarge,
+            &file.path,
+            0,
+            format!("{} tokens exceeds the {}-token cap", lexed.tokens.len(), limits.max_tokens),
+        ));
+        return (None, incidents);
+    }
+    let recovered = parse_tokens_recovering(lexed.tokens, lexed.errors);
+
+    // Cooperative deadline: the recursion and cap guards above bound how
+    // long one parse can actually take, so checking after the fact is
+    // enough to keep a slow file from poisoning aggregate numbers.
+    if let Some(deadline) = limits.deadline {
+        let elapsed = parse_start.elapsed();
+        if elapsed > deadline {
+            incidents.push(Incident::new(
+                IncidentKind::Deadline,
+                &file.path,
+                0,
+                format!(
+                    "parsing took {}ms, over the {}ms deadline",
+                    elapsed.as_millis(),
+                    deadline.as_millis()
+                ),
+            ));
+            return (None, incidents);
+        }
+    }
+
+    if recovered.module.body.is_empty() && !recovered.errors.is_empty() {
+        // Recovery salvaged nothing: the whole file is one parse failure.
+        let first = &recovered.errors[0];
+        incidents.push(Incident::new(
+            IncidentKind::ParseFailed,
+            &file.path,
+            first.span.start.line,
+            first.message.clone(),
+        ));
+        return (None, incidents);
+    }
+    for error in &recovered.errors {
+        let kind = match error.kind {
+            ParseErrorKind::DepthLimit => IncidentKind::DepthLimit,
+            _ => IncidentKind::RecoveredSyntax,
+        };
+        incidents.push(Incident::new(
+            kind,
+            &file.path,
+            error.span.start.line,
+            error.message.clone(),
+        ));
+    }
+    (Some(recovered.module), incidents)
 }
 
 /// Recursively analyzes every function scope in a statement list.
@@ -379,6 +620,8 @@ mod tests {
     use super::*;
     use cfinder_schema::Constraint;
 
+    use crate::incident::Coverage;
+
     const MODELS: &str = "class Voucher(models.Model):\n    code = models.CharField(max_length=32)\n    active = models.BooleanField(default=True, null=True)\n\n\nclass Product(models.Model):\n    title = models.CharField(max_length=100)\n\n\nclass WishList(models.Model):\n    key = models.CharField(max_length=16)\n\n\nclass WishListLine(models.Model):\n    wishlist = models.ForeignKey(WishList, related_name='lines')\n    note = models.CharField(max_length=64)\n";
 
     fn analyze_with(options: CFinderOptions, code: &str) -> Vec<Constraint> {
@@ -459,5 +702,92 @@ mod tests {
         );
         assert!(ablated.contains(&Constraint::unique("Voucher", ["code"])));
         assert!(!ablated.iter().any(|c| c.is_partial_unique()));
+    }
+
+    #[test]
+    fn broken_function_keeps_models_and_other_detections() {
+        // One function in the file is syntactically broken; the model
+        // declarations and the intact function's detection must survive.
+        let code = "def broken 123:\n    pass\n\n\ndef signup(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise ValueError('dup')\n    Voucher.objects.create(code=code)\n";
+        let app = AppSource::new(
+            "t",
+            vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
+        );
+        let finder = CFinder::with_options(CFinderOptions::default());
+        let report = finder.analyze(&app, &Schema::new());
+        assert!(
+            report.missing.iter().any(|m| m.constraint == Constraint::unique("Voucher", ["code"])),
+            "intact function still detected: {:?}",
+            report.missing
+        );
+        assert!(!report.incidents.is_empty());
+        for incident in &report.incidents {
+            assert_eq!(incident.kind, IncidentKind::RecoveredSyntax, "{incident}");
+            assert_eq!(incident.file, "views.py");
+        }
+        let registry = finder.extract_models(&app);
+        assert!(registry.is_model("Voucher") && registry.is_model("WishListLine"));
+        let cov = report.coverage();
+        assert_eq!(
+            cov,
+            Coverage { files_total: 2, files_clean: 1, files_degraded: 1, files_dropped: 0 }
+        );
+    }
+
+    #[test]
+    fn oversized_file_is_skipped_with_incident() {
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("big.py", "x = 1\n".repeat(1000)),
+            ],
+        );
+        assert!(MODELS.len() < 1024, "models.py must stay under the test cap");
+        let finder = CFinder::with_options(CFinderOptions::default())
+            .with_limits(Limits { max_file_bytes: 1024, ..Limits::default() });
+        let report = finder.analyze(&app, &Schema::new());
+        assert_eq!(report.incidents.len(), 1);
+        assert_eq!(report.incidents[0].kind, IncidentKind::FileTooLarge);
+        assert_eq!(report.incidents[0].file, "big.py");
+        assert_eq!(report.coverage().files_dropped, 1);
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_into_an_incident() {
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("cursed.py", "# cfinder-fault: panic\nx = 1\n"),
+            ],
+        );
+        let finder = CFinder::with_options(CFinderOptions::default())
+            .with_limits(Limits { inject_panic_marker: true, ..Limits::default() });
+        let report = finder.analyze(&app, &Schema::new());
+        assert_eq!(report.incidents.len(), 1, "{:?}", report.incidents);
+        assert_eq!(report.incidents[0].kind, IncidentKind::WorkerPanic);
+        assert_eq!(report.incidents[0].file, "cursed.py");
+        // The marker is inert when injection is off.
+        let clean = CFinder::with_options(CFinderOptions::default())
+            .with_limits(Limits::default())
+            .analyze(&app, &Schema::new());
+        assert!(clean.incidents.is_empty());
+    }
+
+    #[test]
+    fn extract_models_surfaces_parse_incidents() {
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("junk.py", "%%% not python at all\n"),
+            ],
+        );
+        let finder = CFinder::with_options(CFinderOptions::default());
+        let (registry, incidents) = finder.extract_models_with_incidents(&app);
+        assert!(registry.is_model("Voucher"), "good file still contributes models");
+        assert!(!incidents.is_empty(), "bad file is reported, not silently dropped");
+        assert!(incidents.iter().all(|i| i.file == "junk.py"));
     }
 }

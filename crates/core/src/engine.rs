@@ -1,12 +1,14 @@
 //! Parallel execution engine for the analysis pipeline.
 //!
 //! The engine is deliberately tiny: an ordered fan-out primitive
-//! ([`map_ordered`]) plus worker-count resolution ([`resolve_threads`]).
-//! Determinism is by construction — every fan-out returns outputs in input
-//! order, so a run with N threads produces byte-identical results to a
-//! serial run; the thread count only changes wall-clock time.
+//! ([`map_ordered`]), a panic-isolating variant ([`map_ordered_catch`]),
+//! and worker-count resolution ([`resolve_threads`]). Determinism is by
+//! construction — every fan-out returns outputs in input order, so a run
+//! with N threads produces byte-identical results to a serial run; the
+//! thread count only changes wall-clock time.
 
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 /// Environment variable overriding the worker-thread count. Values that
 /// are zero or unparsable are ignored.
@@ -58,6 +60,32 @@ where
     .expect("analysis scope panicked")
 }
 
+/// Panic-isolating [`map_ordered`]: each item's `f` call runs under
+/// [`catch_unwind`], so a panic while processing one item becomes an
+/// `Err(message)` for that item alone — every other item still produces
+/// its result, outputs stay in input order, and no worker thread dies.
+///
+/// The unwind boundary is per *item*, not per chunk: a panicking item in
+/// the middle of a chunk does not take its chunk-mates down with it.
+pub fn map_ordered_catch<T, O, F>(items: &[T], threads: usize, f: F) -> Vec<Result<O, String>>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&T) -> O + Sync,
+{
+    map_ordered(items, threads, |item| {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| {
+            if let Some(s) = payload.downcast_ref::<&str>() {
+                (*s).to_string()
+            } else if let Some(s) = payload.downcast_ref::<String>() {
+                s.clone()
+            } else {
+                "worker panicked with a non-string payload".to_string()
+            }
+        })
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,5 +111,38 @@ mod tests {
     fn explicit_thread_request_wins() {
         assert_eq!(resolve_threads(Some(3)), 3);
         assert_eq!(resolve_threads(Some(0)), 1, "zero is clamped to one");
+    }
+
+    #[test]
+    fn catch_isolates_panics_per_item() {
+        let items: Vec<u32> = (0..20).collect();
+        for threads in [1, 2, 4] {
+            let got = map_ordered_catch(&items, threads, |&n| {
+                if n % 7 == 3 {
+                    panic!("boom on {n}");
+                }
+                n * 2
+            });
+            assert_eq!(got.len(), items.len(), "threads = {threads}");
+            for (n, r) in items.iter().zip(&got) {
+                if n % 7 == 3 {
+                    let msg = r.as_ref().unwrap_err();
+                    assert_eq!(msg, &format!("boom on {n}"));
+                } else {
+                    assert_eq!(r.as_ref().unwrap(), &(n * 2));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn catch_preserves_panic_message_kinds() {
+        let out = map_ordered_catch(&[0u8], 1, |_| -> u8 { panic!("static str") });
+        assert_eq!(out[0].as_ref().unwrap_err(), "static str");
+        let out = map_ordered_catch(&[0u8], 1, |_| -> u8 {
+            let dynamic = String::from("owned message");
+            panic!("{dynamic}")
+        });
+        assert_eq!(out[0].as_ref().unwrap_err(), "owned message");
     }
 }

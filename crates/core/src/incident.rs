@@ -1,0 +1,223 @@
+//! Typed incidents: the analyzer's record of everything that degraded a
+//! run.
+//!
+//! CFinder's fault-tolerance contract is *explicit, quantified
+//! degradation*: the pipeline always completes, and anything it could not
+//! fully analyze — a recovered syntax error, a skipped oversized file, a
+//! panicking worker — is recorded as an [`Incident`] on the
+//! [`crate::AnalysisReport`] instead of being silently dropped. Incidents
+//! are deterministic: for a given input and configuration the same
+//! incidents are reported in the same order at any worker-thread count.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What class of degradation an [`Incident`] records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum IncidentKind {
+    /// A syntax error was recovered at a statement boundary; the rest of
+    /// the file was analyzed (the file is *degraded*, not dropped).
+    RecoveredSyntax,
+    /// Nothing in the file could be parsed; it contributed no statements.
+    ParseFailed,
+    /// The parser's recursion-depth guard fired on pathological nesting;
+    /// the construct was skipped, the rest of the file was analyzed.
+    DepthLimit,
+    /// The file exceeded the configured size or token cap and was skipped
+    /// before parsing.
+    FileTooLarge,
+    /// The file blew the per-file analysis deadline and its results were
+    /// discarded.
+    Deadline,
+    /// A worker thread panicked while analyzing the file; the panic was
+    /// isolated and the file's results were discarded.
+    WorkerPanic,
+}
+
+impl IncidentKind {
+    /// Short stable label (used in CLI summaries and tables).
+    pub fn label(&self) -> &'static str {
+        match self {
+            IncidentKind::RecoveredSyntax => "recovered-syntax",
+            IncidentKind::ParseFailed => "parse-failed",
+            IncidentKind::DepthLimit => "depth-limit",
+            IncidentKind::FileTooLarge => "file-too-large",
+            IncidentKind::Deadline => "deadline",
+            IncidentKind::WorkerPanic => "worker-panic",
+        }
+    }
+
+    /// Whether this incident means the file contributed *nothing* to the
+    /// analysis (dropped), as opposed to being partially analyzed
+    /// (degraded).
+    pub fn drops_file(&self) -> bool {
+        matches!(
+            self,
+            IncidentKind::ParseFailed
+                | IncidentKind::FileTooLarge
+                | IncidentKind::Deadline
+                | IncidentKind::WorkerPanic
+        )
+    }
+}
+
+impl fmt::Display for IncidentKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One recorded degradation event, attributed to a file.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Incident {
+    /// What happened.
+    pub kind: IncidentKind,
+    /// The file the degradation is attributed to.
+    pub file: String,
+    /// 1-based source line where the problem was detected (0 when the
+    /// incident has no meaningful location, e.g. a size cap).
+    pub line: u32,
+    /// Human-readable detail (error message, cap values, panic payload).
+    pub detail: String,
+}
+
+impl Incident {
+    /// Creates an incident.
+    pub fn new(
+        kind: IncidentKind,
+        file: impl Into<String>,
+        line: u32,
+        detail: impl Into<String>,
+    ) -> Self {
+        Incident { kind, file: file.into(), line, detail: detail.into() }
+    }
+}
+
+impl fmt::Display for Incident {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {}", self.kind, self.file)?;
+        if self.line > 0 {
+            write!(f, ":{}", self.line)?;
+        }
+        write!(f, ": {}", self.detail)
+    }
+}
+
+/// Per-file coverage accounting derived from an incident list — the
+/// "explicit, quantified degraded coverage" number the report surfaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Coverage {
+    /// Files the app contains.
+    pub files_total: usize,
+    /// Files analyzed with no incident at all.
+    pub files_clean: usize,
+    /// Files partially analyzed (recovered syntax / depth limit).
+    pub files_degraded: usize,
+    /// Files that contributed nothing (parse failure, caps, deadline,
+    /// worker panic).
+    pub files_dropped: usize,
+}
+
+impl Coverage {
+    /// Computes coverage for `files_total` files given the run's incidents.
+    pub fn compute(files_total: usize, incidents: &[Incident]) -> Self {
+        let mut dropped = BTreeSet::new();
+        let mut degraded = BTreeSet::new();
+        for incident in incidents {
+            if incident.kind.drops_file() {
+                dropped.insert(incident.file.as_str());
+            } else {
+                degraded.insert(incident.file.as_str());
+            }
+        }
+        // A file that is both degraded and dropped counts as dropped.
+        let files_dropped = dropped.len();
+        let files_degraded = degraded.iter().filter(|f| !dropped.contains(*f)).count();
+        Coverage {
+            files_total,
+            files_clean: files_total.saturating_sub(files_dropped + files_degraded),
+            files_degraded,
+            files_dropped,
+        }
+    }
+
+    /// Fraction of files fully analyzed, in percent (100.0 for an empty
+    /// app: nothing was lost).
+    pub fn percent_clean(&self) -> f64 {
+        if self.files_total == 0 {
+            100.0
+        } else {
+            self.files_clean as f64 * 100.0 / self.files_total as f64
+        }
+    }
+}
+
+impl fmt::Display for Coverage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} files fully analyzed ({:.1}%), {} degraded, {} dropped",
+            self.files_clean,
+            self.files_total,
+            self.percent_clean(),
+            self.files_degraded,
+            self.files_dropped
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_and_drop_classification() {
+        assert_eq!(IncidentKind::RecoveredSyntax.label(), "recovered-syntax");
+        assert!(!IncidentKind::RecoveredSyntax.drops_file());
+        assert!(!IncidentKind::DepthLimit.drops_file());
+        assert!(IncidentKind::ParseFailed.drops_file());
+        assert!(IncidentKind::FileTooLarge.drops_file());
+        assert!(IncidentKind::Deadline.drops_file());
+        assert!(IncidentKind::WorkerPanic.drops_file());
+    }
+
+    #[test]
+    fn display_formats() {
+        let i = Incident::new(IncidentKind::RecoveredSyntax, "a.py", 7, "bad token");
+        assert_eq!(i.to_string(), "[recovered-syntax] a.py:7: bad token");
+        let i = Incident::new(IncidentKind::FileTooLarge, "big.py", 0, "9000000 bytes");
+        assert_eq!(i.to_string(), "[file-too-large] big.py: 9000000 bytes");
+    }
+
+    #[test]
+    fn coverage_classifies_files() {
+        let incidents = vec![
+            Incident::new(IncidentKind::RecoveredSyntax, "a.py", 3, "x"),
+            Incident::new(IncidentKind::RecoveredSyntax, "a.py", 9, "y"),
+            Incident::new(IncidentKind::WorkerPanic, "b.py", 0, "boom"),
+            // Degraded *and* dropped: counts once, as dropped.
+            Incident::new(IncidentKind::DepthLimit, "b.py", 1, "deep"),
+        ];
+        let cov = Coverage::compute(5, &incidents);
+        assert_eq!(cov.files_clean, 3);
+        assert_eq!(cov.files_degraded, 1);
+        assert_eq!(cov.files_dropped, 1);
+        assert!((cov.percent_clean() - 60.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn coverage_of_empty_app_is_full() {
+        let cov = Coverage::compute(0, &[]);
+        assert_eq!(cov.percent_clean(), 100.0);
+    }
+
+    #[test]
+    fn incidents_serialize() {
+        let i = Incident::new(IncidentKind::Deadline, "slow.py", 0, "59ms > 50ms");
+        let json = serde_json::to_string(&i).unwrap();
+        let back: Incident = serde_json::from_str(&json).unwrap();
+        assert_eq!(i, back);
+    }
+}

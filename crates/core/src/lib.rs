@@ -36,13 +36,15 @@
 
 pub mod detect;
 pub mod engine;
+pub mod incident;
 pub mod models;
 pub mod patterns;
 pub mod report;
 pub mod resolve;
 pub mod syntax;
 
-pub use detect::{AppSource, CFinder, CFinderOptions, SourceFile};
+pub use detect::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
+pub use incident::{Coverage, Incident, IncidentKind};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
 pub use report::{AnalysisReport, Detection, MissingConstraint, PatternId, StageTimings};
 pub use resolve::{ColBinding, Resolution, Resolver};

@@ -676,7 +676,7 @@ class WishListLine(models.Model):
             vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
         );
         let report = CFinder::new().analyze(&app, &Schema::new());
-        assert!(report.parse_errors.is_empty(), "parse errors: {:?}", report.parse_errors);
+        assert!(report.incidents.is_empty(), "parse errors: {:?}", report.incidents);
         report.missing.iter().map(|m| (m.constraint.to_string(), m.patterns())).collect()
     }
 

@@ -7,6 +7,8 @@ use cfinder_pyast::Span;
 use cfinder_schema::{Constraint, ConstraintSet, ConstraintType};
 use serde::{Deserialize, Serialize};
 
+use crate::incident::{Coverage, Incident, IncidentKind};
+
 /// The seven code patterns of Figure 6.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PatternId {
@@ -157,13 +159,42 @@ pub struct AnalysisReport {
     pub analysis_time: Duration,
     /// Total lines of analyzed source.
     pub loc: usize,
-    /// Files that failed to parse, with the error text.
-    pub parse_errors: Vec<(String, String)>,
+    /// Everything that degraded the run — recovered syntax errors, files
+    /// dropped by resource guards, isolated worker panics — as typed,
+    /// per-file events. Empty means full coverage. Deterministic: the
+    /// same input yields the same incidents in the same order at any
+    /// thread count.
+    pub incidents: Vec<Incident>,
+    /// Number of files the analyzed app contained (denominator for
+    /// [`AnalysisReport::coverage`]).
+    pub files_total: usize,
     /// Per-stage timing breakdown of `analysis_time`.
     pub timings: StageTimings,
 }
 
 impl AnalysisReport {
+    /// Per-file coverage accounting derived from the incidents.
+    pub fn coverage(&self) -> Coverage {
+        Coverage::compute(self.files_total, &self.incidents)
+    }
+
+    /// Incidents of one kind.
+    pub fn incidents_of(&self, kind: IncidentKind) -> impl Iterator<Item = &Incident> {
+        self.incidents.iter().filter(move |i| i.kind == kind)
+    }
+
+    /// Compact `kind×count` summary of the incidents, sorted by kind
+    /// (e.g. `"recovered-syntax 3, worker-panic 1"`). Empty string when
+    /// there were none.
+    pub fn incident_summary(&self) -> String {
+        let mut counts: std::collections::BTreeMap<IncidentKind, usize> =
+            std::collections::BTreeMap::new();
+        for i in &self.incidents {
+            *counts.entry(i.kind).or_default() += 1;
+        }
+        counts.iter().map(|(k, n)| format!("{k} {n}")).collect::<Vec<_>>().join(", ")
+    }
+
     /// Missing constraints of one type.
     pub fn missing_of(&self, ty: ConstraintType) -> impl Iterator<Item = &MissingConstraint> {
         self.missing.iter().filter(move |m| m.constraint.constraint_type() == ty)
@@ -246,7 +277,8 @@ mod tests {
             existing_covered: ConstraintSet::new(),
             analysis_time: Duration::from_millis(5),
             loc: 100,
-            parse_errors: vec![],
+            incidents: vec![],
+            files_total: 1,
             timings: StageTimings::default(),
         };
         assert_eq!(report.missing_count(ConstraintType::Unique), 1);
@@ -255,5 +287,31 @@ mod tests {
         assert_eq!(report.missing_count_by_pattern(PatternId::U1), 1);
         assert_eq!(report.missing_count_by_pattern(PatternId::U2), 0);
         assert_eq!(report.missing_partial_unique_count(), 0);
+        assert_eq!(report.coverage().files_clean, 1);
+        assert_eq!(report.incident_summary(), "");
+    }
+
+    #[test]
+    fn incident_summary_counts_by_kind() {
+        let report = AnalysisReport {
+            app: "x".into(),
+            detections: vec![],
+            inferred: ConstraintSet::new(),
+            missing: vec![],
+            existing_covered: ConstraintSet::new(),
+            analysis_time: Duration::ZERO,
+            loc: 0,
+            incidents: vec![
+                Incident::new(IncidentKind::RecoveredSyntax, "a.py", 1, "x"),
+                Incident::new(IncidentKind::WorkerPanic, "b.py", 0, "boom"),
+                Incident::new(IncidentKind::RecoveredSyntax, "c.py", 2, "y"),
+            ],
+            files_total: 3,
+            timings: StageTimings::default(),
+        };
+        assert_eq!(report.incident_summary(), "recovered-syntax 2, worker-panic 1");
+        assert_eq!(report.incidents_of(IncidentKind::RecoveredSyntax).count(), 2);
+        let cov = report.coverage();
+        assert_eq!((cov.files_clean, cov.files_degraded, cov.files_dropped), (0, 2, 1));
     }
 }

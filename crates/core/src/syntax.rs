@@ -124,16 +124,28 @@ fn mirror(op: CmpOp) -> CmpOp {
     }
 }
 
+/// Resource guard: the maximum number of AST nodes one MATCH invocation
+/// may visit. The traversal itself is queue-based (no recursion to
+/// overflow), but a pathological condition expression could still make a
+/// single match arbitrarily expensive; past this horizon the search
+/// degrades by giving up on the candidate subtree. Real pattern matches
+/// sit within the first handful of levels (the patterns are depth one or
+/// two), so the cap is unreachable for any code a human — or the
+/// recovering parser's own depth guard — lets through.
+pub const MAX_BFS_NODES: usize = 1 << 16;
+
 /// The paper's MATCH: breadth-first search of `root` for the first subtree
 /// matching `pat` (Figure 8: "performs a breadth-first traversal in T_body
-/// and finds the node which matches the root of P_save").
+/// and finds the node which matches the root of P_save"), bounded by
+/// [`MAX_BFS_NODES`].
 pub fn match_bfs<'a>(root: &'a Expr, pat: &TreePat) -> Option<SynMatch<'a>> {
-    bfs_exprs(root).find_map(|e| pat.matches(e))
+    bfs_exprs(root).take(MAX_BFS_NODES).find_map(|e| pat.matches(e))
 }
 
-/// All matches in BFS order (a condition can mention several querysets).
+/// All matches in BFS order (a condition can mention several querysets),
+/// bounded by [`MAX_BFS_NODES`].
 pub fn match_bfs_all<'a>(root: &'a Expr, pat: &TreePat) -> Vec<SynMatch<'a>> {
-    bfs_exprs(root).filter_map(|e| pat.matches(e)).collect()
+    bfs_exprs(root).take(MAX_BFS_NODES).filter_map(|e| pat.matches(e)).collect()
 }
 
 // --- the pattern categories -------------------------------------------------
@@ -219,6 +231,27 @@ mod tests {
         assert_eq!(subject_of("lines.count() != 0", &pat).unwrap(), "lines");
         assert!(subject_of("lines.count() == 0", &pat).is_none());
         assert!(subject_of("lines.total()", &pat).is_none());
+    }
+
+    #[test]
+    fn bfs_node_budget_bounds_pathological_searches() {
+        // A call with n arguments puts `qs.exists()` (the last argument)
+        // behind n + 1 earlier nodes in BFS order — a wide, shallow tree
+        // that scales the frontier without deep nesting.
+        let wide = |n: usize| {
+            let mut src = String::from("f(");
+            for i in 0..n {
+                src.push_str(&format!("a{i}, "));
+            }
+            src.push_str("qs.exists())");
+            parse_expr(&src).unwrap()
+        };
+        let pat = p_exist_positive();
+        // Well within the budget: found.
+        assert!(match_bfs(&wide(50), &pat).is_some());
+        // Past the horizon: the search gives up instead of scanning an
+        // unbounded frontier (and, crucially, terminates promptly).
+        assert!(match_bfs(&wide(MAX_BFS_NODES + 10), &pat).is_none());
     }
 
     #[test]

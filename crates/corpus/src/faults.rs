@@ -1,0 +1,226 @@
+//! Seeded fault injection for the fault-tolerance test harness.
+//!
+//! [`inject_faults`] deterministically corrupts a generated application —
+//! truncations, stray-byte splices, unterminated strings, deep-nesting
+//! bombs, mixed indentation — so the integration suite can assert the
+//! analyzer's robustness contract: it never panics, stays byte-identical
+//! across thread counts, records a typed incident for every corrupted
+//! file, and keeps untouched files' detections unchanged.
+//!
+//! Two safety rules keep the corruption *diagnosable*:
+//!
+//! * **Registry safety** — destructive faults (truncation, mid-file
+//!   splices) hit only `services_*`/`noise_*`/`helpers` files, never a
+//!   `models_*` file, so the model registry is identical to the clean
+//!   run and degradation monotonicity is a well-defined property.
+//!   Append-at-end faults are safe anywhere.
+//! * **Guaranteed incident** — every fault is constructed so the
+//!   recovering pipeline must record at least one incident for the file
+//!   (an unclosed bracket, an invalid character, an unterminated string,
+//!   a nesting bomb past the depth limit, an inconsistent dedent).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GeneratedApp;
+
+/// The classes of corruption the harness can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum FaultKind {
+    /// Cut the file off right after an opening parenthesis in its latter
+    /// half, leaving an unclosed bracket that poisons the rest of the
+    /// (now single) logical line. Destructive: non-model files only.
+    Truncate,
+    /// Splice a line of invalid bytes between two statements.
+    /// Destructive: non-model files only.
+    StrayBytes,
+    /// Append an assignment whose string literal never closes.
+    UnterminatedString,
+    /// Append an expression nested far past the parser's depth limit.
+    DeepNesting,
+    /// Append a function whose body dedents to a width that matches no
+    /// enclosing indentation level.
+    MixedIndent,
+}
+
+impl FaultKind {
+    /// All injectable kinds, in a stable order.
+    pub const ALL: [FaultKind; 5] = [
+        FaultKind::Truncate,
+        FaultKind::StrayBytes,
+        FaultKind::UnterminatedString,
+        FaultKind::DeepNesting,
+        FaultKind::MixedIndent,
+    ];
+
+    /// Whether the fault rewrites existing file content (and must
+    /// therefore stay away from model files), as opposed to appending
+    /// after the last statement.
+    pub fn is_destructive(&self) -> bool {
+        matches!(self, FaultKind::Truncate | FaultKind::StrayBytes)
+    }
+}
+
+/// A record of one injected fault.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fault {
+    /// What was injected.
+    pub kind: FaultKind,
+    /// The app-relative path of the corrupted file.
+    pub file: String,
+}
+
+/// Line that makes the analyzer panic inside the worker processing the
+/// file when cfinder-core's `inject_panic_marker` limit is enabled.
+/// Mirrors `cfinder_core::detect::PANIC_MARKER`.
+pub const PANIC_MARKER_LINE: &str = "# cfinder-fault: panic\n";
+
+/// Prepends the worker-panic marker to the named file (for the focused
+/// panic-isolation test; not part of the standard fault mix).
+pub fn inject_panic_marker(app: &mut GeneratedApp, path: &str) {
+    let file = app
+        .files
+        .iter_mut()
+        .find(|f| f.path == path)
+        .unwrap_or_else(|| panic!("no file {path} in {}", app.name));
+    file.text = format!("{PANIC_MARKER_LINE}{}", file.text);
+}
+
+/// Injects `count` seeded faults into `app`, mutating file contents in
+/// place, and returns what was injected where. Deterministic: the same
+/// `(app, seed, count)` always yields the same corruption.
+///
+/// At most one fault lands on any single file (so incident attribution in
+/// tests stays unambiguous); `count` is capped at the number of eligible
+/// files.
+pub fn inject_faults(app: &mut GeneratedApp, seed: u64, count: usize) -> Vec<Fault> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut faults = Vec::new();
+    let mut touched: Vec<String> = Vec::new();
+
+    for _ in 0..count {
+        let kind = FaultKind::ALL[rng.gen_range(0..FaultKind::ALL.len())];
+        let candidates: Vec<usize> = app
+            .files
+            .iter()
+            .enumerate()
+            .filter(|(_, f)| !touched.iter().any(|t| t == &f.path))
+            .filter(|(_, f)| !kind.is_destructive() || !is_model_file(&f.path))
+            .map(|(i, _)| i)
+            .collect();
+        if candidates.is_empty() {
+            break;
+        }
+        let index = candidates[rng.gen_range(0..candidates.len())];
+        let file = &mut app.files[index];
+        apply(kind, &mut file.text, &mut rng);
+        touched.push(file.path.clone());
+        faults.push(Fault { kind, file: file.path.clone() });
+    }
+    faults
+}
+
+fn is_model_file(path: &str) -> bool {
+    path.rsplit('/').next().is_some_and(|name| name.starts_with("models"))
+}
+
+fn apply(kind: FaultKind, text: &mut String, rng: &mut StdRng) {
+    match kind {
+        FaultKind::Truncate => {
+            // Cut right after a `(` in the latter half: the unclosed
+            // bracket joins every remaining line into one unfinishable
+            // logical line, so the parser must record an error at EOF.
+            let half = text.len() / 2;
+            let cut = text[half..].find('(').map(|i| half + i).or_else(|| text.find('('));
+            match cut {
+                Some(i) => text.truncate(i + 1),
+                // No parenthesis anywhere (not a realistic corpus file):
+                // append an unclosed one instead, same failure mode.
+                None => text.push_str("trailing = ("),
+            }
+        }
+        FaultKind::StrayBytes => {
+            // Splice an invalid line at a statement boundary in the middle
+            // of the file, reusing the next line's indentation so only the
+            // spliced statement is broken. `?` is not a Python token, so
+            // the recovering lexer must record it.
+            let boundaries: Vec<usize> = text
+                .char_indices()
+                .filter(|&(_, c)| c == '\n')
+                .map(|(i, _)| i + 1)
+                .filter(|&i| i < text.len())
+                .collect();
+            let at = if boundaries.is_empty() {
+                text.len()
+            } else {
+                boundaries[rng.gen_range(0..boundaries.len())]
+            };
+            let indent: String =
+                text[at..].chars().take_while(|c| *c == ' ' || *c == '\t').collect();
+            text.insert_str(at, &format!("{indent}?? splice ?? garbage ??\n"));
+        }
+        FaultKind::UnterminatedString => {
+            text.push_str("fault_tail = 'unterminated\n");
+        }
+        FaultKind::DeepNesting => {
+            let levels = 200;
+            text.push_str(&format!("fault_bomb = {}0{}\n", "(".repeat(levels), ")".repeat(levels)));
+        }
+        FaultKind::MixedIndent => {
+            text.push_str("def fault_mixed():\n        alpha = 1\n      beta = 2\n");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{generate, GenOptions};
+    use crate::profiles::profile;
+
+    fn quick_app() -> GeneratedApp {
+        generate(&profile("oscar").expect("profile"), GenOptions::quick())
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let mut a = quick_app();
+        let mut b = quick_app();
+        let fa = inject_faults(&mut a, 17, 5);
+        let fb = inject_faults(&mut b, 17, 5);
+        assert_eq!(fa, fb);
+        for (x, y) in a.files.iter().zip(&b.files) {
+            assert_eq!(x.text, y.text, "{}", x.path);
+        }
+    }
+
+    #[test]
+    fn destructive_faults_avoid_model_files() {
+        for seed in 0..20 {
+            let mut app = quick_app();
+            for fault in inject_faults(&mut app, seed, 6) {
+                if fault.kind.is_destructive() {
+                    assert!(!is_model_file(&fault.file), "seed {seed}: {fault:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn at_most_one_fault_per_file() {
+        let mut app = quick_app();
+        let faults = inject_faults(&mut app, 3, 8);
+        let mut files: Vec<&String> = faults.iter().map(|f| &f.file).collect();
+        files.sort();
+        files.dedup();
+        assert_eq!(files.len(), faults.len());
+    }
+
+    #[test]
+    fn panic_marker_is_prepended() {
+        let mut app = quick_app();
+        let path = app.files[0].path.clone();
+        inject_panic_marker(&mut app, &path);
+        assert!(app.files[0].text.starts_with(PANIC_MARKER_LINE));
+    }
+}

@@ -16,12 +16,14 @@
 #![forbid(unsafe_code)]
 
 pub mod builder;
+pub mod faults;
 pub mod manifest;
 pub mod names;
 pub mod profiles;
 pub mod study;
 
 pub use builder::{generate, GenOptions, GeneratedApp, GeneratedFile};
+pub use faults::{inject_faults, inject_panic_marker, Fault, FaultKind};
 pub use manifest::{FpMechanism, GroundTruth, Verdict};
 pub use profiles::{all_profiles, profile, AppProfile, ExistingPlan, MissingPlan};
 pub use study::{dataset, dataset_counts, study_corpus, DatasetEntry, StudyApp};

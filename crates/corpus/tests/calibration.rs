@@ -18,12 +18,7 @@ fn all_files_parse() {
     for p in all_profiles() {
         let app = generate(&p, GenOptions::quick());
         let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
-        assert!(
-            report.parse_errors.is_empty(),
-            "{}: parse errors {:?}",
-            p.name,
-            report.parse_errors
-        );
+        assert!(report.incidents.is_empty(), "{}: parse errors {:?}", p.name, report.incidents);
     }
 }
 

@@ -19,7 +19,7 @@ fn historical_recall_matches_table9() {
             app.old_code.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
         let report = finder.analyze(&source, &app.old_schema);
-        assert!(report.parse_errors.is_empty(), "{}: {:?}", app.name, report.parse_errors);
+        assert!(report.incidents.is_empty(), "{}: {:?}", app.name, report.incidents);
         for entry in app.entries.iter().filter(|e| e.in_dataset()) {
             let hit = report.missing.iter().any(|m| m.constraint == entry.constraint);
             assert_eq!(

@@ -5,6 +5,19 @@ use std::fmt;
 
 use crate::span::Span;
 
+/// Classifies a [`ParseError`] so callers can map errors onto a typed
+/// incident taxonomy without matching on message strings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParseErrorKind {
+    /// Ordinary malformed syntax, detected while lexing or parsing.
+    #[default]
+    Syntax,
+    /// The parser's recursion-depth guard fired (pathologically nested
+    /// input); the construct was abandoned instead of overflowing the
+    /// stack.
+    DepthLimit,
+}
+
 /// An error produced while lexing or parsing source text.
 ///
 /// Carries the source [`Span`] where the error was detected so callers can
@@ -15,12 +28,34 @@ pub struct ParseError {
     pub message: String,
     /// Where the error was detected.
     pub span: Span,
+    /// What class of failure this is.
+    pub kind: ParseErrorKind,
 }
 
 impl ParseError {
-    /// Creates a new error at `span`.
+    /// Creates a new syntax error at `span`.
     pub fn new(message: impl Into<String>, span: Span) -> Self {
-        ParseError { message: message.into(), span }
+        ParseError { message: message.into(), span, kind: ParseErrorKind::Syntax }
+    }
+
+    /// Creates a depth-limit error at `span`.
+    pub fn depth_limit(max_depth: u32, span: Span) -> Self {
+        ParseError {
+            message: format!("nesting exceeds the maximum depth of {max_depth}"),
+            span,
+            kind: ParseErrorKind::DepthLimit,
+        }
+    }
+
+    /// Creates a chain-length error at `span` (an iteratively-built
+    /// operator or postfix chain grew past the cap; classified as
+    /// [`ParseErrorKind::DepthLimit`] because it bounds tree depth).
+    pub fn chain_limit(max_links: usize, span: Span) -> Self {
+        ParseError {
+            message: format!("expression chain exceeds the maximum length of {max_links}"),
+            span,
+            kind: ParseErrorKind::DepthLimit,
+        }
     }
 }
 
@@ -52,5 +87,13 @@ mod tests {
         fn assert_error<E: Error>(_: &E) {}
         let err = ParseError::new("x", Span::DUMMY);
         assert_error(&err);
+    }
+
+    #[test]
+    fn kinds_classify_errors() {
+        assert_eq!(ParseError::new("x", Span::DUMMY).kind, ParseErrorKind::Syntax);
+        let deep = ParseError::depth_limit(64, Span::DUMMY);
+        assert_eq!(deep.kind, ParseErrorKind::DepthLimit);
+        assert!(deep.message.contains("64"));
     }
 }

@@ -33,7 +33,59 @@ use crate::token::{Token, TokenKind};
 /// assert_eq!(tokens[2].kind, TokenKind::Int(1));
 /// ```
 pub fn lex(source: &str) -> Result<Vec<Token>> {
-    Lexer::new(source).run()
+    let mut lexer = Lexer::new(source);
+    lexer.run()?;
+    Ok(lexer.tokens)
+}
+
+/// The output of [`lex_recovering`]: a usable token stream plus every
+/// lexical error that was tolerated while producing it.
+#[derive(Debug)]
+pub struct LexRecovery {
+    /// The token stream, always terminated by [`TokenKind::Eof`] and with
+    /// balanced `Indent`/`Dedent` pairs, exactly like strict [`lex`]
+    /// output.
+    pub tokens: Vec<Token>,
+    /// Errors recorded and recovered from, in source order.
+    pub errors: Vec<ParseError>,
+}
+
+/// Error-tolerant variant of [`lex`]: never fails, recording each lexical
+/// error and continuing from the character after it.
+///
+/// Recovery actions per error class:
+///
+/// * inconsistent dedent — the offending width is adopted as a new
+///   indentation level so block structure stays balanced;
+/// * unterminated string — the partial literal collected so far is
+///   emitted (terminated at the newline for single-quoted strings, at
+///   end of input otherwise);
+/// * invalid numeric literal — an `Int(0)` placeholder is emitted;
+/// * stray character — the character is skipped.
+///
+/// # Examples
+///
+/// ```
+/// use cfinder_pyast::lexer::lex_recovering;
+///
+/// let out = lex_recovering("a $ b\n");
+/// assert_eq!(out.errors.len(), 1);
+/// assert_eq!(out.tokens.len(), 4); // a, b, NEWLINE, EOF
+/// ```
+pub fn lex_recovering(source: &str) -> LexRecovery {
+    let mut lexer = Lexer::new(source);
+    lexer.recover = true;
+    if let Err(e) = lexer.run() {
+        // Unreachable: every error site records instead of returning when
+        // `recover` is set. Degrade gracefully all the same.
+        lexer.errors.push(e);
+        while lexer.indents.len() > 1 {
+            lexer.indents.pop();
+            lexer.emit_here(TokenKind::Dedent);
+        }
+        lexer.emit_here(TokenKind::Eof);
+    }
+    LexRecovery { tokens: lexer.tokens, errors: lexer.errors }
 }
 
 struct Lexer<'s> {
@@ -50,6 +102,11 @@ struct Lexer<'s> {
     /// True once a non-structural token has been emitted on the current
     /// logical line (controls whether `Newline` is emitted).
     line_has_content: bool,
+    /// When set, lexical errors are recorded in `errors` and lexing
+    /// continues instead of aborting.
+    recover: bool,
+    /// Errors tolerated so far (recover mode only).
+    errors: Vec<ParseError>,
 }
 
 impl<'s> Lexer<'s> {
@@ -63,10 +120,12 @@ impl<'s> Lexer<'s> {
             bracket_depth: 0,
             at_line_start: true,
             line_has_content: false,
+            recover: false,
+            errors: Vec::new(),
         }
     }
 
-    fn run(mut self) -> Result<Vec<Token>> {
+    fn run(&mut self) -> Result<()> {
         while !self.at_eof() {
             if self.at_line_start && self.bracket_depth == 0 {
                 self.handle_indentation()?;
@@ -85,7 +144,7 @@ impl<'s> Lexer<'s> {
             self.emit_here(TokenKind::Dedent);
         }
         self.emit_here(TokenKind::Eof);
-        Ok(self.tokens)
+        Ok(())
     }
 
     // --- low-level cursor -------------------------------------------------
@@ -138,6 +197,16 @@ impl<'s> Lexer<'s> {
 
     fn error(&self, msg: impl Into<String>) -> ParseError {
         ParseError::new(msg, Span::new(self.pos, self.pos))
+    }
+
+    /// In recover mode records `err` and yields `fallback`; otherwise fails.
+    fn tolerate<T>(&mut self, err: ParseError, fallback: T) -> Result<T> {
+        if self.recover {
+            self.errors.push(err);
+            Ok(fallback)
+        } else {
+            Err(err)
+        }
     }
 
     // --- indentation ------------------------------------------------------
@@ -198,9 +267,17 @@ impl<'s> Lexer<'s> {
                     self.emit(TokenKind::Dedent, line_start);
                 }
                 if *self.indents.last().unwrap() != width {
-                    return Err(self.error(format!(
+                    let err = self.error(format!(
                         "unindent (width {width}) does not match any outer indentation level"
-                    )));
+                    ));
+                    if !self.recover {
+                        return Err(err);
+                    }
+                    // Adopt the offending width as a new indentation level
+                    // so the Indent/Dedent stream stays balanced.
+                    self.errors.push(err);
+                    self.indents.push(width);
+                    self.emit(TokenKind::Indent, line_start);
                 }
             }
             self.at_line_start = false;
@@ -331,8 +408,13 @@ impl<'s> Lexer<'s> {
                 b'o' => 8,
                 _ => 2,
             };
-            let value = i64::from_str_radix(&digits, radix)
-                .map_err(|_| self.error(format!("invalid integer literal `{digits}`")))?;
+            let value = match i64::from_str_radix(&digits, radix) {
+                Ok(v) => v,
+                Err(_) => {
+                    let err = self.error(format!("invalid integer literal `{digits}`"));
+                    self.tolerate(err, 0)?
+                }
+            };
             self.emit(TokenKind::Int(value), start);
             return Ok(());
         }
@@ -373,13 +455,22 @@ impl<'s> Lexer<'s> {
             .filter(|c| *c != '_')
             .collect();
         if is_float {
-            let v: f64 =
-                text.parse().map_err(|_| self.error(format!("invalid float literal `{text}`")))?;
+            let v: f64 = match text.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    let err = self.error(format!("invalid float literal `{text}`"));
+                    self.tolerate(err, 0.0)?
+                }
+            };
             self.emit(TokenKind::Float(v), start);
         } else {
-            let v: i64 = text
-                .parse()
-                .map_err(|_| self.error(format!("invalid integer literal `{text}`")))?;
+            let v: i64 = match text.parse() {
+                Ok(v) => v,
+                Err(_) => {
+                    let err = self.error(format!("invalid integer literal `{text}`"));
+                    self.tolerate(err, 0)?
+                }
+            };
             self.emit(TokenKind::Int(v), start);
         }
         Ok(())
@@ -406,10 +497,14 @@ impl<'s> Lexer<'s> {
         let mut value = String::new();
         loop {
             let Some(b) = self.peek() else {
-                return Err(ParseError::new(
-                    "unterminated string literal",
-                    Span::new(start, self.pos),
-                ));
+                let err =
+                    ParseError::new("unterminated string literal", Span::new(start, self.pos));
+                if !self.recover {
+                    return Err(err);
+                }
+                // Emit the partial literal so the line still parses.
+                self.errors.push(err);
+                break;
             };
             if b == quote {
                 if triple {
@@ -426,17 +521,27 @@ impl<'s> Lexer<'s> {
                     break;
                 }
             } else if b == b'\n' && !triple {
-                return Err(ParseError::new(
+                let err = ParseError::new(
                     "newline in single-quoted string literal",
                     Span::new(start, self.pos),
-                ));
+                );
+                if !self.recover {
+                    return Err(err);
+                }
+                // Terminate at the newline (left for line handling) and
+                // emit what was collected so far.
+                self.errors.push(err);
+                break;
             } else if b == b'\\' && !prefix.raw {
                 self.bump();
                 let Some(esc) = self.bump_char() else {
-                    return Err(ParseError::new(
-                        "unterminated string literal",
-                        Span::new(start, self.pos),
-                    ));
+                    let err =
+                        ParseError::new("unterminated string literal", Span::new(start, self.pos));
+                    if !self.recover {
+                        return Err(err);
+                    }
+                    self.errors.push(err);
+                    break;
                 };
                 match esc {
                     'n' => value.push('\n'),
@@ -524,7 +629,8 @@ impl<'s> Lexer<'s> {
                     self.bump();
                     NotEq
                 } else {
-                    return Err(self.error("unexpected character `!`"));
+                    let err = self.error("unexpected character `!`");
+                    return self.tolerate(err, ());
                 }
             }
             b'<' => match two(self) {
@@ -628,10 +734,12 @@ impl<'s> Lexer<'s> {
                 }
             }
             other => {
-                return Err(self.error(format!(
+                let err = self.error(format!(
                     "unexpected character `{}` (0x{other:02x})",
                     if other.is_ascii_graphic() { (other as char).to_string() } else { "?".into() }
-                )));
+                ));
+                // Recovery: the character was already consumed, just skip it.
+                return self.tolerate(err, ());
             }
         };
         self.emit(kind, start);
@@ -921,5 +1029,65 @@ mod tests {
     #[test]
     fn semicolons_tokenize() {
         assert_eq!(kinds("a; b\n"), vec![Name("a".into()), Semi, Name("b".into()), Newline, Eof]);
+    }
+
+    // --- recovering mode ----------------------------------------------------
+
+    #[test]
+    fn recovering_matches_strict_on_clean_input() {
+        let src = "if a:\n    b = f(x,\n          y)\nc = 'done'\n";
+        let strict = lex(src).unwrap();
+        let recovered = lex_recovering(src);
+        assert!(recovered.errors.is_empty());
+        assert_eq!(strict, recovered.tokens);
+    }
+
+    #[test]
+    fn recovering_skips_stray_characters() {
+        let out = lex_recovering("a $ b\n");
+        assert_eq!(out.errors.len(), 1);
+        let k: Vec<TokenKind> = out.tokens.into_iter().map(|t| t.kind).collect();
+        assert_eq!(k, vec![Name("a".into()), Name("b".into()), Newline, Eof]);
+    }
+
+    #[test]
+    fn recovering_emits_partial_unterminated_string() {
+        let out = lex_recovering("x = 'abc");
+        assert_eq!(out.errors.len(), 1);
+        assert!(out.tokens.iter().any(|t| t.kind == Str("abc".into())));
+        assert_eq!(out.tokens.last().unwrap().kind, Eof);
+    }
+
+    #[test]
+    fn recovering_terminates_string_at_newline() {
+        let out = lex_recovering("x = 'ab\ny = 1\n");
+        assert_eq!(out.errors.len(), 1);
+        let k: Vec<TokenKind> = out.tokens.into_iter().map(|t| t.kind).collect();
+        // Both logical lines survive.
+        assert_eq!(k.iter().filter(|t| **t == Newline).count(), 2);
+        assert!(k.contains(&Str("ab".into())));
+        assert!(k.contains(&Name("y".into())));
+    }
+
+    #[test]
+    fn recovering_realigns_inconsistent_dedent() {
+        let src = "if a:\n        b\n      c\nd\n";
+        let out = lex_recovering(src);
+        assert_eq!(out.errors.len(), 1);
+        let k: Vec<TokenKind> = out.tokens.into_iter().map(|t| t.kind).collect();
+        // Indent/Dedent pairs stay balanced and the stream is Eof-terminated.
+        let indents = k.iter().filter(|t| **t == Indent).count();
+        let dedents = k.iter().filter(|t| **t == Dedent).count();
+        assert_eq!(indents, dedents);
+        assert_eq!(*k.last().unwrap(), Eof);
+        assert!(k.contains(&Name("d".into())));
+    }
+
+    #[test]
+    fn recovering_never_loses_later_lines() {
+        let out = lex_recovering("q = 3 ! 4\nafter = 1\n");
+        assert_eq!(out.errors.len(), 1);
+        let k: Vec<TokenKind> = out.tokens.into_iter().map(|t| t.kind).collect();
+        assert!(k.contains(&Name("after".into())));
     }
 }

@@ -25,7 +25,11 @@
 //!
 //! * [`lexer`] — tokens with significant indentation (INDENT/DEDENT),
 //!   implicit line joining inside brackets, string prefixes.
-//! * [`parser`] — recursive descent with Python operator precedence.
+//! * [`parser`] — recursive descent with Python operator precedence; a
+//!   recovering mode ([`parse_module_recovering`]) that resynchronizes at
+//!   statement boundaries and returns a partial module plus error list;
+//!   and a recursion-depth guard ([`parser::MAX_DEPTH`]) so pathological
+//!   nesting yields an error instead of a stack overflow.
 //! * [`ast`] — node definitions ([`ast::NodeId`], [`span::Span`]).
 //! * [`visit`] — visitor trait, pre-order walks, and the breadth-first
 //!   iteration the pattern matcher uses.
@@ -45,7 +49,10 @@ pub mod unparse;
 pub mod visit;
 
 pub use ast::{Expr, ExprKind, Module, NodeId, Stmt, StmtKind};
-pub use error::ParseError;
-pub use parser::{parse_expr, parse_module};
+pub use error::{ParseError, ParseErrorKind};
+pub use lexer::{lex_recovering, LexRecovery};
+pub use parser::{
+    parse_expr, parse_module, parse_module_recovering, Recovered, MAX_CHAIN, MAX_DEPTH,
+};
 pub use span::{Pos, Span};
 pub use unparse::{unparse_expr, unparse_module, unparse_stmt};

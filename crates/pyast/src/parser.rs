@@ -9,9 +9,37 @@
 
 use crate::ast::*;
 use crate::error::{ParseError, Result};
-use crate::lexer::lex;
+use crate::lexer::{lex, lex_recovering, LexRecovery};
 use crate::span::Span;
 use crate::token::{Token, TokenKind};
+
+/// Maximum nesting depth the parser accepts, counted in guard activations
+/// (one per statement, expression, unary chain, or prefix-operator level —
+/// a parenthesis level costs about three).
+///
+/// Recursive-descent parsing consumes native stack proportionally to input
+/// nesting, so pathological inputs (`((((…`) could otherwise overflow the
+/// stack. Exceeding the limit produces a [`ParseError`] with
+/// [`crate::error::ParseErrorKind::DepthLimit`] in both strict and
+/// recovering modes. The value admits ~32 parenthesis levels — far above
+/// anything real code reaches (CPython's own compiler caps around 100
+/// nested blocks) — while keeping worst-case stack usage bounded even on
+/// threads with reduced stacks.
+pub const MAX_DEPTH: u32 = 96;
+
+/// Maximum number of links in an iteratively-built expression chain
+/// (binary operators like `a + a + …`, or postfix trailers like
+/// `a.b.c…`/`f()()…`).
+///
+/// These chains cost no parse-time recursion, so [`MAX_DEPTH`] never sees
+/// them — but each link deepens the resulting left-leaning tree, and a
+/// tree tens of thousands of nodes deep overflows the stack later, in the
+/// AST's *recursive drop and traversal*, which no `catch_unwind` can
+/// intercept. Capping the links keeps every tree the parser can produce
+/// shallow enough to walk and free safely. Real code stays orders of
+/// magnitude below this; exceeding it yields a
+/// [`crate::error::ParseErrorKind::DepthLimit`] error.
+pub const MAX_CHAIN: usize = 1024;
 
 /// Parses a module (a full source file).
 ///
@@ -48,15 +76,77 @@ pub fn parse_expr(source: &str) -> Result<Expr> {
     Ok(expr)
 }
 
+/// The output of [`parse_module_recovering`]: the parts of the module that
+/// parsed cleanly plus every error that was recovered from.
+#[derive(Debug)]
+pub struct Recovered {
+    /// Partial module containing every statement that parsed. When
+    /// `errors` is empty this is identical to strict [`parse_module`]
+    /// output.
+    pub module: Module,
+    /// Lexing errors first, then parsing errors, each group in source
+    /// order. Empty means the input was fully valid.
+    pub errors: Vec<ParseError>,
+}
+
+/// Error-tolerant variant of [`parse_module`]: never fails.
+///
+/// On a syntax error the parser records the error with its span, then
+/// resynchronizes at the next statement boundary *at the same indentation
+/// level* — it skips tokens (balancing `Indent`/`Dedent` pairs so an
+/// enclosing suite is never abandoned) up to the next `Newline`, and
+/// resumes statement parsing there. One broken function body therefore no
+/// longer loses a file's other definitions.
+///
+/// # Examples
+///
+/// ```
+/// use cfinder_pyast::parser::parse_module_recovering;
+///
+/// let out = parse_module_recovering("class A:\n    pass\nbad = = syntax\nclass B:\n    pass\n");
+/// assert_eq!(out.module.body.len(), 2); // A and B both survive
+/// assert_eq!(out.errors.len(), 1);
+/// ```
+pub fn parse_module_recovering(source: &str) -> Recovered {
+    let LexRecovery { tokens, errors } = lex_recovering(source);
+    parse_tokens_recovering(tokens, errors)
+}
+
+/// Recovering parse over an existing token stream (the output of
+/// [`crate::lexer::lex_recovering`]), seeded with the lexer's recorded
+/// errors. Lets callers inspect or cap the token stream before parsing.
+pub fn parse_tokens_recovering(tokens: Vec<Token>, lex_errors: Vec<ParseError>) -> Recovered {
+    let mut parser = Parser::new(tokens);
+    parser.recover = true;
+    parser.errors = lex_errors;
+    let body = match parser.parse_block_until_eof() {
+        Ok(body) => body,
+        // Unreachable: in recover mode every statement error is caught in
+        // the block loop. Degrade to an empty module all the same.
+        Err(e) => {
+            parser.errors.push(e);
+            Vec::new()
+        }
+    };
+    Recovered { module: Module { body, node_count: parser.next_id }, errors: parser.errors }
+}
+
 struct Parser {
     tokens: Vec<Token>,
     idx: usize,
     next_id: u32,
+    /// Current statement/expression nesting depth, capped at [`MAX_DEPTH`].
+    depth: u32,
+    /// When set, statement-level errors are recorded in `errors` and
+    /// parsing resumes at the next statement boundary.
+    recover: bool,
+    /// Errors tolerated so far (recover mode only).
+    errors: Vec<ParseError>,
 }
 
 impl Parser {
     fn new(tokens: Vec<Token>) -> Self {
-        Parser { tokens, idx: 0, next_id: 0 }
+        Parser { tokens, idx: 0, next_id: 0, depth: 0, recover: false, errors: Vec::new() }
     }
 
     // --- token plumbing -----------------------------------------------------
@@ -130,12 +220,85 @@ impl Parser {
         Stmt { id: self.id(), span, kind }
     }
 
+    /// Runs `f` one nesting level deeper, failing with a
+    /// [`crate::error::ParseErrorKind::DepthLimit`] error once
+    /// [`MAX_DEPTH`] is reached. Wraps every recursion cycle of the
+    /// grammar (statements, expressions, unary chains) so input nesting —
+    /// not the OS stack — is the binding limit.
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> Result<T>) -> Result<T> {
+        if self.depth >= MAX_DEPTH {
+            return Err(ParseError::depth_limit(MAX_DEPTH, self.peek().span));
+        }
+        self.depth += 1;
+        let out = f(self);
+        self.depth -= 1;
+        out
+    }
+
     // --- blocks and statements ----------------------------------------------
+
+    /// In recover mode: parses one statement, recording the error and
+    /// resynchronizing on failure. Returns the statements that parsed.
+    fn statement_recovering(&mut self) -> Vec<Stmt> {
+        let before = self.idx;
+        match self.statement() {
+            Ok(stmts) => stmts,
+            Err(e) => {
+                self.errors.push(e);
+                self.synchronize(before);
+                Vec::new()
+            }
+        }
+    }
+
+    /// Skips tokens up to the next statement boundary at the same
+    /// indentation level: the next `Newline` outside any `Indent`/`Dedent`
+    /// pairs opened during the skip. A `Dedent` belonging to an enclosing
+    /// suite is left unconsumed so the caller's block loop sees it.
+    fn synchronize(&mut self, before: usize) {
+        let mut depth = 0usize;
+        loop {
+            match self.peek_kind() {
+                TokenKind::Eof => break,
+                TokenKind::Newline if depth == 0 => {
+                    self.advance();
+                    break;
+                }
+                TokenKind::Dedent if depth == 0 => break,
+                TokenKind::Indent => {
+                    depth += 1;
+                    self.advance();
+                }
+                TokenKind::Dedent => {
+                    depth -= 1;
+                    self.advance();
+                    if depth == 0 {
+                        // A balanced Indent..Dedent group just closed: we
+                        // are back at a statement boundary at the original
+                        // indentation level.
+                        break;
+                    }
+                }
+                _ => {
+                    self.advance();
+                }
+            }
+        }
+        // Guarantee progress even on a stray structural token.
+        if self.idx == before && !self.check(&TokenKind::Eof) {
+            self.advance();
+        }
+    }
 
     fn parse_block_until_eof(&mut self) -> Result<Vec<Stmt>> {
         let mut body = Vec::new();
         while !self.check(&TokenKind::Eof) {
-            body.extend(self.statement()?);
+            if self.recover {
+                let stmts = self.statement_recovering();
+                body.extend(stmts);
+            } else {
+                body.extend(self.statement()?);
+            }
         }
         Ok(body)
     }
@@ -148,9 +311,17 @@ impl Parser {
             self.eat(&TokenKind::Indent)?;
             let mut body = Vec::new();
             while !self.check(&TokenKind::Dedent) && !self.check(&TokenKind::Eof) {
-                body.extend(self.statement()?);
+                if self.recover {
+                    let stmts = self.statement_recovering();
+                    body.extend(stmts);
+                } else {
+                    body.extend(self.statement()?);
+                }
             }
-            self.eat(&TokenKind::Dedent)?;
+            // The Dedent is absent only when input ends inside the suite,
+            // which strict lexing never produces (the indent stack is
+            // drained before Eof).
+            self.eat_if(&TokenKind::Dedent);
             Ok(body)
         } else {
             // Inline suite: one or more `;`-separated simple statements.
@@ -160,6 +331,10 @@ impl Parser {
 
     /// Parses one statement; simple statements may expand to several via `;`.
     fn statement(&mut self) -> Result<Vec<Stmt>> {
+        self.with_depth(Self::statement_impl)
+    }
+
+    fn statement_impl(&mut self) -> Result<Vec<Stmt>> {
         match self.peek_kind() {
             TokenKind::Def | TokenKind::Class | TokenKind::At => Ok(vec![self.definition()?]),
             TokenKind::If => Ok(vec![self.if_statement()?]),
@@ -603,6 +778,10 @@ impl Parser {
 
     /// Top-level expression: ternary / lambda / or-chain.
     fn expression(&mut self) -> Result<Expr> {
+        self.with_depth(Self::expression_impl)
+    }
+
+    fn expression_impl(&mut self) -> Result<Expr> {
         if self.check(&TokenKind::Lambda) {
             return self.lambda();
         }
@@ -678,6 +857,10 @@ impl Parser {
     }
 
     fn not_expr(&mut self) -> Result<Expr> {
+        self.with_depth(Self::not_expr_impl)
+    }
+
+    fn not_expr_impl(&mut self) -> Result<Expr> {
         if self.check(&TokenKind::Not) {
             let start = self.advance().span;
             let operand = self.not_expr()?;
@@ -771,9 +954,14 @@ impl Parser {
         next: fn(&mut Self) -> Result<Expr>,
     ) -> Result<Expr> {
         let mut left = next(self)?;
+        let mut links = 0usize;
         'outer: loop {
             for (tok, op) in ops {
                 if self.check(tok) {
+                    links += 1;
+                    if links > MAX_CHAIN {
+                        return Err(ParseError::chain_limit(MAX_CHAIN, self.peek().span));
+                    }
                     self.advance();
                     let right = next(self)?;
                     let span = left.span.to(right.span);
@@ -790,6 +978,10 @@ impl Parser {
     }
 
     fn factor(&mut self) -> Result<Expr> {
+        self.with_depth(Self::factor_impl)
+    }
+
+    fn factor_impl(&mut self) -> Result<Expr> {
         let op = match self.peek_kind() {
             TokenKind::Minus => Some(UnaryOp::Neg),
             TokenKind::Plus => Some(UnaryOp::Pos),
@@ -821,15 +1013,21 @@ impl Parser {
     /// Postfix: calls, attribute access, subscripts.
     fn postfix(&mut self) -> Result<Expr> {
         let mut e = self.atom()?;
+        let mut links = 0usize;
         loop {
             match self.peek_kind() {
+                TokenKind::Dot | TokenKind::LParen | TokenKind::LBracket if links >= MAX_CHAIN => {
+                    return Err(ParseError::chain_limit(MAX_CHAIN, self.peek().span));
+                }
                 TokenKind::Dot => {
+                    links += 1;
                     self.advance();
                     let (attr, aspan) = self.eat_name()?;
                     let span = e.span.to(aspan);
                     e = self.expr(span, ExprKind::Attribute { value: Box::new(e), attr });
                 }
                 TokenKind::LParen => {
+                    links += 1;
                     self.advance();
                     let (args, keywords) = self.call_arguments()?;
                     let rp = self.eat(&TokenKind::RParen)?;
@@ -837,6 +1035,7 @@ impl Parser {
                     e = self.expr(span, ExprKind::Call { func: Box::new(e), args, keywords });
                 }
                 TokenKind::LBracket => {
+                    links += 1;
                     self.advance();
                     let index = self.subscript_index()?;
                     let rb = self.eat(&TokenKind::RBracket)?;
@@ -1207,6 +1406,9 @@ impl Parser {
                             .map_err(|e| ParseError::new(format!("in f-string hole: {e}"), span))?;
                         let mut sub = Parser::new(tokens);
                         sub.next_id = self.next_id;
+                        // Nested f-strings share the depth budget so hole
+                        // sub-parses cannot exceed MAX_DEPTH either.
+                        sub.depth = self.depth;
                         let e = sub
                             .expression()
                             .map_err(|e| ParseError::new(format!("in f-string hole: {e}"), span))?;
@@ -1620,5 +1822,95 @@ class OrderLine(models.Model):
         let StmtKind::ClassDef(c) = &m.body[1].kind else { panic!() };
         assert_eq!(c.name, "OrderLine");
         assert_eq!(c.body.len(), 6);
+    }
+
+    // --- recovering mode ----------------------------------------------------
+
+    #[test]
+    fn recovering_matches_strict_on_clean_input() {
+        let src = "class A:\n    x = 1\n\n    def m(self):\n        return self.x\n";
+        let strict = parse_module(src).unwrap();
+        let out = parse_module_recovering(src);
+        assert!(out.errors.is_empty());
+        assert_eq!(strict, out.module);
+    }
+
+    #[test]
+    fn recovering_skips_broken_top_level_statement() {
+        let out = parse_module_recovering("a = 1\nb = = 2\nc = 3\n");
+        assert_eq!(out.errors.len(), 1);
+        assert_eq!(out.module.body.len(), 2);
+        assert!(matches!(&out.module.body[0].kind, StmtKind::Assign { .. }));
+        assert!(matches!(&out.module.body[1].kind, StmtKind::Assign { .. }));
+    }
+
+    #[test]
+    fn recovering_keeps_other_statements_in_same_suite() {
+        let src = "def f():\n    good1 = 1\n    bad = = 2\n    good2 = 3\n";
+        let out = parse_module_recovering(src);
+        assert_eq!(out.errors.len(), 1);
+        let StmtKind::FunctionDef(f) = &out.module.body[0].kind else { panic!() };
+        assert_eq!(f.body.len(), 2);
+    }
+
+    #[test]
+    fn recovering_broken_header_skips_whole_block_only() {
+        // A broken `def` header loses that definition and its indented
+        // body (the Indent/Dedent pair is skipped as a balanced unit), but
+        // nothing after it.
+        // Note no bracket in the broken header: an unbalanced `(` makes
+        // the lexer treat everything to EOF as one bracketed logical line,
+        // which costs the rest of the file (see DESIGN.md §9).
+        let src = "def broken 123:\n    x = 1\n    y = 2\nclass Survivor:\n    z = 3\n";
+        let out = parse_module_recovering(src);
+        assert!(!out.errors.is_empty());
+        assert_eq!(out.module.body.len(), 1);
+        assert!(matches!(&out.module.body[0].kind, StmtKind::ClassDef(c) if c.name == "Survivor"));
+    }
+
+    #[test]
+    fn recovering_never_errors_on_arbitrary_garbage() {
+        for src in ["(((", ")= =(", "def def def", "if :\n::\n", "\u{1F980} = 1\n"] {
+            let out = parse_module_recovering(src);
+            assert!(!out.errors.is_empty(), "expected errors for {src:?}");
+        }
+    }
+
+    #[test]
+    fn depth_limit_instead_of_stack_overflow() {
+        let bomb = format!("x = {}0{}\n", "(".repeat(4000), ")".repeat(4000));
+        let err = parse_module(&bomb).unwrap_err();
+        assert_eq!(err.kind, crate::error::ParseErrorKind::DepthLimit);
+        let out = parse_module_recovering(&bomb);
+        assert!(out.errors.iter().any(|e| e.kind == crate::error::ParseErrorKind::DepthLimit));
+    }
+
+    #[test]
+    fn depth_limit_admits_reasonable_nesting() {
+        let fine = format!("x = {}0{}\n", "(".repeat(30), ")".repeat(30));
+        assert!(parse_module(&fine).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_caps_operator_chains() {
+        // Built iteratively, so the recursion guard never fires — but the
+        // left-deep tree would overflow the stack in the recursive drop.
+        let bomb = format!("x = 1{}\n", " + 1".repeat(MAX_CHAIN + 50));
+        let err = parse_module(&bomb).unwrap_err();
+        assert_eq!(err.kind, crate::error::ParseErrorKind::DepthLimit);
+        let out = parse_module_recovering(&bomb);
+        assert!(out.errors.iter().any(|e| e.kind == crate::error::ParseErrorKind::DepthLimit));
+        // A long-but-sane chain still parses.
+        let fine = format!("x = 1{}\n", " + 1".repeat(500));
+        assert!(parse_module(&fine).is_ok());
+    }
+
+    #[test]
+    fn depth_limit_caps_postfix_chains() {
+        let bomb = format!("x = a{}\n", ".b".repeat(MAX_CHAIN + 50));
+        let err = parse_module(&bomb).unwrap_err();
+        assert_eq!(err.kind, crate::error::ParseErrorKind::DepthLimit);
+        let fine = format!("x = a{}()\n", ".b".repeat(200));
+        assert!(parse_module(&fine).is_ok());
     }
 }

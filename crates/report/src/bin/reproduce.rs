@@ -66,10 +66,37 @@ fn main() {
         fs::write(out_dir.join(format!("{name}.csv")), table.to_csv()).expect("write table csv");
     }
 
+    // Per-app fault-tolerance summary: coverage percentages and incident
+    // counts (all zero on the pristine generated corpus, but the line is
+    // what an operator scans first on real inputs).
+    for app in &eval.apps {
+        let coverage = app.report.coverage();
+        let summary = app.report.incident_summary();
+        eprintln!(
+            "{}: {}{}",
+            app.app.name,
+            coverage,
+            if summary.is_empty() { String::new() } else { format!(" [{summary}]") }
+        );
+    }
+
     // Per-app detail files, like the artifact's result/APP_NAME/.
     for app in &eval.apps {
         let dir = out_dir.join(&app.app.name);
         fs::create_dir_all(&dir).expect("create app dir");
+        if !app.report.incidents.is_empty() {
+            let mut log = String::from("kind,file,line,detail\n");
+            for i in &app.report.incidents {
+                log.push_str(&format!(
+                    "{},{},{},\"{}\"\n",
+                    i.kind,
+                    i.file,
+                    i.line,
+                    i.detail.replace('"', "'")
+                ));
+            }
+            fs::write(dir.join("incidents.csv"), log).expect("write incidents");
+        }
         let mut newly = String::from("pattern,constraint,file,line,snippet\n");
         for m in &app.report.missing {
             for d in &m.detections {

@@ -324,7 +324,8 @@ pub fn table9(eval: &Evaluation) -> TextTable {
 
 /// Table 10: static-analysis wall-clock time per application, with the
 /// per-stage breakdown (parse / models / detect / diff) recorded by the
-/// parallel engine and the worker-thread count it ran with.
+/// parallel engine, the worker-thread count it ran with, and the
+/// fault-tolerance envelope (incident count and per-file coverage).
 pub fn table10(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
         "Table 10: Time (seconds) to run the static analysis",
@@ -337,11 +338,14 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             "Detect (s)",
             "Diff (s)",
             "Threads",
+            "Incidents",
+            "Coverage",
         ],
     );
     let secs = |d: std::time::Duration| format!("{:.2}", d.as_secs_f64());
     for a in eval.apps.iter().filter(|a| a.app.name != "company") {
         let ts = &a.report.timings;
+        let coverage = a.report.coverage();
         t.row([
             a.app.name.clone(),
             a.report.loc.to_string(),
@@ -351,6 +355,8 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             secs(ts.detection),
             secs(ts.diff),
             ts.threads.to_string(),
+            a.report.incidents.len().to_string(),
+            format!("{:.1}%", coverage.percent_clean()),
         ]);
     }
     t

@@ -23,4 +23,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q ${test_scope[*]:-}"
 cargo test -q "${test_scope[@]}"
 
+echo "==> fault-injection suite"
+cargo test -q --test fault_injection
+
+echo "==> depth-limit guard under a reduced stack"
+# 1.5 MiB is below the 2 MiB Rust default: the test only passes because
+# the parser's recursion-depth guard fires before the stack runs out.
+RUST_MIN_STACK=1572864 cargo test -q -p cfinder-pyast depth_limit
+
 echo "CI green."

@@ -2,7 +2,7 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--max-file-bytes N] [--ablate FLAG…]
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
@@ -14,27 +14,45 @@
 //!   the human-readable mode, embedded as a `timings` object in `--json`
 //!   mode. The thread count defaults to the available parallelism and can
 //!   be overridden with the `CFINDER_THREADS` environment variable.
+//! * `--strict` — treat any incident (recovered syntax error, dropped
+//!   file, worker panic) as a failure: exit 3 instead of 0/1.
+//! * `--max-file-bytes N` — skip files larger than N bytes (`0` disables
+//!   the cap; defaults to 8 MiB or `CFINDER_MAX_FILE_BYTES`).
 //! * `--ablate null-guard|data-dep|composite|partial` — disable an
 //!   analysis feature (repeatable; for experimentation).
 //!
+//! A per-file parse deadline can be enabled with the `CFINDER_DEADLINE_MS`
+//! environment variable; files that blow it are skipped with a `deadline`
+//! incident.
+//!
 //! Exit code: 0 when no missing constraints were found, 1 when some were,
-//! 2 on usage or I/O errors. Parse errors in individual files are reported
-//! as warnings on stderr (or in the `parse_errors` JSON field) and do
-//! **not** affect the exit code: the analysis proceeds over the files that
-//! did parse, as in the paper's tool.
+//! 2 on usage or I/O errors, 3 under `--strict` when the analysis
+//! recorded incidents (this takes precedence over 0/1). Without
+//! `--strict`, incidents are reported — as warnings plus a coverage
+//! summary on stderr, or in the `incidents`/`coverage` JSON fields — and
+//! do **not** affect the exit code: the analysis proceeds over everything
+//! that could be analyzed, as in the paper's tool.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cfinder::core::{AppSource, CFinder, CFinderOptions, SourceFile};
+use cfinder::core::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
 use cfinder::schema::Schema;
+
+struct Outcome {
+    missing: usize,
+    incidents: usize,
+    strict: bool,
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
-        Ok(missing) => {
-            if missing == 0 {
+        Ok(outcome) => {
+            if outcome.strict && outcome.incidents > 0 {
+                ExitCode::from(3)
+            } else if outcome.missing == 0 {
                 ExitCode::SUCCESS
             } else {
                 ExitCode::from(1)
@@ -43,19 +61,21 @@ fn main() -> ExitCode {
         Err(msg) => {
             eprintln!("cfinder: {msg}");
             eprintln!(
-                "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--ablate null-guard|data-dep|composite|partial]…"
+                "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…"
             );
             ExitCode::from(2)
         }
     }
 }
 
-fn run(args: &[String]) -> Result<usize, String> {
+fn run(args: &[String]) -> Result<Outcome, String> {
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
     let mut json = false;
     let mut timings = false;
+    let mut strict = false;
     let mut options = CFinderOptions::default();
+    let mut limits = Limits::from_env();
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -66,6 +86,14 @@ fn run(args: &[String]) -> Result<usize, String> {
             }
             "--json" => json = true,
             "--timings" => timings = true,
+            "--strict" => strict = true,
+            "--max-file-bytes" => {
+                let v = it.next().ok_or("--max-file-bytes requires a byte-count argument")?;
+                limits.max_file_bytes = v
+                    .trim()
+                    .parse::<usize>()
+                    .map_err(|_| format!("invalid --max-file-bytes value `{v}`"))?;
+            }
             "--ablate" => {
                 let v = it.next().ok_or("--ablate requires a flag argument")?;
                 match v.as_str() {
@@ -105,11 +133,12 @@ fn run(args: &[String]) -> Result<usize, String> {
 
     let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("app").to_string();
     let app = AppSource::new(name, files);
-    let report = CFinder::with_options(options).analyze(&app, &declared);
+    let report = CFinder::with_options(options).with_limits(limits).analyze(&app, &declared);
+    let coverage = report.coverage();
 
     if json {
         // A stable machine-readable shape: missing constraints with their
-        // supporting detections, plus parse diagnostics.
+        // supporting detections, plus incident and coverage diagnostics.
         #[derive(serde::Serialize)]
         struct JsonTimings {
             parse_seconds: f64,
@@ -126,7 +155,8 @@ fn run(args: &[String]) -> Result<usize, String> {
             timings: Option<JsonTimings>,
             missing: &'a [cfinder::core::MissingConstraint],
             existing_covered: Vec<String>,
-            parse_errors: &'a [(String, String)],
+            incidents: &'a [cfinder::core::Incident],
+            coverage: cfinder::core::Coverage,
         }
         let out = JsonOut {
             app: &report.app,
@@ -141,7 +171,8 @@ fn run(args: &[String]) -> Result<usize, String> {
             }),
             missing: &report.missing,
             existing_covered: report.existing_covered.iter().map(|c| c.describe()).collect(),
-            parse_errors: &report.parse_errors,
+            incidents: &report.incidents,
+            coverage,
         };
         println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
     } else {
@@ -162,9 +193,13 @@ fn run(args: &[String]) -> Result<usize, String> {
                 t.threads
             );
         }
-        // Parse errors are warnings only: they never change the exit code.
-        for (file, err) in &report.parse_errors {
-            eprintln!("warning: {file}: {err}");
+        // Without --strict, incidents are warnings only: they never change
+        // the exit code, but degraded coverage is always said out loud.
+        for incident in &report.incidents {
+            eprintln!("warning: {incident}");
+        }
+        if !report.incidents.is_empty() {
+            eprintln!("coverage: {coverage} ({})", report.incident_summary());
         }
         if report.missing.is_empty() {
             println!("no missing database constraints found");
@@ -178,8 +213,14 @@ fn run(args: &[String]) -> Result<usize, String> {
                 println!("    fix: {}", m.constraint.ddl());
             }
         }
+        if strict && !report.incidents.is_empty() {
+            eprintln!(
+                "error: --strict: {} incident(s) degraded the analysis",
+                report.incidents.len()
+            );
+        }
     }
-    Ok(report.missing.len())
+    Ok(Outcome { missing: report.missing.len(), incidents: report.incidents.len(), strict })
 }
 
 fn collect_py_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {

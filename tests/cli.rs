@@ -111,6 +111,88 @@ fn ablate_flag_changes_results() {
     assert!(String::from_utf8_lossy(&out.stdout).contains("Not NULL (code)"));
 }
 
+fn write_demo_with_broken_file(dir: &std::path::Path) {
+    write_demo(dir);
+    // A salvageable statement plus a broken one: recovery degrades the
+    // file (recovered-syntax) instead of dropping it outright.
+    fs::write(dir.join("app/broken.py"), "salvaged = 1\ndef broken 123:\n    pass\n").unwrap();
+}
+
+#[test]
+fn incidents_are_warnings_by_default_but_fail_strict_with_exit_three() {
+    let dir = temp_dir("strict");
+    write_demo_with_broken_file(&dir);
+    // Default: the broken file degrades coverage but not the exit code.
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "missing constraint still drives the exit: {out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("warning: [recovered-syntax] broken.py"), "{stderr}");
+    assert!(stderr.contains("coverage:"), "{stderr}");
+    // --strict: any incident wins over the missing-constraint exit code.
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--strict")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(3), "{out:?}");
+    // --strict on a clean tree is inert.
+    fs::remove_file(dir.join("app/broken.py")).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--strict")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+}
+
+#[test]
+fn json_reports_incidents_and_coverage() {
+    let dir = temp_dir("json-incidents");
+    write_demo_with_broken_file(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let incidents = v["incidents"].as_array().unwrap();
+    assert!(!incidents.is_empty());
+    assert_eq!(incidents[0]["kind"].as_str(), Some("RecoveredSyntax"));
+    assert_eq!(incidents[0]["file"].as_str(), Some("broken.py"));
+    assert_eq!(v["coverage"]["files_total"].as_u64(), Some(3));
+    assert_eq!(v["coverage"]["files_degraded"].as_u64(), Some(1));
+}
+
+#[test]
+fn max_file_bytes_flag_drops_oversized_files() {
+    let dir = temp_dir("maxbytes");
+    write_demo(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--max-file-bytes")
+        .arg("60")
+        .arg("--json")
+        .output()
+        .expect("binary runs");
+    let v: serde_json::Value = serde_json::from_slice(&out.stdout).expect("valid JSON");
+    let incidents = v["incidents"].as_array().unwrap();
+    assert!(
+        incidents.iter().any(|i| i["kind"].as_str() == Some("FileTooLarge")),
+        "a demo file exceeds 60 bytes: {incidents:?}"
+    );
+    // Bad values are usage errors.
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--max-file-bytes")
+        .arg("lots")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn cli_analyzes_an_exported_corpus_app() {
     use cfinder::corpus::{generate, profile, GenOptions};

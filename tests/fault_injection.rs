@@ -1,0 +1,188 @@
+//! The fault-tolerance envelope, validated end to end: seeded corruption
+//! of the generated corpus must never panic the analyzer, must stay
+//! byte-identical across worker-thread counts, must leave a typed
+//! incident for every corrupted file, and must not disturb the
+//! detections of untouched files (degradation monotonicity).
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use cfinder::core::{
+    AnalysisReport, AppSource, CFinder, Detection, IncidentKind, Limits, SourceFile,
+};
+use cfinder::corpus::{all_profiles, generate, inject_faults, inject_panic_marker, GenOptions};
+use cfinder::schema::Constraint;
+
+fn to_source(app: &cfinder::corpus::GeneratedApp) -> AppSource {
+    AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    )
+}
+
+fn analyze(app: &cfinder::corpus::GeneratedApp, threads: usize, limits: Limits) -> AnalysisReport {
+    CFinder::new().with_threads(threads).with_limits(limits).analyze(&to_source(app), &app.declared)
+}
+
+/// Every non-timing field of the report, rendered for byte comparison.
+fn fingerprint(report: &AnalysisReport) -> String {
+    format!(
+        "{:?}|{:?}|{:?}|{:?}|{:?}",
+        report.detections,
+        report.inferred,
+        report.missing,
+        report.existing_covered,
+        report.incidents
+    )
+}
+
+fn detections_for_files<'a>(
+    report: &'a AnalysisReport,
+    exclude: &BTreeSet<&str>,
+) -> Vec<&'a Detection> {
+    report.detections.iter().filter(|d| !exclude.contains(d.file.as_str())).collect()
+}
+
+/// The headline acceptance run: 8 corpus apps × 13 seeds = 104 corrupted
+/// variants, each analyzed at 1, 2, and 4 worker threads.
+///
+/// The corpus is generated at minimum noise scale: fault injection and
+/// pattern sites are unaffected by filler LoC, and the smaller files keep
+/// the 312 debug-mode analyzer runs inside a sane test budget.
+#[test]
+fn corrupted_corpus_never_panics_and_degrades_monotonically() {
+    let scale = GenOptions { loc_scale: 0.01 };
+    let mut variants = 0;
+    for profile in all_profiles() {
+        let clean_app = generate(&profile, scale);
+        let clean = analyze(&clean_app, 1, Limits::default());
+        assert!(clean.incidents.is_empty(), "{}: clean corpus must be pristine", profile.name);
+
+        for seed in 0..13u64 {
+            variants += 1;
+            let mut app = clean_app.clone();
+            let faults = inject_faults(&mut app, seed * 31 + 7, 3);
+            assert!(!faults.is_empty(), "{} seed {seed}: no faults injected", profile.name);
+            let touched: BTreeSet<&str> = faults.iter().map(|f| f.file.as_str()).collect();
+
+            // Never-panic + byte-determinism: the serial run is the
+            // reference; 2 and 4 threads must reproduce it exactly.
+            let serial = analyze(&app, 1, Limits::default());
+            let reference = fingerprint(&serial);
+            for threads in [2, 4] {
+                let parallel = analyze(&app, threads, Limits::default());
+                assert_eq!(
+                    fingerprint(&parallel),
+                    reference,
+                    "{} seed {seed} @ {threads} threads",
+                    profile.name
+                );
+            }
+
+            // Every corrupted file left a typed incident.
+            for fault in &faults {
+                assert!(
+                    serial.incidents.iter().any(|i| i.file == fault.file),
+                    "{} seed {seed}: fault {fault:?} produced no incident: {:?}",
+                    profile.name,
+                    serial.incidents
+                );
+            }
+            // And no incident points at a file that was not corrupted.
+            for incident in &serial.incidents {
+                assert!(
+                    touched.contains(incident.file.as_str()),
+                    "{} seed {seed}: incident on untouched file: {incident}",
+                    profile.name
+                );
+            }
+
+            // Degradation monotonicity: untouched files' detections are
+            // exactly the clean run's.
+            assert_eq!(
+                detections_for_files(&serial, &touched),
+                detections_for_files(&clean, &touched),
+                "{} seed {seed}: untouched files' detections drifted",
+                profile.name
+            );
+        }
+    }
+    assert!(variants >= 100, "acceptance requires >= 100 corrupted variants, got {variants}");
+}
+
+/// A file with one broken function must still contribute its intact model
+/// declarations and the detections of its intact functions.
+#[test]
+fn broken_function_still_contributes_models_and_detections() {
+    let models = "class Coupon(models.Model):\n    code = models.CharField(max_length=32)\n";
+    let views = "def broken 123:\n    pass\n\n\ndef redeem(code):\n    if Coupon.objects.filter(code=code).exists():\n        raise ValueError('dup')\n    Coupon.objects.create(code=code)\n";
+    let app = AppSource::new(
+        "t",
+        vec![SourceFile::new("models.py", models), SourceFile::new("views.py", views)],
+    );
+    let finder = CFinder::new().with_threads(1);
+    let report = finder.analyze(&app, &cfinder::schema::Schema::new());
+    assert!(
+        report.missing.iter().any(|m| m.constraint == Constraint::unique("Coupon", ["code"])),
+        "intact function's detection survived: {:?}",
+        report.missing
+    );
+    assert!(report.incidents.iter().all(|i| i.kind == IncidentKind::RecoveredSyntax));
+    assert!(!report.incidents.is_empty());
+    assert!(finder.extract_models(&app).is_model("Coupon"));
+}
+
+/// An injected worker panic is isolated to its file: one worker-panic
+/// incident, every other file analyzed as in the clean run, identical at
+/// any thread count.
+#[test]
+fn worker_panic_is_isolated_and_deterministic() {
+    let profile = cfinder::corpus::profile("zulip").expect("profile");
+    let clean_app = generate(&profile, GenOptions::quick());
+    let clean = analyze(&clean_app, 1, Limits::default());
+
+    let mut app = clean_app.clone();
+    let victim = app
+        .files
+        .iter()
+        .find(|f| f.path.contains("services"))
+        .expect("corpus has service files")
+        .path
+        .clone();
+    inject_panic_marker(&mut app, &victim);
+    let limits = Limits { inject_panic_marker: true, ..Limits::default() };
+
+    let serial = analyze(&app, 1, limits);
+    let panics: Vec<_> = serial.incidents_of(IncidentKind::WorkerPanic).collect();
+    assert_eq!(panics.len(), 1, "{:?}", serial.incidents);
+    assert_eq!(panics[0].file, victim);
+    assert_eq!(serial.incidents.len(), 1);
+
+    let excluded: BTreeSet<&str> = [victim.as_str()].into_iter().collect();
+    assert_eq!(
+        detections_for_files(&serial, &excluded),
+        detections_for_files(&clean, &excluded),
+        "other files' detections survived the panic"
+    );
+
+    let reference = fingerprint(&serial);
+    for threads in [2, 4] {
+        assert_eq!(fingerprint(&analyze(&app, threads, limits)), reference, "{threads} threads");
+    }
+}
+
+/// A zero-millisecond deadline drops every file with a `deadline`
+/// incident instead of wedging or panicking.
+#[test]
+fn zero_deadline_drops_files_with_typed_incidents() {
+    let profile = cfinder::corpus::profile("oscar").expect("profile");
+    let app = generate(&profile, GenOptions::quick());
+    let limits = Limits { deadline: Some(Duration::ZERO), ..Limits::default() };
+    let report = analyze(&app, 2, limits);
+    assert_eq!(report.incidents.len(), app.files.len());
+    assert!(report.incidents.iter().all(|i| i.kind == IncidentKind::Deadline));
+    assert!(report.detections.is_empty());
+    let cov = report.coverage();
+    assert_eq!(cov.files_dropped, app.files.len());
+    assert_eq!(cov.percent_clean(), 0.0);
+}

@@ -24,7 +24,7 @@ fn missing(code: &str) -> Vec<String> {
         vec![SourceFile::new("models.py", MODELS), SourceFile::new("views.py", code)],
     );
     let report = CFinder::new().analyze(&app, &Schema::new());
-    assert!(report.parse_errors.is_empty(), "{:?}", report.parse_errors);
+    assert!(report.incidents.is_empty(), "{:?}", report.incidents);
     report.missing.iter().map(|m| m.constraint.to_string()).collect()
 }
 

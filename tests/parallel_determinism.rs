@@ -1,7 +1,7 @@
 //! The parallel analysis engine must be a pure performance optimization:
 //! for every corpus app, an `analyze` run with N worker threads produces a
 //! report identical to a forced single-thread run — same detections in the
-//! same order, same inferred/missing/existing sets, same parse errors.
+//! same order, same inferred/missing/existing sets, same incidents.
 //! Only the timing fields may differ.
 
 use cfinder::core::{AnalysisReport, AppSource, CFinder, SourceFile};
@@ -23,11 +23,11 @@ fn assert_reports_identical(serial: &AnalysisReport, parallel: &AnalysisReport, 
     assert_eq!(serial.inferred, parallel.inferred, "{ctx}: inferred set");
     assert_eq!(serial.missing, parallel.missing, "{ctx}: missing (incl. order)");
     assert_eq!(serial.existing_covered, parallel.existing_covered, "{ctx}: existing covered");
-    assert_eq!(serial.parse_errors, parallel.parse_errors, "{ctx}: parse errors");
+    assert_eq!(serial.incidents, parallel.incidents, "{ctx}: incidents");
     // Belt and braces: the rendered forms are byte-identical too.
     assert_eq!(
-        format!("{:?} {:?} {:?}", serial.detections, serial.missing, serial.parse_errors),
-        format!("{:?} {:?} {:?}", parallel.detections, parallel.missing, parallel.parse_errors),
+        format!("{:?} {:?} {:?}", serial.detections, serial.missing, serial.incidents),
+        format!("{:?} {:?} {:?}", parallel.detections, parallel.missing, parallel.incidents),
         "{ctx}: debug rendering"
     );
 }
