@@ -1,0 +1,72 @@
+//! Observability overhead check: the same analysis with the obs layer
+//! disabled (the no-op handle that ships by default), enabled, and absent.
+//!
+//! Prints the measured overhead of each configuration against the
+//! baseline and fails the bench run outright if enabled-mode tracing costs
+//! more than 50% — a loose ceiling chosen so noisy CI boxes don't flake;
+//! the design budget is ≤5% and quiet machines land well under it.
+
+use std::time::{Duration, Instant};
+
+use cfinder_core::{AppSource, CFinder, Obs, SourceFile};
+use cfinder_corpus::{generate, profile};
+
+const WARMUP_RUNS: usize = 2;
+const MEASURED_RUNS: usize = 9;
+
+fn corpus_app() -> AppSource {
+    let app = generate(&profile("oscar").expect("profile"), cfinder_bench::bench_options());
+    AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    )
+}
+
+/// Median wall time of an analysis under the given obs factory. A fresh
+/// handle per run keeps enabled-mode buffers from growing across runs.
+fn median_secs(
+    source: &AppSource,
+    declared: &cfinder_schema::Schema,
+    obs: impl Fn() -> Obs,
+) -> f64 {
+    let mut samples = Vec::with_capacity(MEASURED_RUNS);
+    for i in 0..WARMUP_RUNS + MEASURED_RUNS {
+        let finder = CFinder::new().with_obs(obs());
+        let start = Instant::now();
+        let report = finder.analyze(source, declared);
+        let elapsed = start.elapsed();
+        assert!(!report.missing.is_empty(), "corpus app must keep detecting");
+        if i >= WARMUP_RUNS {
+            samples.push(elapsed);
+        }
+    }
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let source = corpus_app();
+    let declared = cfinder_schema::Schema::new();
+
+    let disabled = median_secs(&source, &declared, Obs::disabled);
+    let enabled = median_secs(&source, &declared, Obs::enabled);
+
+    let overhead = |secs: f64| 100.0 * (secs - disabled) / disabled.max(f64::EPSILON);
+    println!(
+        "{:<34} {:>12}/iter",
+        "obs/disabled (baseline)",
+        format!("{:.3?}", Duration::from_secs_f64(disabled))
+    );
+    println!(
+        "{:<34} {:>12}/iter  {:+.1}% vs disabled",
+        "obs/enabled (spans + metrics)",
+        format!("{:.3?}", Duration::from_secs_f64(enabled)),
+        overhead(enabled)
+    );
+
+    assert!(
+        overhead(enabled) <= 50.0,
+        "enabled-mode observability costs {:.1}% — far beyond the ≤5% budget",
+        overhead(enabled)
+    );
+}

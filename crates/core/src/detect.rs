@@ -12,6 +12,7 @@ use std::collections::BTreeSet;
 use std::time::{Duration, Instant};
 
 use cfinder_flow::{NullGuards, UseDefChains};
+use cfinder_obs::{Metrics, Obs};
 use cfinder_pyast::ast::{ClassDef, Module, Stmt, StmtKind};
 use cfinder_pyast::error::ParseErrorKind;
 use cfinder_pyast::lex_recovering;
@@ -19,9 +20,9 @@ use cfinder_pyast::parser::parse_tokens_recovering;
 use cfinder_schema::{ConstraintSet, Schema};
 
 use crate::engine;
-use crate::incident::{Incident, IncidentKind};
+use crate::incident::{Coverage, Incident, IncidentKind};
 use crate::models::ModelRegistry;
-use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx};
+use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx, FamilyTimers};
 use crate::report::{AnalysisReport, Detection, MissingConstraint, StageTimings};
 use crate::resolve::Resolver;
 
@@ -198,11 +199,17 @@ pub struct CFinder {
     options: CFinderOptions,
     threads: Option<usize>,
     limits: Limits,
+    obs: Obs,
 }
 
 impl Default for CFinder {
     fn default() -> Self {
-        CFinder { options: CFinderOptions::default(), threads: None, limits: Limits::from_env() }
+        CFinder {
+            options: CFinderOptions::default(),
+            threads: None,
+            limits: Limits::from_env(),
+            obs: Obs::disabled(),
+        }
     }
 }
 
@@ -233,6 +240,21 @@ impl CFinder {
         self
     }
 
+    /// Attaches an observability handle ([`Obs::enabled`] turns on span
+    /// recording and the metrics registry). The default is
+    /// [`Obs::disabled`], where every instrumentation point collapses to
+    /// a single branch.
+    pub fn with_obs(mut self, obs: Obs) -> Self {
+        self.obs = obs;
+        self
+    }
+
+    /// The attached observability handle (disabled unless
+    /// [`CFinder::with_obs`] was called).
+    pub fn obs(&self) -> &Obs {
+        &self.obs
+    }
+
     /// The active options.
     pub fn options(&self) -> &CFinderOptions {
         &self.options
@@ -261,9 +283,13 @@ impl CFinder {
     /// silently shrinking the registry.
     pub fn extract_models_with_incidents(&self, app: &AppSource) -> (ModelRegistry, Vec<Incident>) {
         let threads = self.threads();
-        let parsed = engine::map_ordered_catch(&app.files, threads, |file| {
-            parse_file_guarded(file, &self.limits)
-        });
+        let parsed = engine::map_ordered_catch_traced(
+            &app.files,
+            threads,
+            &self.obs.tracer,
+            "parse",
+            |file| parse_file_guarded(file, &self.limits, &self.obs),
+        );
         let mut registry = ModelRegistry::new();
         let mut incidents = Vec::new();
         for (file, result) in app.files.iter().zip(parsed) {
@@ -292,15 +318,21 @@ impl CFinder {
     pub fn analyze(&self, app: &AppSource, declared: &Schema) -> AnalysisReport {
         let start = Instant::now();
         let threads = self.threads();
+        let obs = &self.obs;
+        let mut root = obs.tracer.span("analyze", || format!("analyze {}", app.name));
+        root.arg("files", app.files.len().to_string());
+        root.arg("threads", threads.to_string());
 
         // Pass 0: guarded per-file parsing, fanned out across workers under
         // a per-item panic-isolation boundary. Results come back in file
         // order, so the module list and the incident list match a serial
         // run.
         let stage = Instant::now();
-        let parsed = engine::map_ordered_catch(&app.files, threads, |file| {
-            parse_file_guarded(file, &self.limits)
-        });
+        let pass_span = obs.tracer.span("pass", || "parse".to_string());
+        let parsed =
+            engine::map_ordered_catch_traced(&app.files, threads, &obs.tracer, "parse", |file| {
+                parse_file_guarded(file, &self.limits, obs)
+            });
         let mut incidents = Vec::new();
         let mut modules = Vec::new();
         for (file, result) in app.files.iter().zip(parsed) {
@@ -321,15 +353,18 @@ impl CFinder {
                 }
             }
         }
+        drop(pass_span);
         let parse = stage.elapsed();
 
         // Pass 1: model metadata from every module. Registry construction
         // is order-dependent and cheap, so it stays serial.
         let stage = Instant::now();
+        let pass_span = obs.tracer.span("pass", || "models".to_string());
         let mut registry = ModelRegistry::new();
         for (file, module) in &modules {
             registry.add_module(module, &file.path);
         }
+        drop(pass_span);
         let model_extraction = stage.elapsed();
 
         // Pass 2: per-module detection, fanned out under the same per-item
@@ -339,21 +374,67 @@ impl CFinder {
         // order-independent union. A panicking module loses only its own
         // detections and is recorded as a worker-panic incident.
         let stage = Instant::now();
-        let per_module = engine::map_ordered_catch(&modules, threads, |(file, module)| {
-            let mut detections: Vec<Detection> = Vec::new();
-            let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
-            analyze_scopes(
-                &registry,
-                &self.options,
-                &module.body,
-                &file.path,
-                &file.text,
-                None,
-                &mut detections,
-                &mut none_assigned,
-            );
-            (detections, none_assigned)
-        });
+        let pass_span = obs.tracer.span("pass", || "detect".to_string());
+        let per_module = engine::map_ordered_catch_traced(
+            &modules,
+            threads,
+            &obs.tracer,
+            "detect",
+            |(file, module)| {
+                // When observability is on, measure the module's detection
+                // wall-clock and per-family split; `probe` stays `None` on
+                // production runs so the only cost is this branch.
+                let probe = obs
+                    .is_enabled()
+                    .then(|| (obs.tracer.now_us(), Instant::now(), FamilyTimers::new()));
+                let mut detections: Vec<Detection> = Vec::new();
+                let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
+                analyze_scopes(
+                    &registry,
+                    &self.options,
+                    &module.body,
+                    &file.path,
+                    &file.text,
+                    None,
+                    &mut detections,
+                    &mut none_assigned,
+                    probe.as_ref().map(|(_, _, timers)| timers),
+                    &obs.metrics,
+                );
+                if let Some((ts0, started, timers)) = &probe {
+                    // The module's detect span, then one synthetic child span
+                    // per pattern family laid end to end from the span's start.
+                    // Family durations are accumulated (detectors interleave
+                    // statement by statement), so the placement is schematic;
+                    // clamping to the parent's end keeps the trace well-nested.
+                    let end_us = obs.tracer.now_us();
+                    let dur_us = end_us.saturating_sub(*ts0);
+                    obs.tracer.record(
+                        "file",
+                        format!("detect {}", file.path),
+                        *ts0,
+                        dur_us,
+                        vec![("detections", detections.len().to_string())],
+                    );
+                    let mut cursor = *ts0;
+                    let end = *ts0 + dur_us;
+                    for (label, nanos) in timers.totals() {
+                        let family_dur = (nanos / 1_000).min(end.saturating_sub(cursor));
+                        obs.tracer.record(
+                            "family",
+                            format!("{label} {}", file.path),
+                            cursor,
+                            family_dur,
+                            Vec::new(),
+                        );
+                        cursor += family_dur;
+                    }
+                    obs.metrics
+                        .observe("cfinder_file_detect_seconds", started.elapsed().as_secs_f64());
+                }
+                (detections, none_assigned)
+            },
+        );
         let mut detections: Vec<Detection> = Vec::new();
         let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
         for ((file, _), result) in modules.iter().zip(per_module) {
@@ -374,25 +455,77 @@ impl CFinder {
         }
 
         // Pass 3: PA_n3 from the registry.
-        detect_n3(&registry, &none_assigned, &mut detections);
-        if self.options.ext_one_to_one_unique {
-            crate::patterns::detect_x1(&registry, &mut detections);
+        {
+            let _span = obs.tracer.span("registry", || "registry patterns".to_string());
+            detect_n3(&registry, &none_assigned, &mut detections);
+            if self.options.ext_one_to_one_unique {
+                crate::patterns::detect_x1(&registry, &mut detections);
+            }
         }
+        drop(pass_span);
         let detection = stage.elapsed();
 
         // Pass 4: constraint sets and the §3.5.3 diff.
         let stage = Instant::now();
+        let pass_span = obs.tracer.span("pass", || "diff".to_string());
         let inferred: ConstraintSet = detections.iter().map(|d| d.constraint.clone()).collect();
         let existing_covered = inferred.intersection(declared.constraints());
         let missing_set = inferred.difference(declared.constraints());
-        let missing = missing_set
+        let missing: Vec<MissingConstraint> = missing_set
             .iter()
             .map(|c| MissingConstraint {
                 constraint: c.clone(),
                 detections: detections.iter().filter(|d| &d.constraint == c).cloned().collect(),
             })
             .collect();
+        drop(pass_span);
         let diff = stage.elapsed();
+
+        let analysis_time = start.elapsed();
+        let orchestration =
+            analysis_time.saturating_sub(parse + model_extraction + detection + diff);
+        drop(root);
+
+        // Aggregate metrics are derived from the merged (deterministic)
+        // results, so their values are identical at any thread count.
+        if obs.metrics.is_enabled() {
+            let m = &obs.metrics;
+            m.inc("cfinder_analyses_total");
+            m.add("cfinder_loc_total", app.loc() as u64);
+            m.add("cfinder_models_total", registry.len() as u64);
+            m.add("cfinder_model_fields_total", registry.field_count() as u64);
+            for d in &detections {
+                m.add_labeled("cfinder_detections_total", "pattern", d.pattern.label(), 1);
+            }
+            for i in &incidents {
+                m.add_labeled("cfinder_incidents_total", "kind", i.kind.label(), 1);
+            }
+            for missing_constraint in &missing {
+                m.add_labeled(
+                    "cfinder_missing_constraints_total",
+                    "type",
+                    missing_constraint.constraint.constraint_type().label(),
+                    1,
+                );
+            }
+            m.add("cfinder_existing_covered_total", existing_covered.iter().count() as u64);
+            let coverage = Coverage::compute(app.files.len(), &incidents);
+            m.add("cfinder_files_dropped_total", coverage.files_dropped as u64);
+            for (stage_label, duration) in [
+                ("parse", parse),
+                ("models", model_extraction),
+                ("detect", detection),
+                ("diff", diff),
+                ("orchestration", orchestration),
+            ] {
+                m.add_labeled(
+                    "cfinder_stage_duration_microseconds_total",
+                    "stage",
+                    stage_label,
+                    duration.as_micros() as u64,
+                );
+            }
+        }
 
         AnalysisReport {
             app: app.name.clone(),
@@ -400,11 +533,18 @@ impl CFinder {
             inferred,
             missing,
             existing_covered,
-            analysis_time: start.elapsed(),
+            analysis_time,
             loc: app.loc(),
             incidents,
             files_total: app.files.len(),
-            timings: StageTimings { parse, model_extraction, detection, diff, threads },
+            timings: StageTimings {
+                parse,
+                model_extraction,
+                detection,
+                diff,
+                orchestration,
+                threads,
+            },
         }
     }
 }
@@ -414,7 +554,18 @@ impl CFinder {
 ///
 /// Callers run this under [`engine::map_ordered_catch`], so a panic here
 /// (including an injected one) is isolated into a worker-panic incident.
-fn parse_file_guarded(file: &SourceFile, limits: &Limits) -> (Option<Module>, Vec<Incident>) {
+fn parse_file_guarded(
+    file: &SourceFile,
+    limits: &Limits,
+    obs: &Obs,
+) -> (Option<Module>, Vec<Incident>) {
+    let mut span = obs.tracer.span("file", || format!("parse {}", file.path));
+    span.arg("bytes", file.text.len().to_string());
+    if obs.metrics.is_enabled() {
+        obs.metrics.inc("cfinder_files_total");
+        obs.metrics.add("cfinder_source_bytes_total", file.text.len() as u64);
+        obs.metrics.add("cfinder_source_lines_total", file.text.lines().count() as u64);
+    }
     let mut incidents = Vec::new();
 
     if limits.max_file_bytes > 0 && file.text.len() > limits.max_file_bytes {
@@ -435,6 +586,7 @@ fn parse_file_guarded(file: &SourceFile, limits: &Limits) -> (Option<Module>, Ve
 
     let parse_start = Instant::now();
     let lexed = lex_recovering(&file.text);
+    obs.metrics.add("cfinder_tokens_total", lexed.tokens.len() as u64);
     if limits.max_tokens > 0 && lexed.tokens.len() > limits.max_tokens {
         incidents.push(Incident::new(
             IncidentKind::FileTooLarge,
@@ -445,6 +597,11 @@ fn parse_file_guarded(file: &SourceFile, limits: &Limits) -> (Option<Module>, Ve
         return (None, incidents);
     }
     let recovered = parse_tokens_recovering(lexed.tokens, lexed.errors);
+    if obs.metrics.is_enabled() {
+        obs.metrics.observe("cfinder_file_parse_seconds", parse_start.elapsed().as_secs_f64());
+        obs.metrics.add("cfinder_ast_nodes_total", u64::from(recovered.module.node_count));
+        obs.metrics.add("cfinder_statements_total", recovered.module.stmt_count() as u64);
+    }
 
     // Cooperative deadline: the recursion and cap guards above bound how
     // long one parse can actually take, so checking after the fact is
@@ -489,6 +646,8 @@ fn parse_file_guarded(file: &SourceFile, limits: &Limits) -> (Option<Module>, Ve
             error.message.clone(),
         ));
     }
+    obs.metrics.inc("cfinder_files_parsed_total");
+    span.arg("nodes", recovered.module.node_count.to_string());
     (Some(recovered.module), incidents)
 }
 
@@ -506,6 +665,8 @@ fn analyze_scopes(
     class_ctx: Option<&ClassDef>,
     detections: &mut Vec<Detection>,
     none_assigned: &mut BTreeSet<(String, String)>,
+    families: Option<&FamilyTimers>,
+    metrics: &Metrics,
 ) {
     // Module/class level: look for functions and classes.
     for stmt in body {
@@ -524,6 +685,8 @@ fn analyze_scopes(
                     detections,
                     none_assigned,
                     true,
+                    families,
+                    metrics,
                 );
                 // Nested defs inside this function are handled by the inner
                 // recursion in `analyze_function`.
@@ -538,6 +701,8 @@ fn analyze_scopes(
                     Some(c),
                     detections,
                     none_assigned,
+                    families,
+                    metrics,
                 );
             }
             _ => {}
@@ -568,6 +733,8 @@ fn analyze_scopes(
                 detections,
                 none_assigned,
                 false,
+                families,
+                metrics,
             );
         }
     }
@@ -585,13 +752,16 @@ fn analyze_function(
     detections: &mut Vec<Detection>,
     none_assigned: &mut BTreeSet<(String, String)>,
     recurse_nested: bool,
+    families: Option<&FamilyTimers>,
+    metrics: &Metrics,
 ) {
     let chains = UseDefChains::compute(body, params);
     let guards = NullGuards::analyze(body);
     let resolver = Resolver::new(registry, &chains, self_model);
-    let ctx = DetectCtx { resolver: &resolver, guards: &guards, file, source, options };
+    let ctx = DetectCtx { resolver: &resolver, guards: &guards, file, source, options, families };
     detect_all(&ctx, body, detections);
     collect_none_assignments(&ctx, body, none_assigned);
+    metrics.add("cfinder_resolutions_total", resolver.resolution_count());
 
     if !recurse_nested {
         return;
@@ -610,6 +780,8 @@ fn analyze_function(
                 detections,
                 none_assigned,
                 true,
+                families,
+                metrics,
             );
         }
     });

@@ -43,8 +43,11 @@ pub mod report;
 pub mod resolve;
 pub mod syntax;
 
+pub use cfinder_obs::Obs;
 pub use detect::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
 pub use incident::{Coverage, Incident, IncidentKind};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
-pub use report::{AnalysisReport, Detection, MissingConstraint, PatternId, StageTimings};
+pub use report::{
+    AnalysisReport, Detection, MissingConstraint, PatternId, Provenance, StageTimings,
+};
 pub use resolve::{ColBinding, Resolution, Resolver};

@@ -159,6 +159,12 @@ impl ModelRegistry {
         self.models.is_empty()
     }
 
+    /// Total number of fields across every model — the
+    /// `cfinder_model_fields_total` metric.
+    pub fn field_count(&self) -> usize {
+        self.models.values().map(|m| m.fields.len()).sum()
+    }
+
     /// Resolves a field on a model, walking base classes (single
     /// inheritance chains; first match wins).
     pub fn field_of(&self, model: &str, field: &str) -> Option<(&ModelInfo, &FieldInfo)> {

@@ -27,6 +27,47 @@ use crate::syntax::{
     match_bfs, match_bfs_all, p_error_call, p_exist_negative, p_exist_positive, p_get, p_save,
 };
 
+/// Labels of the statement-driven pattern families, in the order
+/// [`FamilyTimers`] accumulates them (the registry-level PA_n3/PA_x1 run
+/// once per app and are timed by their own trace span instead).
+pub const FAMILY_LABELS: [&str; 7] =
+    ["PA_u1", "PA_u2", "PA_n1", "PA_n2", "PA_f1", "PA_f2", "PA_x2"];
+
+/// Per-pattern-family detection time accumulated over one module.
+///
+/// Detection interleaves the seven detectors statement by statement (the
+/// order detections are emitted in is part of the determinism contract),
+/// so per-family wall-clock time cannot be measured as one contiguous
+/// span — instead each detector call adds its nanoseconds here, and the
+/// pipeline emits one *synthetic* trace span per family afterwards.
+/// `Cell` suffices: a module is detected by exactly one worker thread.
+#[derive(Debug, Default)]
+pub struct FamilyTimers {
+    nanos: [std::cell::Cell<u64>; 7],
+}
+
+impl FamilyTimers {
+    /// Fresh zeroed timers.
+    pub fn new() -> Self {
+        FamilyTimers::default()
+    }
+
+    /// Adds `nanos` to family `idx` (indexing [`FAMILY_LABELS`]).
+    fn add(&self, idx: usize, nanos: u64) {
+        self.nanos[idx].set(self.nanos[idx].get() + nanos);
+    }
+
+    /// `(label, accumulated nanoseconds)` for every family, in
+    /// [`FAMILY_LABELS`] order.
+    pub fn totals(&self) -> [(&'static str, u64); 7] {
+        let mut out = [("", 0); 7];
+        for (i, label) in FAMILY_LABELS.iter().enumerate() {
+            out[i] = (label, self.nanos[i].get());
+        }
+        out
+    }
+}
+
 /// Shared per-function detection context.
 pub struct DetectCtx<'a> {
     /// Expression resolver for this body.
@@ -39,6 +80,9 @@ pub struct DetectCtx<'a> {
     pub source: &'a str,
     /// Analyzer feature toggles (ablation knobs).
     pub options: &'a CFinderOptions,
+    /// Per-family time accumulator; `None` (the production default when
+    /// observability is off) skips the clock reads entirely.
+    pub families: Option<&'a FamilyTimers>,
 }
 
 impl<'a> DetectCtx<'a> {
@@ -69,16 +113,30 @@ fn snippet_of(source: &str, stmt: &Stmt) -> String {
     s
 }
 
+/// Runs one detector, accumulating its wall-clock time into the context's
+/// family timers when present. With timers off this is a direct call —
+/// no clock reads.
+fn timed(ctx: &DetectCtx<'_>, family: usize, f: impl FnOnce()) {
+    match ctx.families {
+        None => f(),
+        Some(timers) => {
+            let start = std::time::Instant::now();
+            f();
+            timers.add(family, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
 /// Runs all statement-driven detectors over one function body.
 pub fn detect_all(ctx: &DetectCtx<'_>, body: &[Stmt], out: &mut Vec<Detection>) {
     walk_shallow(body, &mut |stmt| {
-        detect_u1(ctx, stmt, out);
-        detect_u2(ctx, stmt, out);
-        detect_n1(ctx, stmt, out);
-        detect_n2(ctx, stmt, out);
-        detect_f1(ctx, stmt, out);
-        detect_f2(ctx, stmt, out);
-        detect_x2(ctx, stmt, out);
+        timed(ctx, 0, || detect_u1(ctx, stmt, out));
+        timed(ctx, 1, || detect_u2(ctx, stmt, out));
+        timed(ctx, 2, || detect_n1(ctx, stmt, out));
+        timed(ctx, 3, || detect_n2(ctx, stmt, out));
+        timed(ctx, 4, || detect_f1(ctx, stmt, out));
+        timed(ctx, 5, || detect_f2(ctx, stmt, out));
+        timed(ctx, 6, || detect_x2(ctx, stmt, out));
     });
 }
 

@@ -55,6 +55,40 @@ impl PatternId {
         }
     }
 
+    /// One-sentence statement of the pattern rule (Figure 6), for
+    /// provenance output and `cfinder explain`.
+    pub fn rule(&self) -> &'static str {
+        match self {
+            PatternId::U1 => {
+                "an existence check on the column set controls a save or error-handling branch"
+            }
+            PatternId::U2 => {
+                "an API with a uniqueness assumption (get, get_or_create, …) is invoked on the column set"
+            }
+            PatternId::N1 => {
+                "a method or field is invoked on the column's value without a dominating NULL check"
+            }
+            PatternId::N2 => {
+                "a NULL check on the column controls an assignment or error-handling branch"
+            }
+            PatternId::N3 => {
+                "the field declares a non-null default and no code path assigns None to it"
+            }
+            PatternId::F1 => {
+                "the dependent column is assigned or filtered with a referenced primary key"
+            }
+            PatternId::F2 => {
+                "the referenced primary key is looked up with a dependent column's value"
+            }
+            PatternId::X1 => {
+                "a OneToOneField declaration implies uniqueness of the foreign-key column"
+            }
+            PatternId::X2 => {
+                "the field is interpolated into a URL-shaped f-string, i.e. used as an identifier"
+            }
+        }
+    }
+
     /// Paper-style label (`PA_u1`, …).
     pub fn label(&self) -> &'static str {
         match self {
@@ -93,6 +127,51 @@ pub struct Detection {
     pub snippet: String,
 }
 
+impl Detection {
+    /// The full provenance chain for this detection: pattern rule →
+    /// source site → table/columns → constraint DDL.
+    pub fn provenance(&self) -> Provenance {
+        Provenance {
+            pattern: self.pattern.label().to_string(),
+            rule: self.pattern.rule().to_string(),
+            file: self.file.clone(),
+            line: self.span.start.line,
+            snippet: self.snippet.clone(),
+            table: self.constraint.table().to_string(),
+            columns: self.constraint.columns().iter().map(|c| c.to_string()).collect(),
+            constraint: self.constraint.to_string(),
+            ddl: self.constraint.ddl(),
+        }
+    }
+}
+
+/// Why a constraint was inferred: the explainable chain from pattern rule
+/// through source location to the emitted DDL (one per supporting
+/// detection). Surfaced by `cfinder explain` and the `--provenance` JSON
+/// field.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct Provenance {
+    /// Paper-style pattern label (`PA_u1`, …).
+    pub pattern: String,
+    /// One-sentence pattern rule ([`PatternId::rule`]).
+    pub rule: String,
+    /// Source file of the matched site.
+    pub file: String,
+    /// 1-based line of the matched site (1 for registry-level patterns
+    /// like PA_n3, which have no single code site).
+    pub line: u32,
+    /// The matched snippet.
+    pub snippet: String,
+    /// Constrained table.
+    pub table: String,
+    /// Constrained columns.
+    pub columns: Vec<String>,
+    /// The constraint, rendered (`"Voucher Unique (code)"`).
+    pub constraint: String,
+    /// The constraint as `ALTER TABLE …` DDL.
+    pub ddl: String,
+}
+
 /// A constraint absent from the declared schema, with the detections that
 /// support it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -104,6 +183,12 @@ pub struct MissingConstraint {
 }
 
 impl MissingConstraint {
+    /// Provenance chains of every supporting detection, in detection
+    /// order.
+    pub fn provenance(&self) -> Vec<Provenance> {
+        self.detections.iter().map(Detection::provenance).collect()
+    }
+
     /// Patterns that detected this constraint, deduplicated and sorted.
     pub fn patterns(&self) -> Vec<PatternId> {
         let mut ps: Vec<PatternId> = self.detections.iter().map(|d| d.pattern).collect();
@@ -129,15 +214,20 @@ pub struct StageTimings {
     pub detection: Duration,
     /// Pass 4: constraint-set construction and the §3.5.3 schema diff.
     pub diff: Duration,
+    /// Everything between and around the passes — result collection,
+    /// incident bookkeeping, report assembly. Computed as the analysis
+    /// wall time minus the four stage durations, so [`StageTimings::total`]
+    /// accounts for 100% of `AnalysisReport::analysis_time`.
+    pub orchestration: Duration,
     /// Worker threads the engine ran with (1 = serial).
     pub threads: usize,
 }
 
 impl StageTimings {
-    /// Sum of the four stage durations (excludes orchestration overhead,
-    /// so it is ≤ `AnalysisReport::analysis_time`).
+    /// Sum of all five durations (the four passes plus orchestration) —
+    /// equals `AnalysisReport::analysis_time` up to clock truncation.
     pub fn total(&self) -> Duration {
-        self.parse + self.model_extraction + self.detection + self.diff
+        self.parse + self.model_extraction + self.detection + self.diff + self.orchestration
     }
 }
 

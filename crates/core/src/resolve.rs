@@ -93,6 +93,9 @@ pub struct Resolver<'a> {
     chains: &'a UseDefChains<'a>,
     /// Enclosing model class, for `self` (None outside model methods).
     self_model: Option<String>,
+    /// Top-level `resolve` calls served, for the observability layer
+    /// (`Cell`: a resolver lives on exactly one worker thread).
+    resolutions: std::cell::Cell<u64>,
 }
 
 impl<'a> Resolver<'a> {
@@ -105,7 +108,7 @@ impl<'a> Resolver<'a> {
         chains: &'a UseDefChains<'a>,
         self_model: Option<String>,
     ) -> Self {
-        Resolver { registry, chains, self_model }
+        Resolver { registry, chains, self_model, resolutions: std::cell::Cell::new(0) }
     }
 
     /// The model registry in use.
@@ -113,8 +116,16 @@ impl<'a> Resolver<'a> {
         self.registry
     }
 
+    /// Number of top-level [`Resolver::resolve`] calls served so far —
+    /// a deterministic proxy for data-dependency work, exported as the
+    /// `cfinder_resolutions_total` metric.
+    pub fn resolution_count(&self) -> u64 {
+        self.resolutions.get()
+    }
+
     /// Resolves `expr` as used in the statement `at`.
     pub fn resolve(&self, expr: &Expr, at: NodeId) -> Option<Resolution> {
+        self.resolutions.set(self.resolutions.get() + 1);
         self.resolve_depth(expr, at, 0)
     }
 

@@ -1,0 +1,94 @@
+//! Per-app metric goldens: analyzing a generated app with the metrics
+//! registry live must reproduce exact counter values. The aggregation runs
+//! over the merged deterministic analysis results and the volume counters
+//! over the same fixed corpus bytes, so any drift here is a real behavior
+//! change (in the generator, lexer, parser, or detectors), not scheduling
+//! noise.
+
+use std::collections::BTreeMap;
+
+use cfinder_core::{AppSource, CFinder, Obs, SourceFile};
+use cfinder_corpus::{generate, profile, GenOptions};
+use cfinder_obs::{MetricKind, MetricsSnapshot};
+
+fn snapshot_for(name: &str, threads: usize) -> MetricsSnapshot {
+    let app = generate(&profile(name).expect("profile"), GenOptions::quick());
+    let source = AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    );
+    let obs = Obs::enabled();
+    let report =
+        CFinder::new().with_threads(threads).with_obs(obs.clone()).analyze(&source, &app.declared);
+    assert!(report.incidents.is_empty(), "{name}: pristine corpus must stay clean");
+    obs.metrics.snapshot()
+}
+
+/// Every counter sample (histogram sums and stage durations are the only
+/// wall-clock-dependent values), keyed by family and label.
+fn counter_values(snap: &MetricsSnapshot) -> BTreeMap<(String, Option<String>), u64> {
+    let mut values = BTreeMap::new();
+    for family in &snap.families {
+        if family.kind == MetricKind::Counter
+            && family.name != "cfinder_stage_duration_microseconds_total"
+        {
+            for sample in &family.samples {
+                let label = sample.label.as_ref().map(|(k, v)| format!("{k}={v}"));
+                values.insert((family.name.clone(), label), sample.value);
+            }
+        }
+    }
+    values
+}
+
+#[test]
+fn wagtail_metric_goldens() {
+    let snap = snapshot_for("wagtail", 2);
+
+    // Input volume — pinned to the quick-scale generator output.
+    assert_eq!(snap.counter("cfinder_files_total"), 24);
+    assert_eq!(snap.counter("cfinder_files_parsed_total"), 24);
+    assert_eq!(snap.counter("cfinder_files_dropped_total"), 0);
+    assert_eq!(snap.counter("cfinder_loc_total"), 18108);
+    assert_eq!(snap.counter("cfinder_tokens_total"), 119862);
+    assert_eq!(snap.counter("cfinder_ast_nodes_total"), 66484);
+    assert_eq!(snap.counter("cfinder_statements_total"), 16210);
+
+    // Model registry and analysis results — Table 4/6/8's wagtail cells
+    // seen through the metrics pipe.
+    assert_eq!(snap.counter("cfinder_models_total"), 60);
+    assert_eq!(snap.counter("cfinder_model_fields_total"), 781);
+    assert_eq!(snap.family_total("cfinder_detections_total"), 79);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_u1"), 6);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_u2"), 9);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n1"), 25);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n2"), 11);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n3"), 28);
+    assert_eq!(snap.family_total("cfinder_missing_constraints_total"), 10);
+    assert_eq!(snap.counter("cfinder_existing_covered_total"), 69);
+    assert_eq!(snap.counter("cfinder_resolutions_total"), 9018);
+    assert_eq!(snap.counter("cfinder_analyses_total"), 1);
+    assert_eq!(snap.family_total("cfinder_incidents_total"), 0);
+
+    // Per-file latency histograms observe exactly one parse and one
+    // detect per file; their counts are deterministic even though the
+    // sums are wall clock.
+    let parse = snap
+        .families
+        .iter()
+        .find(|f| f.name == "cfinder_file_parse_seconds")
+        .expect("parse histogram");
+    assert_eq!(parse.samples[0].histogram.as_ref().expect("histogram").count, 24);
+}
+
+#[test]
+fn counters_are_identical_across_thread_counts() {
+    for name in ["oscar", "wagtail"] {
+        let baseline = counter_values(&snapshot_for(name, 1));
+        assert!(!baseline.is_empty(), "{name}: no counters recorded");
+        for threads in [2, 4] {
+            let other = counter_values(&snapshot_for(name, threads));
+            assert_eq!(baseline, other, "{name}: counters differ at {threads} threads");
+        }
+    }
+}

@@ -37,6 +37,37 @@ pub struct Module {
     pub node_count: u32,
 }
 
+impl Module {
+    /// Deep statement count — every statement in the module, including
+    /// those nested in function/class bodies, branches, loops, and
+    /// handlers. A parse-level size measure for the observability layer
+    /// (`cfinder_statements_total`), deterministic for a given source.
+    pub fn stmt_count(&self) -> usize {
+        fn count(body: &[Stmt]) -> usize {
+            body.iter()
+                .map(|stmt| {
+                    1 + match &stmt.kind {
+                        StmtKind::FunctionDef(f) => count(&f.body),
+                        StmtKind::ClassDef(c) => count(&c.body),
+                        StmtKind::If { body, orelse, .. }
+                        | StmtKind::For { body, orelse, .. }
+                        | StmtKind::While { body, orelse, .. } => count(body) + count(orelse),
+                        StmtKind::Try { body, handlers, orelse, finalbody } => {
+                            count(body)
+                                + handlers.iter().map(|h| count(&h.body)).sum::<usize>()
+                                + count(orelse)
+                                + count(finalbody)
+                        }
+                        StmtKind::With { body, .. } => count(body),
+                        _ => 0,
+                    }
+                })
+                .sum()
+        }
+        count(&self.body)
+    }
+}
+
 /// A statement.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Stmt {

@@ -1,30 +1,36 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! Usage:
-//!   reproduce [--quick] [--out DIR]
+//!   reproduce [--quick] [--out DIR] [--trace-out FILE]
 //!
 //! `--quick` generates the corpus at ~10% of the paper's LoC (pattern sites
 //! are unaffected, so every table except Table 10's absolute timings is
 //! identical); `--out` selects the result directory (default `result/`).
+//! `--trace-out FILE` runs the whole evaluation with observability enabled,
+//! writes one combined Chrome trace-event JSON for all eight app analyses
+//! to FILE, dumps the combined Prometheus metrics next to the tables, and
+//! prints a one-line tracing-overhead report.
 
 use std::fs;
 use std::path::PathBuf;
 
+use cfinder_core::Obs;
 use cfinder_corpus::GenOptions;
 use cfinder_report::tables::all_tables;
-use cfinder_report::Evaluation;
+use cfinder_report::{AppEvaluation, Evaluation};
 
 /// Reports a usage error and exits with status 2 (distinct from the
 /// panic/abort paths, matching the `cfinder` CLI's convention).
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [--quick] [--out DIR]");
+    eprintln!("usage: reproduce [--quick] [--out DIR] [--trace-out FILE]");
     std::process::exit(2);
 }
 
 fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("result");
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -38,6 +44,13 @@ fn main() {
                 }
                 None => usage_error("--out expects a directory"),
             },
+            "--trace-out" => match args.next() {
+                Some(value) if !value.starts_with("--") => trace_out = Some(PathBuf::from(value)),
+                Some(flag) => {
+                    usage_error(&format!("--trace-out expects a file, found flag `{flag}`"))
+                }
+                None => usage_error("--trace-out expects a file"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
@@ -47,7 +60,8 @@ fn main() {
         "generating corpus and running CFinder over 8 applications ({} scale)…",
         if quick { "quick" } else { "paper" }
     );
-    let eval = Evaluation::run(options);
+    let obs = if trace_out.is_some() { Obs::enabled() } else { Obs::disabled() };
+    let eval = Evaluation::run_obs(options, obs.clone());
 
     fs::create_dir_all(&out_dir).expect("create result directory");
     let mut tables = all_tables(&eval);
@@ -116,6 +130,67 @@ fn main() {
             existing.push_str(&format!("{}\n", c.describe().replace(',', ";")));
         }
         fs::write(dir.join("existing_constraints.csv"), existing).expect("write existing");
+    }
+
+    // Per-app coverage, incident, and timing summary in one machine-
+    // readable file: each row joins Table 10's timings (including the
+    // orchestration remainder) with the detection and fault-tolerance
+    // counters.
+    let mut metrics_csv = String::from(
+        "app,loc,files,analysis_s,parse_s,models_s,detect_s,diff_s,orchestration_s,threads,detected_missing,detected_existing,incidents,coverage_percent\n",
+    );
+    for app in &eval.apps {
+        let ts = &app.report.timings;
+        metrics_csv.push_str(&format!(
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{:.1}\n",
+            app.app.name,
+            app.report.loc,
+            app.report.files_total,
+            app.report.analysis_time.as_secs_f64(),
+            ts.parse.as_secs_f64(),
+            ts.model_extraction.as_secs_f64(),
+            ts.detection.as_secs_f64(),
+            ts.diff.as_secs_f64(),
+            ts.orchestration.as_secs_f64(),
+            ts.threads,
+            app.detected_missing(),
+            app.detected_existing(),
+            app.report.incidents.len(),
+            app.report.coverage().percent_clean(),
+        ));
+    }
+    fs::write(out_dir.join("metrics.csv"), metrics_csv).expect("write metrics.csv");
+
+    if let Some(path) = &trace_out {
+        fs::write(path, obs.tracer.to_chrome_trace()).expect("write trace");
+        fs::write(out_dir.join("metrics.prom"), obs.metrics.to_prometheus_text())
+            .expect("write metrics.prom");
+        eprintln!(
+            "trace: {} spans across 8 analyses written to {} ({} metric families in {})",
+            obs.tracer.events().len(),
+            path.display(),
+            obs.metrics.snapshot().families.len(),
+            out_dir.join("metrics.prom").display(),
+        );
+        // One-line overhead report: a controlled pair — the same app
+        // analyzed standalone once plain and once traced (the evaluation's
+        // own timings are contended by the 7 concurrent sibling apps, so
+        // they can't serve as the baseline). Single-run numbers are still
+        // noisy — the Criterion group in cfinder-bench is the rigorous
+        // check — but this keeps the cost visible on every traced run.
+        let name = &eval.apps[0].app.name;
+        let gen =
+            || cfinder_corpus::generate(&cfinder_corpus::profile(name).expect("profile"), options);
+        let plain = AppEvaluation::run(gen());
+        let traced = AppEvaluation::run_obs(gen(), Obs::enabled());
+        let traced_s = traced.report.analysis_time.as_secs_f64();
+        let plain_s = plain.report.analysis_time.as_secs_f64().max(f64::EPSILON);
+        eprintln!(
+            "tracing overhead: {:+.1}% on {name} ({:.3}s traced vs {:.3}s plain, single run)",
+            100.0 * (traced_s - plain_s) / plain_s,
+            traced_s,
+            plain_s,
+        );
     }
     eprintln!("wrote results to {}", out_dir.display());
 }

@@ -2,7 +2,7 @@
 //! corpus ground truth.
 
 use cfinder_core::engine::{map_ordered, resolve_threads};
-use cfinder_core::{AnalysisReport, AppSource, CFinder, SourceFile};
+use cfinder_core::{AnalysisReport, AppSource, CFinder, Obs, SourceFile};
 use cfinder_corpus::{GenOptions, GeneratedApp, StudyApp, Verdict};
 use cfinder_schema::ConstraintType;
 
@@ -49,11 +49,18 @@ pub struct AppEvaluation {
 impl AppEvaluation {
     /// Runs the analyzer over a generated app.
     pub fn run(app: GeneratedApp) -> AppEvaluation {
+        AppEvaluation::run_obs(app, Obs::disabled())
+    }
+
+    /// Runs the analyzer over a generated app with an observability handle
+    /// attached — spans and metrics from the analysis accumulate into
+    /// `obs` (handles share their buffers across clones).
+    pub fn run_obs(app: GeneratedApp, obs: Obs) -> AppEvaluation {
         let source = AppSource::new(
             app.name.clone(),
             app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
-        let report = CFinder::new().analyze(&source, &app.declared);
+        let report = CFinder::new().with_obs(obs).analyze(&source, &app.declared);
         AppEvaluation { app, report }
     }
 
@@ -168,9 +175,16 @@ impl Evaluation {
     /// analyzed in parallel (one work unit per app); the result vector
     /// stays in paper order regardless of the thread count.
     pub fn run(options: GenOptions) -> Evaluation {
+        Evaluation::run_obs(options, Obs::disabled())
+    }
+
+    /// [`Evaluation::run`] with an observability handle: every app
+    /// analysis records spans and metrics into `obs`, so the harness can
+    /// export one combined trace and metrics dump for the whole run.
+    pub fn run_obs(options: GenOptions, obs: Obs) -> Evaluation {
         let profiles = cfinder_corpus::all_profiles();
         let apps = map_ordered(&profiles, resolve_threads(None), |p| {
-            AppEvaluation::run(cfinder_corpus::generate(p, options))
+            AppEvaluation::run_obs(cfinder_corpus::generate(p, options), obs.clone())
         });
         let study = cfinder_corpus::study_corpus();
         let history = HistoryRecall::run(&study);

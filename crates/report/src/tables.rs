@@ -337,6 +337,7 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             "Models (s)",
             "Detect (s)",
             "Diff (s)",
+            "Orch (s)",
             "Threads",
             "Incidents",
             "Coverage",
@@ -354,6 +355,7 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             secs(ts.model_extraction),
             secs(ts.detection),
             secs(ts.diff),
+            secs(ts.orchestration),
             ts.threads.to_string(),
             a.report.incidents.len().to_string(),
             format!("{:.1}%", coverage.percent_clean()),

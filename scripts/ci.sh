@@ -26,6 +26,15 @@ cargo test -q "${test_scope[@]}"
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection
 
+echo "==> fault-injection suite with live tracing and metrics"
+# Same seeded corruption, but every analysis records spans and metrics:
+# the observability layer must be as panic-free as the analyzer it
+# instruments.
+CFINDER_OBS_TEST=1 cargo test -q --test fault_injection
+
+echo "==> observability overhead check (instrumented vs no-op)"
+cargo bench -p cfinder-bench --bench obs_overhead
+
 echo "==> depth-limit guard under a reduced stack"
 # 1.5 MiB is below the 2 MiB Rust default: the test only passes because
 # the parser's recursion-depth guard fires before the stack runs out.

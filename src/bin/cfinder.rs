@@ -2,24 +2,42 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--max-file-bytes N] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
+//! $ cfinder explain <table[.column]> path/to/app [--schema schema.json]
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
 //!   `cfinder::schema::Schema::to_json`); without it, every inferred
 //!   constraint is reported as missing.
 //! * `--json` — machine-readable output (one JSON document).
-//! * `--timings` — per-stage timing breakdown (parse, model extraction,
-//!   detection, diff) and the worker-thread count. Printed to stderr in
-//!   the human-readable mode, embedded as a `timings` object in `--json`
-//!   mode. The thread count defaults to the available parallelism and can
-//!   be overridden with the `CFINDER_THREADS` environment variable.
+//! * `--timings` — per-stage timing breakdown. The human-readable mode
+//!   prints an aligned stage/seconds/percent table to stderr that accounts
+//!   for 100% of the analysis wall time (the four passes plus
+//!   orchestration); `--json` embeds a `timings` object. The thread count
+//!   defaults to the available parallelism and can be overridden with the
+//!   `CFINDER_THREADS` environment variable.
+//! * `--trace-out FILE` — record hierarchical spans (per pass, per file,
+//!   per pattern family, per worker chunk) and write Chrome trace-event
+//!   JSON to FILE, loadable in `chrome://tracing` or Perfetto.
+//! * `--metrics-out FILE` — record the metrics registry (files, bytes,
+//!   tokens, AST nodes, detections per pattern, incidents per kind,
+//!   latency histograms, …) and write Prometheus text exposition to FILE.
+//!   Either flag also embeds a `metrics` block in `--json` output.
+//! * `--provenance` — in `--json` mode, attach to each missing constraint
+//!   its full provenance chain (pattern rule → file:line → table/columns
+//!   → DDL).
 //! * `--strict` — treat any incident (recovered syntax error, dropped
 //!   file, worker panic) as a failure: exit 3 instead of 0/1.
 //! * `--max-file-bytes N` — skip files larger than N bytes (`0` disables
 //!   the cap; defaults to 8 MiB or `CFINDER_MAX_FILE_BYTES`).
 //! * `--ablate null-guard|data-dep|composite|partial` — disable an
 //!   analysis feature (repeatable; for experimentation).
+//!
+//! The `explain` subcommand answers "why does CFinder want a constraint on
+//! this column?": it analyzes the app, finds every inferred constraint on
+//! `<table[.column]>`, and prints each supporting detection's provenance
+//! chain — the PA_* pattern, its rule, and the exact source site. Exit 0
+//! when at least one constraint was explained, 1 when none matched.
 //!
 //! A per-file parse deadline can be enabled with the `CFINDER_DEADLINE_MS`
 //! environment variable; files that blow it are skipped with a `deadline`
@@ -37,7 +55,7 @@ use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use cfinder::core::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
+use cfinder::core::{AppSource, CFinder, CFinderOptions, Limits, Obs, SourceFile};
 use cfinder::schema::Schema;
 
 struct Outcome {
@@ -45,6 +63,8 @@ struct Outcome {
     incidents: usize,
     strict: bool,
 }
+
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -60,20 +80,24 @@ fn main() -> ExitCode {
         }
         Err(msg) => {
             eprintln!("cfinder: {msg}");
-            eprintln!(
-                "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…"
-            );
+            eprintln!("{USAGE}");
             ExitCode::from(2)
         }
     }
 }
 
 fn run(args: &[String]) -> Result<Outcome, String> {
+    if args.first().is_some_and(|a| a == "explain") {
+        return run_explain(&args[1..]);
+    }
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
     let mut json = false;
     let mut timings = false;
     let mut strict = false;
+    let mut provenance = false;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut metrics_out: Option<PathBuf> = None;
     let mut options = CFinderOptions::default();
     let mut limits = Limits::from_env();
 
@@ -87,6 +111,15 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             "--json" => json = true,
             "--timings" => timings = true,
             "--strict" => strict = true,
+            "--provenance" => provenance = true,
+            "--trace-out" => {
+                let v = it.next().ok_or("--trace-out requires a file argument")?;
+                trace_out = Some(PathBuf::from(v));
+            }
+            "--metrics-out" => {
+                let v = it.next().ok_or("--metrics-out requires a file argument")?;
+                metrics_out = Some(PathBuf::from(v));
+            }
             "--max-file-bytes" => {
                 let v = it.next().ok_or("--max-file-bytes requires a byte-count argument")?;
                 limits.max_file_bytes = v
@@ -112,29 +145,30 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         }
     }
     let dir = dir.ok_or("missing source directory argument")?;
+    let (app, declared) = load_app(&dir, schema_path.as_deref())?;
 
-    // Collect .py files recursively, deterministic order.
-    let mut files = Vec::new();
-    collect_py_files(&dir, &dir, &mut files)
-        .map_err(|e| format!("reading {}: {e}", dir.display()))?;
-    if files.is_empty() {
-        return Err(format!("no .py files under {}", dir.display()));
-    }
-    files.sort_by(|a, b| a.path.cmp(&b.path));
-
-    let declared = match schema_path {
-        Some(p) => {
-            let text =
-                fs::read_to_string(&p).map_err(|e| format!("reading {}: {e}", p.display()))?;
-            Schema::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))?
-        }
-        None => Schema::new(),
-    };
-
-    let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("app").to_string();
-    let app = AppSource::new(name, files);
-    let report = CFinder::with_options(options).with_limits(limits).analyze(&app, &declared);
+    let obs =
+        if trace_out.is_some() || metrics_out.is_some() { Obs::enabled() } else { Obs::disabled() };
+    let report = CFinder::with_options(options)
+        .with_limits(limits)
+        .with_obs(obs.clone())
+        .analyze(&app, &declared);
     let coverage = report.coverage();
+
+    if let Some(path) = &trace_out {
+        fs::write(path, obs.tracer.to_chrome_trace())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!("trace: {} spans written to {}", obs.tracer.events().len(), path.display());
+    }
+    if let Some(path) = &metrics_out {
+        fs::write(path, obs.metrics.to_prometheus_text())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "metrics: {} families written to {}",
+            obs.metrics.snapshot().families.len(),
+            path.display()
+        );
+    }
 
     if json {
         // A stable machine-readable shape: missing constraints with their
@@ -145,7 +179,25 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             model_extraction_seconds: f64,
             detection_seconds: f64,
             diff_seconds: f64,
+            orchestration_seconds: f64,
             threads: usize,
+        }
+        #[derive(serde::Serialize)]
+        struct JsonProvenance {
+            constraint: String,
+            chain: Vec<cfinder::core::Provenance>,
+        }
+        #[derive(serde::Serialize)]
+        struct JsonSample {
+            label: Option<String>,
+            value: u64,
+            sum_seconds: Option<f64>,
+        }
+        #[derive(serde::Serialize)]
+        struct JsonMetric {
+            name: String,
+            kind: String,
+            samples: Vec<JsonSample>,
         }
         #[derive(serde::Serialize)]
         struct JsonOut<'a> {
@@ -154,10 +206,32 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             analysis_seconds: f64,
             timings: Option<JsonTimings>,
             missing: &'a [cfinder::core::MissingConstraint],
+            provenance: Option<Vec<JsonProvenance>>,
             existing_covered: Vec<String>,
             incidents: &'a [cfinder::core::Incident],
             coverage: cfinder::core::Coverage,
+            metrics: Option<Vec<JsonMetric>>,
         }
+        let metrics_block = obs.metrics.is_enabled().then(|| {
+            obs.metrics
+                .snapshot()
+                .families
+                .into_iter()
+                .map(|f| JsonMetric {
+                    name: f.name,
+                    kind: f.kind.to_string(),
+                    samples: f
+                        .samples
+                        .into_iter()
+                        .map(|s| JsonSample {
+                            label: s.label.map(|(k, v)| format!("{k}={v}")),
+                            value: s.value,
+                            sum_seconds: s.histogram.map(|h| h.sum_seconds),
+                        })
+                        .collect(),
+                })
+                .collect()
+        });
         let out = JsonOut {
             app: &report.app,
             loc: report.loc,
@@ -167,12 +241,24 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 model_extraction_seconds: report.timings.model_extraction.as_secs_f64(),
                 detection_seconds: report.timings.detection.as_secs_f64(),
                 diff_seconds: report.timings.diff.as_secs_f64(),
+                orchestration_seconds: report.timings.orchestration.as_secs_f64(),
                 threads: report.timings.threads,
             }),
             missing: &report.missing,
+            provenance: provenance.then(|| {
+                report
+                    .missing
+                    .iter()
+                    .map(|m| JsonProvenance {
+                        constraint: m.constraint.to_string(),
+                        chain: m.provenance(),
+                    })
+                    .collect()
+            }),
             existing_covered: report.existing_covered.iter().map(|c| c.describe()).collect(),
             incidents: &report.incidents,
             coverage,
+            metrics: metrics_block,
         };
         println!("{}", serde_json::to_string_pretty(&out).expect("serializable"));
     } else {
@@ -184,14 +270,20 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         );
         if timings {
             let t = &report.timings;
-            eprintln!(
-                "timings: parse {:.3}s, models {:.3}s, detect {:.3}s, diff {:.3}s ({} threads)",
-                t.parse.as_secs_f64(),
-                t.model_extraction.as_secs_f64(),
-                t.detection.as_secs_f64(),
-                t.diff.as_secs_f64(),
-                t.threads
-            );
+            let total = t.total().as_secs_f64().max(f64::EPSILON);
+            eprintln!("{:<15} {:>9} {:>7}", "stage", "seconds", "%");
+            for (label, d) in [
+                ("parse", t.parse),
+                ("models", t.model_extraction),
+                ("detect", t.detection),
+                ("diff", t.diff),
+                ("orchestration", t.orchestration),
+                ("total", t.total()),
+            ] {
+                let secs = d.as_secs_f64();
+                eprintln!("{label:<15} {secs:>9.3} {:>7.1}", 100.0 * secs / total);
+            }
+            eprintln!("({} threads)", t.threads);
         }
         // Without --strict, incidents are warnings only: they never change
         // the exit code, but degraded coverage is always said out loud.
@@ -221,6 +313,104 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         }
     }
     Ok(Outcome { missing: report.missing.len(), incidents: report.incidents.len(), strict })
+}
+
+/// `cfinder explain <table[.column]> <dir> [--schema FILE]`: print the
+/// provenance chain of every inferred constraint on the target.
+fn run_explain(args: &[String]) -> Result<Outcome, String> {
+    let mut target: Option<String> = None;
+    let mut dir: Option<PathBuf> = None;
+    let mut schema_path: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--schema" => {
+                let v = it.next().ok_or("--schema requires a file argument")?;
+                schema_path = Some(PathBuf::from(v));
+            }
+            other if !other.starts_with('-') && target.is_none() => {
+                target = Some(other.to_string());
+            }
+            other if !other.starts_with('-') && dir.is_none() => {
+                dir = Some(PathBuf::from(other));
+            }
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    let target = target.ok_or("explain requires a <table[.column]> argument")?;
+    let dir = dir.ok_or("missing source directory argument")?;
+    let (table, column) = match target.split_once('.') {
+        Some((t, c)) => (t.to_string(), Some(c.to_string())),
+        None => (target.clone(), None),
+    };
+
+    let (app, declared) = load_app(&dir, schema_path.as_deref())?;
+    let report = CFinder::new().analyze(&app, &declared);
+
+    let matches_target = |c: &cfinder::schema::Constraint| {
+        c.table() == table && column.as_deref().is_none_or(|col| c.columns().contains(&col))
+    };
+
+    let mut explained = 0usize;
+    for m in &report.missing {
+        if !matches_target(&m.constraint) {
+            continue;
+        }
+        explained += 1;
+        println!("{}   [missing from declared schema]", m.constraint);
+        print_chains(&m.provenance());
+        println!("  fix: {}\n", m.constraint.ddl());
+    }
+    for constraint in report.existing_covered.iter() {
+        if !matches_target(constraint) {
+            continue;
+        }
+        explained += 1;
+        println!("{constraint}   [already declared; detections agree]");
+        let chains: Vec<cfinder::core::Provenance> = report
+            .detections
+            .iter()
+            .filter(|d| &d.constraint == constraint)
+            .map(|d| d.provenance())
+            .collect();
+        print_chains(&chains);
+        println!();
+    }
+    if explained == 0 {
+        println!("no inferred constraint on `{target}` (analyzed {} files)", app.files.len());
+    }
+    Ok(Outcome { missing: usize::from(explained == 0), incidents: 0, strict: false })
+}
+
+fn print_chains(chains: &[cfinder::core::Provenance]) {
+    for p in chains {
+        println!("  {}: {}", p.pattern, p.rule);
+        let first_line = p.snippet.lines().next().unwrap_or("").trim();
+        println!("    at {}:{}: {first_line}", p.file, p.line);
+    }
+}
+
+/// Collects the app's `.py` files (deterministic order) and loads the
+/// declared schema.
+fn load_app(dir: &Path, schema_path: Option<&Path>) -> Result<(AppSource, Schema), String> {
+    let mut files = Vec::new();
+    collect_py_files(dir, dir, &mut files)
+        .map_err(|e| format!("reading {}: {e}", dir.display()))?;
+    if files.is_empty() {
+        return Err(format!("no .py files under {}", dir.display()));
+    }
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+
+    let declared = match schema_path {
+        Some(p) => {
+            let text =
+                fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+            Schema::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))?
+        }
+        None => Schema::new(),
+    };
+    let name = dir.file_name().and_then(|n| n.to_str()).unwrap_or("app").to_string();
+    Ok((AppSource::new(name, files), declared))
 }
 
 fn collect_py_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {

@@ -24,6 +24,8 @@
 //! * [`corpus`] — the deterministic synthetic application corpus standing
 //!   in for the paper's eight evaluated apps.
 //! * [`report`] — the evaluation harness regenerating every paper table.
+//! * [`obs`] — observability substrate: hierarchical spans (Chrome-trace
+//!   export), metrics (Prometheus exposition), detection provenance.
 //!
 //! ## Quick start
 //!
@@ -49,6 +51,7 @@ pub use cfinder_core as core;
 pub use cfinder_corpus as corpus;
 pub use cfinder_flow as flow;
 pub use cfinder_minidb as minidb;
+pub use cfinder_obs as obs;
 pub use cfinder_pyast as pyast;
 pub use cfinder_report as report;
 pub use cfinder_schema as schema;

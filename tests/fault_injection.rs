@@ -20,8 +20,26 @@ fn to_source(app: &cfinder::corpus::GeneratedApp) -> AppSource {
     )
 }
 
+/// With `CFINDER_OBS_TEST=1` in the environment, every analysis runs with
+/// the observability layer live — CI uses this to prove that spans and
+/// metrics stay panic-free under the same seeded corruption as the
+/// analyzer itself (recording happens inside the per-file panic
+/// isolation, so a tracing bug would surface as an incident or a hang
+/// here, not in production).
+fn test_obs() -> cfinder::obs::Obs {
+    if std::env::var_os("CFINDER_OBS_TEST").is_some() {
+        cfinder::obs::Obs::enabled()
+    } else {
+        cfinder::obs::Obs::disabled()
+    }
+}
+
 fn analyze(app: &cfinder::corpus::GeneratedApp, threads: usize, limits: Limits) -> AnalysisReport {
-    CFinder::new().with_threads(threads).with_limits(limits).analyze(&to_source(app), &app.declared)
+    CFinder::new()
+        .with_threads(threads)
+        .with_limits(limits)
+        .with_obs(test_obs())
+        .analyze(&to_source(app), &app.declared)
 }
 
 /// Every non-timing field of the report, rendered for byte comparison.
