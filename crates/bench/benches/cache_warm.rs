@@ -1,0 +1,174 @@
+//! Incremental-cache speedup check: analyzing the unchanged 8-app corpus
+//! with a warm cache must be at least 5× faster than a cold run, while
+//! producing a byte-identical stable report for every app.
+//!
+//! "Cold" here is the honest worst case — an empty cache directory, so the
+//! run pays full parse + detect *plus* entry write-back. "Warm" reuses the
+//! directory the cold runs populated. The oracle (`stable_json`) is
+//! asserted on every measured run, so a speedup bought by wrong answers
+//! cannot pass.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use cfinder_core::{AnalysisCache, AppSource, CFinder, CFinderOptions, Limits, SourceFile};
+use cfinder_corpus::{all_profiles, generate};
+use cfinder_schema::Schema;
+
+const WARMUP_RUNS: usize = 1;
+const MEASURED_RUNS: usize = 5;
+const REQUIRED_SPEEDUP: f64 = 5.0;
+
+fn corpus() -> Vec<AppSource> {
+    // A bit larger than `bench_options()`: cold parse + detect cost grows
+    // with the noise LoC while warm lookup cost barely does (entry sizes
+    // track pattern sites, which `loc_scale` leaves unchanged), so this
+    // scale keeps the measured ratio clear of run-to-run noise without
+    // slowing the suite much.
+    let options = cfinder_bench::GenOptions { loc_scale: 0.05 };
+    all_profiles()
+        .iter()
+        .map(|p| {
+            let app = generate(p, options);
+            AppSource::new(
+                app.name.clone(),
+                app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+            )
+        })
+        .collect()
+}
+
+fn bench_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfinder-cache-warm-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Analyzes the whole corpus once against the given cache directory,
+/// asserting every app's stable report matches `oracle`. Returns the total
+/// wall time of the 8 `analyze` calls alone — the oracle check runs off
+/// the clock (it costs the same for cold and warm runs, so timing it
+/// would only dilute the measured speedup).
+fn run_corpus(apps: &[AppSource], root: &PathBuf, oracle: &[String]) -> Duration {
+    let limits = Limits::default();
+    let cache = Arc::new(
+        AnalysisCache::open(root, &CFinderOptions::default(), &limits).expect("open cache"),
+    );
+    let declared = Schema::new();
+    let mut elapsed = Duration::ZERO;
+    for (app, expected) in apps.iter().zip(oracle) {
+        let finder = CFinder::new().with_limits(limits).with_cache(cache.clone());
+        let start = Instant::now();
+        let report = finder.analyze(app, &declared);
+        elapsed += start.elapsed();
+        assert_eq!(&report.stable_json(), expected, "{}: cached run diverged", app.name);
+    }
+    elapsed
+}
+
+fn median(samples: &mut [Duration]) -> f64 {
+    samples.sort();
+    samples[samples.len() / 2].as_secs_f64()
+}
+
+fn main() {
+    let apps = corpus();
+    let declared = Schema::new();
+
+    if std::env::var("CFINDER_CACHE_BENCH_DEBUG").is_ok() {
+        let limits = Limits::default();
+        let root = bench_dir("debug");
+        let cache = Arc::new(
+            AnalysisCache::open(&root, &CFinderOptions::default(), &limits).expect("open cache"),
+        );
+        for pass in ["cold", "warm"] {
+            for app in &apps {
+                let finder = CFinder::new().with_limits(limits).with_cache(cache.clone());
+                let start = Instant::now();
+                let report = finder.analyze(app, &declared);
+                let total = start.elapsed();
+                let ts = &report.timings;
+                eprintln!(
+                    "{pass} {:<12} total={total:?} parse={:?} models={:?} detect={:?} diff={:?} orch={:?} hits={} misses={} parsed={}",
+                    app.name, ts.parse, ts.model_extraction, ts.detection, ts.diff,
+                    ts.orchestration, ts.cache_hits, ts.cache_misses, ts.files_parsed
+                );
+            }
+        }
+        // Split the per-lookup cost: content hashing vs entry read+decode.
+        let hash_start = Instant::now();
+        let hashes: Vec<Vec<String>> = apps
+            .iter()
+            .map(|a| a.files.iter().map(|f| cfinder_core::cache::content_hash(&f.text)).collect())
+            .collect();
+        let hash_time = hash_start.elapsed();
+        let lookup_start = Instant::now();
+        let mut hits = 0;
+        for (app, hs) in apps.iter().zip(&hashes) {
+            for (file, h) in app.files.iter().zip(hs) {
+                if matches!(cache.lookup(&file.path, h), cfinder_core::cache::Lookup::Hit(_)) {
+                    hits += 1;
+                }
+            }
+        }
+        let lookup_time = lookup_start.elapsed();
+        eprintln!(
+            "content hashing all files: {hash_time:?}; read+decode ({hits} hits): {lookup_time:?}"
+        );
+        let _ = fs::remove_dir_all(&root);
+        return;
+    }
+
+    // The oracle: uncached reference reports.
+    let oracle: Vec<String> = apps
+        .iter()
+        .map(|app| {
+            CFinder::new().with_limits(Limits::default()).analyze(app, &declared).stable_json()
+        })
+        .collect();
+
+    // Cold: a fresh (empty) cache directory every iteration.
+    let mut cold_samples = Vec::with_capacity(MEASURED_RUNS);
+    for i in 0..WARMUP_RUNS + MEASURED_RUNS {
+        let root = bench_dir(&format!("cold-{i}"));
+        let elapsed = run_corpus(&apps, &root, &oracle);
+        if i >= WARMUP_RUNS {
+            cold_samples.push(elapsed);
+        }
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    // Warm: one directory, populated once, reused for every iteration.
+    let warm_root = bench_dir("warm");
+    run_corpus(&apps, &warm_root, &oracle); // populate
+    let mut warm_samples = Vec::with_capacity(MEASURED_RUNS);
+    for i in 0..WARMUP_RUNS + MEASURED_RUNS {
+        let elapsed = run_corpus(&apps, &warm_root, &oracle);
+        if i >= WARMUP_RUNS {
+            warm_samples.push(elapsed);
+        }
+    }
+    let _ = fs::remove_dir_all(&warm_root);
+
+    let cold = median(&mut cold_samples);
+    let warm = median(&mut warm_samples);
+    let speedup = cold / warm.max(f64::EPSILON);
+    println!(
+        "{:<34} {:>12}/iter",
+        "cache/cold (empty dir + write-back)",
+        format!("{:.3?}", Duration::from_secs_f64(cold))
+    );
+    println!(
+        "{:<34} {:>12}/iter  {speedup:.1}x vs cold",
+        "cache/warm (unchanged corpus)",
+        format!("{:.3?}", Duration::from_secs_f64(warm))
+    );
+
+    assert!(
+        speedup >= REQUIRED_SPEEDUP,
+        "warm runs are only {speedup:.1}x faster than cold — below the {REQUIRED_SPEEDUP}x \
+         acceptance bar"
+    );
+}

@@ -9,6 +9,7 @@
 //! instead of aborting the analysis or being silently dropped.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use cfinder_flow::{NullGuards, UseDefChains};
@@ -19,9 +20,10 @@ use cfinder_pyast::lex_recovering;
 use cfinder_pyast::parser::parse_tokens_recovering;
 use cfinder_schema::{ConstraintSet, Schema};
 
+use crate::cache::{self, AnalysisCache, CacheEntry, DetectEntry, DetectFacts, Lookup};
 use crate::engine;
 use crate::incident::{Coverage, Incident, IncidentKind};
-use crate::models::ModelRegistry;
+use crate::models::{extract_classes, ModelInfo, ModelRegistry};
 use crate::patterns::{collect_none_assignments, detect_all, detect_n3, DetectCtx, FamilyTimers};
 use crate::report::{AnalysisReport, Detection, MissingConstraint, StageTimings};
 use crate::resolve::Resolver;
@@ -200,6 +202,7 @@ pub struct CFinder {
     threads: Option<usize>,
     limits: Limits,
     obs: Obs,
+    cache: Option<Arc<AnalysisCache>>,
 }
 
 impl Default for CFinder {
@@ -209,6 +212,7 @@ impl Default for CFinder {
             threads: None,
             limits: Limits::from_env(),
             obs: Obs::disabled(),
+            cache: None,
         }
     }
 }
@@ -247,6 +251,25 @@ impl CFinder {
     pub fn with_obs(mut self, obs: Obs) -> Self {
         self.obs = obs;
         self
+    }
+
+    /// Attaches an incremental analysis cache. Subsequent
+    /// [`CFinder::analyze`] runs look every file up by content hash and
+    /// skip parsing and detection for unchanged files; a cached run
+    /// produces a byte-identical [`AnalysisReport::stable_json`] to an
+    /// uncached one. The handle is shared (`Arc`) so one cache can serve
+    /// many analyzers. Open the cache with the **same options and
+    /// limits** as the analyzer — the cache's tool fingerprint is derived
+    /// from them, and a mismatched fingerprint silently degrades every
+    /// lookup to a miss.
+    pub fn with_cache(mut self, cache: Arc<AnalysisCache>) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The attached incremental cache, if any.
+    pub fn cache(&self) -> Option<&AnalysisCache> {
+        self.cache.as_deref()
     }
 
     /// The attached observability handle (disabled unless
@@ -323,25 +346,78 @@ impl CFinder {
         root.arg("files", app.files.len().to_string());
         root.arg("threads", threads.to_string());
 
-        // Pass 0: guarded per-file parsing, fanned out across workers under
-        // a per-item panic-isolation boundary. Results come back in file
-        // order, so the module list and the incident list match a serial
-        // run.
+        // Pass 0: per-file facts — guarded parsing plus file-local class
+        // extraction — fanned out across workers under a per-item
+        // panic-isolation boundary, wrapped in a cache lookup when a cache
+        // is attached. Results come back in file order, so the facts list
+        // and the incident list match a serial (and an uncached) run.
+        let cache = self.cache.as_deref();
         let stage = Instant::now();
         let pass_span = obs.tracer.span("pass", || "parse".to_string());
-        let parsed =
-            engine::map_ordered_catch_traced(&app.files, threads, &obs.tracer, "parse", |file| {
-                parse_file_guarded(file, &self.limits, obs)
-            });
+        let parsed = engine::map_ordered_catch_cached(
+            &app.files,
+            threads,
+            &obs.tracer,
+            "parse",
+            |file| match cache {
+                Some(cache) => lookup_file_facts(cache, file, obs),
+                None => Ok(None),
+            },
+            |file| {
+                let (module, incidents) = parse_file_guarded(file, &self.limits, obs);
+                let classes =
+                    module.as_ref().map(|m| extract_classes(m, &file.path)).unwrap_or_default();
+                FileFacts {
+                    dropped: module.is_none(),
+                    module,
+                    classes,
+                    incidents,
+                    content_hash: cache
+                        .map(|_| cache::content_hash(&file.text))
+                        .unwrap_or_default(),
+                    parsed: true,
+                }
+            },
+            |file, facts| {
+                // Every freshly parsed file gets its parse entry here —
+                // except deadline drops, which are timing-dependent and
+                // must never be cached: the same file may parse in time on
+                // the next run.
+                let Some(cache) = cache else { return false };
+                if facts.incidents.iter().any(|i| i.kind == IncidentKind::Deadline) {
+                    return false;
+                }
+                store_entry(cache, file, facts, obs)
+            },
+        );
         let mut incidents = Vec::new();
-        let mut modules = Vec::new();
+        let mut cache_hits = 0usize;
+        let mut cache_misses = 0usize;
+        let mut files_parsed = 0usize;
+        let mut facts: Vec<Option<FileFacts>> = Vec::with_capacity(app.files.len());
         for (file, result) in app.files.iter().zip(parsed) {
             match result {
-                Ok((module, file_incidents)) => {
-                    incidents.extend(file_incidents);
-                    if let Some(module) = module {
-                        modules.push((file, module));
+                Ok(cached) => {
+                    if cache.is_some() {
+                        if cached.hit {
+                            cache_hits += 1;
+                        } else {
+                            cache_misses += 1;
+                        }
                     }
+                    if let Some(detail) = cached.cache_problem {
+                        incidents.push(Incident::new(
+                            IncidentKind::CacheCorrupt,
+                            &file.path,
+                            0,
+                            detail,
+                        ));
+                    }
+                    if cached.value.parsed {
+                        files_parsed += 1;
+                    }
+                    incidents.extend(cached.value.incidents.iter().cloned());
+                    facts.push(Some(cached.value));
                 }
                 Err(payload) => {
                     incidents.push(Incident::new(
@@ -350,98 +426,122 @@ impl CFinder {
                         0,
                         payload,
                     ));
+                    facts.push(None);
                 }
             }
         }
         drop(pass_span);
         let parse = stage.elapsed();
 
-        // Pass 1: model metadata from every module. Registry construction
-        // is order-dependent and cheap, so it stays serial.
+        // Pass 1: model metadata from every file's class facts. Registry
+        // construction is order-dependent (the is-a-model gate can consult
+        // classes registered by earlier files) and cheap, so it stays
+        // serial; cached and freshly extracted facts feed it identically.
         let stage = Instant::now();
         let pass_span = obs.tracer.span("pass", || "models".to_string());
         let mut registry = ModelRegistry::new();
-        for (file, module) in &modules {
-            registry.add_module(module, &file.path);
+        for f in facts.iter().flatten() {
+            registry.add_classes(&f.classes);
         }
         drop(pass_span);
         let model_extraction = stage.elapsed();
 
         // Pass 2: per-module detection, fanned out under the same per-item
-        // panic boundary. Each worker fills private buffers; merging them
-        // in module (= file) order makes the combined detection list
-        // byte-identical to a serial run, and the none-assigned set is an
-        // order-independent union. A panicking module loses only its own
-        // detections and is recorded as a worker-panic incident.
+        // panic boundary, again wrapped in the cache. A file's detect
+        // facts are reusable only when the whole app's registry hashes the
+        // same as when they were computed (detection follows foreign-key
+        // chains into other files); a detect miss over a parse hit
+        // re-parses the file lazily inside the worker — the parser is
+        // deterministic, so this reproduces the module the cached parse
+        // facts came from. Merging results in file order keeps the
+        // combined detection list byte-identical to a serial run. A
+        // panicking module loses only its own detections and is recorded
+        // as a worker-panic incident.
         let stage = Instant::now();
         let pass_span = obs.tracer.span("pass", || "detect".to_string());
-        let per_module = engine::map_ordered_catch_traced(
-            &modules,
+        let registry_hash = cache.map(|_| cache::registry_hash(&registry));
+        let analyzable: Vec<(&SourceFile, &FileFacts)> = app
+            .files
+            .iter()
+            .zip(&facts)
+            .filter_map(|(file, f)| f.as_ref().filter(|f| !f.dropped).map(|f| (file, f)))
+            .collect();
+        let per_module = engine::map_ordered_catch_cached(
+            &analyzable,
             threads,
             &obs.tracer,
             "detect",
-            |(file, module)| {
-                // When observability is on, measure the module's detection
-                // wall-clock and per-family split; `probe` stays `None` on
-                // production runs so the only cost is this branch.
-                let probe = obs
-                    .is_enabled()
-                    .then(|| (obs.tracer.now_us(), Instant::now(), FamilyTimers::new()));
-                let mut detections: Vec<Detection> = Vec::new();
-                let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
-                analyze_scopes(
-                    &registry,
-                    &self.options,
-                    &module.body,
-                    &file.path,
-                    &file.text,
-                    None,
-                    &mut detections,
-                    &mut none_assigned,
-                    probe.as_ref().map(|(_, _, timers)| timers),
-                    &obs.metrics,
-                );
-                if let Some((ts0, started, timers)) = &probe {
-                    // The module's detect span, then one synthetic child span
-                    // per pattern family laid end to end from the span's start.
-                    // Family durations are accumulated (detectors interleave
-                    // statement by statement), so the placement is schematic;
-                    // clamping to the parent's end keeps the trace well-nested.
-                    let end_us = obs.tracer.now_us();
-                    let dur_us = end_us.saturating_sub(*ts0);
-                    obs.tracer.record(
-                        "file",
-                        format!("detect {}", file.path),
-                        *ts0,
-                        dur_us,
-                        vec![("detections", detections.len().to_string())],
-                    );
-                    let mut cursor = *ts0;
-                    let end = *ts0 + dur_us;
-                    for (label, nanos) in timers.totals() {
-                        let family_dur = (nanos / 1_000).min(end.saturating_sub(cursor));
-                        obs.tracer.record(
-                            "family",
-                            format!("{label} {}", file.path),
-                            cursor,
-                            family_dur,
-                            Vec::new(),
-                        );
-                        cursor += family_dur;
+            |(file, f)| match (cache, &registry_hash) {
+                (Some(cache), Some(hash)) => lookup_detect_facts(cache, file, f, hash, obs),
+                _ => Ok(None),
+            },
+            |(file, f)| {
+                let owned;
+                let (module, reparsed, reparse_incidents) = match &f.module {
+                    Some(module) => (Some(module), false, Vec::new()),
+                    None => {
+                        // Parse hit, detect miss: the entry carried no AST,
+                        // so reproduce it from source. Incidents only
+                        // matter if the re-parse *diverges* (a deadline
+                        // firing this time); a successful re-parse yields
+                        // exactly the incidents already replayed from the
+                        // entry.
+                        let (m, inc) = parse_file_guarded(file, &self.limits, obs);
+                        let diverged = m.is_none();
+                        owned = m;
+                        (owned.as_ref(), true, if diverged { inc } else { Vec::new() })
                     }
-                    obs.metrics
-                        .observe("cfinder_file_detect_seconds", started.elapsed().as_secs_f64());
+                };
+                match module {
+                    Some(module) => {
+                        let (detections, none_assigned) =
+                            detect_module(&registry, &self.options, file, module, obs);
+                        DetectOut { detections, none_assigned, reparse_incidents, reparsed }
+                    }
+                    None => DetectOut {
+                        detections: Vec::new(),
+                        none_assigned: BTreeSet::new(),
+                        reparse_incidents,
+                        reparsed,
+                    },
                 }
-                (detections, none_assigned)
+            },
+            |(file, f), out| {
+                let (Some(cache), Some(hash)) = (cache, registry_hash.as_ref()) else {
+                    return false;
+                };
+                // A file whose re-parse degraded this run must not be
+                // cached under facts it no longer matches.
+                if !out.reparse_incidents.is_empty() {
+                    return false;
+                }
+                let detect = DetectFacts {
+                    registry_hash: hash.clone(),
+                    detections: out.detections.clone(),
+                    none_assigned: out.none_assigned.iter().cloned().collect(),
+                };
+                store_detect_entry(cache, file, f, detect, obs)
             },
         );
         let mut detections: Vec<Detection> = Vec::new();
         let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
-        for ((file, _), result) in modules.iter().zip(per_module) {
+        for ((file, _), result) in analyzable.iter().zip(per_module) {
             match result {
-                Ok((module_detections, module_none)) => {
-                    detections.extend(module_detections);
-                    none_assigned.extend(module_none);
+                Ok(out) => {
+                    if let Some(detail) = out.cache_problem {
+                        incidents.push(Incident::new(
+                            IncidentKind::CacheCorrupt,
+                            &file.path,
+                            0,
+                            detail,
+                        ));
+                    }
+                    if out.value.reparsed {
+                        files_parsed += 1;
+                    }
+                    incidents.extend(out.value.reparse_incidents);
+                    detections.extend(out.value.detections);
+                    none_assigned.extend(out.value.none_assigned);
                 }
                 Err(payload) => {
                     incidents.push(Incident::new(
@@ -544,6 +644,9 @@ impl CFinder {
                 diff,
                 orchestration,
                 threads,
+                cache_hits,
+                cache_misses,
+                files_parsed,
             },
         }
     }
@@ -649,6 +752,215 @@ fn parse_file_guarded(
     obs.metrics.inc("cfinder_files_parsed_total");
     span.arg("nodes", recovered.module.node_count.to_string());
     (Some(recovered.module), incidents)
+}
+
+/// Per-file facts flowing through passes 0–2: the in-memory image of a
+/// [`CacheEntry`] plus, on a fresh parse, the module itself. A cache hit
+/// replays the facts without an AST (`module: None`); detection re-parses
+/// lazily only when its own facts also missed.
+#[derive(Debug)]
+struct FileFacts {
+    /// The file contributed no statements (guards, parse failure).
+    dropped: bool,
+    /// The parsed module — present on fresh parses, absent on cache hits.
+    module: Option<Module>,
+    /// File-local class facts ([`extract_classes`]).
+    classes: Vec<ModelInfo>,
+    /// Parse-stage incidents.
+    incidents: Vec<Incident>,
+    /// The file's stable content hash, computed once in pass 0 and reused
+    /// by the pass-2 detect-entry lookups and every store (empty on
+    /// uncached runs, which never touch it).
+    content_hash: String,
+    /// Whether this run actually parsed the file in pass 0 (false on a
+    /// cache hit) — the differential oracle's parse-work observable.
+    parsed: bool,
+}
+
+/// One module's pass-2 output.
+#[derive(Debug)]
+struct DetectOut {
+    /// The module's detections, in source order.
+    detections: Vec<Detection>,
+    /// The module's `(model, field)` none-assignment pairs.
+    none_assigned: BTreeSet<(String, String)>,
+    /// Incidents from a lazy re-parse that *diverged* from the cached
+    /// parse facts (e.g. a deadline firing this run). Empty on fresh
+    /// modules and on faithful re-parses.
+    reparse_incidents: Vec<Incident>,
+    /// Whether pass 2 had to re-parse the file (parse hit, detect miss).
+    reparsed: bool,
+}
+
+/// Pass-0 cache lookup for one file: `Ok(Some)` replays the entry's facts,
+/// `Ok(None)` is a clean miss, `Err(detail)` is a damaged-entry miss the
+/// caller surfaces as an [`IncidentKind::CacheCorrupt`] incident.
+fn lookup_file_facts(
+    cache: &AnalysisCache,
+    file: &SourceFile,
+    obs: &Obs,
+) -> Result<Option<FileFacts>, String> {
+    let _span = obs.tracer.span("cache", || format!("lookup {}", file.path));
+    let content_hash = cache::content_hash(&file.text);
+    match cache.lookup(&file.path, &content_hash) {
+        Lookup::Hit(entry) => {
+            obs.metrics.inc("cfinder_cache_hits_total");
+            let entry = *entry;
+            Ok(Some(FileFacts {
+                dropped: entry.dropped,
+                module: None,
+                classes: entry.classes,
+                incidents: entry.incidents,
+                content_hash,
+                parsed: false,
+            }))
+        }
+        Lookup::Miss => {
+            obs.metrics.inc("cfinder_cache_misses_total");
+            Ok(None)
+        }
+        Lookup::Corrupt(detail) => {
+            obs.metrics.inc("cfinder_cache_misses_total");
+            obs.metrics.inc("cfinder_cache_corrupt_total");
+            Err(detail)
+        }
+    }
+}
+
+/// Pass-2 cache lookup for one analyzable file's detect facts under the
+/// current registry. Same contract as [`lookup_file_facts`].
+fn lookup_detect_facts(
+    cache: &AnalysisCache,
+    file: &SourceFile,
+    facts: &FileFacts,
+    registry_hash: &str,
+    obs: &Obs,
+) -> Result<Option<DetectOut>, String> {
+    let _span = obs.tracer.span("cache", || format!("lookup detect {}", file.path));
+    match cache.lookup_detect(&file.path, &facts.content_hash, registry_hash) {
+        Lookup::Hit(d) => {
+            obs.metrics.inc("cfinder_cache_hits_total");
+            Ok(Some(DetectOut {
+                detections: d.detections,
+                none_assigned: d.none_assigned.into_iter().collect(),
+                reparse_incidents: Vec::new(),
+                reparsed: false,
+            }))
+        }
+        Lookup::Miss => {
+            obs.metrics.inc("cfinder_cache_misses_total");
+            Ok(None)
+        }
+        Lookup::Corrupt(detail) => {
+            obs.metrics.inc("cfinder_cache_misses_total");
+            obs.metrics.inc("cfinder_cache_corrupt_total");
+            Err(detail)
+        }
+    }
+}
+
+/// Writes one file's parse entry back to the cache (best-effort; a failed
+/// write costs a future miss, never correctness).
+fn store_entry(cache: &AnalysisCache, file: &SourceFile, facts: &FileFacts, obs: &Obs) -> bool {
+    let _span = obs.tracer.span("cache", || format!("write {}", file.path));
+    let entry = CacheEntry {
+        format: cache::FORMAT,
+        path: file.path.clone(),
+        content_hash: facts.content_hash.clone(),
+        dropped: facts.dropped,
+        classes: facts.classes.clone(),
+        incidents: facts.incidents.clone(),
+    };
+    let written = cache.store(&entry);
+    if written {
+        obs.metrics.inc("cfinder_cache_writes_total");
+    }
+    written
+}
+
+/// Writes one file's detect entry for the current registry back to the
+/// cache (best-effort, like [`store_entry`]).
+fn store_detect_entry(
+    cache: &AnalysisCache,
+    file: &SourceFile,
+    facts: &FileFacts,
+    detect: DetectFacts,
+    obs: &Obs,
+) -> bool {
+    let _span = obs.tracer.span("cache", || format!("write detect {}", file.path));
+    let entry = DetectEntry {
+        format: cache::FORMAT,
+        path: file.path.clone(),
+        content_hash: facts.content_hash.clone(),
+        facts: detect,
+    };
+    let written = cache.store_detect(&entry);
+    if written {
+        obs.metrics.inc("cfinder_cache_writes_total");
+    }
+    written
+}
+
+/// Runs pattern detection over one parsed module, with the per-module
+/// observability probe (detect span + schematic per-family child spans +
+/// latency histogram) when observability is enabled.
+fn detect_module(
+    registry: &ModelRegistry,
+    options: &CFinderOptions,
+    file: &SourceFile,
+    module: &Module,
+    obs: &Obs,
+) -> (Vec<Detection>, BTreeSet<(String, String)>) {
+    // When observability is on, measure the module's detection wall-clock
+    // and per-family split; `probe` stays `None` on production runs so the
+    // only cost is this branch.
+    let probe =
+        obs.is_enabled().then(|| (obs.tracer.now_us(), Instant::now(), FamilyTimers::new()));
+    let mut detections: Vec<Detection> = Vec::new();
+    let mut none_assigned: BTreeSet<(String, String)> = BTreeSet::new();
+    analyze_scopes(
+        registry,
+        options,
+        &module.body,
+        &file.path,
+        &file.text,
+        None,
+        &mut detections,
+        &mut none_assigned,
+        probe.as_ref().map(|(_, _, timers)| timers),
+        &obs.metrics,
+    );
+    if let Some((ts0, started, timers)) = &probe {
+        // The module's detect span, then one synthetic child span per
+        // pattern family laid end to end from the span's start. Family
+        // durations are accumulated (detectors interleave statement by
+        // statement), so the placement is schematic; clamping to the
+        // parent's end keeps the trace well-nested.
+        let end_us = obs.tracer.now_us();
+        let dur_us = end_us.saturating_sub(*ts0);
+        obs.tracer.record(
+            "file",
+            format!("detect {}", file.path),
+            *ts0,
+            dur_us,
+            vec![("detections", detections.len().to_string())],
+        );
+        let mut cursor = *ts0;
+        let end = *ts0 + dur_us;
+        for (label, nanos) in timers.totals() {
+            let family_dur = (nanos / 1_000).min(end.saturating_sub(cursor));
+            obs.tracer.record(
+                "family",
+                format!("{label} {}", file.path),
+                cursor,
+                family_dur,
+                Vec::new(),
+            );
+            cursor += family_dur;
+        }
+        obs.metrics.observe("cfinder_file_detect_seconds", started.elapsed().as_secs_f64());
+    }
+    (detections, none_assigned)
 }
 
 /// Recursively analyzes every function scope in a statement list.

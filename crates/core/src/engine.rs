@@ -139,6 +139,64 @@ where
     })
 }
 
+/// One item's outcome from a cache-aware fan-out
+/// ([`map_ordered_catch_cached`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CachedResult<O> {
+    /// The item's output — from the cache on a hit, freshly computed on a
+    /// miss.
+    pub value: O,
+    /// Whether the value came from the cache.
+    pub hit: bool,
+    /// When the lookup found a damaged entry (truncated, corrupt, stale):
+    /// the detail string. The value was recomputed from scratch, so this
+    /// is diagnostic only — callers surface it as a typed incident.
+    pub cache_problem: Option<String>,
+}
+
+/// Cache-aware panic-isolating ordered fan-out: for each item, `lookup`
+/// runs first; `Ok(Some(value))` short-circuits as a hit, `Ok(None)` is a
+/// miss, and `Err(detail)` is a *damaged-entry* miss whose detail is
+/// carried through on the result. On any miss, `compute` runs (under the
+/// per-item [`catch_unwind`] boundary of [`map_ordered_catch`]) and
+/// `store` is offered the freshly computed value for write-back —
+/// `store` returning `false` means the write was skipped or failed, which
+/// is never an error (it costs a future miss, not correctness).
+///
+/// Outputs stay in input order; hits and misses interleave freely across
+/// worker chunks, and a panicking `compute` yields `Err(message)` for
+/// that item alone. The closures all run on worker threads, so lookups
+/// and stores overlap with computation at every thread count.
+pub fn map_ordered_catch_cached<T, O, L, F, S>(
+    items: &[T],
+    threads: usize,
+    tracer: &Tracer,
+    stage: &'static str,
+    lookup: L,
+    compute: F,
+    store: S,
+) -> Vec<Result<CachedResult<O>, String>>
+where
+    T: Sync,
+    O: Send,
+    L: Fn(&T) -> Result<Option<O>, String> + Sync,
+    F: Fn(&T) -> O + Sync,
+    S: Fn(&T, &O) -> bool + Sync,
+{
+    map_ordered_catch_traced(items, threads, tracer, stage, |item| {
+        let cache_problem = match lookup(item) {
+            Ok(Some(value)) => {
+                return CachedResult { value, hit: true, cache_problem: None };
+            }
+            Ok(None) => None,
+            Err(detail) => Some(detail),
+        };
+        let value = compute(item);
+        store(item, &value);
+        CachedResult { value, hit: false, cache_problem }
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -201,6 +259,69 @@ mod tests {
             assert!(events.iter().any(|e| e.name == "parse chunk 0"));
             let total: usize = events.iter().map(|e| e.args[0].1.parse::<usize>().unwrap()).sum();
             assert_eq!(total, items.len(), "chunk item counts cover every item");
+        }
+    }
+
+    #[test]
+    fn cached_fanout_mixes_hits_misses_and_panics_in_order() {
+        use std::collections::BTreeMap;
+        use std::sync::Mutex;
+
+        let items: Vec<u32> = (0..24).collect();
+        // Pre-populate: multiples of 4 hit; 5 has a damaged entry; 11 panics.
+        let seeded: BTreeMap<u32, u64> =
+            items.iter().filter(|&&n| n % 4 == 0).map(|&n| (n, u64::from(n) * 10)).collect();
+        let stored = Mutex::new(Vec::new());
+        for threads in [1, 2, 4] {
+            stored.lock().unwrap().clear();
+            let got = map_ordered_catch_cached(
+                &items,
+                threads,
+                &Tracer::disabled(),
+                "test",
+                |&n| {
+                    if n == 5 {
+                        Err("truncated entry".to_string())
+                    } else {
+                        Ok(seeded.get(&n).copied())
+                    }
+                },
+                |&n| {
+                    if n == 11 {
+                        panic!("boom on {n}");
+                    }
+                    u64::from(n) * 10
+                },
+                |&n, &v| {
+                    stored.lock().unwrap().push((n, v));
+                    true
+                },
+            );
+            assert_eq!(got.len(), items.len(), "threads = {threads}");
+            for (&n, r) in items.iter().zip(&got) {
+                if n == 11 {
+                    assert_eq!(r.as_ref().unwrap_err(), "boom on 11");
+                    continue;
+                }
+                let r = r.as_ref().unwrap();
+                assert_eq!(r.value, u64::from(n) * 10);
+                assert_eq!(r.hit, n % 4 == 0, "item {n}");
+                if n == 5 {
+                    assert_eq!(r.cache_problem.as_deref(), Some("truncated entry"));
+                } else {
+                    assert!(r.cache_problem.is_none(), "item {n}");
+                }
+            }
+            // Every miss except the panicking item was offered to `store`;
+            // no hit was.
+            let mut writes = stored.lock().unwrap().clone();
+            writes.sort();
+            let expected: Vec<(u32, u64)> = items
+                .iter()
+                .filter(|&&n| n % 4 != 0 && n != 11)
+                .map(|&n| (n, u64::from(n) * 10))
+                .collect();
+            assert_eq!(writes, expected, "threads = {threads}");
         }
     }
 

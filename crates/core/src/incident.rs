@@ -34,6 +34,11 @@ pub enum IncidentKind {
     /// A worker thread panicked while analyzing the file; the panic was
     /// isolated and the file's results were discarded.
     WorkerPanic,
+    /// The file's incremental-cache entry was truncated, corrupt, or
+    /// stale; it was treated as a miss and the file was re-analyzed from
+    /// source. The *analysis* of the file is unaffected — this records
+    /// cache-infrastructure damage, so it does not degrade coverage.
+    CacheCorrupt,
 }
 
 impl IncidentKind {
@@ -46,6 +51,7 @@ impl IncidentKind {
             IncidentKind::FileTooLarge => "file-too-large",
             IncidentKind::Deadline => "deadline",
             IncidentKind::WorkerPanic => "worker-panic",
+            IncidentKind::CacheCorrupt => "cache-corrupt",
         }
     }
 
@@ -60,6 +66,14 @@ impl IncidentKind {
                 | IncidentKind::Deadline
                 | IncidentKind::WorkerPanic
         )
+    }
+
+    /// Whether this incident reflects damage to the *source analysis*
+    /// (and therefore counts against [`Coverage`]). Cache-infrastructure
+    /// incidents do not: a corrupt cache entry falls back to a full
+    /// re-analysis of the file, so the file is still fully covered.
+    pub fn affects_coverage(&self) -> bool {
+        !matches!(self, IncidentKind::CacheCorrupt)
     }
 }
 
@@ -126,6 +140,9 @@ impl Coverage {
         let mut dropped = BTreeSet::new();
         let mut degraded = BTreeSet::new();
         for incident in incidents {
+            if !incident.kind.affects_coverage() {
+                continue;
+            }
             if incident.kind.drops_file() {
                 dropped.insert(incident.file.as_str());
             } else {
@@ -181,6 +198,20 @@ mod tests {
         assert!(IncidentKind::FileTooLarge.drops_file());
         assert!(IncidentKind::Deadline.drops_file());
         assert!(IncidentKind::WorkerPanic.drops_file());
+        assert!(!IncidentKind::CacheCorrupt.drops_file());
+        assert!(!IncidentKind::CacheCorrupt.affects_coverage());
+        assert!(IncidentKind::RecoveredSyntax.affects_coverage());
+        assert_eq!(IncidentKind::CacheCorrupt.label(), "cache-corrupt");
+    }
+
+    #[test]
+    fn cache_incidents_do_not_degrade_coverage() {
+        let incidents = vec![
+            Incident::new(IncidentKind::CacheCorrupt, "a.py", 0, "truncated entry"),
+            Incident::new(IncidentKind::RecoveredSyntax, "b.py", 3, "x"),
+        ];
+        let cov = Coverage::compute(3, &incidents);
+        assert_eq!((cov.files_clean, cov.files_degraded, cov.files_dropped), (2, 1, 0));
     }
 
     #[test]

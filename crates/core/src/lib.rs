@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cache;
 pub mod detect;
 pub mod engine;
 pub mod incident;
@@ -43,6 +44,9 @@ pub mod report;
 pub mod resolve;
 pub mod syntax;
 
+pub use cache::{
+    AnalysisCache, CacheEntry, CacheError, CacheStats, DetectEntry, DetectFacts, Lookup,
+};
 pub use cfinder_obs::Obs;
 pub use detect::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
 pub use incident::{Coverage, Incident, IncidentKind};

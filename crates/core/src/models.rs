@@ -19,9 +19,10 @@ use std::collections::BTreeMap;
 use cfinder_pyast::ast::{ClassDef, Constant, Expr, ExprKind, Keyword, StmtKind};
 use cfinder_pyast::Module;
 use cfinder_schema::{ColumnType, Literal};
+use serde::{Deserialize, Serialize};
 
 /// How a model field maps to a column.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum FieldKind {
     /// A scalar column of the given type.
     Scalar(ColumnType),
@@ -39,7 +40,7 @@ pub enum FieldKind {
 }
 
 /// One declared model field.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FieldInfo {
     /// Field (attribute) name as used in Python code.
     pub name: String,
@@ -65,8 +66,15 @@ impl FieldInfo {
     }
 }
 
-/// One extracted model class.
-#[derive(Debug, Clone, PartialEq)]
+/// One extracted class with model-shaped metadata.
+///
+/// Extraction is purely file-local ([`extract_classes`]), so these facts
+/// are what the incremental analysis cache persists per file; whether a
+/// class actually *is* a model (its base-class chain reaches
+/// `models.Model`, possibly through classes defined in other files) is
+/// decided later, when [`ModelRegistry::add_classes`] folds the per-file
+/// facts together in file order.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ModelInfo {
     /// Class name; also used as the table name in reports, matching the
     /// paper's presentation (`WishListLine Unique (wishlist, product)`).
@@ -114,13 +122,29 @@ impl ModelRegistry {
         Self::default()
     }
 
-    /// Extracts models from a parsed module and adds them.
+    /// Extracts models from a parsed module and adds them. Equivalent to
+    /// [`extract_classes`] followed by [`ModelRegistry::add_classes`].
     pub fn add_module(&mut self, module: &Module, file: &str) {
-        for stmt in &module.body {
-            if let StmtKind::ClassDef(class) = &stmt.kind {
-                if let Some(info) = extract_model(class, file, self) {
-                    self.insert(info);
-                }
+        self.add_classes(&extract_classes(module, file));
+    }
+
+    /// Folds file-local class facts into the registry, applying the
+    /// is-a-model gate against the registry state accumulated so far
+    /// (classes inherit model-ness from bases defined in earlier files or
+    /// earlier in the same file, exactly as serial [`add_module`]
+    /// extraction resolved it).
+    ///
+    /// [`add_module`]: ModelRegistry::add_module
+    pub fn add_classes(&mut self, classes: &[ModelInfo]) {
+        for info in classes {
+            let is_model = info.bases.iter().any(|b| {
+                b == "Model"
+                    || b.ends_with("Model")
+                    || b.ends_with("Mixin") && self.is_model(b)
+                    || self.is_model(b)
+            });
+            if is_model {
+                self.insert(info.clone());
             }
         }
     }
@@ -190,9 +214,26 @@ impl ModelRegistry {
     }
 }
 
-/// Attempts to extract a model from a class definition. Returns `None` for
-/// non-model classes.
-fn extract_model(class: &ClassDef, file: &str, registry: &ModelRegistry) -> Option<ModelInfo> {
+/// Extracts the model-shaped facts of every top-level class in a module —
+/// the file-local half of model extraction. No is-a-model judgement is
+/// made here (that needs cross-file registry state); classes without
+/// model-like bases simply carry empty or irrelevant facts and are
+/// filtered out by [`ModelRegistry::add_classes`]. Being file-local and
+/// deterministic, this is exactly the shape the incremental analysis
+/// cache persists per file.
+pub fn extract_classes(module: &Module, file: &str) -> Vec<ModelInfo> {
+    module
+        .body
+        .iter()
+        .filter_map(|stmt| match &stmt.kind {
+            StmtKind::ClassDef(class) => Some(extract_class(class, file)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Extracts one class definition's model-shaped facts unconditionally.
+fn extract_class(class: &ClassDef, file: &str) -> ModelInfo {
     let bases: Vec<String> = class
         .bases
         .iter()
@@ -200,15 +241,6 @@ fn extract_model(class: &ClassDef, file: &str, registry: &ModelRegistry) -> Opti
             b.dotted_chain().map(|(root, chain)| chain.last().copied().unwrap_or(root).to_string())
         })
         .collect();
-    let is_model = bases.iter().any(|b| {
-        b == "Model"
-            || b.ends_with("Model")
-            || b.ends_with("Mixin") && registry.is_model(b)
-            || registry.is_model(b)
-    });
-    if !is_model {
-        return None;
-    }
 
     let mut fields = Vec::new();
     let mut unique_together = Vec::new();
@@ -245,14 +277,14 @@ fn extract_model(class: &ClassDef, file: &str, registry: &ModelRegistry) -> Opti
         }
     }
 
-    Some(ModelInfo {
+    ModelInfo {
         name: class.name.clone(),
         fields,
         unique_together,
         abstract_model,
         bases,
         file: file.to_string(),
-    })
+    }
 }
 
 /// Parses a field declaration RHS: `models.CharField(max_length=10, …)`.
@@ -565,6 +597,48 @@ class OrderLine(models.Model):
             "class A(models.Model):\n    objects = CustomManager()\n    CONSTANT = 5\n    name = models.CharField(max_length=5)\n",
         );
         assert_eq!(r.model("A").unwrap().fields.len(), 1);
+    }
+
+    #[test]
+    fn extract_classes_plus_add_classes_equals_add_module() {
+        // The cache persists per-file class facts and replays them through
+        // `add_classes`; the result must be indistinguishable from serial
+        // `add_module` extraction, including cross-file base resolution.
+        let base =
+            parse_module("class Base(models.Model):\n    created = models.DateTimeField()\n")
+                .unwrap();
+        let child = parse_module("class Child(Base):\n    extra = models.IntegerField()\nclass Helper:\n    x = models.IntegerField()\n").unwrap();
+
+        let mut serial = ModelRegistry::new();
+        serial.add_module(&base, "base.py");
+        serial.add_module(&child, "child.py");
+
+        let base_facts = extract_classes(&base, "base.py");
+        let child_facts = extract_classes(&child, "child.py");
+        // Extraction is gate-free: the non-model Helper is still extracted…
+        assert_eq!(child_facts.len(), 2);
+        let mut replayed = ModelRegistry::new();
+        replayed.add_classes(&base_facts);
+        replayed.add_classes(&child_facts);
+
+        // …but the gate filters it at fold time, and Child is recognized
+        // through the cross-file Base chain.
+        assert_eq!(replayed.len(), serial.len());
+        assert!(replayed.is_model("Child") && !replayed.is_model("Helper"));
+        assert_eq!(
+            format!("{serial:?}"),
+            format!("{replayed:?}"),
+            "replayed registry must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn class_facts_serde_round_trip() {
+        let m = parse_module(SHOP).unwrap();
+        let facts = extract_classes(&m, "models.py");
+        let json = serde_json::to_string(&facts).unwrap();
+        let back: Vec<ModelInfo> = serde_json::from_str(&json).unwrap();
+        assert_eq!(facts, back);
     }
 
     #[test]

@@ -221,6 +221,18 @@ pub struct StageTimings {
     pub orchestration: Duration,
     /// Worker threads the engine ran with (1 = serial).
     pub threads: usize,
+    /// Incremental-cache lookups that returned a valid entry this run
+    /// (0 when no cache is configured).
+    pub cache_hits: usize,
+    /// Incremental-cache lookups that missed (absent, corrupt, or stale
+    /// entries; 0 when no cache is configured). Counted per file at the
+    /// parse stage; a registry-invalidated detect entry still counts as a
+    /// parse hit but shows up in [`StageTimings::files_parsed`].
+    pub cache_misses: usize,
+    /// Files actually parsed from source this run — the differential
+    /// oracle's observable: a fully warm cached run parses nothing, and a
+    /// run after editing one file parses exactly one.
+    pub files_parsed: usize,
 }
 
 impl StageTimings {
@@ -307,6 +319,44 @@ impl AnalysisReport {
     pub fn missing_partial_unique_count(&self) -> usize {
         self.missing.iter().filter(|m| m.constraint.is_partial_unique()).count()
     }
+
+    /// Canonical JSON rendering of the report's *semantic* content —
+    /// every analysis-result field and none of the timing or cache-counter
+    /// fields (those legitimately differ between runs). Two runs computed
+    /// the same answer iff their `stable_json` strings are byte-identical;
+    /// the differential cold/warm cache oracle compares exactly this.
+    ///
+    /// Cache-infrastructure incidents ([`IncidentKind::CacheCorrupt`]) are
+    /// excluded along with the timings: a damaged cache entry falls back
+    /// to full re-analysis, so the *answer* is unchanged — only the
+    /// diagnostic record differs — and the oracle must not flag that as a
+    /// divergence.
+    pub fn stable_json(&self) -> String {
+        #[derive(Serialize)]
+        struct Stable<'a> {
+            app: &'a str,
+            detections: &'a [Detection],
+            inferred: &'a ConstraintSet,
+            missing: &'a [MissingConstraint],
+            existing_covered: &'a ConstraintSet,
+            incidents: Vec<&'a Incident>,
+            files_total: usize,
+            loc: usize,
+            coverage: Coverage,
+        }
+        serde_json::to_string(&Stable {
+            app: &self.app,
+            detections: &self.detections,
+            inferred: &self.inferred,
+            missing: &self.missing,
+            existing_covered: &self.existing_covered,
+            incidents: self.incidents.iter().filter(|i| i.kind.affects_coverage()).collect(),
+            files_total: self.files_total,
+            loc: self.loc,
+            coverage: self.coverage(),
+        })
+        .expect("report serialization cannot fail")
+    }
 }
 
 #[cfg(test)]
@@ -379,6 +429,42 @@ mod tests {
         assert_eq!(report.missing_partial_unique_count(), 0);
         assert_eq!(report.coverage().files_clean, 1);
         assert_eq!(report.incident_summary(), "");
+    }
+
+    #[test]
+    fn stable_json_ignores_timings_and_cache_incidents() {
+        let mut report = AnalysisReport {
+            app: "x".into(),
+            detections: vec![],
+            inferred: ConstraintSet::new(),
+            missing: vec![],
+            existing_covered: ConstraintSet::new(),
+            analysis_time: Duration::from_millis(5),
+            loc: 10,
+            incidents: vec![Incident::new(IncidentKind::RecoveredSyntax, "a.py", 1, "x")],
+            files_total: 2,
+            timings: StageTimings::default(),
+        };
+        let base = report.stable_json();
+        assert!(base.contains("recovered-syntax") || base.contains("RecoveredSyntax"));
+
+        // Timing and cache-counter changes are invisible.
+        report.analysis_time = Duration::from_secs(99);
+        report.timings.cache_hits = 7;
+        report.timings.files_parsed = 3;
+        assert_eq!(report.stable_json(), base);
+
+        // Cache-infrastructure incidents are invisible; analysis incidents
+        // are not.
+        report.incidents.push(Incident::new(
+            IncidentKind::CacheCorrupt,
+            "a.py",
+            0,
+            "truncated entry",
+        ));
+        assert_eq!(report.stable_json(), base);
+        report.incidents.push(Incident::new(IncidentKind::WorkerPanic, "b.py", 0, "boom"));
+        assert_ne!(report.stable_json(), base);
     }
 
     #[test]

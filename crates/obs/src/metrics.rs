@@ -269,6 +269,14 @@ pub fn family_help(family: &str) -> &'static str {
             "Inferred constraints already present in the declared schema."
         }
         "cfinder_stage_duration_microseconds_total" => "Pipeline stage wall-clock time, by stage.",
+        "cfinder_cache_hits_total" => "Incremental-cache lookups that replayed a valid entry.",
+        "cfinder_cache_misses_total" => {
+            "Incremental-cache lookups that missed (absent, corrupt, or stale entries)."
+        }
+        "cfinder_cache_writes_total" => "Incremental-cache entries written back.",
+        "cfinder_cache_corrupt_total" => {
+            "Damaged (truncated, corrupt, stale) incremental-cache entries encountered."
+        }
         "cfinder_file_parse_seconds" => "Per-file parse latency.",
         "cfinder_file_detect_seconds" => "Per-file pattern-detection latency.",
         _ => "cfinder metric.",

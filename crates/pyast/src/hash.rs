@@ -1,0 +1,124 @@
+//! Stable content hashing.
+//!
+//! The incremental analysis cache keys on-disk entries by source-file
+//! content, so the hash must be **stable**: the same bytes produce the
+//! same digest in every process, on every platform, forever (unlike
+//! `std::hash::DefaultHasher`, which is randomly seeded per process and
+//! explicitly unstable across releases). This module implements 128-bit
+//! FNV-1a — small, dependency-free, fast on the short-to-medium inputs
+//! the analyzer sees, and wide enough that accidental collisions across a
+//! cache directory are not a practical concern. It is **not** a
+//! cryptographic hash: cache directories are trusted local state, and a
+//! corrupted or hand-edited entry is detected by the cache's own
+//! validation, not by the digest.
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// An incremental 128-bit FNV-1a hasher for building composite keys
+/// (e.g. a tool fingerprint folded over version, options, and limits).
+///
+/// Field separators: [`StableHasher::write_str`] feeds a `0xff` byte after
+/// the string so that adjacent fields cannot alias (`"ab" + "c"` hashes
+/// differently from `"a" + "bc"`).
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u128,
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u128::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds a string field followed by a separator byte, so consecutive
+    /// fields never alias.
+    pub fn write_str(&mut self, s: &str) {
+        self.write(s.as_bytes());
+        self.write(&[0xff]);
+    }
+
+    /// Feeds an integer as its little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// The current 128-bit digest.
+    pub fn finish(&self) -> u128 {
+        self.state
+    }
+
+    /// The current digest as 32 lowercase hex characters.
+    pub fn finish_hex(&self) -> String {
+        format!("{:032x}", self.state)
+    }
+}
+
+/// Hashes one byte slice to a 128-bit digest.
+pub fn stable_hash(bytes: &[u8]) -> u128 {
+    let mut h = StableHasher::new();
+    h.write(bytes);
+    h.finish()
+}
+
+/// Hashes one byte slice to 32 lowercase hex characters — the form used
+/// for cache-entry file names and stored content digests.
+pub fn stable_hash_hex(bytes: &[u8]) -> String {
+    format!("{:032x}", stable_hash(bytes))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors_are_stable() {
+        // FNV-1a 128 reference values; these must never change, or every
+        // on-disk cache entry in the wild silently invalidates.
+        assert_eq!(stable_hash(b""), FNV_OFFSET);
+        assert_eq!(stable_hash_hex(b""), "6c62272e07bb014262b821756295c58d");
+        assert_eq!(stable_hash_hex(b"a"), "d228cb696f1a8caf78912b704e4a8964");
+        assert_eq!(stable_hash_hex(b"foobar"), "343e1662793c64bf6f0d3597ba446f18");
+    }
+
+    #[test]
+    fn distinct_inputs_distinct_digests() {
+        assert_ne!(stable_hash(b"models.py"), stable_hash(b"views.py"));
+        assert_ne!(stable_hash(b"x = 1\n"), stable_hash(b"x = 2\n"));
+    }
+
+    #[test]
+    fn field_separation_prevents_aliasing() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+    }
+
+    #[test]
+    fn hex_is_fixed_width() {
+        let mut h = StableHasher::new();
+        h.write_u64(7);
+        assert_eq!(h.finish_hex().len(), 32);
+    }
+}

@@ -35,12 +35,16 @@
 //!   iteration the pattern matcher uses.
 //! * [`unparse`] — canonical source rendering for diagnostics and
 //!   round-trip tests.
+//! * [`hash`] — stable (process- and platform-independent) 128-bit
+//!   content hashing, the keying substrate of the incremental analysis
+//!   cache.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod ast;
 pub mod error;
+pub mod hash;
 pub mod lexer;
 pub mod parser;
 pub mod span;
@@ -50,6 +54,7 @@ pub mod visit;
 
 pub use ast::{Expr, ExprKind, Module, NodeId, Stmt, StmtKind};
 pub use error::{ParseError, ParseErrorKind};
+pub use hash::{stable_hash, stable_hash_hex, StableHasher};
 pub use lexer::{lex_recovering, LexRecovery};
 pub use parser::{
     parse_expr, parse_module, parse_module_recovering, Recovered, MAX_CHAIN, MAX_DEPTH,

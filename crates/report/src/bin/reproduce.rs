@@ -1,7 +1,7 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! Usage:
-//!   reproduce [--quick] [--out DIR] [--trace-out FILE]
+//!   reproduce [--quick] [--out DIR] [--trace-out FILE] [--cache-dir DIR]
 //!
 //! `--quick` generates the corpus at ~10% of the paper's LoC (pattern sites
 //! are unaffected, so every table except Table 10's absolute timings is
@@ -10,11 +10,17 @@
 //! writes one combined Chrome trace-event JSON for all eight app analyses
 //! to FILE, dumps the combined Prometheus metrics next to the tables, and
 //! prints a one-line tracing-overhead report.
+//! `--cache-dir DIR` attaches the incremental analysis cache to every app
+//! analysis: the first run populates DIR, a second run over the unchanged
+//! corpus replays per-file facts instead of re-parsing (Table 10's "Cache
+//! h/m" column and `metrics.csv` record the hit/miss split). An unusable
+//! DIR is a usage error (exit 2), reported before any analysis starts.
 
 use std::fs;
 use std::path::PathBuf;
+use std::sync::Arc;
 
-use cfinder_core::Obs;
+use cfinder_core::{AnalysisCache, CFinderOptions, Limits, Obs};
 use cfinder_corpus::GenOptions;
 use cfinder_report::tables::all_tables;
 use cfinder_report::{AppEvaluation, Evaluation};
@@ -23,7 +29,7 @@ use cfinder_report::{AppEvaluation, Evaluation};
 /// panic/abort paths, matching the `cfinder` CLI's convention).
 fn usage_error(msg: &str) -> ! {
     eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [--quick] [--out DIR] [--trace-out FILE]");
+    eprintln!("usage: reproduce [--quick] [--out DIR] [--trace-out FILE] [--cache-dir DIR]");
     std::process::exit(2);
 }
 
@@ -31,6 +37,7 @@ fn main() {
     let mut quick = false;
     let mut out_dir = PathBuf::from("result");
     let mut trace_out: Option<PathBuf> = None;
+    let mut cache_dir: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -51,9 +58,28 @@ fn main() {
                 }
                 None => usage_error("--trace-out expects a file"),
             },
+            "--cache-dir" => match args.next() {
+                Some(value) if !value.starts_with("--") => cache_dir = Some(PathBuf::from(value)),
+                Some(flag) => {
+                    usage_error(&format!("--cache-dir expects a directory, found flag `{flag}`"))
+                }
+                None => usage_error("--cache-dir expects a directory"),
+            },
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }
+
+    // Open the cache up front so an unwritable or non-directory path is a
+    // typed usage error before any corpus generation or analysis work, not
+    // an io panic in the middle of the evaluation. The evaluation runs
+    // `CFinder::new()`'s configuration, so the cache fingerprint is derived
+    // from the same defaults.
+    let cache = cache_dir.as_ref().map(|dir| {
+        match AnalysisCache::open(dir, &CFinderOptions::default(), &Limits::from_env()) {
+            Ok(cache) => Arc::new(cache),
+            Err(e) => usage_error(&e.to_string()),
+        }
+    });
 
     let options = if quick { GenOptions::quick() } else { GenOptions::paper() };
     eprintln!(
@@ -61,7 +87,7 @@ fn main() {
         if quick { "quick" } else { "paper" }
     );
     let obs = if trace_out.is_some() { Obs::enabled() } else { Obs::disabled() };
-    let eval = Evaluation::run_obs(options, obs.clone());
+    let eval = Evaluation::run_cached(options, obs.clone(), cache.clone());
 
     fs::create_dir_all(&out_dir).expect("create result directory");
     let mut tables = all_tables(&eval);
@@ -137,12 +163,12 @@ fn main() {
     // orchestration remainder) with the detection and fault-tolerance
     // counters.
     let mut metrics_csv = String::from(
-        "app,loc,files,analysis_s,parse_s,models_s,detect_s,diff_s,orchestration_s,threads,detected_missing,detected_existing,incidents,coverage_percent\n",
+        "app,loc,files,analysis_s,parse_s,models_s,detect_s,diff_s,orchestration_s,threads,cache_hits,cache_misses,files_parsed,detected_missing,detected_existing,incidents,coverage_percent\n",
     );
     for app in &eval.apps {
         let ts = &app.report.timings;
         metrics_csv.push_str(&format!(
-            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{:.1}\n",
+            "{},{},{},{:.4},{:.4},{:.4},{:.4},{:.4},{:.4},{},{},{},{},{},{},{},{:.1}\n",
             app.app.name,
             app.report.loc,
             app.report.files_total,
@@ -153,6 +179,9 @@ fn main() {
             ts.diff.as_secs_f64(),
             ts.orchestration.as_secs_f64(),
             ts.threads,
+            ts.cache_hits,
+            ts.cache_misses,
+            ts.files_parsed,
             app.detected_missing(),
             app.detected_existing(),
             app.report.incidents.len(),
@@ -160,6 +189,21 @@ fn main() {
         ));
     }
     fs::write(out_dir.join("metrics.csv"), metrics_csv).expect("write metrics.csv");
+
+    if let Some(dir) = &cache_dir {
+        let (hits, misses, parsed) = eval.apps.iter().fold((0, 0, 0), |acc, a| {
+            let ts = &a.report.timings;
+            (acc.0 + ts.cache_hits, acc.1 + ts.cache_misses, acc.2 + ts.files_parsed)
+        });
+        let stats = AnalysisCache::stats(dir)
+            .map(|s| s.to_string())
+            .unwrap_or_else(|e| format!("stats unavailable: {e}"));
+        eprintln!(
+            "cache: {hits} hit(s), {misses} miss(es), {parsed} file(s) parsed from source \
+             across 8 apps; {} now holds {stats}",
+            dir.display()
+        );
+    }
 
     if let Some(path) = &trace_out {
         fs::write(path, obs.tracer.to_chrome_trace()).expect("write trace");

@@ -1,8 +1,10 @@
 //! Precision / recall / coverage metrics joining analyzer output with
 //! corpus ground truth.
 
+use std::sync::Arc;
+
 use cfinder_core::engine::{map_ordered, resolve_threads};
-use cfinder_core::{AnalysisReport, AppSource, CFinder, Obs, SourceFile};
+use cfinder_core::{AnalysisCache, AnalysisReport, AppSource, CFinder, Obs, SourceFile};
 use cfinder_corpus::{GenOptions, GeneratedApp, StudyApp, Verdict};
 use cfinder_schema::ConstraintType;
 
@@ -56,11 +58,28 @@ impl AppEvaluation {
     /// attached — spans and metrics from the analysis accumulate into
     /// `obs` (handles share their buffers across clones).
     pub fn run_obs(app: GeneratedApp, obs: Obs) -> AppEvaluation {
+        AppEvaluation::run_cached(app, obs, None)
+    }
+
+    /// [`AppEvaluation::run_obs`] with an optional incremental analysis
+    /// cache attached, for warm re-runs of the evaluation. The cache must
+    /// have been opened with the analyzer's default options and limits
+    /// (`CFinder::new()`'s configuration) or every lookup degrades to a
+    /// miss.
+    pub fn run_cached(
+        app: GeneratedApp,
+        obs: Obs,
+        cache: Option<Arc<AnalysisCache>>,
+    ) -> AppEvaluation {
         let source = AppSource::new(
             app.name.clone(),
             app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
         );
-        let report = CFinder::new().with_obs(obs).analyze(&source, &app.declared);
+        let mut finder = CFinder::new().with_obs(obs);
+        if let Some(cache) = cache {
+            finder = finder.with_cache(cache);
+        }
+        let report = finder.analyze(&source, &app.declared);
         AppEvaluation { app, report }
     }
 
@@ -182,9 +201,26 @@ impl Evaluation {
     /// analysis records spans and metrics into `obs`, so the harness can
     /// export one combined trace and metrics dump for the whole run.
     pub fn run_obs(options: GenOptions, obs: Obs) -> Evaluation {
+        Evaluation::run_cached(options, obs, None)
+    }
+
+    /// [`Evaluation::run_obs`] with an optional shared incremental
+    /// analysis cache: every per-app analysis looks its files up (and
+    /// writes them back) in the same cache directory, so a second
+    /// `reproduce --cache-dir` run over the unchanged corpus skips
+    /// parsing and detection entirely.
+    pub fn run_cached(
+        options: GenOptions,
+        obs: Obs,
+        cache: Option<Arc<AnalysisCache>>,
+    ) -> Evaluation {
         let profiles = cfinder_corpus::all_profiles();
         let apps = map_ordered(&profiles, resolve_threads(None), |p| {
-            AppEvaluation::run_obs(cfinder_corpus::generate(p, options), obs.clone())
+            AppEvaluation::run_cached(
+                cfinder_corpus::generate(p, options),
+                obs.clone(),
+                cache.clone(),
+            )
         });
         let study = cfinder_corpus::study_corpus();
         let history = HistoryRecall::run(&study);

@@ -324,7 +324,8 @@ pub fn table9(eval: &Evaluation) -> TextTable {
 
 /// Table 10: static-analysis wall-clock time per application, with the
 /// per-stage breakdown (parse / models / detect / diff) recorded by the
-/// parallel engine, the worker-thread count it ran with, and the
+/// parallel engine, the worker-thread count it ran with, the incremental
+/// cache's hit/miss split (`0/0` when no cache was attached), and the
 /// fault-tolerance envelope (incident count and per-file coverage).
 pub fn table10(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
@@ -339,6 +340,7 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             "Diff (s)",
             "Orch (s)",
             "Threads",
+            "Cache h/m",
             "Incidents",
             "Coverage",
         ],
@@ -357,6 +359,7 @@ pub fn table10(eval: &Evaluation) -> TextTable {
             secs(ts.diff),
             secs(ts.orchestration),
             ts.threads.to_string(),
+            format!("{}/{}", ts.cache_hits, ts.cache_misses),
             a.report.incidents.len().to_string(),
             format!("{:.1}%", coverage.percent_clean()),
         ]);

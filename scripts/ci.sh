@@ -23,6 +23,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q ${test_scope[*]:-}"
 cargo test -q "${test_scope[@]}"
 
+echo "==> cold/warm cache equivalence and invalidation matrix"
+# The differential oracle: cached and uncached runs must be
+# byte-identical at 1/2/4 threads, and every cache-key ingredient must
+# invalidate exactly the entries it covers.
+cargo test -q --test cache_equivalence --test cache_invalidation
+
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection
 
@@ -34,6 +40,11 @@ CFINDER_OBS_TEST=1 cargo test -q --test fault_injection
 
 echo "==> observability overhead check (instrumented vs no-op)"
 cargo bench -p cfinder-bench --bench obs_overhead
+
+echo "==> warm-cache speedup smoke (warm must be >= 5x faster than cold)"
+# The bench itself asserts the speedup floor and byte-identical reports;
+# a regression in either fails this step.
+cargo bench -p cfinder-bench --bench cache_warm
 
 echo "==> depth-limit guard under a reduced stack"
 # 1.5 MiB is below the 2 MiB Rust default: the test only passes because

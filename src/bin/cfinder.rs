@@ -2,8 +2,9 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
 //! $ cfinder explain <table[.column]> path/to/app [--schema schema.json]
+//! $ cfinder cache stats|clear <dir>
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
@@ -26,12 +27,24 @@
 //! * `--provenance` — in `--json` mode, attach to each missing constraint
 //!   its full provenance chain (pattern rule → file:line → table/columns
 //!   → DDL).
+//! * `--cache-dir DIR` — enable the incremental analysis cache: per-file
+//!   analysis facts are memoized on disk keyed by content hash and tool
+//!   fingerprint, so re-running over an unchanged tree skips parsing and
+//!   detection entirely while producing a byte-identical report. DIR is
+//!   created if needed; an unwritable or non-directory path is a usage
+//!   error (exit 2). The `CFINDER_CACHE_DIR` environment variable supplies
+//!   a default; `--no-cache` overrides both.
 //! * `--strict` — treat any incident (recovered syntax error, dropped
 //!   file, worker panic) as a failure: exit 3 instead of 0/1.
 //! * `--max-file-bytes N` — skip files larger than N bytes (`0` disables
 //!   the cap; defaults to 8 MiB or `CFINDER_MAX_FILE_BYTES`).
 //! * `--ablate null-guard|data-dep|composite|partial` — disable an
 //!   analysis feature (repeatable; for experimentation).
+//!
+//! The `cache` subcommand inspects or resets a cache directory:
+//! `cfinder cache stats <dir>` prints entry/shard/byte counts, `cfinder
+//! cache clear <dir>` removes every entry (only files matching the
+//! cache's own layout are touched).
 //!
 //! The `explain` subcommand answers "why does CFinder want a constraint on
 //! this column?": it analyzes the app, finds every inferred constraint on
@@ -54,8 +67,12 @@
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
+use std::sync::Arc;
 
-use cfinder::core::{AppSource, CFinder, CFinderOptions, Limits, Obs, SourceFile};
+use cfinder::core::{
+    cache::CACHE_DIR_ENV, AnalysisCache, AppSource, CFinder, CFinderOptions, Limits, Obs,
+    SourceFile,
+};
 use cfinder::schema::Schema;
 
 struct Outcome {
@@ -64,7 +81,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -90,12 +107,17 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     if args.first().is_some_and(|a| a == "explain") {
         return run_explain(&args[1..]);
     }
+    if args.first().is_some_and(|a| a == "cache") {
+        return run_cache(&args[1..]);
+    }
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
     let mut json = false;
     let mut timings = false;
     let mut strict = false;
     let mut provenance = false;
+    let mut cache_dir: Option<PathBuf> = std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from);
+    let mut no_cache = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
     let mut options = CFinderOptions::default();
@@ -112,6 +134,11 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             "--timings" => timings = true,
             "--strict" => strict = true,
             "--provenance" => provenance = true,
+            "--cache-dir" => {
+                let v = it.next().ok_or("--cache-dir requires a directory argument")?;
+                cache_dir = Some(PathBuf::from(v));
+            }
+            "--no-cache" => no_cache = true,
             "--trace-out" => {
                 let v = it.next().ok_or("--trace-out requires a file argument")?;
                 trace_out = Some(PathBuf::from(v));
@@ -149,10 +176,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
 
     let obs =
         if trace_out.is_some() || metrics_out.is_some() { Obs::enabled() } else { Obs::disabled() };
-    let report = CFinder::with_options(options)
-        .with_limits(limits)
-        .with_obs(obs.clone())
-        .analyze(&app, &declared);
+    let mut finder = CFinder::with_options(options).with_limits(limits).with_obs(obs.clone());
+    // The cache is opened *before* analysis so an unusable directory is a
+    // typed usage error (exit 2) up front, not an io panic mid-run.
+    if let (Some(cache_dir), false) = (&cache_dir, no_cache) {
+        let cache = AnalysisCache::open(cache_dir, &options, &limits).map_err(|e| e.to_string())?;
+        finder = finder.with_cache(Arc::new(cache));
+    }
+    let report = finder.analyze(&app, &declared);
     let coverage = report.coverage();
 
     if let Some(path) = &trace_out {
@@ -181,6 +212,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             diff_seconds: f64,
             orchestration_seconds: f64,
             threads: usize,
+            cache_hits: usize,
+            cache_misses: usize,
+            files_parsed: usize,
         }
         #[derive(serde::Serialize)]
         struct JsonProvenance {
@@ -243,6 +277,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 diff_seconds: report.timings.diff.as_secs_f64(),
                 orchestration_seconds: report.timings.orchestration.as_secs_f64(),
                 threads: report.timings.threads,
+                cache_hits: report.timings.cache_hits,
+                cache_misses: report.timings.cache_misses,
+                files_parsed: report.timings.files_parsed,
             }),
             missing: &report.missing,
             provenance: provenance.then(|| {
@@ -282,6 +319,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             ] {
                 let secs = d.as_secs_f64();
                 eprintln!("{label:<15} {secs:>9.3} {:>7.1}", 100.0 * secs / total);
+            }
+            if cache_dir.is_some() && !no_cache {
+                eprintln!(
+                    "cache: {} hit(s), {} miss(es); {} file(s) parsed from source",
+                    t.cache_hits, t.cache_misses, t.files_parsed
+                );
             }
             eprintln!("({} threads)", t.threads);
         }
@@ -380,6 +423,34 @@ fn run_explain(args: &[String]) -> Result<Outcome, String> {
         println!("no inferred constraint on `{target}` (analyzed {} files)", app.files.len());
     }
     Ok(Outcome { missing: usize::from(explained == 0), incidents: 0, strict: false })
+}
+
+/// `cfinder cache stats|clear <dir>`: inspect or reset a cache directory.
+fn run_cache(args: &[String]) -> Result<Outcome, String> {
+    let (action, dir) = match args {
+        [action, dir] => (action.as_str(), Path::new(dir)),
+        _ => return Err("cache requires an action (stats|clear) and a directory".to_string()),
+    };
+    match action {
+        "stats" => {
+            let stats = AnalysisCache::stats(dir).map_err(|e| e.to_string())?;
+            println!("{}: {stats}", dir.display());
+        }
+        "clear" => {
+            let removed = AnalysisCache::clear(dir).map_err(|e| e.to_string())?;
+            println!("{}: removed {removed} entr{}", dir.display(), plural_y(removed));
+        }
+        other => return Err(format!("unknown cache action `{other}` (expected stats or clear)")),
+    }
+    Ok(Outcome { missing: 0, incidents: 0, strict: false })
+}
+
+fn plural_y(n: usize) -> &'static str {
+    if n == 1 {
+        "y"
+    } else {
+        "ies"
+    }
 }
 
 fn print_chains(chains: &[cfinder::core::Provenance]) {

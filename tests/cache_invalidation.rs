@@ -1,0 +1,194 @@
+//! The invalidation matrix: every ingredient of the cache key — file
+//! content, fingerprint salt, analyzer options, resource limits, the
+//! deadline (including its environment knob), and the entry format —
+//! must invalidate exactly the entries it covers; damaged entries must
+//! degrade to typed misses with the answer recomputed, never a panic or
+//! a wrong result.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use cfinder::core::detect::DEADLINE_ENV;
+use cfinder::core::{
+    AnalysisCache, AnalysisReport, AppSource, CFinder, CFinderOptions, IncidentKind, Limits,
+    SourceFile,
+};
+use cfinder::corpus::{all_profiles, generate, GenOptions};
+
+const SCALE: GenOptions = GenOptions { loc_scale: 0.01 };
+
+fn to_source(app: &cfinder::corpus::GeneratedApp) -> AppSource {
+    AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    )
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfinder-cache-inv-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+/// All entry files (both parse and detect entries) under a cache root.
+fn entry_files(root: &PathBuf) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    for shard in fs::read_dir(root).expect("read cache root").flatten() {
+        if !shard.path().is_dir() {
+            continue;
+        }
+        for entry in fs::read_dir(shard.path()).expect("read shard").flatten() {
+            if entry.path().extension().is_some_and(|x| x == "json") {
+                files.push(entry.path());
+            }
+        }
+    }
+    files.sort();
+    files
+}
+
+fn run(
+    app: &cfinder::corpus::GeneratedApp,
+    source: &AppSource,
+    cache: Arc<AnalysisCache>,
+) -> AnalysisReport {
+    CFinder::new().with_threads(2).with_cache(cache).analyze(source, &app.declared)
+}
+
+#[test]
+fn fingerprint_salt_options_and_limits_each_invalidate_the_whole_shard() {
+    let app = generate(&all_profiles()[0], SCALE);
+    let source = to_source(&app);
+    let files = app.files.len();
+    let dir = temp_dir("fingerprint");
+
+    let options = CFinderOptions::default();
+    let limits = Limits::default();
+    let base = Arc::new(AnalysisCache::open_with_salt(&dir, &options, &limits, "").unwrap());
+    run(&app, &source, base.clone()); // populate
+    let warm = run(&app, &source, base.clone());
+    assert_eq!((warm.timings.cache_hits, warm.timings.cache_misses), (files, 0));
+
+    // Each variant is a different tool fingerprint: its lookups all miss,
+    // and the base shard's entries are untouched (still fully warm after).
+    let salted = AnalysisCache::open_with_salt(&dir, &options, &limits, "bumped").unwrap();
+    let ablated = AnalysisCache::open_with_salt(
+        &dir,
+        &CFinderOptions { null_guard_analysis: false, ..options },
+        &limits,
+        "",
+    )
+    .unwrap();
+    let capped = AnalysisCache::open_with_salt(
+        &dir,
+        &options,
+        &Limits { max_tokens: 777_777, ..limits },
+        "",
+    )
+    .unwrap();
+    for (what, variant) in [("salt", salted), ("options", ablated), ("limits", capped)] {
+        assert_ne!(variant.fingerprint(), base.fingerprint(), "{what}");
+        let cold = run(&app, &source, Arc::new(variant));
+        assert_eq!(cold.timings.cache_hits, 0, "{what}: expected a fully cold shard");
+        assert_eq!(cold.timings.cache_misses, files, "{what}");
+    }
+    let still_warm = run(&app, &source, base);
+    assert_eq!(
+        (still_warm.timings.cache_hits, still_warm.timings.files_parsed),
+        (files, 0),
+        "foreign fingerprints must not disturb the base shard"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn deadline_env_changes_the_tool_fingerprint() {
+    // `Limits::from_env` is what the CLI feeds the cache, so the
+    // environment knob must round-trip into a distinct fingerprint.
+    let options = CFinderOptions::default();
+    let dir = temp_dir("deadline");
+    std::env::remove_var(DEADLINE_ENV);
+    let without = AnalysisCache::open_with_salt(&dir, &options, &Limits::from_env(), "").unwrap();
+    std::env::set_var(DEADLINE_ENV, "120000");
+    let with = AnalysisCache::open_with_salt(&dir, &options, &Limits::from_env(), "").unwrap();
+    std::env::remove_var(DEADLINE_ENV);
+    assert_ne!(without.fingerprint(), with.fingerprint());
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn damaged_entries_are_typed_misses_never_panics_or_wrong_results() {
+    let app = generate(&all_profiles()[0], SCALE);
+    let source = to_source(&app);
+    let reference = CFinder::new().analyze(&source, &app.declared).stable_json();
+    let options = CFinderOptions::default();
+    let limits = Limits::default();
+
+    // Three damage modes: truncation, non-JSON garbage, and a stale
+    // format version (valid JSON claiming a future entry format).
+    for (mode, damage) in [
+        ("truncated", "{\"format\""),
+        ("garbage", "\u{0}\u{1}not json at all"),
+        ("future-format", "{\"format\":999,\"path\":\"x\",\"content_hash\":\"y\"}"),
+    ] {
+        let dir = temp_dir(&format!("damage-{mode}"));
+        let cache = Arc::new(AnalysisCache::open_with_salt(&dir, &options, &limits, "").unwrap());
+        run(&app, &source, cache.clone()); // populate
+
+        let entries = entry_files(&dir);
+        assert!(!entries.is_empty());
+        for file in &entries {
+            fs::write(file, damage).unwrap();
+        }
+        let recovered = run(&app, &source, cache.clone());
+        assert_eq!(
+            recovered.stable_json(),
+            reference,
+            "{mode}: damaged entries changed the answer"
+        );
+        assert_eq!(recovered.timings.cache_hits, 0, "{mode}");
+        assert!(
+            recovered.incidents.iter().any(|i| i.kind == IncidentKind::CacheCorrupt),
+            "{mode}: expected typed cache-corruption incidents"
+        );
+        // The incidents are diagnostics, not coverage events: the stable
+        // report treats the run as clean.
+        assert_eq!(recovered.coverage().percent_clean(), 100.0, "{mode}");
+
+        // The recomputation healed the cache: fully warm again.
+        let healed = run(&app, &source, cache);
+        assert_eq!(healed.stable_json(), reference, "{mode}");
+        assert_eq!(healed.timings.files_parsed, 0, "{mode}: recompute did not heal the cache");
+        assert!(healed.incidents.iter().all(|i| i.kind != IncidentKind::CacheCorrupt), "{mode}");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}
+
+#[test]
+fn damaging_one_entry_leaves_every_other_entry_warm() {
+    let app = generate(&all_profiles()[0], SCALE);
+    let source = to_source(&app);
+    let reference = CFinder::new().analyze(&source, &app.declared).stable_json();
+    let dir = temp_dir("single");
+    let cache = Arc::new(
+        AnalysisCache::open_with_salt(&dir, &CFinderOptions::default(), &Limits::default(), "")
+            .unwrap(),
+    );
+    run(&app, &source, cache.clone()); // populate
+
+    let entries = entry_files(&dir);
+    fs::write(&entries[entries.len() / 2], "{\"truncated").unwrap();
+    let recovered = run(&app, &source, cache);
+    assert_eq!(recovered.stable_json(), reference);
+    assert_eq!(
+        recovered.incidents.iter().filter(|i| i.kind == IncidentKind::CacheCorrupt).count(),
+        1,
+        "exactly the damaged entry should surface"
+    );
+    // The damaged file was either a parse entry (a pass-0 miss) or a
+    // detect entry (a pass-0 hit whose detection re-ran); both cost at
+    // most one re-parse.
+    assert!(recovered.timings.files_parsed <= 1, "{:?}", recovered.timings);
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -194,6 +194,139 @@ fn max_file_bytes_flag_drops_oversized_files() {
 }
 
 #[test]
+fn cache_dir_makes_second_run_warm_with_identical_results() {
+    let dir = temp_dir("cache-warm");
+    write_demo_with_broken_file(&dir);
+    let cache = dir.join("cache");
+    let run = || {
+        Command::new(env!("CARGO_BIN_EXE_cfinder"))
+            .arg(dir.join("app"))
+            .arg("--cache-dir")
+            .arg(&cache)
+            .arg("--json")
+            .arg("--timings")
+            .output()
+            .expect("binary runs")
+    };
+    let cold = run();
+    let warm = run();
+    assert_eq!(cold.status.code(), warm.status.code());
+
+    let cold_v: serde_json::Value = serde_json::from_slice(&cold.stdout).expect("valid JSON");
+    let warm_v: serde_json::Value = serde_json::from_slice(&warm.stdout).expect("valid JSON");
+    let semantic = |v: &serde_json::Value| -> Vec<(String, serde_json::Value)> {
+        v.as_map()
+            .unwrap()
+            .iter()
+            .filter(|(k, _)| k != "timings" && k != "analysis_seconds")
+            .cloned()
+            .collect()
+    };
+    assert_eq!(
+        format!("{:?}", semantic(&cold_v)),
+        format!("{:?}", semantic(&warm_v)),
+        "cached runs must agree on everything but timings"
+    );
+    let cold_t = cold_v.get("timings").unwrap();
+    let warm_t = warm_v.get("timings").unwrap();
+
+    assert_eq!(cold_t["cache_hits"].as_u64(), Some(0));
+    assert!(cold_t["cache_misses"].as_u64().unwrap() > 0);
+    assert!(cold_t["files_parsed"].as_u64().unwrap() > 0);
+    assert_eq!(warm_t["cache_misses"].as_u64(), Some(0));
+    assert_eq!(warm_t["files_parsed"].as_u64(), Some(0), "warm run must parse nothing");
+}
+
+#[test]
+fn unusable_cache_dir_is_a_usage_error() {
+    let dir = temp_dir("cache-bad");
+    write_demo(&dir);
+    // A plain file where the cache directory should be.
+    let occupied = dir.join("occupied");
+    fs::write(&occupied, "not a directory").unwrap();
+    for bad in [occupied.clone(), occupied.join("nested")] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+            .arg(dir.join("app"))
+            .arg("--cache-dir")
+            .arg(&bad)
+            .output()
+            .expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        assert!(stderr.contains("cache dir"), "{stderr}");
+    }
+    // A missing value is a usage error too.
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--cache-dir")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn no_cache_flag_overrides_the_env_default() {
+    let dir = temp_dir("cache-nocache");
+    write_demo(&dir);
+    let cache = dir.join("cache");
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--no-cache")
+        .env("CFINDER_CACHE_DIR", &cache)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    assert!(!cache.exists(), "--no-cache must not touch the directory");
+}
+
+#[test]
+fn cache_subcommand_reports_and_clears() {
+    let dir = temp_dir("cache-subcmd");
+    write_demo(&dir);
+    let cache = dir.join("cache");
+    let analyzed = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--cache-dir")
+        .arg(&cache)
+        .output()
+        .expect("binary runs");
+    assert_eq!(analyzed.status.code(), Some(1), "{analyzed:?}");
+
+    let stats = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg("cache")
+        .arg("stats")
+        .arg(&cache)
+        .output()
+        .expect("binary runs");
+    assert_eq!(stats.status.code(), Some(0), "{stats:?}");
+    let text = String::from_utf8_lossy(&stats.stdout);
+    assert!(text.contains("entries"), "{text}");
+    assert!(!text.contains("0 entries"), "analysis should have populated the cache: {text}");
+
+    let cleared = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg("cache")
+        .arg("clear")
+        .arg(&cache)
+        .output()
+        .expect("binary runs");
+    assert_eq!(cleared.status.code(), Some(0), "{cleared:?}");
+    let stats = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg("cache")
+        .arg("stats")
+        .arg(&cache)
+        .output()
+        .expect("binary runs");
+    assert!(String::from_utf8_lossy(&stats.stdout).contains("0 entries"));
+
+    // Usage errors: missing action, unknown action, missing directory.
+    for args in [vec!["cache"], vec!["cache", "defrag", "x"], vec!["cache", "stats"]] {
+        let out =
+            Command::new(env!("CARGO_BIN_EXE_cfinder")).args(&args).output().expect("binary runs");
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+    }
+}
+
+#[test]
 fn cli_analyzes_an_exported_corpus_app() {
     use cfinder::corpus::{generate, profile, GenOptions};
     let dir = temp_dir("corpus");

@@ -5,10 +5,14 @@
 //! detections of untouched files (degradation monotonicity).
 
 use std::collections::BTreeSet;
+use std::fs;
+use std::path::PathBuf;
+use std::sync::Arc;
 use std::time::Duration;
 
 use cfinder::core::{
-    AnalysisReport, AppSource, CFinder, Detection, IncidentKind, Limits, SourceFile,
+    AnalysisCache, AnalysisReport, AppSource, CFinder, CFinderOptions, Detection, IncidentKind,
+    Limits, SourceFile,
 };
 use cfinder::corpus::{all_profiles, generate, inject_faults, inject_panic_marker, GenOptions};
 use cfinder::schema::Constraint;
@@ -40,6 +44,27 @@ fn analyze(app: &cfinder::corpus::GeneratedApp, threads: usize, limits: Limits) 
         .with_limits(limits)
         .with_obs(test_obs())
         .analyze(&to_source(app), &app.declared)
+}
+
+fn analyze_cached(
+    app: &cfinder::corpus::GeneratedApp,
+    threads: usize,
+    limits: Limits,
+    cache: Arc<AnalysisCache>,
+) -> AnalysisReport {
+    CFinder::new()
+        .with_threads(threads)
+        .with_limits(limits)
+        .with_obs(test_obs())
+        .with_cache(cache)
+        .analyze(&to_source(app), &app.declared)
+}
+
+fn cache_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cfinder-fault-cache-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
 }
 
 /// Every non-timing field of the report, rendered for byte comparison.
@@ -187,6 +212,94 @@ fn worker_panic_is_isolated_and_deterministic() {
     for threads in [2, 4] {
         assert_eq!(fingerprint(&analyze(&app, threads, limits)), reference, "{threads} threads");
     }
+}
+
+/// The acceptance matrix with the incremental cache in the loop: every
+/// corrupted variant analyzed cold and warm must reproduce the uncached
+/// run's fingerprint byte for byte — incidents and coverage included.
+/// A cached replay of a recovered-syntax or resource-guard incident is
+/// only correct if the entry round-trips the whole incident record.
+#[test]
+fn corrupted_corpus_with_cache_round_trips_incidents_and_coverage() {
+    let scale = GenOptions { loc_scale: 0.01 };
+    let limits = Limits::default();
+    let mut variants = 0;
+    for profile in all_profiles() {
+        let clean_app = generate(&profile, scale);
+        // One content-addressed directory per app: the 13 variants share
+        // it, so unchanged files hit across variants while each variant's
+        // corrupted files miss — the partial-invalidation path 104 times.
+        let dir = cache_dir(&format!("matrix-{}", profile.name));
+        let cache = Arc::new(
+            AnalysisCache::open(&dir, &CFinderOptions::default(), &limits).expect("open cache"),
+        );
+        for seed in 0..13u64 {
+            variants += 1;
+            let mut app = clean_app.clone();
+            let faults = inject_faults(&mut app, seed * 31 + 7, 3);
+            assert!(!faults.is_empty());
+
+            let uncached = analyze(&app, 1, limits);
+            let reference = fingerprint(&uncached);
+            let coverage = uncached.coverage();
+
+            let cold = analyze_cached(&app, 1, limits, cache.clone());
+            let warm = analyze_cached(&app, 4, limits, cache.clone());
+            for (what, report) in [("cold", &cold), ("warm", &warm)] {
+                assert_eq!(
+                    fingerprint(report),
+                    reference,
+                    "{} seed {seed}: {what} cached run diverged",
+                    profile.name
+                );
+                assert_eq!(
+                    report.coverage(),
+                    coverage,
+                    "{} seed {seed}: {what} coverage drifted",
+                    profile.name
+                );
+            }
+            assert_eq!(
+                warm.timings.files_parsed, 0,
+                "{} seed {seed}: warm run re-parsed files",
+                profile.name
+            );
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+    assert!(variants >= 100, "acceptance requires >= 100 corrupted variants, got {variants}");
+}
+
+/// Deadline drops are timing-dependent, so they must never be written
+/// back: a degraded run would otherwise poison every later run with
+/// "dropped" facts for files that parse fine when the machine is not
+/// overloaded.
+#[test]
+fn deadline_degraded_files_are_never_cached() {
+    let profile = cfinder::corpus::profile("oscar").expect("profile");
+    let app = generate(&profile, GenOptions { loc_scale: 0.01 });
+    let limits = Limits { deadline: Some(Duration::ZERO), ..Limits::default() };
+    let dir = cache_dir("deadline");
+    let cache = Arc::new(
+        AnalysisCache::open(&dir, &CFinderOptions::default(), &limits).expect("open cache"),
+    );
+
+    let degraded = analyze_cached(&app, 2, limits, cache.clone());
+    assert_eq!(degraded.incidents.len(), app.files.len());
+    assert!(degraded.incidents.iter().all(|i| i.kind == IncidentKind::Deadline));
+    assert_eq!(
+        AnalysisCache::stats(&dir).expect("stats").entries,
+        0,
+        "a deadline-degraded run must write nothing back"
+    );
+
+    // A second degraded run recomputes (and re-reports) every drop
+    // instead of replaying a cached "dropped" verdict as if it were a
+    // stable fact about the file.
+    let again = analyze_cached(&app, 2, limits, cache);
+    assert_eq!(again.timings.cache_hits, 0);
+    assert_eq!(again.incidents.len(), app.files.len());
+    let _ = fs::remove_dir_all(&dir);
 }
 
 /// A zero-millisecond deadline drops every file with a `deadline`
