@@ -62,6 +62,31 @@ impl Database {
         Database { enforcing: false, ..Database::new() }
     }
 
+    /// Builds an enforcing database from a whole [`Schema`] — every table,
+    /// then every declared constraint. This is how a parsed `schema.sql`
+    /// dump (see `cfinder-sql`) becomes an executable database, closing
+    /// the pipeline: SQL dump → diff → fix DDL → re-parse → enforce here.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`DbError`] from table creation or constraint
+    /// declaration (duplicate tables, dangling targets). Not-null
+    /// constraints already implied by column flags are skipped, not
+    /// double-declared.
+    pub fn from_schema(schema: &cfinder_schema::Schema) -> DbResult<Self> {
+        let mut db = Database::new();
+        for table in schema.tables() {
+            db.create_table(table.clone())?;
+        }
+        for constraint in schema.constraints().iter() {
+            if db.constraints.contains(constraint) {
+                continue;
+            }
+            db.add_constraint(constraint.clone())?;
+        }
+        Ok(db)
+    }
+
     /// Is constraint enforcement on?
     pub fn is_enforcing(&self) -> bool {
         self.enforcing
@@ -737,5 +762,26 @@ mod tests {
         db.drop_constraint(&Constraint::unique("users", ["email"])).unwrap();
         db.insert("users", [("email", Value::from("a"))]).unwrap();
         assert_eq!(db.row_count("users"), 2);
+    }
+
+    #[test]
+    fn from_schema_enforces_declared_constraints() {
+        let mut schema = cfinder_schema::Schema::new();
+        schema.add_table(users());
+        schema.add_table(
+            Table::new("orders").with_column(Column::new("user_id", ColumnType::BigInt)),
+        );
+        schema.add_constraint(Constraint::unique("users", ["email"])).unwrap();
+        schema.add_constraint(Constraint::foreign_key("orders", "user_id", "users", "id")).unwrap();
+
+        let mut db = Database::from_schema(&schema).unwrap();
+        assert_eq!(db.table_names(), vec!["orders".to_string(), "users".to_string()]);
+        assert_eq!(db.constraints().len(), schema.constraints().len());
+
+        db.insert("users", [("email", Value::from("a@x"))]).unwrap();
+        // Unique from the schema is live.
+        assert!(db.insert("users", [("email", Value::from("a@x"))]).is_err());
+        // FK from the schema is live.
+        assert!(db.insert("orders", [("user_id", Value::Int(99))]).is_err());
     }
 }

@@ -156,6 +156,17 @@ fn main() {
             existing.push_str(&format!("{}\n", c.describe().replace(',', ";")));
         }
         fs::write(dir.join("existing_constraints.csv"), existing).expect("write existing");
+        // Remediation DDL in every supported dialect, ready to review and
+        // apply: result/APP/fixes.{postgres,mysql,sqlite}.sql.
+        for dialect in cfinder_sql::Dialect::ALL {
+            let script = cfinder_sql::fix_script(
+                app.report.missing.iter().map(|m| &m.constraint),
+                dialect,
+                Some(&app.app.declared),
+                &app.app.name,
+            );
+            fs::write(dir.join(format!("fixes.{dialect}.sql")), script).expect("write fix script");
+        }
     }
 
     // Per-app coverage, incident, and timing summary in one machine-

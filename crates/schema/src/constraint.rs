@@ -194,30 +194,47 @@ impl Constraint {
 
     /// Renders the `ALTER TABLE` DDL that adds this constraint — what a
     /// developer would paste into a migration after confirming a report.
+    ///
+    /// Identifiers are always double-quoted (PostgreSQL style): the
+    /// paper's own running example constrains a table named `order`, a
+    /// reserved word in every major dialect, so unquoted emission produced
+    /// invalid SQL. This is the canonical PostgreSQL form; `cfinder-sql`'s
+    /// `constraint_ddl` generalizes it to MySQL and SQLite and a drift
+    /// test there pins the two implementations together.
     pub fn ddl(&self) -> String {
+        fn q(ident: &str) -> String {
+            format!("\"{}\"", ident.replace('"', "\"\""))
+        }
         match self {
             Constraint::NotNull { table, column } => {
-                format!("ALTER TABLE {table} ALTER COLUMN {column} SET NOT NULL;")
+                format!("ALTER TABLE {} ALTER COLUMN {} SET NOT NULL;", q(table), q(column))
             }
             Constraint::Unique { table, columns, conditions } => {
-                let cols = columns.join(", ");
+                let cols: Vec<String> = columns.iter().map(|c| q(c)).collect();
+                let cols = cols.join(", ");
+                let name = q(&format!("uq_{table}_{}", columns.join("_")));
                 if conditions.is_empty() {
-                    format!(
-                        "ALTER TABLE {table} ADD CONSTRAINT uq_{table}_{} UNIQUE ({cols});",
-                        columns.join("_")
-                    )
+                    format!("ALTER TABLE {} ADD CONSTRAINT {name} UNIQUE ({cols});", q(table))
                 } else {
                     // Partial uniques need a partial unique index (PostgreSQL).
-                    let conds: Vec<String> = conditions.iter().map(|c| c.to_string()).collect();
+                    let conds: Vec<String> = conditions
+                        .iter()
+                        .map(|c| format!("{} = {}", q(&c.column), c.value))
+                        .collect();
                     format!(
-                        "CREATE UNIQUE INDEX uq_{table}_{} ON {table} ({cols}) WHERE {};",
-                        columns.join("_"),
+                        "CREATE UNIQUE INDEX {name} ON {} ({cols}) WHERE {};",
+                        q(table),
                         conds.join(" AND ")
                     )
                 }
             }
             Constraint::ForeignKey { table, column, ref_table, ref_column } => format!(
-                "ALTER TABLE {table} ADD CONSTRAINT fk_{table}_{column} FOREIGN KEY ({column}) REFERENCES {ref_table}({ref_column});"
+                "ALTER TABLE {} ADD CONSTRAINT {} FOREIGN KEY ({}) REFERENCES {}({});",
+                q(table),
+                q(&format!("fk_{table}_{column}")),
+                q(column),
+                q(ref_table),
+                q(ref_column)
             ),
         }
     }
@@ -426,15 +443,15 @@ mod tests {
     fn ddl_generation() {
         assert_eq!(
             Constraint::not_null("orders", "total").ddl(),
-            "ALTER TABLE orders ALTER COLUMN total SET NOT NULL;"
+            "ALTER TABLE \"orders\" ALTER COLUMN \"total\" SET NOT NULL;"
         );
         assert_eq!(
             Constraint::unique("users", ["email"]).ddl(),
-            "ALTER TABLE users ADD CONSTRAINT uq_users_email UNIQUE (email);"
+            "ALTER TABLE \"users\" ADD CONSTRAINT \"uq_users_email\" UNIQUE (\"email\");"
         );
         assert_eq!(
             Constraint::foreign_key("orders", "basket_id", "baskets", "id").ddl(),
-            "ALTER TABLE orders ADD CONSTRAINT fk_orders_basket_id FOREIGN KEY (basket_id) REFERENCES baskets(id);"
+            "ALTER TABLE \"orders\" ADD CONSTRAINT \"fk_orders_basket_id\" FOREIGN KEY (\"basket_id\") REFERENCES \"baskets\"(\"id\");"
         );
         let partial = Constraint::partial_unique(
             "vouchers",
@@ -443,7 +460,31 @@ mod tests {
         );
         assert_eq!(
             partial.ddl(),
-            "CREATE UNIQUE INDEX uq_vouchers_code ON vouchers (code) WHERE active = TRUE;"
+            "CREATE UNIQUE INDEX \"uq_vouchers_code\" ON \"vouchers\" (\"code\") WHERE \"active\" = TRUE;"
+        );
+    }
+
+    #[test]
+    fn ddl_quotes_reserved_word_identifiers() {
+        // Regression for the paper's §3 running example: table `order` is
+        // a reserved word in PostgreSQL, MySQL, and SQLite — the unquoted
+        // emission this replaced produced invalid SQL for it.
+        assert_eq!(
+            Constraint::not_null("order", "total").ddl(),
+            "ALTER TABLE \"order\" ALTER COLUMN \"total\" SET NOT NULL;"
+        );
+        assert_eq!(
+            Constraint::unique("order", ["number"]).ddl(),
+            "ALTER TABLE \"order\" ADD CONSTRAINT \"uq_order_number\" UNIQUE (\"number\");"
+        );
+        assert_eq!(
+            Constraint::foreign_key("order", "basket_id", "basket", "id").ddl(),
+            "ALTER TABLE \"order\" ADD CONSTRAINT \"fk_order_basket_id\" FOREIGN KEY (\"basket_id\") REFERENCES \"basket\"(\"id\");"
+        );
+        // Embedded quotes are doubled, never truncated.
+        assert_eq!(
+            Constraint::not_null("we\"ird", "c").ddl(),
+            "ALTER TABLE \"we\"\"ird\" ALTER COLUMN \"c\" SET NOT NULL;"
         );
     }
 

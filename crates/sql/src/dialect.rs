@@ -1,0 +1,120 @@
+//! SQL dialects and their identifier-quoting rules.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// The SQL dialects the backend can emit and ingest.
+///
+/// The parser is dialect-agnostic on input — it accepts every quoting
+/// style and dialect-specific construct of the grammar subset at once, the
+/// way real dumps mix them — while emission is parameterized so the
+/// generated DDL pastes cleanly into the target database's shell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Dialect {
+    /// PostgreSQL: double-quoted identifiers, `ALTER COLUMN … SET NOT
+    /// NULL`, native partial unique indexes.
+    Postgres,
+    /// MySQL / MariaDB: backtick identifiers, `MODIFY COLUMN` for
+    /// nullability changes, no partial indexes (emulated, flagged).
+    MySql,
+    /// SQLite: double-quoted identifiers, `CREATE UNIQUE INDEX` for every
+    /// unique (no `ADD CONSTRAINT`), in-place `ALTER` limited (flagged).
+    Sqlite,
+}
+
+impl Dialect {
+    /// All dialects, in the order used for per-app fix-script artifacts.
+    pub const ALL: [Dialect; 3] = [Dialect::Postgres, Dialect::MySql, Dialect::Sqlite];
+
+    /// Canonical lowercase name (`postgres`, `mysql`, `sqlite`) — the CLI
+    /// flag value and the fix-script file tag.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dialect::Postgres => "postgres",
+            Dialect::MySql => "mysql",
+            Dialect::Sqlite => "sqlite",
+        }
+    }
+
+    /// Quotes an identifier for this dialect, escaping embedded quote
+    /// characters by doubling them.
+    ///
+    /// Every emitted identifier is quoted unconditionally: the paper's own
+    /// running example constrains a table named `order`, a reserved word
+    /// in all three dialects, and unconditional quoting is the only rule
+    /// that is correct for every identifier without a reserved-word table.
+    pub fn quote(&self, ident: &str) -> String {
+        match self {
+            Dialect::Postgres | Dialect::Sqlite => {
+                format!("\"{}\"", ident.replace('"', "\"\""))
+            }
+            Dialect::MySql => format!("`{}`", ident.replace('`', "``")),
+        }
+    }
+}
+
+impl fmt::Display for Dialect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Dialect {
+    type Err = String;
+
+    /// Parses a dialect name, accepting the common aliases
+    /// (`postgresql`/`pg`, `mariadb`, `sqlite3`). Case-insensitive.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "postgres" | "postgresql" | "pg" => Ok(Dialect::Postgres),
+            "mysql" | "mariadb" => Ok(Dialect::MySql),
+            "sqlite" | "sqlite3" => Ok(Dialect::Sqlite),
+            other => {
+                Err(format!("unknown dialect `{other}` (expected postgres, mysql, or sqlite)"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quoting_styles() {
+        assert_eq!(Dialect::Postgres.quote("order"), "\"order\"");
+        assert_eq!(Dialect::Sqlite.quote("order"), "\"order\"");
+        assert_eq!(Dialect::MySql.quote("order"), "`order`");
+    }
+
+    #[test]
+    fn embedded_quotes_are_doubled() {
+        assert_eq!(Dialect::Postgres.quote("we\"ird"), "\"we\"\"ird\"");
+        assert_eq!(Dialect::MySql.quote("we`ird"), "`we``ird`");
+    }
+
+    #[test]
+    fn parses_names_and_aliases() {
+        for (alias, want) in [
+            ("postgres", Dialect::Postgres),
+            ("PostgreSQL", Dialect::Postgres),
+            ("pg", Dialect::Postgres),
+            ("mysql", Dialect::MySql),
+            ("mariadb", Dialect::MySql),
+            ("SQLite", Dialect::Sqlite),
+            ("sqlite3", Dialect::Sqlite),
+        ] {
+            assert_eq!(alias.parse::<Dialect>().unwrap(), want, "{alias}");
+        }
+        assert!("oracle".parse::<Dialect>().is_err());
+    }
+
+    #[test]
+    fn name_round_trips_for_all() {
+        for d in Dialect::ALL {
+            assert_eq!(d.name().parse::<Dialect>().unwrap(), d);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Typed errors for SQL lexing and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Classifies a [`SqlError`] so callers can map problems onto a typed
+/// taxonomy without matching on message strings (the same discipline as
+/// `cfinder_pyast::ParseErrorKind`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SqlErrorKind {
+    /// Malformed SQL detected while lexing or parsing.
+    #[default]
+    Syntax,
+    /// Valid-looking SQL whose semantics our constraint model cannot
+    /// represent (expression index columns, composite foreign keys,
+    /// non-equality partial-index predicates); the statement is skipped.
+    Unsupported,
+    /// A resource guard fired (token budget, nesting depth, error cap);
+    /// parsing was abandoned at that point instead of degrading further.
+    Limit,
+}
+
+impl fmt::Display for SqlErrorKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            SqlErrorKind::Syntax => "syntax",
+            SqlErrorKind::Unsupported => "unsupported",
+            SqlErrorKind::Limit => "limit",
+        })
+    }
+}
+
+/// An error produced while lexing or parsing SQL DDL.
+///
+/// Carries the 1-based source line so callers can render `schema.sql:LINE`
+/// diagnostics; statement-level recovery means one input can yield many.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlError {
+    /// Human-readable description of what went wrong.
+    pub message: String,
+    /// 1-based line where the error was detected.
+    pub line: u32,
+    /// What class of failure this is.
+    pub kind: SqlErrorKind,
+}
+
+impl SqlError {
+    /// Creates a new syntax error at `line`.
+    pub fn new(message: impl Into<String>, line: u32) -> Self {
+        SqlError { message: message.into(), line, kind: SqlErrorKind::Syntax }
+    }
+
+    /// Creates an unsupported-construct error at `line`.
+    pub fn unsupported(message: impl Into<String>, line: u32) -> Self {
+        SqlError { message: message.into(), line, kind: SqlErrorKind::Unsupported }
+    }
+
+    /// Creates a resource-limit error at `line`.
+    pub fn limit(message: impl Into<String>, line: u32) -> Self {
+        SqlError { message: message.into(), line, kind: SqlErrorKind::Limit }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {} [{}]", self.line, self.message, self.kind)
+    }
+}
+
+impl Error for SqlError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_line_and_kind() {
+        let e = SqlError::unsupported("composite foreign key", 7);
+        assert_eq!(e.to_string(), "line 7: composite foreign key [unsupported]");
+        assert_eq!(SqlError::new("x", 1).kind, SqlErrorKind::Syntax);
+        assert_eq!(SqlError::limit("x", 1).kind, SqlErrorKind::Limit);
+    }
+}

@@ -1,0 +1,195 @@
+//! Seeded fault injection for SQL dumps.
+//!
+//! Mirrors `cfinder_corpus::faults` — the same mutation taxonomy, retargeted
+//! at `schema.sql` inputs — so the never-panic property of the SQL parser is
+//! exercised by the same classes of corruption the Python front end
+//! survives. Deliberately dependency-free: a splitmix64 generator keeps the
+//! crate free of even the vendored `rand` while staying deterministic
+//! per seed.
+
+/// The kinds of corruption injected into SQL dumps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SqlFaultKind {
+    /// Truncate the dump mid-statement (a partial download or full disk).
+    Truncate,
+    /// Splice non-SQL bytes into the middle of the dump.
+    StrayBytes,
+    /// Remove a closing `'` so a string literal swallows the rest.
+    UnterminatedString,
+    /// Wrap a statement in pathologically deep parentheses.
+    DeepNesting,
+    /// Flip quoting styles mid-identifier (`"name`` ` and friends).
+    MixedQuotes,
+}
+
+impl SqlFaultKind {
+    /// All fault kinds, for exhaustive sweeps.
+    pub const ALL: [SqlFaultKind; 5] = [
+        SqlFaultKind::Truncate,
+        SqlFaultKind::StrayBytes,
+        SqlFaultKind::UnterminatedString,
+        SqlFaultKind::DeepNesting,
+        SqlFaultKind::MixedQuotes,
+    ];
+
+    /// Stable label for diagnostics.
+    pub fn label(&self) -> &'static str {
+        match self {
+            SqlFaultKind::Truncate => "truncate",
+            SqlFaultKind::StrayBytes => "stray-bytes",
+            SqlFaultKind::UnterminatedString => "unterminated-string",
+            SqlFaultKind::DeepNesting => "deep-nesting",
+            SqlFaultKind::MixedQuotes => "mixed-quotes",
+        }
+    }
+}
+
+/// A minimal deterministic PRNG (splitmix64).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform index in `0..bound` (bound must be non-zero).
+    fn below(&mut self, bound: usize) -> usize {
+        (self.next() % bound as u64) as usize
+    }
+}
+
+/// Applies one seeded fault to a SQL dump. Deterministic: the same
+/// `(sql, kind, seed)` triple always yields the same mutant.
+pub fn mutate(sql: &str, kind: SqlFaultKind, seed: u64) -> String {
+    let mut rng = SplitMix64(seed ^ 0xC0FF_EE00_5EED_0001);
+    match kind {
+        SqlFaultKind::Truncate => {
+            if sql.is_empty() {
+                return String::new();
+            }
+            let mut cut = rng.below(sql.len());
+            while !sql.is_char_boundary(cut) {
+                cut -= 1;
+            }
+            sql[..cut].to_string()
+        }
+        SqlFaultKind::StrayBytes => {
+            let noise = ["\u{0}\u{1}\u{2}", "%%@@!!", "\\x00\\xff", "<<<<<<<", "\u{fffd}\u{fffd}"];
+            let mut at = if sql.is_empty() { 0 } else { rng.below(sql.len()) };
+            while at > 0 && !sql.is_char_boundary(at) {
+                at -= 1;
+            }
+            let mut out = String::with_capacity(sql.len() + 8);
+            out.push_str(&sql[..at]);
+            out.push_str(noise[rng.below(noise.len())]);
+            out.push_str(&sql[at..]);
+            out
+        }
+        SqlFaultKind::UnterminatedString => {
+            // Drop the last quote character so the string runs to EOF; if
+            // there is none, open a fresh one at a random spot.
+            if let Some(pos) = sql.rfind('\'') {
+                let mut out = String::with_capacity(sql.len());
+                out.push_str(&sql[..pos]);
+                out.push_str(&sql[pos + 1..]);
+                out
+            } else {
+                let mut at = if sql.is_empty() { 0 } else { rng.below(sql.len()) };
+                while at > 0 && !sql.is_char_boundary(at) {
+                    at -= 1;
+                }
+                format!("{}'{}", &sql[..at], &sql[at..])
+            }
+        }
+        SqlFaultKind::DeepNesting => {
+            let depth = 80 + rng.below(64);
+            format!(
+                "{sql}\nCREATE TABLE deep (c {}integer{});\n",
+                "(".repeat(depth),
+                ")".repeat(depth)
+            )
+        }
+        SqlFaultKind::MixedQuotes => {
+            // Swap a slice of quote characters for the other dialect's
+            // style, producing mismatched open/close pairs.
+            let mut out: Vec<char> = sql.chars().collect();
+            let mut flipped = 0;
+            let budget = 1 + rng.below(4);
+            for ch in out.iter_mut() {
+                if flipped >= budget {
+                    break;
+                }
+                match *ch {
+                    '"' if rng.below(2) == 0 => {
+                        *ch = '`';
+                        flipped += 1;
+                    }
+                    '`' if rng.below(2) == 0 => {
+                        *ch = '"';
+                        flipped += 1;
+                    }
+                    '\'' if rng.below(3) == 0 => {
+                        *ch = '"';
+                        flipped += 1;
+                    }
+                    _ => {}
+                }
+            }
+            if flipped == 0 {
+                // No quotes to flip: inject a lone backtick instead.
+                return format!("`{sql}");
+            }
+            out.into_iter().collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse_sql;
+
+    const SAMPLE: &str = r#"
+        CREATE TABLE "order" (
+            "id" bigserial PRIMARY KEY,
+            "number" varchar(128) NOT NULL DEFAULT 'n/a',
+            "basket_id" bigint REFERENCES "basket" ("id")
+        );
+        CREATE UNIQUE INDEX uq ON "order" ("number") WHERE ("active" = TRUE);
+    "#;
+
+    #[test]
+    fn mutation_is_deterministic() {
+        for kind in SqlFaultKind::ALL {
+            assert_eq!(mutate(SAMPLE, kind, 7), mutate(SAMPLE, kind, 7), "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn mutants_change_the_input() {
+        for kind in SqlFaultKind::ALL {
+            assert_ne!(mutate(SAMPLE, kind, 3), SAMPLE, "{}", kind.label());
+        }
+    }
+
+    #[test]
+    fn parser_survives_every_fault_kind() {
+        for kind in SqlFaultKind::ALL {
+            for seed in 0..16 {
+                let mutant = mutate(SAMPLE, kind, seed);
+                let _ = parse_sql(&mutant); // must not panic
+            }
+        }
+    }
+
+    #[test]
+    fn empty_input_is_safe() {
+        for kind in SqlFaultKind::ALL {
+            let _ = parse_sql(&mutate("", kind, 1));
+        }
+    }
+}

@@ -1,0 +1,333 @@
+//! A recovering SQL lexer for DDL dumps.
+//!
+//! Dialect-agnostic on input: one token stream accepts PostgreSQL, MySQL,
+//! and SQLite quoting at once — `"double-quoted"` (with `""` escape),
+//! `` `backticked` `` (with ``` `` ``` escape), `[bracketed]`, `'string'`
+//! literals (with `''` escape), `--`/`#` line comments, and `/* … */`
+//! block comments (including MySQL's `/*! … */` conditional form, which
+//! is skipped wholesale).
+//!
+//! Like `cfinder_pyast::lexer::lex_recovering`, lexing is total: malformed
+//! input (an unterminated string or quoted identifier, an over-long input)
+//! records a typed [`SqlError`] and the lexer keeps going or stops at a
+//! hard budget — it never panics.
+
+use crate::error::SqlError;
+
+/// Hard cap on the number of tokens produced from one input. A 16 MiB
+/// `schema.sql` dump is a few hundred thousand tokens; anything past this
+/// budget is hostile or corrupt, and lexing stops with a `Limit` error.
+pub const MAX_TOKENS: usize = 1_000_000;
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Bare word: identifier or keyword, original case preserved.
+    Word(String),
+    /// Quoted identifier, unescaped (`"a""b"` → `a"b`).
+    Quoted(String),
+    /// Numeric literal, raw text.
+    Num(String),
+    /// String literal, unescaped (`'it''s'` → `it's`).
+    Str(String),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `.`
+    Dot,
+    /// `;`
+    Semi,
+    /// Any other punctuation character (`=`, `-`, `+`, …).
+    Op(char),
+}
+
+/// A token plus the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// The token.
+    pub tok: Tok,
+    /// 1-based source line.
+    pub line: u32,
+}
+
+/// The result of lexing: tokens plus any recorded errors.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// The token stream (possibly truncated at a budget).
+    pub tokens: Vec<Token>,
+    /// Errors recorded along the way.
+    pub errors: Vec<SqlError>,
+}
+
+/// Lexes `src` into tokens, recovering from malformed input.
+pub fn lex(src: &str) -> Lexed {
+    let mut out = Lexed::default();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+
+    macro_rules! push {
+        ($tok:expr) => {{
+            if out.tokens.len() >= MAX_TOKENS {
+                out.errors.push(SqlError::limit(
+                    format!("input exceeds the {MAX_TOKENS}-token budget"),
+                    line,
+                ));
+                return out;
+            }
+            out.tokens.push(Token { tok: $tok, line });
+        }};
+    }
+
+    while i < chars.len() {
+        let c = chars[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => i += 1,
+            // Line comments: `--` (standard) and `#` (MySQL).
+            '-' if chars.get(i + 1) == Some(&'-') => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    i += 1;
+                }
+            }
+            // Block comments, including MySQL `/*! … */` conditionals.
+            '/' if chars.get(i + 1) == Some(&'*') => {
+                let start_line = line;
+                i += 2;
+                let mut closed = false;
+                while i < chars.len() {
+                    if chars[i] == '\n' {
+                        line += 1;
+                    }
+                    if chars[i] == '*' && chars.get(i + 1) == Some(&'/') {
+                        i += 2;
+                        closed = true;
+                        break;
+                    }
+                    i += 1;
+                }
+                if !closed {
+                    out.errors.push(SqlError::new("unterminated block comment", start_line));
+                }
+            }
+            '\'' => {
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    match chars[i] {
+                        '\'' if chars.get(i + 1) == Some(&'\'') => {
+                            s.push('\'');
+                            i += 2;
+                        }
+                        '\'' => {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    out.errors.push(SqlError::new("unterminated string literal", start_line));
+                }
+                push!(Tok::Str(s));
+            }
+            '"' | '`' => {
+                let close = c;
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    match chars[i] {
+                        ch if ch == close && chars.get(i + 1) == Some(&close) => {
+                            s.push(close);
+                            i += 2;
+                        }
+                        ch if ch == close => {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    out.errors.push(SqlError::new("unterminated quoted identifier", start_line));
+                }
+                push!(Tok::Quoted(s));
+            }
+            '[' => {
+                // SQL-Server-style bracket identifier, accepted by SQLite.
+                let start_line = line;
+                i += 1;
+                let mut s = String::new();
+                let mut closed = false;
+                while i < chars.len() {
+                    match chars[i] {
+                        ']' => {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                        ch => {
+                            if ch == '\n' {
+                                line += 1;
+                            }
+                            s.push(ch);
+                            i += 1;
+                        }
+                    }
+                }
+                if !closed {
+                    out.errors.push(SqlError::new("unterminated bracketed identifier", start_line));
+                }
+                push!(Tok::Quoted(s));
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_ascii_digit()
+                        || chars[i] == '.'
+                        || chars[i] == 'e'
+                        || chars[i] == 'E')
+                {
+                    // Only consume `.`/exponent when a digit follows, so
+                    // `1.` at a statement edge doesn't eat the dot.
+                    if !chars[i].is_ascii_digit()
+                        && !chars.get(i + 1).is_some_and(|d| d.is_ascii_digit())
+                    {
+                        break;
+                    }
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                push!(Tok::Num(s));
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut s = String::new();
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '$')
+                {
+                    s.push(chars[i]);
+                    i += 1;
+                }
+                push!(Tok::Word(s));
+            }
+            '(' => {
+                push!(Tok::LParen);
+                i += 1;
+            }
+            ')' => {
+                push!(Tok::RParen);
+                i += 1;
+            }
+            ',' => {
+                push!(Tok::Comma);
+                i += 1;
+            }
+            '.' => {
+                push!(Tok::Dot);
+                i += 1;
+            }
+            ';' => {
+                push!(Tok::Semi);
+                i += 1;
+            }
+            other => {
+                push!(Tok::Op(other));
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(src: &str) -> Vec<Tok> {
+        lex(src).tokens.into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn words_numbers_punctuation() {
+        assert_eq!(
+            toks("CREATE TABLE t (n integer);"),
+            vec![
+                Tok::Word("CREATE".into()),
+                Tok::Word("TABLE".into()),
+                Tok::Word("t".into()),
+                Tok::LParen,
+                Tok::Word("n".into()),
+                Tok::Word("integer".into()),
+                Tok::RParen,
+                Tok::Semi,
+            ]
+        );
+        assert_eq!(toks("42 3.14"), vec![Tok::Num("42".into()), Tok::Num("3.14".into())]);
+    }
+
+    #[test]
+    fn all_three_quoting_styles_unescape() {
+        assert_eq!(toks("\"or\"\"der\""), vec![Tok::Quoted("or\"der".into())]);
+        assert_eq!(toks("`or``der`"), vec![Tok::Quoted("or`der".into())]);
+        assert_eq!(toks("[order line]"), vec![Tok::Quoted("order line".into())]);
+        assert_eq!(toks("'it''s'"), vec![Tok::Str("it's".into())]);
+    }
+
+    #[test]
+    fn comments_are_skipped_and_lines_tracked() {
+        let lexed = lex("-- header\n# mysql\n/* block\nstill */ SELECT /*!40101 x */;");
+        assert_eq!(
+            lexed.tokens.iter().map(|t| t.tok.clone()).collect::<Vec<_>>(),
+            vec![Tok::Word("SELECT".into()), Tok::Semi]
+        );
+        assert_eq!(lexed.tokens[0].line, 4);
+        assert!(lexed.errors.is_empty());
+    }
+
+    #[test]
+    fn unterminated_constructs_record_errors_not_panics() {
+        for src in ["'open", "\"open", "`open", "[open", "/* open"] {
+            let lexed = lex(src);
+            assert_eq!(lexed.errors.len(), 1, "{src}");
+        }
+    }
+
+    #[test]
+    fn dot_after_integer_at_edge_is_preserved() {
+        assert_eq!(
+            toks("a1."),
+            vec![Tok::Word("a1".into()), Tok::Dot],
+            "trailing dot must stay a Dot token"
+        );
+        assert_eq!(toks("1.x"), vec![Tok::Num("1".into()), Tok::Dot, Tok::Word("x".into())]);
+    }
+}

@@ -29,6 +29,25 @@ echo "==> cold/warm cache equivalence and invalidation matrix"
 # invalidate exactly the entries it covers.
 cargo test -q --test cache_equivalence --test cache_invalidation
 
+echo "==> multi-dialect SQL backend: unit, round-trip proptest, and fault suites"
+# The round-trip oracle (emit → parse is the identity in every dialect)
+# plus the SQL parser's totality under mutated/truncated dumps.
+cargo test -q -p cfinder-sql
+cargo test -q --test sql_roundtrip
+
+echo "==> SQL test-count floor"
+# The cfinder-sql suite only grows: unit + integration tests must stay at
+# or above the floor so coverage cannot be silently deleted.
+sql_tests=$(cargo test -q -p cfinder-sql 2>/dev/null \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s}')
+floor=40
+if [[ "${sql_tests:-0}" -lt "$floor" ]]; then
+    echo "FAIL: cfinder-sql ran ${sql_tests:-0} tests, below the floor of $floor" >&2
+    exit 1
+fi
+echo "cfinder-sql: $sql_tests tests (floor $floor)"
+
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection
 

@@ -2,7 +2,7 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
 //! $ cfinder explain <table[.column]> path/to/app [--schema schema.json]
 //! $ cfinder cache stats|clear <dir>
 //! ```
@@ -10,6 +10,18 @@
 //! * `--schema FILE` — declared schema as JSON (see
 //!   `cfinder::schema::Schema::to_json`); without it, every inferred
 //!   constraint is reported as missing.
+//! * `--schema-sql FILE` — declared schema as a SQL DDL dump (`pg_dump
+//!   --schema-only`, `mysqldump --no-data`, `sqlite3 .schema`); parsed by
+//!   the recovering multi-dialect parser in `cfinder::sql` and merged with
+//!   `--schema` (JSON wins on conflicts). A missing or unreadable file is
+//!   a usage error (exit 2); malformed statements inside the dump are
+//!   per-statement warnings, matching the analyzer's recovery discipline.
+//! * `--dialect postgres|mysql|sqlite` — the SQL dialect used for every
+//!   emitted fix (the `fix:` lines and `--fix-out`); defaults to
+//!   `postgres`. An unknown name is a usage error (exit 2).
+//! * `--fix-out FILE` — write the missing constraints as a remediation
+//!   fix script in the selected dialect (deterministic; header comments +
+//!   one DDL statement per missing constraint).
 //! * `--json` — machine-readable output (one JSON document).
 //! * `--timings` — per-stage timing breakdown. The human-readable mode
 //!   prints an aligned stage/seconds/percent table to stderr that accounts
@@ -74,6 +86,7 @@ use cfinder::core::{
     SourceFile,
 };
 use cfinder::schema::Schema;
+use cfinder::sql::Dialect;
 
 struct Outcome {
     missing: usize,
@@ -81,7 +94,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -112,6 +125,9 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     }
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
+    let mut schema_sql_path: Option<PathBuf> = None;
+    let mut dialect = Dialect::Postgres;
+    let mut fix_out: Option<PathBuf> = None;
     let mut json = false;
     let mut timings = false;
     let mut strict = false;
@@ -129,6 +145,18 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             "--schema" => {
                 let v = it.next().ok_or("--schema requires a file argument")?;
                 schema_path = Some(PathBuf::from(v));
+            }
+            "--schema-sql" => {
+                let v = it.next().ok_or("--schema-sql requires a file argument")?;
+                schema_sql_path = Some(PathBuf::from(v));
+            }
+            "--dialect" => {
+                let v = it.next().ok_or("--dialect requires a dialect argument")?;
+                dialect = v.parse::<Dialect>()?;
+            }
+            "--fix-out" => {
+                let v = it.next().ok_or("--fix-out requires a file argument")?;
+                fix_out = Some(PathBuf::from(v));
             }
             "--json" => json = true,
             "--timings" => timings = true,
@@ -172,7 +200,10 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         }
     }
     let dir = dir.ok_or("missing source directory argument")?;
-    let (app, declared) = load_app(&dir, schema_path.as_deref())?;
+    let (app, mut declared) = load_app(&dir, schema_path.as_deref())?;
+    if let Some(sql_path) = &schema_sql_path {
+        merge_sql_schema(&mut declared, sql_path)?;
+    }
 
     let obs =
         if trace_out.is_some() || metrics_out.is_some() { Obs::enabled() } else { Obs::disabled() };
@@ -185,6 +216,22 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     }
     let report = finder.analyze(&app, &declared);
     let coverage = report.coverage();
+
+    if let Some(path) = &fix_out {
+        let script = cfinder::sql::fix_script(
+            report.missing.iter().map(|m| &m.constraint),
+            dialect,
+            Some(&declared),
+            &report.app,
+        );
+        fs::write(path, script).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "fix script: {} constraint(s) written to {} ({} dialect)",
+            report.missing.len(),
+            path.display(),
+            dialect
+        );
+    }
 
     if let Some(path) = &trace_out {
         fs::write(path, obs.tracer.to_chrome_trace())
@@ -345,7 +392,14 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 for d in &m.detections {
                     println!("    {} at {}:{}", d.pattern, d.file, d.span.start.line);
                 }
-                println!("    fix: {}", m.constraint.ddl());
+                let ddl = cfinder::sql::constraint_ddl(&m.constraint, dialect, Some(&declared));
+                for (i, line) in ddl.lines().enumerate() {
+                    if i == 0 {
+                        println!("    fix: {line}");
+                    } else {
+                        println!("         {line}");
+                    }
+                }
             }
         }
         if strict && !report.incidents.is_empty() {
@@ -459,6 +513,45 @@ fn print_chains(chains: &[cfinder::core::Provenance]) {
         let first_line = p.snippet.lines().next().unwrap_or("").trim();
         println!("    at {}:{}: {first_line}", p.file, p.line);
     }
+}
+
+/// Reads and parses a `schema.sql` dump, merging its tables and
+/// constraints into `declared`. A missing or unreadable file is a usage
+/// error; malformed or unsupported statements inside the dump degrade to
+/// per-statement warnings on stderr (the dump's remaining statements are
+/// still ingested). When a table exists in both sources the JSON `--schema`
+/// definition wins and the SQL one is skipped with a warning.
+fn merge_sql_schema(declared: &mut Schema, path: &Path) -> Result<(), String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("reading {}: {e}", path.display()))?;
+    let parsed = cfinder::sql::parse_sql(&text);
+    for err in &parsed.errors {
+        eprintln!("warning: {}: {err}", path.display());
+    }
+    for table in parsed.tables {
+        if declared.table(&table.name).is_some() {
+            eprintln!(
+                "warning: {}: table `{}` already declared via --schema; keeping the JSON definition",
+                path.display(),
+                table.name
+            );
+            continue;
+        }
+        declared.add_table(table);
+    }
+    for pc in parsed.constraints {
+        if declared.constraints().contains(&pc.constraint) {
+            continue;
+        }
+        if let Err(msg) = declared.add_constraint(pc.constraint.clone()) {
+            eprintln!(
+                "warning: {}:{}: dropped constraint ({msg}): {}",
+                path.display(),
+                pc.line,
+                pc.constraint
+            );
+        }
+    }
+    Ok(())
 }
 
 /// Collects the app's `.py` files (deterministic order) and loads the

@@ -26,6 +26,9 @@
 //! * [`report`] — the evaluation harness regenerating every paper table.
 //! * [`obs`] — observability substrate: hierarchical spans (Chrome-trace
 //!   export), metrics (Prometheus exposition), detection provenance.
+//! * [`sql`] — multi-dialect SQL backend: `schema.sql` ingestion
+//!   (recovering DDL parser) and dialect-correct remediation DDL emission
+//!   for PostgreSQL, MySQL, and SQLite.
 //!
 //! ## Quick start
 //!
@@ -55,3 +58,4 @@ pub use cfinder_obs as obs;
 pub use cfinder_pyast as pyast;
 pub use cfinder_report as report;
 pub use cfinder_schema as schema;
+pub use cfinder_sql as sql;

@@ -327,6 +327,108 @@ fn cache_subcommand_reports_and_clears() {
 }
 
 #[test]
+fn schema_sql_dump_suppresses_report_like_the_json_schema() {
+    let dir = temp_dir("schema-sql");
+    write_demo(&dir);
+    fs::write(
+        dir.join("schema.sql"),
+        "CREATE TABLE \"Voucher\" (\n    \"id\" bigint NOT NULL,\n    \"code\" varchar(32),\n    PRIMARY KEY (\"id\")\n);\nALTER TABLE \"Voucher\" ADD CONSTRAINT \"uq_Voucher_code\" UNIQUE (\"code\");\n",
+    )
+    .unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--schema-sql")
+        .arg(dir.join("schema.sql"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    assert!(String::from_utf8_lossy(&out.stdout).contains("no missing database constraints"));
+}
+
+#[test]
+fn missing_schema_sql_file_is_a_usage_error() {
+    let dir = temp_dir("schema-sql-missing");
+    write_demo(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--schema-sql")
+        .arg(dir.join("nonexistent.sql"))
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nonexistent.sql"), "{stderr}");
+    // A missing value is a usage error too.
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--schema-sql")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+#[test]
+fn unknown_dialect_is_a_usage_error() {
+    let dir = temp_dir("dialect-bad");
+    write_demo(&dir);
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--dialect")
+        .arg("oracle")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown dialect"), "{stderr}");
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--dialect")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(2), "{out:?}");
+}
+
+/// The CLI fixed-point check: `--fix-out` emits a remediation script, and
+/// feeding the table definitions plus that script back through
+/// `--schema-sql` reports zero missing constraints (exit 0).
+#[test]
+fn fix_out_script_closes_the_loop_through_schema_sql() {
+    let dir = temp_dir("fix-out");
+    write_demo(&dir);
+    let fixes = dir.join("fixes.sql");
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--dialect")
+        .arg("mysql")
+        .arg("--fix-out")
+        .arg(&fixes)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let script = fs::read_to_string(&fixes).expect("fix script written");
+    assert!(script.starts_with("-- fixes.mysql.sql"), "{script}");
+    assert!(script.contains("ALTER TABLE `Voucher` ADD CONSTRAINT"), "{script}");
+    // The human-readable report uses the same dialect for its fix lines.
+    assert!(String::from_utf8_lossy(&out.stdout).contains("fix: ALTER TABLE `Voucher`"));
+
+    // Table definition + emitted fixes = a schema the analyzer calls clean.
+    let mut dump = String::from(
+        "CREATE TABLE `Voucher` (\n    `id` BIGINT NOT NULL,\n    `code` VARCHAR(32),\n    PRIMARY KEY (`id`)\n);\n",
+    );
+    dump.push_str(&script);
+    fs::write(dir.join("schema.sql"), dump).unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+        .arg(dir.join("app"))
+        .arg("--schema-sql")
+        .arg(dir.join("schema.sql"))
+        .arg("--dialect")
+        .arg("mysql")
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "fixed point not reached: {out:?}");
+}
+
+#[test]
 fn cli_analyzes_an_exported_corpus_app() {
     use cfinder::corpus::{generate, profile, GenOptions};
     let dir = temp_dir("corpus");

@@ -38,7 +38,7 @@ fn explain_wishlist_unique_names_pa_u1_and_line() {
     assert!(stdout.contains("[missing from declared schema]"), "{stdout}");
     assert!(stdout.contains("PA_u1:"), "{stdout}");
     assert!(stdout.contains("at views.py:4: if len(lines) == 0:"), "{stdout}");
-    assert!(stdout.contains("fix: ALTER TABLE WishListLine ADD CONSTRAINT"), "{stdout}");
+    assert!(stdout.contains("fix: ALTER TABLE \"WishListLine\" ADD CONSTRAINT"), "{stdout}");
 
     // A bare table target resolves too (any column).
     let (code, stdout) = explain(&dir, "WishListLine");

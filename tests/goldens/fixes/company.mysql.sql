@@ -1,0 +1,160 @@
+-- fixes.mysql.sql — remediation DDL emitted by cfinder
+-- app: company
+-- missing constraints: 52
+
+-- constraint: BadgeItem Not NULL (amount_t)
+ALTER TABLE `BadgeItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: BundleItem Not NULL (amount_t)
+ALTER TABLE `BundleItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CartProfile Not NULL (amount_t)
+ALTER TABLE `CartProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CouponProfile Not NULL (amount_d)
+ALTER TABLE `CouponProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: GradeItem Not NULL (amount_t)
+ALTER TABLE `GradeItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: InvoiceProfile Not NULL (amount_d)
+ALTER TABLE `InvoiceProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: ModuleItem Not NULL (amount_t)
+ALTER TABLE `ModuleItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: OrderProfile Not NULL (amount_t)
+ALTER TABLE `OrderProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: PaymentProfile Not NULL (amount_d)
+ALTER TABLE `PaymentProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: ProductProfile Not NULL (amount_t)
+ALTER TABLE `ProductProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: QuizItem Not NULL (amount_t)
+ALTER TABLE `QuizItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: SessionItem Not NULL (amount_t)
+ALTER TABLE `SessionItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ShipmentProfile Not NULL (amount_d)
+ALTER TABLE `ShipmentProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: StreamItem Not NULL (amount_t)
+ALTER TABLE `StreamItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TeamItem Not NULL (amount_t)
+ALTER TABLE `TeamItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TopicItem Not NULL (amount_t)
+ALTER TABLE `TopicItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: UserProfile Not NULL (amount_t)
+ALTER TABLE `UserProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: BadgeLine Unique (amount_t)
+ALTER TABLE `BadgeLine` ADD CONSTRAINT `uq_BadgeLine_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: BlockItem Unique (amount_t)
+ALTER TABLE `BlockItem` ADD CONSTRAINT `uq_BlockItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CartItem Unique (amount_t)
+ALTER TABLE `CartItem` ADD CONSTRAINT `uq_CartItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CatalogItem Unique (amount_t)
+ALTER TABLE `CatalogItem` ADD CONSTRAINT `uq_CatalogItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ChannelItem Unique (amount_t)
+ALTER TABLE `ChannelItem` ADD CONSTRAINT `uq_ChannelItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CouponItem Unique (amount_t)
+ALTER TABLE `CouponItem` ADD CONSTRAINT `uq_CouponItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CourseItem Unique (title_t)
+ALTER TABLE `CourseItem` ADD CONSTRAINT `uq_CourseItem_title_t` UNIQUE (`title_t`);
+
+-- constraint: GradeLine Unique (amount_t, quiz_line_id)
+ALTER TABLE `GradeLine` ADD CONSTRAINT `uq_GradeLine_amount_t_quiz_line_id` UNIQUE (`amount_t`, `quiz_line_id`);
+
+-- constraint: InvoiceItem Unique (amount_t)
+ALTER TABLE `InvoiceItem` ADD CONSTRAINT `uq_InvoiceItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: LessonItem Unique (amount_t)
+ALTER TABLE `LessonItem` ADD CONSTRAINT `uq_LessonItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: MessageItem Unique (amount_t)
+ALTER TABLE `MessageItem` ADD CONSTRAINT `uq_MessageItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ModuleLine Unique (amount_t, topic_line_id)
+ALTER TABLE `ModuleLine` ADD CONSTRAINT `uq_ModuleLine_amount_t_topic_line_id` UNIQUE (`amount_t`, `topic_line_id`);
+
+-- constraint: OrderItem Unique (badge_line_id, title_t)
+ALTER TABLE `OrderItem` ADD CONSTRAINT `uq_OrderItem_badge_line_id_title_t` UNIQUE (`badge_line_id`, `title_t`);
+
+-- constraint: PageItem Unique (amount_t)
+ALTER TABLE `PageItem` ADD CONSTRAINT `uq_PageItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: PaymentItem Unique (amount_t)
+ALTER TABLE `PaymentItem` ADD CONSTRAINT `uq_PaymentItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ProductItem Unique (amount_t)
+ALTER TABLE `ProductItem` ADD CONSTRAINT `uq_ProductItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: QuizLine Unique (amount_t)
+ALTER TABLE `QuizLine` ADD CONSTRAINT `uq_QuizLine_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: RefundItem Unique (amount_t)
+ALTER TABLE `RefundItem` ADD CONSTRAINT `uq_RefundItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ReviewItem Unique (amount_t)
+ALTER TABLE `ReviewItem` ADD CONSTRAINT `uq_ReviewItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ShipmentItem Unique (title_t)
+ALTER TABLE `ShipmentItem` ADD CONSTRAINT `uq_ShipmentItem_title_t` UNIQUE (`title_t`);
+
+-- constraint: StockItem Unique (amount_t)
+ALTER TABLE `StockItem` ADD CONSTRAINT `uq_StockItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: TicketItem Unique (amount_t)
+ALTER TABLE `TicketItem` ADD CONSTRAINT `uq_TicketItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: TopicLine Unique (title_t)
+ALTER TABLE `TopicLine` ADD CONSTRAINT `uq_TopicLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: UserItem Unique (amount_t, product_item_id)
+ALTER TABLE `UserItem` ADD CONSTRAINT `uq_UserItem_amount_t_product_item_id` UNIQUE (`amount_t`, `product_item_id`);
+
+-- constraint: VendorItem Unique (amount_t)
+ALTER TABLE `VendorItem` ADD CONSTRAINT `uq_VendorItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: WalletItem Unique (amount_t)
+ALTER TABLE `WalletItem` ADD CONSTRAINT `uq_WalletItem_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: BlockEntry FK (page_entry_id) ref PageEntry(id)
+ALTER TABLE `BlockEntry` ADD CONSTRAINT `fk_BlockEntry_page_entry_id` FOREIGN KEY (`page_entry_id`) REFERENCES `PageEntry`(`id`);
+
+-- constraint: BundleEntry FK (catalog_entry_id) ref CatalogEntry(id)
+ALTER TABLE `BundleEntry` ADD CONSTRAINT `fk_BundleEntry_catalog_entry_id` FOREIGN KEY (`catalog_entry_id`) REFERENCES `CatalogEntry`(`id`);
+
+-- constraint: ChannelEntry FK (message_entry_id) ref MessageEntry(id)
+ALTER TABLE `ChannelEntry` ADD CONSTRAINT `fk_ChannelEntry_message_entry_id` FOREIGN KEY (`message_entry_id`) REFERENCES `MessageEntry`(`id`);
+
+-- constraint: LessonEntry FK (course_entry_id) ref CourseEntry(id)
+ALTER TABLE `LessonEntry` ADD CONSTRAINT `fk_LessonEntry_course_entry_id` FOREIGN KEY (`course_entry_id`) REFERENCES `CourseEntry`(`id`);
+
+-- constraint: TeamEntry FK (session_entry_id) ref SessionEntry(id)
+ALTER TABLE `TeamEntry` ADD CONSTRAINT `fk_TeamEntry_session_entry_id` FOREIGN KEY (`session_entry_id`) REFERENCES `SessionEntry`(`id`);
+
+-- constraint: TicketEntry FK (review_entry_id) ref ReviewEntry(id)
+ALTER TABLE `TicketEntry` ADD CONSTRAINT `fk_TicketEntry_review_entry_id` FOREIGN KEY (`review_entry_id`) REFERENCES `ReviewEntry`(`id`);
+
+-- constraint: TopicEntry FK (stream_entry_id) ref StreamEntry(id)
+ALTER TABLE `TopicEntry` ADD CONSTRAINT `fk_TopicEntry_stream_entry_id` FOREIGN KEY (`stream_entry_id`) REFERENCES `StreamEntry`(`id`);
+
+-- constraint: VendorEntry FK (stock_entry_id) ref StockEntry(id)
+ALTER TABLE `VendorEntry` ADD CONSTRAINT `fk_VendorEntry_stock_entry_id` FOREIGN KEY (`stock_entry_id`) REFERENCES `StockEntry`(`id`);
+
+-- constraint: WalletEntry FK (refund_entry_id) ref RefundEntry(id)
+ALTER TABLE `WalletEntry` ADD CONSTRAINT `fk_WalletEntry_refund_entry_id` FOREIGN KEY (`refund_entry_id`) REFERENCES `RefundEntry`(`id`);
+

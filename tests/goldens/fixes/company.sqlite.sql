@@ -1,0 +1,186 @@
+-- fixes.sqlite.sql — remediation DDL emitted by cfinder
+-- app: company
+-- missing constraints: 52
+
+-- constraint: BadgeItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BadgeItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: BundleItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BundleItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: CartProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CartProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: CouponProfile Not NULL (amount_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CouponProfile" ALTER COLUMN "amount_d" SET NOT NULL;
+
+-- constraint: GradeItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "GradeItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: InvoiceProfile Not NULL (amount_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "InvoiceProfile" ALTER COLUMN "amount_d" SET NOT NULL;
+
+-- constraint: ModuleItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ModuleItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: OrderProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "OrderProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: PaymentProfile Not NULL (amount_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PaymentProfile" ALTER COLUMN "amount_d" SET NOT NULL;
+
+-- constraint: ProductProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ProductProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: QuizItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "QuizItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: SessionItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "SessionItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: ShipmentProfile Not NULL (amount_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ShipmentProfile" ALTER COLUMN "amount_d" SET NOT NULL;
+
+-- constraint: StreamItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: TeamItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TeamItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: TopicItem Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicItem" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: UserProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "UserProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: BadgeLine Unique (amount_t)
+CREATE UNIQUE INDEX "uq_BadgeLine_amount_t" ON "BadgeLine" ("amount_t");
+
+-- constraint: BlockItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_BlockItem_amount_t" ON "BlockItem" ("amount_t");
+
+-- constraint: CartItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_CartItem_amount_t" ON "CartItem" ("amount_t");
+
+-- constraint: CatalogItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_CatalogItem_amount_t" ON "CatalogItem" ("amount_t");
+
+-- constraint: ChannelItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_ChannelItem_amount_t" ON "ChannelItem" ("amount_t");
+
+-- constraint: CouponItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_CouponItem_amount_t" ON "CouponItem" ("amount_t");
+
+-- constraint: CourseItem Unique (title_t)
+CREATE UNIQUE INDEX "uq_CourseItem_title_t" ON "CourseItem" ("title_t");
+
+-- constraint: GradeLine Unique (amount_t, quiz_line_id)
+CREATE UNIQUE INDEX "uq_GradeLine_amount_t_quiz_line_id" ON "GradeLine" ("amount_t", "quiz_line_id");
+
+-- constraint: InvoiceItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_InvoiceItem_amount_t" ON "InvoiceItem" ("amount_t");
+
+-- constraint: LessonItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_LessonItem_amount_t" ON "LessonItem" ("amount_t");
+
+-- constraint: MessageItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_MessageItem_amount_t" ON "MessageItem" ("amount_t");
+
+-- constraint: ModuleLine Unique (amount_t, topic_line_id)
+CREATE UNIQUE INDEX "uq_ModuleLine_amount_t_topic_line_id" ON "ModuleLine" ("amount_t", "topic_line_id");
+
+-- constraint: OrderItem Unique (badge_line_id, title_t)
+CREATE UNIQUE INDEX "uq_OrderItem_badge_line_id_title_t" ON "OrderItem" ("badge_line_id", "title_t");
+
+-- constraint: PageItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_PageItem_amount_t" ON "PageItem" ("amount_t");
+
+-- constraint: PaymentItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_PaymentItem_amount_t" ON "PaymentItem" ("amount_t");
+
+-- constraint: ProductItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_ProductItem_amount_t" ON "ProductItem" ("amount_t");
+
+-- constraint: QuizLine Unique (amount_t)
+CREATE UNIQUE INDEX "uq_QuizLine_amount_t" ON "QuizLine" ("amount_t");
+
+-- constraint: RefundItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_RefundItem_amount_t" ON "RefundItem" ("amount_t");
+
+-- constraint: ReviewItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_ReviewItem_amount_t" ON "ReviewItem" ("amount_t");
+
+-- constraint: ShipmentItem Unique (title_t)
+CREATE UNIQUE INDEX "uq_ShipmentItem_title_t" ON "ShipmentItem" ("title_t");
+
+-- constraint: StockItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_StockItem_amount_t" ON "StockItem" ("amount_t");
+
+-- constraint: TicketItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_TicketItem_amount_t" ON "TicketItem" ("amount_t");
+
+-- constraint: TopicLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_TopicLine_title_t" ON "TopicLine" ("title_t");
+
+-- constraint: UserItem Unique (amount_t, product_item_id)
+CREATE UNIQUE INDEX "uq_UserItem_amount_t_product_item_id" ON "UserItem" ("amount_t", "product_item_id");
+
+-- constraint: VendorItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_VendorItem_amount_t" ON "VendorItem" ("amount_t");
+
+-- constraint: WalletItem Unique (amount_t)
+CREATE UNIQUE INDEX "uq_WalletItem_amount_t" ON "WalletItem" ("amount_t");
+
+-- constraint: BlockEntry FK (page_entry_id) ref PageEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "BlockEntry" ADD CONSTRAINT "fk_BlockEntry_page_entry_id" FOREIGN KEY ("page_entry_id") REFERENCES "PageEntry"("id");
+
+-- constraint: BundleEntry FK (catalog_entry_id) ref CatalogEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "BundleEntry" ADD CONSTRAINT "fk_BundleEntry_catalog_entry_id" FOREIGN KEY ("catalog_entry_id") REFERENCES "CatalogEntry"("id");
+
+-- constraint: ChannelEntry FK (message_entry_id) ref MessageEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "ChannelEntry" ADD CONSTRAINT "fk_ChannelEntry_message_entry_id" FOREIGN KEY ("message_entry_id") REFERENCES "MessageEntry"("id");
+
+-- constraint: LessonEntry FK (course_entry_id) ref CourseEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "LessonEntry" ADD CONSTRAINT "fk_LessonEntry_course_entry_id" FOREIGN KEY ("course_entry_id") REFERENCES "CourseEntry"("id");
+
+-- constraint: TeamEntry FK (session_entry_id) ref SessionEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "TeamEntry" ADD CONSTRAINT "fk_TeamEntry_session_entry_id" FOREIGN KEY ("session_entry_id") REFERENCES "SessionEntry"("id");
+
+-- constraint: TicketEntry FK (review_entry_id) ref ReviewEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "TicketEntry" ADD CONSTRAINT "fk_TicketEntry_review_entry_id" FOREIGN KEY ("review_entry_id") REFERENCES "ReviewEntry"("id");
+
+-- constraint: TopicEntry FK (stream_entry_id) ref StreamEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicEntry" ADD CONSTRAINT "fk_TopicEntry_stream_entry_id" FOREIGN KEY ("stream_entry_id") REFERENCES "StreamEntry"("id");
+
+-- constraint: VendorEntry FK (stock_entry_id) ref StockEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "VendorEntry" ADD CONSTRAINT "fk_VendorEntry_stock_entry_id" FOREIGN KEY ("stock_entry_id") REFERENCES "StockEntry"("id");
+
+-- constraint: WalletEntry FK (refund_entry_id) ref RefundEntry(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "WalletEntry" ADD CONSTRAINT "fk_WalletEntry_refund_entry_id" FOREIGN KEY ("refund_entry_id") REFERENCES "RefundEntry"("id");
+

@@ -1,0 +1,140 @@
+-- fixes.mysql.sql — remediation DDL emitted by cfinder
+-- app: edx
+-- missing constraints: 43
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared0Model` MODIFY COLUMN `inherited_0` TEXT NOT NULL;
+
+-- constraint: AbstractShared2Model Not NULL (inherited_2)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared2Model` MODIFY COLUMN `inherited_2` TEXT NOT NULL;
+
+-- constraint: BlockLog Not NULL (amount_t)
+ALTER TABLE `BlockLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ChannelLog Not NULL (amount_d)
+ALTER TABLE `ChannelLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: CouponLog Not NULL (amount_t)
+ALTER TABLE `CouponLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CourseLog Not NULL (amount_d)
+ALTER TABLE `CourseLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: InvoiceLog Not NULL (amount_t)
+ALTER TABLE `InvoiceLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: LessonLog Not NULL (amount_d)
+ALTER TABLE `LessonLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: MessageLog Not NULL (amount_d)
+ALTER TABLE `MessageLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: PageLog Not NULL (amount_d)
+ALTER TABLE `PageLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: PaymentLog Not NULL (amount_t)
+ALTER TABLE `PaymentLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ReviewLog Not NULL (amount_t)
+ALTER TABLE `ReviewLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ShipmentLog Not NULL (amount_t)
+ALTER TABLE `ShipmentLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: StockLog Not NULL (amount_d)
+ALTER TABLE `StockLog` MODIFY COLUMN `amount_d` INT NOT NULL;
+
+-- constraint: TicketLog Not NULL (amount_t)
+ALTER TABLE `TicketLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: BadgeRecord Unique (amount_t)
+ALTER TABLE `BadgeRecord` ADD CONSTRAINT `uq_BadgeRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: BlockRecord Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_BlockRecord_amount_t` ON `BlockRecord` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: BundleRecord Unique (amount_t)
+ALTER TABLE `BundleRecord` ADD CONSTRAINT `uq_BundleRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CartLog Unique (amount_t)
+ALTER TABLE `CartLog` ADD CONSTRAINT `uq_CartLog_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: CatalogRecord Unique (amount_t)
+ALTER TABLE `CatalogRecord` ADD CONSTRAINT `uq_CatalogRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: ChannelRecord Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_ChannelRecord_amount_t` ON `ChannelRecord` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: GradeRecord Unique (amount_t)
+ALTER TABLE `GradeRecord` ADD CONSTRAINT `uq_GradeRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: LessonRecord Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_LessonRecord_amount_t` ON `LessonRecord` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: MessageRecord Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_MessageRecord_amount_t` ON `MessageRecord` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: ModuleRecord Unique (amount_t)
+ALTER TABLE `ModuleRecord` ADD CONSTRAINT `uq_ModuleRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: OrderLog Unique (amount_t)
+ALTER TABLE `OrderLog` ADD CONSTRAINT `uq_OrderLog_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: PageRecord Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_PageRecord_amount_t` ON `PageRecord` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: ProductLog Unique (amount_t)
+ALTER TABLE `ProductLog` ADD CONSTRAINT `uq_ProductLog_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: QuizRecord Unique (amount_t)
+ALTER TABLE `QuizRecord` ADD CONSTRAINT `uq_QuizRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: RefundRecord Unique (amount_t)
+ALTER TABLE `RefundRecord` ADD CONSTRAINT `uq_RefundRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: SessionRecord Unique (amount_t)
+ALTER TABLE `SessionRecord` ADD CONSTRAINT `uq_SessionRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: StockRecord Unique (amount_t)
+ALTER TABLE `StockRecord` ADD CONSTRAINT `uq_StockRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: StreamRecord Unique (amount_t)
+ALTER TABLE `StreamRecord` ADD CONSTRAINT `uq_StreamRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: TeamRecord Unique (amount_t)
+ALTER TABLE `TeamRecord` ADD CONSTRAINT `uq_TeamRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: TopicRecord Unique (amount_t)
+ALTER TABLE `TopicRecord` ADD CONSTRAINT `uq_TopicRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: UserLog Unique (amount_t)
+ALTER TABLE `UserLog` ADD CONSTRAINT `uq_UserLog_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: VendorRecord Unique (amount_t)
+ALTER TABLE `VendorRecord` ADD CONSTRAINT `uq_VendorRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: WalletRecord Unique (amount_t)
+ALTER TABLE `WalletRecord` ADD CONSTRAINT `uq_WalletRecord_amount_t` UNIQUE (`amount_t`);
+
+-- constraint: BundleEvent FK (catalog_event_id) ref CatalogEvent(id)
+ALTER TABLE `BundleEvent` ADD CONSTRAINT `fk_BundleEvent_catalog_event_id` FOREIGN KEY (`catalog_event_id`) REFERENCES `CatalogEvent`(`id`);
+
+-- constraint: TeamEvent FK (session_event_id) ref SessionEvent(id)
+ALTER TABLE `TeamEvent` ADD CONSTRAINT `fk_TeamEvent_session_event_id` FOREIGN KEY (`session_event_id`) REFERENCES `SessionEvent`(`id`);
+
+-- constraint: TopicEvent FK (stream_event_id) ref StreamEvent(id)
+ALTER TABLE `TopicEvent` ADD CONSTRAINT `fk_TopicEvent_stream_event_id` FOREIGN KEY (`stream_event_id`) REFERENCES `StreamEvent`(`id`);
+
+-- constraint: VendorEvent FK (stock_event_id) ref StockEvent(id)
+ALTER TABLE `VendorEvent` ADD CONSTRAINT `fk_VendorEvent_stock_event_id` FOREIGN KEY (`stock_event_id`) REFERENCES `StockEvent`(`id`);
+
+-- constraint: WalletEvent FK (refund_event_id) ref RefundEvent(id)
+ALTER TABLE `WalletEvent` ADD CONSTRAINT `fk_WalletEvent_refund_event_id` FOREIGN KEY (`refund_event_id`) REFERENCES `RefundEvent`(`id`);
+

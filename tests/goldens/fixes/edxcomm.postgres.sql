@@ -1,0 +1,46 @@
+-- fixes.postgres.sql — remediation DDL emitted by cfinder
+-- app: edxcomm
+-- missing constraints: 14
+
+-- constraint: CartProfile Not NULL (status_t)
+ALTER TABLE "CartProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CouponProfile Not NULL (status_t)
+ALTER TABLE "CouponProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: InvoiceProfile Not NULL (status_t)
+ALTER TABLE "InvoiceProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: PaymentProfile Not NULL (status_t)
+ALTER TABLE "PaymentProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ReviewProfile Not NULL (status_t)
+ALTER TABLE "ReviewProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ShipmentProfile Not NULL (status_t)
+ALTER TABLE "ShipmentProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TicketProfile Not NULL (status_t)
+ALTER TABLE "TicketProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: BadgeItem Unique (status_t)
+ALTER TABLE "BadgeItem" ADD CONSTRAINT "uq_BadgeItem_status_t" UNIQUE ("status_t");
+
+-- constraint: GradeItem Unique (status_t)
+ALTER TABLE "GradeItem" ADD CONSTRAINT "uq_GradeItem_status_t" UNIQUE ("status_t");
+
+-- constraint: OrderProfile Unique (status_t)
+ALTER TABLE "OrderProfile" ADD CONSTRAINT "uq_OrderProfile_status_t" UNIQUE ("status_t");
+
+-- constraint: ProductProfile Unique (status_t)
+ALTER TABLE "ProductProfile" ADD CONSTRAINT "uq_ProductProfile_status_t" UNIQUE ("status_t");
+
+-- constraint: QuizItem Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_QuizItem_status_t" ON "QuizItem" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: UserProfile Unique (status_t)
+ALTER TABLE "UserProfile" ADD CONSTRAINT "uq_UserProfile_status_t" UNIQUE ("status_t");
+
+-- constraint: TopicProfile FK (stream_profile_id) ref StreamProfile(id)
+ALTER TABLE "TopicProfile" ADD CONSTRAINT "fk_TopicProfile_stream_profile_id" FOREIGN KEY ("stream_profile_id") REFERENCES "StreamProfile"("id");
+

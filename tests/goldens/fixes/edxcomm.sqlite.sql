@@ -1,0 +1,54 @@
+-- fixes.sqlite.sql — remediation DDL emitted by cfinder
+-- app: edxcomm
+-- missing constraints: 14
+
+-- constraint: CartProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CartProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CouponProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CouponProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: InvoiceProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "InvoiceProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: PaymentProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PaymentProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ReviewProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ReviewProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ShipmentProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ShipmentProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TicketProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TicketProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: BadgeItem Unique (status_t)
+CREATE UNIQUE INDEX "uq_BadgeItem_status_t" ON "BadgeItem" ("status_t");
+
+-- constraint: GradeItem Unique (status_t)
+CREATE UNIQUE INDEX "uq_GradeItem_status_t" ON "GradeItem" ("status_t");
+
+-- constraint: OrderProfile Unique (status_t)
+CREATE UNIQUE INDEX "uq_OrderProfile_status_t" ON "OrderProfile" ("status_t");
+
+-- constraint: ProductProfile Unique (status_t)
+CREATE UNIQUE INDEX "uq_ProductProfile_status_t" ON "ProductProfile" ("status_t");
+
+-- constraint: QuizItem Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_QuizItem_status_t" ON "QuizItem" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: UserProfile Unique (status_t)
+CREATE UNIQUE INDEX "uq_UserProfile_status_t" ON "UserProfile" ("status_t");
+
+-- constraint: TopicProfile FK (stream_profile_id) ref StreamProfile(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicProfile" ADD CONSTRAINT "fk_TopicProfile_stream_profile_id" FOREIGN KEY ("stream_profile_id") REFERENCES "StreamProfile"("id");
+

@@ -1,0 +1,79 @@
+-- fixes.mysql.sql — remediation DDL emitted by cfinder
+-- app: oscar
+-- missing constraints: 24
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared0Model` MODIFY COLUMN `inherited_0` TEXT NOT NULL;
+
+-- constraint: BlockLine Not NULL (slug_t)
+ALTER TABLE `BlockLine` MODIFY COLUMN `slug_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ChannelLine Not NULL (title_t)
+ALTER TABLE `ChannelLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: LessonLine Not NULL (title_t)
+ALTER TABLE `LessonLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: MessageLine Not NULL (title_t)
+ALTER TABLE `MessageLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: PageLine Not NULL (title_t)
+ALTER TABLE `PageLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: RefundLine Not NULL (title_t)
+ALTER TABLE `RefundLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: StockLine Not NULL (title_t)
+ALTER TABLE `StockLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: VendorLine Not NULL (title_t)
+ALTER TABLE `VendorLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: WalletLine Not NULL (title_t)
+ALTER TABLE `WalletLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CartLine Unique (title_t)
+ALTER TABLE `CartLine` ADD CONSTRAINT `uq_CartLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: CouponLine Unique (title_t)
+ALTER TABLE `CouponLine` ADD CONSTRAINT `uq_CouponLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: CourseLine Unique (slug_t)
+ALTER TABLE `CourseLine` ADD CONSTRAINT `uq_CourseLine_slug_t` UNIQUE (`slug_t`);
+
+-- constraint: InvoiceLine Unique (title_t)
+ALTER TABLE `InvoiceLine` ADD CONSTRAINT `uq_InvoiceLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: OrderLine Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_OrderLine_amount_t` ON `OrderLine` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: PaymentLine Unique (title_t)
+ALTER TABLE `PaymentLine` ADD CONSTRAINT `uq_PaymentLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: ProductLine Unique (title_t)
+ALTER TABLE `ProductLine` ADD CONSTRAINT `uq_ProductLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: ReviewLine Unique (title_t)
+ALTER TABLE `ReviewLine` ADD CONSTRAINT `uq_ReviewLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: ReviewProfile Unique (amount_t) where title_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_ReviewProfile_amount_t` ON `ReviewProfile` (`amount_t`) WHERE `title_flag` = TRUE;
+
+-- constraint: ShipmentLine Unique (slug_t)
+ALTER TABLE `ShipmentLine` ADD CONSTRAINT `uq_ShipmentLine_slug_t` UNIQUE (`slug_t`);
+
+-- constraint: TicketLine Unique (title_t)
+ALTER TABLE `TicketLine` ADD CONSTRAINT `uq_TicketLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: UserLine Unique (title_t)
+ALTER TABLE `UserLine` ADD CONSTRAINT `uq_UserLine_title_t` UNIQUE (`title_t`);
+
+-- constraint: CourseProfile FK (ticket_profile_id) ref TicketProfile(id)
+ALTER TABLE `CourseProfile` ADD CONSTRAINT `fk_CourseProfile_ticket_profile_id` FOREIGN KEY (`ticket_profile_id`) REFERENCES `TicketProfile`(`id`);
+
+-- constraint: MessageProfile FK (lesson_profile_id) ref LessonProfile(id)
+ALTER TABLE `MessageProfile` ADD CONSTRAINT `fk_MessageProfile_lesson_profile_id` FOREIGN KEY (`lesson_profile_id`) REFERENCES `LessonProfile`(`id`);
+

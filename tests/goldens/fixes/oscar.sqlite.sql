@@ -1,0 +1,88 @@
+-- fixes.sqlite.sql — remediation DDL emitted by cfinder
+-- app: oscar
+-- missing constraints: 24
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
+
+-- constraint: BlockLine Not NULL (slug_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BlockLine" ALTER COLUMN "slug_t" SET NOT NULL;
+
+-- constraint: ChannelLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ChannelLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: LessonLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "LessonLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: MessageLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: PageLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PageLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: RefundLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "RefundLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: StockLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StockLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: VendorLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "VendorLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: WalletLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "WalletLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: CartLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_CartLine_title_t" ON "CartLine" ("title_t");
+
+-- constraint: CouponLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_CouponLine_title_t" ON "CouponLine" ("title_t");
+
+-- constraint: CourseLine Unique (slug_t)
+CREATE UNIQUE INDEX "uq_CourseLine_slug_t" ON "CourseLine" ("slug_t");
+
+-- constraint: InvoiceLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_InvoiceLine_title_t" ON "InvoiceLine" ("title_t");
+
+-- constraint: OrderLine Unique (amount_t) where title_flag = TRUE
+CREATE UNIQUE INDEX "uq_OrderLine_amount_t" ON "OrderLine" ("amount_t") WHERE "title_flag" = TRUE;
+
+-- constraint: PaymentLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_PaymentLine_title_t" ON "PaymentLine" ("title_t");
+
+-- constraint: ProductLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_ProductLine_title_t" ON "ProductLine" ("title_t");
+
+-- constraint: ReviewLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_ReviewLine_title_t" ON "ReviewLine" ("title_t");
+
+-- constraint: ReviewProfile Unique (amount_t) where title_flag = TRUE
+CREATE UNIQUE INDEX "uq_ReviewProfile_amount_t" ON "ReviewProfile" ("amount_t") WHERE "title_flag" = TRUE;
+
+-- constraint: ShipmentLine Unique (slug_t)
+CREATE UNIQUE INDEX "uq_ShipmentLine_slug_t" ON "ShipmentLine" ("slug_t");
+
+-- constraint: TicketLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_TicketLine_title_t" ON "TicketLine" ("title_t");
+
+-- constraint: UserLine Unique (title_t)
+CREATE UNIQUE INDEX "uq_UserLine_title_t" ON "UserLine" ("title_t");
+
+-- constraint: CourseProfile FK (ticket_profile_id) ref TicketProfile(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CourseProfile" ADD CONSTRAINT "fk_CourseProfile_ticket_profile_id" FOREIGN KEY ("ticket_profile_id") REFERENCES "TicketProfile"("id");
+
+-- constraint: MessageProfile FK (lesson_profile_id) ref LessonProfile(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageProfile" ADD CONSTRAINT "fk_MessageProfile_lesson_profile_id" FOREIGN KEY ("lesson_profile_id") REFERENCES "LessonProfile"("id");
+

@@ -1,0 +1,49 @@
+-- fixes.postgres.sql — remediation DDL emitted by cfinder
+-- app: saleor
+-- missing constraints: 15
+
+-- constraint: BundleLine Not NULL (title_t)
+ALTER TABLE "BundleLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: CatalogLine Not NULL (slug_t)
+ALTER TABLE "CatalogLine" ALTER COLUMN "slug_t" SET NOT NULL;
+
+-- constraint: RefundLine Not NULL (title_t)
+ALTER TABLE "RefundLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: SessionLine Not NULL (title_d)
+ALTER TABLE "SessionLine" ALTER COLUMN "title_d" SET NOT NULL;
+
+-- constraint: StockLine Not NULL (title_t)
+ALTER TABLE "StockLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: TeamLine Not NULL (title_t)
+ALTER TABLE "TeamLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: VendorLine Not NULL (title_t)
+ALTER TABLE "VendorLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: WalletLine Not NULL (title_t)
+ALTER TABLE "WalletLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: BlockLine Unique (slug_t)
+ALTER TABLE "BlockLine" ADD CONSTRAINT "uq_BlockLine_slug_t" UNIQUE ("slug_t");
+
+-- constraint: ChannelLine Unique (title_t)
+ALTER TABLE "ChannelLine" ADD CONSTRAINT "uq_ChannelLine_title_t" UNIQUE ("title_t");
+
+-- constraint: LessonLine Unique (title_t) where slug_flag = TRUE
+CREATE UNIQUE INDEX "uq_LessonLine_title_t" ON "LessonLine" ("title_t") WHERE "slug_flag" = TRUE;
+
+-- constraint: MessageLine Unique (title_t)
+ALTER TABLE "MessageLine" ADD CONSTRAINT "uq_MessageLine_title_t" UNIQUE ("title_t");
+
+-- constraint: PageLine Unique (title_t)
+ALTER TABLE "PageLine" ADD CONSTRAINT "uq_PageLine_title_t" UNIQUE ("title_t");
+
+-- constraint: CartEntry FK (user_entry_id) ref UserEntry(id)
+ALTER TABLE "CartEntry" ADD CONSTRAINT "fk_CartEntry_user_entry_id" FOREIGN KEY ("user_entry_id") REFERENCES "UserEntry"("id");
+
+-- constraint: ProductEntry FK (order_entry_id) ref OrderEntry(id)
+ALTER TABLE "ProductEntry" ADD CONSTRAINT "fk_ProductEntry_order_entry_id" FOREIGN KEY ("order_entry_id") REFERENCES "OrderEntry"("id");
+

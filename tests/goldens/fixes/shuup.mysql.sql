@@ -1,0 +1,101 @@
+-- fixes.mysql.sql — remediation DDL emitted by cfinder
+-- app: shuup
+-- missing constraints: 31
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared0Model` MODIFY COLUMN `inherited_0` TEXT NOT NULL;
+
+-- constraint: AbstractShared2Model Not NULL (inherited_2)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared2Model` MODIFY COLUMN `inherited_2` TEXT NOT NULL;
+
+-- constraint: AbstractShared4Model Not NULL (inherited_4)
+-- mysql: column type unknown to the analyzer; verify TEXT before applying
+ALTER TABLE `AbstractShared4Model` MODIFY COLUMN `inherited_4` TEXT NOT NULL;
+
+-- constraint: BadgeLog Not NULL (status_t)
+ALTER TABLE `BadgeLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CartLink Not NULL (status_t)
+ALTER TABLE `CartLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ChannelLink Not NULL (status_d)
+ALTER TABLE `ChannelLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: CouponLink Not NULL (status_d)
+ALTER TABLE `CouponLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: CourseLink Not NULL (status_t)
+ALTER TABLE `CourseLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: GradeLog Not NULL (status_t)
+ALTER TABLE `GradeLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: InvoiceLink Not NULL (status_t)
+ALTER TABLE `InvoiceLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: LessonLink Not NULL (status_t)
+ALTER TABLE `LessonLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: MessageLink Not NULL (status_d)
+ALTER TABLE `MessageLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: ModuleLog Not NULL (status_t)
+ALTER TABLE `ModuleLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: OrderLink Not NULL (status_t)
+ALTER TABLE `OrderLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: PaymentLink Not NULL (status_d)
+ALTER TABLE `PaymentLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: ProductLink Not NULL (status_t)
+ALTER TABLE `ProductLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: QuizLog Not NULL (status_t)
+ALTER TABLE `QuizLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ReviewLink Not NULL (status_d)
+ALTER TABLE `ReviewLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: ShipmentLink Not NULL (status_d)
+ALTER TABLE `ShipmentLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: StreamLog Not NULL (status_t)
+ALTER TABLE `StreamLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TeamLog Not NULL (status_t)
+ALTER TABLE `TeamLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TicketLink Not NULL (status_d)
+ALTER TABLE `TicketLink` MODIFY COLUMN `status_d` INT NOT NULL;
+
+-- constraint: TopicLog Not NULL (status_t)
+ALTER TABLE `TopicLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: UserLink Not NULL (status_t)
+ALTER TABLE `UserLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: BundleLog Unique (status_t)
+ALTER TABLE `BundleLog` ADD CONSTRAINT `uq_BundleLog_status_t` UNIQUE (`status_t`);
+
+-- constraint: CatalogLog Unique (status_t)
+ALTER TABLE `CatalogLog` ADD CONSTRAINT `uq_CatalogLog_status_t` UNIQUE (`status_t`);
+
+-- constraint: RefundLog Unique (status_t, vendor_log_id)
+ALTER TABLE `RefundLog` ADD CONSTRAINT `uq_RefundLog_status_t_vendor_log_id` UNIQUE (`status_t`, `vendor_log_id`);
+
+-- constraint: SessionLog Unique (status_t)
+ALTER TABLE `SessionLog` ADD CONSTRAINT `uq_SessionLog_status_t` UNIQUE (`status_t`);
+
+-- constraint: VendorLog Unique (status_t) where amount_flag = TRUE
+-- mysql: partial indexes are not supported; emulate with a generated column before applying
+CREATE UNIQUE INDEX `uq_VendorLog_status_t` ON `VendorLog` (`status_t`) WHERE `amount_flag` = TRUE;
+
+-- constraint: WalletLog Unique (status_t)
+ALTER TABLE `WalletLog` ADD CONSTRAINT `uq_WalletLog_status_t` UNIQUE (`status_t`);
+
+-- constraint: MessageMeta FK (lesson_meta_id) ref LessonMeta(id)
+ALTER TABLE `MessageMeta` ADD CONSTRAINT `fk_MessageMeta_lesson_meta_id` FOREIGN KEY (`lesson_meta_id`) REFERENCES `LessonMeta`(`id`);
+

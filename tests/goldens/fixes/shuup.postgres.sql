@@ -1,0 +1,97 @@
+-- fixes.postgres.sql — remediation DDL emitted by cfinder
+-- app: shuup
+-- missing constraints: 31
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
+
+-- constraint: AbstractShared2Model Not NULL (inherited_2)
+ALTER TABLE "AbstractShared2Model" ALTER COLUMN "inherited_2" SET NOT NULL;
+
+-- constraint: AbstractShared4Model Not NULL (inherited_4)
+ALTER TABLE "AbstractShared4Model" ALTER COLUMN "inherited_4" SET NOT NULL;
+
+-- constraint: BadgeLog Not NULL (status_t)
+ALTER TABLE "BadgeLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CartLink Not NULL (status_t)
+ALTER TABLE "CartLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ChannelLink Not NULL (status_d)
+ALTER TABLE "ChannelLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CouponLink Not NULL (status_d)
+ALTER TABLE "CouponLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CourseLink Not NULL (status_t)
+ALTER TABLE "CourseLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: GradeLog Not NULL (status_t)
+ALTER TABLE "GradeLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: InvoiceLink Not NULL (status_t)
+ALTER TABLE "InvoiceLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: LessonLink Not NULL (status_t)
+ALTER TABLE "LessonLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: MessageLink Not NULL (status_d)
+ALTER TABLE "MessageLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ModuleLog Not NULL (status_t)
+ALTER TABLE "ModuleLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: OrderLink Not NULL (status_t)
+ALTER TABLE "OrderLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: PaymentLink Not NULL (status_d)
+ALTER TABLE "PaymentLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ProductLink Not NULL (status_t)
+ALTER TABLE "ProductLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: QuizLog Not NULL (status_t)
+ALTER TABLE "QuizLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ReviewLink Not NULL (status_d)
+ALTER TABLE "ReviewLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ShipmentLink Not NULL (status_d)
+ALTER TABLE "ShipmentLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: StreamLog Not NULL (status_t)
+ALTER TABLE "StreamLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TeamLog Not NULL (status_t)
+ALTER TABLE "TeamLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TicketLink Not NULL (status_d)
+ALTER TABLE "TicketLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: TopicLog Not NULL (status_t)
+ALTER TABLE "TopicLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: UserLink Not NULL (status_t)
+ALTER TABLE "UserLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: BundleLog Unique (status_t)
+ALTER TABLE "BundleLog" ADD CONSTRAINT "uq_BundleLog_status_t" UNIQUE ("status_t");
+
+-- constraint: CatalogLog Unique (status_t)
+ALTER TABLE "CatalogLog" ADD CONSTRAINT "uq_CatalogLog_status_t" UNIQUE ("status_t");
+
+-- constraint: RefundLog Unique (status_t, vendor_log_id)
+ALTER TABLE "RefundLog" ADD CONSTRAINT "uq_RefundLog_status_t_vendor_log_id" UNIQUE ("status_t", "vendor_log_id");
+
+-- constraint: SessionLog Unique (status_t)
+ALTER TABLE "SessionLog" ADD CONSTRAINT "uq_SessionLog_status_t" UNIQUE ("status_t");
+
+-- constraint: VendorLog Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_VendorLog_status_t" ON "VendorLog" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: WalletLog Unique (status_t)
+ALTER TABLE "WalletLog" ADD CONSTRAINT "uq_WalletLog_status_t" UNIQUE ("status_t");
+
+-- constraint: MessageMeta FK (lesson_meta_id) ref LessonMeta(id)
+ALTER TABLE "MessageMeta" ADD CONSTRAINT "fk_MessageMeta_lesson_meta_id" FOREIGN KEY ("lesson_meta_id") REFERENCES "LessonMeta"("id");
+

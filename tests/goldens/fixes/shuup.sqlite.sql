@@ -1,0 +1,122 @@
+-- fixes.sqlite.sql — remediation DDL emitted by cfinder
+-- app: shuup
+-- missing constraints: 31
+
+-- constraint: AbstractShared0Model Not NULL (inherited_0)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
+
+-- constraint: AbstractShared2Model Not NULL (inherited_2)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "AbstractShared2Model" ALTER COLUMN "inherited_2" SET NOT NULL;
+
+-- constraint: AbstractShared4Model Not NULL (inherited_4)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "AbstractShared4Model" ALTER COLUMN "inherited_4" SET NOT NULL;
+
+-- constraint: BadgeLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BadgeLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CartLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CartLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ChannelLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ChannelLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CouponLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CouponLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CourseLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CourseLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: GradeLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "GradeLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: InvoiceLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "InvoiceLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: LessonLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "LessonLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: MessageLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ModuleLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ModuleLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: OrderLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "OrderLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: PaymentLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PaymentLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ProductLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ProductLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: QuizLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "QuizLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: ReviewLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ReviewLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: ShipmentLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ShipmentLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: StreamLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TeamLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TeamLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: TicketLink Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TicketLink" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: TopicLog Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicLog" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: UserLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "UserLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: BundleLog Unique (status_t)
+CREATE UNIQUE INDEX "uq_BundleLog_status_t" ON "BundleLog" ("status_t");
+
+-- constraint: CatalogLog Unique (status_t)
+CREATE UNIQUE INDEX "uq_CatalogLog_status_t" ON "CatalogLog" ("status_t");
+
+-- constraint: RefundLog Unique (status_t, vendor_log_id)
+CREATE UNIQUE INDEX "uq_RefundLog_status_t_vendor_log_id" ON "RefundLog" ("status_t", "vendor_log_id");
+
+-- constraint: SessionLog Unique (status_t)
+CREATE UNIQUE INDEX "uq_SessionLog_status_t" ON "SessionLog" ("status_t");
+
+-- constraint: VendorLog Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_VendorLog_status_t" ON "VendorLog" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: WalletLog Unique (status_t)
+CREATE UNIQUE INDEX "uq_WalletLog_status_t" ON "WalletLog" ("status_t");
+
+-- constraint: MessageMeta FK (lesson_meta_id) ref LessonMeta(id)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageMeta" ADD CONSTRAINT "fk_MessageMeta_lesson_meta_id" FOREIGN KEY ("lesson_meta_id") REFERENCES "LessonMeta"("id");
+

@@ -1,0 +1,34 @@
+-- fixes.postgres.sql — remediation DDL emitted by cfinder
+-- app: wagtail
+-- missing constraints: 10
+
+-- constraint: BundleItem Not NULL (status_d)
+ALTER TABLE "BundleItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CatalogItem Not NULL (status_t)
+ALTER TABLE "CatalogItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: RefundItem Not NULL (status_d)
+ALTER TABLE "RefundItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: StockItem Not NULL (status_t)
+ALTER TABLE "StockItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: VendorItem Not NULL (status_d)
+ALTER TABLE "VendorItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: WalletItem Not NULL (status_d)
+ALTER TABLE "WalletItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: BlockItem Unique (status_t)
+ALTER TABLE "BlockItem" ADD CONSTRAINT "uq_BlockItem_status_t" UNIQUE ("status_t");
+
+-- constraint: ChannelItem Unique (status_t)
+ALTER TABLE "ChannelItem" ADD CONSTRAINT "uq_ChannelItem_status_t" UNIQUE ("status_t");
+
+-- constraint: MessageItem Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_MessageItem_status_t" ON "MessageItem" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: PageItem Unique (status_t)
+ALTER TABLE "PageItem" ADD CONSTRAINT "uq_PageItem_status_t" UNIQUE ("status_t");
+

@@ -1,0 +1,40 @@
+-- fixes.sqlite.sql — remediation DDL emitted by cfinder
+-- app: wagtail
+-- missing constraints: 10
+
+-- constraint: BundleItem Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BundleItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: CatalogItem Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CatalogItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: RefundItem Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "RefundItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: StockItem Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StockItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: VendorItem Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "VendorItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: WalletItem Not NULL (status_d)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "WalletItem" ALTER COLUMN "status_d" SET NOT NULL;
+
+-- constraint: BlockItem Unique (status_t)
+CREATE UNIQUE INDEX "uq_BlockItem_status_t" ON "BlockItem" ("status_t");
+
+-- constraint: ChannelItem Unique (status_t)
+CREATE UNIQUE INDEX "uq_ChannelItem_status_t" ON "ChannelItem" ("status_t");
+
+-- constraint: MessageItem Unique (status_t) where amount_flag = TRUE
+CREATE UNIQUE INDEX "uq_MessageItem_status_t" ON "MessageItem" ("status_t") WHERE "amount_flag" = TRUE;
+
+-- constraint: PageItem Unique (status_t)
+CREATE UNIQUE INDEX "uq_PageItem_status_t" ON "PageItem" ("status_t");
+

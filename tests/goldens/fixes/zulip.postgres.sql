@@ -1,0 +1,67 @@
+-- fixes.postgres.sql — remediation DDL emitted by cfinder
+-- app: zulip
+-- missing constraints: 21
+
+-- constraint: BundleProfile Not NULL (title_t)
+ALTER TABLE "BundleProfile" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: OrderLine Not NULL (title_d)
+ALTER TABLE "OrderLine" ALTER COLUMN "title_d" SET NOT NULL;
+
+-- constraint: ProductLine Not NULL (slug_d)
+ALTER TABLE "ProductLine" ALTER COLUMN "slug_d" SET NOT NULL;
+
+-- constraint: SessionProfile Not NULL (title_t)
+ALTER TABLE "SessionProfile" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: StreamProfile Not NULL (title_d)
+ALTER TABLE "StreamProfile" ALTER COLUMN "title_d" SET NOT NULL;
+
+-- constraint: TeamProfile Not NULL (title_t)
+ALTER TABLE "TeamProfile" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: UserLine Not NULL (slug_d)
+ALTER TABLE "UserLine" ALTER COLUMN "slug_d" SET NOT NULL;
+
+-- constraint: BlockProfile Unique (title_t)
+ALTER TABLE "BlockProfile" ADD CONSTRAINT "uq_BlockProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: CatalogProfile Unique (title_t)
+ALTER TABLE "CatalogProfile" ADD CONSTRAINT "uq_CatalogProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: ChannelProfile Unique (title_t)
+ALTER TABLE "ChannelProfile" ADD CONSTRAINT "uq_ChannelProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: LessonProfile Unique (title_t) where slug_flag = TRUE
+CREATE UNIQUE INDEX "uq_LessonProfile_title_t" ON "LessonProfile" ("title_t") WHERE "slug_flag" = TRUE;
+
+-- constraint: MessageProfile Unique (title_t) where slug_flag = TRUE
+CREATE UNIQUE INDEX "uq_MessageProfile_title_t" ON "MessageProfile" ("title_t") WHERE "slug_flag" = TRUE;
+
+-- constraint: PageProfile Unique (title_t)
+ALTER TABLE "PageProfile" ADD CONSTRAINT "uq_PageProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: RefundProfile Unique (title_t)
+ALTER TABLE "RefundProfile" ADD CONSTRAINT "uq_RefundProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: StockProfile Unique (title_t)
+ALTER TABLE "StockProfile" ADD CONSTRAINT "uq_StockProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: VendorProfile Unique (title_t)
+ALTER TABLE "VendorProfile" ADD CONSTRAINT "uq_VendorProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: WalletProfile Unique (title_t)
+ALTER TABLE "WalletProfile" ADD CONSTRAINT "uq_WalletProfile_title_t" UNIQUE ("title_t");
+
+-- constraint: GradeProfile FK (quiz_profile_id) ref QuizProfile(id)
+ALTER TABLE "GradeProfile" ADD CONSTRAINT "fk_GradeProfile_quiz_profile_id" FOREIGN KEY ("quiz_profile_id") REFERENCES "QuizProfile"("id");
+
+-- constraint: ModuleProfile FK (topic_profile_id) ref TopicProfile(id)
+ALTER TABLE "ModuleProfile" ADD CONSTRAINT "fk_ModuleProfile_topic_profile_id" FOREIGN KEY ("topic_profile_id") REFERENCES "TopicProfile"("id");
+
+-- constraint: OrderEntry FK (badge_profile_id) ref BadgeProfile(id)
+ALTER TABLE "OrderEntry" ADD CONSTRAINT "fk_OrderEntry_badge_profile_id" FOREIGN KEY ("badge_profile_id") REFERENCES "BadgeProfile"("id");
+
+-- constraint: UserEntry FK (product_entry_id) ref ProductEntry(id)
+ALTER TABLE "UserEntry" ADD CONSTRAINT "fk_UserEntry_product_entry_id" FOREIGN KEY ("product_entry_id") REFERENCES "ProductEntry"("id");
+

@@ -4,8 +4,12 @@
 //! same order, same inferred/missing/existing sets, same incidents.
 //! Only the timing fields may differ.
 
+use std::fs;
+use std::path::PathBuf;
+
 use cfinder::core::{AnalysisReport, AppSource, CFinder, SourceFile};
 use cfinder::corpus::GenOptions;
+use cfinder::sql::{fix_script, Dialect};
 
 fn analyze_with_threads(app: &cfinder::corpus::GeneratedApp, threads: usize) -> AnalysisReport {
     let source = AppSource::new(
@@ -47,6 +51,50 @@ fn parallel_analysis_matches_serial_on_all_corpus_apps() {
                 &parallel,
                 &format!("{} @ {threads} threads", app.name),
             );
+        }
+    }
+}
+
+/// The `reproduce` fix-script artifacts are part of the determinism
+/// contract: for every corpus app and every dialect, the emitted
+/// `fixes.<dialect>.sql` must be byte-identical to the checked-in golden,
+/// at 1, 2, and 4 analysis threads alike. Regenerate the goldens with
+/// `CFINDER_BLESS=1 cargo test --test parallel_determinism`.
+#[test]
+fn fix_script_artifacts_match_goldens_at_every_thread_count() {
+    let golden_dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/goldens/fixes");
+    let bless = std::env::var_os("CFINDER_BLESS").is_some();
+    if bless {
+        fs::create_dir_all(&golden_dir).unwrap();
+    }
+    for profile in cfinder::corpus::all_profiles() {
+        let app = cfinder::corpus::generate(&profile, GenOptions::quick());
+        for threads in [1, 2, 4] {
+            let report = analyze_with_threads(&app, threads);
+            for dialect in Dialect::ALL {
+                let script = fix_script(
+                    report.missing.iter().map(|m| &m.constraint),
+                    dialect,
+                    Some(&app.declared),
+                    &app.name,
+                );
+                let path = golden_dir.join(format!("{}.{dialect}.sql", app.name));
+                if bless && threads == 1 {
+                    fs::write(&path, &script).unwrap();
+                }
+                let golden = fs::read_to_string(&path).unwrap_or_else(|e| {
+                    panic!(
+                        "{}: missing golden {} ({e}); run with CFINDER_BLESS=1 to create it",
+                        app.name,
+                        path.display()
+                    )
+                });
+                assert_eq!(
+                    script, golden,
+                    "{} @ {threads} threads / {dialect}: fix script drifted from golden",
+                    app.name
+                );
+            }
         }
     }
 }

@@ -1,0 +1,122 @@
+//! The round-trip parser oracle at corpus scale: every constraint CFinder
+//! reports on every corpus app must survive `parse(emit(c, dialect))` in
+//! all three dialects, and applying the emitted fix script to the emitted
+//! schema dump must reach a fixed point — a re-analysis against the
+//! re-parsed schema reports zero missing constraints, and the result is
+//! enforceable in minidb.
+
+use cfinder::core::{AnalysisReport, AppSource, CFinder, SourceFile};
+use cfinder::corpus::{GenOptions, GeneratedApp};
+use cfinder::minidb::Database;
+use cfinder::sql::{constraint_ddl, fix_script, parse_sql, schema_to_sql, Dialect};
+
+fn analyze(app: &GeneratedApp) -> AnalysisReport {
+    let source = AppSource::new(
+        app.name.clone(),
+        app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+    );
+    CFinder::new().analyze(&source, &app.declared)
+}
+
+/// Oracle half 1: for every constraint in every corpus app's report
+/// (inferred, missing, and already-covered alike), `parse(emit(c, d))`
+/// recovers a semantically identical constraint in every dialect.
+#[test]
+fn every_reported_constraint_round_trips_in_every_dialect() {
+    for profile in cfinder::corpus::all_profiles() {
+        let app = cfinder::corpus::generate(&profile, GenOptions::quick());
+        let report = analyze(&app);
+        let mut checked = 0usize;
+        for c in report
+            .inferred
+            .iter()
+            .chain(report.missing.iter().map(|m| &m.constraint))
+            .chain(report.existing_covered.iter())
+        {
+            for d in Dialect::ALL {
+                let sql = constraint_ddl(c, d, Some(&app.declared));
+                let parsed = parse_sql(&sql);
+                assert!(
+                    parsed.errors.is_empty(),
+                    "{}/{d}: {sql}\nerrors: {:?}",
+                    app.name,
+                    parsed.errors
+                );
+                assert!(
+                    parsed.constraint_set().contains(c),
+                    "{}/{d}: {sql}\nparsed: {:?}",
+                    app.name,
+                    parsed.constraint_set()
+                );
+            }
+            checked += 1;
+        }
+        assert!(checked > 0, "{}: report had no constraints to check", app.name);
+    }
+}
+
+/// Oracle half 2 (fixed point): emit the declared schema as a dump, append
+/// the fix script for the missing constraints, re-parse the combination,
+/// and re-analyze — every constraint the declared schema can host must be
+/// resolved, and minidb must accept the re-parsed schema for live
+/// enforcement. Constraints on tables the schema doesn't have (inferences
+/// against abstract models) are un-appliable by definition; they must
+/// surface as typed `Unsupported` ingestion warnings, never silently.
+#[test]
+fn schema_dump_plus_fix_script_reaches_a_fixed_point() {
+    for profile in cfinder::corpus::all_profiles() {
+        let app = cfinder::corpus::generate(&profile, GenOptions::quick());
+        let report = analyze(&app);
+        for d in Dialect::ALL {
+            let mut dump = schema_to_sql(&app.declared, d);
+            dump.push('\n');
+            dump.push_str(&fix_script(
+                report.missing.iter().map(|m| &m.constraint),
+                d,
+                Some(&app.declared),
+                &app.name,
+            ));
+
+            let parsed = parse_sql(&dump);
+            assert!(
+                parsed.errors.is_empty(),
+                "{}/{d}: dump does not re-parse cleanly: {:?}",
+                app.name,
+                parsed.errors
+            );
+            let (patched, warnings) = parsed.into_schema();
+            // Every ingestion warning must be a typed drop of a constraint
+            // the declared schema cannot host — anything else is a real
+            // round-trip failure.
+            for w in &warnings {
+                assert!(
+                    w.kind == cfinder::sql::SqlErrorKind::Unsupported
+                        && w.message.starts_with("dropped constraint"),
+                    "{}/{d}: unexpected ingestion warning: {w}",
+                    app.name
+                );
+            }
+
+            let source = AppSource::new(
+                app.name.clone(),
+                app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
+            );
+            let fixed = CFinder::new().analyze(&source, &patched);
+            for m in &fixed.missing {
+                assert!(
+                    app.declared.table(m.constraint.table()).is_none(),
+                    "{}/{d}: appliable constraint still missing after fixes: {}",
+                    app.name,
+                    m.constraint
+                );
+            }
+
+            // The pipeline closes executably: the re-parsed, patched schema
+            // loads into minidb with all constraints live.
+            let db = Database::from_schema(&patched).unwrap_or_else(|e| {
+                panic!("{}/{d}: minidb rejected patched schema: {e}", app.name)
+            });
+            assert_eq!(db.table_names().len(), patched.table_count(), "{}/{d}", app.name);
+        }
+    }
+}
