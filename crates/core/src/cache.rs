@@ -445,6 +445,8 @@ fn tool_fingerprint(options: &CFinderOptions, limits: &Limits, salt: &str) -> St
         options.data_dependency_checks,
         options.composite_unique,
         options.partial_unique,
+        options.check_inference,
+        options.default_inference,
         options.ext_one_to_one_unique,
         options.ext_url_identifier,
         limits.inject_panic_marker,
@@ -633,6 +635,11 @@ mod tests {
         assert_eq!(base, tool_fingerprint(&o, &l, ""), "deterministic");
         let ablated = CFinderOptions { null_guard_analysis: false, ..o };
         assert_ne!(base, tool_fingerprint(&ablated, &l, ""));
+        let no_check = CFinderOptions { check_inference: false, ..o };
+        assert_ne!(base, tool_fingerprint(&no_check, &l, ""));
+        let no_default = CFinderOptions { default_inference: false, ..o };
+        assert_ne!(base, tool_fingerprint(&no_default, &l, ""));
+        assert_ne!(tool_fingerprint(&no_check, &l, ""), tool_fingerprint(&no_default, &l, ""));
         let capped = Limits { max_file_bytes: 1024, ..l };
         assert_ne!(base, tool_fingerprint(&o, &capped, ""));
         let deadline = Limits { deadline: Some(std::time::Duration::from_millis(50)), ..l };

@@ -85,6 +85,14 @@ pub struct CFinderOptions {
     /// §3.5.2 partial (conditional) uniques from fixed-value filters.
     /// Off → over-broad unconditional constraints.
     pub partial_unique: bool,
+    /// PA_c1/PA_c2 CHECK inference: comparison and membership guards that
+    /// raise on violation become `CHECK` predicates. Off → value-range
+    /// invariants stay enforced only in application code.
+    pub check_inference: bool,
+    /// PA_d1 DEFAULT inference: `if <col> is None: <col> = <constant>`
+    /// sentinel assignments become `DEFAULT` constraints. Off → the
+    /// fallback value never reaches the schema.
+    pub default_inference: bool,
     /// Extension PA_x1 (default **off**): `OneToOneField` declarations
     /// imply a unique constraint on the FK column.
     pub ext_one_to_one_unique: bool,
@@ -100,6 +108,8 @@ impl Default for CFinderOptions {
             data_dependency_checks: true,
             composite_unique: true,
             partial_unique: true,
+            check_inference: true,
+            default_inference: true,
             ext_one_to_one_unique: false,
             ext_url_identifier: false,
         }

@@ -15,9 +15,9 @@ use std::collections::BTreeSet;
 
 use cfinder_flow::nullguard::{guard_paths, AccessPath};
 use cfinder_flow::NullGuards;
-use cfinder_pyast::ast::{Constant, Expr, ExprKind, Stmt, StmtKind, UnaryOp};
+use cfinder_pyast::ast::{CmpOp, Constant, Expr, ExprKind, Stmt, StmtKind, UnaryOp};
 use cfinder_pyast::visit::bfs_exprs;
-use cfinder_schema::{Condition, Constraint};
+use cfinder_schema::{CompareOp, Condition, Constraint, Literal, Predicate};
 
 use crate::detect::CFinderOptions;
 use crate::models::{FieldKind, ModelRegistry};
@@ -30,8 +30,8 @@ use crate::syntax::{
 /// Labels of the statement-driven pattern families, in the order
 /// [`FamilyTimers`] accumulates them (the registry-level PA_n3/PA_x1 run
 /// once per app and are timed by their own trace span instead).
-pub const FAMILY_LABELS: [&str; 7] =
-    ["PA_u1", "PA_u2", "PA_n1", "PA_n2", "PA_f1", "PA_f2", "PA_x2"];
+pub const FAMILY_LABELS: [&str; 10] =
+    ["PA_u1", "PA_u2", "PA_n1", "PA_n2", "PA_f1", "PA_f2", "PA_x2", "PA_c1", "PA_c2", "PA_d1"];
 
 /// Per-pattern-family detection time accumulated over one module.
 ///
@@ -43,7 +43,7 @@ pub const FAMILY_LABELS: [&str; 7] =
 /// `Cell` suffices: a module is detected by exactly one worker thread.
 #[derive(Debug, Default)]
 pub struct FamilyTimers {
-    nanos: [std::cell::Cell<u64>; 7],
+    nanos: [std::cell::Cell<u64>; 10],
 }
 
 impl FamilyTimers {
@@ -59,8 +59,8 @@ impl FamilyTimers {
 
     /// `(label, accumulated nanoseconds)` for every family, in
     /// [`FAMILY_LABELS`] order.
-    pub fn totals(&self) -> [(&'static str, u64); 7] {
-        let mut out = [("", 0); 7];
+    pub fn totals(&self) -> [(&'static str, u64); 10] {
+        let mut out = [("", 0); 10];
         for (i, label) in FAMILY_LABELS.iter().enumerate() {
             out[i] = (label, self.nanos[i].get());
         }
@@ -137,6 +137,9 @@ pub fn detect_all(ctx: &DetectCtx<'_>, body: &[Stmt], out: &mut Vec<Detection>) 
         timed(ctx, 4, || detect_f1(ctx, stmt, out));
         timed(ctx, 5, || detect_f2(ctx, stmt, out));
         timed(ctx, 6, || detect_x2(ctx, stmt, out));
+        timed(ctx, 7, || detect_c1(ctx, stmt, out));
+        timed(ctx, 8, || detect_c2(ctx, stmt, out));
+        timed(ctx, 9, || detect_d1(ctx, stmt, out));
     });
 }
 
@@ -457,6 +460,175 @@ fn branch_assigns_path(branch: &[Stmt], path: &AccessPath) -> bool {
         if let StmtKind::Assign { targets, .. } = &stmt.kind {
             if targets.iter().any(|t| AccessPath::of_expr(t).as_ref() == Some(path)) {
                 found = true;
+            }
+        }
+    });
+    found
+}
+
+// --- PA_c1 / PA_c2: value guards imply CHECK constraints ------------------------
+
+/// PA_c1: a comparison guard against a constant whose violating branch
+/// raises. `if data.total <= 0: raise` means every persisted row satisfies
+/// the *negation*, so the schema can enforce `CHECK (total > 0)`.
+fn detect_c1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    if !ctx.options.check_inference {
+        return;
+    }
+    let StmtKind::If { test, body: then, orelse } = &stmt.kind else { return };
+    let (test, negated) = unwrap_not(test);
+    let ExprKind::Compare { left, ops, comparators } = &test.kind else { return };
+    // Chained comparisons (`0 < x < 10`) are out of the normalized form.
+    let ([op], [right]) = (ops.as_slice(), comparators.as_slice()) else { return };
+    let Some(op) = compare_op_of(op) else { return };
+    // Column on either side; flip the operator when the literal is first.
+    let (col_expr, lit, op) = if let Some(lit) = literal_of(right) {
+        (&**left, lit, op)
+    } else if let Some(lit) = literal_of(left) {
+        (right, lit, op.flipped())
+    } else {
+        return;
+    };
+    let Some(path) = AccessPath::of_expr(col_expr) else { return };
+    let Some((model, column)) = field_of_path(ctx, &path, stmt) else { return };
+    // `if C: raise` pins ¬C; `if C: … else: raise` pins C. An outer `not`
+    // has already inverted the written condition relative to C.
+    let holds = if branch_has_error(ctx, then) {
+        if negated {
+            op
+        } else {
+            op.negated()
+        }
+    } else if !orelse.is_empty() && branch_has_error(ctx, orelse) {
+        if negated {
+            op.negated()
+        } else {
+            op
+        }
+    } else {
+        return;
+    };
+    let c = Constraint::check(model, Predicate::compare(column, holds, lit));
+    ctx.emit(out, PatternId::C1, c, stmt);
+}
+
+/// PA_c2: a membership guard over a closed constant set whose violating
+/// branch raises. `if self.status not in ('Open', 'Closed'): raise` pins
+/// `CHECK (status IN ('Closed', 'Open'))`.
+fn detect_c2(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    if !ctx.options.check_inference {
+        return;
+    }
+    let StmtKind::If { test, body: then, orelse } = &stmt.kind else { return };
+    let (test, negated) = unwrap_not(test);
+    let ExprKind::Compare { left, ops, comparators } = &test.kind else { return };
+    let ([op], [right]) = (ops.as_slice(), comparators.as_slice()) else { return };
+    let is_in = match op {
+        CmpOp::In => true,
+        CmpOp::NotIn => false,
+        _ => return,
+    };
+    let Some(values) = literal_list_of(right) else { return };
+    let Some(path) = AccessPath::of_expr(left) else { return };
+    let Some((model, column)) = field_of_path(ctx, &path, stmt) else { return };
+    // Only membership (IN) is expressible; the guard pins it when the
+    // *violating* side of the branch is the non-member one.
+    let cond_is_member = is_in != negated;
+    let pinned = if branch_has_error(ctx, then) {
+        !cond_is_member
+    } else if !orelse.is_empty() && branch_has_error(ctx, orelse) {
+        cond_is_member
+    } else {
+        return;
+    };
+    if !pinned {
+        return;
+    }
+    let c = Constraint::check(model, Predicate::in_values(column, values));
+    ctx.emit(out, PatternId::C2, c, stmt);
+}
+
+/// Maps a Python comparison operator onto the predicate algebra. Identity
+/// and membership operators have no scalar SQL counterpart here.
+fn compare_op_of(op: &CmpOp) -> Option<CompareOp> {
+    match op {
+        CmpOp::Eq => Some(CompareOp::Eq),
+        CmpOp::NotEq => Some(CompareOp::Ne),
+        CmpOp::Lt => Some(CompareOp::Lt),
+        CmpOp::LtEq => Some(CompareOp::Le),
+        CmpOp::Gt => Some(CompareOp::Gt),
+        CmpOp::GtEq => Some(CompareOp::Ge),
+        CmpOp::In | CmpOp::NotIn | CmpOp::Is | CmpOp::IsNot => None,
+    }
+}
+
+/// A constant expression as a SQL literal. Floats are excluded (their SQL
+/// rendering is dialect-sensitive) and `None` is handled by PA_n2, not as
+/// a comparable value. Negative numbers arrive as unary minus over a
+/// constant, not as a negative constant.
+fn literal_of(expr: &Expr) -> Option<Literal> {
+    if let ExprKind::UnaryOp { op: UnaryOp::Neg, operand } = &expr.kind {
+        if let ExprKind::Constant(Constant::Int(i)) = &operand.kind {
+            return Some(Literal::Int(-i));
+        }
+        return None;
+    }
+    let ExprKind::Constant(c) = &expr.kind else { return None };
+    match c {
+        Constant::Int(i) => Some(Literal::Int(*i)),
+        Constant::Str(s) => Some(Literal::Str(s.clone())),
+        Constant::Bool(b) => Some(Literal::Bool(*b)),
+        _ => None,
+    }
+}
+
+/// A tuple/list/set display whose elements are all scalar constants.
+fn literal_list_of(expr: &Expr) -> Option<Vec<Literal>> {
+    let elements = match &expr.kind {
+        ExprKind::Tuple(e) | ExprKind::List(e) | ExprKind::Set(e) => e,
+        _ => return None,
+    };
+    if elements.is_empty() {
+        return None;
+    }
+    elements.iter().map(literal_of).collect()
+}
+
+// --- PA_d1: sentinel assignment implies DEFAULT ---------------------------------
+
+/// PA_d1: `if <col> is None: <col> = <constant>` — the code supplies a
+/// fallback value for an absent column, which is exactly what a schema
+/// `DEFAULT` expresses (and enforces for every writer, not just this one).
+fn detect_d1(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    if !ctx.options.default_inference {
+        return;
+    }
+    let StmtKind::If { test, body: then, orelse } = &stmt.kind else { return };
+    let (pos, neg) = guard_paths(test);
+    // `if <col> is None: <col> = <constant>` and the inverted
+    // `if <col> is not None: … else: <col> = <constant>` both fall back.
+    for (paths, branch) in [(&neg, then), (&pos, orelse)] {
+        for path in paths.iter() {
+            if let Some(value) = branch_assigns_constant(branch, path) {
+                if let Some((model, column)) = field_of_path(ctx, path, stmt) {
+                    let c = Constraint::default_value(model, column, value);
+                    ctx.emit(out, PatternId::D1, c, stmt);
+                }
+            }
+        }
+    }
+}
+
+/// The constant assigned to exactly this path in the branch, if any.
+fn branch_assigns_constant(branch: &[Stmt], path: &AccessPath) -> Option<Literal> {
+    let mut found = None;
+    walk_shallow(branch, &mut |stmt| {
+        if found.is_some() {
+            return;
+        }
+        if let StmtKind::Assign { targets, value } = &stmt.kind {
+            if targets.iter().any(|t| AccessPath::of_expr(t).as_ref() == Some(path)) {
+                found = literal_of(value);
             }
         }
     });
@@ -1015,6 +1187,152 @@ class WishListLine(models.Model):
         assert!(missing.iter().any(|c| c == "A Not NULL (y)"), "{missing:?}");
     }
 
+    // --- PA_c1 / PA_c2 ---------------------------------------------------------
+
+    #[test]
+    fn c1_compare_then_raise() {
+        // The guard rejects `total <= 0`, so rows satisfy the negation.
+        assert_detected(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if self.total <= 0:\n            raise Error('order total must be positive')\n",
+            "Order Check (total > 0)",
+            PatternId::C1,
+        );
+    }
+
+    #[test]
+    fn c1_negated_compare_then_raise() {
+        // `if not C: raise` pins C as written.
+        assert_detected(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if not self.total > 0:\n            raise Error('bad total')\n",
+            "Order Check (total > 0)",
+            PatternId::C1,
+        );
+    }
+
+    #[test]
+    fn c1_literal_on_left_is_flipped() {
+        assert_detected(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if 0 >= self.total:\n            raise Error('bad total')\n",
+            "Order Check (total > 0)",
+            PatternId::C1,
+        );
+    }
+
+    #[test]
+    fn c1_compare_else_raise() {
+        assert_detected(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if self.total > 0:\n            pass\n        else:\n            raise Error('bad total')\n",
+            "Order Check (total > 0)",
+            PatternId::C1,
+        );
+    }
+
+    #[test]
+    fn c1_without_error_branch_not_detected() {
+        assert_not_detected(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def peek(self):\n        if self.total <= 0:\n            x = 1\n",
+            "Order Check (total > 0)",
+        );
+    }
+
+    #[test]
+    fn c1_float_comparand_skipped() {
+        let found = missing(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if self.total <= 0.5:\n            raise Error('bad total')\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Check")), "{found:?}");
+    }
+
+    #[test]
+    fn c1_chained_comparison_skipped() {
+        let found = missing(
+            "class Order(models.Model):\n    total = models.IntegerField()\n    def validate(self):\n        if 0 < self.total < 10:\n            raise Error('bad total')\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Check")), "{found:?}");
+    }
+
+    #[test]
+    fn c2_not_in_then_raise() {
+        assert_detected(
+            "class Order(models.Model):\n    status = models.CharField(max_length=16)\n    def validate(self):\n        if self.status not in ('Open', 'Closed'):\n            raise Error('bad status')\n",
+            "Order Check (status IN ('Closed', 'Open'))",
+            PatternId::C2,
+        );
+    }
+
+    #[test]
+    fn c2_in_else_raise() {
+        assert_detected(
+            "class Order(models.Model):\n    status = models.CharField(max_length=16)\n    def validate(self):\n        if self.status in ('Open', 'Closed'):\n            pass\n        else:\n            raise Error('bad status')\n",
+            "Order Check (status IN ('Closed', 'Open'))",
+            PatternId::C2,
+        );
+    }
+
+    #[test]
+    fn c2_in_then_raise_pins_not_in_and_is_skipped() {
+        // `if status in (…): raise` pins NOT IN, which the predicate
+        // algebra cannot express — nothing may be emitted.
+        let found = missing(
+            "class Order(models.Model):\n    status = models.CharField(max_length=16)\n    def validate(self):\n        if self.status in ('Deleted',):\n            raise Error('gone')\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Check")), "{found:?}");
+    }
+
+    #[test]
+    fn c2_non_constant_member_skipped() {
+        let found = missing(
+            "class Order(models.Model):\n    status = models.CharField(max_length=16)\n    def validate(self, allowed):\n        if self.status not in (allowed, 'Closed'):\n            raise Error('bad status')\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Check")), "{found:?}");
+    }
+
+    // --- PA_d1 ---------------------------------------------------------------
+
+    #[test]
+    fn d1_none_guard_with_constant_assignment() {
+        assert_detected(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def fix(self):\n        if self.creator is None:\n            self.creator = 'system'\n",
+            "Order Default (creator = 'system')",
+            PatternId::D1,
+        );
+    }
+
+    #[test]
+    fn d1_int_sentinel() {
+        assert_detected(
+            "def fix(pk):\n    line = WishListLine.objects.get(pk=pk)\n    if line.quantity is None:\n        line.quantity = 1\n",
+            "WishListLine Default (quantity = 1)",
+            PatternId::D1,
+        );
+    }
+
+    #[test]
+    fn d1_not_none_else_assigns_constant() {
+        assert_detected(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def fix(self):\n        if self.creator is not None:\n            return self.creator\n        else:\n            self.creator = 'system'\n",
+            "Order Default (creator = 'system')",
+            PatternId::D1,
+        );
+    }
+
+    #[test]
+    fn d1_non_constant_fallback_not_detected() {
+        let found = missing(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def fix(self, user):\n        if self.creator is None:\n            self.creator = user.name\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Default")), "{found:?}");
+    }
+
+    #[test]
+    fn d1_raise_without_assignment_not_detected() {
+        // A raise-only guard is PA_n2's not-null, never a default.
+        let found = missing(
+            "class Order(models.Model):\n    creator = models.CharField(max_length=64)\n    def validate(self):\n        if self.creator is None:\n            raise Error('missing creator')\n",
+        );
+        assert!(!found.iter().any(|c| c.contains("Order Default")), "{found:?}");
+    }
+
     // --- PA_f1 / PA_f2 ---------------------------------------------------------
 
     #[test]
@@ -1213,6 +1531,27 @@ mod extension_tests {
         let opts = CFinderOptions { ext_url_identifier: true, ..CFinderOptions::default() };
         let found = analyze(opts, URL_MODELS, URL_CODE);
         assert!(found.iter().any(|c| c == "Order Unique (number)"), "{found:?}");
+    }
+
+    const GUARDED: &str = "class Order(models.Model):\n    total = models.IntegerField()\n    status = models.CharField(max_length=16)\n    def validate(self):\n        if self.total <= 0:\n            raise Error('bad total')\n        if self.status not in ('Open', 'Closed'):\n            raise Error('bad status')\n        if self.status is None:\n            self.status = 'Open'\n";
+
+    #[test]
+    fn check_inference_can_be_ablated() {
+        let on = analyze(CFinderOptions::default(), GUARDED, "x = 1\n");
+        assert!(on.iter().any(|c| c == "Order Check (total > 0)"), "{on:?}");
+        assert!(on.iter().any(|c| c == "Order Check (status IN ('Closed', 'Open'))"), "{on:?}");
+        let opts = CFinderOptions { check_inference: false, ..CFinderOptions::default() };
+        let off = analyze(opts, GUARDED, "x = 1\n");
+        assert!(!off.iter().any(|c| c.contains("Order Check")), "{off:?}");
+    }
+
+    #[test]
+    fn default_inference_can_be_ablated() {
+        let on = analyze(CFinderOptions::default(), GUARDED, "x = 1\n");
+        assert!(on.iter().any(|c| c == "Order Default (status = 'Open')"), "{on:?}");
+        let opts = CFinderOptions { default_inference: false, ..CFinderOptions::default() };
+        let off = analyze(opts, GUARDED, "x = 1\n");
+        assert!(!off.iter().any(|c| c.contains("Order Default")), "{off:?}");
     }
 
     #[test]

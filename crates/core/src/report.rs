@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use crate::incident::{Coverage, Incident, IncidentKind};
 
-/// The seven code patterns of Figure 6.
+/// The seven code patterns of Figure 6, the off-by-default extensions
+/// (PA_x*), and the CHECK/DEFAULT inference families (PA_c*, PA_d*).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum PatternId {
     /// PA_u1: check existence before save / error-handling.
@@ -32,11 +33,20 @@ pub enum PatternId {
     /// Extension (off by default, §4.3.1): fields interpolated into URL
     /// paths are used as identifiers and imply uniqueness.
     X2,
+    /// PA_c1: a comparison guard on a column controls error-handling, so
+    /// the negated comparison must hold for valid rows (CHECK).
+    C1,
+    /// PA_c2: a membership test on a column controls error-handling, so
+    /// valid rows stay inside the member set (CHECK).
+    C2,
+    /// PA_d1: a NULL check on a column controls a constant assignment, so
+    /// that constant is the column's intended default (DEFAULT).
+    D1,
 }
 
 impl PatternId {
     /// All patterns, grouped by constraint type as in Table 6.
-    pub const ALL: [PatternId; 7] = [
+    pub const ALL: [PatternId; 10] = [
         PatternId::U1,
         PatternId::U2,
         PatternId::N1,
@@ -44,6 +54,9 @@ impl PatternId {
         PatternId::N3,
         PatternId::F1,
         PatternId::F2,
+        PatternId::C1,
+        PatternId::C2,
+        PatternId::D1,
     ];
 
     /// The constraint type this pattern infers.
@@ -52,6 +65,8 @@ impl PatternId {
             PatternId::U1 | PatternId::U2 | PatternId::X1 | PatternId::X2 => ConstraintType::Unique,
             PatternId::N1 | PatternId::N2 | PatternId::N3 => ConstraintType::NotNull,
             PatternId::F1 | PatternId::F2 => ConstraintType::ForeignKey,
+            PatternId::C1 | PatternId::C2 => ConstraintType::Check,
+            PatternId::D1 => ConstraintType::Default,
         }
     }
 
@@ -86,6 +101,15 @@ impl PatternId {
             PatternId::X2 => {
                 "the field is interpolated into a URL-shaped f-string, i.e. used as an identifier"
             }
+            PatternId::C1 => {
+                "a comparison guard on the column controls error-handling, so valid rows satisfy the negated comparison"
+            }
+            PatternId::C2 => {
+                "a membership test on the column controls error-handling, so valid rows stay inside the member set"
+            }
+            PatternId::D1 => {
+                "a NULL check on the column controls a constant assignment, i.e. the constant is its intended default"
+            }
         }
     }
 
@@ -101,6 +125,9 @@ impl PatternId {
             PatternId::F2 => "PA_f2",
             PatternId::X1 => "PA_x1",
             PatternId::X2 => "PA_x2",
+            PatternId::C1 => "PA_c1",
+            PatternId::C2 => "PA_c2",
+            PatternId::D1 => "PA_d1",
         }
     }
 }

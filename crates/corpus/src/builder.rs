@@ -11,7 +11,9 @@
 //! the generated code. Nothing in the evaluation path reads the plan
 //! counts directly.
 
-use cfinder_schema::{Column, ColumnType, Constraint, Literal, Schema, Table};
+use cfinder_schema::{
+    Column, ColumnType, CompareOp, Constraint, Literal, Predicate, Schema, Table,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -273,6 +275,7 @@ pub fn generate(profile: &AppProfile, options: GenOptions) -> GeneratedApp {
     plant_missing_unique(&mut g, profile);
     plant_missing_not_null(&mut g, profile);
     plant_missing_fk(&mut g, profile, reserve_from);
+    plant_missing_check_default(&mut g, profile);
     plant_ablation_targets(&mut g, profile);
     pad_columns(&mut g, profile);
 
@@ -622,6 +625,74 @@ fn plant_missing_fk(g: &mut Gen, profile: &AppProfile, reserve_from: usize) {
     }
 }
 
+/// CHECK/DEFAULT extension sites (PA_c1, PA_c2, PA_d1). The DEFAULT sites
+/// use the `is not None … else: <assign>` shape so the sentinel fallback
+/// reads as a default *without* also matching PA_n2's null-check pattern
+/// (the column stays nullable by design — NULL simply means "use the
+/// fallback").
+fn plant_missing_check_default(g: &mut Gen, profile: &AppProfile) {
+    let plan = &profile.missing;
+    for _ in 0..plan.c1_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("validate_positive");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} <= 0:\n            raise ValueError('{f} must be positive')\n"
+        ));
+        let c = Constraint::check(&table, Predicate::compare(&f, CompareOp::Gt, Literal::Int(0)));
+        record(g, c, true, None);
+    }
+    for _ in 0..plan.c2_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("validate_state");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} not in ('open', 'closed'):\n            raise ValueError('bad {f}')\n"
+        ));
+        let values = [Literal::Str("open".into()), Literal::Str("closed".into())];
+        record(g, Constraint::check(&table, Predicate::in_values(&f, values)), true, None);
+    }
+    // FP: an upper bound enforced only until a data backfill finishes —
+    // pattern-shaped, but not a durable invariant.
+    for _ in 0..plan.c1_fp_transient {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("reject_implausible");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} > 9000:\n            raise ValueError('implausible {f}; rejected until backfill completes')\n"
+        ));
+        let c =
+            Constraint::check(&table, Predicate::compare(&f, CompareOp::Le, Literal::Int(9000)));
+        record(g, c, false, Some(FpMechanism::TransientValidation));
+    }
+    for _ in 0..plan.d1_tp {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("effective");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} is not None:\n            return self.{f}\n        else:\n            self.{f} = 1\n"
+        ));
+        record(g, Constraint::default_value(&table, &f, Literal::Int(1)), true, None);
+    }
+    // FP: `-1` marks "not yet processed" — a workflow marker, not a value
+    // the schema should hand to every new row.
+    for _ in 0..plan.d1_fp_marker {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let fun = g.names.func("mark_pending");
+        g.tables[t].methods.push(format!(
+            "    def {fun}(self):\n        if self.{f} is not None:\n            return self.{f}\n        else:\n            self.{f} = -1\n"
+        ));
+        let c = Constraint::default_value(&table, &f, Literal::Int(-1));
+        record(g, c, false, Some(FpMechanism::MarkerDefault));
+    }
+}
+
 /// Sites that are *correct* under the full analysis but become false
 /// positives when a design element is ablated (see
 /// `cfinder_core::CFinderOptions`): properly-guarded invocations on
@@ -854,15 +925,19 @@ mod tests {
         for p in crate::profiles::all_profiles() {
             let app = generate(&p, GenOptions::quick());
             let (u_tp, n_tp, f_tp) = p.missing.true_positives();
+            let (c_tp, d_tp) = p.missing.check_default_true_positives();
             assert_eq!(
                 app.truth.true_missing.len(),
-                u_tp + n_tp + f_tp,
+                u_tp + n_tp + f_tp + c_tp + d_tp,
                 "{} true-missing count",
                 p.name
             );
-            let fp_expected =
-                (p.missing.unique_total() + p.missing.not_null_total() + p.missing.fk_total())
-                    - (u_tp + n_tp + f_tp);
+            let fp_expected = (p.missing.unique_total()
+                + p.missing.not_null_total()
+                + p.missing.fk_total()
+                + p.missing.check_total()
+                + p.missing.default_total())
+                - (u_tp + n_tp + f_tp + c_tp + d_tp);
             // Ablation-target FPs are invisible under default options and
             // excluded from the Table 7 accounting.
             let default_detectable = app

@@ -28,6 +28,11 @@ pub enum FpMechanism {
     WrongTable,
     /// A default value used as a creation-time marker, not an invariant.
     MarkerDefault,
+    /// A value bound enforced only transiently in application code (e.g.
+    /// rejecting implausible values until a backfill completes) — the
+    /// comparison is pattern-shaped but not a durable row invariant, so a
+    /// schema `CHECK` would be wrong.
+    TransientValidation,
     /// A column that stores an external system's identifier, not a real
     /// foreign key.
     ExternalId,

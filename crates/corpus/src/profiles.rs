@@ -53,6 +53,18 @@ pub struct MissingPlan {
     pub f1_fp: usize,
     /// PA_f2 false positives: external-system identifiers.
     pub f2_fp: usize,
+
+    /// CHECK constraints via PA_c1 (comparison guard that raises).
+    /// Extension beyond the paper's Tables 6/7; tallied separately.
+    pub c1_tp: usize,
+    /// CHECK constraints via PA_c2 (membership guard that raises).
+    pub c2_tp: usize,
+    /// PA_c1 false positives: transiently-enforced validation bounds.
+    pub c1_fp_transient: usize,
+    /// DEFAULT constraints via PA_d1 (sentinel fallback assignment).
+    pub d1_tp: usize,
+    /// PA_d1 false positives: creation-time marker values.
+    pub d1_fp_marker: usize,
 }
 
 impl MissingPlan {
@@ -84,6 +96,22 @@ impl MissingPlan {
             self.n1_tp + self.n2_tp + self.n3_tp,
             self.f1_tp + self.f2_tp,
         )
+    }
+
+    /// Expected detected-missing total for CHECK constraints (extension
+    /// table; not part of the paper's Table 6).
+    pub fn check_total(&self) -> usize {
+        self.c1_tp + self.c2_tp + self.c1_fp_transient
+    }
+
+    /// Expected detected-missing total for DEFAULT constraints.
+    pub fn default_total(&self) -> usize {
+        self.d1_tp + self.d1_fp_marker
+    }
+
+    /// Expected (CHECK, DEFAULT) true-positive cells.
+    pub fn check_default_true_positives(&self) -> (usize, usize) {
+        (self.c1_tp + self.c2_tp, self.d1_tp)
     }
 }
 
@@ -161,6 +189,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 1,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 1,
+                c2_tp: 1,
+                c1_fp_transient: 1,
+                d1_tp: 1,
+                d1_fp_marker: 0,
             },
             seed: 0x05CA,
         },
@@ -196,6 +229,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 1,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 1,
+                c2_tp: 0,
+                c1_fp_transient: 0,
+                d1_tp: 1,
+                d1_fp_marker: 1,
             },
             seed: 0x5A1E,
         },
@@ -231,6 +269,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 0,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 2,
+                c2_tp: 1,
+                c1_fp_transient: 1,
+                d1_tp: 1,
+                d1_fp_marker: 0,
             },
             seed: 0x5817,
         },
@@ -266,6 +309,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 1,
                 f1_fp: 1,
                 f2_fp: 1,
+                c1_tp: 1,
+                c2_tp: 1,
+                c1_fp_transient: 0,
+                d1_tp: 0,
+                d1_fp_marker: 1,
             },
             seed: 0x2517,
         },
@@ -301,6 +349,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 0,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 1,
+                c2_tp: 0,
+                c1_fp_transient: 0,
+                d1_tp: 1,
+                d1_fp_marker: 0,
             },
             seed: 0x3A67,
         },
@@ -336,6 +389,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 3,
                 f1_fp: 0,
                 f2_fp: 1,
+                c1_tp: 2,
+                c2_tp: 2,
+                c1_fp_transient: 1,
+                d1_tp: 2,
+                d1_fp_marker: 1,
             },
             seed: 0xED58,
         },
@@ -371,6 +429,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 1,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 0,
+                c2_tp: 1,
+                c1_fp_transient: 0,
+                d1_tp: 1,
+                d1_fp_marker: 0,
             },
             seed: 0xEC01,
         },
@@ -406,6 +469,11 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 f2_tp: 5,
                 f1_fp: 0,
                 f2_fp: 0,
+                c1_tp: 2,
+                c2_tp: 1,
+                c1_fp_transient: 0,
+                d1_tp: 2,
+                d1_fp_marker: 0,
             },
             seed: 0xC0FE,
         },
@@ -482,6 +550,20 @@ mod tests {
         assert_eq!((tot_f, tp_f), (15, 12)); // 80%
                                              // 34 false positives in total (§4.2).
         assert_eq!((tot_u - tp_u) + (tot_n - tp_n) + (tot_f - tp_f), 34);
+    }
+
+    #[test]
+    fn check_default_extension_totals() {
+        // CHECK/DEFAULT inference is our extension beyond the paper's
+        // Tables 6/7; these totals calibrate the extension tables.
+        let open: Vec<AppProfile> =
+            all_profiles().into_iter().filter(|p| p.name != "company").collect();
+        let tot_c: usize = open.iter().map(|p| p.missing.check_total()).sum();
+        let tp_c: usize = open.iter().map(|p| p.missing.check_default_true_positives().0).sum();
+        let tot_d: usize = open.iter().map(|p| p.missing.default_total()).sum();
+        let tp_d: usize = open.iter().map(|p| p.missing.check_default_true_positives().1).sum();
+        assert_eq!((tot_c, tp_c), (17, 14)); // 82%
+        assert_eq!((tot_d, tp_d), (10, 7)); // 70%
     }
 
     #[test]

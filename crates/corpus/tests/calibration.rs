@@ -30,9 +30,13 @@ fn missing_counts_match_plan_per_app() {
         let measured_u = report.missing_count(ConstraintType::Unique);
         let measured_n = report.missing_count(ConstraintType::NotNull);
         let measured_f = report.missing_count(ConstraintType::ForeignKey);
+        let measured_c = report.missing_count(ConstraintType::Check);
+        let measured_d = report.missing_count(ConstraintType::Default);
         assert_eq!(measured_u, p.missing.unique_total(), "{} unique missing", p.name);
         assert_eq!(measured_n, p.missing.not_null_total(), "{} not-null missing", p.name);
         assert_eq!(measured_f, p.missing.fk_total(), "{} fk missing", p.name);
+        assert_eq!(measured_c, p.missing.check_total(), "{} check missing", p.name);
+        assert_eq!(measured_d, p.missing.default_total(), "{} default missing", p.name);
     }
 }
 
@@ -53,11 +57,16 @@ fn precision_matches_plan() {
         }
         assert!(unplanned.is_empty(), "{}: unplanned detections {unplanned:?}", p.name);
         let (u, n, f) = p.missing.true_positives();
-        assert_eq!(tp, u + n + f, "{} TP", p.name);
+        let (c, d) = p.missing.check_default_true_positives();
+        assert_eq!(tp, u + n + f + c + d, "{} TP", p.name);
         assert_eq!(
             fp,
-            p.missing.unique_total() + p.missing.not_null_total() + p.missing.fk_total()
-                - (u + n + f),
+            p.missing.unique_total()
+                + p.missing.not_null_total()
+                + p.missing.fk_total()
+                + p.missing.check_total()
+                + p.missing.default_total()
+                - (u + n + f + c + d),
             "{} FP",
             p.name
         );

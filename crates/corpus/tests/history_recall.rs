@@ -32,6 +32,9 @@ fn historical_recall_matches_table9() {
                     ConstraintType::Unique => detected_u += 1,
                     ConstraintType::NotNull => detected_n += 1,
                     ConstraintType::ForeignKey => detected_f += 1,
+                    // The historical dataset predates CHECK/DEFAULT
+                    // tracking; Table 9 has no rows for them.
+                    ConstraintType::Check | ConstraintType::Default => {}
                 }
             }
         }

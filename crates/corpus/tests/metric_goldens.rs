@@ -50,21 +50,23 @@ fn wagtail_metric_goldens() {
     assert_eq!(snap.counter("cfinder_files_parsed_total"), 24);
     assert_eq!(snap.counter("cfinder_files_dropped_total"), 0);
     assert_eq!(snap.counter("cfinder_loc_total"), 18108);
-    assert_eq!(snap.counter("cfinder_tokens_total"), 119862);
-    assert_eq!(snap.counter("cfinder_ast_nodes_total"), 66484);
-    assert_eq!(snap.counter("cfinder_statements_total"), 16210);
+    assert_eq!(snap.counter("cfinder_tokens_total"), 119859);
+    assert_eq!(snap.counter("cfinder_ast_nodes_total"), 66471);
+    assert_eq!(snap.counter("cfinder_statements_total"), 16208);
 
     // Model registry and analysis results — Table 4/6/8's wagtail cells
     // seen through the metrics pipe.
     assert_eq!(snap.counter("cfinder_models_total"), 60);
     assert_eq!(snap.counter("cfinder_model_fields_total"), 781);
-    assert_eq!(snap.family_total("cfinder_detections_total"), 79);
+    assert_eq!(snap.family_total("cfinder_detections_total"), 81);
     assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_u1"), 6);
     assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_u2"), 9);
     assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n1"), 25);
     assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n2"), 11);
     assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_n3"), 28);
-    assert_eq!(snap.family_total("cfinder_missing_constraints_total"), 10);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_c1"), 1);
+    assert_eq!(snap.labeled_counter("cfinder_detections_total", "PA_d1"), 1);
+    assert_eq!(snap.family_total("cfinder_missing_constraints_total"), 12);
     assert_eq!(snap.counter("cfinder_existing_covered_total"), 69);
     assert_eq!(snap.counter("cfinder_resolutions_total"), 9018);
     assert_eq!(snap.counter("cfinder_analyses_total"), 1);

@@ -1,15 +1,16 @@
 //! The in-memory relational engine with integrity-constraint enforcement.
 //!
 //! This is the substrate for the paper's motivation experiments (Figures
-//! 1–3): it enforces not-null, unique (composite and partial), and
-//! foreign-key constraints on every write, and rejects `ADD CONSTRAINT`
-//! migrations when existing rows violate them. Enforcement can be switched
-//! off per-database to model the "missing constraint" configuration of
-//! Figure 2(a).
+//! 1–3): it enforces not-null, unique (composite and partial), foreign-key,
+//! and CHECK constraints on every write, applies column defaults on insert,
+//! and rejects `ADD CONSTRAINT` migrations when existing rows violate them.
+//! Enforcement can be switched off per-database to model the "missing
+//! constraint" configuration of Figure 2(a).
 
+use std::cmp::Ordering;
 use std::collections::{BTreeMap, HashMap};
 
-use cfinder_schema::{Column, Constraint, ConstraintSet, Table};
+use cfinder_schema::{Column, CompareOp, Constraint, ConstraintSet, Literal, Predicate, Table};
 
 use crate::error::{DbError, DbResult};
 use crate::value::{Value, ValueKey};
@@ -70,9 +71,9 @@ impl Database {
     /// # Errors
     ///
     /// Propagates the first [`DbError`] from table creation or constraint
-    /// declaration (duplicate tables, dangling targets). Not-null
-    /// constraints already implied by column flags are skipped, not
-    /// double-declared.
+    /// declaration (duplicate tables, dangling targets). Not-null and
+    /// default constraints already implied by column definitions are
+    /// skipped, not double-declared.
     pub fn from_schema(schema: &cfinder_schema::Schema) -> DbResult<Self> {
         let mut db = Database::new();
         for table in schema.tables() {
@@ -99,7 +100,8 @@ impl Database {
 
     // --- DDL -----------------------------------------------------------------
 
-    /// Creates a table; not-null column flags become enforced constraints.
+    /// Creates a table; not-null column flags and column defaults become
+    /// declared constraints.
     ///
     /// # Errors
     ///
@@ -111,6 +113,13 @@ impl Database {
         for col in &def.columns {
             if !col.nullable {
                 self.constraints.insert(Constraint::not_null(&def.name, &col.name));
+            }
+            if let Some(default) = col.default.as_ref().filter(|d| !d.is_null()) {
+                self.constraints.insert(Constraint::default_value(
+                    &def.name,
+                    &col.name,
+                    default.clone(),
+                ));
             }
         }
         self.tables.insert(def.name.clone(), TableData { def, rows: BTreeMap::new(), next_id: 1 });
@@ -145,6 +154,13 @@ impl Database {
         if !column.nullable {
             self.constraints.insert(Constraint::not_null(table, &column.name));
         }
+        if let Some(default) = column.default.as_ref().filter(|d| !d.is_null()) {
+            self.constraints.insert(Constraint::default_value(
+                table,
+                &column.name,
+                default.clone(),
+            ));
+        }
         t.def.columns.push(column);
         Ok(())
     }
@@ -166,12 +182,22 @@ impl Database {
         if violations > 0 {
             return Err(DbError::MigrationRejected { constraint, violations });
         }
-        if let Constraint::NotNull { table, column } = &constraint {
-            if let Some(t) = self.tables.get_mut(table) {
-                if let Some(c) = t.def.column_mut(column) {
-                    c.nullable = false;
+        match &constraint {
+            Constraint::NotNull { table, column } => {
+                if let Some(t) = self.tables.get_mut(table) {
+                    if let Some(c) = t.def.column_mut(column) {
+                        c.nullable = false;
+                    }
                 }
             }
+            Constraint::Default { table, column, value } => {
+                if let Some(t) = self.tables.get_mut(table) {
+                    if let Some(c) = t.def.column_mut(column) {
+                        c.default = Some(value.clone());
+                    }
+                }
+            }
+            _ => {}
         }
         self.constraints.insert(constraint);
         Ok(())
@@ -186,12 +212,22 @@ impl Database {
         if !self.constraints.remove(constraint) {
             return Err(DbError::InvalidConstraint(format!("not declared: {constraint}")));
         }
-        if let Constraint::NotNull { table, column } = constraint {
-            if let Some(t) = self.tables.get_mut(table) {
-                if let Some(c) = t.def.column_mut(column) {
-                    c.nullable = true;
+        match constraint {
+            Constraint::NotNull { table, column } => {
+                if let Some(t) = self.tables.get_mut(table) {
+                    if let Some(c) = t.def.column_mut(column) {
+                        c.nullable = true;
+                    }
                 }
             }
+            Constraint::Default { table, column, .. } => {
+                if let Some(t) = self.tables.get_mut(table) {
+                    if let Some(c) = t.def.column_mut(column) {
+                        c.default = None;
+                    }
+                }
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -485,6 +521,18 @@ impl Database {
                         });
                     }
                 }
+                Constraint::Check { predicate, .. } => {
+                    if !satisfies_predicate(row, predicate) {
+                        return Err(DbError::ConstraintViolation {
+                            constraint: c.clone(),
+                            detail: format!("`{}` fails CHECK ({predicate})", predicate.column()),
+                        });
+                    }
+                }
+                Constraint::Default { .. } => {
+                    // Defaults shape inserts (applied when the column is
+                    // omitted); they never reject a row.
+                }
             }
         }
         Ok(())
@@ -534,7 +582,54 @@ impl Database {
                     })
                     .count()
             }
+            Constraint::Check { predicate, .. } => {
+                t.rows.values().filter(|r| !satisfies_predicate(r, predicate)).count()
+            }
+            // A default never invalidates existing rows.
+            Constraint::Default { .. } => 0,
         }
+    }
+}
+
+/// Evaluates a CHECK predicate against a row, with SQL's three-valued
+/// logic collapsed to enforcement semantics: a NULL (or absent) value
+/// makes the predicate *unknown*, which real databases do not treat as a
+/// violation. A type-mismatched comparison, by contrast, counts as a
+/// violation — the constraint and the data disagree about the column.
+fn satisfies_predicate(row: &Row, predicate: &Predicate) -> bool {
+    let Some(v) = row.get(predicate.column()) else { return true };
+    if v.is_null() {
+        return true;
+    }
+    match predicate {
+        Predicate::Compare { op, value, .. } => match compare_to_literal(v, value) {
+            Some(ord) => match op {
+                CompareOp::Eq => ord == Ordering::Equal,
+                CompareOp::Ne => ord != Ordering::Equal,
+                CompareOp::Lt => ord == Ordering::Less,
+                CompareOp::Le => ord != Ordering::Greater,
+                CompareOp::Gt => ord == Ordering::Greater,
+                CompareOp::Ge => ord != Ordering::Less,
+            },
+            None => false,
+        },
+        Predicate::In { values, .. } => {
+            values.iter().any(|lit| compare_to_literal(v, lit) == Some(Ordering::Equal))
+        }
+    }
+}
+
+/// Compares a stored value to a predicate literal; `None` marks a type
+/// mismatch (including NULL literals, which never compare equal in SQL).
+fn compare_to_literal(v: &Value, lit: &Literal) -> Option<Ordering> {
+    match (v, lit) {
+        (Value::Int(a), Literal::Int(b)) => Some(a.cmp(b)),
+        // Floats compare numerically against integer literals (the
+        // predicate AST has no float literal; see `Literal`'s docs).
+        (Value::Float(a), Literal::Int(b)) => a.partial_cmp(&(*b as f64)),
+        (Value::Str(a), Literal::Str(b)) => Some(a.as_str().cmp(b.as_str())),
+        (Value::Bool(a), Literal::Bool(b)) => Some(a.cmp(b)),
+        _ => None,
     }
 }
 
@@ -762,6 +857,119 @@ mod tests {
         db.drop_constraint(&Constraint::unique("users", ["email"])).unwrap();
         db.insert("users", [("email", Value::from("a"))]).unwrap();
         assert_eq!(db.row_count("users"), 2);
+    }
+
+    #[test]
+    fn check_constraint_blocks_bad_inserts_and_updates() {
+        let mut db = db_with_users();
+        db.create_table(
+            Table::new("orders")
+                .with_column(Column::new("total", ColumnType::Integer))
+                .with_column(Column::new("status", ColumnType::VarChar(16))),
+        )
+        .unwrap();
+        db.add_constraint(Constraint::check(
+            "orders",
+            Predicate::compare("total", CompareOp::Gt, Literal::Int(0)),
+        ))
+        .unwrap();
+        db.add_constraint(Constraint::check(
+            "orders",
+            Predicate::in_values(
+                "status",
+                [Literal::Str("Open".into()), Literal::Str("Closed".into())],
+            ),
+        ))
+        .unwrap();
+
+        let id = db
+            .insert("orders", [("total", Value::Int(5)), ("status", Value::from("Open"))])
+            .unwrap();
+        // Range violation on insert.
+        let err = db.insert("orders", [("total", Value::Int(0))]).unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }), "{err}");
+        // Membership violation on insert.
+        let err = db
+            .insert("orders", [("total", Value::Int(1)), ("status", Value::from("Weird"))])
+            .unwrap_err();
+        assert!(matches!(err, DbError::ConstraintViolation { .. }), "{err}");
+        // Violations on update.
+        assert!(db.update("orders", id, [("total", Value::Int(-3))]).is_err());
+        assert!(db.update("orders", id, [("status", Value::from("Nope"))]).is_err());
+        db.update("orders", id, [("status", Value::from("Closed"))]).unwrap();
+        // NULL makes the predicate unknown — never a violation (SQL
+        // semantics).
+        db.insert("orders", [("total", Value::Null), ("status", Value::from("Open"))]).unwrap();
+    }
+
+    #[test]
+    fn check_migration_rejected_on_violating_data() {
+        let mut db = db_with_users();
+        db.create_table(
+            Table::new("orders").with_column(Column::new("total", ColumnType::Integer)),
+        )
+        .unwrap();
+        db.insert("orders", [("total", Value::Int(-1))]).unwrap();
+        db.insert("orders", [("total", Value::Int(2))]).unwrap();
+        let check = Constraint::check(
+            "orders",
+            Predicate::compare("total", CompareOp::Ge, Literal::Int(0)),
+        );
+        assert_eq!(db.count_violations(&check), 1);
+        let err = db.add_constraint(check.clone()).unwrap_err();
+        assert!(matches!(err, DbError::MigrationRejected { violations: 1, .. }), "{err}");
+        // Fix the data, retry: accepted and live.
+        let bad = db.select("orders", &[("total", Value::Int(-1))]).unwrap()[0].0;
+        db.update("orders", bad, [("total", Value::Int(0))]).unwrap();
+        db.add_constraint(check).unwrap();
+        assert!(db.insert("orders", [("total", Value::Int(-5))]).is_err());
+    }
+
+    #[test]
+    fn check_type_mismatch_counts_as_violation() {
+        let mut db = db_with_users();
+        let check =
+            Constraint::check("users", Predicate::compare("email", CompareOp::Gt, Literal::Int(0)));
+        db.insert("users", [("email", Value::from("a@x"))]).unwrap();
+        assert_eq!(db.count_violations(&check), 1);
+    }
+
+    #[test]
+    fn default_constraint_applies_on_insert_and_syncs() {
+        let mut db = db_with_users();
+        db.create_table(
+            Table::new("orders").with_column(Column::new("status", ColumnType::VarChar(16))),
+        )
+        .unwrap();
+        let def = Constraint::default_value("orders", "status", Literal::Str("Pending".into()));
+        // A default never invalidates existing rows.
+        db.insert("orders", []).unwrap();
+        assert_eq!(db.count_violations(&def), 0);
+        db.add_constraint(def.clone()).unwrap();
+        assert_eq!(
+            db.table_def("orders").unwrap().column("status").unwrap().default,
+            Some(Literal::Str("Pending".into()))
+        );
+        let id = db.insert("orders", []).unwrap();
+        assert_eq!(db.get("orders", id).unwrap()["status"], Value::Str("Pending".into()));
+        // Explicit values still win.
+        let id = db.insert("orders", [("status", Value::from("Open"))]).unwrap();
+        assert_eq!(db.get("orders", id).unwrap()["status"], Value::Str("Open".into()));
+        // Dropping un-syncs the column default.
+        db.drop_constraint(&def).unwrap();
+        assert_eq!(db.table_def("orders").unwrap().column("status").unwrap().default, None);
+        let id = db.insert("orders", []).unwrap();
+        assert_eq!(db.get("orders", id).unwrap()["status"], Value::Null);
+    }
+
+    #[test]
+    fn create_table_derives_default_constraints() {
+        let db = db_with_users();
+        assert!(db.constraints().contains(&Constraint::default_value(
+            "users",
+            "active",
+            Literal::Bool(true)
+        )));
     }
 
     #[test]

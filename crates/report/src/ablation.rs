@@ -131,9 +131,10 @@ mod tests {
         let rows = study();
         let full = &rows[0];
         assert_eq!(full.unplanned, 0, "{full:?}");
-        // Oscar's Table 7 row (24 detected / 19 TP) plus company's 52/52.
-        assert_eq!(full.detected, 24 + 52);
-        assert_eq!(full.true_positive, 19 + 52);
+        // Oscar's Table 7 row (24 detected / 19 TP) plus the CHECK/DEFAULT
+        // extension sites (4 detected / 3 TP), plus company's 57/57.
+        assert_eq!(full.detected, 28 + 57);
+        assert_eq!(full.true_positive, 22 + 57);
     }
 
     #[test]

@@ -17,7 +17,9 @@
 
 use cfinder_corpus::GeneratedApp;
 use cfinder_minidb::{discover_constraints, Database, ProfileOptions, Value};
-use cfinder_schema::{ColumnType, Constraint, ConstraintSet, ConstraintType};
+use cfinder_schema::{
+    ColumnType, CompareOp, Constraint, ConstraintSet, ConstraintType, Literal, Predicate,
+};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -53,6 +55,14 @@ pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
             .filter(|c| c.table() == table.name)
             .flat_map(|c| c.columns())
             .collect();
+        let check_preds: Vec<&Predicate> = semantic
+            .of_type(ConstraintType::Check)
+            .filter(|c| c.table() == table.name)
+            .filter_map(|c| match c {
+                Constraint::Check { predicate, .. } => Some(predicate),
+                _ => None,
+            })
+            .collect();
         for i in 0..rows {
             let mut values: Vec<(String, Value)> = Vec::new();
             for col in &table.columns {
@@ -61,8 +71,18 @@ pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
                 }
                 let required = not_null_cols.contains(&col.name.as_str());
                 let must_be_distinct = unique_cols.contains(&col.name.as_str());
-                let v =
-                    synth_value(&mut rng, &col.ty, &col.name, i, rows, required, must_be_distinct);
+                let v = match check_preds.iter().find(|p| p.column() == col.name) {
+                    Some(p) => satisfying_value(&mut rng, p),
+                    None => synth_value(
+                        &mut rng,
+                        &col.ty,
+                        &col.name,
+                        i,
+                        rows,
+                        required,
+                        must_be_distinct,
+                    ),
+                };
                 values.push((col.name.clone(), v));
             }
             db.insert(&table.name, values.iter().map(|(k, v)| (k.as_str(), v.clone())))
@@ -70,6 +90,35 @@ pub fn populate(app: &GeneratedApp, rows: usize) -> Database {
         }
     }
     db
+}
+
+/// A value satisfying a semantic CHECK predicate — the synthetic rows must
+/// hold every real constraint, row invariants included.
+fn satisfying_value(rng: &mut StdRng, p: &Predicate) -> Value {
+    match p {
+        Predicate::In { values, .. } => lit_value(&values[rng.gen_range(0..values.len())]),
+        Predicate::Compare { op, value, .. } => match (op, value) {
+            (CompareOp::Eq | CompareOp::Le | CompareOp::Ge, lit) => lit_value(lit),
+            (CompareOp::Gt, Literal::Int(k)) => Value::Int(k + rng.gen_range(1..40i64)),
+            (CompareOp::Lt, Literal::Int(k)) => Value::Int(k - rng.gen_range(1..40i64)),
+            (CompareOp::Ne, Literal::Int(k)) => Value::Int(k + 1 + rng.gen_range(0..40i64)),
+            (CompareOp::Ne, Literal::Bool(b)) => Value::Bool(!b),
+            (CompareOp::Ne, Literal::Str(s)) => Value::from(format!("not-{s}")),
+            // Remaining shapes (ordered ops over strings/bools, NULL
+            // literals) do not occur in planted predicates; NULL trivially
+            // satisfies any CHECK.
+            _ => Value::Null,
+        },
+    }
+}
+
+fn lit_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Null => Value::Null,
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Str(s) => Value::from(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+    }
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -215,12 +264,16 @@ pub fn baseline_table(app: &GeneratedApp) -> TextTable {
         outcome.spurious.to_string(),
         pct(outcome.spurious, outcome.real + outcome.spurious),
     ]);
-    // CFinder's code-based numbers on the same app, for contrast.
+    // CFinder's code-based numbers on the same app, for contrast
+    // (CHECK/DEFAULT extension sites included).
     let (u, n, f) = app.profile.missing.true_positives();
-    let tp = u + n + f;
+    let (c, d) = app.profile.missing.check_default_true_positives();
+    let tp = u + n + f + c + d;
     let detected = app.profile.missing.unique_total()
         + app.profile.missing.not_null_total()
-        + app.profile.missing.fk_total();
+        + app.profile.missing.fk_total()
+        + app.profile.missing.check_total()
+        + app.profile.missing.default_total();
     t.row([
         "CFinder (code patterns)".to_string(),
         detected.to_string(),

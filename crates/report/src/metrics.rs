@@ -126,6 +126,10 @@ pub struct HistoryRecall {
     pub not_null: (usize, usize),
     /// (dataset size, detected) for foreign keys.
     pub foreign_key: (usize, usize),
+    /// (dataset size, detected) for CHECK constraints.
+    pub check: (usize, usize),
+    /// (dataset size, detected) for DEFAULT constraints.
+    pub default: (usize, usize),
 }
 
 impl HistoryRecall {
@@ -149,6 +153,8 @@ impl HistoryRecall {
                     ConstraintType::Unique => &mut partial.unique,
                     ConstraintType::NotNull => &mut partial.not_null,
                     ConstraintType::ForeignKey => &mut partial.foreign_key,
+                    ConstraintType::Check => &mut partial.check,
+                    ConstraintType::Default => &mut partial.default,
                 };
                 slot.0 += 1;
                 if report.missing.iter().any(|m| m.constraint == entry.constraint) {
@@ -165,6 +171,10 @@ impl HistoryRecall {
             recall.not_null.1 += partial.not_null.1;
             recall.foreign_key.0 += partial.foreign_key.0;
             recall.foreign_key.1 += partial.foreign_key.1;
+            recall.check.0 += partial.check.0;
+            recall.check.1 += partial.check.1;
+            recall.default.0 += partial.default.0;
+            recall.default.1 += partial.default.1;
         }
         recall
     }
@@ -172,8 +182,8 @@ impl HistoryRecall {
     /// Overall (dataset, detected).
     pub fn overall(&self) -> (usize, usize) {
         (
-            self.unique.0 + self.not_null.0 + self.foreign_key.0,
-            self.unique.1 + self.not_null.1 + self.foreign_key.1,
+            self.unique.0 + self.not_null.0 + self.foreign_key.0 + self.check.0 + self.default.0,
+            self.unique.1 + self.not_null.1 + self.foreign_key.1 + self.check.1 + self.default.1,
         )
     }
 }
@@ -253,7 +263,7 @@ mod tests {
         // corpus calibration tests.
         let p = cfinder_corpus::profile("wagtail").unwrap();
         let eval = AppEvaluation::run(cfinder_corpus::generate(&p, GenOptions::quick()));
-        assert_eq!(eval.detected_missing(), 10);
+        assert_eq!(eval.detected_missing(), 12);
         assert_eq!(eval.detected_existing(), 69);
         let u = eval.precision(ConstraintType::Unique);
         assert_eq!((u.total, u.true_positive), (4, 4));

@@ -270,6 +270,66 @@ pub fn table7(eval: &Evaluation) -> TextTable {
     t
 }
 
+/// Extension of Table 6 (not in paper): breakdown of detected missing
+/// CHECK and DEFAULT constraints per code pattern.
+pub fn table6_ext(eval: &Evaluation) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 6 (ext.): Detected missing CHECK/DEFAULT constraints per code pattern (not in paper)",
+        &["App.", "PA_c1", "PA_c2", "C Tot.", "PA_d1", "D Tot."],
+    );
+    let mut totals = [0usize; 5];
+    for a in eval.open_source_apps() {
+        let cells = [
+            a.report.missing_count_by_pattern(PatternId::C1),
+            a.report.missing_count_by_pattern(PatternId::C2),
+            a.report.missing_count(ConstraintType::Check),
+            a.report.missing_count_by_pattern(PatternId::D1),
+            a.report.missing_count(ConstraintType::Default),
+        ];
+        for (tot, c) in totals.iter_mut().zip(cells) {
+            *tot += c;
+        }
+        let mut row = vec![a.app.name.clone()];
+        row.extend(cells.iter().map(usize::to_string));
+        t.row(row);
+    }
+    let mut row = vec!["Total".to_string()];
+    row.extend(totals.iter().map(usize::to_string));
+    t.row(row);
+    t
+}
+
+/// Extension of Table 7 (not in paper): precision of detected missing
+/// CHECK and DEFAULT constraints.
+pub fn table7_ext(eval: &Evaluation) -> TextTable {
+    let mut t = TextTable::new(
+        "Table 7 (ext.): Precision of detected missing CHECK/DEFAULT constraints (not in paper)",
+        &["App.", "C Tot.", "C TP", "C Prec.", "D Tot.", "D TP", "D Prec."],
+    );
+    let mut sum = [PrecisionCell::default(); 2];
+    for a in eval.open_source_apps() {
+        let cells = [a.precision(ConstraintType::Check), a.precision(ConstraintType::Default)];
+        for (s, c) in sum.iter_mut().zip(cells) {
+            s.add(c);
+        }
+        let mut row = vec![a.app.name.clone()];
+        for c in cells {
+            row.push(c.total.to_string());
+            row.push(c.true_positive.to_string());
+            row.push(pct(c.true_positive, c.total));
+        }
+        t.row(row);
+    }
+    let mut row = vec!["Overall".to_string()];
+    for c in sum {
+        row.push(c.total.to_string());
+        row.push(c.true_positive.to_string());
+        row.push(pct(c.true_positive, c.total));
+    }
+    t.row(row);
+    t
+}
+
 /// Table 8: coverage of existing (declared) constraints.
 pub fn table8(eval: &Evaluation) -> TextTable {
     let mut t = TextTable::new(
@@ -450,7 +510,9 @@ pub fn all_tables(eval: &Evaluation) -> Vec<(&'static str, TextTable)> {
         ("table4", table4(eval)),
         ("table5", table5(eval)),
         ("table6", table6(eval)),
+        ("table6_ext", table6_ext(eval)),
         ("table7", table7(eval)),
+        ("table7_ext", table7_ext(eval)),
         ("table8", table8(eval)),
         ("table9", table9(eval)),
         ("table10", table10(eval)),
@@ -499,6 +561,24 @@ mod tests {
         assert_eq!(overall[7], "15");
         assert_eq!(overall[8], "12");
         assert_eq!(overall[9], "80%");
+    }
+
+    #[test]
+    fn table6_ext_totals() {
+        let eval = quick_eval();
+        let t = table6_ext(&eval);
+        let total = t.rows.last().unwrap();
+        // Open-source extension sites: C1 11, C2 6 (17 CHECK), D1 10.
+        assert_eq!(&total[1..], ["11", "6", "17", "10", "10"]);
+    }
+
+    #[test]
+    fn table7_ext_overall_precisions() {
+        let eval = quick_eval();
+        let t = table7_ext(&eval);
+        let overall = t.rows.last().unwrap();
+        // C 17/14 → 82%, D 10/7 → 70%.
+        assert_eq!(&overall[1..], ["17", "14", "82%", "10", "7", "70%"]);
     }
 
     #[test]

@@ -2,17 +2,20 @@
 //!
 //! The three constraint types the paper studies — not-null, unique
 //! (including composite and partial/conditional unique, §3.5.2), and
-//! foreign key — plus a normalized [`ConstraintSet`] supporting the diff
-//! step of §3.5.3 ("filter the existing constraints").
+//! foreign key — extended with the next constraint class the paper's own
+//! motivating examples call for: CHECK predicates and column DEFAULTs.
+//! A normalized [`ConstraintSet`] supports the diff step of §3.5.3
+//! ("filter the existing constraints").
 
 use std::collections::BTreeSet;
 use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::predicate::Predicate;
 use crate::types::Literal;
 
-/// The three constraint categories from the paper.
+/// The constraint categories: the paper's three plus CHECK/DEFAULT.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum ConstraintType {
     /// `NOT NULL`
@@ -21,12 +24,22 @@ pub enum ConstraintType {
     Unique,
     /// `FOREIGN KEY … REFERENCES …`
     ForeignKey,
+    /// `CHECK (predicate)`
+    Check,
+    /// `DEFAULT value`
+    Default,
 }
 
 impl ConstraintType {
-    /// All constraint types, in the paper's presentation order.
-    pub const ALL: [ConstraintType; 3] =
-        [ConstraintType::Unique, ConstraintType::NotNull, ConstraintType::ForeignKey];
+    /// All constraint types, in the paper's presentation order (the
+    /// paper's three first, then the CHECK/DEFAULT extension).
+    pub const ALL: [ConstraintType; 5] = [
+        ConstraintType::Unique,
+        ConstraintType::NotNull,
+        ConstraintType::ForeignKey,
+        ConstraintType::Check,
+        ConstraintType::Default,
+    ];
 
     /// Short label used in tables ("Unique", "Not null", "FK").
     pub fn label(&self) -> &'static str {
@@ -34,6 +47,8 @@ impl ConstraintType {
             ConstraintType::NotNull => "Not null",
             ConstraintType::Unique => "Unique",
             ConstraintType::ForeignKey => "Foreign key",
+            ConstraintType::Check => "Check",
+            ConstraintType::Default => "Default",
         }
     }
 }
@@ -58,6 +73,68 @@ impl fmt::Display for Condition {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{} = {}", self.column, self.value)
     }
+}
+
+/// Why a constraint could not be constructed. Typed so SQL ingestion can
+/// downgrade a hostile definition to an `Unsupported` warning instead of
+/// panicking mid-parse.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConstraintError {
+    /// A unique constraint over zero columns.
+    EmptyColumns,
+    /// Two partial-unique conditions require different values of the same
+    /// column, so the `WHERE` clause can never hold and the index never
+    /// applies.
+    ContradictoryConditions {
+        /// The column with conflicting required values.
+        column: String,
+    },
+}
+
+impl fmt::Display for ConstraintError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConstraintError::EmptyColumns => {
+                f.write_str("unique constraint requires at least one column")
+            }
+            ConstraintError::ContradictoryConditions { column } => write!(
+                f,
+                "contradictory partial-unique conditions on column `{column}` (the WHERE clause can never hold)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ConstraintError {}
+
+/// Longest generated identifier the emitters will produce, in bytes.
+///
+/// PostgreSQL's `NAMEDATALEN - 1` is 63; MySQL allows 64 but measures in
+/// characters, so the stricter byte bound is safe for both (and SQLite
+/// does not care).
+pub const MAX_IDENTIFIER_BYTES: usize = 63;
+
+/// Clamps a generated identifier to [`MAX_IDENTIFIER_BYTES`].
+///
+/// Names already within the limit are returned byte-identical. Longer
+/// names keep a 50-byte prefix (cut at a character boundary) and append
+/// `_` plus 12 hex digits of an FNV-1a hash of the *full* name, so two
+/// distinct long names can never clamp to the same identifier the way
+/// PostgreSQL's silent 63-byte truncation collides them.
+pub fn clamp_identifier(name: &str) -> String {
+    if name.len() <= MAX_IDENTIFIER_BYTES {
+        return name.to_string();
+    }
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let mut end = MAX_IDENTIFIER_BYTES - 13;
+    while !name.is_char_boundary(end) {
+        end -= 1;
+    }
+    format!("{}_{:012x}", &name[..end], hash & 0xffff_ffff_ffff)
 }
 
 /// A database constraint in normalized form.
@@ -99,6 +176,23 @@ pub enum Constraint {
         /// Referenced column (usually the primary key).
         ref_column: String,
     },
+    /// `CHECK (predicate)` on `table`.
+    Check {
+        /// Constrained table.
+        table: String,
+        /// Normalized single-column predicate.
+        predicate: Predicate,
+    },
+    /// `table.column DEFAULT value`.
+    Default {
+        /// Constrained table.
+        table: String,
+        /// Defaulted column.
+        column: String,
+        /// The default value (never `NULL` — that is the absence of a
+        /// default, not a constraint).
+        value: Literal,
+    },
 }
 
 impl Constraint {
@@ -126,7 +220,8 @@ impl Constraint {
     ///
     /// # Panics
     ///
-    /// Panics if `columns` is empty.
+    /// Panics if `columns` is empty or the conditions are contradictory;
+    /// see [`Constraint::try_partial_unique`] for the fallible form.
     pub fn partial_unique<I, S>(
         table: impl Into<String>,
         columns: I,
@@ -136,12 +231,48 @@ impl Constraint {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
+        Self::try_partial_unique(table, columns, conditions).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a partial (conditional) unique constraint, rejecting
+    /// degenerate inputs with a typed error instead of panicking.
+    ///
+    /// Columns are normalized (sorted + deduplicated) and must be
+    /// non-empty. Conditions are normalized too, and a pair requiring
+    /// different values of the same column (`active = TRUE AND active =
+    /// FALSE`) is rejected as [`ConstraintError::ContradictoryConditions`]
+    /// — such an index can never apply, so minidb would silently enforce
+    /// nothing.
+    pub fn try_partial_unique<I, S>(
+        table: impl Into<String>,
+        columns: I,
+        conditions: Vec<Condition>,
+    ) -> Result<Self, ConstraintError>
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
         let set: BTreeSet<String> = columns.into_iter().map(Into::into).collect();
-        assert!(!set.is_empty(), "unique constraint requires at least one column");
+        if set.is_empty() {
+            return Err(ConstraintError::EmptyColumns);
+        }
         let mut conditions = conditions;
         conditions.sort();
         conditions.dedup();
-        Constraint::Unique { table: table.into(), columns: set.into_iter().collect(), conditions }
+        for pair in conditions.windows(2) {
+            // Sorted + deduplicated: two adjacent entries with the same
+            // column necessarily require different values.
+            if pair[0].column == pair[1].column {
+                return Err(ConstraintError::ContradictoryConditions {
+                    column: pair[0].column.clone(),
+                });
+            }
+        }
+        Ok(Constraint::Unique {
+            table: table.into(),
+            columns: set.into_iter().collect(),
+            conditions,
+        })
     }
 
     /// Creates a foreign-key constraint.
@@ -159,12 +290,34 @@ impl Constraint {
         }
     }
 
+    /// Creates a CHECK constraint over a normalized predicate.
+    pub fn check(table: impl Into<String>, predicate: Predicate) -> Self {
+        Constraint::Check { table: table.into(), predicate }
+    }
+
+    /// Creates a column-default constraint.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is `NULL` — `DEFAULT NULL` is the absence of a
+    /// default, not a constraint, and always a caller bug.
+    pub fn default_value(
+        table: impl Into<String>,
+        column: impl Into<String>,
+        value: Literal,
+    ) -> Self {
+        assert!(!value.is_null(), "DEFAULT NULL is not a constraint");
+        Constraint::Default { table: table.into(), column: column.into(), value }
+    }
+
     /// The constraint's category.
     pub fn constraint_type(&self) -> ConstraintType {
         match self {
             Constraint::NotNull { .. } => ConstraintType::NotNull,
             Constraint::Unique { .. } => ConstraintType::Unique,
             Constraint::ForeignKey { .. } => ConstraintType::ForeignKey,
+            Constraint::Check { .. } => ConstraintType::Check,
+            Constraint::Default { .. } => ConstraintType::Default,
         }
     }
 
@@ -173,17 +326,23 @@ impl Constraint {
         match self {
             Constraint::NotNull { table, .. }
             | Constraint::Unique { table, .. }
-            | Constraint::ForeignKey { table, .. } => table,
+            | Constraint::ForeignKey { table, .. }
+            | Constraint::Check { table, .. }
+            | Constraint::Default { table, .. } => table,
         }
     }
 
-    /// The constrained columns (one for not-null/FK, one or more for unique).
+    /// The constrained columns (one for not-null/FK/check/default, one or
+    /// more for unique).
     pub fn columns(&self) -> Vec<&str> {
         match self {
-            Constraint::NotNull { column, .. } | Constraint::ForeignKey { column, .. } => {
+            Constraint::NotNull { column, .. }
+            | Constraint::ForeignKey { column, .. }
+            | Constraint::Default { column, .. } => {
                 vec![column.as_str()]
             }
             Constraint::Unique { columns, .. } => columns.iter().map(String::as_str).collect(),
+            Constraint::Check { predicate, .. } => vec![predicate.column()],
         }
     }
 
@@ -212,7 +371,7 @@ impl Constraint {
             Constraint::Unique { table, columns, conditions } => {
                 let cols: Vec<String> = columns.iter().map(|c| q(c)).collect();
                 let cols = cols.join(", ");
-                let name = q(&format!("uq_{table}_{}", columns.join("_")));
+                let name = q(&clamp_identifier(&format!("uq_{table}_{}", columns.join("_"))));
                 if conditions.is_empty() {
                     format!("ALTER TABLE {} ADD CONSTRAINT {name} UNIQUE ({cols});", q(table))
                 } else {
@@ -231,10 +390,22 @@ impl Constraint {
             Constraint::ForeignKey { table, column, ref_table, ref_column } => format!(
                 "ALTER TABLE {} ADD CONSTRAINT {} FOREIGN KEY ({}) REFERENCES {}({});",
                 q(table),
-                q(&format!("fk_{table}_{column}")),
+                q(&clamp_identifier(&format!("fk_{table}_{column}"))),
                 q(column),
                 q(ref_table),
                 q(ref_column)
+            ),
+            Constraint::Check { table, predicate } => format!(
+                "ALTER TABLE {} ADD CONSTRAINT {} CHECK ({});",
+                q(table),
+                q(&clamp_identifier(&format!("ck_{table}_{}", predicate.column()))),
+                predicate.render(&q)
+            ),
+            Constraint::Default { table, column, value } => format!(
+                "ALTER TABLE {} ALTER COLUMN {} SET DEFAULT {};",
+                q(table),
+                q(column),
+                value.sql()
             ),
         }
     }
@@ -258,6 +429,12 @@ impl Constraint {
             }
             Constraint::ForeignKey { table, column, ref_table, ref_column } => {
                 format!("{table} FK ({column}) ref {ref_table}({ref_column})")
+            }
+            Constraint::Check { table, predicate } => {
+                format!("{table} Check ({})", predicate.describe())
+            }
+            Constraint::Default { table, column, value } => {
+                format!("{table} Default ({column} = {})", value.sql())
             }
         }
     }
@@ -299,15 +476,40 @@ impl ConstraintSet {
     /// Returns true if a unique constraint with exactly these columns exists
     /// on `table`, regardless of any partial condition.
     ///
-    /// Used when diffing: an inferred `UNIQUE(email)` is considered covered
-    /// by an existing `UNIQUE(email) WHERE active=TRUE` only when the
-    /// condition also matches, so this helper is deliberately condition-
-    /// insensitive for recall-style queries.
+    /// Deliberately condition-insensitive, for recall-style queries: an
+    /// inferred `UNIQUE(email)` counts as covered by an existing
+    /// `UNIQUE(email) WHERE active = TRUE` even though the conditions
+    /// differ. Use [`ConstraintSet::contains_unique_exact`] when the
+    /// conditions must match too.
     pub fn contains_unique_columns(&self, table: &str, columns: &[&str]) -> bool {
         let want: BTreeSet<&str> = columns.iter().copied().collect();
         self.items.iter().any(|c| match c {
             Constraint::Unique { table: t, columns: cols, .. } => {
                 t == table && cols.iter().map(String::as_str).collect::<BTreeSet<_>>() == want
+            }
+            _ => false,
+        })
+    }
+
+    /// Condition-sensitive variant of
+    /// [`ConstraintSet::contains_unique_columns`]: true only when a unique
+    /// constraint with exactly these columns *and* exactly these conditions
+    /// (normalized — order and duplicates do not matter) exists on `table`.
+    pub fn contains_unique_exact(
+        &self,
+        table: &str,
+        columns: &[&str],
+        conditions: &[Condition],
+    ) -> bool {
+        let want_cols: BTreeSet<&str> = columns.iter().copied().collect();
+        let mut want_conds = conditions.to_vec();
+        want_conds.sort();
+        want_conds.dedup();
+        self.items.iter().any(|c| match c {
+            Constraint::Unique { table: t, columns: cols, conditions: conds } => {
+                t == table
+                    && cols.iter().map(String::as_str).collect::<BTreeSet<_>>() == want_cols
+                    && *conds == want_conds
             }
             _ => false,
         })
@@ -561,5 +763,154 @@ mod tests {
         );
         let json = serde_json::to_string(&c).unwrap();
         assert_eq!(serde_json::from_str::<Constraint>(&json).unwrap(), c);
+        let c = Constraint::check(
+            "orders",
+            Predicate::compare("total", crate::predicate::CompareOp::Gt, Literal::Int(0)),
+        );
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Constraint>(&json).unwrap(), c);
+        let c = Constraint::default_value("orders", "status", Literal::Str("Pending".into()));
+        let json = serde_json::to_string(&c).unwrap();
+        assert_eq!(serde_json::from_str::<Constraint>(&json).unwrap(), c);
+    }
+
+    #[test]
+    fn check_and_default_ddl_and_describe() {
+        use crate::predicate::CompareOp;
+        let check = Constraint::check(
+            "orders",
+            Predicate::compare("total", CompareOp::Gt, Literal::Int(0)),
+        );
+        assert_eq!(check.constraint_type(), ConstraintType::Check);
+        assert_eq!(check.columns(), vec!["total"]);
+        assert_eq!(
+            check.ddl(),
+            "ALTER TABLE \"orders\" ADD CONSTRAINT \"ck_orders_total\" CHECK (\"total\" > 0);"
+        );
+        assert_eq!(check.describe(), "orders Check (total > 0)");
+
+        let member = Constraint::check(
+            "orders",
+            Predicate::in_values(
+                "status",
+                [Literal::Str("Open".into()), Literal::Str("Closed".into())],
+            ),
+        );
+        assert_eq!(
+            member.ddl(),
+            "ALTER TABLE \"orders\" ADD CONSTRAINT \"ck_orders_status\" CHECK (\"status\" IN ('Closed', 'Open'));"
+        );
+
+        let default = Constraint::default_value("orders", "status", Literal::Str("Pending".into()));
+        assert_eq!(default.constraint_type(), ConstraintType::Default);
+        assert_eq!(default.columns(), vec!["status"]);
+        assert_eq!(
+            default.ddl(),
+            "ALTER TABLE \"orders\" ALTER COLUMN \"status\" SET DEFAULT 'Pending';"
+        );
+        assert_eq!(default.describe(), "orders Default (status = 'Pending')");
+    }
+
+    #[test]
+    #[should_panic(expected = "DEFAULT NULL")]
+    fn default_null_is_rejected() {
+        let _ = Constraint::default_value("t", "c", Literal::Null);
+    }
+
+    #[test]
+    fn contradictory_partial_unique_is_rejected() {
+        let conds = vec![
+            Condition { column: "active".into(), value: Literal::Bool(true) },
+            Condition { column: "active".into(), value: Literal::Bool(false) },
+        ];
+        assert_eq!(
+            Constraint::try_partial_unique("t", ["code"], conds),
+            Err(ConstraintError::ContradictoryConditions { column: "active".into() })
+        );
+        // The same condition twice is merely redundant, not contradictory.
+        let dup = vec![
+            Condition { column: "active".into(), value: Literal::Bool(true) },
+            Condition { column: "active".into(), value: Literal::Bool(true) },
+        ];
+        let c = Constraint::try_partial_unique("t", ["code"], dup).unwrap();
+        assert!(matches!(&c, Constraint::Unique { conditions, .. } if conditions.len() == 1));
+        assert_eq!(
+            Constraint::try_partial_unique("t", Vec::<String>::new(), Vec::new()),
+            Err(ConstraintError::EmptyColumns)
+        );
+        assert!(ConstraintError::EmptyColumns.to_string().contains("at least one column"));
+    }
+
+    #[test]
+    #[should_panic(expected = "contradictory partial-unique conditions")]
+    fn partial_unique_panics_on_contradiction() {
+        let _ = Constraint::partial_unique(
+            "t",
+            ["code"],
+            vec![
+                Condition { column: "active".into(), value: Literal::Bool(true) },
+                Condition { column: "active".into(), value: Literal::Bool(false) },
+            ],
+        );
+    }
+
+    #[test]
+    fn contains_unique_exact_is_condition_sensitive() {
+        let cond = Condition { column: "ok".into(), value: Literal::Bool(true) };
+        let mut set = ConstraintSet::new();
+        set.insert(Constraint::partial_unique("t", ["b", "a"], vec![cond.clone()]));
+        assert!(set.contains_unique_columns("t", &["a", "b"]));
+        assert!(set.contains_unique_exact("t", &["a", "b"], std::slice::from_ref(&cond)));
+        // Duplicate and reordered conditions normalize before comparing.
+        assert!(set.contains_unique_exact("t", &["b", "a"], &[cond.clone(), cond.clone()]));
+        assert!(!set.contains_unique_exact("t", &["a", "b"], &[]));
+        assert!(!set.contains_unique_exact(
+            "t",
+            &["a", "b"],
+            &[Condition { column: "ok".into(), value: Literal::Bool(false) }]
+        ));
+        set.insert(Constraint::unique("t", ["c"]));
+        assert!(set.contains_unique_exact("t", &["c"], &[]));
+    }
+
+    #[test]
+    fn clamp_identifier_bounds_and_disambiguates() {
+        // Short names are returned byte-identical.
+        assert_eq!(clamp_identifier("uq_users_email"), "uq_users_email");
+        let exactly = "x".repeat(MAX_IDENTIFIER_BYTES);
+        assert_eq!(clamp_identifier(&exactly), exactly);
+
+        // Long names clamp to the bound and keep a recognizable prefix.
+        let base = format!("uq_line_{}", "very_long_column_name_".repeat(4));
+        let a = format!("{base}alpha");
+        let b = format!("{base}beta");
+        assert!(a.len() > MAX_IDENTIFIER_BYTES && b.len() > MAX_IDENTIFIER_BYTES);
+        let ca = clamp_identifier(&a);
+        let cb = clamp_identifier(&b);
+        assert_eq!(ca.len(), MAX_IDENTIFIER_BYTES);
+        assert_eq!(cb.len(), MAX_IDENTIFIER_BYTES);
+        assert!(ca.starts_with("uq_line_very_long_column_name_"));
+        // The two names share their first 63 bytes, so PostgreSQL-style
+        // truncation would collide them; the hash suffix must not.
+        assert_eq!(a.as_bytes()[..MAX_IDENTIFIER_BYTES], b.as_bytes()[..MAX_IDENTIFIER_BYTES]);
+        assert_ne!(ca, cb);
+        // Deterministic.
+        assert_eq!(ca, clamp_identifier(&a));
+
+        // Multi-byte characters are cut at a boundary, never mid-char.
+        let unicode = format!("uq_{}", "é".repeat(60));
+        let clamped = clamp_identifier(&unicode);
+        assert!(clamped.len() <= MAX_IDENTIFIER_BYTES);
+        assert!(std::str::from_utf8(clamped.as_bytes()).is_ok());
+    }
+
+    #[test]
+    fn long_generated_names_are_clamped_in_ddl() {
+        let cols: Vec<String> = (0..12).map(|i| format!("customer_reference_{i}")).collect();
+        let c = Constraint::unique("order_line_attribute_history", cols);
+        let ddl = c.ddl();
+        let name = ddl.split('"').nth(3).unwrap();
+        assert!(name.len() <= MAX_IDENTIFIER_BYTES, "{name}");
+        assert!(name.starts_with("uq_order_line_attribute_history_"), "{name}");
     }
 }

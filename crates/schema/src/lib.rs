@@ -2,7 +2,8 @@
 //!
 //! Relational schema modeling for the CFinder reproduction: tables,
 //! columns, the three database-constraint types the paper studies
-//! (not-null, unique — including composite and partial —, foreign key),
+//! (not-null, unique — including composite and partial —, foreign key)
+//! plus the CHECK/DEFAULT extension with its normalized predicate AST,
 //! schema migrations with history metadata, and the §2 empirical-study
 //! analytics (afterthought constraints, reasons, consequences,
 //! vulnerable-window lengths).
@@ -28,13 +29,18 @@
 pub mod constraint;
 pub mod history;
 pub mod migration;
+pub mod predicate;
 pub mod table;
 pub mod types;
 
-pub use constraint::{Condition, Constraint, ConstraintSet, ConstraintType};
+pub use constraint::{
+    clamp_identifier, Condition, Constraint, ConstraintError, ConstraintSet, ConstraintType,
+    MAX_IDENTIFIER_BYTES,
+};
 pub use history::{MigrationHistory, MissingConstraintRecord, StudyReport};
 pub use migration::{
     AddReason, CodeCheckStatus, Consequence, ConstraintMeta, IssueRef, Migration, MigrationOp,
 };
+pub use predicate::{CompareOp, Predicate};
 pub use table::{Column, Schema, Table};
 pub use types::{ColumnType, Literal};

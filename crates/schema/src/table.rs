@@ -116,7 +116,8 @@ impl Schema {
         Self::default()
     }
 
-    /// Adds a table, deriving not-null constraints from its columns.
+    /// Adds a table, deriving not-null and default constraints from its
+    /// columns.
     ///
     /// # Panics
     ///
@@ -126,6 +127,13 @@ impl Schema {
         for col in &table.columns {
             if !col.nullable {
                 self.constraints.insert(Constraint::not_null(&table.name, &col.name));
+            }
+            if let Some(default) = col.default.as_ref().filter(|d| !d.is_null()) {
+                self.constraints.insert(Constraint::default_value(
+                    &table.name,
+                    &col.name,
+                    default.clone(),
+                ));
             }
         }
         self.tables.insert(table.name.clone(), table);
@@ -145,13 +153,21 @@ impl Schema {
         if !column.nullable {
             self.constraints.insert(Constraint::not_null(table, &column.name));
         }
+        if let Some(default) = column.default.as_ref().filter(|d| !d.is_null()) {
+            self.constraints.insert(Constraint::default_value(
+                table,
+                &column.name,
+                default.clone(),
+            ));
+        }
         t.columns.push(column);
         Ok(())
     }
 
     /// Declares a constraint (migration `AddConstraint`).
     ///
-    /// Keeps `Column::nullable` in sync for not-null constraints.
+    /// Keeps `Column::nullable` in sync for not-null constraints and
+    /// `Column::default` in sync for default constraints.
     ///
     /// # Errors
     ///
@@ -162,10 +178,18 @@ impl Schema {
         if !self.constraints.insert(constraint.clone()) {
             return Err(format!("constraint already declared: {constraint}"));
         }
-        if let Constraint::NotNull { table, column } = &constraint {
-            if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
-                c.nullable = false;
+        match &constraint {
+            Constraint::NotNull { table, column } => {
+                if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
+                    c.nullable = false;
+                }
             }
+            Constraint::Default { table, column, value } => {
+                if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
+                    c.default = Some(value.clone());
+                }
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -179,10 +203,18 @@ impl Schema {
         if !self.constraints.remove(constraint) {
             return Err(format!("constraint not declared: {constraint}"));
         }
-        if let Constraint::NotNull { table, column } = constraint {
-            if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
-                c.nullable = true;
+        match constraint {
+            Constraint::NotNull { table, column } => {
+                if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
+                    c.nullable = true;
+                }
             }
+            Constraint::Default { table, column, .. } => {
+                if let Some(c) = self.tables.get_mut(table).and_then(|t| t.column_mut(column)) {
+                    c.default = None;
+                }
+            }
+            _ => {}
         }
         Ok(())
     }
@@ -279,7 +311,8 @@ impl fmt::Display for Schema {
             writeln!(f, ")")?;
         }
         for c in self.constraints.iter() {
-            if !matches!(c, Constraint::NotNull { .. }) {
+            // Not-null and default live inline on the column lines above.
+            if !matches!(c, Constraint::NotNull { .. } | Constraint::Default { .. }) {
                 writeln!(f, "CONSTRAINT {c}")?;
             }
         }
@@ -415,6 +448,73 @@ mod tests {
         let back = Schema::from_json(&json).unwrap();
         assert_eq!(back, s);
         assert!(Schema::from_json("not json").is_err());
+    }
+
+    #[test]
+    fn add_table_derives_default_constraints() {
+        let mut s = Schema::new();
+        s.add_table(users_table());
+        assert_eq!(s.count_of(ConstraintType::Default), 1);
+        assert!(s.constraints().contains(&Constraint::default_value(
+            "users",
+            "active",
+            Literal::Bool(true)
+        )));
+        // A NULL default is the absence of a default, never a constraint.
+        s.add_table(
+            Table::new("drafts")
+                .with_column(Column::new("note", ColumnType::Text).with_default(Literal::Null)),
+        );
+        assert_eq!(s.count_of(ConstraintType::Default), 1);
+        s.add_column(
+            "drafts",
+            Column::new("state", ColumnType::VarChar(16)).with_default(Literal::Str("open".into())),
+        )
+        .unwrap();
+        assert!(s.constraints().contains(&Constraint::default_value(
+            "drafts",
+            "state",
+            Literal::Str("open".into())
+        )));
+    }
+
+    #[test]
+    fn default_constraint_syncs_column_default() {
+        let mut s = Schema::new();
+        s.add_table(users_table());
+        let c = Constraint::default_value("users", "name", Literal::Str("anon".into()));
+        s.add_constraint(c.clone()).unwrap();
+        assert_eq!(
+            s.table("users").unwrap().column("name").unwrap().default,
+            Some(Literal::Str("anon".into()))
+        );
+        s.drop_constraint(&c).unwrap();
+        assert_eq!(s.table("users").unwrap().column("name").unwrap().default, None);
+        // Validation still applies.
+        assert!(s
+            .add_constraint(Constraint::default_value("users", "ghost", Literal::Int(0)))
+            .is_err());
+    }
+
+    #[test]
+    fn check_constraint_validates_predicate_column() {
+        use crate::predicate::{CompareOp, Predicate};
+        let mut s = Schema::new();
+        s.add_table(users_table());
+        let good = Constraint::check(
+            "users",
+            Predicate::compare("name", CompareOp::Ne, Literal::Str("".into())),
+        );
+        assert!(s.add_constraint(good.clone()).is_ok());
+        assert!(s.constraints().contains(&good));
+        let bad =
+            Constraint::check("users", Predicate::compare("ghost", CompareOp::Gt, Literal::Int(0)));
+        assert!(s.add_constraint(bad).is_err());
+        // Check and default stay off the CONSTRAINT lines of Display
+        // (defaults render inline on their column).
+        let text = s.to_string();
+        assert!(text.contains("users Check (name <> '')"), "{text}");
+        assert!(!text.contains("Default ("), "{text}");
     }
 
     #[test]

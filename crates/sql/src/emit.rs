@@ -8,21 +8,29 @@
 //! `c`. Caveat comments (SQLite table rebuilds, MySQL partial-index
 //! emulation) are lexed away on re-parse, so they never break the oracle.
 
-use cfinder_schema::{ColumnType, Constraint, Schema, Table};
+use cfinder_schema::{clamp_identifier, ColumnType, Constraint, Schema, Table};
 
 use crate::dialect::Dialect;
 
-/// The deterministic name given to an emitted constraint (`uq_…`/`fk_…`).
-/// Names are dialect-independent and do not participate in constraint
-/// identity — the parser discards them.
+/// The deterministic name given to an emitted constraint
+/// (`uq_…`/`fk_…`/`ck_…`). Names are dialect-independent and do not
+/// participate in constraint identity — the parser discards them. Names
+/// are clamped to 63 bytes with a hash suffix (see
+/// [`cfinder_schema::clamp_identifier`]): PostgreSQL silently truncates
+/// longer identifiers, which collides distinct composite uniques, and
+/// MySQL rejects them outright.
 pub fn constraint_name(c: &Constraint) -> String {
-    match c {
+    clamp_identifier(&match c {
         Constraint::NotNull { table, column } => format!("nn_{table}_{column}"),
         Constraint::Unique { table, columns, .. } => {
             format!("uq_{table}_{}", columns.join("_"))
         }
         Constraint::ForeignKey { table, column, .. } => format!("fk_{table}_{column}"),
-    }
+        Constraint::Check { table, predicate } => {
+            format!("ck_{table}_{}", predicate.column())
+        }
+        Constraint::Default { table, column, .. } => format!("df_{table}_{column}"),
+    })
 }
 
 /// The MySQL spelling of a column type (`MODIFY COLUMN` requires the full
@@ -130,6 +138,36 @@ pub fn constraint_ddl(c: &Constraint, dialect: Dialect, schema: Option<&Schema>)
                 _ => stmt,
             }
         }
+        Constraint::Check { table, predicate } => {
+            let stmt = format!(
+                "ALTER TABLE {} ADD CONSTRAINT {} CHECK ({});",
+                q(table),
+                q(&constraint_name(c)),
+                predicate.render(&q)
+            );
+            match dialect {
+                Dialect::Sqlite => format!(
+                    "-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild\n{stmt}"
+                ),
+                _ => stmt,
+            }
+        }
+        Constraint::Default { table, column, value } => {
+            // `ALTER … ALTER COLUMN … SET DEFAULT` is shared by PostgreSQL
+            // and MySQL; SQLite needs a rebuild like its other ALTERs.
+            let stmt = format!(
+                "ALTER TABLE {} ALTER COLUMN {} SET DEFAULT {};",
+                q(table),
+                q(column),
+                value.sql()
+            );
+            match dialect {
+                Dialect::Sqlite => format!(
+                    "-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild\n{stmt}"
+                ),
+                _ => stmt,
+            }
+        }
     }
 }
 
@@ -159,8 +197,8 @@ pub fn table_to_sql(table: &Table, dialect: Dialect) -> String {
 }
 
 /// Renders a whole schema as a `schema.sql` dump for `dialect`: every
-/// table, then every unique/foreign-key constraint (not-null constraints
-/// are already inline in the table bodies).
+/// table, then every unique/foreign-key/check constraint (not-null and
+/// default constraints are already inline in the table bodies).
 ///
 /// The output is deterministic (schema iteration is name-ordered) and
 /// re-parses to a schema with an identical constraint set — the
@@ -172,7 +210,7 @@ pub fn schema_to_sql(schema: &Schema, dialect: Dialect) -> String {
         out.push_str("\n\n");
     }
     for c in schema.constraints().iter() {
-        if matches!(c, Constraint::NotNull { .. }) {
+        if matches!(c, Constraint::NotNull { .. } | Constraint::Default { .. }) {
             continue;
         }
         out.push_str(&constraint_ddl(c, dialect, Some(schema)));
@@ -243,6 +281,72 @@ mod tests {
             vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
         );
         round_trips(&c, None);
+    }
+
+    #[test]
+    fn check_and_default_round_trip_in_every_dialect() {
+        use cfinder_schema::{CompareOp, Predicate};
+        round_trips(
+            &Constraint::check(
+                "order",
+                Predicate::compare("total", CompareOp::Gt, Literal::Int(0)),
+            ),
+            None,
+        );
+        round_trips(
+            &Constraint::check(
+                "order",
+                Predicate::in_values(
+                    "status",
+                    [Literal::Str("Open".into()), Literal::Str("Closed".into())],
+                ),
+            ),
+            None,
+        );
+        round_trips(
+            &Constraint::default_value("order", "status", Literal::Str("Open".into())),
+            None,
+        );
+        round_trips(&Constraint::default_value("order", "active", Literal::Bool(true)), None);
+        round_trips(&Constraint::default_value("order", "discount", Literal::Int(-5)), None);
+    }
+
+    #[test]
+    fn check_and_default_ddl_shapes_are_pinned() {
+        use cfinder_schema::{CompareOp, Predicate};
+        let ck =
+            Constraint::check("order", Predicate::compare("total", CompareOp::Gt, Literal::Int(0)));
+        assert_eq!(
+            constraint_ddl(&ck, Dialect::Postgres, None),
+            "ALTER TABLE \"order\" ADD CONSTRAINT \"ck_order_total\" CHECK (\"total\" > 0);"
+        );
+        assert_eq!(
+            constraint_ddl(&ck, Dialect::MySql, None),
+            "ALTER TABLE `order` ADD CONSTRAINT `ck_order_total` CHECK (`total` > 0);"
+        );
+        assert!(constraint_ddl(&ck, Dialect::Sqlite, None).starts_with("-- sqlite:"));
+        let df = Constraint::default_value("order", "status", Literal::Str("Open".into()));
+        assert_eq!(
+            constraint_ddl(&df, Dialect::Postgres, None),
+            "ALTER TABLE \"order\" ALTER COLUMN \"status\" SET DEFAULT 'Open';"
+        );
+        assert!(constraint_ddl(&df, Dialect::Sqlite, None).starts_with("-- sqlite:"));
+    }
+
+    #[test]
+    fn generated_names_are_clamped_to_the_identifier_limit() {
+        use cfinder_schema::MAX_IDENTIFIER_BYTES;
+        let long_a = "a".repeat(40);
+        let long_b = "b".repeat(40);
+        let ca = Constraint::unique(&long_a, [long_b.as_str(), "x"]);
+        let cb = Constraint::unique(&long_a, [long_b.as_str(), "y"]);
+        let (na, nb) = (constraint_name(&ca), constraint_name(&cb));
+        assert!(na.len() <= MAX_IDENTIFIER_BYTES, "{na}");
+        assert!(nb.len() <= MAX_IDENTIFIER_BYTES, "{nb}");
+        assert_ne!(na, nb, "distinct constraints must keep distinct clamped names");
+        // Clamped names still round-trip: the parser discards names.
+        round_trips(&ca, None);
+        round_trips(&cb, None);
     }
 
     #[test]

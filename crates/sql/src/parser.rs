@@ -6,7 +6,12 @@
 //! * `CREATE TABLE` with inline and table-level constraints,
 //!   `SERIAL`/`AUTO_INCREMENT`, composite primary keys, `REFERENCES`;
 //! * `ALTER TABLE … ADD CONSTRAINT | ALTER COLUMN … SET NOT NULL |
-//!   MODIFY COLUMN … NOT NULL | ADD COLUMN`;
+//!   ALTER COLUMN … SET DEFAULT lit | MODIFY COLUMN … NOT NULL |
+//!   ADD COLUMN`;
+//! * `CHECK` bodies in the normalized single-column grammar
+//!   (`col op literal`, `literal op col`, `col IN (lit, …)`) — anything
+//!   richer is skipped silently, exactly like an unparsable expression
+//!   default;
 //! * `CREATE UNIQUE INDEX … ON t (cols) [WHERE col = lit [AND …]]`
 //!   (partial unique, §3.5.2).
 //!
@@ -17,7 +22,8 @@
 //! [`SqlError`]s, never panics.
 
 use cfinder_schema::{
-    Column, ColumnType, Condition, Constraint, ConstraintSet, Literal, Schema, Table,
+    Column, ColumnType, CompareOp, Condition, Constraint, ConstraintSet, Literal, Predicate,
+    Schema, Table,
 };
 
 use crate::error::SqlError;
@@ -56,14 +62,18 @@ pub struct ParsedSql {
 
 impl ParsedSql {
     /// The full declared constraint set: explicit constraints plus
-    /// not-nulls derived from column flags — the `information_schema` view
-    /// the diff step consumes.
+    /// not-nulls derived from column flags and defaults derived from
+    /// non-NULL column defaults — the `information_schema` view the diff
+    /// step consumes.
     pub fn constraint_set(&self) -> ConstraintSet {
         let mut set = ConstraintSet::new();
         for t in &self.tables {
             for c in &t.columns {
                 if !c.nullable {
                     set.insert(Constraint::not_null(&t.name, &c.name));
+                }
+                if let Some(default) = c.default.as_ref().filter(|d| !d.is_null()) {
+                    set.insert(Constraint::default_value(&t.name, &c.name, default.clone()));
                 }
             }
         }
@@ -528,8 +538,17 @@ impl Parser {
                     return self.skip_clause();
                 }
             }
-        } else if self.eat_kw("CHECK") || self.eat_kw("EXCLUDE") {
-            // CHECK/EXCLUDE bodies are outside the constraint model.
+        } else if self.eat_kw("CHECK") {
+            // CHECK bodies in the normalized grammar become constraints;
+            // anything richer is skipped silently (resync handles the
+            // rest of the clause either way, e.g. PostgreSQL NO INHERIT).
+            if let Some(p) = self.check_predicate() {
+                constraints
+                    .push(ParsedConstraint { constraint: Constraint::check(table, p), line });
+            }
+            return self.skip_clause();
+        } else if self.eat_kw("EXCLUDE") {
+            // EXCLUDE bodies are outside the constraint model.
             return self.skip_clause();
         } else {
             self.error(format!("unrecognized table constraint in `{table}`"));
@@ -712,7 +731,13 @@ impl Parser {
                         }
                         "CHECK" => {
                             self.pos += 1;
-                            self.skip_balanced();
+                            match self.check_predicate() {
+                                Some(p) => constraints.push(ParsedConstraint {
+                                    constraint: Constraint::check(table, p),
+                                    line,
+                                }),
+                                None => self.skip_balanced(),
+                            }
                         }
                         "AUTO_INCREMENT" | "AUTOINCREMENT" => {
                             self.pos += 1;
@@ -926,6 +951,156 @@ impl Parser {
         }
     }
 
+    // ---- CHECK predicates -----------------------------------------------
+
+    /// A parenthesized CHECK body in the normalized single-column grammar:
+    /// `(col op literal)`, `(literal op col)` (flipped on the way in), or
+    /// `(col IN (lit, …))`, tolerating extra wrapping parens. Anything
+    /// richer — conjunctions, arithmetic, casts, subqueries — restores the
+    /// cursor and returns `None` so the caller skips the body, the same
+    /// quiet degradation as an unparsable expression default.
+    fn check_predicate(&mut self) -> Option<Predicate> {
+        let start = self.pos;
+        match self.check_predicate_inner() {
+            Some(p) => Some(p),
+            None => {
+                self.pos = start;
+                None
+            }
+        }
+    }
+
+    fn check_predicate_inner(&mut self) -> Option<Predicate> {
+        if !matches!(self.peek(), Some(Tok::LParen)) {
+            return None;
+        }
+        let mut depth = 0u32;
+        while matches!(self.peek(), Some(Tok::LParen)) {
+            self.pos += 1;
+            depth += 1;
+            if depth > MAX_DEPTH {
+                return None;
+            }
+        }
+        let pred = match self.peek() {
+            Some(Tok::Word(_) | Tok::Quoted(_)) => {
+                let column = self.ident()?;
+                if self.eat_kw("IN") {
+                    let values = self.check_literal_list()?;
+                    Predicate::in_values(column, values)
+                } else {
+                    let op = self.check_compare_op()?;
+                    let value = self.check_literal()?;
+                    Predicate::compare(column, op, value)
+                }
+            }
+            _ => {
+                // Literal-on-left: `CHECK (0 < total)` ≡ `total > 0`.
+                let value = self.check_literal()?;
+                let op = self.check_compare_op()?;
+                let column = self.ident()?;
+                Predicate::compare(column, op.flipped(), value)
+            }
+        };
+        while depth > 0 && matches!(self.peek(), Some(Tok::RParen)) {
+            self.pos += 1;
+            depth -= 1;
+        }
+        // Leftover depth means trailing tokens (AND …, arithmetic) the
+        // grammar does not cover.
+        if depth != 0 {
+            return None;
+        }
+        Some(pred)
+    }
+
+    /// A comparison operator assembled from `Tok::Op` characters. Two-char
+    /// operators (`>=`, `<=`, `<>`, `!=`, `==`) arrive as two tokens.
+    fn check_compare_op(&mut self) -> Option<CompareOp> {
+        let first = match self.peek() {
+            Some(Tok::Op(c)) => *c,
+            _ => return None,
+        };
+        self.pos += 1;
+        let second = match self.peek() {
+            Some(Tok::Op(c)) => Some(*c),
+            _ => None,
+        };
+        let (op, two) = match (first, second) {
+            ('<', Some('=')) => (CompareOp::Le, true),
+            ('<', Some('>')) => (CompareOp::Ne, true),
+            ('>', Some('=')) => (CompareOp::Ge, true),
+            ('!', Some('=')) => (CompareOp::Ne, true),
+            ('=', Some('=')) => (CompareOp::Eq, true),
+            ('<', _) => (CompareOp::Lt, false),
+            ('>', _) => (CompareOp::Gt, false),
+            ('=', _) => (CompareOp::Eq, false),
+            _ => return None,
+        };
+        if two {
+            self.pos += 1;
+        }
+        Some(op)
+    }
+
+    /// A comparable literal inside a CHECK body: string, integer (with
+    /// optional sign), or boolean. `NULL` is rejected — `col op NULL` is
+    /// never satisfiable and such a body is skipped rather than modeled.
+    fn check_literal(&mut self) -> Option<Literal> {
+        match self.peek().cloned() {
+            Some(Tok::Str(s)) => {
+                self.pos += 1;
+                Some(Literal::Str(s))
+            }
+            Some(Tok::Num(n)) => {
+                self.pos += 1;
+                n.parse::<i64>().ok().map(Literal::Int)
+            }
+            Some(Tok::Op('-')) => {
+                if let Some(Tok::Num(n)) = self.peek2().cloned() {
+                    self.pos += 2;
+                    n.parse::<i64>().ok().map(|v| Literal::Int(-v))
+                } else {
+                    None
+                }
+            }
+            Some(Tok::Word(w)) => match w.to_ascii_uppercase().as_str() {
+                "TRUE" => {
+                    self.pos += 1;
+                    Some(Literal::Bool(true))
+                }
+                "FALSE" => {
+                    self.pos += 1;
+                    Some(Literal::Bool(false))
+                }
+                _ => None,
+            },
+            _ => None,
+        }
+    }
+
+    /// `( lit [, lit]* )` after `IN` — at least one literal, all non-NULL.
+    fn check_literal_list(&mut self) -> Option<Vec<Literal>> {
+        if !matches!(self.peek(), Some(Tok::LParen)) {
+            return None;
+        }
+        self.pos += 1;
+        let mut values = vec![self.check_literal()?];
+        loop {
+            match self.peek() {
+                Some(Tok::RParen) => {
+                    self.pos += 1;
+                    return Some(values);
+                }
+                Some(Tok::Comma) => {
+                    self.pos += 1;
+                    values.push(self.check_literal()?);
+                }
+                _ => return None,
+            }
+        }
+    }
+
     // ---- ALTER TABLE ----------------------------------------------------
 
     fn alter_table(&mut self) {
@@ -1034,7 +1209,13 @@ impl Parser {
                     }
                 }
             } else if self.eat_kw("CHECK") {
-                self.skip_balanced();
+                match self.check_predicate() {
+                    Some(p) => self
+                        .out
+                        .constraints
+                        .push(ParsedConstraint { constraint: Constraint::check(table, p), line }),
+                    None => self.skip_balanced(),
+                }
             } else if self.is_kw("INDEX")
                 || self.is_kw("KEY")
                 || self.is_kw("FULLTEXT")
@@ -1089,8 +1270,19 @@ impl Parser {
                 if self.eat_kw("NOT") {
                     self.eat_kw("NULL");
                     self.push_not_null(table, &column, line);
+                } else if self.eat_kw("DEFAULT") {
+                    match self.parse_default() {
+                        Some(value) if !value.is_null() => {
+                            self.push_default(table, &column, value, line);
+                        }
+                        _ => {
+                            // DEFAULT NULL and expression defaults carry
+                            // no constraint.
+                            return self.skip_clause();
+                        }
+                    }
                 } else {
-                    // SET DEFAULT expr / SET DATA TYPE …
+                    // SET DATA TYPE …
                     return self.skip_clause();
                 }
             } else {
@@ -1134,7 +1326,9 @@ impl Parser {
                     }
                     Some(Tok::Word(w)) if w.eq_ignore_ascii_case("DEFAULT") => {
                         self.pos += 1;
-                        let _ = self.parse_default();
+                        if let Some(value) = self.parse_default().filter(|v| !v.is_null()) {
+                            self.push_default(table, &column, value, line);
+                        }
                     }
                     Some(Tok::LParen) => self.skip_balanced(),
                     _ => {
@@ -1163,6 +1357,21 @@ impl Parser {
             self.out.tables.iter_mut().find(|t| t.name == table).and_then(|t| t.column_mut(column))
         {
             col.nullable = false;
+        }
+    }
+
+    /// Records a `DEFAULT` constraint and syncs the column's default so
+    /// [`ParsedSql::constraint_set`] and [`ParsedSql::into_schema`] agree.
+    /// Callers must have filtered out `Literal::Null`.
+    fn push_default(&mut self, table: &str, column: &str, value: Literal, line: u32) {
+        self.out.constraints.push(ParsedConstraint {
+            constraint: Constraint::default_value(table, column, value.clone()),
+            line,
+        });
+        if let Some(col) =
+            self.out.tables.iter_mut().find(|t| t.name == table).and_then(|t| t.column_mut(column))
+        {
+            col.default = Some(value);
         }
     }
 
@@ -1231,10 +1440,15 @@ impl Parser {
         } else {
             Vec::new()
         };
-        self.out.constraints.push(ParsedConstraint {
-            constraint: Constraint::partial_unique(table, cols, conditions),
-            line,
-        });
+        // A hostile dump can carry a contradictory WHERE clause
+        // (`x = 1 AND x = 2`); the fallible constructor turns that into a
+        // typed warning instead of a panic.
+        match Constraint::try_partial_unique(&table, cols, conditions) {
+            Ok(c) => self.out.constraints.push(ParsedConstraint { constraint: c, line }),
+            Err(e) => {
+                self.unsupported(format!("dropped constraint ({e}): unique index on `{table}`"));
+            }
+        }
         self.skip_to_semi();
     }
 
@@ -1445,6 +1659,106 @@ mod tests {
         )));
         // The plain index contributed nothing.
         assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn check_constraints_in_the_normalized_grammar_are_recovered() {
+        let sql = r#"
+            CREATE TABLE orders (
+                id bigint PRIMARY KEY,
+                total bigint CHECK (total > 0),
+                discount bigint,
+                kind varchar(16),
+                status varchar(16),
+                CHECK (status IN ('Open', 'Closed')),
+                CONSTRAINT ck_discount CHECK (0 <= discount)
+            );
+            ALTER TABLE orders ADD CONSTRAINT ck_kind CHECK ((kind <> 'void'));
+        "#;
+        let parsed = parse_sql(sql);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let set = parsed.constraint_set();
+        assert!(set.contains(&Constraint::check(
+            "orders",
+            Predicate::compare("total", CompareOp::Gt, Literal::Int(0)),
+        )));
+        assert!(set.contains(&Constraint::check(
+            "orders",
+            Predicate::in_values(
+                "status",
+                [Literal::Str("Open".into()), Literal::Str("Closed".into())]
+            ),
+        )));
+        // Literal-on-left comparisons are flipped into column-first form.
+        assert!(set.contains(&Constraint::check(
+            "orders",
+            Predicate::compare("discount", CompareOp::Ge, Literal::Int(0)),
+        )));
+        assert!(set.contains(&Constraint::check(
+            "orders",
+            Predicate::compare("kind", CompareOp::Ne, Literal::Str("void".into())),
+        )));
+    }
+
+    #[test]
+    fn check_bodies_outside_the_grammar_are_skipped_silently() {
+        let sql = r#"
+            CREATE TABLE t (
+                a bigint CHECK (a > 0 AND a < 10),
+                b varchar(20),
+                CHECK (length(b) > 1)
+            );
+            ALTER TABLE t ADD CONSTRAINT c CHECK (b + 1 > 0);
+        "#;
+        let parsed = parse_sql(sql);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        assert_eq!(parsed.tables[0].columns.len(), 2);
+        assert!(!parsed.constraint_set().iter().any(|c| matches!(c, Constraint::Check { .. })));
+    }
+
+    #[test]
+    fn set_default_becomes_a_constraint_and_syncs_the_column() {
+        let sql = r#"
+            CREATE TABLE t (id bigint PRIMARY KEY, status varchar(8), n bigint, z bigint DEFAULT NULL);
+            ALTER TABLE t ALTER COLUMN status SET DEFAULT 'Open';
+            ALTER TABLE t ALTER COLUMN n SET DEFAULT now();
+            ALTER TABLE t ALTER COLUMN z SET DEFAULT NULL;
+            ALTER TABLE `t` MODIFY COLUMN `n` bigint NOT NULL DEFAULT 7;
+        "#;
+        let parsed = parse_sql(sql);
+        assert!(parsed.errors.is_empty(), "{:?}", parsed.errors);
+        let set = parsed.constraint_set();
+        assert!(set.contains(&Constraint::default_value(
+            "t",
+            "status",
+            Literal::Str("Open".into())
+        )));
+        assert!(set.contains(&Constraint::default_value("t", "n", Literal::Int(7))));
+        // Expression and NULL defaults never become constraints.
+        assert!(!set.iter().any(|c| matches!(
+            c,
+            Constraint::Default { column, .. } if column == "z"
+        )));
+        let t = &parsed.tables[0];
+        assert_eq!(t.column("status").unwrap().default, Some(Literal::Str("Open".into())));
+        assert_eq!(t.column("n").unwrap().default, Some(Literal::Int(7)));
+    }
+
+    #[test]
+    fn contradictory_partial_index_predicates_are_dropped_not_panicked() {
+        let sql = r#"
+            CREATE TABLE t (a bigint, b bigint);
+            CREATE UNIQUE INDEX u ON t (a) WHERE b = 1 AND b = 2;
+        "#;
+        let parsed = parse_sql(sql);
+        assert!(!parsed.constraint_set().iter().any(|c| matches!(c, Constraint::Unique { .. })));
+        assert_eq!(parsed.errors.len(), 1, "{:?}", parsed.errors);
+        assert_eq!(parsed.errors[0].kind, SqlErrorKind::Unsupported);
+        assert!(
+            parsed.errors[0].message.contains("can never hold"),
+            "{}",
+            parsed.errors[0].message
+        );
     }
 
     #[test]

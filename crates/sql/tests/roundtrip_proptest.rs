@@ -5,7 +5,10 @@
 
 use std::collections::BTreeSet;
 
-use cfinder_schema::{Column, ColumnType, Condition, Constraint, Literal, Table};
+use cfinder_schema::{
+    clamp_identifier, Column, ColumnType, CompareOp, Condition, Constraint, Literal, Predicate,
+    Table, MAX_IDENTIFIER_BYTES,
+};
 use cfinder_sql::{constraint_ddl, parse_sql, table_to_sql, Dialect};
 use proptest::prelude::*;
 
@@ -25,8 +28,14 @@ fn ident_strategy() -> impl Strategy<Value = String> {
 }
 
 fn literal_strategy() -> impl Strategy<Value = Literal> {
+    prop_oneof![Just(Literal::Null), non_null_literal_strategy()]
+}
+
+/// Literals that can appear in CHECK/DEFAULT constraints: `NULL` is
+/// rejected by the constructors (a NULL default is the absence of a
+/// constraint; `col op NULL` is never satisfiable).
+fn non_null_literal_strategy() -> impl Strategy<Value = Literal> {
     prop_oneof![
-        Just(Literal::Null),
         (-1000i64..1000).prop_map(Literal::Int),
         "[a-z' ]{0,8}".prop_map(Literal::Str),
         prop_oneof![Just(true), Just(false)].prop_map(Literal::Bool),
@@ -35,6 +44,29 @@ fn literal_strategy() -> impl Strategy<Value = Literal> {
 
 fn condition_strategy() -> impl Strategy<Value = Condition> {
     (ident_strategy(), literal_strategy()).prop_map(|(column, value)| Condition { column, value })
+}
+
+fn predicate_strategy() -> impl Strategy<Value = Predicate> {
+    prop_oneof![
+        (
+            ident_strategy(),
+            (0usize..6).prop_map(|i| CompareOp::ALL[i]),
+            non_null_literal_strategy()
+        )
+            .prop_map(|(c, op, v)| Predicate::compare(c, op, v)),
+        (ident_strategy(), proptest::collection::btree_set(non_null_literal_strategy(), 1..4))
+            .prop_map(|(c, vs)| Predicate::in_values(c, vs)),
+    ]
+}
+
+/// CHECK/DEFAULT constraints only — the dimension the fault-injection
+/// round trip below sweeps exhaustively.
+fn check_default_strategy() -> impl Strategy<Value = Constraint> {
+    prop_oneof![
+        (ident_strategy(), predicate_strategy()).prop_map(|(t, p)| Constraint::check(t, p)),
+        (ident_strategy(), ident_strategy(), non_null_literal_strategy())
+            .prop_map(|(t, c, v)| Constraint::default_value(t, c, v)),
+    ]
 }
 
 fn constraint_strategy() -> impl Strategy<Value = Constraint> {
@@ -47,9 +79,17 @@ fn constraint_strategy() -> impl Strategy<Value = Constraint> {
             proptest::collection::btree_set(ident_strategy(), 1..3),
             proptest::collection::vec(condition_strategy(), 1..3),
         )
-            .prop_map(|(t, cols, conds)| Constraint::partial_unique(t, cols, conds)),
+            .prop_map(|(t, cols, conds)| {
+                // Keep the first condition per column: `partial_unique`
+                // rejects contradictory pairs by contract.
+                let mut seen = BTreeSet::new();
+                let conds: Vec<_> =
+                    conds.into_iter().filter(|c| seen.insert(c.column.clone())).collect();
+                Constraint::partial_unique(t, cols, conds)
+            }),
         (ident_strategy(), ident_strategy(), ident_strategy(), ident_strategy())
             .prop_map(|(t, c, rt, rc)| Constraint::foreign_key(t, c, rt, rc)),
+        check_default_strategy(),
     ]
 }
 
@@ -156,6 +196,66 @@ proptest! {
         // Errors, if any, carry 1-based line numbers.
         for e in &parsed.errors {
             prop_assert!(e.line >= 1);
+        }
+    }
+
+    /// Fault injection over the new dimension: every per-byte truncation
+    /// of CHECK/DEFAULT DDL parses totally in every dialect, and any
+    /// CHECK constraint a truncated prefix does recover is the original —
+    /// a cut can lose the constraint, never corrupt its predicate.
+    #[test]
+    fn truncated_check_default_ddl_parses_totally(c in check_default_strategy()) {
+        for d in Dialect::ALL {
+            let sql = constraint_ddl(&c, d, None);
+            for end in 0..sql.len() {
+                if !sql.is_char_boundary(end) {
+                    continue;
+                }
+                let parsed = parse_sql(&sql[..end]);
+                for e in &parsed.errors {
+                    prop_assert!(e.line >= 1);
+                }
+                for got in parsed.constraint_set().iter() {
+                    if matches!(got, Constraint::Check { .. }) {
+                        prop_assert_eq!(got, &c, "{}: truncated at {}: {}", d, end, &sql[..end]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Identifier clamping: output never exceeds the 63-byte limit,
+    /// already-short names pass through byte-identical, and distinct
+    /// inputs — including names that agree in their first 63 bytes —
+    /// keep distinct clamped names.
+    #[test]
+    fn clamped_identifiers_stay_short_and_distinct(
+        a in "[a-z_]{1,120}",
+        b in "[a-z_]{1,120}",
+        shared in "[a-z_]{63,80}",
+        tail_a in "[a-z_]{1,20}",
+        tail_b in "[a-z_]{1,20}",
+    ) {
+        for s in [&a, &b] {
+            let clamped = clamp_identifier(s);
+            prop_assert!(clamped.len() <= MAX_IDENTIFIER_BYTES, "{s} -> {clamped}");
+            if s.len() <= MAX_IDENTIFIER_BYTES {
+                prop_assert_eq!(&clamped, s);
+            }
+        }
+        if a != b {
+            prop_assert!(clamp_identifier(&a) != clamp_identifier(&b), "{} vs {}", a, b);
+        }
+        // Same over-limit prefix, different tails: the hash suffix must
+        // disambiguate where the visible prefix cannot.
+        if tail_a != tail_b {
+            let (long_a, long_b) = (format!("{shared}{tail_a}"), format!("{shared}{tail_b}"));
+            prop_assert!(
+                clamp_identifier(&long_a) != clamp_identifier(&long_b),
+                "{} vs {}",
+                long_a,
+                long_b
+            );
         }
     }
 }

@@ -46,7 +46,7 @@ fn main() {
 
     println!("\n=== Table 9: would CFinder have caught them in time? ===\n");
     let finder = CFinder::new();
-    let mut per_type = [(0usize, 0usize); 3];
+    let mut per_type = [(0usize, 0usize); 5];
     for app in &apps {
         let source = AppSource::new(
             app.name.clone(),
@@ -58,6 +58,8 @@ fn main() {
                 ConstraintType::Unique => 0,
                 ConstraintType::NotNull => 1,
                 ConstraintType::ForeignKey => 2,
+                ConstraintType::Check => 3,
+                ConstraintType::Default => 4,
             };
             per_type[idx].0 += 1;
             if report.missing.iter().any(|m| m.constraint == entry.constraint) {
@@ -65,8 +67,12 @@ fn main() {
             }
         }
     }
-    let labels = ["unique", "not-null", "foreign key"];
+    let labels = ["unique", "not-null", "foreign key", "check", "default"];
     for (label, (total, hit)) in labels.iter().zip(per_type) {
+        if total == 0 {
+            // The historical dataset predates CHECK/DEFAULT tracking.
+            continue;
+        }
         println!(
             "  {:<12} {}/{} historical missing constraints detectable from the old code ({:.0}%)",
             label,

@@ -41,12 +41,25 @@ echo "==> SQL test-count floor"
 sql_tests=$(cargo test -q -p cfinder-sql 2>/dev/null \
     | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
     | awk '{s+=$1} END {print s}')
-floor=40
+floor=48
 if [[ "${sql_tests:-0}" -lt "$floor" ]]; then
     echo "FAIL: cfinder-sql ran ${sql_tests:-0} tests, below the floor of $floor" >&2
     exit 1
 fi
 echo "cfinder-sql: $sql_tests tests (floor $floor)"
+
+echo "==> CHECK/DEFAULT inference: corpus calibration and metric goldens"
+# The extension pattern families (PA_c1/PA_c2/PA_d1) must keep the
+# planted per-app counts and the thread-count determinism goldens exact.
+cargo test -q -p cfinder-corpus --test calibration --test metric_goldens
+
+echo "==> explain provenance golden (incl. PA_c1/PA_c2/PA_d1)"
+cargo test -q --test explain_golden
+
+echo "==> cache fingerprint covers the inference option set"
+# Flipping any analysis option (including check/default inference) must
+# change the tool fingerprint, or stale cache entries would survive.
+cargo test -q -p cfinder-core fingerprint
 
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection

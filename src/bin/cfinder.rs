@@ -50,8 +50,8 @@
 //!   file, worker panic) as a failure: exit 3 instead of 0/1.
 //! * `--max-file-bytes N` — skip files larger than N bytes (`0` disables
 //!   the cap; defaults to 8 MiB or `CFINDER_MAX_FILE_BYTES`).
-//! * `--ablate null-guard|data-dep|composite|partial` — disable an
-//!   analysis feature (repeatable; for experimentation).
+//! * `--ablate null-guard|data-dep|composite|partial|check|default` —
+//!   disable an analysis feature (repeatable; for experimentation).
 //!
 //! The `cache` subcommand inspects or resets a cache directory:
 //! `cfinder cache stats <dir>` prints entry/shard/byte counts, `cfinder
@@ -94,7 +94,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -189,6 +189,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     "data-dep" => options.data_dependency_checks = false,
                     "composite" => options.composite_unique = false,
                     "partial" => options.partial_unique = false,
+                    "check" => options.check_inference = false,
+                    "default" => options.default_inference = false,
                     other => return Err(format!("unknown ablation flag `{other}`")),
                 }
             }

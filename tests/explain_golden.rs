@@ -66,6 +66,32 @@ fn explain_order_number_names_pa_u2_and_line() {
     );
 }
 
+/// Extension patterns: a validator raise pins a CHECK (PA_c1/PA_c2) and a
+/// None-guarded constant fallback pins a DEFAULT (PA_d1), each with the
+/// `file:line` of the guard.
+#[test]
+fn explain_check_and_default_name_new_patterns() {
+    let models = "class Invoice(models.Model):\n    total = models.IntegerField()\n    status = models.CharField(max_length=16)\n    creator = models.CharField(max_length=64)\n\n    def validate(self):\n        if self.total <= 0:\n            raise ValueError('total must be positive')\n        if self.status not in ('open', 'closed'):\n            raise ValueError('bad status')\n\n    def fix(self):\n        if self.creator is not None:\n            return self.creator\n        else:\n            self.creator = 'system'\n";
+    let dir = temp_app("checkdefault", models, "x = 1\n");
+
+    let (code, stdout) = explain(&dir, "Invoice.total");
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("Invoice Check (total > 0)"), "{stdout}");
+    assert!(stdout.contains("PA_c1:"), "{stdout}");
+    assert!(stdout.contains("at models.py:7: if self.total <= 0:"), "{stdout}");
+
+    let (code, stdout) = explain(&dir, "Invoice.status");
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("Invoice Check (status IN ('closed', 'open'))"), "{stdout}");
+    assert!(stdout.contains("PA_c2:"), "{stdout}");
+
+    let (code, stdout) = explain(&dir, "Invoice.creator");
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("Invoice Default (creator = 'system')"), "{stdout}");
+    assert!(stdout.contains("PA_d1:"), "{stdout}");
+    assert!(stdout.contains("at models.py:13: if self.creator is not None:"), "{stdout}");
+}
+
 /// Unknown targets exit 1 with a one-line explanation rather than a stack
 /// of empty sections.
 #[test]

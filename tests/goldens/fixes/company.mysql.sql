@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: company
--- missing constraints: 52
+-- missing constraints: 57
 
 -- constraint: BadgeItem Not NULL (amount_t)
 ALTER TABLE `BadgeItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
@@ -157,4 +157,19 @@ ALTER TABLE `VendorEntry` ADD CONSTRAINT `fk_VendorEntry_stock_entry_id` FOREIGN
 
 -- constraint: WalletEntry FK (refund_entry_id) ref RefundEntry(id)
 ALTER TABLE `WalletEntry` ADD CONSTRAINT `fk_WalletEntry_refund_entry_id` FOREIGN KEY (`refund_entry_id`) REFERENCES `RefundEntry`(`id`);
+
+-- constraint: CourseProfile Check (amount_t IN ('closed', 'open'))
+ALTER TABLE `CourseProfile` ADD CONSTRAINT `ck_CourseProfile_amount_t` CHECK (`amount_t` IN ('closed', 'open'));
+
+-- constraint: ReviewProfile Check (amount_i > 0)
+ALTER TABLE `ReviewProfile` ADD CONSTRAINT `ck_ReviewProfile_amount_i` CHECK (`amount_i` > 0);
+
+-- constraint: TicketProfile Check (amount_i > 0)
+ALTER TABLE `TicketProfile` ADD CONSTRAINT `ck_TicketProfile_amount_i` CHECK (`amount_i` > 0);
+
+-- constraint: LessonProfile Default (amount_i = 1)
+ALTER TABLE `LessonProfile` ALTER COLUMN `amount_i` SET DEFAULT 1;
+
+-- constraint: MessageProfile Default (amount_i = 1)
+ALTER TABLE `MessageProfile` ALTER COLUMN `amount_i` SET DEFAULT 1;
 

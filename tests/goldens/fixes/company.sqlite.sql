@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: company
--- missing constraints: 52
+-- missing constraints: 57
 
 -- constraint: BadgeItem Not NULL (amount_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -183,4 +183,24 @@ ALTER TABLE "VendorEntry" ADD CONSTRAINT "fk_VendorEntry_stock_entry_id" FOREIGN
 -- constraint: WalletEntry FK (refund_entry_id) ref RefundEntry(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "WalletEntry" ADD CONSTRAINT "fk_WalletEntry_refund_entry_id" FOREIGN KEY ("refund_entry_id") REFERENCES "RefundEntry"("id");
+
+-- constraint: CourseProfile Check (amount_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CourseProfile" ADD CONSTRAINT "ck_CourseProfile_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: ReviewProfile Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "ReviewProfile" ADD CONSTRAINT "ck_ReviewProfile_amount_i" CHECK ("amount_i" > 0);
+
+-- constraint: TicketProfile Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "TicketProfile" ADD CONSTRAINT "ck_TicketProfile_amount_i" CHECK ("amount_i" > 0);
+
+-- constraint: LessonProfile Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "LessonProfile" ALTER COLUMN "amount_i" SET DEFAULT 1;
+
+-- constraint: MessageProfile Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageProfile" ALTER COLUMN "amount_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: edx
--- missing constraints: 43
+-- missing constraints: 51
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -150,4 +150,36 @@ ALTER TABLE "VendorEvent" ADD CONSTRAINT "fk_VendorEvent_stock_event_id" FOREIGN
 -- constraint: WalletEvent FK (refund_event_id) ref RefundEvent(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "WalletEvent" ADD CONSTRAINT "fk_WalletEvent_refund_event_id" FOREIGN KEY ("refund_event_id") REFERENCES "RefundEvent"("id");
+
+-- constraint: BundleLog Check (amount_i <= 9000)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "BundleLog" ADD CONSTRAINT "ck_BundleLog_amount_i" CHECK ("amount_i" <= 9000);
+
+-- constraint: CatalogLog Check (amount_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CatalogLog" ADD CONSTRAINT "ck_CatalogLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: RefundLog Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "RefundLog" ADD CONSTRAINT "ck_RefundLog_amount_i" CHECK ("amount_i" > 0);
+
+-- constraint: VendorLog Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "VendorLog" ADD CONSTRAINT "ck_VendorLog_amount_i" CHECK ("amount_i" > 0);
+
+-- constraint: WalletLog Check (amount_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "WalletLog" ADD CONSTRAINT "ck_WalletLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: SessionLog Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "SessionLog" ALTER COLUMN "amount_i" SET DEFAULT 1;
+
+-- constraint: StreamLog Default (amount_i = -1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamLog" ALTER COLUMN "amount_i" SET DEFAULT -1;
+
+-- constraint: TeamLog Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TeamLog" ALTER COLUMN "amount_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: edxcomm
--- missing constraints: 14
+-- missing constraints: 16
 
 -- constraint: CartProfile Not NULL (status_t)
 ALTER TABLE "CartProfile" ALTER COLUMN "status_t" SET NOT NULL;
@@ -43,4 +43,10 @@ ALTER TABLE "UserProfile" ADD CONSTRAINT "uq_UserProfile_status_t" UNIQUE ("stat
 
 -- constraint: TopicProfile FK (stream_profile_id) ref StreamProfile(id)
 ALTER TABLE "TopicProfile" ADD CONSTRAINT "fk_TopicProfile_stream_profile_id" FOREIGN KEY ("stream_profile_id") REFERENCES "StreamProfile"("id");
+
+-- constraint: CourseProfile Check (status_t IN ('closed', 'open'))
+ALTER TABLE "CourseProfile" ADD CONSTRAINT "ck_CourseProfile_status_t" CHECK ("status_t" IN ('closed', 'open'));
+
+-- constraint: LessonProfile Default (status_i = 1)
+ALTER TABLE "LessonProfile" ALTER COLUMN "status_i" SET DEFAULT 1;
 

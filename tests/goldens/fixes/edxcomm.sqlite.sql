@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: edxcomm
--- missing constraints: 14
+-- missing constraints: 16
 
 -- constraint: CartProfile Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -51,4 +51,12 @@ CREATE UNIQUE INDEX "uq_UserProfile_status_t" ON "UserProfile" ("status_t");
 -- constraint: TopicProfile FK (stream_profile_id) ref StreamProfile(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "TopicProfile" ADD CONSTRAINT "fk_TopicProfile_stream_profile_id" FOREIGN KEY ("stream_profile_id") REFERENCES "StreamProfile"("id");
+
+-- constraint: CourseProfile Check (status_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CourseProfile" ADD CONSTRAINT "ck_CourseProfile_status_t" CHECK ("status_t" IN ('closed', 'open'));
+
+-- constraint: LessonProfile Default (status_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "LessonProfile" ALTER COLUMN "status_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: oscar
--- missing constraints: 24
+-- missing constraints: 28
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
@@ -73,4 +73,16 @@ ALTER TABLE "CourseProfile" ADD CONSTRAINT "fk_CourseProfile_ticket_profile_id" 
 
 -- constraint: MessageProfile FK (lesson_profile_id) ref LessonProfile(id)
 ALTER TABLE "MessageProfile" ADD CONSTRAINT "fk_MessageProfile_lesson_profile_id" FOREIGN KEY ("lesson_profile_id") REFERENCES "LessonProfile"("id");
+
+-- constraint: BundleLine Check (title_t IN ('closed', 'open'))
+ALTER TABLE "BundleLine" ADD CONSTRAINT "ck_BundleLine_title_t" CHECK ("title_t" IN ('closed', 'open'));
+
+-- constraint: CatalogLine Check (slug_i > 0)
+ALTER TABLE "CatalogLine" ADD CONSTRAINT "ck_CatalogLine_slug_i" CHECK ("slug_i" > 0);
+
+-- constraint: SessionLine Check (title_i <= 9000)
+ALTER TABLE "SessionLine" ADD CONSTRAINT "ck_SessionLine_title_i" CHECK ("title_i" <= 9000);
+
+-- constraint: TeamLine Default (title_i = 1)
+ALTER TABLE "TeamLine" ALTER COLUMN "title_i" SET DEFAULT 1;
 

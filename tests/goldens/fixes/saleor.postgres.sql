@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: saleor
--- missing constraints: 15
+-- missing constraints: 18
 
 -- constraint: BundleLine Not NULL (title_t)
 ALTER TABLE "BundleLine" ALTER COLUMN "title_t" SET NOT NULL;
@@ -46,4 +46,13 @@ ALTER TABLE "CartEntry" ADD CONSTRAINT "fk_CartEntry_user_entry_id" FOREIGN KEY 
 
 -- constraint: ProductEntry FK (order_entry_id) ref OrderEntry(id)
 ALTER TABLE "ProductEntry" ADD CONSTRAINT "fk_ProductEntry_order_entry_id" FOREIGN KEY ("order_entry_id") REFERENCES "OrderEntry"("id");
+
+-- constraint: StreamLine Check (title_i > 0)
+ALTER TABLE "StreamLine" ADD CONSTRAINT "ck_StreamLine_title_i" CHECK ("title_i" > 0);
+
+-- constraint: ModuleLine Default (title_i = -1)
+ALTER TABLE "ModuleLine" ALTER COLUMN "title_i" SET DEFAULT -1;
+
+-- constraint: TopicLine Default (slug_i = 1)
+ALTER TABLE "TopicLine" ALTER COLUMN "slug_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: saleor
--- missing constraints: 15
+-- missing constraints: 18
 
 -- constraint: BundleLine Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -56,4 +56,16 @@ ALTER TABLE "CartEntry" ADD CONSTRAINT "fk_CartEntry_user_entry_id" FOREIGN KEY 
 -- constraint: ProductEntry FK (order_entry_id) ref OrderEntry(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "ProductEntry" ADD CONSTRAINT "fk_ProductEntry_order_entry_id" FOREIGN KEY ("order_entry_id") REFERENCES "OrderEntry"("id");
+
+-- constraint: StreamLine Check (title_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamLine" ADD CONSTRAINT "ck_StreamLine_title_i" CHECK ("title_i" > 0);
+
+-- constraint: ModuleLine Default (title_i = -1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ModuleLine" ALTER COLUMN "title_i" SET DEFAULT -1;
+
+-- constraint: TopicLine Default (slug_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicLine" ALTER COLUMN "slug_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: shuup
--- missing constraints: 31
+-- missing constraints: 36
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- mysql: column type unknown to the analyzer; verify TEXT before applying
@@ -98,4 +98,19 @@ ALTER TABLE `WalletLog` ADD CONSTRAINT `uq_WalletLog_status_t` UNIQUE (`status_t
 
 -- constraint: MessageMeta FK (lesson_meta_id) ref LessonMeta(id)
 ALTER TABLE `MessageMeta` ADD CONSTRAINT `fk_MessageMeta_lesson_meta_id` FOREIGN KEY (`lesson_meta_id`) REFERENCES `LessonMeta`(`id`);
+
+-- constraint: BlockLink Check (status_i > 0)
+ALTER TABLE `BlockLink` ADD CONSTRAINT `ck_BlockLink_status_i` CHECK (`status_i` > 0);
+
+-- constraint: PageLink Check (status_i > 0)
+ALTER TABLE `PageLink` ADD CONSTRAINT `ck_PageLink_status_i` CHECK (`status_i` > 0);
+
+-- constraint: StockLink Check (status_t IN ('closed', 'open'))
+ALTER TABLE `StockLink` ADD CONSTRAINT `ck_StockLink_status_t` CHECK (`status_t` IN ('closed', 'open'));
+
+-- constraint: VendorLink Check (status_i <= 9000)
+ALTER TABLE `VendorLink` ADD CONSTRAINT `ck_VendorLink_status_i` CHECK (`status_i` <= 9000);
+
+-- constraint: RefundLink Default (status_i = 1)
+ALTER TABLE `RefundLink` ALTER COLUMN `status_i` SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: wagtail
--- missing constraints: 10
+-- missing constraints: 12
 
 -- constraint: BundleItem Not NULL (status_d)
 ALTER TABLE "BundleItem" ALTER COLUMN "status_d" SET NOT NULL;
@@ -31,4 +31,10 @@ CREATE UNIQUE INDEX "uq_MessageItem_status_t" ON "MessageItem" ("status_t") WHER
 
 -- constraint: PageItem Unique (status_t)
 ALTER TABLE "PageItem" ADD CONSTRAINT "uq_PageItem_status_t" UNIQUE ("status_t");
+
+-- constraint: SessionItem Check (status_i > 0)
+ALTER TABLE "SessionItem" ADD CONSTRAINT "ck_SessionItem_status_i" CHECK ("status_i" > 0);
+
+-- constraint: TeamItem Default (status_i = 1)
+ALTER TABLE "TeamItem" ALTER COLUMN "status_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: wagtail
--- missing constraints: 10
+-- missing constraints: 12
 
 -- constraint: BundleItem Not NULL (status_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -37,4 +37,12 @@ CREATE UNIQUE INDEX "uq_MessageItem_status_t" ON "MessageItem" ("status_t") WHER
 
 -- constraint: PageItem Unique (status_t)
 CREATE UNIQUE INDEX "uq_PageItem_status_t" ON "PageItem" ("status_t");
+
+-- constraint: SessionItem Check (status_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "SessionItem" ADD CONSTRAINT "ck_SessionItem_status_i" CHECK ("status_i" > 0);
+
+-- constraint: TeamItem Default (status_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TeamItem" ALTER COLUMN "status_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: zulip
--- missing constraints: 21
+-- missing constraints: 24
 
 -- constraint: BundleProfile Not NULL (title_t)
 ALTER TABLE "BundleProfile" ALTER COLUMN "title_t" SET NOT NULL;
@@ -64,4 +64,13 @@ ALTER TABLE "OrderEntry" ADD CONSTRAINT "fk_OrderEntry_badge_profile_id" FOREIGN
 
 -- constraint: UserEntry FK (product_entry_id) ref ProductEntry(id)
 ALTER TABLE "UserEntry" ADD CONSTRAINT "fk_UserEntry_product_entry_id" FOREIGN KEY ("product_entry_id") REFERENCES "ProductEntry"("id");
+
+-- constraint: CartLine Check (slug_i > 0)
+ALTER TABLE "CartLine" ADD CONSTRAINT "ck_CartLine_slug_i" CHECK ("slug_i" > 0);
+
+-- constraint: InvoiceLine Check (slug_t IN ('closed', 'open'))
+ALTER TABLE "InvoiceLine" ADD CONSTRAINT "ck_InvoiceLine_slug_t" CHECK ("slug_t" IN ('closed', 'open'));
+
+-- constraint: ShipmentLine Default (email_i = -1)
+ALTER TABLE "ShipmentLine" ALTER COLUMN "email_i" SET DEFAULT -1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: zulip
--- missing constraints: 21
+-- missing constraints: 24
 
 -- constraint: BundleProfile Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -75,4 +75,16 @@ ALTER TABLE "OrderEntry" ADD CONSTRAINT "fk_OrderEntry_badge_profile_id" FOREIGN
 -- constraint: UserEntry FK (product_entry_id) ref ProductEntry(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "UserEntry" ADD CONSTRAINT "fk_UserEntry_product_entry_id" FOREIGN KEY ("product_entry_id") REFERENCES "ProductEntry"("id");
+
+-- constraint: CartLine Check (slug_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CartLine" ADD CONSTRAINT "ck_CartLine_slug_i" CHECK ("slug_i" > 0);
+
+-- constraint: InvoiceLine Check (slug_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "InvoiceLine" ADD CONSTRAINT "ck_InvoiceLine_slug_t" CHECK ("slug_t" IN ('closed', 'open'));
+
+-- constraint: ShipmentLine Default (email_i = -1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ShipmentLine" ALTER COLUMN "email_i" SET DEFAULT -1;
 
