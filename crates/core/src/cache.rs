@@ -117,6 +117,46 @@ impl fmt::Display for CacheError {
 
 impl std::error::Error for CacheError {}
 
+/// Why one best-effort cache write was skipped. Writes never fail the
+/// analysis — a full disk (`ENOSPC`), a refused rename, or an
+/// unserializable entry each cost exactly one future cache miss — but the
+/// reason is typed so callers can count skips per cause
+/// (`cfinder_cache_write_errors_total`) instead of guessing from a bool.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WriteSkip {
+    /// The entry failed to serialize (a bug, surfaced as a skip).
+    Encode(String),
+    /// Writing the temp file failed — the classic `ENOSPC` / permission
+    /// case; nothing was left behind.
+    TmpWrite(String),
+    /// The atomic rename onto the entry path failed (cross-device rename
+    /// under unusual mounts, permission race); the temp file was removed.
+    Rename(String),
+}
+
+impl WriteSkip {
+    /// Short stable label for metrics and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            WriteSkip::Encode(_) => "encode",
+            WriteSkip::TmpWrite(_) => "tmp-write",
+            WriteSkip::Rename(_) => "rename",
+        }
+    }
+}
+
+impl fmt::Display for WriteSkip {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WriteSkip::Encode(d) => write!(f, "cache write skipped (encode): {d}"),
+            WriteSkip::TmpWrite(d) => write!(f, "cache write skipped (tmp write): {d}"),
+            WriteSkip::Rename(d) => write!(f, "cache write skipped (rename): {d}"),
+        }
+    }
+}
+
+impl std::error::Error for WriteSkip {}
+
 /// The detection-pass facts of one file, valid only under the registry
 /// they were computed with.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -344,35 +384,38 @@ impl AnalysisCache {
 
     /// Writes (or replaces) a file's parse entry. Best-effort: a full
     /// disk or a racing writer costs a future cache miss, never a wrong
-    /// result, so failures are reported only through the `false` return
-    /// (callers count them as skipped writes).
-    pub fn store(&self, entry: &CacheEntry) -> bool {
+    /// result, so failures come back as a typed [`WriteSkip`] (callers
+    /// count them as skipped writes and keep going).
+    pub fn store(&self, entry: &CacheEntry) -> Result<(), WriteSkip> {
         debug_assert_eq!(entry.format, FORMAT);
-        let Ok(json) = serde_json::to_string(entry) else { return false };
+        let json = serde_json::to_string(entry).map_err(|e| WriteSkip::Encode(e.to_string()))?;
         self.write_atomic(&self.entry_file(&entry.path, &entry.content_hash), &json)
     }
 
     /// Writes (or replaces) a file's detect entry for one registry
     /// context. Same best-effort contract as [`AnalysisCache::store`].
-    pub fn store_detect(&self, entry: &DetectEntry) -> bool {
+    pub fn store_detect(&self, entry: &DetectEntry) -> Result<(), WriteSkip> {
         debug_assert_eq!(entry.format, FORMAT);
-        let Ok(json) = serde_json::to_string(entry) else { return false };
+        let json = serde_json::to_string(entry).map_err(|e| WriteSkip::Encode(e.to_string()))?;
         let file = self.detect_file(&entry.path, &entry.content_hash, &entry.facts.registry_hash);
         self.write_atomic(&file, &json)
     }
 
     /// Temp-file plus atomic-rename write, so a killed process leaves at
-    /// worst a `.tmp` orphan, never a torn entry.
-    fn write_atomic(&self, file: &Path, json: &str) -> bool {
+    /// worst a `.tmp` orphan, never a torn entry. `ENOSPC` surfaces as
+    /// [`WriteSkip::TmpWrite`]; a cache root on a different filesystem
+    /// than the temp file can't happen (the temp file lives next to the
+    /// entry), but a rename refused for any other reason (`EXDEV`-style
+    /// surprises under overlay mounts, permissions races) surfaces as
+    /// [`WriteSkip::Rename`].
+    fn write_atomic(&self, file: &Path, json: &str) -> Result<(), WriteSkip> {
         let tmp = file.with_extension(format!("tmp.{}", std::process::id()));
-        if fs::write(&tmp, json).is_err() {
-            return false;
-        }
-        if fs::rename(&tmp, file).is_err() {
+        fs::write(&tmp, json)
+            .map_err(|e| WriteSkip::TmpWrite(format!("{}: {e}", tmp.display())))?;
+        fs::rename(&tmp, file).map_err(|e| {
             let _ = fs::remove_file(&tmp);
-            return false;
-        }
-        true
+            WriteSkip::Rename(format!("{} -> {}: {e}", tmp.display(), file.display()))
+        })
     }
 
     /// Aggregate statistics over every fingerprint shard under `root`.
@@ -455,8 +498,12 @@ fn tool_fingerprint(options: &CFinderOptions, limits: &Limits, salt: &str) -> St
     }
     h.write_u64(limits.max_file_bytes as u64);
     h.write_u64(limits.max_tokens as u64);
-    match limits.deadline {
-        // The +1 keeps `Some(0)` distinct from `None`.
+    // Hash the *effective* deadline fold, not its carrier: an
+    // option-carried `deadline_ms` and an env-carried `Limits::deadline`
+    // naming the same budget address the same shard.
+    match crate::detect::effective_deadline(options, limits) {
+        // The +1 keeps an explicit zero-duration deadline distinct from
+        // "no deadline".
         Some(d) => h.write_u64(d.as_micros() as u64 + 1),
         None => h.write_u64(0),
     }
@@ -562,8 +609,8 @@ mod tests {
 
         // Two registries' facts for the same (path, content) coexist —
         // apps sharing a byte-identical file never evict each other.
-        assert!(cache.store_detect(&detect_entry("a.py", "x = 1\n", "reg-a")));
-        assert!(cache.store_detect(&detect_entry("a.py", "x = 1\n", "reg-b")));
+        assert!(cache.store_detect(&detect_entry("a.py", "x = 1\n", "reg-a")).is_ok());
+        assert!(cache.store_detect(&detect_entry("a.py", "x = 1\n", "reg-b")).is_ok());
         for reg in ["reg-a", "reg-b"] {
             match cache.lookup_detect("a.py", &hash, reg) {
                 Lookup::Hit(facts) => assert_eq!(facts.registry_hash, reg),
@@ -586,7 +633,7 @@ mod tests {
             AnalysisCache::open(&root, &CFinderOptions::default(), &Limits::default()).unwrap();
         let e = entry("a.py", "x = 1\n");
         assert!(matches!(cache.lookup("a.py", &e.content_hash), Lookup::Miss));
-        assert!(cache.store(&e));
+        assert!(cache.store(&e).is_ok());
         match cache.lookup("a.py", &e.content_hash) {
             Lookup::Hit(back) => assert_eq!(*back, e),
             other => panic!("expected hit, got {other:?}"),
@@ -602,7 +649,7 @@ mod tests {
         let cache =
             AnalysisCache::open(&root, &CFinderOptions::default(), &Limits::default()).unwrap();
         let e = entry("a.py", "x = 1\n");
-        assert!(cache.store(&e));
+        assert!(cache.store(&e).is_ok());
         let file = cache.entry_file("a.py", &e.content_hash);
 
         // Truncated garbage.
@@ -681,9 +728,9 @@ mod tests {
         let a = AnalysisCache::open_with_salt(&root, &o, &l, "one").unwrap();
         let b = AnalysisCache::open_with_salt(&root, &o, &l, "two").unwrap();
         assert_ne!(a.fingerprint(), b.fingerprint());
-        assert!(a.store(&entry("a.py", "x = 1\n")));
-        assert!(a.store(&entry("b.py", "y = 2\n")));
-        assert!(b.store(&entry("a.py", "x = 1\n")));
+        assert!(a.store(&entry("a.py", "x = 1\n")).is_ok());
+        assert!(a.store(&entry("b.py", "y = 2\n")).is_ok());
+        assert!(b.store(&entry("a.py", "x = 1\n")).is_ok());
 
         let stats = AnalysisCache::stats(&root).unwrap();
         assert_eq!((stats.fingerprints, stats.entries), (2, 3));

@@ -99,6 +99,16 @@ pub struct CFinderOptions {
     /// Extension PA_x2 (default **off**, §4.3.1's improvement note):
     /// fields interpolated into URL-shaped f-strings imply uniqueness.
     pub ext_url_identifier: bool,
+    /// First-class per-file parse deadline, in milliseconds. `None` (the
+    /// default) defers to [`Limits::deadline`] (which the CLI layer still
+    /// fills from `CFINDER_DEADLINE_MS`); `Some(0)` explicitly disables
+    /// any deadline; `Some(ms)` overrides the limit. Carried on options so
+    /// a *request* (e.g. one `cfinder serve` frame) can bring its own
+    /// budget without touching process environment. The cache fingerprint
+    /// covers only the [`effective_deadline`] fold, so an option-carried
+    /// and an env-carried deadline of the same duration address the same
+    /// cache shard.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Default for CFinderOptions {
@@ -112,6 +122,7 @@ impl Default for CFinderOptions {
             default_inference: true,
             ext_one_to_one_unique: false,
             ext_url_identifier: false,
+            deadline_ms: None,
         }
     }
 }
@@ -164,6 +175,26 @@ impl Default for Limits {
             inject_panic_marker: false,
         }
     }
+}
+
+/// The per-file deadline one analyzer configuration actually runs with:
+/// an option-carried [`CFinderOptions::deadline_ms`] wins over the
+/// (env-fed) [`Limits::deadline`], with `Some(0)` meaning "explicitly no
+/// deadline". The incremental cache fingerprints this *fold*, not the two
+/// carriers, so requests and environments naming the same budget share
+/// cache entries.
+pub fn effective_deadline(options: &CFinderOptions, limits: &Limits) -> Option<Duration> {
+    match options.deadline_ms {
+        Some(0) => None,
+        Some(ms) => Some(Duration::from_millis(ms)),
+        None => limits.deadline,
+    }
+}
+
+/// `limits` with its deadline replaced by the [`effective_deadline`] fold —
+/// what the pipeline (and the cache fingerprint) actually uses.
+pub fn effective_limits(options: &CFinderOptions, limits: &Limits) -> Limits {
+    Limits { deadline: effective_deadline(options, limits), ..*limits }
 }
 
 impl Limits {
@@ -316,12 +347,13 @@ impl CFinder {
     /// silently shrinking the registry.
     pub fn extract_models_with_incidents(&self, app: &AppSource) -> (ModelRegistry, Vec<Incident>) {
         let threads = self.threads();
+        let limits = effective_limits(&self.options, &self.limits);
         let parsed = engine::map_ordered_catch_traced(
             &app.files,
             threads,
             &self.obs.tracer,
             "parse",
-            |file| parse_file_guarded(file, &self.limits, &self.obs),
+            |file| parse_file_guarded(file, &limits, &self.obs),
         );
         let mut registry = ModelRegistry::new();
         let mut incidents = Vec::new();
@@ -362,6 +394,7 @@ impl CFinder {
         // is attached. Results come back in file order, so the facts list
         // and the incident list match a serial (and an uncached) run.
         let cache = self.cache.as_deref();
+        let limits = effective_limits(&self.options, &self.limits);
         let stage = Instant::now();
         let pass_span = obs.tracer.span("pass", || "parse".to_string());
         let parsed = engine::map_ordered_catch_cached(
@@ -374,7 +407,7 @@ impl CFinder {
                 None => Ok(None),
             },
             |file| {
-                let (module, incidents) = parse_file_guarded(file, &self.limits, obs);
+                let (module, incidents) = parse_file_guarded(file, &limits, obs);
                 let classes =
                     module.as_ref().map(|m| extract_classes(m, &file.path)).unwrap_or_default();
                 FileFacts {
@@ -496,7 +529,7 @@ impl CFinder {
                         // firing this time); a successful re-parse yields
                         // exactly the incidents already replayed from the
                         // entry.
-                        let (m, inc) = parse_file_guarded(file, &self.limits, obs);
+                        let (m, inc) = parse_file_guarded(file, &limits, obs);
                         let diverged = m.is_none();
                         owned = m;
                         (owned.as_ref(), true, if diverged { inc } else { Vec::new() })
@@ -881,11 +914,7 @@ fn store_entry(cache: &AnalysisCache, file: &SourceFile, facts: &FileFacts, obs:
         classes: facts.classes.clone(),
         incidents: facts.incidents.clone(),
     };
-    let written = cache.store(&entry);
-    if written {
-        obs.metrics.inc("cfinder_cache_writes_total");
-    }
-    written
+    record_write(cache.store(&entry), obs)
 }
 
 /// Writes one file's detect entry for the current registry back to the
@@ -904,11 +933,24 @@ fn store_detect_entry(
         content_hash: facts.content_hash.clone(),
         facts: detect,
     };
-    let written = cache.store_detect(&entry);
-    if written {
-        obs.metrics.inc("cfinder_cache_writes_total");
+    record_write(cache.store_detect(&entry), obs)
+}
+
+/// Folds one best-effort write outcome into the metrics registry: a
+/// success counts toward `cfinder_cache_writes_total`, a typed skip
+/// toward `cfinder_cache_write_errors_total` (labelled by cause). Either
+/// way the analysis proceeds — a skip only costs a future miss.
+fn record_write(outcome: Result<(), cache::WriteSkip>, obs: &Obs) -> bool {
+    match outcome {
+        Ok(()) => {
+            obs.metrics.inc("cfinder_cache_writes_total");
+            true
+        }
+        Err(skip) => {
+            obs.metrics.add_labeled("cfinder_cache_write_errors_total", "cause", skip.label(), 1);
+            false
+        }
     }
-    written
 }
 
 /// Runs pattern detection over one parsed module, with the per-module

@@ -43,12 +43,15 @@ pub mod patterns;
 pub mod report;
 pub mod resolve;
 pub mod syntax;
+pub mod usage;
 
 pub use cache::{
-    AnalysisCache, CacheEntry, CacheError, CacheStats, DetectEntry, DetectFacts, Lookup,
+    AnalysisCache, CacheEntry, CacheError, CacheStats, DetectEntry, DetectFacts, Lookup, WriteSkip,
 };
 pub use cfinder_obs::Obs;
-pub use detect::{AppSource, CFinder, CFinderOptions, Limits, SourceFile};
+pub use detect::{
+    effective_deadline, effective_limits, AppSource, CFinder, CFinderOptions, Limits, SourceFile,
+};
 pub use incident::{Coverage, Incident, IncidentKind};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
 pub use report::{

@@ -1,0 +1,40 @@
+//! The shared usage-error path for every CFinder binary surface.
+//!
+//! `reproduce`, `cfinder serve`, and any future entrypoint report
+//! command-line misuse — unknown flags, missing flag values, an unusable
+//! `--cache-dir` — through one typed format and one exit code, so scripts
+//! can distinguish "you called it wrong" (exit [`EXIT_USAGE`]) from "the
+//! analysis found something" (exit 1) and "it crashed" (abort):
+//!
+//! ```text
+//! error: <message>
+//! usage: <one-line synopsis>
+//! ```
+
+/// Exit status for command-line misuse, shared by every binary.
+pub const EXIT_USAGE: i32 = 2;
+
+/// Renders the two-line usage-error message (without exiting), for
+/// callers that need to route it somewhere other than stderr.
+pub fn usage_message(msg: &str, usage: &str) -> String {
+    format!("error: {msg}\nusage: {usage}")
+}
+
+/// Reports a usage error on stderr and exits with [`EXIT_USAGE`].
+/// `usage` is the binary's one-line synopsis (without the `usage: `
+/// prefix).
+pub fn usage_error(msg: &str, usage: &str) -> ! {
+    eprintln!("{}", usage_message(msg, usage));
+    std::process::exit(EXIT_USAGE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn message_has_the_two_line_typed_format() {
+        let m = usage_message("unknown argument `--bogus`", "reproduce [--quick]");
+        assert_eq!(m, "error: unknown argument `--bogus`\nusage: reproduce [--quick]");
+    }
+}

@@ -274,11 +274,19 @@ pub fn family_help(family: &str) -> &'static str {
             "Incremental-cache lookups that missed (absent, corrupt, or stale entries)."
         }
         "cfinder_cache_writes_total" => "Incremental-cache entries written back.",
+        "cfinder_cache_write_errors_total" => {
+            "Incremental-cache writes skipped on I/O or encode failure, by cause."
+        }
         "cfinder_cache_corrupt_total" => {
             "Damaged (truncated, corrupt, stale) incremental-cache entries encountered."
         }
         "cfinder_file_parse_seconds" => "Per-file parse latency.",
         "cfinder_file_detect_seconds" => "Per-file pattern-detection latency.",
+        "cfinder_serve_requests_total" => "Daemon request frames handled, by command.",
+        "cfinder_serve_errors_total" => "Daemon typed error frames returned, by code.",
+        "cfinder_serve_rejected_total" => "Daemon requests rejected by queue backpressure.",
+        "cfinder_serve_queue_wait_seconds" => "Daemon request time spent queued before a worker.",
+        "cfinder_serve_handle_seconds" => "Daemon request handling latency, by command.",
         _ => "cfinder metric.",
     }
 }

@@ -25,12 +25,13 @@ use cfinder_corpus::GenOptions;
 use cfinder_report::tables::all_tables;
 use cfinder_report::{AppEvaluation, Evaluation};
 
+/// One-line synopsis for the shared usage-error path.
+const USAGE: &str = "reproduce [--quick] [--out DIR] [--trace-out FILE] [--cache-dir DIR]";
+
 /// Reports a usage error and exits with status 2 (distinct from the
-/// panic/abort paths, matching the `cfinder` CLI's convention).
+/// panic/abort paths; same typed format as `cfinder serve`).
 fn usage_error(msg: &str) -> ! {
-    eprintln!("error: {msg}");
-    eprintln!("usage: reproduce [--quick] [--out DIR] [--trace-out FILE] [--cache-dir DIR]");
-    std::process::exit(2);
+    cfinder_core::usage::usage_error(msg, USAGE);
 }
 
 fn main() {

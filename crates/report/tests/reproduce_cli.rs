@@ -27,6 +27,20 @@ fn unknown_and_malformed_arguments_exit_two() {
     }
 }
 
+/// Both CFinder binaries (`reproduce` here, `cfinder serve` in the
+/// root-package suites) report misuse through one shared path —
+/// `cfinder_core::usage` — so the typed format is byte-compatible:
+/// `error: <msg>` then `usage: <synopsis>`, exit 2.
+#[test]
+fn misuse_uses_the_shared_two_line_usage_format() {
+    let out = reproduce().arg("--frobnicate").output().expect("binary runs");
+    assert_eq!(out.status.code(), Some(cfinder_core::usage::EXIT_USAGE));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    let mut lines = stderr.lines();
+    assert_eq!(lines.next(), Some("error: unknown argument `--frobnicate`"), "{stderr}");
+    assert!(lines.next().is_some_and(|l| l.starts_with("usage: reproduce ")), "{stderr}");
+}
+
 #[test]
 fn unusable_cache_dir_exits_two_before_any_analysis() {
     let dir = std::env::temp_dir().join(format!("cfinder-reproduce-test-{}", std::process::id()));

@@ -1,0 +1,134 @@
+//! The daemon's bounded request queue — the backpressure boundary.
+//!
+//! Producers never block: a full queue is a typed [`PushError::Full`]
+//! rejection (the reader turns it into an `overloaded` error frame with
+//! a retry-after hint) so a flood of requests degrades into fast, honest
+//! refusals instead of unbounded memory growth or a wedged reader.
+//! Consumers block on a condvar until work arrives or the queue closes.
+//!
+//! Built on `std::sync`'s `Mutex` + `Condvar` (the vendored
+//! `parking_lot` deliberately ships no condvar).
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was refused.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue is at capacity; `depth` is the occupancy at refusal.
+    Full {
+        /// Queue occupancy when the push was refused.
+        depth: usize,
+    },
+    /// The queue was closed (the daemon is draining).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A fixed-capacity multi-producer multi-consumer queue.
+pub struct BoundedQueue<T> {
+    state: Mutex<State<T>>,
+    takers: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    /// An empty queue holding at most `capacity` items (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        BoundedQueue {
+            state: Mutex::new(State { items: VecDeque::with_capacity(capacity), closed: false }),
+            takers: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// Enqueues without blocking; a full or closed queue refuses with a
+    /// typed error.
+    pub fn try_push(&self, item: T) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.closed {
+            return Err(PushError::Closed);
+        }
+        if state.items.len() >= self.capacity {
+            return Err(PushError::Full { depth: state.items.len() });
+        }
+        state.items.push_back(item);
+        drop(state);
+        self.takers.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available (returning it) or the queue is
+    /// closed *and* drained (returning `None`). Closing never drops
+    /// queued items — drain means every accepted request is answered.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.takers.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Closes the queue: future pushes refuse, consumers drain what was
+    /// accepted and then observe the close.
+    pub fn close(&self) {
+        self.state.lock().expect("queue lock").closed = true;
+        self.takers.notify_all();
+    }
+
+    /// Current occupancy.
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").items.len()
+    }
+
+    /// The fixed capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_queue_refuses_with_depth() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full { depth: 2 }));
+        assert_eq!(q.depth(), 2);
+    }
+
+    #[test]
+    fn close_drains_accepted_items_then_stops() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        q.close();
+        assert_eq!(q.try_push(3), Err(PushError::Closed));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push() {
+        let q = std::sync::Arc::new(BoundedQueue::new(1));
+        let q2 = q.clone();
+        let t = std::thread::spawn(move || q2.pop());
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        q.try_push(42).unwrap();
+        assert_eq!(t.join().unwrap(), Some(42));
+    }
+}

@@ -1,0 +1,176 @@
+//! Multi-tenant project registry: per-project state, single-flight
+//! analysis locks, and deterministic source loading.
+//!
+//! A *project* is a registered (name, source directory, optional schema
+//! file) triple. The daemon re-reads sources from disk on every analyze
+//! — that is what makes mid-round source mutation safe — and relies on
+//! the incremental cache to make the re-read cheap (a warm run parses 0
+//! files). Each project carries one **single-flight mutex**: two
+//! concurrent analyze requests for the same tenant serialize instead of
+//! racing the cache and each other's diff baseline; different tenants
+//! proceed in parallel.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use cfinder_core::{AnalysisReport, AppSource, SourceFile};
+use cfinder_schema::Schema;
+use parking_lot::{Mutex, RwLock};
+
+/// Mutable per-project state, guarded by the single-flight lock.
+#[derive(Default)]
+pub struct ProjectState {
+    /// The previous analysis (the `diff` baseline).
+    pub last_report: Option<AnalysisReport>,
+    /// Completed analyses (any command that ran the pipeline).
+    pub analyses: u64,
+}
+
+/// One registered tenant.
+pub struct Project {
+    /// Tenant name (the `project` field of request frames).
+    pub name: String,
+    /// Source directory, re-read on every analysis.
+    pub dir: PathBuf,
+    /// Optional declared-schema JSON file, re-read on every analysis.
+    pub schema_path: Option<PathBuf>,
+    /// Single-flight lock: holds [`ProjectState`] and serializes
+    /// analyses of this project.
+    pub flight: Mutex<ProjectState>,
+}
+
+impl Project {
+    /// Loads the project's sources and declared schema from disk.
+    /// Deterministic: files sorted by repository-relative path, exactly
+    /// like the one-shot CLI loader, so a daemon answer is
+    /// byte-comparable to a `cfinder <dir>` run. Every failure is a
+    /// diagnostic string (mapped to `project-unusable` by the daemon).
+    pub fn load(&self) -> Result<(AppSource, Schema), String> {
+        let mut files = Vec::new();
+        collect_py_files(&self.dir, &self.dir, &mut files)
+            .map_err(|e| format!("reading {}: {e}", self.dir.display()))?;
+        if files.is_empty() {
+            return Err(format!("no .py files under {}", self.dir.display()));
+        }
+        files.sort_by(|a, b| a.path.cmp(&b.path));
+        let declared = match &self.schema_path {
+            Some(p) => {
+                let text =
+                    fs::read_to_string(p).map_err(|e| format!("reading {}: {e}", p.display()))?;
+                Schema::from_json(&text).map_err(|e| format!("parsing {}: {e}", p.display()))?
+            }
+            None => Schema::new(),
+        };
+        Ok((AppSource::new(self.name.clone(), files), declared))
+    }
+}
+
+fn collect_py_files(root: &Path, dir: &Path, out: &mut Vec<SourceFile>) -> std::io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_py_files(root, &path, out)?;
+        } else if path.extension().is_some_and(|e| e == "py") {
+            let text = fs::read_to_string(&path)?;
+            let rel = path.strip_prefix(root).unwrap_or(&path).display().to_string();
+            out.push(SourceFile::new(rel, text));
+        }
+    }
+    Ok(())
+}
+
+/// The tenant table. Registration replaces (a re-register points the
+/// name at a new directory and resets its diff baseline); lookups hand
+/// out `Arc`s so a concurrent re-register never invalidates an in-flight
+/// analysis.
+#[derive(Default)]
+pub struct Registry {
+    projects: RwLock<BTreeMap<String, Arc<Project>>>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers (or replaces) a project.
+    pub fn register(&self, name: &str, dir: PathBuf, schema_path: Option<PathBuf>) -> Arc<Project> {
+        let project = Arc::new(Project {
+            name: name.to_string(),
+            dir,
+            schema_path,
+            flight: Mutex::new(ProjectState::default()),
+        });
+        self.projects.write().insert(name.to_string(), project.clone());
+        project
+    }
+
+    /// Looks up a tenant by name.
+    pub fn get(&self, name: &str) -> Option<Arc<Project>> {
+        self.projects.read().get(name).cloned()
+    }
+
+    /// Snapshot of every registered project, name-ordered.
+    pub fn all(&self) -> Vec<Arc<Project>> {
+        self.projects.read().values().cloned().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("cfinder-serve-registry-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn load_is_deterministic_and_named_after_the_tenant() {
+        let dir = tmp("load");
+        fs::create_dir_all(dir.join("sub")).unwrap();
+        fs::write(dir.join("b.py"), "x = 1\n").unwrap();
+        fs::write(dir.join("a.py"), "y = 2\n").unwrap();
+        fs::write(dir.join("sub/c.py"), "z = 3\n").unwrap();
+        fs::write(dir.join("notes.txt"), "ignored").unwrap();
+        let registry = Registry::new();
+        let project = registry.register("tenant-a", dir.clone(), None);
+        let (app, _) = project.load().unwrap();
+        assert_eq!(app.name, "tenant-a");
+        let paths: Vec<&str> = app.files.iter().map(|f| f.path.as_str()).collect();
+        assert_eq!(paths, ["a.py", "b.py", "sub/c.py"]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn load_failures_are_diagnostic_strings() {
+        let dir = tmp("empty");
+        let registry = Registry::new();
+        let project = registry.register("empty", dir.clone(), None);
+        let err = project.load().unwrap_err();
+        assert!(err.contains("no .py files"), "{err}");
+        let gone = registry.register("gone", dir.join("missing"), None);
+        assert!(gone.load().is_err());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reregister_replaces_and_resets_the_baseline() {
+        let dir = tmp("rereg");
+        fs::write(dir.join("a.py"), "x = 1\n").unwrap();
+        let registry = Registry::new();
+        let first = registry.register("p", dir.clone(), None);
+        first.flight.lock().analyses = 7;
+        let second = registry.register("p", dir.clone(), None);
+        assert_eq!(second.flight.lock().analyses, 0);
+        assert_eq!(registry.all().len(), 1);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

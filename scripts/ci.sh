@@ -70,6 +70,32 @@ echo "==> fault-injection suite with live tracing and metrics"
 # instruments.
 CFINDER_OBS_TEST=1 cargo test -q --test fault_injection
 
+echo "==> daemon soak oracle (4 clients x 8 apps x 2 rounds) + fault-frame suite"
+# The serve daemon: concurrent clients over the whole corpus must be
+# byte-identical (stable_json) to one-shot in-process runs, with hostile
+# frames and a mid-round source mutation interleaved; the fault suite
+# proves every typed error code reachable and request-scoped, and the
+# concurrency suite covers racing cache writers + ENOSPC-style
+# degradation.
+serve_unit=$(cargo test -q -p cfinder-serve 2>&1) || { echo "$serve_unit"; exit 1; }
+serve_integration=$(CFINDER_SOAK_ROUNDS=2 cargo test -q \
+    --test serve_soak --test serve_faults --test cache_concurrency 2>&1) \
+    || { echo "$serve_integration"; exit 1; }
+
+echo "==> daemon test-count floor"
+# The serve surface only grows: unit + soak + fault + cache-concurrency
+# tests must stay at or above the floor so coverage cannot be silently
+# deleted.
+serve_tests=$(printf '%s\n%s\n' "$serve_unit" "$serve_integration" \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s}')
+serve_floor=20
+if [[ "${serve_tests:-0}" -lt "$serve_floor" ]]; then
+    echo "FAIL: daemon suites ran ${serve_tests:-0} tests, below the floor of $serve_floor" >&2
+    exit 1
+fi
+echo "daemon suites: $serve_tests tests (floor $serve_floor)"
+
 echo "==> observability overhead check (instrumented vs no-op)"
 cargo bench -p cfinder-bench --bench obs_overhead
 

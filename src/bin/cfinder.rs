@@ -5,6 +5,7 @@
 //! $ cfinder path/to/app [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
 //! $ cfinder explain <table[.column]> path/to/app [--schema schema.json]
 //! $ cfinder cache stats|clear <dir>
+//! $ cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
@@ -94,7 +95,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>\n       cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -122,6 +123,12 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     }
     if args.first().is_some_and(|a| a == "cache") {
         return run_cache(&args[1..]);
+    }
+    if args.first().is_some_and(|a| a == "serve") {
+        // `serve` never returns through the usage-error path below: like
+        // `reproduce`, it reports misuse via the shared
+        // `cfinder::core::usage` format and exits 2 itself.
+        return Ok(run_serve(&args[1..]));
     }
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
@@ -479,6 +486,82 @@ fn run_explain(args: &[String]) -> Result<Outcome, String> {
         println!("no inferred constraint on `{target}` (analyzed {} files)", app.files.len());
     }
     Ok(Outcome { missing: usize::from(explained == 0), incidents: 0, strict: false })
+}
+
+/// One-line synopsis of the `serve` subcommand, for the shared
+/// usage-error path.
+const SERVE_USAGE: &str =
+    "cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]";
+
+/// `cfinder serve [--workers N] [--queue N] [--max-frame-bytes N]
+/// [--cache-dir DIR]`: run the multi-tenant analysis daemon over
+/// stdin/stdout until EOF or a `shutdown` frame.
+///
+/// Misuse (unknown flags, bad values, an unusable `--cache-dir`) exits 2
+/// through the same typed `error:`/`usage:` format as `reproduce` —
+/// every CFinder binary surface shares `cfinder::core::usage`.
+fn run_serve(args: &[String]) -> Outcome {
+    use cfinder::core::usage;
+
+    let usage_error = |msg: &str| -> ! { usage::usage_error(msg, SERVE_USAGE) };
+    let mut config = cfinder::serve::ServeConfig {
+        cache_dir: std::env::var_os(CACHE_DIR_ENV).map(PathBuf::from),
+        ..cfinder::serve::ServeConfig::default()
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut numeric = |flag: &str| -> usize {
+            match it.next() {
+                Some(v) => v
+                    .trim()
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .unwrap_or_else(|| usage_error(&format!("invalid {flag} value `{v}`"))),
+                None => usage_error(&format!("{flag} expects a positive integer")),
+            }
+        };
+        match arg.as_str() {
+            "--workers" => config.workers = numeric("--workers"),
+            "--queue" => config.queue_capacity = numeric("--queue"),
+            "--max-frame-bytes" => config.max_frame_bytes = numeric("--max-frame-bytes"),
+            "--cache-dir" => match it.next() {
+                Some(v) if !v.starts_with("--") => config.cache_dir = Some(PathBuf::from(v)),
+                Some(flag) => {
+                    usage_error(&format!("--cache-dir expects a directory, found flag `{flag}`"))
+                }
+                None => usage_error("--cache-dir expects a directory"),
+            },
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    // Probe the cache directory up front: an unusable path is a typed
+    // usage error before the daemon accepts a single frame, exactly like
+    // `reproduce --cache-dir`.
+    if let Some(dir) = &config.cache_dir {
+        if let Err(e) = AnalysisCache::open(dir, &CFinderOptions::default(), &Limits::from_env()) {
+            usage_error(&e.to_string());
+        }
+    }
+
+    let stdin = std::io::stdin();
+    match cfinder::serve::serve(config, stdin.lock(), std::io::stdout()) {
+        Ok(summary) => {
+            eprintln!(
+                "serve: drained after {} request(s), {} error frame(s), {} overload rejection(s)",
+                summary.requests, summary.errors, summary.rejected
+            );
+            Outcome { missing: 0, incidents: 0, strict: false }
+        }
+        Err(e) => {
+            eprintln!("serve: input failed: {e}");
+            // An unreadable stdin is an I/O failure, not misuse; exit 0
+            // is wrong and 2 is reserved for usage — the daemon drained
+            // what it could, so report it as an incident under strict
+            // semantics (exit 3 is not used by serve; plain exit 1).
+            Outcome { missing: 1, incidents: 0, strict: false }
+        }
+    }
 }
 
 /// `cfinder cache stats|clear <dir>`: inspect or reset a cache directory.

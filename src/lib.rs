@@ -29,6 +29,8 @@
 //! * [`sql`] — multi-dialect SQL backend: `schema.sql` ingestion
 //!   (recovering DDL parser) and dialect-correct remediation DDL emission
 //!   for PostgreSQL, MySQL, and SQLite.
+//! * [`serve`] — the `cfinder serve` daemon: multi-tenant JSON-over-stdio
+//!   analysis service with deadlines, backpressure, and graceful drain.
 //!
 //! ## Quick start
 //!
@@ -58,4 +60,5 @@ pub use cfinder_obs as obs;
 pub use cfinder_pyast as pyast;
 pub use cfinder_report as report;
 pub use cfinder_schema as schema;
+pub use cfinder_serve as serve;
 pub use cfinder_sql as sql;

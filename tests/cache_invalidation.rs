@@ -106,14 +106,53 @@ fn fingerprint_salt_options_and_limits_each_invalidate_the_whole_shard() {
 fn deadline_env_changes_the_tool_fingerprint() {
     // `Limits::from_env` is what the CLI feeds the cache, so the
     // environment knob must round-trip into a distinct fingerprint.
+    // (The option-carried assertions live in this same #[test] because
+    // they mutate the same environment variable — separate tests would
+    // race under the parallel test runner.)
     let options = CFinderOptions::default();
     let dir = temp_dir("deadline");
     std::env::remove_var(DEADLINE_ENV);
     let without = AnalysisCache::open_with_salt(&dir, &options, &Limits::from_env(), "").unwrap();
     std::env::set_var(DEADLINE_ENV, "120000");
     let with = AnalysisCache::open_with_salt(&dir, &options, &Limits::from_env(), "").unwrap();
-    std::env::remove_var(DEADLINE_ENV);
     assert_ne!(without.fingerprint(), with.fingerprint());
+
+    // Invalidation-matrix row for the first-class option: a deadline
+    // carried on `CFinderOptions::deadline_ms` and the same deadline
+    // carried by the environment-fed `Limits` fingerprint *identically*
+    // — a daemon request bringing its own budget shares the shard an
+    // env-configured CLI run populated.
+    std::env::remove_var(DEADLINE_ENV);
+    let via_option = AnalysisCache::open_with_salt(
+        &dir,
+        &CFinderOptions { deadline_ms: Some(120_000), ..options },
+        &Limits::from_env(),
+        "",
+    )
+    .unwrap();
+    assert_eq!(via_option.fingerprint(), with.fingerprint());
+
+    // An explicit option overrides a conflicting env deadline...
+    std::env::set_var(DEADLINE_ENV, "5");
+    let option_wins = AnalysisCache::open_with_salt(
+        &dir,
+        &CFinderOptions { deadline_ms: Some(120_000), ..options },
+        &Limits::from_env(),
+        "",
+    )
+    .unwrap();
+    assert_eq!(option_wins.fingerprint(), with.fingerprint());
+    // ...including `Some(0)`, which means "explicitly no deadline" and
+    // must land in the no-deadline shard, not a third one.
+    let zero_disables = AnalysisCache::open_with_salt(
+        &dir,
+        &CFinderOptions { deadline_ms: Some(0), ..options },
+        &Limits::from_env(),
+        "",
+    )
+    .unwrap();
+    std::env::remove_var(DEADLINE_ENV);
+    assert_eq!(zero_disables.fingerprint(), without.fingerprint());
     let _ = fs::remove_dir_all(&dir);
 }
 

@@ -1,0 +1,246 @@
+//! The daemon fault-frame suite: every typed error code is reachable,
+//! every failure is request-scoped, and both binary surfaces share one
+//! usage-error format.
+//!
+//! Runs the daemon with `CFINDER_SERVE_FAULTS=1` so `analyze` frames
+//! can carry `"fault": "panic"` / `"fault": "sleep:<ms>"` — the hooks
+//! that make panic containment, deadline overruns, and overload
+//! deterministic without huge inputs.
+
+mod support;
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+use serde_json::Value;
+use support::{err_code, ok_result, Daemon};
+
+/// A minimal project with one detectable pattern.
+const PROJECT_SRC: &str = "class Coupon(models.Model):\n    code = models.CharField(max_length=32)\n\n\ndef redeem(code):\n    if Coupon.objects.filter(code=code).exists():\n        raise ValueError('duplicate coupon')\n    Coupon.objects.create(code=code)\n";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("cfinder-serve-faults-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn every_error_code_is_reachable_and_request_scoped() {
+    let root = temp_dir("codes");
+    let proj = root.join("proj");
+    fs::create_dir_all(&proj).unwrap();
+    fs::write(proj.join("models.py"), PROJECT_SRC).unwrap();
+    let cache = root.join("cache");
+
+    // One worker, a one-slot queue, and a tiny frame cap: every
+    // degradation path is reachable on demand.
+    let mut daemon = Daemon::spawn(
+        &[
+            "--workers",
+            "1",
+            "--queue",
+            "1",
+            "--max-frame-bytes",
+            "2048",
+            "--cache-dir",
+            cache.to_str().unwrap(),
+        ],
+        0,
+        true,
+    );
+    let main = daemon.main_client();
+
+    let resp =
+        main.call("reg", &format!(r#""cmd":"register","project":"p","dir":"{}""#, proj.display()));
+    assert_eq!(ok_result(&resp).get("files").and_then(Value::as_u64), Some(1));
+
+    // malformed-frame — non-JSON (no recoverable id) and a JSON object
+    // with no `cmd` (id echoed).
+    main.send_raw("definitely { not json");
+    let resp = main.recv();
+    assert!(resp.get("id").unwrap().is_null(), "{resp:?}");
+    assert_eq!(err_code(&resp), "malformed-frame");
+    let resp = main.call("mf", r#""note":"no cmd here""#);
+    assert_eq!(err_code(&resp), "malformed-frame");
+
+    // oversized-frame: the line is discarded but answered, and the next
+    // frame parses cleanly (the stream stays aligned).
+    main.send_raw(&"x".repeat(4096));
+    let resp = main.recv();
+    assert!(resp.get("id").unwrap().is_null(), "{resp:?}");
+    assert_eq!(err_code(&resp), "oversized-frame");
+
+    // unknown-command / bad-request / unknown-project.
+    let resp = main.call("uc", r#""cmd":"launch-missiles""#);
+    assert_eq!(err_code(&resp), "unknown-command");
+    let resp = main.call("br1", r#""cmd":"analyze""#);
+    assert_eq!(err_code(&resp), "bad-request");
+    let resp = main.call("br2", r#""cmd":"analyze","project":"p","deadline_ms":"soon""#);
+    assert_eq!(err_code(&resp), "bad-request");
+    let resp = main.call("br3", r#""cmd":"analyze","project":"p","ablate":["warp-drive"]"#);
+    assert_eq!(err_code(&resp), "bad-request");
+    let resp = main.call("up", r#""cmd":"analyze","project":"ghost""#);
+    assert_eq!(err_code(&resp), "unknown-project");
+
+    // project-unusable — at registration (an empty dir never becomes a
+    // tenant) and at analyze (the tree vanished after registration).
+    let empty = root.join("empty");
+    fs::create_dir_all(&empty).unwrap();
+    let resp =
+        main.call("pu1", &format!(r#""cmd":"register","project":"e","dir":"{}""#, empty.display()));
+    assert_eq!(err_code(&resp), "project-unusable");
+    let resp = main.call("pu1b", r#""cmd":"analyze","project":"e""#);
+    assert_eq!(err_code(&resp), "unknown-project", "a failed register must not publish");
+    let doomed = root.join("doomed");
+    fs::create_dir_all(&doomed).unwrap();
+    fs::write(doomed.join("a.py"), "x = 1\n").unwrap();
+    let resp = main
+        .call("pu2", &format!(r#""cmd":"register","project":"d","dir":"{}""#, doomed.display()));
+    ok_result(&resp);
+    fs::remove_dir_all(&doomed).unwrap();
+    let resp = main.call("pu3", r#""cmd":"analyze","project":"d""#);
+    assert_eq!(err_code(&resp), "project-unusable");
+
+    // internal-panic: the injected panic is contained to its request —
+    // the daemon answers it, then keeps serving.
+    let resp = main.call("panic", r#""cmd":"analyze","project":"p","fault":"panic""#);
+    assert_eq!(err_code(&resp), "internal-panic");
+    let resp = main.call("after-panic", r#""cmd":"analyze","project":"p""#);
+    let healthy = ok_result(&resp);
+    assert!(healthy.get("missing").and_then(Value::as_u64).unwrap() >= 1);
+
+    // deadline-exceeded: the handler outlives the request budget.
+    let resp =
+        main.call("late", r#""cmd":"analyze","project":"p","fault":"sleep:400","deadline_ms":50"#);
+    assert_eq!(err_code(&resp), "deadline-exceeded");
+
+    // cache-unusable: the cache root turns into a plain file, then a
+    // request arrives whose options need a fresh fingerprint shard.
+    fs::remove_dir_all(&cache).unwrap();
+    fs::write(&cache, b"not a directory").unwrap();
+    let resp = main.call("cu", r#""cmd":"analyze","project":"p","ablate":["null-guard"]"#);
+    assert_eq!(err_code(&resp), "cache-unusable");
+    // ...while the memoized default-options handle degrades to typed
+    // write-skips instead of failing the analysis.
+    let resp = main.call("cu-degraded", r#""cmd":"analyze","project":"p""#);
+    ok_result(&resp);
+
+    // overloaded: occupy the single worker, fill the one queue slot,
+    // and the third concurrent analyze is refused with a retry hint.
+    main.send("ov1", r#""cmd":"analyze","project":"p","fault":"sleep:800""#);
+    // Wait until the worker has dequeued ov1 (the queue reads empty but
+    // the handler is sleeping), so ov2/ov3 land deterministically.
+    loop {
+        let stats = main.call("ov-poll", r#""cmd":"stats""#);
+        if ok_result(&stats).get("queue_depth").and_then(Value::as_u64) == Some(0) {
+            break;
+        }
+    }
+    main.send("ov2", r#""cmd":"analyze","project":"p","fault":"sleep:100""#);
+    main.send("ov3", r#""cmd":"analyze","project":"p""#);
+    let rejected = main.recv();
+    assert_eq!(rejected.get("id").and_then(Value::as_str), Some(main.id("ov3").as_str()));
+    assert_eq!(err_code(&rejected), "overloaded");
+    let hint = rejected.get("error").unwrap().get("retry_after_ms").and_then(Value::as_u64);
+    assert!(hint.is_some_and(|ms| ms > 0), "overload carries a retry hint: {rejected:?}");
+    // Observability survives saturation: stats answers from the reader
+    // thread while the worker is still busy.
+    let stats = main.call("ov-stats", r#""cmd":"stats""#);
+    assert!(ok_result(&stats).get("rejected_total").and_then(Value::as_u64).unwrap() >= 1);
+    for id in ["ov1", "ov2"] {
+        let resp = main.recv();
+        assert_eq!(resp.get("id").and_then(Value::as_str), Some(main.id(id).as_str()));
+        ok_result(&resp);
+    }
+
+    // The error taxonomy is visible in the metrics exposition.
+    let metrics = main.call("metrics", r#""cmd":"metrics""#);
+    let text = ok_result(&metrics).get("prometheus").and_then(Value::as_str).unwrap().to_string();
+    for code in
+        ["malformed-frame", "oversized-frame", "internal-panic", "deadline-exceeded", "overloaded"]
+    {
+        assert!(
+            text.contains(&format!("code=\"{code}\"")),
+            "metrics exposition lacks errors_total{{code=\"{code}\"}}"
+        );
+    }
+
+    // shutting-down, then a clean exit with every frame answered.
+    let resp = main.call("bye", r#""cmd":"shutdown""#);
+    assert_eq!(ok_result(&resp).get("draining"), Some(&Value::Bool(true)));
+    let resp = main.call("too-late", r#""cmd":"analyze","project":"p""#);
+    assert_eq!(err_code(&resp), "shutting-down");
+    let status = daemon.finish();
+    assert!(status.success(), "daemon exited with {status:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn drain_finishes_accepted_work_before_exiting() {
+    let root = temp_dir("drain");
+    let proj = root.join("proj");
+    fs::create_dir_all(&proj).unwrap();
+    fs::write(proj.join("models.py"), PROJECT_SRC).unwrap();
+
+    let mut daemon = Daemon::spawn(&["--workers", "1", "--queue", "4"], 0, true);
+    let main = daemon.main_client();
+    let resp =
+        main.call("reg", &format!(r#""cmd":"register","project":"p","dir":"{}""#, proj.display()));
+    ok_result(&resp);
+
+    // a1 occupies the worker, a2 waits in the queue; the shutdown frame
+    // closes the queue; a3 arrives mid-drain. Expected responses, in
+    // order: shutdown ok, a3 refused, then a1 and a2 *completed* — the
+    // accepted work is finished and answered, never dropped.
+    main.send("a1", r#""cmd":"analyze","project":"p","fault":"sleep:500""#);
+    main.send("a2", r#""cmd":"analyze","project":"p""#);
+    main.send("bye", r#""cmd":"shutdown""#);
+    main.send("a3", r#""cmd":"analyze","project":"p""#);
+
+    let resp = main.recv();
+    assert_eq!(resp.get("id").and_then(Value::as_str), Some(main.id("bye").as_str()));
+    assert_eq!(ok_result(&resp).get("draining"), Some(&Value::Bool(true)));
+    let resp = main.recv();
+    assert_eq!(resp.get("id").and_then(Value::as_str), Some(main.id("a3").as_str()));
+    assert_eq!(err_code(&resp), "shutting-down");
+    for id in ["a1", "a2"] {
+        let resp = main.recv();
+        assert_eq!(resp.get("id").and_then(Value::as_str), Some(main.id(id).as_str()));
+        ok_result(&resp);
+    }
+
+    let status = daemon.finish();
+    assert!(status.success(), "daemon exited with {status:?}");
+    let _ = fs::remove_dir_all(&root);
+}
+
+#[test]
+fn serve_misuse_exits_2_with_the_shared_usage_format() {
+    for args in [
+        &["serve", "--workers", "0"][..],
+        &["serve", "--workers"][..],
+        &["serve", "--queue", "lots"][..],
+        &["serve", "--max-frame-bytes", "-1"][..],
+        &["serve", "--cache-dir"][..],
+        &["serve", "--cache-dir", "/dev/null/nope"][..],
+        &["serve", "--bogus"][..],
+    ] {
+        let out = Command::new(env!("CARGO_BIN_EXE_cfinder"))
+            .args(args)
+            .output()
+            .expect("run cfinder serve");
+        assert_eq!(out.status.code(), Some(2), "{args:?}: {out:?}");
+        let stderr = String::from_utf8_lossy(&out.stderr);
+        let mut lines = stderr.lines();
+        // The same two-line typed format `reproduce` uses — one shared
+        // `cfinder_core::usage` path for every binary surface.
+        assert!(lines.next().is_some_and(|l| l.starts_with("error: ")), "{args:?}: {stderr}");
+        assert!(
+            lines.next().is_some_and(|l| l.starts_with("usage: cfinder serve ")),
+            "{args:?}: {stderr}"
+        );
+    }
+}

@@ -1,0 +1,237 @@
+//! The daemon soak oracle.
+//!
+//! N concurrent clients hammer one `cfinder serve` process with the
+//! whole 8-app corpus for several rounds, interleaving hostile frames
+//! and a mid-round source mutation, and every analyze answer must be
+//! **byte-identical** (`stable_json`) to a one-shot in-process run over
+//! the same sources. The daemon must never exit, never panic, and
+//! answer every frame exactly once — the harness router counts.
+//!
+//! The round count honors `CFINDER_SOAK_ROUNDS` (default 3) so CI can
+//! run the same oracle at reduced scale.
+
+mod support;
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use cfinder::core::{AppSource, CFinder, SourceFile};
+use cfinder::corpus::{all_profiles, generate, GenOptions, GeneratedApp};
+use cfinder::schema::Schema;
+use serde_json::Value;
+use support::{err_code, ok_result, Daemon};
+
+const SCALE: GenOptions = GenOptions { loc_scale: 0.01 };
+
+/// A source file the analyzer finds a new unique constraint in — the
+/// mid-soak mutation payload.
+const MUTATION_SRC: &str = "class SoakVoucher(models.Model):\n    code = models.CharField(max_length=32)\n\n\ndef redeem(code):\n    if SoakVoucher.objects.filter(code=code).exists():\n        raise ValueError('duplicate voucher')\n    SoakVoucher.objects.create(code=code)\n";
+
+/// The timed warm re-analyze payload. Deliberately *registry-neutral*
+/// (no model class): detect entries are keyed by the whole-app model
+/// registry hash, so a new class would invalidate every file's detect
+/// entry — a correct but whole-project recompute. A helper-only file
+/// leaves the registry untouched and the mutation costs exactly one
+/// parse.
+const TIMED_SRC: &str = "def zz_timed_helper(value):\n    return value\n";
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfinder-serve-soak-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The one-shot oracle: analyze `files` (sorted like the daemon's
+/// loader) in-process and return the canonical `stable_json`.
+fn oracle(name: &str, files: Vec<SourceFile>, declared: &Schema) -> String {
+    let mut files = files;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    CFinder::new().analyze(&AppSource::new(name.to_string(), files), declared).stable_json()
+}
+
+fn app_files(app: &GeneratedApp) -> Vec<SourceFile> {
+    app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect()
+}
+
+/// Atomically publishes a new source file into a project's tree: write
+/// a non-`.py` sibling, then rename. A concurrently loading daemon sees
+/// the old tree or the new tree, never a torn one.
+fn publish(src_dir: &Path, file_name: &str, text: &str) {
+    let tmp = src_dir.join(format!(".{file_name}.tmp"));
+    fs::write(&tmp, text).unwrap();
+    fs::rename(&tmp, src_dir.join(file_name)).unwrap();
+}
+
+#[test]
+fn soak_concurrent_clients_match_the_one_shot_oracle_byte_for_byte() {
+    const CLIENTS: usize = 4;
+    let rounds: usize =
+        std::env::var("CFINDER_SOAK_ROUNDS").ok().and_then(|v| v.parse().ok()).unwrap_or(3);
+
+    let apps: Vec<GeneratedApp> = all_profiles().iter().map(|p| generate(p, SCALE)).collect();
+    assert_eq!(apps.len(), 8, "the soak covers the whole corpus");
+    let root = temp_dir("apps");
+    for app in &apps {
+        app.write_to(&root.join(&app.name)).unwrap();
+    }
+
+    // Every `stable_json` a daemon answer may legitimately equal, per
+    // project. The mutator appends the post-mutation oracle *before*
+    // publishing the new file, so the set is complete at every instant.
+    let acceptable: Arc<Mutex<HashMap<String, Vec<String>>>> = Arc::new(Mutex::new(
+        apps.iter()
+            .map(|app| (app.name.clone(), vec![oracle(&app.name, app_files(app), &app.declared)]))
+            .collect(),
+    ));
+
+    let cache_dir = root.join("cache");
+    let mut daemon = Daemon::spawn(
+        &["--workers", "4", "--queue", "64", "--cache-dir", cache_dir.to_str().unwrap()],
+        CLIENTS,
+        false,
+    );
+    let main = daemon.main_client();
+
+    for app in &apps {
+        let resp = main.call(
+            &format!("reg-{}", app.name),
+            &format!(
+                r#""cmd":"register","project":"{}","dir":"{}","schema":"{}""#,
+                app.name,
+                root.join(&app.name).join("src").display(),
+                root.join(&app.name).join("schema.json").display()
+            ),
+        );
+        let result = ok_result(&resp);
+        assert_eq!(
+            result.get("files").and_then(Value::as_u64),
+            Some(app.files.len() as u64),
+            "register saw a different tree for {}",
+            app.name
+        );
+    }
+
+    let names: Vec<String> = apps.iter().map(|a| a.name.clone()).collect();
+    let clients: Vec<support::Client> = (0..CLIENTS).map(|i| daemon.client(i)).collect();
+    std::thread::scope(|s| {
+        for client in clients {
+            let names = names.clone();
+            let acceptable = acceptable.clone();
+            s.spawn(move || {
+                for round in 0..rounds {
+                    for (i, name) in names.iter().enumerate() {
+                        let resp = client.call(
+                            &format!("r{round}-{i}"),
+                            &format!(r#""cmd":"analyze","project":"{name}""#),
+                        );
+                        let result = ok_result(&resp);
+                        let got = result
+                            .get("stable_json")
+                            .and_then(Value::as_str)
+                            .expect("analyze result carries stable_json");
+                        let oracles = acceptable.lock().unwrap().get(name).unwrap().clone();
+                        assert!(
+                            oracles.iter().any(|o| o == got),
+                            "client {} round {round}: daemon answer for `{name}` matches no oracle",
+                            client.idx
+                        );
+                    }
+                    // Hostile frames interleaved with real traffic —
+                    // each must cost exactly one typed error.
+                    let resp = client
+                        .call(&format!("h{round}"), r#""cmd":"analyze","project":"no-such-app""#);
+                    assert_eq!(err_code(&resp), "unknown-project");
+                    let resp = client.call(&format!("u{round}"), r#""cmd":"frobnicate""#);
+                    assert_eq!(err_code(&resp), "unknown-command");
+                    let resp = client.call(&format!("b{round}"), r#""cmd":42"#);
+                    assert_eq!(err_code(&resp), "malformed-frame");
+                }
+            });
+        }
+
+        // Mid-round mutation: while the clients run, grow project 0 by a
+        // file carrying a new detectable pattern. Oracle first, then the
+        // atomic publish.
+        let mutated = &apps[0];
+        let mut files = app_files(mutated);
+        files.push(SourceFile::new("zz_soak.py".to_string(), MUTATION_SRC.to_string()));
+        let after = oracle(&mutated.name, files, &mutated.declared);
+        let before = acceptable.lock().unwrap().get(&mutated.name).unwrap()[0].clone();
+        assert_ne!(after, before, "the mutation payload must change the analysis");
+        acceptable.lock().unwrap().get_mut(&mutated.name).unwrap().push(after.clone());
+        publish(&root.join(&mutated.name).join("src"), "zz_soak.py", MUTATION_SRC);
+
+        // Hostile null-id traffic from the main client, mid-soak.
+        main.send_raw("this is not a frame");
+        let resp = main.recv();
+        assert!(resp.get("id").unwrap().is_null(), "{resp:?}");
+        assert_eq!(err_code(&resp), "malformed-frame");
+    });
+
+    // The mutation has settled: the daemon must now answer project 0
+    // with exactly the post-mutation oracle.
+    let mutated = &apps[0];
+    let settled = main.call("settled", &format!(r#""cmd":"analyze","project":"{}""#, mutated.name));
+    let expected = acceptable.lock().unwrap().get(&mutated.name).unwrap()[1].clone();
+    assert_eq!(
+        ok_result(&settled).get("stable_json").and_then(Value::as_str),
+        Some(expected.as_str())
+    );
+
+    // Warm-cache single-file re-analyze: publish one new file into an
+    // already fully cached project and time the round-trip. Exactly one
+    // file parses; the budget is sub-second (EXPERIMENTS.md records the
+    // measured value).
+    let timed = &apps[1];
+    let mut files = app_files(timed);
+    files.push(SourceFile::new("zz_timed.py".to_string(), TIMED_SRC.to_string()));
+    let expected = oracle(&timed.name, files, &timed.declared);
+    publish(&root.join(&timed.name).join("src"), "zz_timed.py", TIMED_SRC);
+    let started = Instant::now();
+    let resp = main.call("timed", &format!(r#""cmd":"analyze","project":"{}""#, timed.name));
+    let elapsed = started.elapsed();
+    let result = ok_result(&resp);
+    assert_eq!(result.get("stable_json").and_then(Value::as_str), Some(expected.as_str()));
+    assert_eq!(
+        result.get("files_parsed").and_then(Value::as_u64),
+        Some(1),
+        "a warm cache re-parses only the new file: {result:?}"
+    );
+    assert!(
+        elapsed.as_millis() < 1000,
+        "warm single-file re-analyze took {}ms (budget: 1000ms)",
+        elapsed.as_millis()
+    );
+    println!("warm single-file re-analyze round-trip: {:.1}ms", elapsed.as_secs_f64() * 1000.0);
+
+    // Observability after the storm: stats sees all 8 tenants and the
+    // metrics exposition carries the daemon families.
+    let stats = main.call("stats", r#""cmd":"stats""#);
+    let result = ok_result(&stats);
+    assert_eq!(result.get("projects").and_then(Value::as_array).map(Vec::len), Some(8));
+    assert!(result.get("requests_total").and_then(Value::as_u64).unwrap() > 0);
+    let metrics = main.call("metrics", r#""cmd":"metrics""#);
+    let text = ok_result(&metrics).get("prometheus").and_then(Value::as_str).unwrap().to_string();
+    for family in [
+        "cfinder_serve_requests_total",
+        "cfinder_serve_errors_total",
+        "cfinder_serve_handle_seconds",
+    ] {
+        assert!(text.contains(family), "metrics exposition lacks {family}");
+    }
+
+    // Graceful drain: shutdown answers, later frames get the typed
+    // refusal, EOF ends the process with exit 0 — and the router proved
+    // every frame was answered.
+    let resp = main.call("bye", r#""cmd":"shutdown""#);
+    assert_eq!(ok_result(&resp).get("draining"), Some(&Value::Bool(true)));
+    let resp = main.call("late", &format!(r#""cmd":"analyze","project":"{}""#, apps[2].name));
+    assert_eq!(err_code(&resp), "shutting-down");
+    let status = daemon.finish();
+    assert!(status.success(), "daemon exited with {status:?}");
+    let _ = fs::remove_dir_all(&root);
+}
