@@ -37,6 +37,7 @@
 pub mod cache;
 pub mod detect;
 pub mod engine;
+pub mod fsio;
 pub mod incident;
 pub mod models;
 pub mod patterns;
@@ -52,6 +53,7 @@ pub use cfinder_obs::Obs;
 pub use detect::{
     effective_deadline, effective_limits, AppSource, CFinder, CFinderOptions, Limits, SourceFile,
 };
+pub use fsio::{atomic_write, atomic_write_with, ATOMIC_FAULT_ENV};
 pub use incident::{Coverage, Incident, IncidentKind};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
 pub use report::{

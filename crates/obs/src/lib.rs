@@ -12,8 +12,12 @@
 //!   buffers (a thread only ever touches its own shard, so pushes never
 //!   contend), exported as Chrome trace-event JSON loadable in
 //!   `chrome://tracing` or Perfetto.
-//! * [`metrics`] — atomic counters and fixed-bucket histograms, exported
-//!   as Prometheus text exposition or a structured snapshot.
+//! * [`metrics`] — atomic counters and per-family log-linear histograms
+//!   with p50/p95/p99 estimation, exported as Prometheus text exposition
+//!   or a structured snapshot.
+//! * [`profile`] — a wall-clock sampling profiler over the tracer's live
+//!   span stacks, exported as flamegraph-collapsed folded stacks and a
+//!   top-N hot-span table.
 //!
 //! The [`Obs`] handle bundles one of each and is what the analyzer
 //! plumbing passes around.
@@ -36,9 +40,11 @@
 #![forbid(unsafe_code)]
 
 pub mod metrics;
+pub mod profile;
 pub mod trace;
 
 pub use metrics::{HistogramSnapshot, MetricFamily, MetricKind, Metrics, MetricsSnapshot, Sample};
+pub use profile::{HotSpan, ProfileReport, Profiler};
 pub use trace::{SpanGuard, TraceEvent, Tracer};
 
 /// A bundle of one tracer and one metrics registry — the single handle the
@@ -59,9 +65,26 @@ impl Obs {
         Obs::default()
     }
 
-    /// A fully enabled handle recording spans and metrics.
+    /// A fully enabled handle recording spans and metrics (no sampling
+    /// profiler — see [`Obs::profiled`]).
     pub fn enabled() -> Self {
         Obs { tracer: Tracer::enabled(), metrics: Metrics::enabled() }
+    }
+
+    /// A fully enabled handle whose tracer also feeds a sampling
+    /// [`Profiler`] at `hz` samples per second. Retrieve it (to stop the
+    /// sampler and export) via [`Obs::profiler`].
+    pub fn profiled(hz: u32) -> Self {
+        Obs {
+            tracer: Tracer::enabled_with_profiler(Profiler::enabled(hz)),
+            metrics: Metrics::enabled(),
+        }
+    }
+
+    /// The sampling profiler attached to the tracer (disabled unless the
+    /// handle came from [`Obs::profiled`]).
+    pub fn profiler(&self) -> Profiler {
+        self.tracer.profiler()
     }
 
     /// Whether any half of the handle is recording.
@@ -90,9 +113,20 @@ mod tests {
     fn enabled_handle_records_both_halves() {
         let obs = Obs::enabled();
         assert!(obs.is_enabled());
+        assert!(!obs.profiler().is_enabled(), "plain enabled() has no profiler");
         drop(obs.tracer.span("pass", || "x".to_string()));
         obs.metrics.inc("cfinder_files_total");
         assert_eq!(obs.tracer.events().len(), 1);
         assert_eq!(obs.metrics.snapshot().families.len(), 1);
+    }
+
+    #[test]
+    fn profiled_handle_carries_a_live_profiler() {
+        let obs = Obs::profiled(97);
+        assert!(obs.profiler().is_enabled());
+        assert_eq!(obs.profiler().hz(), 97);
+        obs.profiler().stop();
+        drop(obs.tracer.span("pass", || "x".to_string()));
+        assert_eq!(obs.tracer.events().len(), 1, "tracing still records after stop");
     }
 }

@@ -1,5 +1,5 @@
-//! Atomic counters and fixed-bucket histograms with Prometheus text
-//! exposition.
+//! Atomic counters and log-linear-bucket histograms with quantile
+//! estimation and Prometheus text exposition.
 //!
 //! The registry is dynamic — families appear on first touch — but the hot
 //! path is cheap: an increment takes one `RwLock` *read* lock to find the
@@ -7,6 +7,15 @@
 //! only taken once per `(family, label)` pair, when it is first seen.
 //! Aggregation across worker threads is therefore order-independent,
 //! which is what keeps metric values deterministic at any thread count.
+//!
+//! Histogram bucket bounds are **per family** (see [`bucket_bounds`]):
+//! per-file latencies use the parse-sized ladder, whole-request daemon
+//! latencies a request-sized one, so neither family saturates its edge
+//! buckets. Quantiles (p50/p95/p99) are estimated from the bucket counts
+//! by linear interpolation within the enclosing bucket —
+//! [`HistogramSnapshot::quantile`] — and surfaced both in
+//! [`MetricsSnapshot`] and as summary-style `quantile="…"` lines in the
+//! exposition.
 //!
 //! Known families carry curated `# HELP` text (see [`family_help`]); ad
 //! hoc families fall back to a generic line so exposition is always
@@ -22,6 +31,30 @@ use std::sync::{Arc, RwLock};
 pub const LATENCY_BUCKETS_SECONDS: [f64; 12] =
     [0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 1.0, 10.0];
 
+/// Histogram bucket upper bounds, in seconds, for whole-request daemon
+/// latencies (queue wait, end-to-end handling): 5 µs … 120 s, log-linear
+/// with a 1–2.5–5 progression. Wide enough that a cold full-corpus
+/// analyze lands in a finite bucket instead of `+Inf`.
+pub const REQUEST_BUCKETS_SECONDS: [f64; 18] = [
+    0.000005, 0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+    0.05, 0.25, 1.0, 5.0, 15.0, 60.0, 120.0,
+];
+
+/// The bucket ladder a histogram family records into. Daemon request
+/// families (`cfinder_serve_*`) measure whole requests — queueing plus a
+/// possibly cold multi-file analysis — and get the request-sized ladder;
+/// everything else measures per-file work and keeps the parse-sized one.
+pub fn bucket_bounds(family: &str) -> &'static [f64] {
+    if family.starts_with("cfinder_serve_") {
+        &REQUEST_BUCKETS_SECONDS
+    } else {
+        &LATENCY_BUCKETS_SECONDS
+    }
+}
+
+/// The quantiles every histogram family reports (p50/p95/p99).
+pub const REPORTED_QUANTILES: [f64; 3] = [0.5, 0.95, 0.99];
+
 /// Registry key: family name plus an optional single label pair.
 #[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
 struct Key {
@@ -30,10 +63,12 @@ struct Key {
 }
 
 /// A fixed-bucket histogram: per-bucket counts plus sum and count, all
-/// atomic.
+/// atomic. The bucket ladder is chosen per family at creation (see
+/// [`bucket_bounds`]).
 struct Histogram {
-    /// One slot per bound in [`LATENCY_BUCKETS_SECONDS`], plus a final
-    /// `+Inf` slot.
+    /// Upper bounds of the finite buckets, in seconds.
+    bounds: &'static [f64],
+    /// One slot per bound, plus a final `+Inf` slot.
     buckets: Vec<AtomicU64>,
     /// Sum of observations in nanoseconds (fits ~584 years).
     sum_nanos: AtomicU64,
@@ -41,19 +76,17 @@ struct Histogram {
 }
 
 impl Histogram {
-    fn new() -> Self {
+    fn new(bounds: &'static [f64]) -> Self {
         Histogram {
-            buckets: (0..=LATENCY_BUCKETS_SECONDS.len()).map(|_| AtomicU64::new(0)).collect(),
+            bounds,
+            buckets: (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect(),
             sum_nanos: AtomicU64::new(0),
             count: AtomicU64::new(0),
         }
     }
 
     fn observe(&self, seconds: f64) {
-        let idx = LATENCY_BUCKETS_SECONDS
-            .iter()
-            .position(|&le| seconds <= le)
-            .unwrap_or(LATENCY_BUCKETS_SECONDS.len());
+        let idx = self.bounds.iter().position(|&le| seconds <= le).unwrap_or(self.bounds.len());
         self.buckets[idx].fetch_add(1, Ordering::Relaxed);
         self.sum_nanos.fetch_add((seconds * 1e9) as u64, Ordering::Relaxed);
         self.count.fetch_add(1, Ordering::Relaxed);
@@ -145,7 +178,10 @@ impl Metrics {
             Some(h) => h,
             None => {
                 let mut map = inner.histograms.write().expect("metrics lock poisoned");
-                Arc::clone(map.entry(key).or_insert_with(|| Arc::new(Histogram::new())))
+                Arc::clone(
+                    map.entry(key)
+                        .or_insert_with(|| Arc::new(Histogram::new(bucket_bounds(family)))),
+                )
             }
         };
         hist.observe(seconds);
@@ -179,11 +215,11 @@ impl Metrics {
             fam.kind = MetricKind::Histogram;
             let mut buckets = Vec::new();
             let mut cumulative = 0;
-            for (i, &le) in LATENCY_BUCKETS_SECONDS.iter().enumerate() {
+            for (i, &le) in hist.bounds.iter().enumerate() {
                 cumulative += hist.buckets[i].load(Ordering::Relaxed);
                 buckets.push((le, cumulative));
             }
-            cumulative += hist.buckets[LATENCY_BUCKETS_SECONDS.len()].load(Ordering::Relaxed);
+            cumulative += hist.buckets[hist.bounds.len()].load(Ordering::Relaxed);
             buckets.push((f64::INFINITY, cumulative));
             fam.samples.push(Sample {
                 label: key.label.as_ref().map(|(k, v)| (k.to_string(), v.clone())),
@@ -226,6 +262,14 @@ impl Metrics {
                         }
                         out.push_str(&format!("{}_sum {}\n", fam.name, hist.sum_seconds));
                         out.push_str(&format!("{}_count {}\n", fam.name, hist.count));
+                        for q in REPORTED_QUANTILES {
+                            out.push_str(&format!(
+                                "{}{{quantile=\"{}\"}} {}\n",
+                                fam.name,
+                                q,
+                                hist.quantile(q)
+                            ));
+                        }
                     }
                 }
             }
@@ -287,6 +331,10 @@ pub fn family_help(family: &str) -> &'static str {
         "cfinder_serve_rejected_total" => "Daemon requests rejected by queue backpressure.",
         "cfinder_serve_queue_wait_seconds" => "Daemon request time spent queued before a worker.",
         "cfinder_serve_handle_seconds" => "Daemon request handling latency, by command.",
+        "cfinder_serve_slow_requests_total" => {
+            "Daemon requests slower end-to-end than the slow-request threshold."
+        }
+        "cfinder_profile_samples_total" => "Sampling-profiler stack samples captured.",
         _ => "cfinder metric.",
     }
 }
@@ -345,6 +393,39 @@ pub struct HistogramSnapshot {
     pub count: u64,
 }
 
+impl HistogramSnapshot {
+    /// Estimates the `q`-quantile (q in `[0, 1]`) from the bucket counts,
+    /// Prometheus `histogram_quantile` style: find the first bucket whose
+    /// cumulative count reaches rank `q·count`, then interpolate linearly
+    /// between the bucket's edges. Guarantees, pinned by the proptests:
+    /// the estimate is monotone in `q`, lies within the enclosing
+    /// bucket's `(lower, upper]` edges, and mass above the last finite
+    /// bound clamps to that bound (`+Inf` has no width to interpolate).
+    /// An empty histogram estimates 0.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut prev_bound = 0.0;
+        let mut prev_cum = 0u64;
+        for &(le, cum) in &self.buckets {
+            if cum > prev_cum && cum as f64 >= rank {
+                if le.is_infinite() {
+                    return prev_bound;
+                }
+                let frac = ((rank - prev_cum as f64) / (cum - prev_cum) as f64).clamp(0.0, 1.0);
+                return prev_bound + frac * (le - prev_bound);
+            }
+            prev_cum = prev_cum.max(cum);
+            if le.is_finite() {
+                prev_bound = le;
+            }
+        }
+        prev_bound
+    }
+}
+
 /// Point-in-time copy of the whole registry.
 #[derive(Debug, Clone)]
 pub struct MetricsSnapshot {
@@ -371,6 +452,27 @@ impl MetricsSnapshot {
             .flat_map(|f| f.samples.iter())
             .map(|s| s.value)
             .sum()
+    }
+
+    /// The histogram snapshot of an unlabeled histogram family, when
+    /// present and observed at least once.
+    pub fn histogram(&self, family: &str) -> Option<&HistogramSnapshot> {
+        self.families
+            .iter()
+            .filter(|f| f.name == family)
+            .flat_map(|f| f.samples.iter())
+            .find(|s| s.label.is_none())
+            .and_then(|s| s.histogram.as_ref())
+    }
+
+    /// `[p50, p95, p99]` estimates for a histogram family, or `None`
+    /// when the family is absent or empty.
+    pub fn quantiles(&self, family: &str) -> Option<[f64; 3]> {
+        let hist = self.histogram(family)?;
+        if hist.count == 0 {
+            return None;
+        }
+        Some(REPORTED_QUANTILES.map(|q| hist.quantile(q)))
     }
 
     fn sample(&self, family: &str, label_value: Option<&str>) -> u64 {
@@ -441,6 +543,81 @@ mod tests {
         let text = m.to_prometheus_text();
         assert!(text.contains("cfinder_file_parse_seconds_bucket{le=\"+Inf\"} 3"), "{text}");
         assert!(text.contains("cfinder_file_parse_seconds_count 3"), "{text}");
+    }
+
+    #[test]
+    fn serve_families_use_request_scaled_buckets() {
+        assert_eq!(bucket_bounds("cfinder_serve_handle_seconds"), &REQUEST_BUCKETS_SECONDS);
+        assert_eq!(bucket_bounds("cfinder_serve_queue_wait_seconds"), &REQUEST_BUCKETS_SECONDS);
+        assert_eq!(bucket_bounds("cfinder_file_parse_seconds"), &LATENCY_BUCKETS_SECONDS);
+        let m = Metrics::enabled();
+        // 30 s saturates the parse ladder (+Inf) but must land in a
+        // finite request bucket.
+        m.observe("cfinder_serve_handle_seconds", 30.0);
+        let snap = m.snapshot();
+        let hist = snap.histogram("cfinder_serve_handle_seconds").unwrap();
+        let infinite = hist.buckets.last().unwrap();
+        let before_inf = hist.buckets[hist.buckets.len() - 2];
+        assert_eq!(infinite.1 - before_inf.1, 0, "30s must not overflow to +Inf");
+        let text = m.to_prometheus_text();
+        assert!(text.contains("cfinder_serve_handle_seconds_bucket{le=\"60\"} 1"), "{text}");
+    }
+
+    #[test]
+    fn quantile_known_answers() {
+        // All mass in (1.0, 2.0]: interpolation stays inside that bucket.
+        let hist = HistogramSnapshot {
+            buckets: vec![(1.0, 0), (2.0, 10), (f64::INFINITY, 10)],
+            sum_seconds: 15.0,
+            count: 10,
+        };
+        assert_eq!(hist.quantile(0.0), 1.0);
+        assert_eq!(hist.quantile(0.5), 1.5);
+        assert_eq!(hist.quantile(1.0), 2.0);
+
+        // Mass split across two buckets.
+        let hist = HistogramSnapshot {
+            buckets: vec![(1.0, 10), (2.0, 20), (f64::INFINITY, 20)],
+            sum_seconds: 0.0,
+            count: 20,
+        };
+        assert_eq!(hist.quantile(0.25), 0.5);
+        assert_eq!(hist.quantile(0.5), 1.0);
+        assert_eq!(hist.quantile(0.75), 1.5);
+
+        // All mass above the last finite bound clamps to it.
+        let hist = HistogramSnapshot {
+            buckets: vec![(1.0, 0), (f64::INFINITY, 5)],
+            sum_seconds: 50.0,
+            count: 5,
+        };
+        assert_eq!(hist.quantile(0.5), 1.0);
+        assert_eq!(hist.quantile(0.99), 1.0);
+
+        // Empty histogram estimates 0.
+        let hist = HistogramSnapshot {
+            buckets: vec![(1.0, 0), (f64::INFINITY, 0)],
+            sum_seconds: 0.0,
+            count: 0,
+        };
+        assert_eq!(hist.quantile(0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_and_exposition_surface_quantiles() {
+        let m = Metrics::enabled();
+        for _ in 0..100 {
+            m.observe("cfinder_file_parse_seconds", 0.0002); // (0.0001, 0.00025]
+        }
+        let snap = m.snapshot();
+        let [p50, p95, p99] = snap.quantiles("cfinder_file_parse_seconds").unwrap();
+        assert!((p50 - 0.000175).abs() < 1e-12, "{p50}");
+        assert!(p50 <= p95 && p95 <= p99, "monotone: {p50} {p95} {p99}");
+        assert!((0.0001..=0.00025).contains(&p99), "within the bucket: {p99}");
+        assert!(snap.quantiles("cfinder_no_such_family").is_none());
+        let text = m.to_prometheus_text();
+        assert!(text.contains("cfinder_file_parse_seconds{quantile=\"0.5\"} 0.000175"), "{text}");
+        assert!(text.contains("cfinder_file_parse_seconds{quantile=\"0.99\"}"), "{text}");
     }
 
     #[test]

@@ -26,6 +26,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
+use crate::profile::Profiler;
+
 /// Number of event buffers. Threads pick `tid % SHARDS`, so pushes from
 /// different worker threads almost never touch the same mutex.
 pub const SHARDS: usize = 32;
@@ -74,6 +76,10 @@ impl TraceEvent {
 struct TracerInner {
     epoch: Instant,
     shards: Vec<Mutex<Vec<TraceEvent>>>,
+    /// Attached sampling profiler. Disabled by default; when enabled,
+    /// every [`SpanGuard`] push/pops one live-stack frame so the sampler
+    /// can snapshot the open-span stack of every thread.
+    profiler: Profiler,
 }
 
 impl TracerInner {
@@ -106,8 +112,25 @@ impl Tracer {
     /// An enabled tracer recording into fresh buffers; its epoch (the
     /// zero of every timestamp) is the moment of this call.
     pub fn enabled() -> Self {
+        Tracer::enabled_with_profiler(Profiler::disabled())
+    }
+
+    /// An enabled tracer with a sampling [`Profiler`] attached: every
+    /// span guard additionally maintains the live span stack the
+    /// profiler's sampler thread snapshots. With a disabled profiler
+    /// this is exactly [`Tracer::enabled`].
+    pub fn enabled_with_profiler(profiler: Profiler) -> Self {
         let shards = (0..SHARDS).map(|_| Mutex::new(Vec::new())).collect();
-        Tracer(Some(Arc::new(TracerInner { epoch: Instant::now(), shards })))
+        Tracer(Some(Arc::new(TracerInner { epoch: Instant::now(), shards, profiler })))
+    }
+
+    /// The attached sampling profiler (disabled when the tracer is
+    /// disabled or was built without one).
+    pub fn profiler(&self) -> Profiler {
+        match &self.0 {
+            None => Profiler::disabled(),
+            Some(inner) => inner.profiler.clone(),
+        }
     }
 
     /// Whether spans are being recorded.
@@ -132,13 +155,17 @@ impl Tracer {
     {
         match &self.0 {
             None => SpanGuard(None),
-            Some(inner) => SpanGuard(Some(ActiveSpan {
-                inner: Arc::clone(inner),
-                cat,
-                name: name(),
-                start: Instant::now(),
-                args: Vec::new(),
-            })),
+            Some(inner) => {
+                let name = name();
+                inner.profiler.push_frame(cat, &name);
+                SpanGuard(Some(ActiveSpan {
+                    inner: Arc::clone(inner),
+                    cat,
+                    name,
+                    start: Instant::now(),
+                    args: Vec::new(),
+                }))
+            }
         }
     }
 
@@ -249,6 +276,10 @@ impl SpanGuard {
 impl Drop for SpanGuard {
     fn drop(&mut self) {
         let Some(active) = self.0.take() else { return };
+        // Span guards are strictly LIFO per thread, so this pops the
+        // frame the matching `span()` pushed. Synthetic `record()` spans
+        // never touch the live stack — they are not "open" time.
+        active.inner.profiler.pop_frame();
         // Both endpoints are floored *absolute* microsecond offsets, so
         // `a ≤ b` in real time implies `ts(a) ≤ ts(b)` after truncation —
         // which is what keeps child spans inside their parents even at
@@ -330,6 +361,32 @@ mod tests {
         assert!(json.contains("\\\"a\\\\b\\\""), "{json}");
         assert!(json.contains("\"ph\":\"X\""));
         assert!(json.contains("\"args\":{\"bytes\":\"12\"}"));
+    }
+
+    #[test]
+    fn spans_maintain_the_profiler_live_stack() {
+        let t = Tracer::enabled_with_profiler(Profiler::enabled(997));
+        let profiler = t.profiler();
+        {
+            let _outer = t.span("pass", || "detect".to_string());
+            let _inner = t.span("file", || "a.py".to_string());
+            // record() is synthetic — it must never enter the live stack.
+            t.record("family", "PA_u1".to_string(), 0, 1, Vec::new());
+            // Hold the nested spans open until the sampler has seen them.
+            let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+            while !profiler.report().samples.contains_key("pass:detect;file:a.py") {
+                assert!(std::time::Instant::now() < deadline, "{:?}", profiler.report());
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            }
+        }
+        profiler.stop();
+        // Every sample saw the nested guard stack, never the synthetic span.
+        for stack in profiler.report().samples.keys() {
+            assert!(
+                stack == "pass:detect" || stack == "pass:detect;file:a.py",
+                "unexpected sampled stack {stack:?}"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,89 @@
+//! Profiler aggregation determinism.
+//!
+//! Wall-clock sampling is inherently nondeterministic, so the profiler's
+//! contract is pinned one level down: folding the *same multiset* of
+//! stack snapshots produces the identical report no matter how the
+//! snapshots were distributed across recording threads. This is what
+//! makes profiles comparable run to run once the sampled stacks agree.
+
+use cfinder_obs::Profiler;
+
+/// A fixed, deterministic multiset of stack snapshots, roughly shaped
+/// like the analyzer's span hierarchy (pass → file → family).
+fn fixed_snapshots() -> Vec<Vec<String>> {
+    let mut stacks = Vec::new();
+    for i in 0..120u32 {
+        let file = format!("file:parse f{}.py", i % 7);
+        match i % 4 {
+            0 => stacks.push(vec!["pass:parse".to_string(), file]),
+            1 => {
+                stacks.push(vec!["pass:detect".to_string(), file, format!("family:PA_u{}", i % 3)])
+            }
+            2 => stacks.push(vec!["pass:detect".to_string(), file]),
+            _ => stacks.push(vec!["pass:diff".to_string()]),
+        }
+    }
+    stacks
+}
+
+/// Records the snapshots from `threads` worker threads (round-robin
+/// partition) and returns the folded report.
+fn fold_with_threads(threads: usize) -> String {
+    let profiler = Profiler::enabled(1);
+    profiler.stop(); // aggregation only — no background sampling
+    let snapshots = fixed_snapshots();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let profiler = profiler.clone();
+            let share: Vec<Vec<String>> =
+                snapshots.iter().skip(t).step_by(threads).cloned().collect();
+            scope.spawn(move || {
+                for stack in &share {
+                    profiler.record_sample(stack);
+                }
+            });
+        }
+    });
+    profiler.report().folded()
+}
+
+#[test]
+fn folded_report_is_identical_across_thread_counts() {
+    let one = fold_with_threads(1);
+    assert!(!one.is_empty());
+    assert_eq!(one, fold_with_threads(2), "2 threads diverge from 1");
+    assert_eq!(one, fold_with_threads(4), "4 threads diverge from 1");
+}
+
+#[test]
+fn hot_spans_are_identical_across_thread_counts() {
+    let reports: Vec<_> = [1usize, 2, 4]
+        .iter()
+        .map(|&threads| {
+            let profiler = Profiler::enabled(1);
+            profiler.stop();
+            let snapshots = fixed_snapshots();
+            std::thread::scope(|scope| {
+                for t in 0..threads {
+                    let profiler = profiler.clone();
+                    let share: Vec<Vec<String>> =
+                        snapshots.iter().skip(t).step_by(threads).cloned().collect();
+                    scope.spawn(move || {
+                        for stack in &share {
+                            profiler.record_sample(stack);
+                        }
+                    });
+                }
+            });
+            profiler.report()
+        })
+        .collect();
+    assert_eq!(reports[0].total_samples(), 120);
+    assert_eq!(reports[0].hot_spans(10), reports[1].hot_spans(10));
+    assert_eq!(reports[0].hot_spans(10), reports[2].hot_spans(10));
+    // The ranking itself is meaningful: self-time sorted descending.
+    let hot = reports[0].hot_spans(10);
+    for pair in hot.windows(2) {
+        assert!(pair[0].self_samples >= pair[1].self_samples);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property tests for histogram quantile estimation.
+//!
+//! Three guarantees the estimator advertises ([`HistogramSnapshot::quantile`]):
+//! monotone in `q`, bounded by the enclosing bucket's edges, and exact
+//! (within the bucket) when all mass sits in a single bucket.
+
+use cfinder_obs::metrics::{HistogramSnapshot, LATENCY_BUCKETS_SECONDS, REQUEST_BUCKETS_SECONDS};
+use proptest::prelude::*;
+
+/// Builds a snapshot over the given ladder from per-bucket (non-cumulative)
+/// counts; `counts` has one entry per finite bound plus the `+Inf` slot.
+fn snapshot(bounds: &[f64], counts: &[u64]) -> HistogramSnapshot {
+    assert_eq!(counts.len(), bounds.len() + 1);
+    let mut buckets = Vec::new();
+    let mut cumulative = 0;
+    for (i, &le) in bounds.iter().enumerate() {
+        cumulative += counts[i];
+        buckets.push((le, cumulative));
+    }
+    cumulative += counts[bounds.len()];
+    buckets.push((f64::INFINITY, cumulative));
+    HistogramSnapshot { buckets, sum_seconds: 0.0, count: cumulative }
+}
+
+/// Per-bucket counts for the parse ladder (12 bounds + `+Inf`).
+fn counts_strategy() -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0u64..40, 13..14)
+}
+
+/// The `(lower, upper]` edges of the bucket holding rank `q·count`
+/// (`upper` is `+Inf` for overflow mass).
+fn enclosing_bucket(hist: &HistogramSnapshot, q: f64) -> (f64, f64) {
+    let rank = q * hist.count as f64;
+    let mut prev_bound = 0.0;
+    let mut prev_cum = 0u64;
+    for &(le, cum) in &hist.buckets {
+        if cum > prev_cum && cum as f64 >= rank {
+            return (prev_bound, le);
+        }
+        prev_cum = prev_cum.max(cum);
+        if le.is_finite() {
+            prev_bound = le;
+        }
+    }
+    (prev_bound, f64::INFINITY)
+}
+
+proptest! {
+    /// Quantile estimates never decrease as q grows.
+    #[test]
+    fn quantiles_are_monotone_in_q(counts in counts_strategy(), a in 0u32..=1000, b in 0u32..=1000) {
+        let hist = snapshot(&LATENCY_BUCKETS_SECONDS, &counts);
+        let (lo, hi) = (a.min(b), a.max(b));
+        let ql = hist.quantile(f64::from(lo) / 1000.0);
+        let qh = hist.quantile(f64::from(hi) / 1000.0);
+        prop_assert!(ql <= qh, "q={lo}/1000 -> {ql} but q={hi}/1000 -> {qh}");
+    }
+
+    /// Every estimate lies within the edges of the bucket its rank lands
+    /// in; mass beyond the last finite bound clamps to that bound.
+    #[test]
+    fn quantiles_stay_within_the_enclosing_bucket(counts in counts_strategy(), qi in 0u32..=1000) {
+        let hist = snapshot(&LATENCY_BUCKETS_SECONDS, &counts);
+        let q = f64::from(qi) / 1000.0;
+        let est = hist.quantile(q);
+        if hist.count == 0 {
+            prop_assert_eq!(est, 0.0);
+        } else {
+            let (lower, upper) = enclosing_bucket(&hist, q);
+            if upper.is_infinite() {
+                prop_assert_eq!(est, lower, "overflow mass clamps to the last finite bound");
+            } else {
+                prop_assert!(est >= lower && est <= upper, "{est} outside ({lower}, {upper}]");
+            }
+        }
+    }
+
+    /// With all mass in one bucket the estimate is exactly the linear
+    /// interpolation across that bucket: q=0 gives the lower edge, q=1
+    /// the upper, and everything stays inside.
+    #[test]
+    fn single_bucket_mass_is_exact(idx in 0usize..12, n in 1u64..100, qi in 0u32..=1000) {
+        let mut counts = vec![0u64; 13];
+        counts[idx] = n;
+        let hist = snapshot(&LATENCY_BUCKETS_SECONDS, &counts);
+        let lower = if idx == 0 { 0.0 } else { LATENCY_BUCKETS_SECONDS[idx - 1] };
+        let upper = LATENCY_BUCKETS_SECONDS[idx];
+        let q = f64::from(qi) / 1000.0;
+        let expected = lower + (q * n as f64).clamp(0.0, n as f64) / n as f64 * (upper - lower);
+        let est = hist.quantile(q);
+        prop_assert!((est - expected).abs() < 1e-12, "q={q}: {est} != {expected}");
+        prop_assert_eq!(hist.quantile(0.0), lower);
+        prop_assert_eq!(hist.quantile(1.0), upper);
+    }
+
+    /// The request ladder honors the same properties (the bounds differ,
+    /// the estimator must not care).
+    #[test]
+    fn request_ladder_quantiles_hold(idx in 0usize..18, n in 1u64..50) {
+        let mut counts = vec![0u64; 19];
+        counts[idx] = n;
+        let hist = snapshot(&REQUEST_BUCKETS_SECONDS, &counts);
+        let lower = if idx == 0 { 0.0 } else { REQUEST_BUCKETS_SECONDS[idx - 1] };
+        let upper = REQUEST_BUCKETS_SECONDS[idx];
+        let p50 = hist.quantile(0.5);
+        prop_assert!(p50 > lower && p50 <= upper, "{p50} outside ({lower}, {upper}]");
+    }
+}

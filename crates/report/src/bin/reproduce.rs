@@ -20,7 +20,7 @@ use std::fs;
 use std::path::PathBuf;
 use std::sync::Arc;
 
-use cfinder_core::{AnalysisCache, CFinderOptions, Limits, Obs};
+use cfinder_core::{atomic_write, AnalysisCache, CFinderOptions, Limits, Obs};
 use cfinder_corpus::GenOptions;
 use cfinder_report::tables::all_tables;
 use cfinder_report::{AppEvaluation, Evaluation};
@@ -218,8 +218,10 @@ fn main() {
     }
 
     if let Some(path) = &trace_out {
-        fs::write(path, obs.tracer.to_chrome_trace()).expect("write trace");
-        fs::write(out_dir.join("metrics.prom"), obs.metrics.to_prometheus_text())
+        // Published atomically: a reproduce run killed mid-write must not
+        // leave a torn trace or exposition behind an earlier good one.
+        atomic_write(path, obs.tracer.to_chrome_trace().as_bytes()).expect("write trace");
+        atomic_write(&out_dir.join("metrics.prom"), obs.metrics.to_prometheus_text().as_bytes())
             .expect("write metrics.prom");
         eprintln!(
             "trace: {} spans across 8 analyses written to {} ({} metric families in {})",

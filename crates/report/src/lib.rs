@@ -14,6 +14,7 @@
 pub mod ablation;
 pub mod baseline;
 pub mod metrics;
+pub mod perf;
 pub mod render;
 pub mod tables;
 

@@ -1,0 +1,418 @@
+//! The `cfinder perf` benchmark harness: one cold round and one warm
+//! round of the eight-app evaluation over an ephemeral incremental
+//! cache, with the sampling profiler attached, distilled into a
+//! schema-versioned `BENCH_<stamp>.json` document.
+//!
+//! The document is the unit of the repo's perf-trajectory series: each
+//! data point is committed under `bench/`, and CI gates new points
+//! against the committed baseline with [`regression_gate`] so a
+//! throughput regression fails the build instead of landing silently.
+//!
+//! Timing covers only the analyses — corpus generation happens outside
+//! the measured window — so `loc_per_second` is analyzer throughput,
+//! not generator throughput. The warm round re-analyzes the identical
+//! corpus through the same cache directory, which is where the cache
+//! hit ratio comes from.
+
+use std::path::Path;
+use std::sync::Arc;
+use std::time::Instant;
+
+use cfinder_core::{AnalysisCache, CFinderOptions, Limits, Obs};
+use cfinder_corpus::{GenOptions, GeneratedApp};
+use serde_json::Value;
+
+use crate::AppEvaluation;
+
+/// Version stamped into (and required from) every BENCH document.
+pub const BENCH_SCHEMA_VERSION: u64 = 1;
+
+/// Stage keys of the `stages_seconds` map, in pipeline order.
+pub const STAGE_KEYS: [&str; 5] = ["parse", "models", "detect", "diff", "orchestration"];
+
+/// Renders a unix timestamp as the compact UTC stamp used in BENCH file
+/// names: `YYYYMMDDTHHMMSSZ`.
+pub fn utc_stamp(unix_seconds: u64) -> String {
+    let days = (unix_seconds / 86_400) as i64;
+    let secs = unix_seconds % 86_400;
+    let (y, m, d) = civil_from_days(days);
+    format!("{y:04}{m:02}{d:02}T{:02}{:02}{:02}Z", secs / 3600, (secs / 60) % 60, secs % 60)
+}
+
+/// Days-since-epoch to civil (year, month, day), proleptic Gregorian.
+fn civil_from_days(z: i64) -> (i64, u32, u32) {
+    let z = z + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let m = (if mp < 10 { mp + 3 } else { mp - 9 }) as u32;
+    (if m <= 2 { y + 1 } else { y }, m, d)
+}
+
+/// Runs the benchmark: generates the corpus, analyzes it cold and then
+/// warm through a cache under `cache_dir`, and returns the BENCH
+/// document. `scale_label` and `stamp` are recorded verbatim (the
+/// caller owns clock access so results stay reproducible in tests).
+pub fn run_benchmark(
+    options: GenOptions,
+    scale_label: &str,
+    profile_hz: u32,
+    cache_dir: &Path,
+    stamp: &str,
+) -> Result<Value, String> {
+    let cache = Arc::new(
+        AnalysisCache::open(cache_dir, &CFinderOptions::default(), &Limits::from_env())
+            .map_err(|e| e.to_string())?,
+    );
+    let profiles = cfinder_corpus::all_profiles();
+    let generate = || -> Vec<GeneratedApp> {
+        profiles.iter().map(|p| cfinder_corpus::generate(p, options)).collect()
+    };
+    // Two identical corpora, generated outside the measured windows.
+    let cold_apps = generate();
+    let warm_apps = generate();
+
+    let obs = Obs::profiled(profile_hz);
+    let cold_start = Instant::now();
+    let cold: Vec<AppEvaluation> = cold_apps
+        .into_iter()
+        .map(|app| AppEvaluation::run_cached(app, obs.clone(), Some(cache.clone())))
+        .collect();
+    let wall_seconds = cold_start.elapsed().as_secs_f64();
+
+    let warm_start = Instant::now();
+    let warm: Vec<AppEvaluation> = warm_apps
+        .into_iter()
+        .map(|app| AppEvaluation::run_cached(app, obs.clone(), Some(cache.clone())))
+        .collect();
+    let warm_wall_seconds = warm_start.elapsed().as_secs_f64();
+
+    let profiler = obs.profiler();
+    profiler.stop();
+    let profile = profiler.report();
+
+    let loc_total: u64 = cold.iter().map(|a| a.report.loc as u64).sum();
+    let stage_seconds = |pick: fn(&AppEvaluation) -> f64| cold.iter().map(pick).sum::<f64>();
+    let stages: Vec<(&str, f64)> = vec![
+        ("parse", stage_seconds(|a| a.report.timings.parse.as_secs_f64())),
+        ("models", stage_seconds(|a| a.report.timings.model_extraction.as_secs_f64())),
+        ("detect", stage_seconds(|a| a.report.timings.detection.as_secs_f64())),
+        ("diff", stage_seconds(|a| a.report.timings.diff.as_secs_f64())),
+        ("orchestration", stage_seconds(|a| a.report.timings.orchestration.as_secs_f64())),
+    ];
+    let (hits, misses) = warm.iter().fold((0u64, 0u64), |acc, a| {
+        (acc.0 + a.report.timings.cache_hits as u64, acc.1 + a.report.timings.cache_misses as u64)
+    });
+    let hit_ratio = if hits + misses > 0 { hits as f64 / (hits + misses) as f64 } else { 0.0 };
+    let parse_q =
+        obs.metrics.snapshot().quantiles("cfinder_file_parse_seconds").unwrap_or([0.0; 3]);
+
+    let apps = cold
+        .iter()
+        .map(|a| {
+            Value::Map(vec![
+                ("name".into(), Value::Str(a.app.name.clone())),
+                ("loc".into(), Value::UInt(a.report.loc as u64)),
+                ("files".into(), Value::UInt(a.report.files_total as u64)),
+                ("analysis_seconds".into(), Value::Float(a.report.analysis_time.as_secs_f64())),
+            ])
+        })
+        .collect();
+    let hot_spans = profile
+        .hot_spans(10)
+        .into_iter()
+        .map(|h| {
+            Value::Map(vec![
+                ("frame".into(), Value::Str(h.frame)),
+                ("self_samples".into(), Value::UInt(h.self_samples)),
+                ("total_samples".into(), Value::UInt(h.total_samples)),
+            ])
+        })
+        .collect();
+
+    Ok(Value::Map(vec![
+        ("schema_version".into(), Value::UInt(BENCH_SCHEMA_VERSION)),
+        ("stamp".into(), Value::Str(stamp.to_string())),
+        ("scale".into(), Value::Str(scale_label.to_string())),
+        ("loc_total".into(), Value::UInt(loc_total)),
+        ("wall_seconds".into(), Value::Float(wall_seconds)),
+        ("warm_wall_seconds".into(), Value::Float(warm_wall_seconds)),
+        ("loc_per_second".into(), Value::Float(loc_total as f64 / wall_seconds.max(f64::EPSILON))),
+        (
+            "stages_seconds".into(),
+            Value::Map(stages.into_iter().map(|(k, v)| (k.to_string(), Value::Float(v))).collect()),
+        ),
+        (
+            "cache".into(),
+            Value::Map(vec![
+                ("hits".into(), Value::UInt(hits)),
+                ("misses".into(), Value::UInt(misses)),
+                ("hit_ratio".into(), Value::Float(hit_ratio)),
+            ]),
+        ),
+        (
+            "latency_seconds".into(),
+            Value::Map(vec![(
+                "file_parse".into(),
+                Value::Map(vec![
+                    ("p50".into(), Value::Float(parse_q[0])),
+                    ("p95".into(), Value::Float(parse_q[1])),
+                    ("p99".into(), Value::Float(parse_q[2])),
+                ]),
+            )]),
+        ),
+        (
+            "profile".into(),
+            Value::Map(vec![
+                ("hz".into(), Value::UInt(u64::from(profile.hz))),
+                ("ticks".into(), Value::UInt(profile.ticks)),
+                ("sample_total".into(), Value::UInt(profile.total_samples())),
+                ("hot_spans".into(), Value::Seq(hot_spans)),
+            ]),
+        ),
+        ("apps".into(), Value::Seq(apps)),
+    ]))
+}
+
+/// Validates a BENCH document against schema version
+/// [`BENCH_SCHEMA_VERSION`]: every required field present, typed, and
+/// internally consistent. Returns the first violation found.
+pub fn validate_bench(doc: &Value) -> Result<(), String> {
+    let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing field `{key}`"));
+    let f64_field =
+        |key: &str| field(key)?.as_f64().ok_or_else(|| format!("field `{key}` must be a number"));
+    let u64_field = |key: &str| {
+        field(key)?.as_u64().ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
+    };
+    match u64_field("schema_version")? {
+        BENCH_SCHEMA_VERSION => {}
+        v => return Err(format!("schema_version {v}, expected {BENCH_SCHEMA_VERSION}")),
+    }
+    for key in ["stamp", "scale"] {
+        if field(key)?.as_str().is_none_or(str::is_empty) {
+            return Err(format!("field `{key}` must be a non-empty string"));
+        }
+    }
+    u64_field("loc_total")?;
+    if f64_field("wall_seconds")? <= 0.0 {
+        return Err("wall_seconds must be positive".into());
+    }
+    f64_field("warm_wall_seconds")?;
+    if f64_field("loc_per_second")? <= 0.0 {
+        return Err("loc_per_second must be positive".into());
+    }
+    let stages = field("stages_seconds")?;
+    for key in STAGE_KEYS {
+        if stages.get(key).and_then(Value::as_f64).is_none() {
+            return Err(format!("stages_seconds missing numeric `{key}`"));
+        }
+    }
+    let cache = field("cache")?;
+    for key in ["hits", "misses"] {
+        if cache.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("cache missing unsigned `{key}`"));
+        }
+    }
+    match cache.get("hit_ratio").and_then(Value::as_f64) {
+        Some(r) if (0.0..=1.0).contains(&r) => {}
+        _ => return Err("cache.hit_ratio must be in [0, 1]".into()),
+    }
+    let parse = field("latency_seconds")?
+        .get("file_parse")
+        .ok_or("latency_seconds missing `file_parse`")?;
+    let q = |key: &str| {
+        parse.get(key).and_then(Value::as_f64).ok_or_else(|| format!("file_parse missing `{key}`"))
+    };
+    let (p50, p95, p99) = (q("p50")?, q("p95")?, q("p99")?);
+    if !(p50 <= p95 && p95 <= p99) {
+        return Err(format!("file_parse quantiles not monotone: {p50} / {p95} / {p99}"));
+    }
+    let profile = field("profile")?;
+    for key in ["hz", "ticks", "sample_total"] {
+        if profile.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("profile missing unsigned `{key}`"));
+        }
+    }
+    let hot =
+        profile.get("hot_spans").and_then(Value::as_seq).ok_or("profile.hot_spans missing")?;
+    for span in hot {
+        if span.get("frame").and_then(Value::as_str).is_none()
+            || span.get("self_samples").and_then(Value::as_u64).is_none()
+            || span.get("total_samples").and_then(Value::as_u64).is_none()
+        {
+            return Err("hot_spans entries need frame/self_samples/total_samples".into());
+        }
+    }
+    let apps = field("apps")?.as_seq().ok_or("apps must be an array")?;
+    if apps.is_empty() {
+        return Err("apps must be non-empty".into());
+    }
+    for app in apps {
+        if app.get("name").and_then(Value::as_str).is_none()
+            || app.get("loc").and_then(Value::as_u64).is_none()
+            || app.get("files").and_then(Value::as_u64).is_none()
+            || app.get("analysis_seconds").and_then(Value::as_f64).is_none()
+        {
+            return Err("apps entries need name/loc/files/analysis_seconds".into());
+        }
+    }
+    Ok(())
+}
+
+/// The CI gate: the current run's throughput must stay within
+/// `tolerance_pct` percent of the baseline's. Both documents must be
+/// schema-valid first. `Ok` carries a one-line summary for the build
+/// log, `Err` the regression verdict.
+pub fn regression_gate(
+    current: &Value,
+    baseline: &Value,
+    tolerance_pct: f64,
+) -> Result<String, String> {
+    validate_bench(current).map_err(|e| format!("current BENCH invalid: {e}"))?;
+    validate_bench(baseline).map_err(|e| format!("baseline BENCH invalid: {e}"))?;
+    let lps = |doc: &Value| doc.get("loc_per_second").and_then(Value::as_f64).unwrap_or(0.0);
+    let (cur, base) = (lps(current), lps(baseline));
+    let floor = base * (1.0 - tolerance_pct / 100.0);
+    let verdict = format!(
+        "{cur:.0} LoC/s vs baseline {base:.0} (floor {floor:.0} at {tolerance_pct}% tolerance)"
+    );
+    if cur >= floor {
+        Ok(verdict)
+    } else {
+        Err(format!("throughput regression: {verdict}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utc_stamp_known_answers() {
+        assert_eq!(utc_stamp(0), "19700101T000000Z");
+        // 2000-03-01 00:00:00 UTC, the day after a century leap day.
+        assert_eq!(utc_stamp(951_868_800), "20000301T000000Z");
+        // 2026-08-07 12:34:56 UTC.
+        assert_eq!(utc_stamp(1_786_106_096), "20260807T123456Z");
+    }
+
+    fn synthetic_bench() -> Value {
+        let stages =
+            STAGE_KEYS.iter().map(|k| (k.to_string(), Value::Float(0.1))).collect::<Vec<_>>();
+        Value::Map(vec![
+            ("schema_version".into(), Value::UInt(BENCH_SCHEMA_VERSION)),
+            ("stamp".into(), Value::Str("19700101T000000Z".into())),
+            ("scale".into(), Value::Str("quick".into())),
+            ("loc_total".into(), Value::UInt(1000)),
+            ("wall_seconds".into(), Value::Float(2.0)),
+            ("warm_wall_seconds".into(), Value::Float(0.5)),
+            ("loc_per_second".into(), Value::Float(500.0)),
+            ("stages_seconds".into(), Value::Map(stages)),
+            (
+                "cache".into(),
+                Value::Map(vec![
+                    ("hits".into(), Value::UInt(8)),
+                    ("misses".into(), Value::UInt(2)),
+                    ("hit_ratio".into(), Value::Float(0.8)),
+                ]),
+            ),
+            (
+                "latency_seconds".into(),
+                Value::Map(vec![(
+                    "file_parse".into(),
+                    Value::Map(vec![
+                        ("p50".into(), Value::Float(0.001)),
+                        ("p95".into(), Value::Float(0.002)),
+                        ("p99".into(), Value::Float(0.003)),
+                    ]),
+                )]),
+            ),
+            (
+                "profile".into(),
+                Value::Map(vec![
+                    ("hz".into(), Value::UInt(97)),
+                    ("ticks".into(), Value::UInt(10)),
+                    ("sample_total".into(), Value::UInt(5)),
+                    ("hot_spans".into(), Value::Seq(vec![])),
+                ]),
+            ),
+            (
+                "apps".into(),
+                Value::Seq(vec![Value::Map(vec![
+                    ("name".into(), Value::Str("oscar".into())),
+                    ("loc".into(), Value::UInt(1000)),
+                    ("files".into(), Value::UInt(10)),
+                    ("analysis_seconds".into(), Value::Float(2.0)),
+                ])]),
+            ),
+        ])
+    }
+
+    #[test]
+    fn validates_a_complete_document_and_names_the_first_gap() {
+        let good = synthetic_bench();
+        validate_bench(&good).unwrap();
+        for missing in ["schema_version", "loc_per_second", "cache", "profile", "apps"] {
+            let Value::Map(entries) = good.clone() else { unreachable!() };
+            let pruned = Value::Map(entries.into_iter().filter(|(k, _)| k != missing).collect());
+            let err = validate_bench(&pruned).unwrap_err();
+            assert!(err.contains(missing), "{missing}: {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_non_monotone_quantiles() {
+        let mut doc = synthetic_bench();
+        if let Value::Map(entries) = &mut doc {
+            for (k, v) in entries.iter_mut() {
+                if k == "latency_seconds" {
+                    *v = Value::Map(vec![(
+                        "file_parse".into(),
+                        Value::Map(vec![
+                            ("p50".into(), Value::Float(0.005)),
+                            ("p95".into(), Value::Float(0.002)),
+                            ("p99".into(), Value::Float(0.003)),
+                        ]),
+                    )]);
+                }
+            }
+        }
+        assert!(validate_bench(&doc).unwrap_err().contains("not monotone"));
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_beyond_it() {
+        let baseline = synthetic_bench();
+        let mut current = synthetic_bench();
+        if let Value::Map(entries) = &mut current {
+            for (k, v) in entries.iter_mut() {
+                if k == "loc_per_second" {
+                    *v = Value::Float(460.0); // 8% below the 500 baseline
+                }
+            }
+        }
+        assert!(regression_gate(&current, &baseline, 10.0).is_ok());
+        let err = regression_gate(&current, &baseline, 5.0).unwrap_err();
+        assert!(err.contains("regression"), "{err}");
+    }
+
+    #[test]
+    fn quick_benchmark_emits_a_schema_valid_document() {
+        let dir = std::env::temp_dir().join(format!("cfinder-perf-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let doc =
+            run_benchmark(GenOptions::quick(), "quick", 97, &dir, "19700101T000000Z").unwrap();
+        validate_bench(&doc).unwrap();
+        // The warm round ran over the cold round's cache: hits dominate.
+        let cache = doc.get("cache").unwrap();
+        let hits = cache.get("hits").and_then(Value::as_u64).unwrap();
+        let misses = cache.get("misses").and_then(Value::as_u64).unwrap();
+        assert!(hits > 0, "warm round should hit the cache ({hits} hits, {misses} misses)");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

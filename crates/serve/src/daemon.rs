@@ -25,6 +25,7 @@
 //!   requests finish and are answered, new frames get `shutting-down`,
 //!   and the final metrics snapshot is returned to the caller.
 
+use std::fs::{File, OpenOptions};
 use std::io::{self, BufRead, Write};
 use std::panic::{self, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -36,7 +37,7 @@ use cfinder_core::{
     effective_deadline, AnalysisCache, AnalysisReport, CFinder, CFinderOptions, CacheError, Limits,
     Obs,
 };
-use cfinder_obs::{Metrics, Tracer};
+use cfinder_obs::{Metrics, Profiler, Tracer};
 use parking_lot::Mutex;
 use serde_json::Value;
 
@@ -63,6 +64,18 @@ pub struct ServeConfig {
     pub cache_dir: Option<PathBuf>,
     /// Whether the request-level fault hooks are armed ([`FAULTS_ENV`]).
     pub faults_enabled: bool,
+    /// Append-mode JSONL slow-request log (optional). Requests whose
+    /// queue wait plus handling time reaches [`ServeConfig::slow_threshold_ms`]
+    /// append one structured record.
+    pub slow_log: Option<PathBuf>,
+    /// Slow-request threshold in milliseconds (default 500). Slow
+    /// requests are counted in `cfinder_serve_slow_requests_total`
+    /// whether or not a log file is configured.
+    pub slow_threshold_ms: u64,
+    /// Sampling-profiler rate in Hz (optional). When set, every
+    /// per-request tracer feeds one daemon-wide wall-clock profiler and
+    /// `stats` reports the accumulated sample count.
+    pub profile_hz: Option<u32>,
 }
 
 impl Default for ServeConfig {
@@ -73,6 +86,9 @@ impl Default for ServeConfig {
             max_frame_bytes: 1 << 20,
             cache_dir: None,
             faults_enabled: std::env::var(FAULTS_ENV).is_ok_and(|v| v == "1"),
+            slow_log: None,
+            slow_threshold_ms: 500,
+            profile_hz: None,
         }
     }
 }
@@ -108,6 +124,14 @@ struct Shared<W: Write> {
     queue: BoundedQueue<Job>,
     out: Mutex<W>,
     metrics: Metrics,
+    /// Daemon-wide sampling profiler; disabled unless
+    /// [`ServeConfig::profile_hz`] is set. Every per-request tracer
+    /// clones this handle, so one sampler observes all workers.
+    profiler: Profiler,
+    /// Session epoch: `ts_ms` in slow-log records counts from here.
+    epoch: Instant,
+    /// Open slow-request log, line-buffered under its own lock.
+    slow_log: Option<Mutex<File>>,
     shutting_down: AtomicBool,
     /// Cache handles memoized per analyzer configuration: each distinct
     /// (options, limits) pair addresses its own fingerprint shard, and
@@ -167,11 +191,23 @@ where
     R: BufRead,
     W: Write + Send,
 {
+    // Open the slow log before accepting any work: an unwritable path
+    // is a startup error, not a silent per-request drop.
+    let slow_log = match &config.slow_log {
+        Some(path) => Some(Mutex::new(OpenOptions::new().create(true).append(true).open(path)?)),
+        None => None,
+    };
     let shared = Shared {
         registry: Registry::new(),
         queue: BoundedQueue::new(config.queue_capacity),
         out: Mutex::new(output),
         metrics: Metrics::enabled(),
+        profiler: match config.profile_hz {
+            Some(hz) => Profiler::enabled(hz),
+            None => Profiler::disabled(),
+        },
+        epoch: Instant::now(),
+        slow_log,
         shutting_down: AtomicBool::new(false),
         caches: Mutex::new(Vec::new()),
         config,
@@ -191,6 +227,10 @@ where
     })
     .expect("daemon worker panicked outside the request fence");
 
+    // Stop the sampler before tearing the daemon down; samples stay
+    // available through metrics until the handle drops.
+    shared.profiler.stop();
+    shared.metrics.add("cfinder_profile_samples_total", shared.profiler.report().total_samples());
     let snapshot = shared.metrics.snapshot();
     let summary = ServeSummary {
         requests: snapshot.family_total("cfinder_serve_requests_total"),
@@ -308,9 +348,8 @@ fn enqueue<W: Write>(shared: &Shared<W>, id: Value, cmd: Command) {
 
 fn worker_loop<W: Write>(shared: &Shared<W>) {
     while let Some(job) = shared.queue.pop() {
-        shared
-            .metrics
-            .observe("cfinder_serve_queue_wait_seconds", job.accepted.elapsed().as_secs_f64());
+        let queue_wait = job.accepted.elapsed();
+        shared.metrics.observe("cfinder_serve_queue_wait_seconds", queue_wait.as_secs_f64());
         if let Some(deadline) = job.deadline {
             if Instant::now() > deadline {
                 shared.respond_err(
@@ -319,17 +358,27 @@ fn worker_loop<W: Write>(shared: &Shared<W>) {
                     "deadline elapsed while queued",
                     None,
                 );
+                log_slow(shared, &job, queue_wait, Duration::ZERO, "deadline-exceeded");
                 continue;
             }
         }
         let started = Instant::now();
-        let outcome = panic::catch_unwind(AssertUnwindSafe(|| handle(shared, &job.cmd)));
-        shared.metrics.observe("cfinder_serve_handle_seconds", started.elapsed().as_secs_f64());
+        let outcome = panic::catch_unwind(AssertUnwindSafe(|| handle(shared, &job.id, &job.cmd)));
+        let handle_time = started.elapsed();
+        shared.metrics.observe("cfinder_serve_handle_seconds", handle_time.as_secs_f64());
+        // Post-check: a result computed after the budget is a typed
+        // overrun, never a silently late success. Evaluated once so the
+        // response and the slow-log record agree on the outcome.
+        let late = job.deadline.is_some_and(|d| Instant::now() > d);
+        let label = match &outcome {
+            Ok(Ok(_)) if late => ErrorCode::DeadlineExceeded.label(),
+            Ok(Ok(_)) => "ok",
+            Ok(Err((code, _))) => code.label(),
+            Err(_) => ErrorCode::InternalPanic.label(),
+        };
         match outcome {
             Ok(Ok(result)) => {
-                // Post-check: a result computed after the budget is a
-                // typed overrun, never a silently late success.
-                if job.deadline.is_some_and(|d| Instant::now() > d) {
+                if late {
                     shared.respond_err(
                         &job.id,
                         ErrorCode::DeadlineExceeded,
@@ -355,10 +404,55 @@ fn worker_loop<W: Write>(shared: &Shared<W>) {
                 );
             }
         }
+        log_slow(shared, &job, queue_wait, handle_time, label);
     }
 }
 
-fn handle<W: Write>(shared: &Shared<W>, cmd: &Command) -> HandleResult {
+/// Counts a slow request (queue wait plus handling at or above the
+/// configured threshold) and appends one JSONL record to the slow log
+/// when one is configured. The record is self-contained: session-
+/// relative timestamp, request id, command, tenant, the wait/handle
+/// split, and the outcome the client was told.
+fn log_slow<W: Write>(
+    shared: &Shared<W>,
+    job: &Job,
+    queue_wait: Duration,
+    handle_time: Duration,
+    outcome: &str,
+) {
+    let total = queue_wait + handle_time;
+    if total < Duration::from_millis(shared.config.slow_threshold_ms) {
+        return;
+    }
+    shared.metrics.inc("cfinder_serve_slow_requests_total");
+    let Some(log) = &shared.slow_log else { return };
+    let project = match &job.cmd {
+        Command::Register { project, .. }
+        | Command::Analyze { project, .. }
+        | Command::Explain { project, .. }
+        | Command::Diff { project }
+        | Command::Trace { project } => Value::Str(project.clone()),
+        Command::Stats | Command::Metrics | Command::Shutdown => Value::Null,
+    };
+    let record = Value::Map(vec![
+        ("ts_ms".into(), Value::UInt(shared.epoch.elapsed().as_millis() as u64)),
+        ("id".into(), job.id.clone()),
+        ("cmd".into(), Value::Str(job.cmd.name().to_string())),
+        ("project".into(), project),
+        ("queue_wait_ms".into(), Value::Float(queue_wait.as_secs_f64() * 1000.0)),
+        ("handle_ms".into(), Value::Float(handle_time.as_secs_f64() * 1000.0)),
+        ("total_ms".into(), Value::Float(total.as_secs_f64() * 1000.0)),
+        ("outcome".into(), Value::Str(outcome.to_string())),
+    ]);
+    let line = serde_json::to_string(&record).expect("slow-log serialization cannot fail");
+    // A full disk must not take the daemon down with it; the metric
+    // above still counts the request.
+    let mut file = log.lock();
+    let _ = writeln!(file, "{line}");
+    let _ = file.flush();
+}
+
+fn handle<W: Write>(shared: &Shared<W>, id: &Value, cmd: &Command) -> HandleResult {
     match cmd {
         Command::Register { project, dir, schema } => {
             register(shared, project, dir.clone(), schema.clone())
@@ -370,10 +464,11 @@ fn handle<W: Write>(shared: &Shared<W>, cmd: &Command) -> HandleResult {
                     Fault::SleepMs(ms) => std::thread::sleep(Duration::from_millis(*ms)),
                 }
             }
-            analyze(shared, project, *file_deadline_ms, ablate)
+            analyze(shared, id, project, *file_deadline_ms, ablate)
         }
-        Command::Explain { project, target } => explain(shared, project, target),
-        Command::Diff { project } => diff(shared, project),
+        Command::Explain { project, target } => explain(shared, id, project, target),
+        Command::Diff { project } => diff(shared, id, project),
+        Command::Trace { project } => trace(shared, project),
         // Handled on the reader thread; unreachable here but total anyway.
         Command::Stats => Ok(stats_result(shared)),
         Command::Metrics => Ok(Value::Map(vec![(
@@ -414,8 +509,18 @@ type AnalysisOutcome = (Arc<Project>, AnalysisReport, Option<AnalysisReport>);
 /// project's single-flight lock. Every analyzing command (`analyze`,
 /// `explain`, `diff`) funnels through here, so no two analyses of one
 /// tenant ever race the cache or each other's baseline.
+///
+/// Each call records its own Chrome trace: a fresh per-request tracer
+/// (feeding the daemon-wide profiler, when enabled) wraps the pipeline
+/// in a `request` span tagged with the request id and tenant, and the
+/// finished trace replaces [`crate::registry::ProjectState::last_trace`]
+/// — bounded memory, served by the `trace` command. Tracing never
+/// influences the analysis itself, so `stable_json` stays byte-identical
+/// to an untraced run.
 fn run_analysis<W: Write>(
     shared: &Shared<W>,
+    id: &Value,
+    cmd_name: &'static str,
     project_name: &str,
     options: CFinderOptions,
 ) -> Result<AnalysisOutcome, (ErrorCode, String)> {
@@ -430,20 +535,52 @@ fn run_analysis<W: Write>(
 
     let mut state = project.flight.lock();
     let (app, declared) = project.load().map_err(|detail| (ErrorCode::ProjectUnusable, detail))?;
-    let mut finder = CFinder::with_options(options)
-        .with_limits(limits)
-        .with_obs(Obs { tracer: Tracer::disabled(), metrics: shared.metrics.clone() });
-    if let Some(cache) = cache {
-        finder = finder.with_cache(cache);
-    }
-    let report = finder.analyze(&app, &declared);
+    let tracer = Tracer::enabled_with_profiler(shared.profiler.clone());
+    let report = {
+        let mut span = tracer.span("request", || format!("{cmd_name} {project_name}"));
+        span.arg("request_id", serde_json::to_string(id).unwrap_or_default());
+        span.arg("tenant", project_name.to_string());
+        span.arg("cmd", cmd_name.to_string());
+        let mut finder = CFinder::with_options(options)
+            .with_limits(limits)
+            .with_obs(Obs { tracer: tracer.clone(), metrics: shared.metrics.clone() });
+        if let Some(cache) = cache {
+            finder = finder.with_cache(cache);
+        }
+        finder.analyze(&app, &declared)
+    };
+    state.last_trace = Some(tracer.to_chrome_trace());
     let previous = state.last_report.replace(report.clone());
     state.analyses += 1;
     Ok((project.clone(), report, previous))
 }
 
+/// Serves the `trace` command: the Chrome trace recorded by the tenant's
+/// most recent analyzing request. `available` is `false` (with a null
+/// `trace`) for a tenant that has not been analyzed yet.
+fn trace<W: Write>(shared: &Shared<W>, project: &str) -> HandleResult {
+    let p = shared
+        .registry
+        .get(project)
+        .ok_or_else(|| (ErrorCode::UnknownProject, format!("no project `{project}`")))?;
+    let state = p.flight.lock();
+    Ok(Value::Map(vec![
+        ("project".into(), Value::Str(project.to_string())),
+        ("available".into(), Value::Bool(state.last_trace.is_some())),
+        (
+            "trace".into(),
+            match &state.last_trace {
+                Some(t) => Value::Str(t.clone()),
+                None => Value::Null,
+            },
+        ),
+        ("analyses".into(), Value::UInt(state.analyses)),
+    ]))
+}
+
 fn analyze<W: Write>(
     shared: &Shared<W>,
+    id: &Value,
     project: &str,
     file_deadline_ms: Option<u64>,
     ablate: &[String],
@@ -463,7 +600,7 @@ fn analyze<W: Write>(
         }
     }
     options.deadline_ms = file_deadline_ms;
-    let (_, report, _) = run_analysis(shared, project, options)?;
+    let (_, report, _) = run_analysis(shared, id, "analyze", project, options)?;
     Ok(report_result(&report))
 }
 
@@ -501,12 +638,12 @@ fn report_result(report: &AnalysisReport) -> Value {
     ])
 }
 
-fn explain<W: Write>(shared: &Shared<W>, project: &str, target: &str) -> HandleResult {
+fn explain<W: Write>(shared: &Shared<W>, id: &Value, project: &str, target: &str) -> HandleResult {
     let (table, column) = match target.split_once('.') {
         Some((t, c)) => (t.to_string(), Some(c.to_string())),
         None => (target.to_string(), None),
     };
-    let (_, report, _) = run_analysis(shared, project, CFinderOptions::default())?;
+    let (_, report, _) = run_analysis(shared, id, "explain", project, CFinderOptions::default())?;
     let matches_target = |c: &cfinder_schema::Constraint| {
         c.table() == table && column.as_deref().is_none_or(|col| c.columns().contains(&col))
     };
@@ -552,8 +689,9 @@ fn explain<W: Write>(shared: &Shared<W>, project: &str, target: &str) -> HandleR
     ]))
 }
 
-fn diff<W: Write>(shared: &Shared<W>, project: &str) -> HandleResult {
-    let (_, report, previous) = run_analysis(shared, project, CFinderOptions::default())?;
+fn diff<W: Write>(shared: &Shared<W>, id: &Value, project: &str) -> HandleResult {
+    let (_, report, previous) =
+        run_analysis(shared, id, "diff", project, CFinderOptions::default())?;
     let current: Vec<String> = report.missing.iter().map(|m| m.constraint.to_string()).collect();
     let baseline: Option<Vec<String>> =
         previous.map(|p| p.missing.iter().map(|m| m.constraint.to_string()).collect());
@@ -594,6 +732,16 @@ fn stats_result<W: Write>(shared: &Shared<W>) -> Value {
         })
         .collect();
     let snapshot = shared.metrics.snapshot();
+    // p50/p95/p99 estimated from the request-scaled histogram ladder;
+    // all-zero until the family has at least one observation.
+    let latency = |family: &str| {
+        let qs = snapshot.quantiles(family).unwrap_or([0.0; 3]);
+        Value::Map(vec![
+            ("p50".into(), Value::Float(qs[0])),
+            ("p95".into(), Value::Float(qs[1])),
+            ("p99".into(), Value::Float(qs[2])),
+        ])
+    };
     Value::Map(vec![
         ("projects".into(), Value::Seq(projects)),
         ("queue_depth".into(), Value::UInt(shared.queue.depth() as u64)),
@@ -605,6 +753,18 @@ fn stats_result<W: Write>(shared: &Shared<W>) -> Value {
         ),
         ("errors_total".into(), Value::UInt(snapshot.family_total("cfinder_serve_errors_total"))),
         ("rejected_total".into(), Value::UInt(snapshot.counter("cfinder_serve_rejected_total"))),
+        (
+            "slow_requests_total".into(),
+            Value::UInt(snapshot.counter("cfinder_serve_slow_requests_total")),
+        ),
+        (
+            "latency_seconds".into(),
+            Value::Map(vec![
+                ("queue_wait".into(), latency("cfinder_serve_queue_wait_seconds")),
+                ("handle".into(), latency("cfinder_serve_handle_seconds")),
+            ]),
+        ),
+        ("profile_samples_total".into(), Value::UInt(shared.profiler.report().total_samples())),
         ("shutting_down".into(), Value::Bool(shared.shutting_down.load(Ordering::SeqCst))),
     ])
 }

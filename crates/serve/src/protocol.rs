@@ -119,6 +119,12 @@ pub enum Command {
         /// Tenant name.
         project: String,
     },
+    /// Return the Chrome trace of the project's most recent analyzing
+    /// request (recorded per request; only the latest is retained).
+    Trace {
+        /// Tenant name.
+        project: String,
+    },
     /// Daemon-level counters: projects, queue, request totals.
     Stats,
     /// The Prometheus metrics registry as text exposition.
@@ -136,6 +142,7 @@ impl Command {
             Command::Analyze { .. } => "analyze",
             Command::Explain { .. } => "explain",
             Command::Diff { .. } => "diff",
+            Command::Trace { .. } => "trace",
             Command::Stats => "stats",
             Command::Metrics => "metrics",
             Command::Shutdown => "shutdown",
@@ -253,6 +260,7 @@ pub fn parse_request(line: &str, faults_enabled: bool) -> Result<Request, FrameE
             Command::Explain { project: req_string("project")?, target: req_string("target")? }
         }
         "diff" => Command::Diff { project: req_string("project")? },
+        "trace" => Command::Trace { project: req_string("project")? },
         "stats" => Command::Stats,
         "metrics" => Command::Metrics,
         "shutdown" => Command::Shutdown,
@@ -395,6 +403,7 @@ mod tests {
             (r#"{"id":2,"cmd":"analyze","project":"p"}"#, "analyze"),
             (r#"{"id":3,"cmd":"explain","project":"p","target":"User.email"}"#, "explain"),
             (r#"{"id":4,"cmd":"diff","project":"p"}"#, "diff"),
+            (r#"{"id":8,"cmd":"trace","project":"p"}"#, "trace"),
             (r#"{"id":5,"cmd":"stats"}"#, "stats"),
             (r#"{"id":6,"cmd":"metrics"}"#, "metrics"),
             (r#"{"id":7,"cmd":"shutdown"}"#, "shutdown"),

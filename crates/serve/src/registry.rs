@@ -26,6 +26,10 @@ pub struct ProjectState {
     pub last_report: Option<AnalysisReport>,
     /// Completed analyses (any command that ran the pipeline).
     pub analyses: u64,
+    /// Chrome trace of the most recent analyzing request. Only the
+    /// latest is retained (bounded memory per tenant); served by the
+    /// `trace` command.
+    pub last_trace: Option<String>,
 }
 
 /// One registered tenant.

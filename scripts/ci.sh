@@ -96,8 +96,27 @@ if [[ "${serve_tests:-0}" -lt "$serve_floor" ]]; then
 fi
 echo "daemon suites: $serve_tests tests (floor $serve_floor)"
 
-echo "==> observability overhead check (instrumented vs no-op)"
+echo "==> observability overhead check (no-op vs traced vs profiled)"
+# Includes the sampling-profiler configuration: the bench fails if
+# tracing or tracing+sampling blows past its ceiling.
 cargo bench -p cfinder-bench --bench obs_overhead
+
+echo "==> perf smoke + BENCH schema validation + throughput gate"
+# `perf --smoke` runs the cold+warm benchmark at quick scale, validates
+# the emitted BENCH document against the schema, and gates throughput
+# against the newest committed data point under bench/. The tolerance is
+# deliberately loose (75%) because shared CI boxes are noisy; the
+# committed series is where real trajectories are read from.
+cargo build -q --release
+perf_baseline=$(ls bench/BENCH_*.json 2>/dev/null | sort | tail -1 || true)
+perf_out=$(mktemp -d)
+if [[ -n "$perf_baseline" ]]; then
+    ./target/release/cfinder perf --smoke --out "$perf_out" \
+        --baseline "$perf_baseline" --tolerance 75
+else
+    ./target/release/cfinder perf --smoke --out "$perf_out"
+fi
+rm -rf "$perf_out"
 
 echo "==> warm-cache speedup smoke (warm must be >= 5x faster than cold)"
 # The bench itself asserts the speedup floor and byte-identical reports;

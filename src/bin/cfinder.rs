@@ -2,10 +2,11 @@
 //! files against a declared schema and report missing database constraints.
 //!
 //! ```console
-//! $ cfinder path/to/app [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate FLAG…]
+//! $ cfinder path/to/app [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE] [--profile-hz N] [--max-file-bytes N] [--ablate FLAG…]
 //! $ cfinder explain <table[.column]> path/to/app [--schema schema.json]
 //! $ cfinder cache stats|clear <dir>
-//! $ cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]
+//! $ cfinder perf [--out DIR] [--scale quick|paper] [--smoke] [--baseline FILE] [--tolerance PCT]
+//! $ cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR] [--slow-log FILE] [--slow-ms N] [--profile-hz N]
 //! ```
 //!
 //! * `--schema FILE` — declared schema as JSON (see
@@ -35,8 +36,18 @@
 //!   JSON to FILE, loadable in `chrome://tracing` or Perfetto.
 //! * `--metrics-out FILE` — record the metrics registry (files, bytes,
 //!   tokens, AST nodes, detections per pattern, incidents per kind,
-//!   latency histograms, …) and write Prometheus text exposition to FILE.
-//!   Either flag also embeds a `metrics` block in `--json` output.
+//!   latency histograms with p50/p95/p99 quantile lines, …) and write
+//!   Prometheus text exposition to FILE. Either flag also embeds a
+//!   `metrics` block in `--json` output.
+//! * `--profile-out FILE` — run the wall-clock sampling profiler over the
+//!   live span stacks and write the aggregate in flamegraph-collapsed
+//!   format (`stack count` lines) to FILE; a top-10 hot-span table goes
+//!   to stderr. `--profile-hz N` sets the sampling rate (default 97).
+//!   Implies span recording, like `--trace-out`.
+//!
+//! All output flags (`--fix-out`, `--trace-out`, `--metrics-out`,
+//! `--profile-out`) publish atomically via a temp file and rename: a
+//! crash mid-write never leaves a torn file at the destination.
 //! * `--provenance` — in `--json` mode, attach to each missing constraint
 //!   its full provenance chain (pattern rule → file:line → table/columns
 //!   → DDL).
@@ -83,8 +94,8 @@ use std::process::ExitCode;
 use std::sync::Arc;
 
 use cfinder::core::{
-    cache::CACHE_DIR_ENV, AnalysisCache, AppSource, CFinder, CFinderOptions, Limits, Obs,
-    SourceFile,
+    atomic_write, cache::CACHE_DIR_ENV, AnalysisCache, AppSource, CFinder, CFinderOptions, Limits,
+    Obs, SourceFile,
 };
 use cfinder::schema::Schema;
 use cfinder::sql::Dialect;
@@ -95,7 +106,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>\n       cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE] [--profile-hz N] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>\n       cfinder perf [--out DIR] [--scale quick|paper] [--smoke] [--baseline FILE] [--tolerance PCT]\n       cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR] [--slow-log FILE] [--slow-ms N] [--profile-hz N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -130,6 +141,10 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         // `cfinder::core::usage` format and exits 2 itself.
         return Ok(run_serve(&args[1..]));
     }
+    if args.first().is_some_and(|a| a == "perf") {
+        // Same contract as `serve`: misuse exits 2 via the shared path.
+        return Ok(run_perf(&args[1..]));
+    }
     let mut dir: Option<PathBuf> = None;
     let mut schema_path: Option<PathBuf> = None;
     let mut schema_sql_path: Option<PathBuf> = None;
@@ -143,6 +158,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     let mut no_cache = false;
     let mut trace_out: Option<PathBuf> = None;
     let mut metrics_out: Option<PathBuf> = None;
+    let mut profile_out: Option<PathBuf> = None;
+    let mut profile_hz: u32 = cfinder::obs::profile::DEFAULT_HZ;
     let mut options = CFinderOptions::default();
     let mut limits = Limits::from_env();
 
@@ -182,6 +199,19 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                 let v = it.next().ok_or("--metrics-out requires a file argument")?;
                 metrics_out = Some(PathBuf::from(v));
             }
+            "--profile-out" => {
+                let v = it.next().ok_or("--profile-out requires a file argument")?;
+                profile_out = Some(PathBuf::from(v));
+            }
+            "--profile-hz" => {
+                let v = it.next().ok_or("--profile-hz requires a rate argument")?;
+                profile_hz = v
+                    .trim()
+                    .parse::<u32>()
+                    .ok()
+                    .filter(|n| *n > 0)
+                    .ok_or_else(|| format!("invalid --profile-hz value `{v}`"))?;
+            }
             "--max-file-bytes" => {
                 let v = it.next().ok_or("--max-file-bytes requires a byte-count argument")?;
                 limits.max_file_bytes = v
@@ -214,8 +244,13 @@ fn run(args: &[String]) -> Result<Outcome, String> {
         merge_sql_schema(&mut declared, sql_path)?;
     }
 
-    let obs =
-        if trace_out.is_some() || metrics_out.is_some() { Obs::enabled() } else { Obs::disabled() };
+    let obs = if profile_out.is_some() {
+        Obs::profiled(profile_hz)
+    } else if trace_out.is_some() || metrics_out.is_some() {
+        Obs::enabled()
+    } else {
+        Obs::disabled()
+    };
     let mut finder = CFinder::with_options(options).with_limits(limits).with_obs(obs.clone());
     // The cache is opened *before* analysis so an unusable directory is a
     // typed usage error (exit 2) up front, not an io panic mid-run.
@@ -233,7 +268,8 @@ fn run(args: &[String]) -> Result<Outcome, String> {
             Some(&declared),
             &report.app,
         );
-        fs::write(path, script).map_err(|e| format!("writing {}: {e}", path.display()))?;
+        atomic_write(path, script.as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!(
             "fix script: {} constraint(s) written to {} ({} dialect)",
             report.missing.len(),
@@ -243,18 +279,38 @@ fn run(args: &[String]) -> Result<Outcome, String> {
     }
 
     if let Some(path) = &trace_out {
-        fs::write(path, obs.tracer.to_chrome_trace())
+        atomic_write(path, obs.tracer.to_chrome_trace().as_bytes())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!("trace: {} spans written to {}", obs.tracer.events().len(), path.display());
     }
     if let Some(path) = &metrics_out {
-        fs::write(path, obs.metrics.to_prometheus_text())
+        atomic_write(path, obs.metrics.to_prometheus_text().as_bytes())
             .map_err(|e| format!("writing {}: {e}", path.display()))?;
         eprintln!(
             "metrics: {} families written to {}",
             obs.metrics.snapshot().families.len(),
             path.display()
         );
+    }
+    if let Some(path) = &profile_out {
+        let profiler = obs.profiler();
+        profiler.stop();
+        let profile = profiler.report();
+        atomic_write(path, profile.folded().as_bytes())
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        eprintln!(
+            "profile: {} sample(s) across {} stack(s) at {} Hz written to {} (flamegraph-collapsed)",
+            profile.total_samples(),
+            profile.samples.len(),
+            profile.hz,
+            path.display()
+        );
+        for hot in profile.hot_spans(10) {
+            eprintln!(
+                "  hot: {:<40} self {:>6}  total {:>6}",
+                hot.frame, hot.self_samples, hot.total_samples
+            );
+        }
     }
 
     if json {
@@ -490,8 +546,159 @@ fn run_explain(args: &[String]) -> Result<Outcome, String> {
 
 /// One-line synopsis of the `serve` subcommand, for the shared
 /// usage-error path.
-const SERVE_USAGE: &str =
-    "cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR]";
+const SERVE_USAGE: &str = "cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] \
+     [--cache-dir DIR] [--slow-log FILE] [--slow-ms N] [--profile-hz N]";
+
+/// One-line synopsis of the `perf` subcommand, for the shared
+/// usage-error path.
+const PERF_USAGE: &str = "cfinder perf [--out DIR] [--scale quick|paper] [--smoke] \
+     [--baseline FILE] [--tolerance PCT] [--profile-hz N]";
+
+/// `cfinder perf`: run the two-round (cold + warm) benchmark over the
+/// generated corpus with the sampling profiler attached, publish the
+/// schema-versioned `BENCH_<stamp>.json` data point atomically under
+/// `--out` (default `bench/`), and — when `--baseline` names a previous
+/// data point — gate throughput against it (exit 1 on regression).
+/// `--smoke` forces quick scale; it exists so CI can state its intent.
+fn run_perf(args: &[String]) -> Outcome {
+    use cfinder::core::usage;
+    use cfinder::report::perf;
+
+    let usage_error = |msg: &str| -> ! { usage::usage_error(msg, PERF_USAGE) };
+    let mut out_dir = PathBuf::from("bench");
+    let mut scale = "quick".to_string();
+    let mut smoke = false;
+    let mut baseline: Option<PathBuf> = None;
+    let mut tolerance = 10.0f64;
+    let mut profile_hz = cfinder::obs::profile::DEFAULT_HZ;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str, kind: &str| -> String {
+            match it.next() {
+                Some(v) if !v.starts_with("--") => v.clone(),
+                Some(flag2) => usage_error(&format!("{flag} expects {kind}, found flag `{flag2}`")),
+                None => usage_error(&format!("{flag} expects {kind}")),
+            }
+        };
+        match arg.as_str() {
+            "--out" => out_dir = PathBuf::from(value("--out", "a directory")),
+            "--scale" => {
+                scale = value("--scale", "quick|paper");
+                if scale != "quick" && scale != "paper" {
+                    usage_error(&format!("--scale expects quick|paper, found `{scale}`"));
+                }
+            }
+            "--smoke" => smoke = true,
+            "--baseline" => baseline = Some(PathBuf::from(value("--baseline", "a file"))),
+            "--tolerance" => {
+                let v = value("--tolerance", "a percentage");
+                tolerance = v
+                    .trim()
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|t| (0.0..100.0).contains(t))
+                    .unwrap_or_else(|| usage_error(&format!("invalid --tolerance value `{v}`")));
+            }
+            "--profile-hz" => {
+                let v = value("--profile-hz", "a positive integer");
+                profile_hz =
+                    v.trim().parse::<u32>().ok().filter(|n| *n > 0).unwrap_or_else(|| {
+                        usage_error(&format!("invalid --profile-hz value `{v}`"))
+                    });
+            }
+            other => usage_error(&format!("unknown argument `{other}`")),
+        }
+    }
+    if smoke {
+        scale = "quick".to_string();
+    }
+    let options = if scale == "paper" {
+        cfinder::corpus::GenOptions::paper()
+    } else {
+        cfinder::corpus::GenOptions::quick()
+    };
+
+    // The benchmark's cache is ephemeral by design: the warm round must
+    // measure this build's cache, not a leftover from a previous run.
+    let cache_dir = std::env::temp_dir().join(format!("cfinder-perf-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&cache_dir);
+    if let Err(e) = fs::create_dir_all(&cache_dir) {
+        eprintln!("perf: cannot create scratch cache {}: {e}", cache_dir.display());
+        return Outcome { missing: 1, incidents: 0, strict: false };
+    }
+    let unix_seconds = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let stamp = perf::utc_stamp(unix_seconds);
+    eprintln!("perf: benchmarking 8 apps at {scale} scale (profiler at {profile_hz} Hz)…");
+    let doc = match perf::run_benchmark(options, &scale, profile_hz, &cache_dir, &stamp) {
+        Ok(doc) => doc,
+        Err(e) => {
+            let _ = fs::remove_dir_all(&cache_dir);
+            eprintln!("perf: benchmark failed: {e}");
+            return Outcome { missing: 1, incidents: 0, strict: false };
+        }
+    };
+    let _ = fs::remove_dir_all(&cache_dir);
+    if let Err(e) = perf::validate_bench(&doc) {
+        eprintln!("perf: emitted document failed schema validation: {e}");
+        return Outcome { missing: 1, incidents: 0, strict: false };
+    }
+
+    let text = serde_json::to_string_pretty(&doc).expect("BENCH serialization") + "\n";
+    let path = out_dir.join(format!("BENCH_{stamp}.json"));
+    if let Err(e) = fs::create_dir_all(&out_dir).and_then(|()| atomic_write(&path, text.as_bytes()))
+    {
+        eprintln!("perf: cannot write {}: {e}", path.display());
+        return Outcome { missing: 1, incidents: 0, strict: false };
+    }
+    let num = |key: &str| doc.get(key).and_then(|v| v.as_f64()).unwrap_or(0.0);
+    eprintln!(
+        "perf: {} LoC at {:.0} LoC/s cold ({:.2}s), {:.2}s warm; wrote {}",
+        doc.get("loc_total").and_then(|v| v.as_u64()).unwrap_or(0),
+        num("loc_per_second"),
+        num("wall_seconds"),
+        num("warm_wall_seconds"),
+        path.display()
+    );
+    if let Some(spans) =
+        doc.get("profile").and_then(|p| p.get("hot_spans")).and_then(|s| s.as_seq())
+    {
+        for span in spans.iter().take(5) {
+            eprintln!(
+                "  hot: {:<40} self {:>6}  total {:>6}",
+                span.get("frame").and_then(|v| v.as_str()).unwrap_or("?"),
+                span.get("self_samples").and_then(|v| v.as_u64()).unwrap_or(0),
+                span.get("total_samples").and_then(|v| v.as_u64()).unwrap_or(0),
+            );
+        }
+    }
+    if smoke {
+        eprintln!("perf: smoke ok (schema v{} document validated)", perf::BENCH_SCHEMA_VERSION);
+    }
+
+    if let Some(baseline_path) = baseline {
+        let baseline_doc =
+            fs::read_to_string(&baseline_path).map_err(|e| e.to_string()).and_then(|text| {
+                serde_json::from_str::<serde_json::Value>(&text).map_err(|e| e.to_string())
+            });
+        let baseline_doc = match baseline_doc {
+            Ok(doc) => doc,
+            Err(e) => {
+                usage_error(&format!("unreadable --baseline {}: {e}", baseline_path.display()))
+            }
+        };
+        match perf::regression_gate(&doc, &baseline_doc, tolerance) {
+            Ok(verdict) => eprintln!("perf: gate passed: {verdict}"),
+            Err(verdict) => {
+                eprintln!("perf: gate FAILED: {verdict}");
+                return Outcome { missing: 1, incidents: 0, strict: false };
+            }
+        }
+    }
+    Outcome { missing: 0, incidents: 0, strict: false }
+}
 
 /// `cfinder serve [--workers N] [--queue N] [--max-frame-bytes N]
 /// [--cache-dir DIR]`: run the multi-tenant analysis daemon over
@@ -532,6 +739,15 @@ fn run_serve(args: &[String]) -> Outcome {
                 }
                 None => usage_error("--cache-dir expects a directory"),
             },
+            "--slow-log" => match it.next() {
+                Some(v) if !v.starts_with("--") => config.slow_log = Some(PathBuf::from(v)),
+                Some(flag) => {
+                    usage_error(&format!("--slow-log expects a file, found flag `{flag}`"))
+                }
+                None => usage_error("--slow-log expects a file"),
+            },
+            "--slow-ms" => config.slow_threshold_ms = numeric("--slow-ms") as u64,
+            "--profile-hz" => config.profile_hz = Some(numeric("--profile-hz") as u32),
             other => usage_error(&format!("unknown argument `{other}`")),
         }
     }

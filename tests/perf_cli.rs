@@ -1,0 +1,159 @@
+//! Integration tests for the perf-observability CLI surface: atomic
+//! output publication under crash injection, the sampling profiler's
+//! `--profile-out` export, and the `cfinder perf` BENCH emitter.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use cfinder::core::ATOMIC_FAULT_ENV;
+use cfinder::report::perf;
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cfinder-perf-cli-{tag}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_demo(dir: &Path) {
+    fs::create_dir_all(dir.join("app")).unwrap();
+    fs::write(
+        dir.join("app/models.py"),
+        "from django.db import models\n\n\nclass Voucher(models.Model):\n    code = models.CharField(max_length=32)\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("app/views.py"),
+        "def redeem(code):\n    if Voucher.objects.filter(code=code).exists():\n        raise ValueError('duplicate voucher')\n    Voucher.objects.create(code=code)\n",
+    )
+    .unwrap();
+}
+
+fn cfinder() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_cfinder"))
+}
+
+/// All three analysis output flags go through the shared atomic writer:
+/// a crash injected between the temp write and the rename must leave no
+/// destination file at all on first publication, and the previous
+/// contents untouched on re-publication.
+#[test]
+fn output_flags_survive_mid_write_crash_injection() {
+    let dir = temp_dir("crash");
+    write_demo(&dir);
+    let fix = dir.join("fixes.sql");
+    let trace = dir.join("trace.json");
+    let metrics = dir.join("metrics.prom");
+    let run = |fault: bool| -> std::process::Output {
+        let mut cmd = cfinder();
+        cmd.arg(dir.join("app"))
+            .arg("--fix-out")
+            .arg(&fix)
+            .arg("--trace-out")
+            .arg(&trace)
+            .arg("--metrics-out")
+            .arg(&metrics);
+        if fault {
+            cmd.env(ATOMIC_FAULT_ENV, "crash");
+        } else {
+            cmd.env_remove(ATOMIC_FAULT_ENV);
+        }
+        cmd.output().expect("binary runs")
+    };
+
+    // Crash on first publication: the run fails and no destination
+    // exists — a reader can never observe a torn file.
+    let out = run(true);
+    assert_ne!(out.status.code(), Some(0), "{out:?}");
+    for path in [&fix, &trace, &metrics] {
+        assert!(!path.exists(), "{} exists after an injected mid-write crash", path.display());
+    }
+
+    // Clean publication, then crash on overwrite: previous contents
+    // survive byte-for-byte.
+    let out = run(false);
+    assert_eq!(out.status.code(), Some(1), "demo app has one missing constraint: {out:?}");
+    let before: Vec<Vec<u8>> =
+        [&fix, &trace, &metrics].iter().map(|p| fs::read(p).unwrap()).collect();
+    assert!(!before[0].is_empty(), "fix script must not be empty");
+    let out = run(true);
+    assert_ne!(out.status.code(), Some(0), "{out:?}");
+    for (path, expected) in [&fix, &trace, &metrics].iter().zip(&before) {
+        assert_eq!(&fs::read(path).unwrap(), expected, "{} was torn", path.display());
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `--profile-out` attaches the sampling profiler, writes the
+/// flamegraph-collapsed export atomically, and summarizes on stderr.
+#[test]
+fn profile_out_writes_a_collapsed_export() {
+    let dir = temp_dir("profile");
+    write_demo(&dir);
+    let out_path = dir.join("profile.folded");
+    let out = cfinder()
+        .arg(dir.join("app"))
+        .arg("--profile-out")
+        .arg(&out_path)
+        .arg("--profile-hz")
+        .arg("997")
+        .env_remove(ATOMIC_FAULT_ENV)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(1), "{out:?}");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("profile:"), "no profiler summary on stderr: {stderr}");
+    // The demo app analyzes in microseconds, so the sampler may catch
+    // zero ticks — but every line that *is* present must be
+    // flamegraph-collapsed: "stack count".
+    let text = fs::read_to_string(&out_path).expect("collapsed export written");
+    for line in text.lines() {
+        let (stack, count) = line.rsplit_once(' ').expect("collapsed line has a count");
+        assert!(!stack.is_empty());
+        count.parse::<u64>().expect("collapsed count is numeric");
+    }
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// `cfinder perf --smoke` emits one schema-valid `BENCH_<stamp>.json`
+/// and exits 0; the emitted document gates cleanly against itself.
+#[test]
+fn perf_smoke_emits_a_schema_valid_bench_document() {
+    let dir = temp_dir("bench");
+    let out = cfinder()
+        .arg("perf")
+        .arg("--smoke")
+        .arg("--out")
+        .arg(&dir)
+        .env_remove(ATOMIC_FAULT_ENV)
+        .output()
+        .expect("binary runs");
+    assert_eq!(out.status.code(), Some(0), "{out:?}");
+    let entries: Vec<PathBuf> = fs::read_dir(&dir)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.file_name().and_then(|n| n.to_str()).is_some_and(|n| n.starts_with("BENCH_")))
+        .collect();
+    assert_eq!(entries.len(), 1, "exactly one BENCH document: {entries:?}");
+    let text = fs::read_to_string(&entries[0]).unwrap();
+    let doc: serde_json::Value = serde_json::from_str(&text).expect("BENCH is valid JSON");
+    perf::validate_bench(&doc).expect("BENCH document is schema-valid");
+
+    // Self-gate: a document can never regress against itself.
+    let gated = cfinder()
+        .arg("perf")
+        .arg("--smoke")
+        .arg("--out")
+        .arg(&dir)
+        .arg("--baseline")
+        .arg(&entries[0])
+        .arg("--tolerance")
+        .arg("99")
+        .env_remove(ATOMIC_FAULT_ENV)
+        .output()
+        .expect("binary runs");
+    assert_eq!(gated.status.code(), Some(0), "{gated:?}");
+    assert!(String::from_utf8_lossy(&gated.stderr).contains("gate passed"), "{:?}", gated.stderr);
+    let _ = fs::remove_dir_all(&dir);
+}

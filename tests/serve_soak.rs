@@ -88,9 +88,28 @@ fn soak_concurrent_clients_match_the_one_shot_oracle_byte_for_byte() {
             .collect(),
     ));
 
+    // The daemon runs with the sampling profiler attached and a
+    // 1 ms slow-request log: the oracle equality below doubles as the
+    // proof that profiling and slow-logging never perturb analysis
+    // output (stable_json stays byte-identical to the unprofiled
+    // one-shot runs).
     let cache_dir = root.join("cache");
+    let slow_log = root.join("slow.jsonl");
     let mut daemon = Daemon::spawn(
-        &["--workers", "4", "--queue", "64", "--cache-dir", cache_dir.to_str().unwrap()],
+        &[
+            "--workers",
+            "4",
+            "--queue",
+            "64",
+            "--cache-dir",
+            cache_dir.to_str().unwrap(),
+            "--profile-hz",
+            "97",
+            "--slow-log",
+            slow_log.to_str().unwrap(),
+            "--slow-ms",
+            "1",
+        ],
         CLIENTS,
         false,
     );
@@ -214,6 +233,25 @@ fn soak_concurrent_clients_match_the_one_shot_oracle_byte_for_byte() {
     let result = ok_result(&stats);
     assert_eq!(result.get("projects").and_then(Value::as_array).map(Vec::len), Some(8));
     assert!(result.get("requests_total").and_then(Value::as_u64).unwrap() > 0);
+
+    // Latency quantiles: present for both histograms, monotone in q,
+    // and the handle times of real analyses are strictly positive.
+    for family in ["queue_wait", "handle"] {
+        let q = result
+            .get("latency_seconds")
+            .and_then(|l| l.get(family))
+            .unwrap_or_else(|| panic!("stats lacks latency_seconds.{family}: {result:?}"));
+        let quantile = |key: &str| q.get(key).and_then(Value::as_f64).unwrap();
+        let (p50, p95, p99) = (quantile("p50"), quantile("p95"), quantile("p99"));
+        assert!(p50 <= p95 && p95 <= p99, "{family} quantiles not monotone: {p50} / {p95} / {p99}");
+        if family == "handle" {
+            assert!(p99 > 0.0, "handle p99 must be positive after {rounds} analyze rounds");
+        }
+    }
+    assert!(result.get("slow_requests_total").and_then(Value::as_u64).is_some());
+    let samples = result.get("profile_samples_total").and_then(Value::as_u64).unwrap();
+    println!("profiler samples accumulated during the soak: {samples}");
+
     let metrics = main.call("metrics", r#""cmd":"metrics""#);
     let text = ok_result(&metrics).get("prometheus").and_then(Value::as_str).unwrap().to_string();
     for family in [
@@ -224,6 +262,48 @@ fn soak_concurrent_clients_match_the_one_shot_oracle_byte_for_byte() {
         assert!(text.contains(family), "metrics exposition lacks {family}");
     }
 
+    // Non-saturation: the serve histograms use the request-scaled ladder
+    // (5µs..120s), so observations must land *inside* it — not piled
+    // beneath the smallest bound, none overflowing into +Inf.
+    let bucket = |le: &str| -> u64 {
+        text.lines()
+            .find(|l| l.starts_with("cfinder_serve_handle_seconds_bucket") && l.contains(le))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("no handle_seconds bucket {le} in exposition"))
+    };
+    let (smallest, top, inf) = (bucket("le=\"0.000005\""), bucket("le=\"120\""), bucket("+Inf"));
+    assert!(smallest < inf, "every handle time fell under 5µs — the ladder is saturated low");
+    assert_eq!(top, inf, "handle times overflowed the 120s ladder top");
+    // The exposition also surfaces the summary-style quantile lines.
+    assert!(
+        text.contains("cfinder_serve_handle_seconds{quantile=\"0.5\"}"),
+        "exposition lacks quantile lines for handle_seconds"
+    );
+
+    // Per-request tracing: the trace command returns the most recent
+    // analyzing request's Chrome trace, well-formed and tagged with the
+    // request id and tenant.
+    let traced = main.call("trace", &format!(r#""cmd":"trace","project":"{}""#, apps[1].name));
+    let result = ok_result(&traced);
+    assert_eq!(result.get("available"), Some(&Value::Bool(true)));
+    let trace_json = result.get("trace").and_then(Value::as_str).expect("trace payload");
+    let parsed: Value = serde_json::from_str(trace_json).expect("trace is valid JSON");
+    let events = parsed.get("traceEvents").and_then(Value::as_array).expect("traceEvents array");
+    assert!(!events.is_empty(), "per-request trace has no events");
+    let request_span = events
+        .iter()
+        .find(|e| e.get("cat").and_then(Value::as_str) == Some("request"))
+        .expect("trace lacks the request span");
+    let args = request_span.get("args").expect("request span carries args");
+    assert_eq!(args.get("tenant").and_then(Value::as_str), Some(apps[1].name.as_str()));
+    assert!(
+        args.get("request_id").and_then(Value::as_str).is_some_and(|id| id.contains("timed")),
+        "request span must carry the id of the last analyzing request: {args:?}"
+    );
+    let resp = main.call("trace-x", r#""cmd":"trace","project":"no-such-app""#);
+    assert_eq!(err_code(&resp), "unknown-project");
+
     // Graceful drain: shutdown answers, later frames get the typed
     // refusal, EOF ends the process with exit 0 — and the router proved
     // every frame was answered.
@@ -233,5 +313,19 @@ fn soak_concurrent_clients_match_the_one_shot_oracle_byte_for_byte() {
     assert_eq!(err_code(&resp), "shutting-down");
     let status = daemon.finish();
     assert!(status.success(), "daemon exited with {status:?}");
+
+    // The slow-request log (threshold 1 ms): cold first-round analyses
+    // are slower than that, so the soak must have left structured
+    // records, each a self-contained JSONL line.
+    let log_text = fs::read_to_string(&slow_log).expect("slow log exists");
+    let lines: Vec<&str> = log_text.lines().collect();
+    assert!(!lines.is_empty(), "no slow requests recorded at a 1ms threshold");
+    for line in &lines {
+        let record: Value = serde_json::from_str(line).expect("slow-log line is valid JSON");
+        for key in ["ts_ms", "id", "cmd", "queue_wait_ms", "handle_ms", "total_ms", "outcome"] {
+            assert!(record.get(key).is_some(), "slow-log record lacks `{key}`: {line}");
+        }
+    }
+    println!("slow-request log: {} record(s)", lines.len());
     let _ = fs::remove_dir_all(&root);
 }
