@@ -1,0 +1,53 @@
+//! Constraint-driven query-rewrite speedup check: for every workload
+//! class, the rewritten plan must never be slower than the naive plan,
+//! and on the two headline classes (DISTINCT drop and join elimination)
+//! it must be at least 1.5× faster.
+//!
+//! The differential oracle runs off the clock inside
+//! `run_query_bench` — both plans must produce byte-identical stable
+//! serializations before any timing is recorded — so a speedup bought
+//! by a wrong answer cannot pass. Data generation also happens outside
+//! the timed windows.
+
+use cfinder_report::{run_query_bench, QueryBenchOptions};
+
+const ROWS: usize = 20_000;
+const MEASURED_RUNS: usize = 5;
+const REQUIRED_HEADLINE_SPEEDUP: f64 = 1.5;
+/// Tolerance for "never slower": timer noise on sub-millisecond plans.
+const NEVER_SLOWER_SLACK: f64 = 0.95;
+
+fn main() {
+    let results = run_query_bench(QueryBenchOptions { rows: ROWS, repeats: MEASURED_RUNS })
+        .expect("query bench ran oracle-clean");
+    assert_eq!(results.len(), 4, "all four workload classes measured");
+
+    for r in &results {
+        println!(
+            "query_rewrite/{:<20} naive {:>9.3}ms  rewritten {:>9.3}ms  speedup {:>8.2}x  [{}]",
+            r.name,
+            r.naive_seconds * 1e3,
+            r.rewritten_seconds * 1e3,
+            r.speedup(),
+            r.rules.join(", "),
+        );
+        assert!(
+            r.speedup() >= NEVER_SLOWER_SLACK,
+            "{}: rewritten plan slower than naive ({:.2}x)",
+            r.name,
+            r.speedup()
+        );
+    }
+
+    for headline in ["distinct_drop", "join_elimination"] {
+        let r = results.iter().find(|r| r.name == headline).expect("headline class present");
+        assert!(
+            r.speedup() >= REQUIRED_HEADLINE_SPEEDUP,
+            "{headline}: {:.2}x, required {REQUIRED_HEADLINE_SPEEDUP}x",
+            r.speedup()
+        );
+    }
+    println!(
+        "query_rewrite: ok — rewritten never slower; headline classes >= {REQUIRED_HEADLINE_SPEEDUP}x"
+    );
+}

@@ -621,7 +621,12 @@ fn satisfies_predicate(row: &Row, predicate: &Predicate) -> bool {
 
 /// Compares a stored value to a predicate literal; `None` marks a type
 /// mismatch (including NULL literals, which never compare equal in SQL).
-fn compare_to_literal(v: &Value, lit: &Literal) -> Option<Ordering> {
+///
+/// Crate-visible so the query layer's WHERE evaluator (`query::Pred`)
+/// shares the exact comparison core with CHECK enforcement — the two
+/// differ only in how NULL collapses (CHECK: pass, WHERE: unknown), and
+/// the known-answer 3VL tests pin that difference.
+pub(crate) fn compare_to_literal(v: &Value, lit: &Literal) -> Option<Ordering> {
     match (v, lit) {
         (Value::Int(a), Literal::Int(b)) => Some(a.cmp(b)),
         // Floats compare numerically against integer literals (the

@@ -31,17 +31,25 @@
 
 pub mod database;
 pub mod error;
+pub mod plan;
 pub mod profiling;
+pub mod query;
 pub mod race;
+pub mod rewrite;
 pub mod scenarios;
 pub mod txn;
 pub mod value;
+pub mod workload;
 
 pub use database::{Database, Row, RowId};
 pub use error::{DbError, DbResult};
+pub use plan::{execute, execute_with_obs, Plan, ResultSet};
 pub use profiling::{discover_constraints, ProfileOptions};
+pub use query::{ColRef, JoinClause, Pred, Query, Truth};
 pub use race::{
     run_threaded_race, simulate_interleavings, InterleavingReport, RaceConfig, RaceOutcome,
 };
+pub use rewrite::{plan_naive, plan_with_constraints, record_rewrites, Rewrite};
 pub use txn::{transactional_race, Transaction};
 pub use value::{Value, ValueKey};
+pub use workload::{differential_check, minimize, Workload, WorkloadProfile};

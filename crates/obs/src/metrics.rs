@@ -335,6 +335,13 @@ pub fn family_help(family: &str) -> &'static str {
             "Daemon requests slower end-to-end than the slow-request threshold."
         }
         "cfinder_profile_samples_total" => "Sampling-profiler stack samples captured.",
+        "cfinder_query_executions_total" => "minidb query-plan executions.",
+        "cfinder_query_rows_scanned_total" => "Base-table rows visited by minidb scans.",
+        "cfinder_query_rows_returned_total" => "Rows returned by minidb query executions.",
+        "cfinder_query_rewrites_total" => {
+            "Constraint-driven plan rewrites applied by the minidb optimizer, by rule."
+        }
+        "cfinder_query_seconds" => "minidb query execution latency.",
         _ => "cfinder metric.",
     }
 }

@@ -15,10 +15,14 @@ pub mod ablation;
 pub mod baseline;
 pub mod metrics;
 pub mod perf;
+pub mod querybench;
 pub mod render;
 pub mod tables;
 
 pub use ablation::{ablation_study, ablation_table, AblationRow};
 pub use baseline::{baseline_table, evaluate_baseline, populate, BaselineOutcome};
 pub use metrics::{AppEvaluation, CoverageCell, Evaluation, HistoryRecall, PrecisionCell};
+pub use querybench::{
+    query_bench_table, query_bench_value, run_query_bench, ClassResult, QueryBenchOptions,
+};
 pub use render::{pct, TextTable};

@@ -22,10 +22,14 @@ use cfinder_core::{AnalysisCache, CFinderOptions, Limits, Obs};
 use cfinder_corpus::{GenOptions, GeneratedApp};
 use serde_json::Value;
 
+use crate::querybench::{query_bench_value, run_query_bench, QueryBenchOptions};
 use crate::AppEvaluation;
 
-/// Version stamped into (and required from) every BENCH document.
-pub const BENCH_SCHEMA_VERSION: u64 = 1;
+/// Version stamped into every new BENCH document. Version 2 adds the
+/// `query_bench` section (constraint-driven query-rewrite speedups);
+/// [`validate_bench`] still accepts committed version-1 points, which
+/// simply predate it.
+pub const BENCH_SCHEMA_VERSION: u64 = 2;
 
 /// Stage keys of the `stages_seconds` map, in pipeline order.
 pub const STAGE_KEYS: [&str; 5] = ["parse", "models", "detect", "diff", "orchestration"];
@@ -63,6 +67,7 @@ pub fn run_benchmark(
     profile_hz: u32,
     cache_dir: &Path,
     stamp: &str,
+    query_opts: QueryBenchOptions,
 ) -> Result<Value, String> {
     let cache = Arc::new(
         AnalysisCache::open(cache_dir, &CFinderOptions::default(), &Limits::from_env())
@@ -94,6 +99,11 @@ pub fn run_benchmark(
     let profiler = obs.profiler();
     profiler.stop();
     let profile = profiler.report();
+
+    // The query-rewrite benchmark: its own databases, its own timed
+    // windows, oracle-gated inside run_query_bench.
+    let query_results = run_query_bench(query_opts)?;
+    let query_bench = query_bench_value(query_opts, &query_results);
 
     let loc_total: u64 = cold.iter().map(|a| a.report.loc as u64).sum();
     let stage_seconds = |pick: fn(&AppEvaluation) -> f64| cold.iter().map(pick).sum::<f64>();
@@ -174,13 +184,17 @@ pub fn run_benchmark(
                 ("hot_spans".into(), Value::Seq(hot_spans)),
             ]),
         ),
+        ("query_bench".into(), query_bench),
         ("apps".into(), Value::Seq(apps)),
     ]))
 }
 
-/// Validates a BENCH document against schema version
-/// [`BENCH_SCHEMA_VERSION`]: every required field present, typed, and
+/// Validates a BENCH document: every required field present, typed, and
 /// internally consistent. Returns the first violation found.
+///
+/// Accepts schema versions 1 and 2: version-1 documents predate the
+/// `query_bench` section and are committed history; version-2 documents
+/// must carry it.
 pub fn validate_bench(doc: &Value) -> Result<(), String> {
     let field = |key: &str| doc.get(key).ok_or_else(|| format!("missing field `{key}`"));
     let f64_field =
@@ -188,10 +202,10 @@ pub fn validate_bench(doc: &Value) -> Result<(), String> {
     let u64_field = |key: &str| {
         field(key)?.as_u64().ok_or_else(|| format!("field `{key}` must be an unsigned integer"))
     };
-    match u64_field("schema_version")? {
-        BENCH_SCHEMA_VERSION => {}
-        v => return Err(format!("schema_version {v}, expected {BENCH_SCHEMA_VERSION}")),
-    }
+    let version = match u64_field("schema_version")? {
+        v @ (1 | BENCH_SCHEMA_VERSION) => v,
+        v => return Err(format!("schema_version {v}, expected 1 or {BENCH_SCHEMA_VERSION}")),
+    };
     for key in ["stamp", "scale"] {
         if field(key)?.as_str().is_none_or(str::is_empty) {
             return Err(format!("field `{key}` must be a non-empty string"));
@@ -258,6 +272,43 @@ pub fn validate_bench(doc: &Value) -> Result<(), String> {
             || app.get("analysis_seconds").and_then(Value::as_f64).is_none()
         {
             return Err("apps entries need name/loc/files/analysis_seconds".into());
+        }
+    }
+    if version >= 2 {
+        validate_query_bench(field("query_bench")?)?;
+    }
+    Ok(())
+}
+
+/// Validates the v2 `query_bench` section: sizing fields plus a
+/// non-empty class list where every class carries positive timings, a
+/// positive speedup, and at least one fired rewrite rule.
+fn validate_query_bench(qb: &Value) -> Result<(), String> {
+    for key in ["rows", "repeats"] {
+        if qb.get(key).and_then(Value::as_u64).is_none() {
+            return Err(format!("query_bench missing unsigned `{key}`"));
+        }
+    }
+    let classes = qb.get("classes").and_then(Value::as_seq).ok_or("query_bench.classes missing")?;
+    if classes.is_empty() {
+        return Err("query_bench.classes must be non-empty".into());
+    }
+    for class in classes {
+        let name =
+            class.get("name").and_then(Value::as_str).ok_or("query_bench class missing `name`")?;
+        if class.get("rows").and_then(Value::as_u64).is_none() {
+            return Err(format!("query_bench class `{name}` missing unsigned `rows`"));
+        }
+        for key in ["naive_seconds", "rewritten_seconds", "speedup"] {
+            match class.get(key).and_then(Value::as_f64) {
+                Some(v) if v > 0.0 => {}
+                _ => {
+                    return Err(format!("query_bench class `{name}` needs positive `{key}`"));
+                }
+            }
+        }
+        if class.get("rules").and_then(Value::as_seq).is_none_or(|r| r.is_empty()) {
+            return Err(format!("query_bench class `{name}` must record fired rewrite rules"));
         }
     }
     Ok(())
@@ -341,6 +392,24 @@ mod tests {
                 ]),
             ),
             (
+                "query_bench".into(),
+                Value::Map(vec![
+                    ("rows".into(), Value::UInt(2000)),
+                    ("repeats".into(), Value::UInt(3)),
+                    (
+                        "classes".into(),
+                        Value::Seq(vec![Value::Map(vec![
+                            ("name".into(), Value::Str("distinct_drop".into())),
+                            ("rows".into(), Value::UInt(2000)),
+                            ("naive_seconds".into(), Value::Float(0.002)),
+                            ("rewritten_seconds".into(), Value::Float(0.001)),
+                            ("speedup".into(), Value::Float(2.0)),
+                            ("rules".into(), Value::Seq(vec![Value::Str("drop_distinct".into())])),
+                        ])]),
+                    ),
+                ]),
+            ),
+            (
                 "apps".into(),
                 Value::Seq(vec![Value::Map(vec![
                     ("name".into(), Value::Str("oscar".into())),
@@ -356,12 +425,46 @@ mod tests {
     fn validates_a_complete_document_and_names_the_first_gap() {
         let good = synthetic_bench();
         validate_bench(&good).unwrap();
-        for missing in ["schema_version", "loc_per_second", "cache", "profile", "apps"] {
+        for missing in
+            ["schema_version", "loc_per_second", "cache", "profile", "query_bench", "apps"]
+        {
             let Value::Map(entries) = good.clone() else { unreachable!() };
             let pruned = Value::Map(entries.into_iter().filter(|(k, _)| k != missing).collect());
             let err = validate_bench(&pruned).unwrap_err();
             assert!(err.contains(missing), "{missing}: {err}");
         }
+    }
+
+    #[test]
+    fn accepts_version_one_documents_without_query_bench() {
+        // Committed v1 BENCH points predate the query_bench section and
+        // must stay valid as regression-gate baselines.
+        let Value::Map(entries) = synthetic_bench() else { unreachable!() };
+        let v1 = Value::Map(
+            entries
+                .into_iter()
+                .filter(|(k, _)| k != "query_bench")
+                .map(|(k, v)| if k == "schema_version" { (k, Value::UInt(1)) } else { (k, v) })
+                .collect(),
+        );
+        validate_bench(&v1).unwrap();
+    }
+
+    #[test]
+    fn rejects_vacuous_query_bench_classes() {
+        let mut doc = synthetic_bench();
+        if let Value::Map(entries) = &mut doc {
+            for (k, v) in entries.iter_mut() {
+                if k == "query_bench" {
+                    *v = Value::Map(vec![
+                        ("rows".into(), Value::UInt(2000)),
+                        ("repeats".into(), Value::UInt(3)),
+                        ("classes".into(), Value::Seq(vec![])),
+                    ]);
+                }
+            }
+        }
+        assert!(validate_bench(&doc).unwrap_err().contains("non-empty"));
     }
 
     #[test]
@@ -405,8 +508,15 @@ mod tests {
         let dir = std::env::temp_dir().join(format!("cfinder-perf-test-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
-        let doc =
-            run_benchmark(GenOptions::quick(), "quick", 97, &dir, "19700101T000000Z").unwrap();
+        let doc = run_benchmark(
+            GenOptions::quick(),
+            "quick",
+            97,
+            &dir,
+            "19700101T000000Z",
+            QueryBenchOptions { rows: 300, repeats: 1 },
+        )
+        .unwrap();
         validate_bench(&doc).unwrap();
         // The warm round ran over the cold round's cache: hits dominate.
         let cache = doc.get("cache").unwrap();

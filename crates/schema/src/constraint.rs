@@ -540,6 +540,71 @@ impl ConstraintSet {
         self.of_type(ty).count()
     }
 
+    // --- query-optimizer lookup API ------------------------------------------
+    //
+    // The minidb rewrite pass (`cfinder-minidb::rewrite`) consumes an
+    // analyzer-produced set through these accessors; they answer the four
+    // questions a rewrite rule may ask without the caller re-implementing
+    // normalization or partial-unique subtleties.
+
+    /// Is `table.column` declared NOT NULL?
+    pub fn is_not_null(&self, table: &str, column: &str) -> bool {
+        self.items.iter().any(|c| {
+            matches!(c, Constraint::NotNull { table: t, column: col } if t == table && col == column)
+        })
+    }
+
+    /// The column sets of every *full* (unconditional) unique constraint
+    /// on `table`, in normalized order. Partial uniques are excluded: a
+    /// `UNIQUE (code) WHERE active = TRUE` guarantees nothing about rows
+    /// outside its condition, so no rewrite may rely on it.
+    pub fn full_unique_sets(&self, table: &str) -> Vec<&[String]> {
+        self.items
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::Unique { table: t, columns, conditions }
+                    if t == table && conditions.is_empty() =>
+                {
+                    Some(columns.as_slice())
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Is there a full (unconditional) unique constraint on exactly
+    /// `table.column` alone?
+    pub fn has_single_column_unique(&self, table: &str, column: &str) -> bool {
+        self.contains_unique_exact(table, &[column], &[])
+    }
+
+    /// The foreign-key target of `table.column`, if one is declared:
+    /// `(ref_table, ref_column)`.
+    pub fn foreign_key_of(&self, table: &str, column: &str) -> Option<(&str, &str)> {
+        self.items.iter().find_map(|c| match c {
+            Constraint::ForeignKey { table: t, column: col, ref_table, ref_column }
+                if t == table && col == column =>
+            {
+                Some((ref_table.as_str(), ref_column.as_str()))
+            }
+            _ => None,
+        })
+    }
+
+    /// Every CHECK predicate declared on `table.column`, in normalized
+    /// order.
+    pub fn checks_on(&self, table: &str, column: &str) -> Vec<&Predicate> {
+        self.items
+            .iter()
+            .filter_map(|c| match c {
+                Constraint::Check { table: t, predicate } if t == table => {
+                    (predicate.column() == column).then_some(predicate)
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
     /// Set difference: constraints in `self` that are absent from `other`.
     ///
     /// This is the §3.5.3 step: `inferred.difference(&existing)` yields the
@@ -871,6 +936,58 @@ mod tests {
         ));
         set.insert(Constraint::unique("t", ["c"]));
         assert!(set.contains_unique_exact("t", &["c"], &[]));
+    }
+
+    #[test]
+    fn lookup_api_answers_rewrite_questions() {
+        use crate::predicate::CompareOp;
+        let set: ConstraintSet = [
+            Constraint::not_null("orders", "total"),
+            Constraint::unique("users", ["email"]),
+            Constraint::unique("users", ["first", "last"]),
+            Constraint::partial_unique(
+                "users",
+                ["code"],
+                vec![Condition { column: "active".into(), value: Literal::Bool(true) }],
+            ),
+            Constraint::foreign_key("orders", "user_id", "users", "id"),
+            Constraint::check(
+                "orders",
+                Predicate::compare("total", CompareOp::Gt, Literal::Int(0)),
+            ),
+            Constraint::check(
+                "orders",
+                Predicate::in_values(
+                    "status",
+                    [Literal::Str("Open".into()), Literal::Str("Closed".into())],
+                ),
+            ),
+        ]
+        .into_iter()
+        .collect();
+
+        assert!(set.is_not_null("orders", "total"));
+        assert!(!set.is_not_null("orders", "status"));
+        assert!(!set.is_not_null("users", "total"));
+
+        let uniques = set.full_unique_sets("users");
+        assert_eq!(uniques.len(), 2, "partial unique must be excluded: {uniques:?}");
+        assert!(uniques.iter().any(|cols| *cols == ["email".to_string()]));
+        assert!(uniques.iter().any(|cols| *cols == ["first".to_string(), "last".to_string()]));
+        assert!(set.full_unique_sets("orders").is_empty());
+
+        assert!(set.has_single_column_unique("users", "email"));
+        // Partial unique on `code` must not count.
+        assert!(!set.has_single_column_unique("users", "code"));
+        assert!(!set.has_single_column_unique("users", "first"));
+
+        assert_eq!(set.foreign_key_of("orders", "user_id"), Some(("users", "id")));
+        assert_eq!(set.foreign_key_of("orders", "total"), None);
+
+        assert_eq!(set.checks_on("orders", "total").len(), 1);
+        assert_eq!(set.checks_on("orders", "status").len(), 1);
+        assert!(set.checks_on("orders", "user_id").is_empty());
+        assert!(set.checks_on("users", "total").is_empty());
     }
 
     #[test]

@@ -96,6 +96,36 @@ if [[ "${serve_tests:-0}" -lt "$serve_floor" ]]; then
 fi
 echo "daemon suites: $serve_tests tests (floor $serve_floor)"
 
+echo "==> query layer: differential oracle, 3VL pins, and plan goldens"
+# The constraint-driven rewriter's soundness gate: every generated query
+# must produce byte-identical results through the naive and rewritten
+# plans at 1/2/4 threads, over conforming and NULL-heavy adversarial
+# data; plan goldens pin each rewrite firing (and not firing without its
+# enabling constraint).
+minidb_unit=$(cargo test -q -p cfinder-minidb 2>&1) || { echo "$minidb_unit"; exit 1; }
+minidb_integration=$(cargo test -q -p cfinder-minidb \
+    --test query_oracle --test three_valued_logic --test plan_golden 2>&1) \
+    || { echo "$minidb_integration"; exit 1; }
+
+echo "==> query-layer test-count floor"
+# Oracle + 3VL + golden coverage only grows: the combined minidb suites
+# must stay at or above the floor so coverage cannot be silently deleted.
+minidb_tests=$(printf '%s\n%s\n' "$minidb_unit" "$minidb_integration" \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s}')
+minidb_floor=95
+if [[ "${minidb_tests:-0}" -lt "$minidb_floor" ]]; then
+    echo "FAIL: minidb suites ran ${minidb_tests:-0} tests, below the floor of $minidb_floor" >&2
+    exit 1
+fi
+echo "minidb suites: $minidb_tests tests (floor $minidb_floor)"
+
+echo "==> query-rewrite speedup gate (rewritten never slower; headline classes >= 1.5x)"
+# The bench itself asserts the oracle (identical results) off the clock,
+# that no class regresses, and that DISTINCT-drop and join elimination
+# each clear 1.5x.
+cargo bench -p cfinder-bench --bench query_rewrite
+
 echo "==> observability overhead check (no-op vs traced vs profiled)"
 # Includes the sampling-profiler configuration: the bench fails if
 # tracing or tracing+sampling blows past its ceiling.
