@@ -66,6 +66,7 @@ use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
+use cfinder_flow::{InterprocFacts, SummaryTable};
 use cfinder_pyast::hash::{stable_hash_hex, StableHasher};
 use serde::{Deserialize, Serialize};
 
@@ -76,8 +77,9 @@ use crate::report::{Detection, PatternId};
 
 /// On-disk entry format version. Bump on any change to [`CacheEntry`]'s
 /// shape; it participates in the tool fingerprint, so old shards are
-/// simply never read again.
-pub const FORMAT: u32 = 1;
+/// simply never read again. Format 2 added the per-file inter-procedural
+/// facts ([`CacheEntry::interproc`]).
+pub const FORMAT: u32 = 2;
 
 /// Environment variable naming a default cache directory for the CLI.
 pub const CACHE_DIR_ENV: &str = "CFINDER_CACHE_DIR";
@@ -188,6 +190,11 @@ pub struct CacheEntry {
     pub classes: Vec<ModelInfo>,
     /// Parse-stage incidents the file produced.
     pub incidents: Vec<Incident>,
+    /// File-local inter-procedural facts: function/method check summaries
+    /// and delegation edges (input to app-wide summary construction).
+    /// Always extracted, even when the interproc option is off — gating
+    /// happens at use, so flipping the option never changes these facts.
+    pub interproc: InterprocFacts,
 }
 
 /// One file's cached detection facts under one model registry. Stored in
@@ -476,6 +483,26 @@ pub fn registry_hash(registry: &ModelRegistry) -> String {
     stable_hash_hex(format!("{registry:?}").as_bytes())
 }
 
+/// The context hash detect entries are addressed by. Intra-procedural
+/// detection depends only on the model registry; with inter-procedural
+/// propagation on, it also depends on the app-wide summary table, so the
+/// table's (deterministic, ordered-map) debug rendering is folded in.
+/// Editing any helper's body changes the table and re-addresses every
+/// detect entry — deliberately coarse: over-invalidation costs a warm
+/// pass, a stale summary would cost a wrong detection. Summary-neutral
+/// edits leave the table, and therefore the address, untouched.
+pub fn detect_context_hash(registry_hash: &str, summaries: Option<&SummaryTable>) -> String {
+    match summaries {
+        None => registry_hash.to_string(),
+        Some(table) => {
+            let mut h = StableHasher::new();
+            h.write_str(registry_hash);
+            h.write_str(&format!("{table:?}"));
+            h.finish_hex()
+        }
+    }
+}
+
 /// The tool fingerprint: everything besides file content that can change
 /// per-file analysis facts.
 fn tool_fingerprint(options: &CFinderOptions, limits: &Limits, salt: &str) -> String {
@@ -492,6 +519,7 @@ fn tool_fingerprint(options: &CFinderOptions, limits: &Limits, salt: &str) -> St
         options.default_inference,
         options.ext_one_to_one_unique,
         options.ext_url_identifier,
+        options.interprocedural,
         limits.inject_panic_marker,
     ] {
         h.write_u64(u64::from(flag));
@@ -583,6 +611,7 @@ mod tests {
             dropped: false,
             classes: Vec::new(),
             incidents: Vec::new(),
+            interproc: InterprocFacts::default(),
         }
     }
 
@@ -687,6 +716,12 @@ mod tests {
         let no_default = CFinderOptions { default_inference: false, ..o };
         assert_ne!(base, tool_fingerprint(&no_default, &l, ""));
         assert_ne!(tool_fingerprint(&no_check, &l, ""), tool_fingerprint(&no_default, &l, ""));
+        let no_interproc = CFinderOptions { interprocedural: false, ..o };
+        assert_ne!(
+            base,
+            tool_fingerprint(&no_interproc, &l, ""),
+            "flipping interprocedural must address a different shard"
+        );
         let capped = Limits { max_file_bytes: 1024, ..l };
         assert_ne!(base, tool_fingerprint(&o, &capped, ""));
         let deadline = Limits { deadline: Some(std::time::Duration::from_millis(50)), ..l };
@@ -698,6 +733,34 @@ mod tests {
             "a zero deadline is not the same tool as no deadline"
         );
         assert_ne!(base, tool_fingerprint(&o, &l, "salted"));
+    }
+
+    #[test]
+    fn detect_context_hash_folds_in_summaries() {
+        // Off (no table): the context is the bare registry hash, so the
+        // intra-procedural address scheme is byte-identical to before.
+        assert_eq!(detect_context_hash("reg", None), "reg");
+
+        // On: an empty table still re-addresses (interproc runs live in a
+        // different fingerprint shard anyway), and a table change — here,
+        // one extra summarized function — changes the address.
+        let empty = SummaryTable::default();
+        let with_empty = detect_context_hash("reg", Some(&empty));
+        assert_ne!(with_empty, "reg");
+        assert_eq!(with_empty, detect_context_hash("reg", Some(&empty)), "deterministic");
+
+        let m = cfinder_pyast::parse_module_recovering(
+            "def require(x):\n    if x is None:\n        raise ValueError()\n",
+        )
+        .module;
+        let facts = InterprocFacts::extract(&m);
+        let table =
+            SummaryTable::build(&[("helpers.py", &facts)], &cfinder_flow::SummaryBudget::default());
+        assert_ne!(detect_context_hash("reg", Some(&table)), with_empty);
+        assert_ne!(
+            detect_context_hash("other", Some(&table)),
+            detect_context_hash("reg", Some(&table))
+        );
     }
 
     #[test]

@@ -12,7 +12,7 @@ use std::collections::BTreeSet;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use cfinder_flow::{NullGuards, UseDefChains};
+use cfinder_flow::{InterprocFacts, NullGuards, SummaryBudget, SummaryTable, UseDefChains};
 use cfinder_obs::{Metrics, Obs};
 use cfinder_pyast::ast::{ClassDef, Module, Stmt, StmtKind};
 use cfinder_pyast::error::ParseErrorKind;
@@ -99,6 +99,18 @@ pub struct CFinderOptions {
     /// Extension PA_x2 (default **off**, §4.3.1's improvement note):
     /// fields interpolated into URL-shaped f-strings imply uniqueness.
     pub ext_url_identifier: bool,
+    /// One-level inter-procedural propagation: a helper whose parameter
+    /// check dominates a raise (`def require(x): if x is None: raise`)
+    /// makes the corresponding argument checked at every call site, so the
+    /// PA_n*/PA_c*/PA_d* families fire through one level of indirection
+    /// (the helper-wrapped false negatives the paper's §4.1.3 error
+    /// analysis attributes to inter-procedural enforcement). Summaries
+    /// compose to a bounded fixpoint under [`SummaryBudget`]; pathological
+    /// call graphs degrade with a typed
+    /// [`IncidentKind::InterprocDegraded`] incident, never hang. Off →
+    /// the paper's intra-procedural scope, byte-identical to pre-extension
+    /// reports.
+    pub interprocedural: bool,
     /// First-class per-file parse deadline, in milliseconds. `None` (the
     /// default) defers to [`Limits::deadline`] (which the CLI layer still
     /// fills from `CFINDER_DEADLINE_MS`); `Some(0)` explicitly disables
@@ -122,8 +134,22 @@ impl Default for CFinderOptions {
             default_inference: true,
             ext_one_to_one_unique: false,
             ext_url_identifier: false,
+            interprocedural: true,
             deadline_ms: None,
         }
+    }
+}
+
+impl CFinderOptions {
+    /// The paper's §4 evaluation configuration: every §3 design element
+    /// on, every post-paper extension off. In particular inter-procedural
+    /// propagation (§4.1.3 attributes the helper-wrapped false negatives
+    /// to its absence) is disabled, so runs under this configuration are
+    /// byte-identical to the reproduced Tables 4–10. The extension's gain
+    /// is quantified separately (the `interproc` reproduced table and the
+    /// `+ interprocedural` ablation row).
+    pub fn paper() -> Self {
+        CFinderOptions { interprocedural: false, ..Self::default() }
     }
 }
 
@@ -410,10 +436,15 @@ impl CFinder {
                 let (module, incidents) = parse_file_guarded(file, &limits, obs);
                 let classes =
                     module.as_ref().map(|m| extract_classes(m, &file.path)).unwrap_or_default();
+                // Inter-procedural facts are always extracted (they are a
+                // cheap single walk); the *use* is gated on the option, so
+                // flipping it never changes the cached parse facts.
+                let interproc = module.as_ref().map(InterprocFacts::extract).unwrap_or_default();
                 FileFacts {
                     dropped: module.is_none(),
                     module,
                     classes,
+                    interproc,
                     incidents,
                     content_hash: cache
                         .map(|_| cache::content_hash(&file.text))
@@ -489,6 +520,62 @@ impl CFinder {
         drop(pass_span);
         let model_extraction = stage.elapsed();
 
+        // Pass 1½: the app-wide summary table — def-site call-graph
+        // resolution plus bounded fixpoint composition of dominated-on-
+        // raise parameter checks. Serial (it folds every file's facts into
+        // one table) and deterministic; the whole stage is skipped when
+        // the interprocedural option is ablated. Resource-bounded like any
+        // other pass: the budget carries the per-file deadline, and a
+        // degraded build surfaces as typed incidents, never a hang.
+        let summaries: Option<SummaryTable> = if self.options.interprocedural {
+            let _span = obs.tracer.span("pass", || "summaries".to_string());
+            let per_file: Vec<(&str, &InterprocFacts)> = app
+                .files
+                .iter()
+                .zip(&facts)
+                .filter_map(|(file, f)| f.as_ref().map(|f| (file.path.as_str(), &f.interproc)))
+                .filter(|(_, ip)| !ip.is_empty())
+                .collect();
+            let budget = SummaryBudget {
+                deadline: limits.deadline.map(|d| Instant::now() + d),
+                ..SummaryBudget::default()
+            };
+            // No file contributed facts (e.g. every file dropped): the
+            // table is trivially empty — don't charge the budget (a
+            // zero deadline would otherwise report a degradation of work
+            // that does not exist).
+            let table = if per_file.is_empty() {
+                SummaryTable::default()
+            } else {
+                SummaryTable::build(&per_file, &budget)
+            };
+            if obs.metrics.is_enabled() {
+                let m = &obs.metrics;
+                m.add("cfinder_callgraph_nodes_total", table.stats.nodes as u64);
+                m.add("cfinder_callgraph_edges_total", table.stats.edges as u64);
+                m.add("cfinder_callgraph_ambiguous_total", table.stats.ambiguous as u64);
+                m.add("cfinder_summary_iterations_total", table.stats.iterations as u64);
+                for reason in &table.degraded {
+                    m.add_labeled("cfinder_summary_degraded_total", "reason", reason.label(), 1);
+                }
+            }
+            for reason in &table.degraded {
+                incidents.push(Incident::new(
+                    IncidentKind::InterprocDegraded,
+                    "<interproc>",
+                    0,
+                    format!(
+                        "summary construction hit the {} bound; call sites beyond it fall \
+                         back to intra-procedural results",
+                        reason.label()
+                    ),
+                ));
+            }
+            Some(table)
+        } else {
+            None
+        };
+
         // Pass 2: per-module detection, fanned out under the same per-item
         // panic boundary, again wrapped in the cache. A file's detect
         // facts are reusable only when the whole app's registry hashes the
@@ -502,7 +589,14 @@ impl CFinder {
         // as a worker-panic incident.
         let stage = Instant::now();
         let pass_span = obs.tracer.span("pass", || "detect".to_string());
-        let registry_hash = cache.map(|_| cache::registry_hash(&registry));
+        // Detect entries are addressed by the *context* hash: the registry
+        // alone intra-procedurally, registry ⊕ summary table when
+        // inter-procedural propagation is on (an edited helper body must
+        // invalidate its callers' detections).
+        let detect_context = cache.map(|_| {
+            let rh = cache::registry_hash(&registry);
+            cache::detect_context_hash(&rh, summaries.as_ref())
+        });
         let analyzable: Vec<(&SourceFile, &FileFacts)> = app
             .files
             .iter()
@@ -514,7 +608,7 @@ impl CFinder {
             threads,
             &obs.tracer,
             "detect",
-            |(file, f)| match (cache, &registry_hash) {
+            |(file, f)| match (cache, &detect_context) {
                 (Some(cache), Some(hash)) => lookup_detect_facts(cache, file, f, hash, obs),
                 _ => Ok(None),
             },
@@ -537,8 +631,14 @@ impl CFinder {
                 };
                 match module {
                     Some(module) => {
-                        let (detections, none_assigned) =
-                            detect_module(&registry, &self.options, file, module, obs);
+                        let (detections, none_assigned) = detect_module(
+                            &registry,
+                            &self.options,
+                            file,
+                            module,
+                            summaries.as_ref(),
+                            obs,
+                        );
                         DetectOut { detections, none_assigned, reparse_incidents, reparsed }
                     }
                     None => DetectOut {
@@ -550,7 +650,7 @@ impl CFinder {
                 }
             },
             |(file, f), out| {
-                let (Some(cache), Some(hash)) = (cache, registry_hash.as_ref()) else {
+                let (Some(cache), Some(hash)) = (cache, detect_context.as_ref()) else {
                     return false;
                 };
                 // A file whose re-parse degraded this run must not be
@@ -809,6 +909,8 @@ struct FileFacts {
     module: Option<Module>,
     /// File-local class facts ([`extract_classes`]).
     classes: Vec<ModelInfo>,
+    /// File-local inter-procedural facts ([`InterprocFacts::extract`]).
+    interproc: InterprocFacts,
     /// Parse-stage incidents.
     incidents: Vec<Incident>,
     /// The file's stable content hash, computed once in pass 0 and reused
@@ -853,6 +955,7 @@ fn lookup_file_facts(
                 dropped: entry.dropped,
                 module: None,
                 classes: entry.classes,
+                interproc: entry.interproc,
                 incidents: entry.incidents,
                 content_hash,
                 parsed: false,
@@ -913,6 +1016,7 @@ fn store_entry(cache: &AnalysisCache, file: &SourceFile, facts: &FileFacts, obs:
         dropped: facts.dropped,
         classes: facts.classes.clone(),
         incidents: facts.incidents.clone(),
+        interproc: facts.interproc.clone(),
     };
     record_write(cache.store(&entry), obs)
 }
@@ -961,6 +1065,7 @@ fn detect_module(
     options: &CFinderOptions,
     file: &SourceFile,
     module: &Module,
+    summaries: Option<&SummaryTable>,
     obs: &Obs,
 ) -> (Vec<Detection>, BTreeSet<(String, String)>) {
     // When observability is on, measure the module's detection wall-clock
@@ -977,6 +1082,7 @@ fn detect_module(
         &file.path,
         &file.text,
         None,
+        summaries,
         &mut detections,
         &mut none_assigned,
         probe.as_ref().map(|(_, _, timers)| timers),
@@ -1027,6 +1133,7 @@ fn analyze_scopes(
     file: &str,
     source: &str,
     class_ctx: Option<&ClassDef>,
+    summaries: Option<&SummaryTable>,
     detections: &mut Vec<Detection>,
     none_assigned: &mut BTreeSet<(String, String)>,
     families: Option<&FamilyTimers>,
@@ -1046,6 +1153,7 @@ fn analyze_scopes(
                     self_model,
                     file,
                     source,
+                    summaries,
                     detections,
                     none_assigned,
                     true,
@@ -1063,6 +1171,7 @@ fn analyze_scopes(
                     file,
                     source,
                     Some(c),
+                    summaries,
                     detections,
                     none_assigned,
                     families,
@@ -1094,6 +1203,7 @@ fn analyze_scopes(
                 None,
                 file,
                 source,
+                summaries,
                 detections,
                 none_assigned,
                 false,
@@ -1113,6 +1223,7 @@ fn analyze_function(
     self_model: Option<String>,
     file: &str,
     source: &str,
+    summaries: Option<&SummaryTable>,
     detections: &mut Vec<Detection>,
     none_assigned: &mut BTreeSet<(String, String)>,
     recurse_nested: bool,
@@ -1120,9 +1231,21 @@ fn analyze_function(
     metrics: &Metrics,
 ) {
     let chains = UseDefChains::compute(body, params);
-    let guards = NullGuards::analyze(body);
+    // With summaries available, a call to a NotNone-checking helper guards
+    // its argument path for the rest of the block (assert-like), which
+    // both suppresses PA_n1 false positives after the call and is the
+    // substrate detect_interproc matches on.
+    let guards = NullGuards::analyze_with(body, summaries);
     let resolver = Resolver::new(registry, &chains, self_model);
-    let ctx = DetectCtx { resolver: &resolver, guards: &guards, file, source, options, families };
+    let ctx = DetectCtx {
+        resolver: &resolver,
+        guards: &guards,
+        file,
+        source,
+        options,
+        summaries,
+        families,
+    };
     detect_all(&ctx, body, detections);
     collect_none_assignments(&ctx, body, none_assigned);
     metrics.add("cfinder_resolutions_total", resolver.resolution_count());
@@ -1141,6 +1264,7 @@ fn analyze_function(
                 None,
                 file,
                 source,
+                summaries,
                 detections,
                 none_assigned,
                 true,
@@ -1176,7 +1300,91 @@ mod tests {
         assert!(o.data_dependency_checks);
         assert!(o.composite_unique);
         assert!(o.partial_unique);
+        assert!(o.interprocedural);
         assert_eq!(CFinder::new().options(), &o);
+    }
+
+    #[test]
+    fn helper_wrapped_check_fires_through_one_call_level() {
+        // The enforcement lives in a helper in another file; the call site
+        // itself touches no guard syntax. Intra-procedurally this is the
+        // paper's §4.1.3 false negative; with summaries it becomes a PA_n2
+        // detection at the call site, with the helper hop in provenance.
+        let helpers = "def require_code(v):\n    if v.code is None:\n        raise ValueError('code required')\n";
+        let views = "def use(pk):\n    v = Voucher.objects.get(pk=pk)\n    require_code(v)\n";
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("helpers.py", helpers),
+                SourceFile::new("views.py", views),
+            ],
+        );
+        let report = CFinder::new().analyze(&app, &Schema::new());
+        let d = report
+            .detections
+            .iter()
+            .find(|d| d.via.is_some())
+            .expect("helper-wrapped site must be detected with interproc on");
+        assert_eq!(d.pattern, crate::report::PatternId::N2);
+        assert_eq!(d.file, "views.py");
+        assert_eq!(d.constraint, Constraint::not_null("Voucher", "code"));
+        let via = d.via.as_ref().unwrap();
+        assert_eq!(via.helper, "require_code");
+        assert_eq!(via.file, "helpers.py");
+        assert_eq!(via.line, 2, "the hop points at the check inside the helper");
+        assert!(report
+            .missing
+            .iter()
+            .any(|m| m.constraint == Constraint::not_null("Voucher", "code")));
+        assert!(report.incidents.is_empty(), "{:?}", report.incidents);
+
+        // Ablated, the call site is opaque again: no via-carrying
+        // detections and no inferred constraint.
+        let off = CFinder::with_options(CFinderOptions {
+            interprocedural: false,
+            ..CFinderOptions::default()
+        })
+        .analyze(&app, &Schema::new());
+        assert!(off.detections.iter().all(|d| d.via.is_none()));
+        assert!(!off
+            .missing
+            .iter()
+            .any(|m| m.constraint == Constraint::not_null("Voucher", "code")));
+    }
+
+    #[test]
+    fn helper_call_guards_argument_for_rest_of_block() {
+        // Secondary effect of summaries: after `require_code(v)`, `v.code`
+        // is known non-null, so the PA_n1 invocation below it must not be
+        // a false positive — while ablating interproc reintroduces it.
+        let helpers =
+            "def require_code(v):\n    if v.code is None:\n        raise ValueError('nope')\n";
+        let views = "def show(pk):\n    v = Voucher.objects.get(pk=pk)\n    require_code(v)\n    return v.code.strip()\n";
+        let app = AppSource::new(
+            "t",
+            vec![
+                SourceFile::new("models.py", MODELS),
+                SourceFile::new("helpers.py", helpers),
+                SourceFile::new("views.py", views),
+            ],
+        );
+        let on = CFinder::new().analyze(&app, &Schema::new());
+        assert!(
+            !on.detections.iter().any(|d| d.pattern == crate::report::PatternId::N1),
+            "the helper call guards v.code: {:?}",
+            on.detections
+        );
+        let off = CFinder::with_options(CFinderOptions {
+            interprocedural: false,
+            ..CFinderOptions::default()
+        })
+        .analyze(&app, &Schema::new());
+        assert!(
+            off.detections.iter().any(|d| d.pattern == crate::report::PatternId::N1),
+            "without summaries the guarded invocation is opaque: {:?}",
+            off.detections
+        );
     }
 
     #[test]

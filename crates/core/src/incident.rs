@@ -39,6 +39,11 @@ pub enum IncidentKind {
     /// source. The *analysis* of the file is unaffected — this records
     /// cache-infrastructure damage, so it does not degrade coverage.
     CacheCorrupt,
+    /// Inter-procedural summary construction hit a resource bound (node
+    /// cap, edge cap, iteration budget, or deadline) and degraded: call
+    /// sites beyond the bound fall back to intra-procedural results. The
+    /// per-file analysis itself is complete, so coverage is unaffected.
+    InterprocDegraded,
 }
 
 impl IncidentKind {
@@ -52,6 +57,7 @@ impl IncidentKind {
             IncidentKind::Deadline => "deadline",
             IncidentKind::WorkerPanic => "worker-panic",
             IncidentKind::CacheCorrupt => "cache-corrupt",
+            IncidentKind::InterprocDegraded => "interproc-degraded",
         }
     }
 
@@ -72,8 +78,11 @@ impl IncidentKind {
     /// (and therefore counts against [`Coverage`]). Cache-infrastructure
     /// incidents do not: a corrupt cache entry falls back to a full
     /// re-analysis of the file, so the file is still fully covered.
+    /// Inter-procedural degradation likewise leaves every file fully
+    /// analyzed intra-procedurally — it narrows an *extension*, not the
+    /// paper-scope analysis.
     pub fn affects_coverage(&self) -> bool {
-        !matches!(self, IncidentKind::CacheCorrupt)
+        !matches!(self, IncidentKind::CacheCorrupt | IncidentKind::InterprocDegraded)
     }
 }
 
@@ -202,6 +211,9 @@ mod tests {
         assert!(!IncidentKind::CacheCorrupt.affects_coverage());
         assert!(IncidentKind::RecoveredSyntax.affects_coverage());
         assert_eq!(IncidentKind::CacheCorrupt.label(), "cache-corrupt");
+        assert_eq!(IncidentKind::InterprocDegraded.label(), "interproc-degraded");
+        assert!(!IncidentKind::InterprocDegraded.drops_file());
+        assert!(!IncidentKind::InterprocDegraded.affects_coverage());
     }
 
     #[test]

@@ -57,6 +57,6 @@ pub use fsio::{atomic_write, atomic_write_with, ATOMIC_FAULT_ENV};
 pub use incident::{Coverage, Incident, IncidentKind};
 pub use models::{FieldInfo, FieldKind, ModelInfo, ModelRegistry};
 pub use report::{
-    AnalysisReport, Detection, MissingConstraint, PatternId, Provenance, StageTimings,
+    AnalysisReport, Detection, HelperHop, MissingConstraint, PatternId, Provenance, StageTimings,
 };
 pub use resolve::{ColBinding, Resolution, Resolver};

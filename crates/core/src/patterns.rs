@@ -14,14 +14,14 @@
 use std::collections::BTreeSet;
 
 use cfinder_flow::nullguard::{guard_paths, AccessPath};
-use cfinder_flow::NullGuards;
+use cfinder_flow::{CheckKind, NullGuards, SummaryCmp, SummaryLit, SummaryTable};
 use cfinder_pyast::ast::{CmpOp, Constant, Expr, ExprKind, Stmt, StmtKind, UnaryOp};
 use cfinder_pyast::visit::bfs_exprs;
 use cfinder_schema::{CompareOp, Condition, Constraint, Literal, Predicate};
 
 use crate::detect::CFinderOptions;
 use crate::models::{FieldKind, ModelRegistry};
-use crate::report::{Detection, PatternId};
+use crate::report::{Detection, HelperHop, PatternId};
 use crate::resolve::{kwarg_bindings, ColBinding, Resolution, Resolver};
 use crate::syntax::{
     match_bfs, match_bfs_all, p_error_call, p_exist_negative, p_exist_positive, p_get, p_save,
@@ -80,6 +80,9 @@ pub struct DetectCtx<'a> {
     pub source: &'a str,
     /// Analyzer feature toggles (ablation knobs).
     pub options: &'a CFinderOptions,
+    /// App-wide helper summaries; `None` when inter-procedural
+    /// propagation is ablated (or the caller has no table).
+    pub summaries: Option<&'a SummaryTable>,
     /// Per-family time accumulator; `None` (the production default when
     /// observability is off) skips the clock reads entirely.
     pub families: Option<&'a FamilyTimers>,
@@ -93,6 +96,17 @@ impl<'a> DetectCtx<'a> {
         constraint: Constraint,
         at: &Stmt,
     ) {
+        self.emit_via(out, pattern, constraint, at, None);
+    }
+
+    fn emit_via(
+        &self,
+        out: &mut Vec<Detection>,
+        pattern: PatternId,
+        constraint: Constraint,
+        at: &Stmt,
+        via: Option<HelperHop>,
+    ) {
         let snippet = snippet_of(self.source, at);
         out.push(Detection {
             pattern,
@@ -100,6 +114,7 @@ impl<'a> DetectCtx<'a> {
             file: self.file.to_string(),
             span: at.span,
             snippet,
+            via,
         });
     }
 }
@@ -140,6 +155,11 @@ pub fn detect_all(ctx: &DetectCtx<'_>, body: &[Stmt], out: &mut Vec<Detection>) 
         timed(ctx, 7, || detect_c1(ctx, stmt, out));
         timed(ctx, 8, || detect_c2(ctx, stmt, out));
         timed(ctx, 9, || detect_d1(ctx, stmt, out));
+        // Inter-procedural matches re-use the families above (a summary
+        // firing *is* a PA_n2/PA_c1/PA_c2/PA_d1 match one call away), so
+        // they are not a timed family of their own; the summaries pass has
+        // its own span and metrics instead.
+        detect_interproc(ctx, stmt, out);
     });
 }
 
@@ -194,6 +214,7 @@ pub fn detect_n3(
                 file: model.file.clone(),
                 span: cfinder_pyast::Span::DUMMY,
                 snippet: format!("{} = …(default=…)", field.name),
+                via: None,
             });
         }
     }
@@ -633,6 +654,97 @@ fn branch_assigns_constant(branch: &[Stmt], path: &AccessPath) -> Option<Literal
         }
     });
     found
+}
+
+// --- Inter-procedural propagation: summaries fire patterns at call sites --------
+
+/// Helper-wrapped enforcement: a call whose def-site-resolved callee
+/// summary establishes checks on argument paths becomes a detection *at
+/// the call site*, in the same pattern family the check would have
+/// matched written in-line — NotNone ⇒ PA_n2, comparison ⇒ PA_c1,
+/// membership ⇒ PA_c2, sentinel default ⇒ PA_d1 — with the helper hop
+/// recorded on the detection for provenance (`rule → helper def → call
+/// site → constraint`). Each family honors its own ablation flag, so
+/// e.g. `--ablate check` silences helper-carried CHECKs exactly like
+/// in-line ones.
+fn detect_interproc(ctx: &DetectCtx<'_>, stmt: &Stmt, out: &mut Vec<Detection>) {
+    let Some(table) = ctx.summaries else { return };
+    if table.is_empty() {
+        return;
+    }
+    for root in own_exprs(stmt) {
+        for e in bfs_exprs(root) {
+            let ExprKind::Call { func, args, keywords } = &e.kind else { continue };
+            let Some(call) = table.resolve_call(func, args, keywords) else { continue };
+            for (path, check) in &call.checks {
+                let ap = AccessPath(path.clone());
+                let Some((model, column)) = field_of_path(ctx, &ap, stmt) else { continue };
+                let (pattern, constraint) = match &check.kind {
+                    CheckKind::NotNone => (PatternId::N2, Constraint::not_null(model, column)),
+                    CheckKind::Compare { op, lit } => {
+                        if !ctx.options.check_inference {
+                            continue;
+                        }
+                        let p = Predicate::compare(
+                            column,
+                            compare_op_of_summary(*op),
+                            literal_of_summary(lit),
+                        );
+                        (PatternId::C1, Constraint::check(model, p))
+                    }
+                    CheckKind::Member { values } => {
+                        if !ctx.options.check_inference {
+                            continue;
+                        }
+                        let values: Vec<Literal> = values.iter().map(literal_of_summary).collect();
+                        (
+                            PatternId::C2,
+                            Constraint::check(model, Predicate::in_values(column, values)),
+                        )
+                    }
+                    CheckKind::DefaultAssign { value } => {
+                        if !ctx.options.default_inference {
+                            continue;
+                        }
+                        (
+                            PatternId::D1,
+                            Constraint::default_value(model, column, literal_of_summary(value)),
+                        )
+                    }
+                };
+                let via = HelperHop {
+                    helper: call.summary.name.clone(),
+                    file: call.summary.file.clone(),
+                    line: check.line,
+                };
+                ctx.emit_via(out, pattern, constraint, stmt, Some(via));
+            }
+        }
+    }
+}
+
+/// Summary comparison operators onto the predicate algebra (summaries
+/// store the direction that *holds* for valid values, same as
+/// [`Predicate::compare`] expects).
+fn compare_op_of_summary(op: SummaryCmp) -> CompareOp {
+    match op {
+        SummaryCmp::Eq => CompareOp::Eq,
+        SummaryCmp::Ne => CompareOp::Ne,
+        SummaryCmp::Lt => CompareOp::Lt,
+        SummaryCmp::Le => CompareOp::Le,
+        SummaryCmp::Gt => CompareOp::Gt,
+        SummaryCmp::Ge => CompareOp::Ge,
+    }
+}
+
+/// Summary literals onto SQL literals (summaries only ever record the
+/// int/str/bool subset [`literal_of`] accepts, so this is total).
+fn literal_of_summary(lit: &SummaryLit) -> Literal {
+    match lit {
+        SummaryLit::Int(i) => Literal::Int(*i),
+        SummaryLit::Str(s) => Literal::Str(s.clone()),
+        SummaryLit::Bool(b) => Literal::Bool(*b),
+    }
 }
 
 // --- PA_f1 / PA_f2: foreign-key reference patterns ------------------------------
@@ -1447,6 +1559,7 @@ pub fn detect_x1(registry: &ModelRegistry, out: &mut Vec<Detection>) {
                     file: model.file.clone(),
                     span: cfinder_pyast::Span::DUMMY,
                     snippet: format!("{} = models.OneToOneField(…)", field.name),
+                    via: None,
                 });
             }
         }

@@ -138,9 +138,28 @@ impl fmt::Display for PatternId {
     }
 }
 
+/// The intermediate hop of an inter-procedurally derived detection: the
+/// validation helper whose dominated-on-raise check the call site
+/// inherits. `None` on a [`Detection`] means the pattern matched directly
+/// at the reported site (the paper's intra-procedural scope).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HelperHop {
+    /// Name of the helper function (or method) whose summary fired.
+    pub helper: String,
+    /// File the helper is defined in.
+    pub file: String,
+    /// 1-based line of the establishing check inside the helper body.
+    pub line: u32,
+}
+
 /// One pattern match that implies a constraint, with its code location —
 /// the "detailed code pattern information" CFinder reports.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialization omits the `via` key entirely when `None`, so
+/// intra-procedural reports are byte-identical to their pre-interproc
+/// shape; deserialization treats an absent key as `None`, so old cache
+/// entries and goldens still load.
+#[derive(Debug, Clone, PartialEq, Deserialize)]
 pub struct Detection {
     /// Which pattern matched.
     pub pattern: PatternId,
@@ -152,15 +171,36 @@ pub struct Detection {
     pub span: Span,
     /// The matched snippet, rendered.
     pub snippet: String,
+    /// The helper hop this detection was propagated through, when the
+    /// pattern fired one call level away from the enforcement code.
+    pub via: Option<HelperHop>,
+}
+
+impl Serialize for Detection {
+    fn to_value(&self) -> serde::Value {
+        let mut m = vec![
+            ("pattern".to_string(), self.pattern.to_value()),
+            ("constraint".to_string(), self.constraint.to_value()),
+            ("file".to_string(), self.file.to_value()),
+            ("span".to_string(), self.span.to_value()),
+            ("snippet".to_string(), self.snippet.to_value()),
+        ];
+        if let Some(via) = &self.via {
+            m.push(("via".to_string(), via.to_value()));
+        }
+        serde::Value::Map(m)
+    }
 }
 
 impl Detection {
     /// The full provenance chain for this detection: pattern rule →
-    /// source site → table/columns → constraint DDL.
+    /// (helper definition, when inter-procedural) → source site →
+    /// table/columns → constraint DDL.
     pub fn provenance(&self) -> Provenance {
         Provenance {
             pattern: self.pattern.label().to_string(),
             rule: self.pattern.rule().to_string(),
+            via: self.via.clone(),
             file: self.file.clone(),
             line: self.span.start.line,
             snippet: self.snippet.clone(),
@@ -175,13 +215,17 @@ impl Detection {
 /// Why a constraint was inferred: the explainable chain from pattern rule
 /// through source location to the emitted DDL (one per supporting
 /// detection). Surfaced by `cfinder explain` and the `--provenance` JSON
-/// field.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+/// field. Like [`Detection`], the `via` key is omitted from JSON when the
+/// detection was intra-procedural.
+#[derive(Debug, Clone, PartialEq)]
 pub struct Provenance {
     /// Paper-style pattern label (`PA_u1`, …).
     pub pattern: String,
     /// One-sentence pattern rule ([`PatternId::rule`]).
     pub rule: String,
+    /// The helper hop, when the rule fired through one call level of
+    /// indirection: rule → helper def → call site → constraint.
+    pub via: Option<HelperHop>,
     /// Source file of the matched site.
     pub file: String,
     /// 1-based line of the matched site (1 for registry-level patterns
@@ -197,6 +241,28 @@ pub struct Provenance {
     pub constraint: String,
     /// The constraint as `ALTER TABLE …` DDL.
     pub ddl: String,
+}
+
+impl Serialize for Provenance {
+    fn to_value(&self) -> serde::Value {
+        let mut m = vec![
+            ("pattern".to_string(), self.pattern.to_value()),
+            ("rule".to_string(), self.rule.to_value()),
+        ];
+        if let Some(via) = &self.via {
+            m.push(("via".to_string(), via.to_value()));
+        }
+        m.extend([
+            ("file".to_string(), self.file.to_value()),
+            ("line".to_string(), self.line.to_value()),
+            ("snippet".to_string(), self.snippet.to_value()),
+            ("table".to_string(), self.table.to_value()),
+            ("columns".to_string(), self.columns.to_value()),
+            ("constraint".to_string(), self.constraint.to_value()),
+            ("ddl".to_string(), self.ddl.to_value()),
+        ]);
+        serde::Value::Map(m)
+    }
 }
 
 /// A constraint absent from the declared schema, with the detections that
@@ -398,6 +464,7 @@ mod tests {
             file: "f.py".into(),
             span: Span::DUMMY,
             snippet: String::new(),
+            via: None,
         }
     }
 
@@ -492,6 +559,29 @@ mod tests {
         assert_eq!(report.stable_json(), base);
         report.incidents.push(Incident::new(IncidentKind::WorkerPanic, "b.py", 0, "boom"));
         assert_ne!(report.stable_json(), base);
+    }
+
+    #[test]
+    fn detection_via_is_omitted_when_absent() {
+        let d = det(PatternId::N2, Constraint::not_null("t", "a"));
+        let json = serde_json::to_string(&d).unwrap();
+        assert!(!json.contains("via"), "intra-procedural detections must not carry a via key");
+        // An old-shape payload (no `via` key) still deserializes.
+        let back: Detection = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, d);
+        assert_eq!(back.provenance().via, None);
+
+        let mut d2 = d.clone();
+        d2.via = Some(HelperHop { helper: "require".into(), file: "helpers.py".into(), line: 4 });
+        let json2 = serde_json::to_string(&d2).unwrap();
+        assert!(json2.contains("\"via\""));
+        assert!(json2.contains("require"));
+        let back2: Detection = serde_json::from_str(&json2).unwrap();
+        assert_eq!(back2, d2);
+        let prov = serde_json::to_string(&back2.provenance()).unwrap();
+        assert!(prov.contains("\"via\""));
+        let prov_plain = serde_json::to_string(&d.provenance()).unwrap();
+        assert!(!prov_plain.contains("\"via\""));
     }
 
     #[test]

@@ -139,6 +139,9 @@ struct Gen {
     /// Extra classes (abstract bases + their concretes for FP sites).
     extra_tables: Vec<TableSpec>,
     services: Vec<String>,
+    /// Validator helper functions (rendered into `validators.py`): the
+    /// definitions the inter-procedural call sites resolve to.
+    validators: Vec<String>,
     truth: GroundTruth,
     /// Rotating cursor for assigning sites to tables.
     cursor: usize,
@@ -234,6 +237,7 @@ pub fn generate(profile: &AppProfile, options: GenOptions) -> GeneratedApp {
         tables: Vec::new(),
         extra_tables: Vec::new(),
         services: Vec::new(),
+        validators: Vec::new(),
         truth: GroundTruth::default(),
         cursor: 0,
         field_ord: Vec::new(),
@@ -276,6 +280,7 @@ pub fn generate(profile: &AppProfile, options: GenOptions) -> GeneratedApp {
     plant_missing_not_null(&mut g, profile);
     plant_missing_fk(&mut g, profile, reserve_from);
     plant_missing_check_default(&mut g, profile);
+    plant_interproc_sites(&mut g, profile);
     plant_ablation_targets(&mut g, profile);
     pad_columns(&mut g, profile);
 
@@ -693,6 +698,120 @@ fn plant_missing_check_default(g: &mut Gen, profile: &AppProfile) {
     }
 }
 
+/// Helper-wrapped enforcement sites — the §4.1.3 false-negative class the
+/// inter-procedural extension recovers — plus the two traps that pin the
+/// extension's precision. Helper definitions render into `validators.py`;
+/// the call sites stay in the service files, so every recovered detection
+/// crosses a file boundary the way the paper's error analysis describes.
+/// Consumes no RNG, so every site planted before this stays byte-identical
+/// with the plan present. The recovered constraints go into
+/// `GroundTruth::interproc_missing` — *not* `true_missing` — so the
+/// paper-pinned Table 6/7 cells never move.
+fn plant_interproc_sites(g: &mut Gen, profile: &AppProfile) {
+    let plan = profile.missing.interproc;
+    // PA_n2 through a hop: the helper raises when the field is None.
+    for _ in 0..plan.n2 {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("require");
+        let fun = g.names.func("enforce");
+        g.validators.push(format!(
+            "def {helper}(obj):\n    if obj.{f} is None:\n        raise ValueError('{f} required')\n"
+        ));
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj)\n"
+        ));
+        g.truth.interproc_missing.insert(Constraint::not_null(&table, f));
+    }
+    // PA_c1 through a hop: a comparison guard that raises, on a bare
+    // parameter the call site feeds a field into.
+    for _ in 0..plan.c1 {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("ensure_positive");
+        let fun = g.names.func("submit");
+        g.validators.push(format!(
+            "def {helper}(amount):\n    if amount <= 0:\n        raise ValueError('must be positive')\n"
+        ));
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj.{f})\n"
+        ));
+        let c = Constraint::check(&table, Predicate::compare(&f, CompareOp::Gt, Literal::Int(0)));
+        g.truth.interproc_missing.insert(c);
+    }
+    // PA_c2 through a hop: a membership guard that raises.
+    for _ in 0..plan.c2 {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("ensure_state");
+        let fun = g.names.func("transition");
+        g.validators.push(format!(
+            "def {helper}(state):\n    if state not in ('open', 'closed'):\n        raise ValueError('bad state')\n"
+        ));
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj.{f})\n"
+        ));
+        let values = [Literal::Str("open".into()), Literal::Str("closed".into())];
+        g.truth
+            .interproc_missing
+            .insert(Constraint::check(&table, Predicate::in_values(&f, values)));
+    }
+    // PA_d1 through a hop: the helper assigns the sentinel fallback.
+    for _ in 0..plan.d1 {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Int);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("fill_default");
+        let fun = g.names.func("prepare");
+        g.validators
+            .push(format!("def {helper}(obj):\n    if obj.{f} is None:\n        obj.{f} = 1\n"));
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj)\n"
+        ));
+        g.truth.interproc_missing.insert(Constraint::default_value(&table, &f, Literal::Int(1)));
+    }
+    // Trap: the helper raises on its *other* parameter — the field the
+    // call site passes is never checked. Crediting it would be a FP.
+    for _ in 0..plan.trap_wrong_param {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("check_fallback");
+        let fun = g.names.func("record_fallback");
+        g.validators.push(format!(
+            "def {helper}(value, fallback):\n    if fallback is None:\n        raise ValueError('fallback required')\n"
+        ));
+        g.services.push(format!(
+            "def {fun}(pk, fallback):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj.{f}, fallback)\n"
+        ));
+        g.truth
+            .planted_fps
+            .insert(Constraint::not_null(&table, f), FpMechanism::InterprocWrongParam);
+    }
+    // Trap: an early `return` precedes the raise, so the raise does not
+    // dominate the helper's exit — the call site is *not* guaranteed the
+    // invariant and the extractor must refuse to summarize the helper.
+    for _ in 0..plan.trap_nondominating {
+        let t = g.next_table();
+        let f = g.fresh_field(t, FieldDecl::Text);
+        let table = g.tables[t].name.clone();
+        let helper = g.names.func("soft_require");
+        let fun = g.names.func("soft_enforce");
+        g.validators.push(format!(
+            "def {helper}(value):\n    if value == '':\n        return False\n    if value is None:\n        raise ValueError('value required')\n"
+        ));
+        g.services.push(format!(
+            "def {fun}(pk):\n    obj = {table}.objects.get(pk=pk)\n    {helper}(obj.{f})\n"
+        ));
+        g.truth
+            .planted_fps
+            .insert(Constraint::not_null(&table, f), FpMechanism::InterprocNonDominating);
+    }
+}
+
 /// Sites that are *correct* under the full analysis but become false
 /// positives when a design element is ablated (see
 /// `cfinder_core::CFinderOptions`): properly-guarded invocations on
@@ -821,9 +940,21 @@ fn render_files(g: &Gen, profile: &AppProfile, options: GenOptions) -> Vec<Gener
         text: "def blank_value(obj, name):\n    return getattr(obj, name, None) is None\n\n\ndef chunk(seq, size):\n    out = []\n    for i in range(0, len(seq), size):\n        out.append(seq[i:i + size])\n    return out\n".to_string(),
     });
 
+    // Validator helpers: the inter-procedural enforcement sites' helper
+    // definitions, in their own module so every recovered detection
+    // crosses a file boundary.
+    let mut vtext = String::new();
+    for fun in &g.validators {
+        vtext.push_str(fun);
+        vtext.push('\n');
+    }
+    files.push(GeneratedFile { path: "validators.py".to_string(), text: vtext });
+
     // Service files, ~40 functions per file.
     for (i, chunk) in g.services.chunks(40).enumerate() {
-        let mut text = String::from("from .models import *\nfrom .helpers import blank_value\n\n");
+        let mut text = String::from(
+            "from .models import *\nfrom .helpers import blank_value\nfrom .validators import *\n\n",
+        );
         for fun in chunk {
             text.push_str(fun);
             text.push('\n');
@@ -949,6 +1080,8 @@ mod tests {
                         m,
                         crate::manifest::FpMechanism::GuardedNullable
                             | crate::manifest::FpMechanism::CrossModelCheck
+                            | crate::manifest::FpMechanism::InterprocWrongParam
+                            | crate::manifest::FpMechanism::InterprocNonDominating
                     )
                 })
                 .count();
@@ -974,8 +1107,40 @@ mod tests {
         let app = generate(&p, GenOptions::quick());
         assert!(app.files.iter().any(|f| f.path.starts_with("models_")));
         assert!(app.files.iter().any(|f| f.path == "helpers.py"));
+        assert!(app.files.iter().any(|f| f.path == "validators.py"));
         assert!(app.files.iter().any(|f| f.path.starts_with("services_")));
         assert!(app.files.iter().any(|f| f.path.starts_with("noise_")));
+    }
+
+    #[test]
+    fn interproc_truth_counts_match_plan() {
+        for p in crate::profiles::all_profiles() {
+            let app = generate(&p, GenOptions::quick());
+            assert_eq!(
+                app.truth.interproc_missing.len(),
+                p.missing.interproc.recovered_total(),
+                "{} interproc-missing count",
+                p.name
+            );
+            let traps = app
+                .truth
+                .planted_fps
+                .values()
+                .filter(|m| {
+                    matches!(
+                        m,
+                        FpMechanism::InterprocWrongParam | FpMechanism::InterprocNonDominating
+                    )
+                })
+                .count();
+            assert_eq!(traps, p.missing.interproc.trap_total(), "{} trap count", p.name);
+            // The helper-wrapped constraints stay out of the intra-
+            // procedural plan and out of the declared schema.
+            for c in app.truth.interproc_missing.iter() {
+                assert!(!app.truth.true_missing.contains(c), "{}: {c} double-counted", p.name);
+                assert!(!app.declared.constraints().contains(c), "{}: {c} declared", p.name);
+            }
+        }
     }
 }
 

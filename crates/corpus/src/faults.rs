@@ -120,6 +120,27 @@ pub fn inject_faults(app: &mut GeneratedApp, seed: u64, count: usize) -> Vec<Fau
     faults
 }
 
+/// Injects one fault of the given kind into the named file (for tests
+/// that must corrupt a *specific* file — e.g. the helper-definition file
+/// `validators.py` — with every corruption class in turn). Deterministic
+/// for a given `(app, path, kind, seed)`. Panics if the file does not
+/// exist or if a destructive kind targets a model file, since that would
+/// silently break the registry-safety rule the harness relies on.
+pub fn inject_fault_at(app: &mut GeneratedApp, path: &str, kind: FaultKind, seed: u64) -> Fault {
+    assert!(
+        !kind.is_destructive() || !is_model_file(path),
+        "destructive fault {kind:?} must not target model file {path}"
+    );
+    let file = app
+        .files
+        .iter_mut()
+        .find(|f| f.path == path)
+        .unwrap_or_else(|| panic!("no file {path} in {}", app.name));
+    let mut rng = StdRng::seed_from_u64(seed);
+    apply(kind, &mut file.text, &mut rng);
+    Fault { kind, file: path.to_string() }
+}
+
 fn is_model_file(path: &str) -> bool {
     path.rsplit('/').next().is_some_and(|name| name.starts_with("models"))
 }

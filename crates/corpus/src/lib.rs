@@ -23,7 +23,7 @@ pub mod profiles;
 pub mod study;
 
 pub use builder::{generate, GenOptions, GeneratedApp, GeneratedFile};
-pub use faults::{inject_faults, inject_panic_marker, Fault, FaultKind};
+pub use faults::{inject_fault_at, inject_faults, inject_panic_marker, Fault, FaultKind};
 pub use manifest::{FpMechanism, GroundTruth, Verdict};
-pub use profiles::{all_profiles, profile, AppProfile, ExistingPlan, MissingPlan};
+pub use profiles::{all_profiles, profile, AppProfile, ExistingPlan, InterprocPlan, MissingPlan};
 pub use study::{dataset, dataset_counts, study_corpus, DatasetEntry, StudyApp};

@@ -42,6 +42,15 @@ pub enum FpMechanism {
     /// An existence check on one table guarding a save of another — only
     /// detected when the data-dependency condition is ablated.
     CrossModelCheck,
+    /// A helper call whose checked parameter is *not* the one the field
+    /// flows into (`validate(obj.f, fallback)` where the helper raises on
+    /// `fallback`). Crediting the check to the field would be wrong; the
+    /// summary's per-parameter mapping must keep it out.
+    InterprocWrongParam,
+    /// A helper whose raise does not dominate its exit (an early `return`
+    /// precedes the None check), so the call site is *not* guaranteed the
+    /// invariant. The summary extractor must refuse to summarize it.
+    InterprocNonDominating,
 }
 
 /// Ground truth for one generated application.
@@ -58,12 +67,18 @@ pub struct GroundTruth {
     /// (inter-procedural sites, unused fields) — the recall denominator
     /// includes them.
     pub undetectable_missing: ConstraintSet,
+    /// True missing constraints enforced only through a one-level helper
+    /// call: invisible to the paper's intra-procedural configuration,
+    /// recovered when `CFinderOptions::interprocedural` is on. Kept
+    /// separate from [`GroundTruth::true_missing`] so the paper-pinned
+    /// Table 6/7 cells never move.
+    pub interproc_missing: ConstraintSet,
 }
 
 impl GroundTruth {
     /// Classifies a detected missing constraint.
     pub fn classify(&self, c: &Constraint) -> Verdict {
-        if self.true_missing.contains(c) {
+        if self.true_missing.contains(c) || self.interproc_missing.contains(c) {
             Verdict::TruePositive
         } else if let Some(m) = self.planted_fps.get(c) {
             Verdict::FalsePositive(*m)
@@ -74,7 +89,7 @@ impl GroundTruth {
 
     /// All semantically-missing constraints (detectable or not).
     pub fn all_missing(&self) -> ConstraintSet {
-        self.true_missing.union(&self.undetectable_missing)
+        self.true_missing.union(&self.undetectable_missing).union(&self.interproc_missing)
     }
 }
 

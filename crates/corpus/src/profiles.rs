@@ -65,6 +65,49 @@ pub struct MissingPlan {
     pub d1_tp: usize,
     /// PA_d1 false positives: creation-time marker values.
     pub d1_fp_marker: usize,
+
+    /// Helper-wrapped enforcement sites: invisible intra-procedurally,
+    /// recovered with `CFinderOptions::interprocedural`. Separate from
+    /// the Table 6/7 cells above, which never move.
+    pub interproc: InterprocPlan,
+}
+
+/// Plan for one application's helper-wrapped (inter-procedural)
+/// enforcement sites — the §4.1.3 false-negative class the call-graph
+/// extension recovers — plus the traps that pin its precision.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct InterprocPlan {
+    /// Not-null checks wrapped in a `raise`-on-None helper (PA_n2 through
+    /// one call hop).
+    pub n2: usize,
+    /// Comparison CHECK guards wrapped in a helper (PA_c1 through a hop).
+    pub c1: usize,
+    /// Membership CHECK guards wrapped in a helper (PA_c2 through a hop).
+    pub c2: usize,
+    /// Sentinel DEFAULT assignments wrapped in a helper (PA_d1 through a
+    /// hop).
+    pub d1: usize,
+    /// Trap: the helper raises on a *different* parameter than the one
+    /// the field flows into. Detecting it would be a false positive
+    /// ([`crate::manifest::FpMechanism::InterprocWrongParam`]).
+    pub trap_wrong_param: usize,
+    /// Trap: the helper's raise does not dominate its exit (an early
+    /// `return` precedes the check). Detecting it would be a false
+    /// positive ([`crate::manifest::FpMechanism::InterprocNonDominating`]).
+    pub trap_nondominating: usize,
+}
+
+impl InterprocPlan {
+    /// Constraints the inter-procedural configuration should recover on
+    /// top of the paper configuration (the traps contribute nothing).
+    pub fn recovered_total(&self) -> usize {
+        self.n2 + self.c1 + self.c2 + self.d1
+    }
+
+    /// Planted trap sites (expected new false positives: zero).
+    pub fn trap_total(&self) -> usize {
+        self.trap_wrong_param + self.trap_nondominating
+    }
 }
 
 impl MissingPlan {
@@ -194,6 +237,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 1,
                 d1_tp: 1,
                 d1_fp_marker: 0,
+                interproc: InterprocPlan {
+                    n2: 2,
+                    c1: 1,
+                    c2: 0,
+                    d1: 1,
+                    trap_wrong_param: 1,
+                    trap_nondominating: 1,
+                },
             },
             seed: 0x05CA,
         },
@@ -234,6 +285,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 0,
                 d1_tp: 1,
                 d1_fp_marker: 1,
+                interproc: InterprocPlan {
+                    n2: 1,
+                    c1: 0,
+                    c2: 1,
+                    d1: 0,
+                    trap_wrong_param: 1,
+                    trap_nondominating: 0,
+                },
             },
             seed: 0x5A1E,
         },
@@ -274,6 +333,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 1,
                 d1_tp: 1,
                 d1_fp_marker: 0,
+                interproc: InterprocPlan {
+                    n2: 2,
+                    c1: 1,
+                    c2: 0,
+                    d1: 1,
+                    trap_wrong_param: 0,
+                    trap_nondominating: 1,
+                },
             },
             seed: 0x5817,
         },
@@ -314,6 +381,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 0,
                 d1_tp: 0,
                 d1_fp_marker: 1,
+                interproc: InterprocPlan {
+                    n2: 1,
+                    c1: 1,
+                    c2: 0,
+                    d1: 0,
+                    trap_wrong_param: 1,
+                    trap_nondominating: 0,
+                },
             },
             seed: 0x2517,
         },
@@ -354,6 +429,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 0,
                 d1_tp: 1,
                 d1_fp_marker: 0,
+                interproc: InterprocPlan {
+                    n2: 1,
+                    c1: 0,
+                    c2: 0,
+                    d1: 1,
+                    trap_wrong_param: 0,
+                    trap_nondominating: 1,
+                },
             },
             seed: 0x3A67,
         },
@@ -394,6 +477,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 1,
                 d1_tp: 2,
                 d1_fp_marker: 1,
+                interproc: InterprocPlan {
+                    n2: 2,
+                    c1: 1,
+                    c2: 1,
+                    d1: 1,
+                    trap_wrong_param: 1,
+                    trap_nondominating: 1,
+                },
             },
             seed: 0xED58,
         },
@@ -434,6 +525,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 0,
                 d1_tp: 1,
                 d1_fp_marker: 0,
+                interproc: InterprocPlan {
+                    n2: 1,
+                    c1: 0,
+                    c2: 0,
+                    d1: 0,
+                    trap_wrong_param: 1,
+                    trap_nondominating: 0,
+                },
             },
             seed: 0xEC01,
         },
@@ -474,6 +573,14 @@ pub fn all_profiles() -> Vec<AppProfile> {
                 c1_fp_transient: 0,
                 d1_tp: 2,
                 d1_fp_marker: 0,
+                interproc: InterprocPlan {
+                    n2: 2,
+                    c1: 1,
+                    c2: 0,
+                    d1: 1,
+                    trap_wrong_param: 0,
+                    trap_nondominating: 0,
+                },
             },
             seed: 0xC0FE,
         },
@@ -564,6 +671,28 @@ mod tests {
         let tp_d: usize = open.iter().map(|p| p.missing.check_default_true_positives().1).sum();
         assert_eq!((tot_c, tp_c), (17, 14)); // 82%
         assert_eq!((tot_d, tp_d), (10, 7)); // 70%
+    }
+
+    #[test]
+    fn interproc_extension_totals() {
+        // The helper-wrapped (§4.1.3) sites are planted on top of the
+        // Table 6/7 plans: twenty recoverable across the open-source
+        // apps, four in the commercial one, and nine traps that must
+        // yield zero new false positives.
+        let open: Vec<AppProfile> =
+            all_profiles().into_iter().filter(|p| p.name != "company").collect();
+        let recovered: usize = open.iter().map(|p| p.missing.interproc.recovered_total()).sum();
+        let traps: usize = open.iter().map(|p| p.missing.interproc.trap_total()).sum();
+        assert_eq!(recovered, 20);
+        assert_eq!(traps, 9);
+        let company = profile("company").unwrap();
+        assert_eq!(company.missing.interproc.recovered_total(), 4);
+        assert_eq!(company.missing.interproc.trap_total(), 0);
+        // Every app carries at least one helper-wrapped site, so the
+        // per-app intra-vs-inter ablation row is never vacuous.
+        for p in all_profiles() {
+            assert!(p.missing.interproc.recovered_total() >= 1, "{}", p.name);
+        }
     }
 
     #[test]

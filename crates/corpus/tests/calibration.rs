@@ -2,7 +2,7 @@
 //! apps and check that the *measured* detection counts reproduce the
 //! per-app plan (and hence the paper's Tables 6/7/8 cells).
 
-use cfinder_core::{AppSource, CFinder, SourceFile};
+use cfinder_core::{AppSource, CFinder, CFinderOptions, SourceFile};
 use cfinder_corpus::{all_profiles, generate, profile, GenOptions, Verdict};
 use cfinder_schema::ConstraintType;
 
@@ -11,6 +11,14 @@ fn to_app_source(app: &cfinder_corpus::GeneratedApp) -> AppSource {
         app.name.clone(),
         app.files.iter().map(|f| SourceFile::new(f.path.clone(), f.text.clone())).collect(),
     )
+}
+
+/// The paper's intra-procedural configuration — the one the pinned
+/// Table 6/7 cells are measured under. The corpus also plants
+/// helper-wrapped sites that only the inter-procedural extension sees;
+/// those are calibrated separately below.
+fn paper_analyzer() -> CFinder {
+    CFinder::with_options(CFinderOptions::paper())
 }
 
 #[test]
@@ -26,7 +34,7 @@ fn all_files_parse() {
 fn missing_counts_match_plan_per_app() {
     for p in all_profiles() {
         let app = generate(&p, GenOptions::quick());
-        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        let report = paper_analyzer().analyze(&to_app_source(&app), &app.declared);
         let measured_u = report.missing_count(ConstraintType::Unique);
         let measured_n = report.missing_count(ConstraintType::NotNull);
         let measured_f = report.missing_count(ConstraintType::ForeignKey);
@@ -44,7 +52,7 @@ fn missing_counts_match_plan_per_app() {
 fn precision_matches_plan() {
     for p in all_profiles() {
         let app = generate(&p, GenOptions::quick());
-        let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+        let report = paper_analyzer().analyze(&to_app_source(&app), &app.declared);
         let mut tp = 0;
         let mut fp = 0;
         let mut unplanned = Vec::new();
@@ -68,6 +76,96 @@ fn precision_matches_plan() {
                 + p.missing.default_total()
                 - (u + n + f + c + d),
             "{} FP",
+            p.name
+        );
+    }
+}
+
+/// Inter-procedural calibration: with the extension on, every planted
+/// helper-wrapped site is recovered (each through a helper hop), the
+/// per-type missing counts grow by exactly the plan's recovery counts,
+/// and the traps contribute zero new false positives.
+#[test]
+fn interproc_recovers_planted_sites_with_zero_new_fps() {
+    for p in all_profiles() {
+        let app = generate(&p, GenOptions::quick());
+        let source = to_app_source(&app);
+        let intra = paper_analyzer().analyze(&source, &app.declared);
+        let inter = CFinder::new().analyze(&source, &app.declared);
+        let plan = p.missing.interproc;
+
+        // Per-type deltas match the plan exactly.
+        for (ty, gain) in [
+            (ConstraintType::NotNull, plan.n2),
+            (ConstraintType::Check, plan.c1 + plan.c2),
+            (ConstraintType::Default, plan.d1),
+            (ConstraintType::Unique, 0),
+            (ConstraintType::ForeignKey, 0),
+        ] {
+            assert_eq!(
+                inter.missing_count(ty),
+                intra.missing_count(ty) + gain,
+                "{} {ty:?} delta",
+                p.name
+            );
+        }
+
+        // Every planted helper-wrapped constraint is found, and every
+        // one of its detections crossed a helper hop.
+        for c in app.truth.interproc_missing.iter() {
+            let m =
+                inter.missing.iter().find(|m| &m.constraint == c).unwrap_or_else(|| {
+                    panic!("{}: planted interproc site {c} not recovered", p.name)
+                });
+            assert!(
+                m.detections.iter().all(|d| d.via.is_some()),
+                "{}: {c} recovered without a helper hop",
+                p.name
+            );
+            assert!(
+                !intra.missing.iter().any(|m| &m.constraint == c),
+                "{}: {c} visible intra-procedurally — not a helper-wrapped site",
+                p.name
+            );
+        }
+
+        // The traps stay silent: nothing new beyond the plan, and no
+        // detection classified against a trap mechanism.
+        let mut unplanned = Vec::new();
+        for m in &inter.missing {
+            match app.truth.classify(&m.constraint) {
+                Verdict::TruePositive | Verdict::FalsePositive(_) => {
+                    if matches!(
+                        app.truth.classify(&m.constraint),
+                        Verdict::FalsePositive(
+                            cfinder_corpus::FpMechanism::InterprocWrongParam
+                                | cfinder_corpus::FpMechanism::InterprocNonDominating
+                        )
+                    ) {
+                        panic!("{}: trap site detected: {}", p.name, m.constraint);
+                    }
+                }
+                Verdict::Unplanned => unplanned.push(m.constraint.clone()),
+            }
+        }
+        assert!(unplanned.is_empty(), "{}: unplanned interproc detections {unplanned:?}", p.name);
+
+        // The additions are exactly the planted interproc sites: same FP
+        // count as the intra run, TP count up by the plan's total.
+        let count = |r: &cfinder_core::AnalysisReport, want_fp: bool| {
+            r.missing
+                .iter()
+                .filter(|m| {
+                    matches!(app.truth.classify(&m.constraint), Verdict::FalsePositive(_))
+                        == want_fp
+                })
+                .count()
+        };
+        assert_eq!(count(&inter, true), count(&intra, true), "{} new FPs", p.name);
+        assert_eq!(
+            count(&inter, false),
+            count(&intra, false) + plan.recovered_total(),
+            "{} recovered TPs",
             p.name
         );
     }
@@ -104,7 +202,7 @@ fn pattern_breakdown_matches_table6_for_oscar() {
     use cfinder_core::PatternId;
     let p = profile("oscar").unwrap();
     let app = generate(&p, GenOptions::quick());
-    let report = CFinder::new().analyze(&to_app_source(&app), &app.declared);
+    let report = paper_analyzer().analyze(&to_app_source(&app), &app.declared);
     // Table 6 row: Oscar | U1 3, U2 10 | N1 9, N2 1, N3 0 | F1 1, F2 1.
     assert_eq!(report.missing_count_by_pattern(PatternId::U1), 3, "U1");
     assert_eq!(report.missing_count_by_pattern(PatternId::U2), 10, "U2");

@@ -6,9 +6,13 @@
 //!
 //! These are the "control and data flow analysis" (§3.2, step 2) and
 //! "use-definition chain" (§3.5.1) machinery of the CFinder paper. The
-//! analyses are intra-procedural, flow-sensitive, field-sensitive (dotted
-//! access paths are tracked verbatim), and alias-unaware — the same
-//! soundness envelope the paper states for its implementation.
+//! analyses are flow-sensitive, field-sensitive (dotted access paths are
+//! tracked verbatim), and alias-unaware — the same soundness envelope the
+//! paper states for its implementation. The [`interproc`] module extends
+//! this one bounded level beyond the paper: summary-based propagation of
+//! dominated-on-raise checks through a def-site-resolved call graph,
+//! recovering the helper-wrapped false negatives the paper's own error
+//! analysis reports.
 //!
 //! ```
 //! use cfinder_flow::UseDefChains;
@@ -24,9 +28,14 @@
 #![forbid(unsafe_code)]
 
 pub mod cfg;
+pub mod interproc;
 pub mod nullguard;
 pub mod reaching;
 
 pub use cfg::{Cfg, CfgNodeId, CfgNodeKind};
+pub use interproc::{
+    CallChecks, CheckKind, DegradeReason, FnSummary, InterprocFacts, ParamCheck, SummaryBudget,
+    SummaryCmp, SummaryLit, SummaryStats, SummaryTable,
+};
 pub use nullguard::{AccessPath, NullGuards};
 pub use reaching::{Def, DefId, DefKind, UseDefChains};

@@ -27,6 +27,8 @@ use cfinder_pyast::ast::{
 };
 use cfinder_pyast::visit::expr_children;
 
+use crate::interproc::{CheckKind, SummaryTable};
+
 /// A dotted access path rooted at a local name: `x`, `x.y`, `self.creator`.
 #[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct AccessPath(pub Vec<String>);
@@ -55,9 +57,17 @@ pub struct NullGuards {
 impl NullGuards {
     /// Analyzes one body (function or module top level).
     pub fn analyze(body: &[Stmt]) -> NullGuards {
+        NullGuards::analyze_with(body, None)
+    }
+
+    /// Like [`NullGuards::analyze`], additionally treating bare calls to
+    /// summarized helpers as assert-like guards: after
+    /// `require(order.total)` the path `order.total` is known non-null for
+    /// the rest of the enclosing block (the helper dominates-on-raise).
+    pub fn analyze_with(body: &[Stmt], summaries: Option<&SummaryTable>) -> NullGuards {
         let mut g = NullGuards { guarded: std::collections::HashMap::new() };
         let mut active: HashSet<AccessPath> = HashSet::new();
-        g.walk_block(body, &mut active, false);
+        g.walk_block(body, &mut active, false, summaries);
         g
     }
 
@@ -82,10 +92,11 @@ impl NullGuards {
         body: &[Stmt],
         active: &mut HashSet<AccessPath>,
         in_guarding_try: bool,
+        summaries: Option<&SummaryTable>,
     ) {
         let mut added_by_escape: Vec<AccessPath> = Vec::new();
         for stmt in body {
-            self.walk_stmt(stmt, active, in_guarding_try, &mut added_by_escape);
+            self.walk_stmt(stmt, active, in_guarding_try, &mut added_by_escape, summaries);
         }
         for p in added_by_escape {
             active.remove(&p);
@@ -98,6 +109,7 @@ impl NullGuards {
         active: &mut HashSet<AccessPath>,
         in_try: bool,
         added_by_escape: &mut Vec<AccessPath>,
+        summaries: Option<&SummaryTable>,
     ) {
         match &stmt.kind {
             StmtKind::If { test, body, orelse } => {
@@ -107,12 +119,12 @@ impl NullGuards {
                 // Then-branch: positive guards active.
                 let mut then_active = active.clone();
                 then_active.extend(pos.iter().cloned());
-                self.walk_block(body, &mut then_active, in_try);
+                self.walk_block(body, &mut then_active, in_try, summaries);
 
                 // Else-branch: negative guards active.
                 let mut else_active = active.clone();
                 else_active.extend(neg.iter().cloned());
-                self.walk_block(orelse, &mut else_active, in_try);
+                self.walk_block(orelse, &mut else_active, in_try, summaries);
 
                 // `if x is None: <escape or assign x>` guards the rest of
                 // the enclosing block.
@@ -139,14 +151,14 @@ impl NullGuards {
                 let (pos, _neg) = guard_paths(test);
                 let mut loop_active = active.clone();
                 loop_active.extend(pos);
-                self.walk_block(body, &mut loop_active, in_try);
-                self.walk_block(orelse, &mut active.clone(), in_try);
+                self.walk_block(body, &mut loop_active, in_try, summaries);
+                self.walk_block(orelse, &mut active.clone(), in_try, summaries);
             }
             StmtKind::For { target, iter, body, orelse } => {
                 self.mark_expr(target, active, in_try);
                 self.mark_expr(iter, active, in_try);
-                self.walk_block(body, &mut active.clone(), in_try);
-                self.walk_block(orelse, &mut active.clone(), in_try);
+                self.walk_block(body, &mut active.clone(), in_try, summaries);
+                self.walk_block(orelse, &mut active.clone(), in_try, summaries);
             }
             StmtKind::Try { body, handlers, orelse, finalbody } => {
                 let catches_attr = handlers.iter().any(|h| match &h.typ {
@@ -164,12 +176,12 @@ impl NullGuards {
                         matches!(name.as_str(), "AttributeError" | "TypeError" | "Exception")
                     }
                 });
-                self.walk_block(body, &mut active.clone(), in_try || catches_attr);
+                self.walk_block(body, &mut active.clone(), in_try || catches_attr, summaries);
                 for h in handlers {
-                    self.walk_block(&h.body, &mut active.clone(), in_try);
+                    self.walk_block(&h.body, &mut active.clone(), in_try, summaries);
                 }
-                self.walk_block(orelse, &mut active.clone(), in_try);
-                self.walk_block(finalbody, &mut active.clone(), in_try);
+                self.walk_block(orelse, &mut active.clone(), in_try, summaries);
+                self.walk_block(finalbody, &mut active.clone(), in_try, summaries);
             }
             StmtKind::With { items, body } => {
                 for item in items {
@@ -178,7 +190,7 @@ impl NullGuards {
                         self.mark_expr(t, active, in_try);
                     }
                 }
-                self.walk_block(body, &mut active.clone(), in_try);
+                self.walk_block(body, &mut active.clone(), in_try, summaries);
             }
             StmtKind::FunctionDef(f) => {
                 // Fresh scope: no outer guards apply.
@@ -186,7 +198,7 @@ impl NullGuards {
                     self.mark_expr(d, active, in_try);
                 }
                 let mut inner = HashSet::new();
-                self.walk_block(&f.body, &mut inner, false);
+                self.walk_block(&f.body, &mut inner, false, summaries);
             }
             StmtKind::ClassDef(c) => {
                 for d in &c.decorators {
@@ -196,7 +208,7 @@ impl NullGuards {
                     self.mark_expr(b, active, in_try);
                 }
                 let mut inner = active.clone();
-                self.walk_block(&c.body, &mut inner, in_try);
+                self.walk_block(&c.body, &mut inner, in_try, summaries);
             }
             StmtKind::Assign { targets, value } => {
                 self.mark_expr(value, active, in_try);
@@ -229,7 +241,26 @@ impl NullGuards {
                     self.mark_expr(c, active, in_try);
                 }
             }
-            StmtKind::Expr { value } => self.mark_expr(value, active, in_try),
+            StmtKind::Expr { value } => {
+                self.mark_expr(value, active, in_try);
+                // `require(order.total)` guards `order.total` for the rest
+                // of the block, exactly like `assert order.total is not
+                // None`, when the helper's summary dominates-on-raise.
+                if let (Some(table), ExprKind::Call { func, args, keywords }) =
+                    (summaries, &value.kind)
+                {
+                    if let Some(cc) = table.resolve_call(func, args, keywords) {
+                        for (path, check) in cc.checks {
+                            if matches!(check.kind, CheckKind::NotNone) {
+                                let p = AccessPath(path);
+                                if active.insert(p.clone()) {
+                                    added_by_escape.push(p);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
             StmtKind::Assert { test, msg } => {
                 self.mark_expr(test, active, in_try);
                 if let Some(m) = msg {

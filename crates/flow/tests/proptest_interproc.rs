@@ -1,0 +1,174 @@
+//! Property tests for the inter-procedural summary machinery.
+//!
+//! The call graph is built from whatever code the recovering parser
+//! produces, so its contract is totality: extraction and summary
+//! construction never panic, the fixpoint always terminates within its
+//! budget (converged or typed-degraded), and the result is a pure
+//! function of the input — byte-identical across repeated builds.
+
+use cfinder_flow::interproc::{
+    CheckKind, DegradeReason, InterprocFacts, SummaryBudget, SummaryTable,
+};
+use cfinder_pyast::parse_module_recovering;
+use proptest::prelude::*;
+
+/// One generated function: an optional dominated check plus delegations
+/// to arbitrary (existing or unknown) callees.
+#[derive(Debug, Clone)]
+struct GenFn {
+    checked: bool,
+    callees: Vec<usize>, // indices into the function list; may exceed it (unknown)
+}
+
+fn gen_module(fns: &[GenFn], rebound: &[usize]) -> String {
+    let mut src = String::new();
+    for (i, f) in fns.iter().enumerate() {
+        src.push_str(&format!("def f{i}(v):\n"));
+        let mut body = String::new();
+        if f.checked {
+            body.push_str("    if v is None:\n        raise ValueError()\n");
+        }
+        for c in &f.callees {
+            body.push_str(&format!("    f{c}(v)\n"));
+        }
+        if body.is_empty() {
+            body.push_str("    pass\n");
+        }
+        src.push_str(&body);
+    }
+    for r in rebound {
+        src.push_str(&format!("f{r} = stub\n"));
+    }
+    src
+}
+
+fn build(src: &str, budget: &SummaryBudget) -> SummaryTable {
+    let module = parse_module_recovering(src).module;
+    let facts = InterprocFacts::extract(&module);
+    SummaryTable::build(&[("gen.py", &facts)], budget)
+}
+
+proptest! {
+    /// Arbitrary call graphs — self-recursion, mutual cycles, unknown
+    /// callees, rebound names — never panic, always terminate, and build
+    /// deterministically.
+    #[test]
+    fn random_call_graphs_are_total_and_deterministic(
+        checked in proptest::collection::vec((0u8..2).prop_map(|b| b == 1), 1..8),
+        edges in proptest::collection::vec((0usize..8, 0usize..12), 0..16),
+        rebound in proptest::collection::vec(0usize..8, 0..3),
+    ) {
+        let n = checked.len();
+        let fns: Vec<GenFn> = checked
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| GenFn {
+                checked: c,
+                // Edges may point past the function list: unknown callees.
+                callees: edges.iter().filter(|(from, _)| *from == i).map(|(_, to)| *to).collect(),
+            })
+            .collect();
+        let src = gen_module(&fns, &rebound);
+        let budget = SummaryBudget::default();
+        let a = build(&src, &budget);
+        let b = build(&src, &budget);
+        prop_assert_eq!(&a, &b, "summary build must be deterministic");
+
+        // Rebound names never appear in the table.
+        for r in &rebound {
+            if *r < n {
+                prop_assert!(!a.functions.contains_key(&format!("f{r}")));
+            }
+        }
+        // Every composed check is the NotNone we planted, on the single
+        // parameter.
+        for s in a.functions.values() {
+            for c in &s.checks {
+                prop_assert_eq!(c.param, 0);
+                prop_assert!(c.sub_path.is_empty());
+                prop_assert!(matches!(c.kind, CheckKind::NotNone));
+            }
+        }
+        // Default budget is generous enough for ≤8 nodes: any degradation
+        // here would be a fixpoint bug.
+        prop_assert!(a.degraded.is_empty(), "unexpected degradation: {:?}", a.degraded);
+    }
+
+    /// Checks propagate along any acyclic delegation chain, and cycles
+    /// (every node also calls its predecessor) change nothing about the
+    /// reachable facts.
+    #[test]
+    fn chains_propagate_to_fixpoint(len in 1usize..7, cyclic_raw in 0u8..2) {
+        let cyclic = cyclic_raw == 1;
+        let fns: Vec<GenFn> = (0..len)
+            .map(|i| {
+                let mut callees = Vec::new();
+                if i > 0 {
+                    callees.push(i - 1);
+                }
+                if cyclic && i + 1 < len {
+                    callees.push(i + 1);
+                }
+                GenFn { checked: i == 0, callees }
+            })
+            .collect();
+        let src = gen_module(&fns, &[]);
+        let t = build(&src, &SummaryBudget::default());
+        prop_assert!(t.degraded.is_empty());
+        for i in 0..len {
+            let s = &t.functions[&format!("f{i}")];
+            prop_assert_eq!(s.checks.len(), 1, "f{} should inherit the root check", i);
+        }
+    }
+
+    /// A chain deeper than the iteration budget degrades with the typed
+    /// reason instead of hanging — and still composes the first
+    /// `max_iterations` hops.
+    #[test]
+    fn deep_chains_degrade_with_typed_reason(extra in 1usize..4, budget_rounds in 1usize..4) {
+        let len = budget_rounds + extra + 1;
+        let fns: Vec<GenFn> = (0..len)
+            .map(|i| GenFn { checked: i == 0, callees: if i > 0 { vec![i - 1] } else { vec![] } })
+            .collect();
+        let src = gen_module(&fns, &[]);
+        let budget = SummaryBudget { max_iterations: budget_rounds, ..SummaryBudget::default() };
+        let t = build(&src, &budget);
+        prop_assert!(
+            t.degraded.contains(&DegradeReason::IterationBudget),
+            "chain of {} with budget {} must degrade, got {:?}",
+            len, budget_rounds, t.degraded
+        );
+        for i in 1..=budget_rounds {
+            prop_assert_eq!(t.functions[&format!("f{i}")].checks.len(), 1);
+        }
+    }
+
+    /// Extraction is total over arbitrary pythonish soup: whatever the
+    /// recovering parser yields, summary construction neither panics nor
+    /// loops.
+    #[test]
+    fn extraction_is_total_on_soup(input in "[a-z(): =,.'\\[\\]\n\t]{0,300}") {
+        let module = parse_module_recovering(&input).module;
+        let facts = InterprocFacts::extract(&module);
+        let _ = SummaryTable::build(&[("soup.py", &facts)], &SummaryBudget::default());
+    }
+
+    /// Shadowed names: defining the same function twice (in one file or
+    /// across files) always drops it from resolution.
+    #[test]
+    fn shadowed_names_are_always_excluded(same_file_raw in 0u8..2) {
+        let same_file = same_file_raw == 1;
+        let a = "def f(x):\n    if x is None:\n        raise E()\n";
+        let b = "def f(y):\n    pass\n";
+        let t = if same_file {
+            let m = parse_module_recovering(&format!("{a}{b}")).module;
+            let facts = InterprocFacts::extract(&m);
+            SummaryTable::build(&[("one.py", &facts)], &SummaryBudget::default())
+        } else {
+            let fa = InterprocFacts::extract(&parse_module_recovering(a).module);
+            let fb = InterprocFacts::extract(&parse_module_recovering(b).module);
+            SummaryTable::build(&[("a.py", &fa), ("b.py", &fb)], &SummaryBudget::default())
+        };
+        prop_assert!(!t.functions.contains_key("f"));
+    }
+}

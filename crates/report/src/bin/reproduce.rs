@@ -72,11 +72,11 @@ fn main() {
 
     // Open the cache up front so an unwritable or non-directory path is a
     // typed usage error before any corpus generation or analysis work, not
-    // an io panic in the middle of the evaluation. The evaluation runs
-    // `CFinder::new()`'s configuration, so the cache fingerprint is derived
-    // from the same defaults.
+    // an io panic in the middle of the evaluation. The evaluation runs the
+    // paper configuration (intra-procedural; Tables 4–10 stay pinned), so
+    // the cache fingerprint must be derived from the same options.
     let cache = cache_dir.as_ref().map(|dir| {
-        match AnalysisCache::open(dir, &CFinderOptions::default(), &Limits::from_env()) {
+        match AnalysisCache::open(dir, &CFinderOptions::paper(), &Limits::from_env()) {
             Ok(cache) => Arc::new(cache),
             Err(e) => usage_error(&e.to_string()),
         }
@@ -94,6 +94,8 @@ fn main() {
     let mut tables = all_tables(&eval);
     eprintln!("running the ablation grid…");
     tables.push(("ablation", cfinder_report::ablation_table()));
+    eprintln!("running the intra-vs-inter comparison…");
+    tables.push(("interproc", cfinder_report::interproc_table()));
     eprintln!("running the data-driven baseline…");
     let oscar = cfinder_corpus::generate(
         &cfinder_corpus::profile("oscar").expect("profile"),

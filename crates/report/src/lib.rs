@@ -13,6 +13,7 @@
 
 pub mod ablation;
 pub mod baseline;
+pub mod interproc;
 pub mod metrics;
 pub mod perf;
 pub mod querybench;
@@ -21,6 +22,7 @@ pub mod tables;
 
 pub use ablation::{ablation_study, ablation_table, AblationRow};
 pub use baseline::{baseline_table, evaluate_baseline, populate, BaselineOutcome};
+pub use interproc::{interproc_compare, interproc_study, interproc_table, InterprocRow};
 pub use metrics::{AppEvaluation, CoverageCell, Evaluation, HistoryRecall, PrecisionCell};
 pub use querybench::{
     query_bench_table, query_bench_value, run_query_bench, ClassResult, QueryBenchOptions,

@@ -61,6 +61,29 @@ echo "==> cache fingerprint covers the inference option set"
 # change the tool fingerprint, or stale cache entries would survive.
 cargo test -q -p cfinder-core fingerprint
 
+echo "==> inter-procedural summaries: flow crate + differential oracle"
+# Call-graph extraction/composition proptests, then the off/on oracle:
+# the paper configuration must be byte-identical across thread counts
+# and hop-free; summaries-on must recover every planted helper-wrapped
+# site with hop provenance and zero trap false positives.
+flow_unit=$(cargo test -q -p cfinder-flow 2>&1) || { echo "$flow_unit"; exit 1; }
+interproc_oracle=$(cargo test -q --test interproc_oracle 2>&1) \
+    || { echo "$interproc_oracle"; exit 1; }
+
+echo "==> inter-procedural test-count floor"
+# The summary-propagation surface only grows: flow unit/proptest suites
+# plus the oracle must stay at or above the floor so coverage cannot be
+# silently deleted.
+interproc_tests=$(printf '%s\n%s\n' "$flow_unit" "$interproc_oracle" \
+    | sed -n 's/^test result: ok\. \([0-9]*\) passed.*/\1/p' \
+    | awk '{s+=$1} END {print s}')
+interproc_floor=90
+if [[ "${interproc_tests:-0}" -lt "$interproc_floor" ]]; then
+    echo "FAIL: interproc suites ran ${interproc_tests:-0} tests, below the floor of $interproc_floor" >&2
+    exit 1
+fi
+echo "interproc suites: $interproc_tests tests (floor $interproc_floor)"
+
 echo "==> fault-injection suite"
 cargo test -q --test fault_injection
 

@@ -62,8 +62,12 @@
 //!   file, worker panic) as a failure: exit 3 instead of 0/1.
 //! * `--max-file-bytes N` — skip files larger than N bytes (`0` disables
 //!   the cap; defaults to 8 MiB or `CFINDER_MAX_FILE_BYTES`).
-//! * `--ablate null-guard|data-dep|composite|partial|check|default` —
+//! * `--ablate null-guard|data-dep|composite|partial|check|default|interproc` —
 //!   disable an analysis feature (repeatable; for experimentation).
+//!   `interproc` turns off the call-graph summary propagation of §4.1.3:
+//!   helper-wrapped validation (`def require(x): if x is None: raise` called
+//!   at a site) is no longer credited to the call site, and provenance
+//!   chains lose their `via` helper hop.
 //!
 //! The `cache` subcommand inspects or resets a cache directory:
 //! `cfinder cache stats <dir>` prints entry/shard/byte counts, `cfinder
@@ -106,7 +110,7 @@ struct Outcome {
     strict: bool,
 }
 
-const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE] [--profile-hz N] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>\n       cfinder perf [--out DIR] [--scale quick|paper] [--smoke] [--baseline FILE] [--tolerance PCT]\n       cfinder minidb-bench [--rows N] [--repeats N] [--min-speedup X]\n       cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR] [--slow-log FILE] [--slow-ms N] [--profile-hz N]";
+const USAGE: &str = "usage: cfinder <dir> [--schema schema.json] [--schema-sql schema.sql] [--dialect postgres|mysql|sqlite] [--fix-out fixes.sql] [--json] [--timings] [--strict] [--provenance] [--cache-dir DIR] [--no-cache] [--trace-out FILE] [--metrics-out FILE] [--profile-out FILE] [--profile-hz N] [--max-file-bytes N] [--ablate null-guard|data-dep|composite|partial|check|default|interproc]…\n       cfinder explain <table[.column]> <dir> [--schema schema.json]\n       cfinder cache stats|clear <dir>\n       cfinder perf [--out DIR] [--scale quick|paper] [--smoke] [--baseline FILE] [--tolerance PCT]\n       cfinder minidb-bench [--rows N] [--repeats N] [--min-speedup X]\n       cfinder serve [--workers N] [--queue N] [--max-frame-bytes N] [--cache-dir DIR] [--slow-log FILE] [--slow-ms N] [--profile-hz N]";
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -232,6 +236,7 @@ fn run(args: &[String]) -> Result<Outcome, String> {
                     "partial" => options.partial_unique = false,
                     "check" => options.check_inference = false,
                     "default" => options.default_inference = false,
+                    "interproc" => options.interprocedural = false,
                     other => return Err(format!("unknown ablation flag `{other}`")),
                 }
             }
@@ -911,8 +916,16 @@ fn plural_y(n: usize) -> &'static str {
 fn print_chains(chains: &[cfinder::core::Provenance]) {
     for p in chains {
         println!("  {}: {}", p.pattern, p.rule);
-        let first_line = p.snippet.lines().next().unwrap_or("").trim();
-        println!("    at {}:{}: {first_line}", p.file, p.line);
+        // An interprocedural detection carries an extra hop: the rule fired
+        // inside a helper, and the constraint is credited to the call site.
+        if let Some(via) = &p.via {
+            println!("    via helper `{}` defined at {}:{}", via.helper, via.file, via.line);
+            let first_line = p.snippet.lines().next().unwrap_or("").trim();
+            println!("    call site at {}:{}: {first_line}", p.file, p.line);
+        } else {
+            let first_line = p.snippet.lines().next().unwrap_or("").trim();
+            println!("    at {}:{}: {first_line}", p.file, p.line);
+        }
     }
 }
 

@@ -102,6 +102,129 @@ fn fingerprint_salt_options_and_limits_each_invalidate_the_whole_shard() {
     let _ = fs::remove_dir_all(&dir);
 }
 
+/// Flipping `CFinderOptions::interprocedural` changes the tool
+/// fingerprint: the summaries-off configuration lands in its own shard —
+/// fully cold on first contact — and never disturbs the summaries-on
+/// shard a default run populated (and vice versa). The cached
+/// intra-procedural answer matches the uncached one byte for byte, so a
+/// `--ablate interproc` run can never replay helper-hop detections out of
+/// a summaries-on shard.
+#[test]
+fn interprocedural_option_invalidates_the_whole_shard() {
+    let app = generate(&all_profiles()[0], SCALE);
+    let source = to_source(&app);
+    let files = app.files.len();
+    let dir = temp_dir("interproc-flip");
+    let options = CFinderOptions::default();
+    let limits = Limits::default();
+
+    let on = Arc::new(AnalysisCache::open_with_salt(&dir, &options, &limits, "").unwrap());
+    run(&app, &source, on.clone()); // populate
+    let warm = run(&app, &source, on.clone());
+    assert_eq!((warm.timings.cache_hits, warm.timings.cache_misses), (files, 0));
+
+    let off_options = CFinderOptions { interprocedural: false, ..options };
+    let off = AnalysisCache::open_with_salt(&dir, &off_options, &limits, "").unwrap();
+    assert_ne!(off.fingerprint(), on.fingerprint(), "interprocedural must be fingerprinted");
+    assert_eq!(
+        off.fingerprint(),
+        AnalysisCache::open_with_salt(&dir, &CFinderOptions::paper(), &limits, "")
+            .unwrap()
+            .fingerprint(),
+        "the paper configuration differs from the default only in `interprocedural`"
+    );
+
+    let reference = CFinder::with_options(off_options).analyze(&source, &app.declared);
+    let cold = CFinder::with_options(off_options)
+        .with_threads(2)
+        .with_cache(Arc::new(off))
+        .analyze(&source, &app.declared);
+    assert_eq!(cold.timings.cache_hits, 0, "expected a fully cold shard after the flip");
+    assert_eq!(cold.timings.cache_misses, files);
+    assert_eq!(
+        cold.stable_json(),
+        reference.stable_json(),
+        "cached intra-procedural run diverged from the uncached one"
+    );
+
+    let still_warm = run(&app, &source, on);
+    assert_eq!(
+        (still_warm.timings.cache_hits, still_warm.timings.files_parsed),
+        (files, 0),
+        "the summaries-off shard must not disturb the summaries-on shard"
+    );
+    let _ = fs::remove_dir_all(&dir);
+}
+
+/// Editing only a helper's *body* invalidates its callers' detect
+/// entries: the edit costs exactly one parse miss (the helper file), but
+/// the summary table — and with it the detect-context hash — changes, so
+/// every caller's detections are recomputed under the new summaries
+/// instead of replayed stale. A follow-up run over the edited tree is
+/// fully warm again, and reverting the edit replays the *original*
+/// detect entries (they are content-addressed by context, not
+/// invalidated in place) without re-parsing anything.
+#[test]
+fn editing_a_helper_body_invalidates_callers_detect_entries() {
+    let clean_app = generate(&all_profiles()[0], SCALE);
+    let clean_source = to_source(&clean_app);
+    let files = clean_app.files.len();
+    let dir = temp_dir("helper-edit");
+    let cache = Arc::new(
+        AnalysisCache::open_with_salt(&dir, &CFinderOptions::default(), &Limits::default(), "")
+            .unwrap(),
+    );
+
+    let clean = run(&clean_app, &clean_source, cache.clone()); // populate
+    let warm = run(&clean_app, &clean_source, cache.clone());
+    assert_eq!((warm.timings.cache_hits, warm.timings.files_parsed), (files, 0));
+
+    // Neuter the first helper's enforcement: its dominating raise becomes
+    // a dominating return, so the helper loses its summary and its call
+    // sites degrade to the intra-procedural result. Only `validators.py`
+    // changes on disk.
+    let mut edited_app = clean_app.clone();
+    let helper_file =
+        edited_app.files.iter_mut().find(|f| f.path == "validators.py").expect("helper file");
+    assert!(helper_file.text.contains("raise ValueError("));
+    helper_file.text = helper_file.text.replacen("raise ValueError(", "return (", 1);
+    let edited_source = to_source(&edited_app);
+    let reference = CFinder::new().analyze(&edited_source, &edited_app.declared).stable_json();
+    assert_ne!(
+        reference,
+        clean.stable_json(),
+        "the helper edit must change the analysis result, or this test is vacuous"
+    );
+
+    let edited = run(&edited_app, &edited_source, cache.clone());
+    assert_eq!(
+        (edited.timings.cache_hits, edited.timings.cache_misses),
+        (files - 1, 1),
+        "only the helper file's parse entry may miss"
+    );
+    assert_eq!(
+        edited.stable_json(),
+        reference,
+        "callers replayed stale detect entries after a helper-body edit"
+    );
+    assert!(
+        edited.missing.len() < clean.missing.len(),
+        "the neutered helper's call sites must degrade to intra-procedural results"
+    );
+
+    // The recomputation healed the shard for the edited tree…
+    let healed = run(&edited_app, &edited_source, cache.clone());
+    assert_eq!((healed.timings.cache_hits, healed.timings.files_parsed), (files, 0));
+    assert_eq!(healed.stable_json(), reference);
+
+    // …and the original tree's entries are still there: reverting the
+    // edit replays them byte for byte with zero re-parses.
+    let reverted = run(&clean_app, &clean_source, cache);
+    assert_eq!((reverted.timings.cache_hits, reverted.timings.files_parsed), (files, 0));
+    assert_eq!(reverted.stable_json(), clean.stable_json());
+    let _ = fs::remove_dir_all(&dir);
+}
+
 #[test]
 fn deadline_env_changes_the_tool_fingerprint() {
     // `Limits::from_env` is what the CLI feeds the cache, so the

@@ -92,6 +92,41 @@ fn explain_check_and_default_name_new_patterns() {
     assert!(stdout.contains("at models.py:13: if self.creator is not None:"), "{stdout}");
 }
 
+/// Inter-procedural provenance (§4.1.3 extension): a helper-wrapped
+/// not-None check fires PA_n2 through the call graph, and the chain
+/// shows every hop — rule, helper definition, call site — each with its
+/// `file:line`.
+#[test]
+fn explain_helper_wrapped_site_shows_the_hop() {
+    let dir = std::env::temp_dir().join(format!("cfinder-explain-hop-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("app")).unwrap();
+    fs::write(
+        dir.join("app/models.py"),
+        "class Voucher(models.Model):\n    code = models.CharField(max_length=16, null=True)\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("app/validators.py"),
+        "def require_code(obj):\n    if obj.code is None:\n        raise ValueError('code required')\n",
+    )
+    .unwrap();
+    fs::write(
+        dir.join("app/views.py"),
+        "def redeem(pk):\n    voucher = Voucher.objects.get(pk=pk)\n    require_code(voucher)\n",
+    )
+    .unwrap();
+    let app = dir.join("app");
+
+    let (code, stdout) = explain(&app, "Voucher.code");
+    assert_eq!(code, Some(0), "{stdout}");
+    assert!(stdout.contains("Voucher Not NULL (code)"), "{stdout}");
+    assert!(stdout.contains("PA_n2:"), "{stdout}");
+    assert!(stdout.contains("via helper `require_code` defined at validators.py:2"), "{stdout}");
+    assert!(stdout.contains("call site at views.py:3: require_code(voucher)"), "{stdout}");
+    assert!(stdout.contains("fix: ALTER TABLE \"Voucher\""), "{stdout}");
+}
+
 /// Unknown targets exit 1 with a one-line explanation rather than a stack
 /// of empty sections.
 #[test]

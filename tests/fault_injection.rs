@@ -14,7 +14,10 @@ use cfinder::core::{
     AnalysisCache, AnalysisReport, AppSource, CFinder, CFinderOptions, Detection, IncidentKind,
     Limits, SourceFile,
 };
-use cfinder::corpus::{all_profiles, generate, inject_faults, inject_panic_marker, GenOptions};
+use cfinder::corpus::{
+    all_profiles, generate, inject_fault_at, inject_faults, inject_panic_marker, FaultKind,
+    GenOptions,
+};
 use cfinder::schema::Constraint;
 
 fn to_source(app: &cfinder::corpus::GeneratedApp) -> AppSource {
@@ -79,11 +82,21 @@ fn fingerprint(report: &AnalysisReport) -> String {
     )
 }
 
+/// Detections that do not depend on any excluded file: neither located
+/// in one, nor (for inter-procedural detections) carrying a helper hop
+/// whose definition lives in one. Corrupting a helper-definition file
+/// legitimately degrades its call sites' hop detections in *other*
+/// files, so degradation monotonicity is stated over this set.
 fn detections_for_files<'a>(
     report: &'a AnalysisReport,
     exclude: &BTreeSet<&str>,
 ) -> Vec<&'a Detection> {
-    report.detections.iter().filter(|d| !exclude.contains(d.file.as_str())).collect()
+    report
+        .detections
+        .iter()
+        .filter(|d| !exclude.contains(d.file.as_str()))
+        .filter(|d| !d.via.as_ref().is_some_and(|h| exclude.contains(h.file.as_str())))
+        .collect()
 }
 
 /// The headline acceptance run: 8 corpus apps × 13 seeds = 104 corrupted
@@ -151,6 +164,129 @@ fn corrupted_corpus_never_panics_and_degrades_monotonically() {
         }
     }
     assert!(variants >= 100, "acceptance requires >= 100 corrupted variants, got {variants}");
+}
+
+/// Corrupting the helper-definition file (`validators.py`) with each of
+/// the five corruption kinds never panics, stays thread-invariant, and
+/// degrades *only* the inter-procedural recoveries: the result is
+/// sandwiched between the paper (intra-procedural) run and the clean
+/// summaries-on run, every constraint lost relative to the clean run is a
+/// planted helper-wrapped site, every hop-free detection outside the
+/// corrupted file is byte-identical to the clean run, and coverage is
+/// monotone. The append-at-end kinds leave every helper definition parse-
+/// able, so they must lose nothing at all — the incident is the only
+/// difference.
+#[test]
+fn corrupted_helper_file_degrades_to_intraprocedural_only() {
+    let scale = GenOptions { loc_scale: 0.01 };
+    const HELPERS: &str = "validators.py";
+    let missing_set = |r: &AnalysisReport| -> BTreeSet<String> {
+        r.missing.iter().map(|m| m.constraint.to_string()).collect()
+    };
+    for profile in all_profiles() {
+        let clean_app = generate(&profile, scale);
+        let clean = analyze(&clean_app, 1, Limits::default());
+        let intra = CFinder::with_options(CFinderOptions::paper())
+            .with_threads(1)
+            .with_obs(test_obs())
+            .analyze(&to_source(&clean_app), &clean_app.declared);
+        let clean_set = missing_set(&clean);
+        let intra_set = missing_set(&intra);
+        assert!(
+            clean_set.len() > intra_set.len(),
+            "{}: summaries-on run recovers nothing; the degradation test is vacuous",
+            profile.name
+        );
+        // Hop-free detections outside the helper file: the invariant part
+        // of the report that no helper-file corruption may disturb.
+        fn hop_free(r: &AnalysisReport) -> Vec<&Detection> {
+            r.detections.iter().filter(|d| d.via.is_none() && d.file != "validators.py").collect()
+        }
+
+        for kind in FaultKind::ALL {
+            let mut app = clean_app.clone();
+            let fault = inject_fault_at(&mut app, HELPERS, kind, 11);
+            assert_eq!(fault.file, HELPERS);
+
+            let report = analyze(&app, 1, Limits::default());
+            let reference = fingerprint(&report);
+            for threads in [2, 4] {
+                assert_eq!(
+                    fingerprint(&analyze(&app, threads, Limits::default())),
+                    reference,
+                    "{} {kind:?} @ {threads} threads",
+                    profile.name
+                );
+            }
+
+            // The corruption is visible as a typed incident, and only the
+            // corrupted file is implicated.
+            assert!(
+                !report.incidents.is_empty(),
+                "{} {kind:?}: corrupted helper file left no incident",
+                profile.name
+            );
+            for incident in &report.incidents {
+                assert_eq!(
+                    incident.file, HELPERS,
+                    "{} {kind:?}: incident on untouched file: {incident}",
+                    profile.name
+                );
+            }
+
+            // Sandwich: corruption can only lose helper summaries, so the
+            // result sits between the intra-procedural floor and the clean
+            // summaries-on ceiling.
+            let set = missing_set(&report);
+            assert!(
+                intra_set.is_subset(&set),
+                "{} {kind:?}: lost intra-procedural detections: {:?}",
+                profile.name,
+                intra_set.difference(&set).collect::<Vec<_>>()
+            );
+            assert!(
+                set.is_subset(&clean_set),
+                "{} {kind:?}: corruption *added* detections: {:?}",
+                profile.name,
+                set.difference(&clean_set).collect::<Vec<_>>()
+            );
+
+            // Affected call sites only: everything lost relative to the
+            // clean run is a planted helper-wrapped site…
+            for lost in clean_set.difference(&set) {
+                assert!(
+                    clean_app.truth.interproc_missing.iter().any(|c| &c.to_string() == lost),
+                    "{} {kind:?}: lost a non-helper-wrapped constraint: {lost}",
+                    profile.name
+                );
+            }
+            // …and every hop-free detection outside the helper file is
+            // byte-identical to the clean run.
+            assert_eq!(
+                hop_free(&report),
+                hop_free(&clean),
+                "{} {kind:?}: hop-free detections outside {HELPERS} drifted",
+                profile.name
+            );
+
+            // Coverage monotone: a corrupted file can only lower it.
+            assert!(
+                report.coverage().percent_clean() <= clean.coverage().percent_clean(),
+                "{} {kind:?}: coverage rose under corruption",
+                profile.name
+            );
+
+            // Append-at-end kinds leave every helper definition intact:
+            // the analysis result is exactly the clean run's.
+            if !kind.is_destructive() {
+                assert_eq!(
+                    set, clean_set,
+                    "{} {kind:?}: append-only corruption lost a summary",
+                    profile.name
+                );
+            }
+        }
+    }
 }
 
 /// A file with one broken function must still contribute its intact model

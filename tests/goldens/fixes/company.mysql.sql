@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: company
--- missing constraints: 57
+-- missing constraints: 61
 
 -- constraint: BadgeItem Not NULL (amount_t)
 ALTER TABLE `BadgeItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
@@ -10,6 +10,9 @@ ALTER TABLE `BundleItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
 
 -- constraint: CartProfile Not NULL (amount_t)
 ALTER TABLE `CartProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: ChannelProfile Not NULL (amount_t)
+ALTER TABLE `ChannelProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
 
 -- constraint: CouponProfile Not NULL (amount_d)
 ALTER TABLE `CouponProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
@@ -25,6 +28,9 @@ ALTER TABLE `ModuleItem` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
 
 -- constraint: OrderProfile Not NULL (amount_t)
 ALTER TABLE `OrderProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: PageProfile Not NULL (amount_t)
+ALTER TABLE `PageProfile` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
 
 -- constraint: PaymentProfile Not NULL (amount_d)
 ALTER TABLE `PaymentProfile` MODIFY COLUMN `amount_d` INT NOT NULL;
@@ -158,6 +164,9 @@ ALTER TABLE `VendorEntry` ADD CONSTRAINT `fk_VendorEntry_stock_entry_id` FOREIGN
 -- constraint: WalletEntry FK (refund_entry_id) ref RefundEntry(id)
 ALTER TABLE `WalletEntry` ADD CONSTRAINT `fk_WalletEntry_refund_entry_id` FOREIGN KEY (`refund_entry_id`) REFERENCES `RefundEntry`(`id`);
 
+-- constraint: BlockProfile Check (amount_i > 0)
+ALTER TABLE `BlockProfile` ADD CONSTRAINT `ck_BlockProfile_amount_i` CHECK (`amount_i` > 0);
+
 -- constraint: CourseProfile Check (amount_t IN ('closed', 'open'))
 ALTER TABLE `CourseProfile` ADD CONSTRAINT `ck_CourseProfile_amount_t` CHECK (`amount_t` IN ('closed', 'open'));
 
@@ -172,4 +181,7 @@ ALTER TABLE `LessonProfile` ALTER COLUMN `amount_i` SET DEFAULT 1;
 
 -- constraint: MessageProfile Default (amount_i = 1)
 ALTER TABLE `MessageProfile` ALTER COLUMN `amount_i` SET DEFAULT 1;
+
+-- constraint: StockProfile Default (amount_i = 1)
+ALTER TABLE `StockProfile` ALTER COLUMN `amount_i` SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: company
--- missing constraints: 57
+-- missing constraints: 61
 
 -- constraint: BadgeItem Not NULL (amount_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -13,6 +13,10 @@ ALTER TABLE "BundleItem" ALTER COLUMN "amount_t" SET NOT NULL;
 -- constraint: CartProfile Not NULL (amount_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "CartProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: ChannelProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ChannelProfile" ALTER COLUMN "amount_t" SET NOT NULL;
 
 -- constraint: CouponProfile Not NULL (amount_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -33,6 +37,10 @@ ALTER TABLE "ModuleItem" ALTER COLUMN "amount_t" SET NOT NULL;
 -- constraint: OrderProfile Not NULL (amount_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "OrderProfile" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: PageProfile Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PageProfile" ALTER COLUMN "amount_t" SET NOT NULL;
 
 -- constraint: PaymentProfile Not NULL (amount_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -184,6 +192,10 @@ ALTER TABLE "VendorEntry" ADD CONSTRAINT "fk_VendorEntry_stock_entry_id" FOREIGN
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "WalletEntry" ADD CONSTRAINT "fk_WalletEntry_refund_entry_id" FOREIGN KEY ("refund_entry_id") REFERENCES "RefundEntry"("id");
 
+-- constraint: BlockProfile Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "BlockProfile" ADD CONSTRAINT "ck_BlockProfile_amount_i" CHECK ("amount_i" > 0);
+
 -- constraint: CourseProfile Check (amount_t IN ('closed', 'open'))
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "CourseProfile" ADD CONSTRAINT "ck_CourseProfile_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
@@ -203,4 +215,8 @@ ALTER TABLE "LessonProfile" ALTER COLUMN "amount_i" SET DEFAULT 1;
 -- constraint: MessageProfile Default (amount_i = 1)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "MessageProfile" ALTER COLUMN "amount_i" SET DEFAULT 1;
+
+-- constraint: StockProfile Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StockProfile" ALTER COLUMN "amount_i" SET DEFAULT 1;
 

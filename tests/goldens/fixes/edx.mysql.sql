@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: edx
--- missing constraints: 51
+-- missing constraints: 56
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- mysql: column type unknown to the analyzer; verify TEXT before applying
@@ -31,6 +31,9 @@ ALTER TABLE `LessonLog` MODIFY COLUMN `amount_d` INT NOT NULL;
 -- constraint: MessageLog Not NULL (amount_d)
 ALTER TABLE `MessageLog` MODIFY COLUMN `amount_d` INT NOT NULL;
 
+-- constraint: ModuleLog Not NULL (amount_t)
+ALTER TABLE `ModuleLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
 -- constraint: PageLog Not NULL (amount_d)
 ALTER TABLE `PageLog` MODIFY COLUMN `amount_d` INT NOT NULL;
 
@@ -48,6 +51,9 @@ ALTER TABLE `StockLog` MODIFY COLUMN `amount_d` INT NOT NULL;
 
 -- constraint: TicketLog Not NULL (amount_t)
 ALTER TABLE `TicketLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TopicLog Not NULL (amount_t)
+ALTER TABLE `TopicLog` MODIFY COLUMN `amount_t` VARCHAR(64) NOT NULL;
 
 -- constraint: BadgeRecord Unique (amount_t)
 ALTER TABLE `BadgeRecord` ADD CONSTRAINT `uq_BadgeRecord_amount_t` UNIQUE (`amount_t`);
@@ -144,6 +150,12 @@ ALTER TABLE `BundleLog` ADD CONSTRAINT `ck_BundleLog_amount_i` CHECK (`amount_i`
 -- constraint: CatalogLog Check (amount_t IN ('closed', 'open'))
 ALTER TABLE `CatalogLog` ADD CONSTRAINT `ck_CatalogLog_amount_t` CHECK (`amount_t` IN ('closed', 'open'));
 
+-- constraint: GradeLog Check (amount_t IN ('closed', 'open'))
+ALTER TABLE `GradeLog` ADD CONSTRAINT `ck_GradeLog_amount_t` CHECK (`amount_t` IN ('closed', 'open'));
+
+-- constraint: QuizLog Check (amount_i > 0)
+ALTER TABLE `QuizLog` ADD CONSTRAINT `ck_QuizLog_amount_i` CHECK (`amount_i` > 0);
+
 -- constraint: RefundLog Check (amount_i > 0)
 ALTER TABLE `RefundLog` ADD CONSTRAINT `ck_RefundLog_amount_i` CHECK (`amount_i` > 0);
 
@@ -152,6 +164,9 @@ ALTER TABLE `VendorLog` ADD CONSTRAINT `ck_VendorLog_amount_i` CHECK (`amount_i`
 
 -- constraint: WalletLog Check (amount_t IN ('closed', 'open'))
 ALTER TABLE `WalletLog` ADD CONSTRAINT `ck_WalletLog_amount_t` CHECK (`amount_t` IN ('closed', 'open'));
+
+-- constraint: BadgeLog Default (amount_i = 1)
+ALTER TABLE `BadgeLog` ALTER COLUMN `amount_i` SET DEFAULT 1;
 
 -- constraint: SessionLog Default (amount_i = 1)
 ALTER TABLE `SessionLog` ALTER COLUMN `amount_i` SET DEFAULT 1;

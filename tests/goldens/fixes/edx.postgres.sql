@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: edx
--- missing constraints: 51
+-- missing constraints: 56
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
@@ -29,6 +29,9 @@ ALTER TABLE "LessonLog" ALTER COLUMN "amount_d" SET NOT NULL;
 -- constraint: MessageLog Not NULL (amount_d)
 ALTER TABLE "MessageLog" ALTER COLUMN "amount_d" SET NOT NULL;
 
+-- constraint: ModuleLog Not NULL (amount_t)
+ALTER TABLE "ModuleLog" ALTER COLUMN "amount_t" SET NOT NULL;
+
 -- constraint: PageLog Not NULL (amount_d)
 ALTER TABLE "PageLog" ALTER COLUMN "amount_d" SET NOT NULL;
 
@@ -46,6 +49,9 @@ ALTER TABLE "StockLog" ALTER COLUMN "amount_d" SET NOT NULL;
 
 -- constraint: TicketLog Not NULL (amount_t)
 ALTER TABLE "TicketLog" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: TopicLog Not NULL (amount_t)
+ALTER TABLE "TopicLog" ALTER COLUMN "amount_t" SET NOT NULL;
 
 -- constraint: BadgeRecord Unique (amount_t)
 ALTER TABLE "BadgeRecord" ADD CONSTRAINT "uq_BadgeRecord_amount_t" UNIQUE ("amount_t");
@@ -137,6 +143,12 @@ ALTER TABLE "BundleLog" ADD CONSTRAINT "ck_BundleLog_amount_i" CHECK ("amount_i"
 -- constraint: CatalogLog Check (amount_t IN ('closed', 'open'))
 ALTER TABLE "CatalogLog" ADD CONSTRAINT "ck_CatalogLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
 
+-- constraint: GradeLog Check (amount_t IN ('closed', 'open'))
+ALTER TABLE "GradeLog" ADD CONSTRAINT "ck_GradeLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: QuizLog Check (amount_i > 0)
+ALTER TABLE "QuizLog" ADD CONSTRAINT "ck_QuizLog_amount_i" CHECK ("amount_i" > 0);
+
 -- constraint: RefundLog Check (amount_i > 0)
 ALTER TABLE "RefundLog" ADD CONSTRAINT "ck_RefundLog_amount_i" CHECK ("amount_i" > 0);
 
@@ -145,6 +157,9 @@ ALTER TABLE "VendorLog" ADD CONSTRAINT "ck_VendorLog_amount_i" CHECK ("amount_i"
 
 -- constraint: WalletLog Check (amount_t IN ('closed', 'open'))
 ALTER TABLE "WalletLog" ADD CONSTRAINT "ck_WalletLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: BadgeLog Default (amount_i = 1)
+ALTER TABLE "BadgeLog" ALTER COLUMN "amount_i" SET DEFAULT 1;
 
 -- constraint: SessionLog Default (amount_i = 1)
 ALTER TABLE "SessionLog" ALTER COLUMN "amount_i" SET DEFAULT 1;

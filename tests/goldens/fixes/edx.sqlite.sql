@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: edx
--- missing constraints: 51
+-- missing constraints: 56
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -38,6 +38,10 @@ ALTER TABLE "LessonLog" ALTER COLUMN "amount_d" SET NOT NULL;
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "MessageLog" ALTER COLUMN "amount_d" SET NOT NULL;
 
+-- constraint: ModuleLog Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "ModuleLog" ALTER COLUMN "amount_t" SET NOT NULL;
+
 -- constraint: PageLog Not NULL (amount_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "PageLog" ALTER COLUMN "amount_d" SET NOT NULL;
@@ -61,6 +65,10 @@ ALTER TABLE "StockLog" ALTER COLUMN "amount_d" SET NOT NULL;
 -- constraint: TicketLog Not NULL (amount_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "TicketLog" ALTER COLUMN "amount_t" SET NOT NULL;
+
+-- constraint: TopicLog Not NULL (amount_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicLog" ALTER COLUMN "amount_t" SET NOT NULL;
 
 -- constraint: BadgeRecord Unique (amount_t)
 CREATE UNIQUE INDEX "uq_BadgeRecord_amount_t" ON "BadgeRecord" ("amount_t");
@@ -159,6 +167,14 @@ ALTER TABLE "BundleLog" ADD CONSTRAINT "ck_BundleLog_amount_i" CHECK ("amount_i"
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "CatalogLog" ADD CONSTRAINT "ck_CatalogLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
 
+-- constraint: GradeLog Check (amount_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "GradeLog" ADD CONSTRAINT "ck_GradeLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: QuizLog Check (amount_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "QuizLog" ADD CONSTRAINT "ck_QuizLog_amount_i" CHECK ("amount_i" > 0);
+
 -- constraint: RefundLog Check (amount_i > 0)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "RefundLog" ADD CONSTRAINT "ck_RefundLog_amount_i" CHECK ("amount_i" > 0);
@@ -170,6 +186,10 @@ ALTER TABLE "VendorLog" ADD CONSTRAINT "ck_VendorLog_amount_i" CHECK ("amount_i"
 -- constraint: WalletLog Check (amount_t IN ('closed', 'open'))
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "WalletLog" ADD CONSTRAINT "ck_WalletLog_amount_t" CHECK ("amount_t" IN ('closed', 'open'));
+
+-- constraint: BadgeLog Default (amount_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "BadgeLog" ALTER COLUMN "amount_i" SET DEFAULT 1;
 
 -- constraint: SessionLog Default (amount_i = 1)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild

@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: edxcomm
--- missing constraints: 16
+-- missing constraints: 17
 
 -- constraint: CartProfile Not NULL (status_t)
 ALTER TABLE `CartProfile` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
@@ -10,6 +10,9 @@ ALTER TABLE `CouponProfile` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
 -- constraint: InvoiceProfile Not NULL (status_t)
 ALTER TABLE `InvoiceProfile` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: MessageProfile Not NULL (status_t)
+ALTER TABLE `MessageProfile` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
 -- constraint: PaymentProfile Not NULL (status_t)
 ALTER TABLE `PaymentProfile` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;

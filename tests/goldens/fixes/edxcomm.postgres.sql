@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: edxcomm
--- missing constraints: 16
+-- missing constraints: 17
 
 -- constraint: CartProfile Not NULL (status_t)
 ALTER TABLE "CartProfile" ALTER COLUMN "status_t" SET NOT NULL;
@@ -10,6 +10,9 @@ ALTER TABLE "CouponProfile" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: InvoiceProfile Not NULL (status_t)
 ALTER TABLE "InvoiceProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: MessageProfile Not NULL (status_t)
+ALTER TABLE "MessageProfile" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: PaymentProfile Not NULL (status_t)
 ALTER TABLE "PaymentProfile" ALTER COLUMN "status_t" SET NOT NULL;

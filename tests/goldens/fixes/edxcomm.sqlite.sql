@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: edxcomm
--- missing constraints: 16
+-- missing constraints: 17
 
 -- constraint: CartProfile Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -13,6 +13,10 @@ ALTER TABLE "CouponProfile" ALTER COLUMN "status_t" SET NOT NULL;
 -- constraint: InvoiceProfile Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "InvoiceProfile" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: MessageProfile Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "MessageProfile" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: PaymentProfile Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild

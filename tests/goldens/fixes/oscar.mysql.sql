@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: oscar
--- missing constraints: 28
+-- missing constraints: 32
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- mysql: column type unknown to the analyzer; verify TEXT before applying
@@ -26,6 +26,12 @@ ALTER TABLE `RefundLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
 
 -- constraint: StockLine Not NULL (title_t)
 ALTER TABLE `StockLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: StreamLine Not NULL (title_t)
+ALTER TABLE `StreamLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
+
+-- constraint: TopicLine Not NULL (slug_t)
+ALTER TABLE `TopicLine` MODIFY COLUMN `slug_t` VARCHAR(64) NOT NULL;
 
 -- constraint: VendorLine Not NULL (title_t)
 ALTER TABLE `VendorLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
@@ -83,8 +89,14 @@ ALTER TABLE `BundleLine` ADD CONSTRAINT `ck_BundleLine_title_t` CHECK (`title_t`
 -- constraint: CatalogLine Check (slug_i > 0)
 ALTER TABLE `CatalogLine` ADD CONSTRAINT `ck_CatalogLine_slug_i` CHECK (`slug_i` > 0);
 
+-- constraint: ModuleLine Check (title_i > 0)
+ALTER TABLE `ModuleLine` ADD CONSTRAINT `ck_ModuleLine_title_i` CHECK (`title_i` > 0);
+
 -- constraint: SessionLine Check (title_i <= 9000)
 ALTER TABLE `SessionLine` ADD CONSTRAINT `ck_SessionLine_title_i` CHECK (`title_i` <= 9000);
+
+-- constraint: QuizLine Default (title_i = 1)
+ALTER TABLE `QuizLine` ALTER COLUMN `title_i` SET DEFAULT 1;
 
 -- constraint: TeamLine Default (title_i = 1)
 ALTER TABLE `TeamLine` ALTER COLUMN `title_i` SET DEFAULT 1;

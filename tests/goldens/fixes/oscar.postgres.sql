@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: oscar
--- missing constraints: 28
+-- missing constraints: 32
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
@@ -25,6 +25,12 @@ ALTER TABLE "RefundLine" ALTER COLUMN "title_t" SET NOT NULL;
 
 -- constraint: StockLine Not NULL (title_t)
 ALTER TABLE "StockLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: StreamLine Not NULL (title_t)
+ALTER TABLE "StreamLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: TopicLine Not NULL (slug_t)
+ALTER TABLE "TopicLine" ALTER COLUMN "slug_t" SET NOT NULL;
 
 -- constraint: VendorLine Not NULL (title_t)
 ALTER TABLE "VendorLine" ALTER COLUMN "title_t" SET NOT NULL;
@@ -80,8 +86,14 @@ ALTER TABLE "BundleLine" ADD CONSTRAINT "ck_BundleLine_title_t" CHECK ("title_t"
 -- constraint: CatalogLine Check (slug_i > 0)
 ALTER TABLE "CatalogLine" ADD CONSTRAINT "ck_CatalogLine_slug_i" CHECK ("slug_i" > 0);
 
+-- constraint: ModuleLine Check (title_i > 0)
+ALTER TABLE "ModuleLine" ADD CONSTRAINT "ck_ModuleLine_title_i" CHECK ("title_i" > 0);
+
 -- constraint: SessionLine Check (title_i <= 9000)
 ALTER TABLE "SessionLine" ADD CONSTRAINT "ck_SessionLine_title_i" CHECK ("title_i" <= 9000);
+
+-- constraint: QuizLine Default (title_i = 1)
+ALTER TABLE "QuizLine" ALTER COLUMN "title_i" SET DEFAULT 1;
 
 -- constraint: TeamLine Default (title_i = 1)
 ALTER TABLE "TeamLine" ALTER COLUMN "title_i" SET DEFAULT 1;

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: oscar
--- missing constraints: 28
+-- missing constraints: 32
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -33,6 +33,14 @@ ALTER TABLE "RefundLine" ALTER COLUMN "title_t" SET NOT NULL;
 -- constraint: StockLine Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "StockLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: StreamLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamLine" ALTER COLUMN "title_t" SET NOT NULL;
+
+-- constraint: TopicLine Not NULL (slug_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicLine" ALTER COLUMN "slug_t" SET NOT NULL;
 
 -- constraint: VendorLine Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -94,9 +102,17 @@ ALTER TABLE "BundleLine" ADD CONSTRAINT "ck_BundleLine_title_t" CHECK ("title_t"
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "CatalogLine" ADD CONSTRAINT "ck_CatalogLine_slug_i" CHECK ("slug_i" > 0);
 
+-- constraint: ModuleLine Check (title_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "ModuleLine" ADD CONSTRAINT "ck_ModuleLine_title_i" CHECK ("title_i" > 0);
+
 -- constraint: SessionLine Check (title_i <= 9000)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "SessionLine" ADD CONSTRAINT "ck_SessionLine_title_i" CHECK ("title_i" <= 9000);
+
+-- constraint: QuizLine Default (title_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "QuizLine" ALTER COLUMN "title_i" SET DEFAULT 1;
 
 -- constraint: TeamLine Default (title_i = 1)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild

@@ -1,12 +1,15 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: saleor
--- missing constraints: 18
+-- missing constraints: 20
 
 -- constraint: BundleLine Not NULL (title_t)
 ALTER TABLE `BundleLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
 
 -- constraint: CatalogLine Not NULL (slug_t)
 ALTER TABLE `CatalogLine` MODIFY COLUMN `slug_t` VARCHAR(64) NOT NULL;
+
+-- constraint: QuizLine Not NULL (title_t)
+ALTER TABLE `QuizLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
 
 -- constraint: RefundLine Not NULL (title_t)
 ALTER TABLE `RefundLine` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
@@ -47,6 +50,9 @@ ALTER TABLE `CartEntry` ADD CONSTRAINT `fk_CartEntry_user_entry_id` FOREIGN KEY 
 
 -- constraint: ProductEntry FK (order_entry_id) ref OrderEntry(id)
 ALTER TABLE `ProductEntry` ADD CONSTRAINT `fk_ProductEntry_order_entry_id` FOREIGN KEY (`order_entry_id`) REFERENCES `OrderEntry`(`id`);
+
+-- constraint: GradeLine Check (title_t IN ('closed', 'open'))
+ALTER TABLE `GradeLine` ADD CONSTRAINT `ck_GradeLine_title_t` CHECK (`title_t` IN ('closed', 'open'));
 
 -- constraint: StreamLine Check (title_i > 0)
 ALTER TABLE `StreamLine` ADD CONSTRAINT `ck_StreamLine_title_i` CHECK (`title_i` > 0);

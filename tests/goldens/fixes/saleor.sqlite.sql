@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: saleor
--- missing constraints: 18
+-- missing constraints: 20
 
 -- constraint: BundleLine Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -9,6 +9,10 @@ ALTER TABLE "BundleLine" ALTER COLUMN "title_t" SET NOT NULL;
 -- constraint: CatalogLine Not NULL (slug_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "CatalogLine" ALTER COLUMN "slug_t" SET NOT NULL;
+
+-- constraint: QuizLine Not NULL (title_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "QuizLine" ALTER COLUMN "title_t" SET NOT NULL;
 
 -- constraint: RefundLine Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -56,6 +60,10 @@ ALTER TABLE "CartEntry" ADD CONSTRAINT "fk_CartEntry_user_entry_id" FOREIGN KEY 
 -- constraint: ProductEntry FK (order_entry_id) ref OrderEntry(id)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "ProductEntry" ADD CONSTRAINT "fk_ProductEntry_order_entry_id" FOREIGN KEY ("order_entry_id") REFERENCES "OrderEntry"("id");
+
+-- constraint: GradeLine Check (title_t IN ('closed', 'open'))
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "GradeLine" ADD CONSTRAINT "ck_GradeLine_title_t" CHECK ("title_t" IN ('closed', 'open'));
 
 -- constraint: StreamLine Check (title_i > 0)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild

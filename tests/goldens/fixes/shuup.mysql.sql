@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: shuup
--- missing constraints: 36
+-- missing constraints: 40
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- mysql: column type unknown to the analyzer; verify TEXT before applying
@@ -19,6 +19,9 @@ ALTER TABLE `BadgeLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
 -- constraint: CartLink Not NULL (status_t)
 ALTER TABLE `CartLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: CatalogLink Not NULL (status_t)
+ALTER TABLE `CatalogLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
 -- constraint: ChannelLink Not NULL (status_d)
 ALTER TABLE `ChannelLink` MODIFY COLUMN `status_d` INT NOT NULL;
@@ -77,6 +80,9 @@ ALTER TABLE `TopicLog` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 -- constraint: UserLink Not NULL (status_t)
 ALTER TABLE `UserLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
+-- constraint: WalletLink Not NULL (status_t)
+ALTER TABLE `WalletLink` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
 -- constraint: BundleLog Unique (status_t)
 ALTER TABLE `BundleLog` ADD CONSTRAINT `uq_BundleLog_status_t` UNIQUE (`status_t`);
 
@@ -102,6 +108,9 @@ ALTER TABLE `MessageMeta` ADD CONSTRAINT `fk_MessageMeta_lesson_meta_id` FOREIGN
 -- constraint: BlockLink Check (status_i > 0)
 ALTER TABLE `BlockLink` ADD CONSTRAINT `ck_BlockLink_status_i` CHECK (`status_i` > 0);
 
+-- constraint: BundleLink Check (status_i > 0)
+ALTER TABLE `BundleLink` ADD CONSTRAINT `ck_BundleLink_status_i` CHECK (`status_i` > 0);
+
 -- constraint: PageLink Check (status_i > 0)
 ALTER TABLE `PageLink` ADD CONSTRAINT `ck_PageLink_status_i` CHECK (`status_i` > 0);
 
@@ -113,4 +122,7 @@ ALTER TABLE `VendorLink` ADD CONSTRAINT `ck_VendorLink_status_i` CHECK (`status_
 
 -- constraint: RefundLink Default (status_i = 1)
 ALTER TABLE `RefundLink` ALTER COLUMN `status_i` SET DEFAULT 1;
+
+-- constraint: SessionLink Default (status_i = 1)
+ALTER TABLE `SessionLink` ALTER COLUMN `status_i` SET DEFAULT 1;
 

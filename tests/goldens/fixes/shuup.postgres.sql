@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: shuup
--- missing constraints: 36
+-- missing constraints: 40
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 ALTER TABLE "AbstractShared0Model" ALTER COLUMN "inherited_0" SET NOT NULL;
@@ -16,6 +16,9 @@ ALTER TABLE "BadgeLog" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: CartLink Not NULL (status_t)
 ALTER TABLE "CartLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CatalogLink Not NULL (status_t)
+ALTER TABLE "CatalogLink" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: ChannelLink Not NULL (status_d)
 ALTER TABLE "ChannelLink" ALTER COLUMN "status_d" SET NOT NULL;
@@ -74,6 +77,9 @@ ALTER TABLE "TopicLog" ALTER COLUMN "status_t" SET NOT NULL;
 -- constraint: UserLink Not NULL (status_t)
 ALTER TABLE "UserLink" ALTER COLUMN "status_t" SET NOT NULL;
 
+-- constraint: WalletLink Not NULL (status_t)
+ALTER TABLE "WalletLink" ALTER COLUMN "status_t" SET NOT NULL;
+
 -- constraint: BundleLog Unique (status_t)
 ALTER TABLE "BundleLog" ADD CONSTRAINT "uq_BundleLog_status_t" UNIQUE ("status_t");
 
@@ -98,6 +104,9 @@ ALTER TABLE "MessageMeta" ADD CONSTRAINT "fk_MessageMeta_lesson_meta_id" FOREIGN
 -- constraint: BlockLink Check (status_i > 0)
 ALTER TABLE "BlockLink" ADD CONSTRAINT "ck_BlockLink_status_i" CHECK ("status_i" > 0);
 
+-- constraint: BundleLink Check (status_i > 0)
+ALTER TABLE "BundleLink" ADD CONSTRAINT "ck_BundleLink_status_i" CHECK ("status_i" > 0);
+
 -- constraint: PageLink Check (status_i > 0)
 ALTER TABLE "PageLink" ADD CONSTRAINT "ck_PageLink_status_i" CHECK ("status_i" > 0);
 
@@ -109,4 +118,7 @@ ALTER TABLE "VendorLink" ADD CONSTRAINT "ck_VendorLink_status_i" CHECK ("status_
 
 -- constraint: RefundLink Default (status_i = 1)
 ALTER TABLE "RefundLink" ALTER COLUMN "status_i" SET DEFAULT 1;
+
+-- constraint: SessionLink Default (status_i = 1)
+ALTER TABLE "SessionLink" ALTER COLUMN "status_i" SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: shuup
--- missing constraints: 36
+-- missing constraints: 40
 
 -- constraint: AbstractShared0Model Not NULL (inherited_0)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -21,6 +21,10 @@ ALTER TABLE "BadgeLog" ALTER COLUMN "status_t" SET NOT NULL;
 -- constraint: CartLink Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "CartLink" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: CatalogLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "CatalogLink" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: ChannelLink Not NULL (status_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -98,6 +102,10 @@ ALTER TABLE "TopicLog" ALTER COLUMN "status_t" SET NOT NULL;
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "UserLink" ALTER COLUMN "status_t" SET NOT NULL;
 
+-- constraint: WalletLink Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "WalletLink" ALTER COLUMN "status_t" SET NOT NULL;
+
 -- constraint: BundleLog Unique (status_t)
 CREATE UNIQUE INDEX "uq_BundleLog_status_t" ON "BundleLog" ("status_t");
 
@@ -124,6 +132,10 @@ ALTER TABLE "MessageMeta" ADD CONSTRAINT "fk_MessageMeta_lesson_meta_id" FOREIGN
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "BlockLink" ADD CONSTRAINT "ck_BlockLink_status_i" CHECK ("status_i" > 0);
 
+-- constraint: BundleLink Check (status_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "BundleLink" ADD CONSTRAINT "ck_BundleLink_status_i" CHECK ("status_i" > 0);
+
 -- constraint: PageLink Check (status_i > 0)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "PageLink" ADD CONSTRAINT "ck_PageLink_status_i" CHECK ("status_i" > 0);
@@ -139,4 +151,8 @@ ALTER TABLE "VendorLink" ADD CONSTRAINT "ck_VendorLink_status_i" CHECK ("status_
 -- constraint: RefundLink Default (status_i = 1)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "RefundLink" ALTER COLUMN "status_i" SET DEFAULT 1;
+
+-- constraint: SessionLink Default (status_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "SessionLink" ALTER COLUMN "status_i" SET DEFAULT 1;
 

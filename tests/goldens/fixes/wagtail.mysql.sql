@@ -1,6 +1,6 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: wagtail
--- missing constraints: 12
+-- missing constraints: 14
 
 -- constraint: BundleItem Not NULL (status_d)
 ALTER TABLE `BundleItem` MODIFY COLUMN `status_d` INT NOT NULL;
@@ -13,6 +13,9 @@ ALTER TABLE `RefundItem` MODIFY COLUMN `status_d` INT NOT NULL;
 
 -- constraint: StockItem Not NULL (status_t)
 ALTER TABLE `StockItem` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
+
+-- constraint: StreamItem Not NULL (status_t)
+ALTER TABLE `StreamItem` MODIFY COLUMN `status_t` VARCHAR(64) NOT NULL;
 
 -- constraint: VendorItem Not NULL (status_d)
 ALTER TABLE `VendorItem` MODIFY COLUMN `status_d` INT NOT NULL;
@@ -38,4 +41,7 @@ ALTER TABLE `SessionItem` ADD CONSTRAINT `ck_SessionItem_status_i` CHECK (`statu
 
 -- constraint: TeamItem Default (status_i = 1)
 ALTER TABLE `TeamItem` ALTER COLUMN `status_i` SET DEFAULT 1;
+
+-- constraint: TopicItem Default (status_i = 1)
+ALTER TABLE `TopicItem` ALTER COLUMN `status_i` SET DEFAULT 1;
 

@@ -1,6 +1,6 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: wagtail
--- missing constraints: 12
+-- missing constraints: 14
 
 -- constraint: BundleItem Not NULL (status_d)
 ALTER TABLE "BundleItem" ALTER COLUMN "status_d" SET NOT NULL;
@@ -13,6 +13,9 @@ ALTER TABLE "RefundItem" ALTER COLUMN "status_d" SET NOT NULL;
 
 -- constraint: StockItem Not NULL (status_t)
 ALTER TABLE "StockItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: StreamItem Not NULL (status_t)
+ALTER TABLE "StreamItem" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: VendorItem Not NULL (status_d)
 ALTER TABLE "VendorItem" ALTER COLUMN "status_d" SET NOT NULL;
@@ -37,4 +40,7 @@ ALTER TABLE "SessionItem" ADD CONSTRAINT "ck_SessionItem_status_i" CHECK ("statu
 
 -- constraint: TeamItem Default (status_i = 1)
 ALTER TABLE "TeamItem" ALTER COLUMN "status_i" SET DEFAULT 1;
+
+-- constraint: TopicItem Default (status_i = 1)
+ALTER TABLE "TopicItem" ALTER COLUMN "status_i" SET DEFAULT 1;
 

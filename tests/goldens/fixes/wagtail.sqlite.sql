@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: wagtail
--- missing constraints: 12
+-- missing constraints: 14
 
 -- constraint: BundleItem Not NULL (status_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -17,6 +17,10 @@ ALTER TABLE "RefundItem" ALTER COLUMN "status_d" SET NOT NULL;
 -- constraint: StockItem Not NULL (status_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "StockItem" ALTER COLUMN "status_t" SET NOT NULL;
+
+-- constraint: StreamItem Not NULL (status_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "StreamItem" ALTER COLUMN "status_t" SET NOT NULL;
 
 -- constraint: VendorItem Not NULL (status_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -45,4 +49,8 @@ ALTER TABLE "SessionItem" ADD CONSTRAINT "ck_SessionItem_status_i" CHECK ("statu
 -- constraint: TeamItem Default (status_i = 1)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "TeamItem" ALTER COLUMN "status_i" SET DEFAULT 1;
+
+-- constraint: TopicItem Default (status_i = 1)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "TopicItem" ALTER COLUMN "status_i" SET DEFAULT 1;
 

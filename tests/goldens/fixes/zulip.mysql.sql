@@ -1,12 +1,15 @@
 -- fixes.mysql.sql — remediation DDL emitted by cfinder
 -- app: zulip
--- missing constraints: 24
+-- missing constraints: 26
 
 -- constraint: BundleProfile Not NULL (title_t)
 ALTER TABLE `BundleProfile` MODIFY COLUMN `title_t` VARCHAR(64) NOT NULL;
 
 -- constraint: OrderLine Not NULL (title_d)
 ALTER TABLE `OrderLine` MODIFY COLUMN `title_d` INT NOT NULL;
+
+-- constraint: PaymentLine Not NULL (slug_t)
+ALTER TABLE `PaymentLine` MODIFY COLUMN `slug_t` VARCHAR(64) NOT NULL;
 
 -- constraint: ProductLine Not NULL (slug_d)
 ALTER TABLE `ProductLine` MODIFY COLUMN `slug_d` INT NOT NULL;
@@ -69,6 +72,9 @@ ALTER TABLE `UserEntry` ADD CONSTRAINT `fk_UserEntry_product_entry_id` FOREIGN K
 
 -- constraint: CartLine Check (slug_i > 0)
 ALTER TABLE `CartLine` ADD CONSTRAINT `ck_CartLine_slug_i` CHECK (`slug_i` > 0);
+
+-- constraint: CouponLine Check (slug_i > 0)
+ALTER TABLE `CouponLine` ADD CONSTRAINT `ck_CouponLine_slug_i` CHECK (`slug_i` > 0);
 
 -- constraint: InvoiceLine Check (slug_t IN ('closed', 'open'))
 ALTER TABLE `InvoiceLine` ADD CONSTRAINT `ck_InvoiceLine_slug_t` CHECK (`slug_t` IN ('closed', 'open'));

@@ -1,12 +1,15 @@
 -- fixes.postgres.sql — remediation DDL emitted by cfinder
 -- app: zulip
--- missing constraints: 24
+-- missing constraints: 26
 
 -- constraint: BundleProfile Not NULL (title_t)
 ALTER TABLE "BundleProfile" ALTER COLUMN "title_t" SET NOT NULL;
 
 -- constraint: OrderLine Not NULL (title_d)
 ALTER TABLE "OrderLine" ALTER COLUMN "title_d" SET NOT NULL;
+
+-- constraint: PaymentLine Not NULL (slug_t)
+ALTER TABLE "PaymentLine" ALTER COLUMN "slug_t" SET NOT NULL;
 
 -- constraint: ProductLine Not NULL (slug_d)
 ALTER TABLE "ProductLine" ALTER COLUMN "slug_d" SET NOT NULL;
@@ -67,6 +70,9 @@ ALTER TABLE "UserEntry" ADD CONSTRAINT "fk_UserEntry_product_entry_id" FOREIGN K
 
 -- constraint: CartLine Check (slug_i > 0)
 ALTER TABLE "CartLine" ADD CONSTRAINT "ck_CartLine_slug_i" CHECK ("slug_i" > 0);
+
+-- constraint: CouponLine Check (slug_i > 0)
+ALTER TABLE "CouponLine" ADD CONSTRAINT "ck_CouponLine_slug_i" CHECK ("slug_i" > 0);
 
 -- constraint: InvoiceLine Check (slug_t IN ('closed', 'open'))
 ALTER TABLE "InvoiceLine" ADD CONSTRAINT "ck_InvoiceLine_slug_t" CHECK ("slug_t" IN ('closed', 'open'));

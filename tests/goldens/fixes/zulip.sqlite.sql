@@ -1,6 +1,6 @@
 -- fixes.sqlite.sql — remediation DDL emitted by cfinder
 -- app: zulip
--- missing constraints: 24
+-- missing constraints: 26
 
 -- constraint: BundleProfile Not NULL (title_t)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -9,6 +9,10 @@ ALTER TABLE "BundleProfile" ALTER COLUMN "title_t" SET NOT NULL;
 -- constraint: OrderLine Not NULL (title_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
 ALTER TABLE "OrderLine" ALTER COLUMN "title_d" SET NOT NULL;
+
+-- constraint: PaymentLine Not NULL (slug_t)
+-- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
+ALTER TABLE "PaymentLine" ALTER COLUMN "slug_t" SET NOT NULL;
 
 -- constraint: ProductLine Not NULL (slug_d)
 -- sqlite: ALTER COLUMN is not supported in place; apply via a table rebuild
@@ -79,6 +83,10 @@ ALTER TABLE "UserEntry" ADD CONSTRAINT "fk_UserEntry_product_entry_id" FOREIGN K
 -- constraint: CartLine Check (slug_i > 0)
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
 ALTER TABLE "CartLine" ADD CONSTRAINT "ck_CartLine_slug_i" CHECK ("slug_i" > 0);
+
+-- constraint: CouponLine Check (slug_i > 0)
+-- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
+ALTER TABLE "CouponLine" ADD CONSTRAINT "ck_CouponLine_slug_i" CHECK ("slug_i" > 0);
 
 -- constraint: InvoiceLine Check (slug_t IN ('closed', 'open'))
 -- sqlite: ADD CONSTRAINT is not supported in place; apply via a table rebuild
